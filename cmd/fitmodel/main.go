@@ -1,0 +1,87 @@
+// Command fitmodel runs the paper's model-instantiation pipeline
+// (§II-C/D): it executes the intensity microbenchmark suite over the 16
+// calibration DVFS settings on the simulated Jetson TK1, measures every
+// run with the simulated PowerMon 2, fits the DVFS-aware energy roofline
+// by non-negative least squares, and prints
+//
+//   - Table I: the derived per-operation energy costs and constant power
+//     for every calibration setting, and
+//   - the §II-D validation: 2-fold holdout and 16-fold cross-validation
+//     error statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/export"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "seed for measurement noise and experiment randomness")
+	csvDir := flag.String("csv", "", "directory to write samples.csv and table1.csv (empty disables)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("fitmodel: ")
+
+	dev := tegra.NewDevice()
+	cfg := experiments.Config{Seed: *seed}
+	cal, err := experiments.Calibrate(dev, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fitted %d samples (116 kernels x 16 settings) by NNLS.\n", len(cal.Samples))
+	m := cal.Model
+	fmt.Printf("Model constants: c0 = {SP %.2f, DP %.2f, Int %.2f, SM %.2f, L2 %.2f, DRAM %.2f} pJ/V^2\n",
+		m.SPpJ, m.DPpJ, m.IntpJ, m.SMpJ, m.L2pJ, m.DRAMpJ)
+	fmt.Printf("                 c1,proc %.2f W/V   c1,mem %.2f W/V   Pmisc %.2f W\n\n",
+		m.C1Proc, m.C1Mem, m.PMisc)
+
+	fmt.Println("TABLE I: frequency/voltage settings and derived energy and power costs")
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Type\tCore MHz\tCore mV\tMem MHz\tMem mV\tSP pJ\tDP pJ\tInt pJ\tSM pJ\tL2 pJ\tMem pJ\tConst W\t")
+	for _, r := range cal.TableI() {
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
+			r.Type, r.Setting.Core.FreqMHz, r.Setting.Core.VoltageMV,
+			r.Setting.Mem.FreqMHz, r.Setting.Mem.VoltageMV,
+			r.Eps.SP, r.Eps.DP, r.Eps.Int, r.Eps.SM, r.Eps.L2, r.Eps.DRAM, r.Eps.ConstPower)
+	}
+	w.Flush()
+
+	h := cal.Holdout.Percent()
+	k := cal.KFold.Percent()
+	fmt.Println("\nVALIDATION (relative error, %, vs measured energy)")
+	fmt.Printf("  2-fold holdout (T trains, V validates):  mean %.2f  stddev %.2f  min %.2f  max %.2f   (paper: 2.87 / 2.47 / 0.00 / 11.94)\n",
+		h.Mean, h.Stddev, h.Min, h.Max)
+	fmt.Printf("  16-fold CV (leave-one-setting-out):      mean %.2f  stddev %.2f  min %.2f  max %.2f   (paper: 6.56 / 3.80 / 1.60 / 15.22)\n",
+		k.Mean, k.Stddev, k.Min, k.Max)
+
+	if *csvDir != "" {
+		writeCSV(filepath.Join(*csvDir, "samples.csv"), func(f *os.File) error {
+			return export.WriteSamples(f, cal.Samples)
+		})
+		writeCSV(filepath.Join(*csvDir, "table1.csv"), func(f *os.File) error {
+			return export.WriteTableI(f, cal.TableI())
+		})
+	}
+}
+
+// writeCSV creates path and runs fn against it, aborting on failure.
+func writeCSV(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

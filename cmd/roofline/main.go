@@ -1,0 +1,80 @@
+// Command roofline prints the energy-roofline analysis the DVFS-aware
+// model extends (paper refs [2,3]): attained performance, power and
+// energy efficiency as functions of arithmetic intensity, together with
+// the machine's time and energy balance points, for chosen DVFS settings
+// of the simulated Tegra K1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "seed for the calibration measurements")
+	class := flag.String("class", "DP", "op class to analyze: SP, DP or Int")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("roofline: ")
+
+	var c core.OpClass
+	var opsPerCycle float64
+	switch *class {
+	case "SP":
+		c, opsPerCycle = core.ClassSP, tegra.SPPerCycle
+	case "DP":
+		c, opsPerCycle = core.ClassDP, tegra.DPPerCycle
+	case "Int":
+		c, opsPerCycle = core.ClassInt, tegra.IntPerCycle
+	default:
+		log.Fatalf("unknown class %q (want SP, DP or Int)", *class)
+	}
+
+	dev := tegra.NewDevice()
+	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := cal.Model
+
+	settings := []dvfs.Setting{
+		dvfs.MaxSetting(),
+		dvfs.MustSetting(540, 528),
+		dvfs.MustSetting(180, 204),
+	}
+	intensities := []float64{0.125, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+	for _, s := range settings {
+		mach := core.MachineFor(opsPerCycle, tegra.DRAMWordsPerCycle, s)
+		fmt.Printf("%s roofline at %v\n", *class, s)
+		fmt.Printf("  time balance %.2f ops/word, energy balance %.2f ops/word",
+			mach.TimeBalance(), model.EnergyBalance(c, s))
+		eff := model.EffectiveEnergyBalance(c, mach, s)
+		if math.IsInf(eff, 1) {
+			fmt.Printf(", effective balance: unreachable (constant power exceeds ε at peak)\n")
+		} else {
+			fmt.Printf(", effective balance %.2f ops/word\n", eff)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(w, "I ops/word\tGops/s\tGops/J\tW\t")
+		for _, pt := range model.Roofline(c, mach, s, intensities) {
+			fmt.Fprintf(w, "%.3f\t%.2f\t%.3f\t%.2f\t\n",
+				pt.Intensity, pt.OpsPerSec/1e9, pt.OpsPerJoule/1e9, pt.Power)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	fmt.Println("Reading: below the time balance a kernel is bandwidth-bound; below the")
+	fmt.Println("energy balance its dynamic energy is data-movement-dominated; when the")
+	fmt.Println("effective balance is unreachable, constant power dominates at every")
+	fmt.Println("intensity — the regime the paper's FMM occupies (§IV-C).")
+}

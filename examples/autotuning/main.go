@@ -1,0 +1,73 @@
+// autotuning: model-based DVFS selection versus race-to-halt for a
+// user-defined workload, demonstrating the paper's §II-E result that the
+// fastest configuration is not always the most energy-efficient one.
+//
+// Run with:
+//
+//	go run ./examples/autotuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/powermon"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dev := tegra.NewDevice()
+	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter := powermon.NewMeter(powermon.DefaultConfig(), 99)
+
+	// Two contrasting workloads: a compute-bound SP kernel and a
+	// bandwidth-bound streaming kernel.
+	workloads := []struct {
+		name string
+		prof counters.Profile
+	}{
+		{"compute-bound (SP heavy)", counters.Profile{SP: 4e10, Int: 8e8, DRAMWords: 1e8}},
+		{"bandwidth-bound (stream)", counters.Profile{SP: 2e8, Int: 4e8, DRAMWords: 2e9}},
+	}
+
+	for _, wl := range workloads {
+		fmt.Printf("%s:\n", wl.name)
+		// Sweep the measured settings and build candidates: identical
+		// work at every setting.
+		var cands []core.Candidate
+		for _, cs := range dvfs.CalibrationSettings() {
+			s := cs.Setting
+			exec := dev.Execute(tegra.Workload{Profile: wl.prof, Occupancy: 0.95}, s)
+			meas, err := meter.Measure(exec.PowerAt, exec.Time)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cands = append(cands, core.Candidate{
+				Setting: s, Profile: wl.prof, Time: exec.Time, MeasuredEnergy: meas.Energy,
+			})
+		}
+		mi := cal.Model.PickModelMinEnergy(cands)
+		oi := core.PickTimeOracle(cands)
+		bi := core.PickMeasuredMin(cands)
+		report := func(tag string, i int) {
+			c := cands[i]
+			fmt.Printf("  %-22s %v: %.3f s, %.2f J measured\n", tag, c.Setting, c.Time, c.MeasuredEnergy)
+		}
+		report("model pick:", mi)
+		report("race-to-halt pick:", oi)
+		report("measured minimum:", bi)
+		lost := func(i int) float64 {
+			return 100 * (cands[i].MeasuredEnergy - cands[bi].MeasuredEnergy) / cands[bi].MeasuredEnergy
+		}
+		fmt.Printf("  energy lost: model %.1f%%, race-to-halt %.1f%%\n\n", lost(mi), lost(oi))
+	}
+}

@@ -1,0 +1,72 @@
+// customdevice: the paper's replication pitch in practice — "users can
+// easily replicate our experiments on their own systems". We describe a
+// hypothetical next-generation SoC (lower per-op energies, higher leak),
+// run the same calibration pipeline against it, and compare the fitted
+// per-operation costs and the FMM's constant-power share against the
+// Tegra K1's.
+//
+// Run with:
+//
+//	go run ./examples/customdevice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Start from the TK1 ground truth and describe a die-shrunk
+	// successor: 40% cheaper operations, 25% cheaper DRAM, but 20% more
+	// leakage (a classic process-node trade).
+	params := tegra.TK1Params()
+	params.SPpJ *= 0.6
+	params.DPpJ *= 0.6
+	params.IntpJ *= 0.6
+	params.SharedpJ *= 0.6
+	params.L2pJ *= 0.6
+	params.DRAMpJ *= 0.75
+	params.LeakProcWpV *= 1.2
+	params.LeakMemWpV *= 1.2
+	custom, err := tegra.NewCustomDevice(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := experiments.Config{Seed: 9}
+	for _, d := range []struct {
+		name string
+		dev  *tegra.Device
+	}{{"Tegra K1", tegra.NewDevice()}, {"hypothetical shrink", custom}} {
+		cal, err := experiments.Calibrate(d.dev, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := cal.Model.EpsAt(dvfs.MaxSetting())
+		fmt.Printf("%s (fitted at 852/924 MHz):\n", d.name)
+		fmt.Printf("  ε: SP %.1f, DP %.1f, Int %.1f, SM %.1f, L2 %.1f, DRAM %.1f pJ; π0 %.2f W\n",
+			e.SP, e.DP, e.Int, e.SM, e.L2, e.DRAM, e.ConstPower)
+		fmt.Printf("  holdout error: %.2f%% mean\n", cal.Holdout.Percent().Mean)
+
+		run, err := experiments.RunFMMInput(
+			experiments.FMMInput{ID: "F8s", N: 16384, Q: 64}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := experiments.RunFMMCase(d.dev, cfg.NewMeter(77), cal.Model, run, "S1", dvfs.MaxSetting())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  FMM at max frequency: %.2f J, constant power %.0f%% of total\n\n",
+			c.MeasuredEnergy, c.ConstantFraction()*100)
+	}
+	fmt.Println("Cheaper operations with higher leakage push the constant-power share even")
+	fmt.Println("higher — the §IV-C dominance worsens on die-shrunk parts, which is why the")
+	fmt.Println("paper argues underutilized applications gain little from DVFS alone.")
+}

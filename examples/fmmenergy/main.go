@@ -1,0 +1,74 @@
+// fmmenergy: end-to-end energy analysis of the fast multipole method —
+// the paper's §IV study in miniature. It runs a real kernel-independent
+// FMM evaluation on a Plummer (astrophysics) particle distribution,
+// verifies its accuracy against direct summation, profiles each of the
+// six phases, and uses the fitted energy model to locate the energy
+// bottlenecks.
+//
+// Run with:
+//
+//	go run ./examples/fmmenergy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fmm"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const n = 30000
+	pts := fmm.GeneratePoints(fmm.Plummer, n, 7)
+	dens := fmm.GenerateDensities(n, 8)
+
+	res, err := fmm.Evaluate(pts, dens, fmm.Options{Q: 100, UseFFTM2L: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := fmm.DirectSum(pts, dens, nil, 0)
+	fmt.Printf("FMM on a Plummer cluster: N=%d, %d leaves, depth %d\n",
+		n, res.Tree.NumLeaves(), res.Tree.Depth())
+	fmt.Printf("Accuracy vs direct sum: rel L2 error %.2e\n\n", fmm.RelErrL2(res.Potentials, exact))
+
+	// Calibrate the model and analyze where the FMM spends its energy at
+	// the maximum frequency setting.
+	dev := tegra.NewDevice()
+	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := dvfs.MaxSetting()
+
+	fmt.Println("Per-phase profile and predicted energy at 852/924 MHz:")
+	var totalE, totalT float64
+	for _, ph := range fmm.Phases() {
+		p := res.Profiles[ph]
+		if p.Instructions() == 0 && p.Accesses() == 0 {
+			fmt.Printf("  %-5s (empty: tree is %s)\n", ph, "level-uniform or list unused")
+			continue
+		}
+		exec := dev.Execute(tegra.Workload{Profile: p, Occupancy: ph.Occupancy()}, s)
+		parts := cal.Model.PredictParts(p, s, exec.Time)
+		totalE += parts.Total()
+		totalT += exec.Time
+		fmt.Printf("  %-5s %8.4f s  %7.3f J   int %4.1f%% of instrs, DRAM %4.1f%% of words\n",
+			ph, exec.Time, parts.Total(), 100*p.IntegerFraction(), 100*p.DRAMFraction())
+	}
+	fmt.Printf("  total %8.4f s  %7.3f J\n\n", totalT, totalE)
+
+	tot := res.Profiles.Total()
+	parts := cal.Model.PredictParts(tot, s, totalT)
+	fmt.Println("Energy bottleneck analysis (the paper's Figure 6/7 view):")
+	fmt.Printf("  computation %5.1f%%   (integer ops are %.0f%% of instructions but only %.0f%% of compute energy)\n",
+		100*parts.Compute()/parts.Total(), 100*tot.IntegerFraction(), 100*parts.Int/parts.Compute())
+	fmt.Printf("  data        %5.1f%%   (DRAM is %.0f%% of accesses but %.0f%% of data energy)\n",
+		100*parts.Data()/parts.Total(), 100*tot.DRAMFraction(), 100*parts.DRAM/parts.Data())
+	fmt.Printf("  constant    %5.1f%%   -> energy-optimal DVFS = time-optimal DVFS for this app\n",
+		100*parts.Constant/parts.Total())
+}

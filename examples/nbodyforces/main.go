@@ -1,0 +1,88 @@
+// nbodyforces: gravitational accelerations for a star cluster with the
+// kernel-independent FMM, including the force field (potential
+// gradients), validated against direct summation — plus the energy cost
+// of the computation on the simulated Jetson TK1 at two DVFS settings.
+//
+// Run with:
+//
+//	go run ./examples/nbodyforces
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fmm"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const n = 20000
+	// A Plummer-model cluster with equal masses.
+	pts := fmm.GeneratePoints(fmm.Plummer, n, 17)
+	masses := make([]float64, n)
+	for i := range masses {
+		masses[i] = 1.0 / n
+	}
+
+	t0 := time.Now()
+	res, grad, err := fmm.EvaluateGrad(pts, masses, fmm.Options{Q: 80})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmmWall := time.Since(t0)
+
+	t0 = time.Now()
+	exactPot := fmm.DirectSum(pts, masses, nil, 0)
+	exactGrad := fmm.DirectGradAt(pts, pts, masses, fmm.Laplace{})
+	directWall := time.Since(t0)
+
+	var num, den float64
+	for i := range grad {
+		for c := 0; c < 3; c++ {
+			d := grad[i][c] - exactGrad[i][c]
+			num += d * d
+			den += exactGrad[i][c] * exactGrad[i][c]
+		}
+	}
+	fmt.Printf("N-body forces for a %d-star Plummer cluster:\n", n)
+	fmt.Printf("  FMM %v vs direct %v (%.1fx)\n", fmmWall.Round(time.Millisecond),
+		directWall.Round(time.Millisecond), float64(directWall)/float64(fmmWall))
+	fmt.Printf("  potential error %.2e, force error %.2e\n",
+		fmm.RelErrL2(res.Potentials, exactPot), math.Sqrt(num/den))
+
+	// Total momentum change must vanish (Newton's third law): sum of
+	// mass-weighted forces ~ 0.
+	var fx, fy, fz float64
+	for i := range grad {
+		fx += masses[i] * grad[i][0]
+		fy += masses[i] * grad[i][1]
+		fz += masses[i] * grad[i][2]
+	}
+	fmt.Printf("  net force (should be ~0): (%.2e, %.2e, %.2e)\n\n", fx, fy, fz)
+
+	// What would one force evaluation cost on the Jetson TK1?
+	dev := tegra.NewDevice()
+	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []dvfs.Setting{dvfs.MaxSetting(), dvfs.MustSetting(396, 528)} {
+		var dur float64
+		for _, ph := range fmm.Phases() {
+			p := res.Profiles[ph]
+			if p.Instructions() == 0 && p.Accesses() == 0 {
+				continue
+			}
+			dur += dev.Execute(tegra.Workload{Profile: p, Occupancy: ph.Occupancy()}, s).Time
+		}
+		e := cal.Model.Predict(res.Profiles.Total(), s, dur)
+		fmt.Printf("  on TK1 at %v: %.3f s, %.2f J per step\n", s, dur, e)
+	}
+}

@@ -1,0 +1,85 @@
+// prefetch: the paper's §VI what-if scenario — "deciding whether to use
+// prefetching". The energy model estimates how much energy turning
+// prefetching off would save (from not loading unused data) and how the
+// resulting slowdown feeds back into constant-power energy, possibly
+// increasing the total. Uses core.PrefetchAdvice / PrefetchBreakEven.
+//
+// Run with:
+//
+//	go run ./examples/prefetch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dev := tegra.NewDevice()
+	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := dvfs.MaxSetting()
+
+	// A pointer-chasing kernel: with prefetching, the hardware loads
+	// whole lines of which only 40% is used; without it, only the needed
+	// words move, but each access stalls the pipeline (+25% runtime).
+	const usedWords = 5e8
+	scenario := core.PrefetchScenario{
+		Profile: counters.Profile{
+			DPFMA:     3e8,
+			Int:       9e8,
+			DRAMWords: usedWords / 0.40,
+		},
+		UsedFraction: 0.40,
+		Slowdown:     1.25,
+	}
+	exec := dev.Execute(tegra.Workload{Profile: scenario.Profile, Occupancy: 0.45}, s)
+	scenario.TimeWithPrefetch = exec.Time
+
+	v, err := cal.Model.PrefetchAdvice(scenario, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Prefetching what-if (paper §VI):")
+	fmt.Printf("  with prefetch:    %.3f s, %6.2f J\n", scenario.TimeWithPrefetch, v.WithPrefetchJ)
+	fmt.Printf("  without prefetch: %.3f s, %6.2f J\n",
+		scenario.TimeWithPrefetch*scenario.Slowdown, v.WithoutPrefetchJ)
+	fmt.Printf("\n  disabling prefetch saves %.2f J of DRAM energy but pays %.2f J of\n",
+		v.DRAMSavedJ, v.ConstantPaidJ)
+	fmt.Printf("  constant-power energy from running %.0f%% longer.\n", (scenario.Slowdown-1)*100)
+	if v.KeepPrefetch {
+		fmt.Printf("  verdict: keep prefetching ON (turning it off costs %.2f J).\n",
+			v.WithoutPrefetchJ-v.WithPrefetchJ)
+	} else {
+		fmt.Printf("  verdict: turn prefetching OFF (saves %.2f J).\n",
+			v.WithPrefetchJ-v.WithoutPrefetchJ)
+	}
+
+	be, err := cal.Model.PrefetchBreakEven(scenario, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  break-even: prefetching pays off while more than %.0f%% of the\n", be*100)
+	fmt.Println("  prefetched data is actually used; below that, turn it off.")
+
+	// The break-even moves with the slowdown penalty.
+	for _, sd := range []float64{1.05, 1.25, 1.6} {
+		sc := scenario
+		sc.Slowdown = sd
+		b, err := cal.Model.PrefetchBreakEven(sc, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    slowdown %.2fx -> break-even at %4.1f%% utilization\n", sd, b*100)
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: calibrate the DVFS-aware energy roofline on the simulated
+// Jetson TK1 and use it to predict the energy of a kernel and to choose
+// an energy-optimal DVFS setting.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A simulated Jetson TK1 and the calibration pipeline: run the
+	// intensity microbenchmarks over 16 DVFS settings, measure them with
+	// the simulated PowerMon 2, and fit Eq. 9 by NNLS.
+	dev := tegra.NewDevice()
+	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := cal.Model
+	fmt.Printf("Fitted energy model from %d measurements.\n", len(cal.Samples))
+	fmt.Printf("Holdout validation error: %.2f%% mean\n\n", cal.Holdout.Percent().Mean)
+
+	// 2. Describe a kernel by its performance-counter profile — here,
+	// a double-precision stencil-like kernel: 2 G DP FMA, 3 G integer
+	// ops, 400 M words of L2 traffic, 100 M words of DRAM traffic.
+	kernel := counters.Profile{
+		DPFMA:     2e9,
+		Int:       3e9,
+		L2Words:   4e8,
+		DRAMWords: 1e8,
+	}
+
+	// 3. Predict energy at two settings, using the device's measured
+	// execution times.
+	for _, s := range []dvfs.Setting{dvfs.MaxSetting(), dvfs.MustSetting(396, 528)} {
+		exec := dev.Execute(tegra.Workload{Profile: kernel, Occupancy: 0.5}, s)
+		parts := model.PredictParts(kernel, s, exec.Time)
+		fmt.Printf("At %v:\n", s)
+		fmt.Printf("  time %.3f s, predicted energy %.2f J\n", exec.Time, parts.Total())
+		fmt.Printf("  breakdown: compute %.1f%%, data %.1f%%, constant %.1f%%\n",
+			100*parts.Compute()/parts.Total(), 100*parts.Data()/parts.Total(),
+			100*parts.Constant/parts.Total())
+	}
+
+	// 4. Autotune: pick the energy-minimal setting over the whole grid.
+	var best dvfs.Setting
+	bestE := 0.0
+	for i, s := range dvfs.Grid() {
+		exec := dev.Execute(tegra.Workload{Profile: kernel, Occupancy: 0.5}, s)
+		if e := model.Predict(kernel, s, exec.Time); i == 0 || e < bestE {
+			best, bestE = s, e
+		}
+	}
+	fmt.Printf("\nModel-chosen energy-optimal setting: %v (predicted %.2f J)\n", best, bestE)
+}

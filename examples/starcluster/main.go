@@ -1,0 +1,84 @@
+// starcluster: a short gravitational n-body simulation driven by the
+// FMM (internal/nbody), with conservation diagnostics and the per-step
+// energy cost the simulated Jetson TK1 would pay at two DVFS settings.
+//
+// Run with:
+//
+//	go run ./examples/starcluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fmm"
+	"dvfsroofline/internal/nbody"
+	"dvfsroofline/internal/tegra"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const n = 8000
+	pos := fmm.GeneratePoints(fmm.Plummer, n, 55)
+	vel := make([]fmm.Point, n)
+	mass := make([]float64, n)
+	for i := range mass {
+		mass[i] = 1.0 / n
+	}
+	sys, err := nbody.NewSystem(pos, vel, mass, 0.02, fmm.Options{Q: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e0, err := sys.TotalEnergy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Cold-collapse of a %d-star Plummer cluster (FMM forces):\n", n)
+	fmt.Printf("  step 0: E = %.4f, K = %.4f\n", e0, sys.KineticEnergy())
+
+	const steps = 10
+	for i := 1; i <= steps; i++ {
+		if err := sys.Step(5e-4); err != nil {
+			log.Fatal(err)
+		}
+		if i%5 == 0 {
+			e, err := sys.TotalEnergy()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  step %d: E = %.4f (drift %+.2e), K = %.4f\n",
+				i, e, (e-e0)/e0, sys.KineticEnergy())
+		}
+	}
+	p := sys.Momentum()
+	fmt.Printf("  net momentum after %d steps: %.2e (exactly 0 in exact arithmetic)\n\n",
+		steps, p.Norm())
+
+	// Energy cost per force evaluation on the TK1, via the fitted model.
+	dev := tegra.NewDevice()
+	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := fmm.EvaluateGrad(sys.Pos, sys.Mass, sys.Opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Per-step cost on the simulated Jetson TK1 (2 force evaluations/step):")
+	for _, s := range []dvfs.Setting{dvfs.MaxSetting(), dvfs.MustSetting(540, 528)} {
+		var dur float64
+		for _, ph := range fmm.Phases() {
+			prof := res.Profiles[ph]
+			if prof.Instructions() == 0 && prof.Accesses() == 0 {
+				continue
+			}
+			dur += dev.Execute(tegra.Workload{Profile: prof, Occupancy: ph.Occupancy()}, s).Time
+		}
+		e := cal.Model.Predict(res.Profiles.Total(), s, dur)
+		fmt.Printf("  %v: %.3f s and %.2f J per evaluation\n", s, dur, e)
+	}
+}

@@ -1,0 +1,3 @@
+module dvfsroofline
+
+go 1.22

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/stats"
+)
+
+// Candidate is one DVFS configuration of a kernel in an autotuning sweep:
+// the kernel's profile, its measured execution time at that setting, and
+// its measured energy. MeasuredEnergy serves as the experimental ground
+// truth for scoring strategies; the model strategy never reads it.
+type Candidate struct {
+	Setting        dvfs.Setting
+	Profile        counters.Profile
+	Time           float64
+	MeasuredEnergy float64
+}
+
+// PickModelMinEnergy returns the index of the candidate the model
+// predicts to consume the least energy (§II-E, "our model").
+func (m *Model) PickModelMinEnergy(cands []Candidate) int {
+	if len(cands) == 0 {
+		panic("core: empty candidate list")
+	}
+	best, bestE := 0, 0.0
+	for i, c := range cands {
+		e := m.Predict(c.Profile, c.Setting, c.Time)
+		if i == 0 || e < bestE {
+			best, bestE = i, e
+		}
+	}
+	return best
+}
+
+// PickTimeOracle returns the index of the fastest candidate — the
+// race-to-halt baseline the paper calls the "time oracle". Ties (to one
+// part in 10⁹) break toward the higher clock frequencies: race-to-halt's
+// prescription is to run everything as fast as possible.
+func PickTimeOracle(cands []Candidate) int {
+	if len(cands) == 0 {
+		panic("core: empty candidate list")
+	}
+	best := 0
+	for i, c := range cands {
+		b := cands[best]
+		switch {
+		case c.Time < b.Time*(1-1e-9):
+			best = i
+		case c.Time <= b.Time*(1+1e-9):
+			// Effectively tied on time: prefer the faster clocks.
+			if c.Setting.Core.FreqMHz > b.Setting.Core.FreqMHz ||
+				(c.Setting.Core.FreqMHz == b.Setting.Core.FreqMHz &&
+					c.Setting.Mem.FreqMHz > b.Setting.Mem.FreqMHz) {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// PickMeasuredMin returns the index with the experimentally measured
+// minimum energy — the ground truth both strategies are scored against.
+func PickMeasuredMin(cands []Candidate) int {
+	if len(cands) == 0 {
+		panic("core: empty candidate list")
+	}
+	best := 0
+	for i, c := range cands {
+		if c.MeasuredEnergy < cands[best].MeasuredEnergy {
+			best = i
+		}
+	}
+	return best
+}
+
+// TuneOutcome scores one strategy on one kernel sweep.
+type TuneOutcome struct {
+	Pick       int     // candidate index the strategy chose
+	Best       int     // candidate index with measured-minimum energy
+	Mispredict bool    // strategy picked a non-minimal configuration
+	EnergyLost float64 // fraction of extra energy over the measured minimum
+}
+
+// scoreOutcome evaluates a pick against the measured minimum.
+func scoreOutcome(cands []Candidate, pick int) TuneOutcome {
+	best := PickMeasuredMin(cands)
+	out := TuneOutcome{Pick: pick, Best: best}
+	minE := cands[best].MeasuredEnergy
+	pickE := cands[pick].MeasuredEnergy
+	if pickE > minE {
+		out.Mispredict = true
+		out.EnergyLost = (pickE - minE) / minE
+	}
+	return out
+}
+
+// StrategyStats aggregates a strategy over many kernel sweeps — one row
+// pair of the paper's Table II.
+type StrategyStats struct {
+	Cases          int           // number of kernel sweeps evaluated
+	Mispredictions int           // sweeps where the pick was not the measured minimum
+	Lost           stats.Summary // energy lost (fraction) over mispredicted sweeps
+}
+
+// LostPercent returns the energy-lost summary scaled to percent, as
+// Table II prints it.
+func (s StrategyStats) LostPercent() stats.Summary {
+	return stats.Summary{
+		N:      s.Lost.N,
+		Mean:   s.Lost.Mean * 100,
+		Stddev: s.Lost.Stddev * 100,
+		Min:    s.Lost.Min * 100,
+		Max:    s.Lost.Max * 100,
+	}
+}
+
+func (s StrategyStats) String() string {
+	lp := s.LostPercent()
+	return fmt.Sprintf("%d (out of %d) mispredictions, energy lost mean=%.2f%% min=%.2f%% max=%.2f%%",
+		s.Mispredictions, s.Cases, lp.Mean, lp.Min, lp.Max)
+}
+
+// Picker selects one candidate index from a sweep.
+type Picker func(cands []Candidate) int
+
+// EvaluateStrategy scores a picker over a set of kernel sweeps (one sweep
+// per intensity, as in Table II). Energy-lost statistics summarize only
+// the mispredicted sweeps, matching the table's definition.
+func EvaluateStrategy(sweeps [][]Candidate, pick Picker) StrategyStats {
+	var out StrategyStats
+	var losses []float64
+	for _, cands := range sweeps {
+		o := scoreOutcome(cands, pick(cands))
+		out.Cases++
+		if o.Mispredict {
+			out.Mispredictions++
+			losses = append(losses, o.EnergyLost)
+		}
+	}
+	out.Lost = stats.Summarize(losses)
+	return out
+}
+
+// TableIIRow holds the model-vs-time-oracle comparison for one
+// microbenchmark family.
+type TableIIRow struct {
+	Family string
+	Model  StrategyStats
+	Oracle StrategyStats
+}
+
+// CompareStrategies evaluates both Table II strategies on the same sweeps.
+func (m *Model) CompareStrategies(family string, sweeps [][]Candidate) TableIIRow {
+	return TableIIRow{
+		Family: family,
+		Model:  EvaluateStrategy(sweeps, m.PickModelMinEnergy),
+		Oracle: EvaluateStrategy(sweeps, PickTimeOracle),
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+// syntheticSweep builds a three-candidate sweep where candidate 1 is the
+// measured minimum, candidate 0 is fastest, and candidate 2 is worst on
+// both axes.
+func syntheticSweep() []Candidate {
+	p := counters.Profile{SP: 1e9, DRAMWords: 1e8}
+	return []Candidate{
+		{Setting: dvfs.MustSetting(852, 924), Profile: p, Time: 0.10, MeasuredEnergy: 1.20},
+		{Setting: dvfs.MustSetting(540, 528), Profile: p, Time: 0.15, MeasuredEnergy: 1.00},
+		{Setting: dvfs.MustSetting(72, 68), Profile: p, Time: 0.90, MeasuredEnergy: 4.00},
+	}
+}
+
+func TestPickTimeOracle(t *testing.T) {
+	if got := PickTimeOracle(syntheticSweep()); got != 0 {
+		t.Errorf("time oracle picked %d, want 0 (fastest)", got)
+	}
+}
+
+func TestPickMeasuredMin(t *testing.T) {
+	if got := PickMeasuredMin(syntheticSweep()); got != 1 {
+		t.Errorf("measured min is %d, want 1", got)
+	}
+}
+
+func TestPickModelMinEnergyUsesPrediction(t *testing.T) {
+	// With the true model, the prediction ranks candidate 1 lowest when
+	// its energies are consistent with Eq. 9; build such a sweep from the
+	// model itself.
+	m := knownModel()
+	p := counters.Profile{SP: 1e9, DRAMWords: 2e8}
+	sweep := make([]Candidate, 0, 3)
+	for _, cfg := range [][3]float64{{852, 924, 0.10}, {540, 528, 0.18}, {72, 68, 1.4}} {
+		s := dvfs.MustSetting(cfg[0], cfg[1])
+		sweep = append(sweep, Candidate{
+			Setting: s, Profile: p, Time: cfg[2],
+			MeasuredEnergy: m.Predict(p, s, cfg[2]),
+		})
+	}
+	pick := m.PickModelMinEnergy(sweep)
+	if pick != PickMeasuredMin(sweep) {
+		t.Errorf("model pick %d disagrees with its own energy ranking %d", pick, PickMeasuredMin(sweep))
+	}
+}
+
+func TestPickersPanicOnEmpty(t *testing.T) {
+	m := knownModel()
+	for name, fn := range map[string]func(){
+		"model":  func() { m.PickModelMinEnergy(nil) },
+		"oracle": func() { PickTimeOracle(nil) },
+		"min":    func() { PickMeasuredMin(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on empty sweep", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEvaluateStrategyCountsAndLoss(t *testing.T) {
+	sweep := syntheticSweep()
+	// A picker that always takes index 0 (fastest): mispredicts, losing
+	// (1.20-1.00)/1.00 = 20%.
+	st := EvaluateStrategy([][]Candidate{sweep, sweep}, func([]Candidate) int { return 0 })
+	if st.Cases != 2 || st.Mispredictions != 2 {
+		t.Fatalf("stats = %+v, want 2 cases 2 mispredictions", st)
+	}
+	if math.Abs(st.Lost.Mean-0.20) > 1e-12 {
+		t.Errorf("mean energy lost = %v, want 0.20", st.Lost.Mean)
+	}
+	lp := st.LostPercent()
+	if math.Abs(lp.Mean-20) > 1e-9 {
+		t.Errorf("LostPercent mean = %v, want 20", lp.Mean)
+	}
+	// A perfect picker: no mispredictions, empty loss summary.
+	st = EvaluateStrategy([][]Candidate{sweep}, PickMeasuredMin)
+	if st.Mispredictions != 0 || st.Lost.N != 0 {
+		t.Errorf("perfect picker scored %+v", st)
+	}
+}
+
+func TestCompareStrategiesRowShape(t *testing.T) {
+	m := knownModel()
+	row := m.CompareStrategies("Synthetic", [][]Candidate{syntheticSweep()})
+	if row.Family != "Synthetic" {
+		t.Error("family label lost")
+	}
+	if row.Oracle.Mispredictions != 1 {
+		t.Errorf("oracle mispredictions = %d, want 1", row.Oracle.Mispredictions)
+	}
+	if row.Model.Cases != 1 || row.Oracle.Cases != 1 {
+		t.Error("case counts wrong")
+	}
+}
+
+func TestStrategyStatsString(t *testing.T) {
+	st := EvaluateStrategy([][]Candidate{syntheticSweep()}, func([]Candidate) int { return 2 })
+	s := st.String()
+	if s == "" || st.Mispredictions != 1 {
+		t.Errorf("unexpected stats: %q %+v", s, st)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/stats"
+)
+
+// CVResult reports a cross-validation run: the per-test-sample relative
+// errors (as fractions, not percent) and their summary.
+type CVResult struct {
+	Errors  []float64
+	Summary stats.Summary
+}
+
+// Percent returns the error summary scaled to percent, the unit the
+// paper quotes (e.g. "mean error of 6.56% with a standard deviation of
+// 3.80%").
+func (r CVResult) Percent() stats.Summary {
+	return stats.Summary{
+		N:      r.Summary.N,
+		Mean:   r.Summary.Mean * 100,
+		Stddev: r.Summary.Stddev * 100,
+		Min:    r.Summary.Min * 100,
+		Max:    r.Summary.Max * 100,
+	}
+}
+
+// validateFolds evaluates the model fit on each fold's training indices
+// against its test indices.
+func validateFolds(samples []Sample, folds []stats.Fold) (CVResult, error) {
+	var errs []float64
+	for fi, fold := range folds {
+		train := make([]Sample, len(fold.Train))
+		for i, idx := range fold.Train {
+			train[i] = samples[idx]
+		}
+		m, err := Fit(train)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("core: fold %d: %w", fi, err)
+		}
+		for _, idx := range fold.Test {
+			s := samples[idx]
+			pred := m.Predict(s.Profile, s.Setting, s.Time)
+			errs = append(errs, stats.RelErr(pred, s.Energy))
+		}
+	}
+	return CVResult{Errors: errs, Summary: stats.Summarize(errs)}, nil
+}
+
+// HoldoutValidate performs the paper's 2-fold "holdout method" (§II-D):
+// samples with trainMask[i] true train the model, the rest validate it.
+func HoldoutValidate(samples []Sample, trainMask []bool) (CVResult, error) {
+	if len(trainMask) != len(samples) {
+		return CVResult{}, fmt.Errorf("core: mask length %d does not match %d samples", len(trainMask), len(samples))
+	}
+	return validateFolds(samples, []stats.Fold{stats.Holdout(trainMask)})
+}
+
+// CrossValidate performs k-fold cross-validation with a deterministic
+// shuffle (§II-D uses k = 16).
+func CrossValidate(samples []Sample, k int, seed int64) (CVResult, error) {
+	return validateFolds(samples, stats.KFold(len(samples), k, seed))
+}
+
+// CrossValidateGrouped performs leave-one-group-out cross-validation:
+// groups[i] assigns sample i to a group (e.g. its DVFS setting), and each
+// fold holds one whole group out. With one group per calibration setting
+// this is the paper's 16-fold validation — it measures how the model
+// extrapolates to voltage/frequency settings it has never seen, which is
+// the generalization §II-D cares about.
+func CrossValidateGrouped(samples []Sample, groups []int) (CVResult, error) {
+	if len(groups) != len(samples) {
+		return CVResult{}, fmt.Errorf("core: %d group labels for %d samples", len(groups), len(samples))
+	}
+	idx := map[int][]int{}
+	var order []int
+	for i, g := range groups {
+		if _, ok := idx[g]; !ok {
+			order = append(order, g)
+		}
+		idx[g] = append(idx[g], i)
+	}
+	if len(order) < 2 {
+		return CVResult{}, fmt.Errorf("core: grouped CV needs at least 2 groups, got %d", len(order))
+	}
+	folds := make([]stats.Fold, 0, len(order))
+	for _, g := range order {
+		var f stats.Fold
+		f.Test = idx[g]
+		for _, h := range order {
+			if h != g {
+				f.Train = append(f.Train, idx[h]...)
+			}
+		}
+		folds = append(folds, f)
+	}
+	return validateFolds(samples, folds)
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+// paperModel carries the ground-truth constants of DESIGN.md §5.
+func paperModel() *core.Model {
+	return &core.Model{
+		SPpJ: 27.35, DPpJ: 131.08, IntpJ: 56.55, SMpJ: 33.36, L2pJ: 85.00, DRAMpJ: 369.57,
+		C1Proc: 2.70, C1Mem: 3.80, PMisc: 0.15,
+	}
+}
+
+func ExampleModel_EpsAt() {
+	m := paperModel()
+	e := m.EpsAt(dvfs.MustSetting(852, 924))
+	fmt.Printf("SP %.1f pJ, DP %.1f pJ, DRAM %.1f pJ, const %.1f W\n",
+		e.SP, e.DP, e.DRAM, e.ConstPower)
+	// Output: SP 29.0 pJ, DP 139.1 pJ, DRAM 377.0 pJ, const 6.8 W
+}
+
+func ExampleModel_Predict() {
+	m := paperModel()
+	// A kernel: 1 G DP FMA, 2 G integer ops, 100 M DRAM words, 0.5 s.
+	p := counters.Profile{DPFMA: 1e9, Int: 2e9, DRAMWords: 1e8}
+	e := m.Predict(p, dvfs.MustSetting(852, 924), 0.5)
+	fmt.Printf("%.2f J\n", e)
+	// Output: 3.68 J
+}
+
+func ExamplePickTimeOracle() {
+	cands := []core.Candidate{
+		{Setting: dvfs.MustSetting(396, 528), Time: 0.9, MeasuredEnergy: 5.0},
+		{Setting: dvfs.MustSetting(852, 924), Time: 0.4, MeasuredEnergy: 5.5},
+	}
+	i := core.PickTimeOracle(cands)
+	fmt.Println("race-to-halt picks", cands[i].Setting.Core.FreqMHz, "MHz")
+	fmt.Println("measured minimum is index", core.PickMeasuredMin(cands))
+	// Output:
+	// race-to-halt picks 852 MHz
+	// measured minimum is index 0
+}

@@ -1,0 +1,187 @@
+// Package core implements the paper's primary contribution: the
+// DVFS-aware energy roofline model (Eq. 9),
+//
+//	E = Σ_k W_k·ĉ0k·V² + (c1,proc·Vproc + c1,mem·Vmem + Pmisc)·T ,
+//
+// where each operation class k (single- and double-precision flops,
+// integer ops, shared/L1 words, L2 words, DRAM words) is charged a
+// dynamic energy proportional to the square of its domain's supply
+// voltage, and constant power scales linearly with the two domain
+// voltages.
+//
+// The package provides model instantiation by non-negative least squares
+// over measured samples (§II-C), energy prediction and per-component
+// breakdowns (§IV), cross-validation (§II-D), and the energy autotuner
+// with its race-to-halt "time oracle" baseline (§II-E).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/linalg"
+	"dvfsroofline/internal/nnls"
+)
+
+// Sample is one training/validation observation: an operation profile
+// executed at a DVFS setting, with its measured execution time and
+// measured energy. Samples typically come from the microbenchmark runner
+// or from profiled application phases.
+type Sample struct {
+	Profile counters.Profile
+	Setting dvfs.Setting
+	Time    float64 // seconds, measured
+	Energy  float64 // joules, measured
+}
+
+// Validate reports an error for samples the fit cannot consume.
+func (s Sample) Validate() error {
+	if s.Time <= 0 {
+		return fmt.Errorf("core: sample has non-positive time %g", s.Time)
+	}
+	if s.Energy <= 0 {
+		return fmt.Errorf("core: sample has non-positive energy %g", s.Energy)
+	}
+	return nil
+}
+
+// Model holds the fitted constants of Eq. 9. Dynamic coefficients are in
+// picojoules per operation per volt²; leakage coefficients in watts per
+// volt; PMisc in watts.
+type Model struct {
+	SPpJ   float64 // ĉ0 for single-precision flops
+	DPpJ   float64 // ĉ0 for double-precision flops (FMA, add and mul alike)
+	IntpJ  float64 // ĉ0 for integer instructions
+	SMpJ   float64 // ĉ0 for shared-memory/L1 words (one SRAM on Kepler)
+	L2pJ   float64 // ĉ0 for L2 words
+	DRAMpJ float64 // ĉ0 for DRAM words (scales with the memory voltage)
+
+	C1Proc float64 // processor leakage coefficient, W/V
+	C1Mem  float64 // memory leakage coefficient, W/V
+	PMisc  float64 // operation-independent miscellaneous power, W
+}
+
+// ErrTooFewSamples is returned when the training set cannot identify the
+// model's nine constants.
+var ErrTooFewSamples = errors.New("core: need at least 9 samples to fit the model")
+
+const numCoeffs = 9
+
+// designRow fills one row of the Eq. 9 design matrix. Count columns carry
+// a 1e-12 scale so the fitted dynamic coefficients come out in pJ/V².
+func designRow(row []float64, p counters.Profile, s dvfs.Setting, time float64) {
+	vp := s.Core.Volts()
+	vm := s.Mem.Volts()
+	vp2, vm2 := vp*vp, vm*vm
+	const scale = 1e-12
+	row[0] = p.SP * vp2 * scale
+	row[1] = (p.DPFMA + p.DPAdd + p.DPMul) * vp2 * scale
+	row[2] = p.Int * vp2 * scale
+	row[3] = (p.SharedWords + p.L1Words) * vp2 * scale
+	row[4] = p.L2Words * vp2 * scale
+	row[5] = p.DRAMWords * vm2 * scale
+	row[6] = vp * time
+	row[7] = vm * time
+	row[8] = time
+}
+
+// Fit instantiates the model from measured samples by non-negative least
+// squares, exactly as §II-C prescribes. Every coefficient is a physical
+// capacitance or leakage term, so negativity is excluded by construction.
+func Fit(samples []Sample) (*Model, error) {
+	if len(samples) < numCoeffs {
+		return nil, ErrTooFewSamples
+	}
+	a := linalg.NewMatrix(len(samples), numCoeffs)
+	b := make([]float64, len(samples))
+	for i, s := range samples {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		designRow(a.Row(i), s.Profile, s.Setting, s.Time)
+		b[i] = s.Energy
+	}
+	res, err := nnls.Solve(a, b, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: NNLS fit failed: %w", err)
+	}
+	x := res.X
+	return &Model{
+		SPpJ: x[0], DPpJ: x[1], IntpJ: x[2], SMpJ: x[3], L2pJ: x[4], DRAMpJ: x[5],
+		C1Proc: x[6], C1Mem: x[7], PMisc: x[8],
+	}, nil
+}
+
+// Eps returns the model's per-operation energies at a setting, in
+// picojoules — one derived row of the paper's Table I.
+type Eps struct {
+	SP, DP, Int, SM, L2, DRAM float64 // pJ per operation
+	ConstPower                float64 // W
+}
+
+// EpsAt evaluates the per-operation energy costs at setting s
+// (Eqs. 6–8): ε = ĉ0·V² with the processor voltage for on-chip classes
+// and the memory voltage for DRAM.
+func (m *Model) EpsAt(s dvfs.Setting) Eps {
+	vp := s.Core.Volts()
+	vm := s.Mem.Volts()
+	vp2, vm2 := vp*vp, vm*vm
+	return Eps{
+		SP:         m.SPpJ * vp2,
+		DP:         m.DPpJ * vp2,
+		Int:        m.IntpJ * vp2,
+		SM:         m.SMpJ * vp2,
+		L2:         m.L2pJ * vp2,
+		DRAM:       m.DRAMpJ * vm2,
+		ConstPower: m.ConstPower(s),
+	}
+}
+
+// ConstPower returns the model's constant power π0 at setting s (Eq. 8).
+func (m *Model) ConstPower(s dvfs.Setting) float64 {
+	return m.C1Proc*s.Core.Volts() + m.C1Mem*s.Mem.Volts() + m.PMisc
+}
+
+// Parts is an energy prediction decomposed by component, in joules. It
+// is the data behind the paper's Figures 6 and 7.
+type Parts struct {
+	SP, DP, Int  float64 // computation instructions
+	SM, L2, DRAM float64 // data movement (SM includes L1)
+	Constant     float64 // π0 · T
+}
+
+// Total returns the summed predicted energy.
+func (p Parts) Total() float64 {
+	return p.SP + p.DP + p.Int + p.SM + p.L2 + p.DRAM + p.Constant
+}
+
+// Compute returns the computation-instruction energy (Figure 7's
+// "Computation" bar).
+func (p Parts) Compute() float64 { return p.SP + p.DP + p.Int }
+
+// Data returns the data-movement energy (Figure 7's "Data" bar).
+func (p Parts) Data() float64 { return p.SM + p.L2 + p.DRAM }
+
+// PredictParts predicts the energy of executing profile p at setting s
+// with measured execution time t, decomposed by component.
+func (m *Model) PredictParts(p counters.Profile, s dvfs.Setting, t float64) Parts {
+	e := m.EpsAt(s)
+	const pJ = 1e-12
+	return Parts{
+		SP:       p.SP * e.SP * pJ,
+		DP:       (p.DPFMA + p.DPAdd + p.DPMul) * e.DP * pJ,
+		Int:      p.Int * e.Int * pJ,
+		SM:       (p.SharedWords + p.L1Words) * e.SM * pJ,
+		L2:       p.L2Words * e.L2 * pJ,
+		DRAM:     p.DRAMWords * e.DRAM * pJ,
+		Constant: e.ConstPower * t,
+	}
+}
+
+// Predict returns the total predicted energy in joules for profile p at
+// setting s with measured time t (Eq. 9 with the fitted constants).
+func (m *Model) Predict(p counters.Profile, s dvfs.Setting, t float64) float64 {
+	return m.PredictParts(p, s, t).Total()
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/microbench"
+	"dvfsroofline/internal/powermon"
+	"dvfsroofline/internal/tegra"
+)
+
+// knownModel returns a model with the paper's Table I ground-truth
+// constants (DESIGN.md §5).
+func knownModel() *Model {
+	return &Model{
+		SPpJ: 27.35, DPpJ: 131.08, IntpJ: 56.55, SMpJ: 33.36, L2pJ: 85.00, DRAMpJ: 369.57,
+		C1Proc: 2.70, C1Mem: 3.80, PMisc: 0.15,
+	}
+}
+
+// calibrationSamples runs the microbenchmark suite (or a subset) over the
+// paper's 16 calibration settings on the given device/meter.
+func calibrationSamples(t *testing.T, dev *tegra.Device, meter *powermon.Meter, benches []microbench.Benchmark) []Sample {
+	t.Helper()
+	r := &microbench.Runner{Device: dev, Meter: meter, TargetTime: 0.1}
+	var settings []dvfs.Setting
+	for _, cs := range dvfs.CalibrationSettings() {
+		settings = append(settings, cs.Setting)
+	}
+	raw, err := r.RunSuite(benches, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Sample, len(raw))
+	for i, s := range raw {
+		out[i] = Sample{Profile: s.Workload.Profile, Setting: s.Setting, Time: s.Time, Energy: s.Energy}
+	}
+	return out
+}
+
+// smallSuite returns a reduced benchmark set that still spans all six
+// operation classes, for fast tests.
+func smallSuite() []microbench.Benchmark {
+	var out []microbench.Benchmark
+	for _, k := range microbench.Kinds() {
+		is := k.Intensities()
+		out = append(out,
+			microbench.Benchmark{Kind: k, Intensity: is[0]},
+			microbench.Benchmark{Kind: k, Intensity: is[len(is)/2]},
+			microbench.Benchmark{Kind: k, Intensity: is[len(is)-1]},
+		)
+	}
+	return out
+}
+
+func noiselessMeter() *powermon.Meter {
+	return powermon.NewMeter(powermon.Config{SampleRate: powermon.MaxSampleRate}, 1)
+}
+
+func TestFitRecoversGroundTruthOnIdealDevice(t *testing.T) {
+	// With the ideal device and a noiseless meter the NNLS fit must
+	// recover the hidden Table I constants almost exactly.
+	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessMeter(), smallSuite())
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := knownModel()
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"SPpJ", m.SPpJ, want.SPpJ, 0.02},
+		{"DPpJ", m.DPpJ, want.DPpJ, 0.02},
+		{"IntpJ", m.IntpJ, want.IntpJ, 0.02},
+		{"SMpJ", m.SMpJ, want.SMpJ, 0.02},
+		{"L2pJ", m.L2pJ, want.L2pJ, 0.02},
+		{"DRAMpJ", m.DRAMpJ, want.DRAMpJ, 0.02},
+		{"C1Proc", m.C1Proc, want.C1Proc, 0.10},
+		{"C1Mem", m.C1Mem, want.C1Mem, 0.10},
+	}
+	for _, c := range checks {
+		if rel := math.Abs(c.got-c.want) / c.want; rel > c.tol {
+			t.Errorf("%s = %v, want %v (rel err %.4f > %.2f)", c.name, c.got, c.want, rel, c.tol)
+		}
+	}
+}
+
+func TestFitOnNoisyDeviceStaysCalibrated(t *testing.T) {
+	// With realistic noise and the device's non-idealities, the full-
+	// suite fit must recover dynamic coefficients within ~18% of truth —
+	// the regime in which a printed Table I remains meaningful.
+	samples := calibrationSamples(t, tegra.NewDevice(),
+		powermon.NewMeter(powermon.DefaultConfig(), 7), microbench.Suite())
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := knownModel()
+	pairs := [][2]float64{
+		{m.SPpJ, want.SPpJ}, {m.DPpJ, want.DPpJ}, {m.IntpJ, want.IntpJ},
+		{m.SMpJ, want.SMpJ}, {m.L2pJ, want.L2pJ}, {m.DRAMpJ, want.DRAMpJ},
+	}
+	for i, p := range pairs {
+		if rel := math.Abs(p[0]-p[1]) / p[1]; rel > 0.18 {
+			t.Errorf("coefficient %d: got %v, want %v (rel %.3f)", i, p[0], p[1], rel)
+		}
+	}
+}
+
+func TestEpsAtReproducesTableIRows(t *testing.T) {
+	// The known model evaluated at Table I settings must reproduce the
+	// printed per-op energies (to printed precision).
+	m := knownModel()
+	e := m.EpsAt(dvfs.MustSetting(852, 924))
+	rows := []struct {
+		name      string
+		got, want float64
+	}{
+		{"SP", e.SP, 29.0}, {"DP", e.DP, 139.1}, {"Int", e.Int, 60.0},
+		{"SM", e.SM, 35.4}, {"L2", e.L2, 90.2}, {"DRAM", e.DRAM, 377.0},
+		{"pi0", e.ConstPower, 6.8},
+	}
+	for _, r := range rows {
+		if math.Abs(r.got-r.want) > 0.1 {
+			t.Errorf("%s = %.2f, Table I says %.1f", r.name, r.got, r.want)
+		}
+	}
+	e = m.EpsAt(dvfs.MustSetting(396, 204))
+	if math.Abs(e.SP-16.2) > 0.1 || math.Abs(e.DRAM-236.5) > 0.1 || math.Abs(e.ConstPower-5.2) > 0.1 {
+		t.Errorf("396/204 row wrong: %+v", e)
+	}
+}
+
+func TestPredictMatchesHandComputation(t *testing.T) {
+	m := knownModel()
+	s := dvfs.MustSetting(852, 924)
+	p := counters.Profile{DPFMA: 1e9, Int: 2e9, DRAMWords: 1e8}
+	tm := 0.5
+	e := m.EpsAt(s)
+	want := (1e9*e.DP + 2e9*e.Int + 1e8*e.DRAM) * 1e-12 // dynamic
+	want += e.ConstPower * tm
+	got := m.Predict(p, s, tm)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestPartsSumToTotal(t *testing.T) {
+	m := knownModel()
+	p := counters.Profile{SP: 1e8, DPFMA: 2e8, DPAdd: 1e7, DPMul: 1e7, Int: 5e8,
+		SharedWords: 3e8, L1Words: 1e8, L2Words: 5e7, DRAMWords: 2e7}
+	parts := m.PredictParts(p, dvfs.MustSetting(540, 528), 0.7)
+	sum := parts.Compute() + parts.Data() + parts.Constant
+	if math.Abs(sum-parts.Total())/parts.Total() > 1e-12 {
+		t.Errorf("Compute+Data+Constant = %v != Total %v", sum, parts.Total())
+	}
+	if parts.Constant <= 0 || parts.DP <= 0 || parts.SM <= 0 {
+		t.Errorf("expected positive parts: %+v", parts)
+	}
+}
+
+func TestL1ChargedAtSharedCost(t *testing.T) {
+	m := knownModel()
+	s := dvfs.MustSetting(852, 924)
+	a := m.Predict(counters.Profile{SharedWords: 1e9, SP: 1}, s, 0.1)
+	b := m.Predict(counters.Profile{L1Words: 1e9, SP: 1}, s, 0.1)
+	if math.Abs(a-b)/a > 1e-12 {
+		t.Errorf("L1 words charged differently from shared words: %v vs %v", a, b)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("expected error for empty sample set")
+	}
+	bad := make([]Sample, numCoeffs)
+	for i := range bad {
+		bad[i] = Sample{Profile: counters.Profile{SP: 1}, Setting: dvfs.MaxSetting(), Time: 0, Energy: 1}
+	}
+	if _, err := Fit(bad); err == nil {
+		t.Error("expected error for zero-time samples")
+	}
+}
+
+func TestPredictionEquationMatchesEq9Form(t *testing.T) {
+	// Doubling every operation count doubles the dynamic part but leaves
+	// the constant part unchanged; doubling time does the reverse.
+	m := knownModel()
+	s := dvfs.MustSetting(756, 924)
+	p := counters.Profile{DPFMA: 1e9, Int: 1e9, L2Words: 1e8, DRAMWords: 1e7}
+	base := m.PredictParts(p, s, 1.0)
+	doubleOps := m.PredictParts(p.Scale(2), s, 1.0)
+	if math.Abs(doubleOps.Compute()+doubleOps.Data()-2*(base.Compute()+base.Data())) > 1e-9 {
+		t.Error("dynamic energy not linear in operation counts")
+	}
+	if doubleOps.Constant != base.Constant {
+		t.Error("constant energy should not depend on counts")
+	}
+	doubleTime := m.PredictParts(p, s, 2.0)
+	if math.Abs(doubleTime.Constant-2*base.Constant) > 1e-12 {
+		t.Error("constant energy not linear in time")
+	}
+	if doubleTime.Compute() != base.Compute() {
+		t.Error("dynamic energy should not depend on time")
+	}
+}
+
+func TestFitDegenerateSingleSetting(t *testing.T) {
+	// All samples at one setting: the voltage columns are collinear with
+	// the time column, so some coefficients are unidentifiable. NNLS must
+	// still return a usable (non-negative) model that reproduces the
+	// training energies, rather than failing.
+	dev := tegra.NewIdealDevice()
+	r := &microbench.Runner{Device: dev, Meter: noiselessMeter(), TargetTime: 0.05}
+	s := dvfs.MaxSetting()
+	var samples []Sample
+	for _, k := range microbench.Kinds() {
+		for _, ai := range k.Intensities() {
+			smp, err := r.Run(microbench.Benchmark{Kind: k, Intensity: ai}, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples = append(samples, Sample{Profile: smp.Workload.Profile, Setting: s, Time: smp.Time, Energy: smp.Energy})
+		}
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatalf("degenerate fit failed: %v", err)
+	}
+	for _, c := range []float64{m.SPpJ, m.DPpJ, m.IntpJ, m.SMpJ, m.L2pJ, m.DRAMpJ, m.C1Proc, m.C1Mem, m.PMisc} {
+		if c < 0 {
+			t.Fatalf("negative coefficient in degenerate fit: %+v", *m)
+		}
+	}
+	// In-sample predictions must still be accurate.
+	var worst float64
+	for _, smp := range samples {
+		rel := math.Abs(m.Predict(smp.Profile, smp.Setting, smp.Time)-smp.Energy) / smp.Energy
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("degenerate fit in-sample error %.3f too large", worst)
+	}
+}

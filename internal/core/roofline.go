@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+// This file implements the energy-roofline analysis the DVFS-aware model
+// extends (the authors' prior IPDPS'13/'14 work, paper refs [2,3]): for
+// a kernel characterized only by its arithmetic intensity I — operations
+// per word of DRAM traffic — the model yields closed-form performance,
+// power and energy-efficiency curves and the machine's *balance points*,
+// the intensities at which a kernel transitions from memory-bound to
+// compute-bound in time and in energy.
+
+// OpClass selects the operation class of a roofline analysis.
+type OpClass int
+
+const (
+	// ClassSP analyzes single-precision flops.
+	ClassSP OpClass = iota
+	// ClassDP analyzes double-precision flops.
+	ClassDP
+	// ClassInt analyzes integer operations.
+	ClassInt
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case ClassSP:
+		return "SP"
+	case ClassDP:
+		return "DP"
+	case ClassInt:
+		return "Int"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(c))
+	}
+}
+
+// Machine carries the time-side peaks of the platform at one DVFS
+// setting: the peak operation throughput of the analyzed class and the
+// peak DRAM word bandwidth. (The energy-side costs come from the fitted
+// Model.)
+type Machine struct {
+	OpsPerSec   float64 // peak throughput of the op class, ops/s
+	WordsPerSec float64 // peak DRAM bandwidth, 32-bit words/s
+}
+
+// Validate reports an error for non-physical machines.
+func (m Machine) Validate() error {
+	if m.OpsPerSec <= 0 || m.WordsPerSec <= 0 {
+		return fmt.Errorf("core: machine peaks must be positive, got %+v", m)
+	}
+	return nil
+}
+
+// TimeBalance returns B_τ, the arithmetic intensity (ops per word) at
+// which execution time transitions from memory- to compute-bound:
+// below it the kernel is bandwidth-limited.
+func (m Machine) TimeBalance() float64 {
+	return m.OpsPerSec / m.WordsPerSec
+}
+
+// epsOf returns the model's per-op energy (pJ) for the class at s.
+func (m *Model) epsOf(c OpClass, s dvfs.Setting) float64 {
+	e := m.EpsAt(s)
+	switch c {
+	case ClassSP:
+		return e.SP
+	case ClassDP:
+		return e.DP
+	case ClassInt:
+		return e.Int
+	default:
+		panic(fmt.Sprintf("core: unknown op class %d", int(c)))
+	}
+}
+
+// EnergyBalance returns B_ε, the intensity at which a kernel spends as
+// much energy on DRAM traffic as on operations: ε_mem / ε_op. Below it,
+// data movement dominates the kernel's dynamic energy.
+func (m *Model) EnergyBalance(c OpClass, s dvfs.Setting) float64 {
+	e := m.EpsAt(s)
+	return e.DRAM / m.epsOf(c, s)
+}
+
+// RooflinePoint is one sample of the energy roofline curves at a given
+// arithmetic intensity, all per-op quantities normalized per operation.
+type RooflinePoint struct {
+	Intensity float64 // ops per DRAM word
+
+	TimePerOp   float64 // seconds, max(1/peak, 1/(I*BW))
+	OpsPerSec   float64 // attained performance (the classic roofline)
+	EnergyPerOp float64 // joules: ε_op + ε_mem/I + π0·TimePerOp
+	OpsPerJoule float64 // attained energy efficiency (the energy roofline)
+	Power       float64 // watts: EnergyPerOp / TimePerOp
+}
+
+// RooflineAt evaluates the roofline curves for intensity I at setting s.
+func (m *Model) RooflineAt(c OpClass, mach Machine, s dvfs.Setting, intensity float64) RooflinePoint {
+	if err := mach.Validate(); err != nil {
+		panic(err)
+	}
+	if intensity <= 0 {
+		panic(fmt.Sprintf("core: non-positive intensity %g", intensity))
+	}
+	const pJ = 1e-12
+	e := m.EpsAt(s)
+	tOp := math.Max(1/mach.OpsPerSec, 1/(intensity*mach.WordsPerSec))
+	eOp := m.epsOf(c, s)*pJ + e.DRAM*pJ/intensity + e.ConstPower*tOp
+	return RooflinePoint{
+		Intensity:   intensity,
+		TimePerOp:   tOp,
+		OpsPerSec:   1 / tOp,
+		EnergyPerOp: eOp,
+		OpsPerJoule: 1 / eOp,
+		Power:       eOp / tOp,
+	}
+}
+
+// Roofline samples the curves at the given intensities.
+func (m *Model) Roofline(c OpClass, mach Machine, s dvfs.Setting, intensities []float64) []RooflinePoint {
+	out := make([]RooflinePoint, len(intensities))
+	for i, x := range intensities {
+		out[i] = m.RooflineAt(c, mach, s, x)
+	}
+	return out
+}
+
+// EffectiveEnergyBalance returns the intensity at which *total* energy
+// per op (including constant energy, which depends on the time roofline)
+// is split evenly between operation energy and everything else. Unlike
+// EnergyBalance it accounts for constant power, which shifts the balance
+// right on platforms with high idle power — the effect that makes
+// race-to-halt nearly optimal for the paper's FMM.
+func (m *Model) EffectiveEnergyBalance(c OpClass, mach Machine, s dvfs.Setting) float64 {
+	const pJ = 1e-12
+	e := m.EpsAt(s)
+	opE := m.epsOf(c, s) * pJ
+	// Solve ε_mem/I + π0·t(I) = ε_op by bisection on I; the left side is
+	// strictly decreasing in I.
+	nonOp := func(i float64) float64 {
+		tOp := math.Max(1/mach.OpsPerSec, 1/(i*mach.WordsPerSec))
+		return e.DRAM*pJ/i + e.ConstPower*tOp
+	}
+	lo, hi := 1e-6, 1e9
+	if nonOp(hi) > opE {
+		return math.Inf(1) // constant power alone exceeds op energy
+	}
+	if nonOp(lo) < opE {
+		return lo
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := math.Sqrt(lo * hi)
+		if nonOp(mid) > opE {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// MachineFor derives the time-side peaks for a class at a setting from
+// per-cycle throughputs — a convenience for platforms described the way
+// internal/tegra describes the Tegra K1.
+func MachineFor(opsPerCycle, wordsPerCycle float64, s dvfs.Setting) Machine {
+	return Machine{
+		OpsPerSec:   opsPerCycle * s.Core.FreqHz(),
+		WordsPerSec: wordsPerCycle * s.Mem.FreqHz(),
+	}
+}
+
+// ProfileIntensity returns a profile's arithmetic intensity with respect
+// to one op class: class operations per DRAM word. It returns +Inf for
+// profiles without DRAM traffic.
+func ProfileIntensity(c OpClass, p counters.Profile) float64 {
+	var ops float64
+	switch c {
+	case ClassSP:
+		ops = p.SP
+	case ClassDP:
+		ops = p.DPFMA + p.DPAdd + p.DPMul
+	case ClassInt:
+		ops = p.Int
+	default:
+		panic(fmt.Sprintf("core: unknown op class %d", int(c)))
+	}
+	if p.DRAMWords == 0 {
+		return math.Inf(1)
+	}
+	return ops / p.DRAMWords
+}

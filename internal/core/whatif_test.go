@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+func prefetchScenario(usedFrac float64) PrefetchScenario {
+	return PrefetchScenario{
+		Profile: counters.Profile{
+			DPFMA:     3e8,
+			Int:       9e8,
+			DRAMWords: 5e8 / usedFrac,
+		},
+		UsedFraction:     usedFrac,
+		Slowdown:         1.25,
+		TimeWithPrefetch: 0.5,
+	}
+}
+
+func TestPrefetchAdviceHighUtilizationKeeps(t *testing.T) {
+	m := knownModel()
+	v, err := m.PrefetchAdvice(prefetchScenario(0.8), dvfs.MaxSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.KeepPrefetch {
+		t.Error("high utilization should favor prefetching")
+	}
+	// The verdict's decomposition must be internally consistent: the
+	// energy difference equals constant paid minus DRAM saved plus any
+	// dynamic-time-independent terms (zero here).
+	diff := v.WithoutPrefetchJ - v.WithPrefetchJ
+	if math.Abs(diff-(v.ConstantPaidJ-v.DRAMSavedJ)) > 1e-9 {
+		t.Errorf("decomposition inconsistent: diff %v vs paid-saved %v",
+			diff, v.ConstantPaidJ-v.DRAMSavedJ)
+	}
+}
+
+func TestPrefetchAdviceLowUtilizationDisables(t *testing.T) {
+	m := knownModel()
+	v, err := m.PrefetchAdvice(prefetchScenario(0.05), dvfs.MaxSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.KeepPrefetch {
+		t.Errorf("5%% utilization should favor disabling prefetch: %+v", v)
+	}
+	if v.DRAMSavedJ <= v.ConstantPaidJ {
+		t.Error("at 5% utilization, DRAM savings should exceed the constant-power cost")
+	}
+}
+
+func TestPrefetchBreakEvenMonotone(t *testing.T) {
+	m := knownModel()
+	s := dvfs.MaxSetting()
+	be, err := m.PrefetchBreakEven(prefetchScenario(0.4), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be <= 0 || be >= 1 {
+		t.Fatalf("break-even %v not interior; scenario should have a crossover", be)
+	}
+	// Consistency: slightly above the break-even keep, slightly below
+	// disable. (Rebuild the scenario at each fraction with constant used
+	// data, as PrefetchBreakEven does.)
+	check := func(frac float64) bool {
+		sc := prefetchScenario(0.4)
+		used := sc.Profile.DRAMWords * sc.UsedFraction
+		sc.UsedFraction = frac
+		sc.Profile.DRAMWords = used / frac
+		v, err := m.PrefetchAdvice(sc, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.KeepPrefetch
+	}
+	if !check(be * 1.2) {
+		t.Errorf("keep expected just above break-even %v", be)
+	}
+	if check(be * 0.8) {
+		t.Errorf("disable expected just below break-even %v", be)
+	}
+}
+
+func TestPrefetchBreakEvenGrowsWithSlowdown(t *testing.T) {
+	// A larger no-prefetch slowdown makes disabling costlier, pushing the
+	// break-even utilization lower.
+	m := knownModel()
+	s := dvfs.MaxSetting()
+	mild := prefetchScenario(0.4)
+	mild.Slowdown = 1.1
+	harsh := prefetchScenario(0.4)
+	harsh.Slowdown = 1.6
+	beMild, err := m.PrefetchBreakEven(mild, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beHarsh, err := m.PrefetchBreakEven(harsh, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(beHarsh < beMild) {
+		t.Errorf("break-even should fall with slowdown: mild %v, harsh %v", beMild, beHarsh)
+	}
+}
+
+func TestPrefetchScenarioValidation(t *testing.T) {
+	m := knownModel()
+	bad := []PrefetchScenario{
+		{UsedFraction: 0, Slowdown: 1.2, TimeWithPrefetch: 1},
+		{UsedFraction: 1.5, Slowdown: 1.2, TimeWithPrefetch: 1},
+		{UsedFraction: 0.5, Slowdown: 0.9, TimeWithPrefetch: 1},
+		{UsedFraction: 0.5, Slowdown: 1.2, TimeWithPrefetch: 0},
+	}
+	for i, s := range bad {
+		if _, err := m.PrefetchAdvice(s, dvfs.MaxSetting()); err == nil {
+			t.Errorf("scenario %d should be rejected", i)
+		}
+	}
+}

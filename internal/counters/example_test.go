@@ -1,0 +1,30 @@
+package counters_test
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/counters"
+)
+
+func ExampleDerive() {
+	// The paper's worked example: reads served by the L2 are the total
+	// L2 queries minus the bytes that came from DRAM.
+	events := counters.Set{
+		counters.L2Subp0TotalReadQueries: 1000, // x4 slices x32 B
+		counters.FBSubp0ReadSectors:      500,  // x32 B
+		counters.FBSubp1ReadSectors:      500,
+	}
+	p, err := counters.Derive(events)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("L2 words %.0f, DRAM words %.0f\n", p.L2Words, p.DRAMWords)
+	// Output: L2 words 24000, DRAM words 8000
+}
+
+func ExampleProfile_IntegerFraction() {
+	p := counters.Profile{DPFMA: 20, DPAdd: 10, DPMul: 10, Int: 60}
+	fmt.Printf("%.0f%% integer\n", 100*p.IntegerFraction())
+	// Output: 60% integer
+}

@@ -1,0 +1,114 @@
+package counters
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleEvents() Set {
+	return Set{
+		FlopsDPFMA:               100,
+		FlopsDPAdd:               40,
+		FlopsDPMul:               60,
+		InstInteger:              300,
+		FBSubp0ReadSectors:       10, // 320 B
+		FBSubp1ReadSectors:       30, // 960 B
+		L2Subp0TotalReadQueries:  50, // 50*4*32 = 6400 B total
+		L1GlobalLoadHit:          4,  // 512 B
+		L1SharedLoadTransactions: 8,  // 1024 B
+		L1SharedStoreTransaction: 2,  // 256 B
+		L2Subp0TotalWriteQueries: 5,  // 640 B
+	}
+}
+
+func TestByteDerivations(t *testing.T) {
+	s := sampleEvents()
+	if got := DRAMReadBytes(s); got != 1280 {
+		t.Errorf("DRAMReadBytes = %v, want 1280", got)
+	}
+	if got := L2TotalReadBytes(s); got != 6400 {
+		t.Errorf("L2TotalReadBytes = %v, want 6400", got)
+	}
+	hit, err := L2ReadHitBytes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != 6400-1280 {
+		t.Errorf("L2ReadHitBytes = %v, want %v", hit, 6400-1280)
+	}
+	if got := L1HitBytes(s); got != 512 {
+		t.Errorf("L1HitBytes = %v, want 512", got)
+	}
+	if got := SharedBytes(s); got != 1280 {
+		t.Errorf("SharedBytes = %v, want 1280", got)
+	}
+}
+
+func TestL2HitInconsistency(t *testing.T) {
+	s := Set{FBSubp0ReadSectors: 1000, L2Subp0TotalReadQueries: 1}
+	if _, err := L2ReadHitBytes(s); err == nil {
+		t.Error("expected inconsistency error")
+	}
+	if _, err := Summarize(s); err == nil {
+		t.Error("Summarize should propagate the inconsistency")
+	}
+}
+
+func TestValueEventsAndMetrics(t *testing.T) {
+	s := sampleEvents()
+	if v, err := Value(FBSubp0ReadSectors, s); err != nil || v != 10 {
+		t.Errorf("event value = %v, %v", v, err)
+	}
+	if v, err := Value(FlopsDPFMA, s); err != nil || v != 100 {
+		t.Errorf("metric value = %v, %v", v, err)
+	}
+	// Unrecorded event reads as zero.
+	if v, err := Value(GSTRequest, s); err != nil || v != 0 {
+		t.Errorf("absent event = %v, %v", v, err)
+	}
+	if _, err := Value("bogus_counter", s); err == nil {
+		t.Error("unknown counter accepted")
+	}
+}
+
+func TestSummarizeReport(t *testing.T) {
+	r, err := Summarize(sampleEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DPFMA != 100 || r.Int != 300 {
+		t.Errorf("instruction counts wrong: %+v", r)
+	}
+	if r.DRAMBytes != 1280 || r.L2HitBytes != 5120 || r.L1Bytes != 512 || r.SharedBytes != 1280 {
+		t.Errorf("byte traffic wrong: %+v", r)
+	}
+	if r.L2WriteBytes != 640 {
+		t.Errorf("L2 write bytes = %v, want 640", r.L2WriteBytes)
+	}
+}
+
+func TestSummarizeConsistentWithDerive(t *testing.T) {
+	// The Report's byte counts and Derive's word counts must agree.
+	s := sampleEvents()
+	r, err := Summarize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Derive(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.DRAMWords*WordBytes-r.DRAMBytes) > 1e-9 {
+		t.Error("DRAM bytes disagree between Summarize and Derive")
+	}
+	if math.Abs(p.SharedWords*WordBytes-r.SharedBytes) > 1e-9 {
+		t.Error("shared bytes disagree")
+	}
+	if math.Abs(p.L1Words*WordBytes-r.L1Bytes) > 1e-9 {
+		t.Error("L1 bytes disagree")
+	}
+	// Derive folds write traffic into L2 words.
+	if math.Abs(p.L2Words*WordBytes-(r.L2HitBytes+r.L2WriteBytes)) > 1e-9 {
+		t.Error("L2 bytes disagree")
+	}
+}

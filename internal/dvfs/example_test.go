@@ -1,0 +1,27 @@
+package dvfs_test
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/dvfs"
+)
+
+func ExampleMustSetting() {
+	s := dvfs.MustSetting(852, 924)
+	fmt.Println(s)
+	fmt.Printf("core %.2f V, mem %.2f V\n", s.Core.Volts(), s.Mem.Volts())
+	// Output:
+	// core=852MHz@1030mV mem=924MHz@1010mV
+	// core 1.03 V, mem 1.01 V
+}
+
+func ExampleGrid() {
+	fmt.Println(len(dvfs.Grid()), "settings")
+	// Output: 105 settings
+}
+
+func ExampleCalibrationSettings() {
+	cs := dvfs.CalibrationSettings()
+	fmt.Println(len(cs), "settings,", cs[0].Type, cs[0].Setting.Core.FreqMHz, "MHz first")
+	// Output: 16 settings, T 852 MHz first
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/microbench"
+)
+
+func TestMeasuredRooflineMatchesModel(t *testing.T) {
+	dev, cal := calibrate(t)
+	pts, err := MeasuredRoofline(dev, cal.Model, testConfig(), microbench.Double, dvfs.MaxSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(microbench.Double.Intensities()) {
+		t.Fatalf("got %d points, want %d", len(pts), len(microbench.Double.Intensities()))
+	}
+	for _, p := range pts {
+		// Measured performance is bounded by the ideal roofline (the
+		// microbenchmarks run just under peak occupancy) and within ~20%
+		// of it.
+		if p.OpsPerSec > p.Predicted.OpsPerSec*1.01 {
+			t.Errorf("I=%.2f: measured %.3g ops/s exceeds the roofline %.3g",
+				p.Intensity, p.OpsPerSec, p.Predicted.OpsPerSec)
+		}
+		if p.OpsPerSec < p.Predicted.OpsPerSec*0.80 {
+			t.Errorf("I=%.2f: measured %.3g ops/s far below the roofline %.3g",
+				p.Intensity, p.OpsPerSec, p.Predicted.OpsPerSec)
+		}
+		// Energy efficiency agrees with the model's curve within the
+		// measurement-noise envelope. The prediction ignores the kernel's
+		// small integer loop overhead, so allow a slightly wider band.
+		if rel := math.Abs(p.OpsPerJoule-p.Predicted.OpsPerJoule) / p.Predicted.OpsPerJoule; rel > 0.25 {
+			t.Errorf("I=%.2f: measured %.3g ops/J vs predicted %.3g (rel %.2f)",
+				p.Intensity, p.OpsPerJoule, p.Predicted.OpsPerJoule, rel)
+		}
+		if p.Power <= 0 || p.Power > 30 {
+			t.Errorf("I=%.2f: implausible measured power %.1f W", p.Intensity, p.Power)
+		}
+	}
+	// The sweep must show the roofline shape: performance grows then
+	// saturates — the last two points differ by <5%, the first two by
+	// ~the intensity ratio.
+	n := len(pts)
+	if d := pts[n-1].OpsPerSec / pts[n-2].OpsPerSec; d > 1.05 {
+		t.Errorf("performance not saturated at high intensity (ratio %.3f)", d)
+	}
+	growth := pts[1].OpsPerSec / pts[0].OpsPerSec
+	want := pts[1].Intensity / pts[0].Intensity
+	if math.Abs(growth-want)/want > 0.1 {
+		t.Errorf("memory-bound growth %.3f, want ~%.3f", growth, want)
+	}
+}
+
+func TestMeasuredRooflineUnsupportedFamily(t *testing.T) {
+	dev, cal := calibrate(t)
+	if _, err := MeasuredRoofline(dev, cal.Model, testConfig(), microbench.Shared, dvfs.MaxSetting()); err == nil {
+		t.Error("cache family should be rejected")
+	}
+}
+
+func TestMeasuredRooflineEfficiencyPeaksNearBalance(t *testing.T) {
+	// Energy efficiency (ops/J) must be monotone non-decreasing with
+	// intensity and level off past the time balance — the defining
+	// energy-roofline shape.
+	dev, cal := calibrate(t)
+	pts, err := MeasuredRoofline(dev, cal.Model, testConfig(), microbench.Single, dvfs.MustSetting(540, 528))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].OpsPerJoule < pts[i-1].OpsPerJoule*0.93 {
+			t.Errorf("ops/J dropped at I=%.2f: %.3g after %.3g",
+				pts[i].Intensity, pts[i].OpsPerJoule, pts[i-1].OpsPerJoule)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/fmm"
+	"dvfsroofline/internal/powermon"
+	"dvfsroofline/internal/tegra"
+)
+
+// Phase-level energy attribution: the paper's stated purpose is to find
+// "where a program spends its energy". This experiment closes the loop
+// from the measurement side: segment the raw PowerMon trace of a phased
+// FMM run (blindly — the segmenter does not know the application),
+// integrate measured energy per phase window, and set it against the
+// model's per-phase prediction.
+
+// PhaseEnergy is one phase's window and energies.
+type PhaseEnergy struct {
+	Phase      fmm.Phase
+	Start, End float64 // seconds within the run
+	PredictedJ float64 // model prediction (counts + ε + π0·T)
+	MeasuredJ  float64 // integrated from the trace over [Start, End)
+}
+
+// PhaseAttribution is the outcome of AttributePhases.
+type PhaseAttribution struct {
+	Segments []powermon.Segment // blind segmentation of the trace
+	Phases   []PhaseEnergy      // per executed phase, in schedule order
+	TotalJ   float64            // measured total
+}
+
+// AttributePhases measures run's schedule at setting s, segments the
+// power trace, and attributes measured and predicted energy per phase.
+func AttributePhases(dev *tegra.Device, meter *powermon.Meter, model *core.Model, run *FMMRun, s dvfs.Setting) (*PhaseAttribution, error) {
+	sched := run.Schedule(dev, s)
+	meas, err := meter.Measure(sched.PowerAt, sched.Duration())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: attribute: %w", err)
+	}
+	segs, err := meter.SegmentTrace(meas, 0, 0.2)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: attribute: %w", err)
+	}
+
+	out := &PhaseAttribution{Segments: segs, TotalJ: meas.Energy}
+	cursor := 0.0
+	execIdx := 0
+	for _, ph := range fmm.Phases() {
+		p := run.Result.Profiles[ph]
+		if p.Instructions() == 0 && p.Accesses() == 0 {
+			continue
+		}
+		exec := sched.Execs[execIdx]
+		execIdx++
+		start, end := cursor, cursor+exec.Time
+		cursor = end
+
+		pe := PhaseEnergy{
+			Phase: ph,
+			Start: start,
+			End:   end,
+			// The model charges the phase its counted dynamic energy plus
+			// constant power over its own window.
+			PredictedJ: model.Predict(p, s, exec.Time),
+			MeasuredJ:  integrateSegments(segs, start, end),
+		}
+		out.Phases = append(out.Phases, pe)
+	}
+	return out, nil
+}
+
+// integrateSegments returns the energy the segmentation assigns to the
+// window [start, end), pro-rating segments that straddle the borders.
+func integrateSegments(segs []powermon.Segment, start, end float64) float64 {
+	var e float64
+	for _, s := range segs {
+		lo := s.Start
+		if start > lo {
+			lo = start
+		}
+		hi := s.End
+		if end < hi {
+			hi = end
+		}
+		if hi > lo {
+			e += s.MeanPower * (hi - lo)
+		}
+	}
+	return e
+}

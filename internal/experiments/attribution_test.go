@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/powermon"
+)
+
+func TestAttributePhases(t *testing.T) {
+	dev, cal, run := smallRun(t)
+	cfg := testConfig()
+	att, err := AttributePhases(dev, cfg.meter(21), cal.Model, run, dvfs.MaxSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(att.Phases) == 0 {
+		t.Fatal("no phases attributed")
+	}
+	if len(att.Segments) < 1 {
+		t.Fatal("no segments found")
+	}
+
+	// Phase windows must tile the run contiguously.
+	for i := 1; i < len(att.Phases); i++ {
+		if math.Abs(att.Phases[i].Start-att.Phases[i-1].End) > 1e-12 {
+			t.Errorf("phase %v does not start where %v ends",
+				att.Phases[i].Phase, att.Phases[i-1].Phase)
+		}
+	}
+
+	// Measured phase energies must sum to ~the measured total.
+	var sumM, sumP float64
+	for _, pe := range att.Phases {
+		sumM += pe.MeasuredJ
+		sumP += pe.PredictedJ
+		if pe.MeasuredJ <= 0 || pe.PredictedJ <= 0 {
+			t.Errorf("%v: non-positive energies %+v", pe.Phase, pe)
+		}
+	}
+	if rel := math.Abs(sumM-att.TotalJ) / att.TotalJ; rel > 0.02 {
+		t.Errorf("phase energies sum to %.3f vs total %.3f", sumM, att.TotalJ)
+	}
+
+	// Every substantial phase (>10% of the run) must agree between the
+	// blind measurement and the model within 20%.
+	for _, pe := range att.Phases {
+		if pe.End-pe.Start < 0.1*att.Phases[len(att.Phases)-1].End {
+			continue
+		}
+		rel := math.Abs(pe.MeasuredJ-pe.PredictedJ) / pe.MeasuredJ
+		if rel > 0.20 {
+			t.Errorf("%v: measured %.3f J vs predicted %.3f J (rel %.2f)",
+				pe.Phase, pe.MeasuredJ, pe.PredictedJ, rel)
+		}
+	}
+}
+
+func TestIntegrateSegmentsPartial(t *testing.T) {
+	segs := []powermon.Segment{
+		{Start: 0, End: 1, MeanPower: 10, Energy: 10},
+		{Start: 1, End: 2, MeanPower: 20, Energy: 20},
+	}
+	// A window straddling the boundary takes pro-rated shares.
+	got := integrateSegments(segs, 0.5, 1.5)
+	want := 10*0.5 + 20*0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("integrate = %v, want %v", got, want)
+	}
+	// Window outside all segments integrates to zero.
+	if integrateSegments(segs, 5, 6) != 0 {
+		t.Error("out-of-range window should integrate to 0")
+	}
+	// Full-range window returns total energy.
+	if got := integrateSegments(segs, 0, 2); math.Abs(got-30) > 1e-12 {
+		t.Errorf("full window = %v, want 30", got)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/tegra"
+)
+
+// Energy heatmap: the model evaluated over the full 105-setting DVFS
+// grid for one workload — the complete E(f_core, f_mem) surface behind
+// the §II-E autotuning decisions. Rows follow dvfs.CoreTable, columns
+// dvfs.MemTable.
+
+// HeatmapCell is one grid point of the surface.
+type HeatmapCell struct {
+	Setting    dvfs.Setting
+	Time       float64 // seconds, from the device's timing model
+	PredictedJ float64 // model prediction
+}
+
+// Heatmap holds the full surface and the locations of its minima.
+type Heatmap struct {
+	Cells [][]HeatmapCell // [core index][mem index]
+
+	MinEnergyCore, MinEnergyMem int // indices of the predicted-energy minimum
+	MinTimeCore, MinTimeMem     int // indices of the time minimum
+}
+
+// EnergyHeatmap evaluates the model across the whole DVFS grid for a
+// workload with the given occupancy.
+func EnergyHeatmap(dev *tegra.Device, model *core.Model, p counters.Profile, occupancy float64) (*Heatmap, error) {
+	w := tegra.Workload{Profile: p, Occupancy: occupancy}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: heatmap: %w", err)
+	}
+	h := &Heatmap{Cells: make([][]HeatmapCell, len(dvfs.CoreTable))}
+	for ci, cp := range dvfs.CoreTable {
+		h.Cells[ci] = make([]HeatmapCell, len(dvfs.MemTable))
+		for mi, mp := range dvfs.MemTable {
+			s := dvfs.Setting{Core: cp, Mem: mp}
+			exec := dev.Execute(w, s)
+			cell := HeatmapCell{
+				Setting:    s,
+				Time:       exec.Time,
+				PredictedJ: model.Predict(p, s, exec.Time),
+			}
+			h.Cells[ci][mi] = cell
+			if cell.PredictedJ < h.Cells[h.MinEnergyCore][h.MinEnergyMem].PredictedJ {
+				h.MinEnergyCore, h.MinEnergyMem = ci, mi
+			}
+			if cell.Time < h.Cells[h.MinTimeCore][h.MinTimeMem].Time {
+				h.MinTimeCore, h.MinTimeMem = ci, mi
+			}
+		}
+	}
+	return h, nil
+}
+
+// MinEnergy returns the predicted-energy-minimal cell.
+func (h *Heatmap) MinEnergy() HeatmapCell {
+	return h.Cells[h.MinEnergyCore][h.MinEnergyMem]
+}
+
+// MinTime returns the time-minimal cell.
+func (h *Heatmap) MinTime() HeatmapCell {
+	return h.Cells[h.MinTimeCore][h.MinTimeMem]
+}
+
+// RaceToHaltPenalty returns the fraction of extra energy the time-minimal
+// setting costs over the energy-minimal one — the grid-wide version of
+// Table II's "energy lost".
+func (h *Heatmap) RaceToHaltPenalty() float64 {
+	minE := h.MinEnergy().PredictedJ
+	return (h.MinTime().PredictedJ - minE) / minE
+}

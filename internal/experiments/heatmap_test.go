@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+func TestEnergyHeatmapShape(t *testing.T) {
+	dev, cal := calibrate(t)
+	// A compute-bound SP workload: time depends only on the core clock,
+	// so the energy-optimal memory frequency must be the lowest.
+	p := counters.Profile{SP: 4e10, Int: 8e8, DRAMWords: 1e8}
+	h, err := EnergyHeatmap(dev, cal.Model, p, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Cells) != len(dvfs.CoreTable) || len(h.Cells[0]) != len(dvfs.MemTable) {
+		t.Fatalf("heatmap is %dx%d, want %dx%d",
+			len(h.Cells), len(h.Cells[0]), len(dvfs.CoreTable), len(dvfs.MemTable))
+	}
+	// The optimal EMC clock is a low one — but not necessarily the
+	// lowest: at 68 MHz even this kernel's modest DRAM stream becomes
+	// the time bottleneck and constant energy grows past the savings.
+	if h.MinEnergyMem > 1 {
+		t.Errorf("compute-bound min-energy memory index %d, want 0 or 1 (a low EMC clock)", h.MinEnergyMem)
+	}
+	// Time-minimal cell must be at max core frequency.
+	if h.MinTimeCore != len(dvfs.CoreTable)-1 {
+		t.Errorf("min-time core index %d, want the top step", h.MinTimeCore)
+	}
+	// Race-to-halt penalty is positive: the grid-wide Table II story.
+	if pen := h.RaceToHaltPenalty(); pen <= 0 {
+		t.Errorf("race-to-halt penalty %v, want > 0 for a compute-bound kernel", pen)
+	}
+	// The energy minimum must be no more expensive than every cell.
+	minE := h.MinEnergy().PredictedJ
+	for _, row := range h.Cells {
+		for _, c := range row {
+			if c.PredictedJ < minE {
+				t.Fatalf("cell %v beats the reported minimum", c.Setting)
+			}
+		}
+	}
+}
+
+func TestEnergyHeatmapMemoryBound(t *testing.T) {
+	dev, cal := calibrate(t)
+	// A streaming workload: time depends only on the memory clock, so
+	// the energy-optimal core frequency is the lowest.
+	p := counters.Profile{SP: 2e8, Int: 4e8, DRAMWords: 4e9}
+	h, err := EnergyHeatmap(dev, cal.Model, p, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MinEnergyCore != 0 {
+		t.Errorf("memory-bound min-energy core index %d, want 0", h.MinEnergyCore)
+	}
+	if h.MinTimeMem != len(dvfs.MemTable)-1 {
+		t.Errorf("min-time memory index %d, want the top step", h.MinTimeMem)
+	}
+}
+
+func TestEnergyHeatmapInvalidWorkload(t *testing.T) {
+	dev, cal := calibrate(t)
+	if _, err := EnergyHeatmap(dev, cal.Model, counters.Profile{}, 0.9); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := EnergyHeatmap(dev, cal.Model, counters.Profile{SP: 1}, 0); err == nil {
+		t.Error("zero occupancy accepted")
+	}
+}

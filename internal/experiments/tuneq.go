@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/fmm"
+	"dvfsroofline/internal/tegra"
+)
+
+// Q tuning: the paper (§III-B) points out that the leaf capacity Q
+// shifts work between the compute-bound U phase and the bandwidth-bound
+// V phase, so "the FMM's overall arithmetic intensity can be tailored to
+// a particular platform". This experiment sweeps Q for a fixed problem
+// and uses the fitted energy model to pick the Q minimizing energy (or
+// time) on the simulated device.
+
+// QCandidate is one point of a Q sweep.
+type QCandidate struct {
+	Q           int
+	Time        float64 // seconds on the device at the sweep's setting
+	PredictedJ  float64 // model-predicted energy
+	UInstrShare float64 // U-phase share of instructions
+	DPIntensity float64 // DP ops per DRAM word
+	ConstShare  float64 // constant power share of predicted energy
+}
+
+// QSweepResult holds a full sweep plus the tuner's picks.
+type QSweepResult struct {
+	Setting    dvfs.Setting
+	Candidates []QCandidate
+	BestEnergy int // index of the minimum-predicted-energy Q
+	BestTime   int // index of the minimum-time Q
+}
+
+// TuneQ sweeps the given leaf capacities for an N-point uniform problem
+// at one DVFS setting, predicting time and energy for each.
+func TuneQ(dev *tegra.Device, model *core.Model, cfg Config, n int, qs []int, s dvfs.Setting) (*QSweepResult, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("experiments: empty Q sweep")
+	}
+	out := &QSweepResult{Setting: s}
+	for _, q := range qs {
+		run, err := RunFMMInput(FMMInput{ID: fmt.Sprintf("Q%d", q), N: n, Q: q}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sched := run.Schedule(dev, s)
+		dur := sched.Duration()
+		tot := run.TotalProfile()
+		parts := model.PredictParts(tot, s, dur)
+		instr := tot.Instructions()
+		cand := QCandidate{
+			Q:           q,
+			Time:        dur,
+			PredictedJ:  parts.Total(),
+			UInstrShare: run.Result.Profiles[fmm.PhaseU].Instructions() / instr,
+			DPIntensity: core.ProfileIntensity(core.ClassDP, tot),
+			ConstShare:  parts.Constant / parts.Total(),
+		}
+		out.Candidates = append(out.Candidates, cand)
+	}
+	for i, c := range out.Candidates {
+		if c.PredictedJ < out.Candidates[out.BestEnergy].PredictedJ {
+			out.BestEnergy = i
+		}
+		if c.Time < out.Candidates[out.BestTime].Time {
+			out.BestTime = i
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvfsroofline/internal/dvfs"
+)
+
+func TestTuneQSweep(t *testing.T) {
+	dev, cal := calibrate(t)
+	// For a uniform 16 Ki-point cloud the leaf level changes at Q ≈ 4,
+	// 32, 256, 2048 (powers of 8 per level); pick one Q per level so the
+	// sweep actually moves the tree.
+	res, err := TuneQ(dev, cal.Model, testConfig(), 16384, []int{8, 32, 256, 2048}, dvfs.MaxSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 4 {
+		t.Fatalf("got %d candidates, want 4", len(res.Candidates))
+	}
+	// §III-B: larger Q shifts work toward the compute-bound U phase, so
+	// the U instruction share and the DP intensity must rise
+	// monotonically over this range.
+	for i := 1; i < len(res.Candidates); i++ {
+		prev, cur := res.Candidates[i-1], res.Candidates[i]
+		if cur.UInstrShare <= prev.UInstrShare {
+			t.Errorf("Q=%d: U share %.3f not above Q=%d's %.3f",
+				cur.Q, cur.UInstrShare, prev.Q, prev.UInstrShare)
+		}
+		if cur.DPIntensity <= prev.DPIntensity {
+			t.Errorf("Q=%d: DP intensity %.1f not above Q=%d's %.1f",
+				cur.Q, cur.DPIntensity, prev.Q, prev.DPIntensity)
+		}
+	}
+	// Picks are indices into the sweep and internally consistent.
+	be, bt := res.Candidates[res.BestEnergy], res.Candidates[res.BestTime]
+	for _, c := range res.Candidates {
+		if c.PredictedJ < be.PredictedJ {
+			t.Error("BestEnergy is not the minimum-energy candidate")
+		}
+		if c.Time < bt.Time {
+			t.Error("BestTime is not the minimum-time candidate")
+		}
+	}
+	// Constant power dominates everywhere, so the energy-best Q should
+	// be (close to) the time-best Q — the paper's §IV-C logic applied to
+	// algorithm tuning.
+	if be.Time > bt.Time*1.15 {
+		t.Errorf("energy-best Q=%d is %.0f%% slower than time-best Q=%d",
+			be.Q, 100*(be.Time/bt.Time-1), bt.Q)
+	}
+	t.Logf("Q sweep at max setting: best energy Q=%d (%.2f J), best time Q=%d (%.3f s)",
+		be.Q, be.PredictedJ, bt.Q, bt.Time)
+}
+
+func TestTuneQEmpty(t *testing.T) {
+	dev, cal := calibrate(t)
+	if _, err := TuneQ(dev, cal.Model, testConfig(), 1024, nil, dvfs.MaxSetting()); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Package export writes the repository's experiment data as CSV files.
+// The paper emphasizes replicability — its measurement dataset and R
+// analysis scripts are public — and this package provides the equivalent
+// artifact: calibration samples, Table I/II rows and the Figure 5 cases
+// in a form any external analysis environment can load.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/experiments"
+)
+
+func f(x float64) string { return strconv.FormatFloat(x, 'g', 12, 64) }
+
+// WriteSamples writes model-training samples (one row per measurement):
+// the DVFS setting, the operation profile, and the measured time/energy.
+func WriteSamples(w io.Writer, samples []core.Sample) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"core_mhz", "core_mv", "mem_mhz", "mem_mv",
+		"sp", "dp_fma", "dp_add", "dp_mul", "int",
+		"shared_words", "l1_words", "l2_words", "dram_words",
+		"time_s", "energy_j",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		p := s.Profile
+		row := []string{
+			f(s.Setting.Core.FreqMHz), f(s.Setting.Core.VoltageMV),
+			f(s.Setting.Mem.FreqMHz), f(s.Setting.Mem.VoltageMV),
+			f(p.SP), f(p.DPFMA), f(p.DPAdd), f(p.DPMul), f(p.Int),
+			f(p.SharedWords), f(p.L1Words), f(p.L2Words), f(p.DRAMWords),
+			f(s.Time), f(s.Energy),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableI writes the derived Table I rows.
+func WriteTableI(w io.Writer, rows []experiments.TableIRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"type", "core_mhz", "core_mv", "mem_mhz", "mem_mv",
+		"sp_pj", "dp_pj", "int_pj", "sm_pj", "l2_pj", "mem_pj", "const_w",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		e := r.Eps
+		row := []string{
+			r.Type,
+			f(r.Setting.Core.FreqMHz), f(r.Setting.Core.VoltageMV),
+			f(r.Setting.Mem.FreqMHz), f(r.Setting.Mem.VoltageMV),
+			f(e.SP), f(e.DP), f(e.Int), f(e.SM), f(e.L2), f(e.DRAM), f(e.ConstPower),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableII writes the autotuning comparison rows.
+func WriteTableII(w io.Writer, rows []core.TableIIRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"family", "strategy", "mispredictions", "cases",
+		"lost_mean_pct", "lost_min_pct", "lost_max_pct",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, sr := range []struct {
+			name  string
+			stats core.StrategyStats
+		}{{"model", r.Model}, {"time_oracle", r.Oracle}} {
+			lp := sr.stats.LostPercent()
+			row := []string{
+				r.Family, sr.name,
+				strconv.Itoa(sr.stats.Mispredictions), strconv.Itoa(sr.stats.Cases),
+				f(lp.Mean), f(lp.Min), f(lp.Max),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5 writes the 64 validation cases.
+func WriteFigure5(w io.Writer, cases []experiments.FMMCase) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"setting", "input", "n", "q", "time_s",
+		"measured_j", "predicted_j", "rel_err",
+		"compute_j", "data_j", "constant_j",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range cases {
+		row := []string{
+			c.SettingID, c.Input.ID,
+			strconv.Itoa(c.Input.N), strconv.Itoa(c.Input.Q),
+			f(c.Time), f(c.MeasuredEnergy), f(c.PredictedEnergy), f(c.RelErr),
+			f(c.PredictedParts.Compute()), f(c.PredictedParts.Data()), f(c.PredictedParts.Constant),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSamples parses a CSV written by WriteSamples back into samples —
+// the round trip external analysts would make.
+func ReadSamples(r io.Reader) ([]core.Sample, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("export: empty CSV")
+	}
+	if len(records[0]) != 15 {
+		return nil, fmt.Errorf("export: expected 15 columns, got %d", len(records[0]))
+	}
+	out := make([]core.Sample, 0, len(records)-1)
+	for li, rec := range records[1:] {
+		vals := make([]float64, len(rec))
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("export: line %d column %d: %w", li+2, i+1, err)
+			}
+			vals[i] = v
+		}
+		var s core.Sample
+		s.Setting.Core.FreqMHz = vals[0]
+		s.Setting.Core.VoltageMV = vals[1]
+		s.Setting.Mem.FreqMHz = vals[2]
+		s.Setting.Mem.VoltageMV = vals[3]
+		s.Profile.SP = vals[4]
+		s.Profile.DPFMA = vals[5]
+		s.Profile.DPAdd = vals[6]
+		s.Profile.DPMul = vals[7]
+		s.Profile.Int = vals[8]
+		s.Profile.SharedWords = vals[9]
+		s.Profile.L1Words = vals[10]
+		s.Profile.L2Words = vals[11]
+		s.Profile.DRAMWords = vals[12]
+		s.Time = vals[13]
+		s.Energy = vals[14]
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/stats"
+)
+
+func testSamples() []core.Sample {
+	return []core.Sample{
+		{
+			Profile: counters.Profile{SP: 1e9, Int: 2e7, DRAMWords: 1e8},
+			Setting: dvfs.MustSetting(852, 924),
+			Time:    0.31, Energy: 2.71,
+		},
+		{
+			Profile: counters.Profile{DPFMA: 5e8, SharedWords: 3e8, DRAMWords: 2e7},
+			Setting: dvfs.MustSetting(396, 204),
+			Time:    0.62, Energy: 3.42,
+		},
+	}
+}
+
+func TestSamplesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := testSamples()
+	if err := WriteSamples(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("sample %d changed: %+v vs %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestSamplesFitAfterRoundTrip(t *testing.T) {
+	// The exported dataset must be usable to re-fit the model, as the
+	// paper's public dataset is.
+	dev := experiments.Config{Seed: 7}
+	_ = dev
+	var samples []core.Sample
+	// Build enough variety for a full-rank fit.
+	for i, cs := range dvfs.CalibrationSettings() {
+		p := counters.Profile{
+			SP: float64(1+i) * 1e8, DPFMA: float64(16-i) * 1e7,
+			Int: 5e7, SharedWords: float64(1+i%3) * 1e8,
+			L2Words: 4e7, DRAMWords: float64(2+i%5) * 1e7,
+		}
+		m := core.Model{SPpJ: 27, DPpJ: 131, IntpJ: 56, SMpJ: 33, L2pJ: 85, DRAMpJ: 370,
+			C1Proc: 2.7, C1Mem: 3.8, PMisc: 0.15}
+		tm := 0.2 + 0.01*float64(i)
+		samples = append(samples, core.Sample{
+			Profile: p, Setting: cs.Setting, Time: tm,
+			Energy: m.Predict(p, cs.Setting, tm),
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Fit(back); err != nil {
+		t.Fatalf("re-fit from exported CSV failed: %v", err)
+	}
+}
+
+func TestReadSamplesErrors(t *testing.T) {
+	if _, err := ReadSamples(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadSamples(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("wrong column count accepted")
+	}
+	bad := "core_mhz,core_mv,mem_mhz,mem_mv,sp,dp_fma,dp_add,dp_mul,int,shared_words,l1_words,l2_words,dram_words,time_s,energy_j\n" +
+		"852,1030,924,1010,x,0,0,0,0,0,0,0,0,1,1\n"
+	if _, err := ReadSamples(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+}
+
+func TestWriteTableI(t *testing.T) {
+	rows := []experiments.TableIRow{{
+		Type:    "T",
+		Setting: dvfs.MustSetting(852, 924),
+		Eps:     core.Eps{SP: 29, DP: 139.1, Int: 60, SM: 35.4, L2: 90.2, DRAM: 377, ConstPower: 6.8},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTableI(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"type", "852", "377", "6.8", "T"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I CSV missing %q:\n%s", want, s)
+		}
+	}
+	if lines := strings.Count(s, "\n"); lines != 2 {
+		t.Errorf("Table I CSV has %d lines, want 2", lines)
+	}
+}
+
+func TestWriteTableII(t *testing.T) {
+	rows := []core.TableIIRow{{
+		Family: "Single",
+		Model:  core.StrategyStats{Cases: 25, Mispredictions: 0},
+		Oracle: core.StrategyStats{Cases: 25, Mispredictions: 20, Lost: stats.Summarize([]float64{0.1, 0.2})},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTableII(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "\n") != 3 { // header + 2 strategy rows
+		t.Errorf("Table II CSV line count wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "time_oracle") || !strings.Contains(s, "Single") {
+		t.Errorf("Table II CSV missing content:\n%s", s)
+	}
+}
+
+func TestWriteFigure5(t *testing.T) {
+	cases := []experiments.FMMCase{{
+		Input:           experiments.FMMInput{ID: "F8", N: 65536, Q: 64},
+		SettingID:       "S1",
+		Setting:         dvfs.MaxSetting(),
+		Time:            0.9,
+		MeasuredEnergy:  7.2,
+		PredictedEnergy: 7.0,
+		RelErr:          0.028,
+		PredictedParts:  core.Parts{DP: 0.3, Int: 0.2, SM: 0.1, Constant: 6.4},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFigure5(&buf, cases); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"S1", "F8", "65536", "7.2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure 5 CSV missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package fft implements the fast Fourier transforms the FMM substrate
+// needs: an iterative radix-2 complex FFT, Bluestein's chirp-z algorithm
+// for arbitrary lengths, multidimensional transforms, and fast cyclic
+// convolution. The paper's V-list (M2L) phase is FFT-accelerated; this
+// package provides that acceleration for the kernel-independent FMM.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Forward computes the in-place forward DFT of x:
+// X[k] = sum_j x[j] * exp(-2*pi*i*j*k/n). Any length is supported: powers
+// of two use the radix-2 path, other lengths use Bluestein's algorithm.
+func Forward(x []complex128) {
+	transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n
+// normalization, so Inverse(Forward(x)) == x up to round-off.
+func Inverse(x []complex128) {
+	transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is the iterative Cooley-Tukey FFT for power-of-two lengths.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// w = exp(i*step); computed incrementally per butterfly group.
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution of
+// chirp-modulated sequences, which is evaluated with a power-of-two FFT.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[j] = exp(sign*i*pi*j^2/n). j^2 mod 2n keeps the argument
+	// bounded for large n.
+	w := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		jj := (int64(j) * int64(j)) % int64(2*n)
+		w[j] = cmplx.Rect(1, sign*math.Pi*float64(jj)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		a[j] = x[j] * w[j]
+		b[j] = cmplx.Conj(w[j])
+	}
+	for j := 1; j < n; j++ {
+		b[m-j] = cmplx.Conj(w[j])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for j := range a {
+		a[j] *= b[j]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for j := 0; j < n; j++ {
+		x[j] = a[j] * scale * w[j]
+	}
+}
+
+// Convolve returns the cyclic convolution of a and b, which must have the
+// same length n: out[k] = sum_j a[j]*b[(k-j) mod n].
+func Convolve(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fft: Convolve length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := len(a)
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	Forward(fa)
+	Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	Inverse(fa)
+	_ = n
+	return fa
+}
+
+// Dim3 describes the extents of a 3-D array stored in row-major order
+// with index (i, j, k) at position (i*Ny+j)*Nz+k.
+type Dim3 struct {
+	Nx, Ny, Nz int
+}
+
+// Len returns the total number of elements.
+func (d Dim3) Len() int { return d.Nx * d.Ny * d.Nz }
+
+// Index returns the linear index of (i, j, k).
+func (d Dim3) Index(i, j, k int) int { return (i*d.Ny+j)*d.Nz + k }
+
+// Forward3 computes the forward 3-D DFT of x in place.
+func Forward3(x []complex128, d Dim3) {
+	transform3(x, d, false)
+}
+
+// Inverse3 computes the normalized inverse 3-D DFT of x in place.
+func Inverse3(x []complex128, d Dim3) {
+	transform3(x, d, true)
+	n := complex(float64(d.Len()), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func transform3(x []complex128, d Dim3, inverse bool) {
+	if len(x) != d.Len() {
+		panic(fmt.Sprintf("fft: array length %d does not match dims %dx%dx%d", len(x), d.Nx, d.Ny, d.Nz))
+	}
+	// Transform along z (contiguous).
+	for i := 0; i < d.Nx; i++ {
+		for j := 0; j < d.Ny; j++ {
+			off := d.Index(i, j, 0)
+			transform(x[off:off+d.Nz], inverse)
+		}
+	}
+	// Transform along y (stride Nz).
+	buf := make([]complex128, d.Ny)
+	for i := 0; i < d.Nx; i++ {
+		for k := 0; k < d.Nz; k++ {
+			for j := 0; j < d.Ny; j++ {
+				buf[j] = x[d.Index(i, j, k)]
+			}
+			transform(buf, inverse)
+			for j := 0; j < d.Ny; j++ {
+				x[d.Index(i, j, k)] = buf[j]
+			}
+		}
+	}
+	// Transform along x (stride Ny*Nz).
+	bufX := make([]complex128, d.Nx)
+	for j := 0; j < d.Ny; j++ {
+		for k := 0; k < d.Nz; k++ {
+			for i := 0; i < d.Nx; i++ {
+				bufX[i] = x[d.Index(i, j, k)]
+			}
+			transform(bufX, inverse)
+			for i := 0; i < d.Nx; i++ {
+				x[d.Index(i, j, k)] = bufX[i]
+			}
+		}
+	}
+}
+
+// Convolve3 returns the cyclic 3-D convolution of a and b (both with
+// extents d): out[p] = sum_q a[q]*b[(p-q) mod d].
+func Convolve3(a, b []complex128, d Dim3) []complex128 {
+	if len(a) != d.Len() || len(b) != d.Len() {
+		panic("fft: Convolve3 length mismatch")
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	Forward3(fa, d)
+	Forward3(fb, d)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	Inverse3(fa, d)
+	return fa
+}
+
+// FlopEstimate returns the standard 5*n*log2(n) floating-point operation
+// estimate for a complex FFT of length n. The FMM's counter profile uses
+// it to attribute V-list work, mirroring how the paper's authors counted
+// their cuFFT-based translation phase.
+func FlopEstimate(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}

@@ -1,0 +1,69 @@
+package fmm
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// DirectSum evaluates the n-body sums exactly in O(N²) — the baseline the
+// FMM approximates and the reference for accuracy tests. The computation
+// is parallelized over targets.
+func DirectSum(points []Point, densities []float64, k Kernel, workers int) []float64 {
+	return DirectSumAt(points, points, densities, k, workers)
+}
+
+// DirectSumAt evaluates the exact potentials at arbitrary target points
+// due to the given sources — the O(N·M) reference for EvaluateAt.
+func DirectSumAt(targets, sources []Point, densities []float64, k Kernel, workers int) []float64 {
+	if len(sources) != len(densities) {
+		panic("fmm: DirectSumAt length mismatch")
+	}
+	if k == nil {
+		k = Laplace{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(targets)
+	out := make([]float64, n)
+	chunk := (n + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			evalSum(k, targets[lo:hi], out[lo:hi], sources, densities)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// RelErrL2 returns the relative L2 error ||approx - exact|| / ||exact||,
+// the accuracy metric used in FMM literature.
+func RelErrL2(approx, exact []float64) float64 {
+	if len(approx) != len(exact) {
+		panic("fmm: RelErrL2 length mismatch")
+	}
+	var num, den float64
+	for i := range approx {
+		d := approx[i] - exact[i]
+		num += d * d
+		den += exact[i] * exact[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,164 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+)
+
+// Tests for the distinct source/target evaluation path (the general form
+// of the paper's Eq. 10, with targets x_i and sources y_j).
+
+func TestEvaluateAtMatchesDirect(t *testing.T) {
+	sources := GeneratePoints(Plummer, 2500, 21)
+	targets := GeneratePoints(SphereSurface, 1800, 22)
+	dens := GenerateDensities(2500, 23)
+
+	res, err := EvaluateAt(targets, sources, dens, Options{Q: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Potentials) != len(targets) {
+		t.Fatalf("got %d potentials for %d targets", len(res.Potentials), len(targets))
+	}
+	exact := DirectSumAt(targets, sources, dens, nil, 0)
+	if e := RelErrL2(res.Potentials, exact); e > 2e-3 {
+		t.Errorf("dual-set FMM error %.2e vs direct", e)
+	}
+}
+
+func TestEvaluateAtDisjointRegions(t *testing.T) {
+	// Sources clustered in one corner, targets in the opposite corner:
+	// interactions are all far-field (V/W dominated), a stress test for
+	// the translation operators.
+	sources := GeneratePoints(Uniform, 1500, 31)
+	targets := GeneratePoints(Uniform, 1500, 32)
+	for i := range sources {
+		sources[i] = sources[i].Scale(0.3) // [0, 0.3)³
+	}
+	for i := range targets {
+		targets[i] = targets[i].Scale(0.3).Add(Point{0.7, 0.7, 0.7}) // [0.7, 1)³
+	}
+	dens := GenerateDensities(1500, 33)
+	res, err := EvaluateAt(targets, sources, dens, Options{Q: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectSumAt(targets, sources, dens, nil, 0)
+	if e := RelErrL2(res.Potentials, exact); e > 2e-3 {
+		t.Errorf("disjoint-region FMM error %.2e vs direct", e)
+	}
+}
+
+func TestEvaluateAtFewTargets(t *testing.T) {
+	// Many sources, a handful of probe targets — the typical "field
+	// evaluation" use.
+	sources := GeneratePoints(Uniform, 4000, 41)
+	dens := GenerateDensities(4000, 42)
+	targets := []Point{
+		{0.5, 0.5, 0.5}, {0.1, 0.9, 0.3}, {0.99, 0.01, 0.5},
+	}
+	res, err := EvaluateAt(targets, sources, dens, Options{Q: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectSumAt(targets, sources, dens, nil, 1)
+	for i := range targets {
+		rel := math.Abs(res.Potentials[i]-exact[i]) / math.Abs(exact[i])
+		if rel > 5e-3 {
+			t.Errorf("probe %d: FMM %v vs exact %v (rel %.2e)", i, res.Potentials[i], exact[i], rel)
+		}
+	}
+}
+
+func TestEvaluateAtSharedEqualsEvaluate(t *testing.T) {
+	// Passing the same set as sources and targets must agree with the
+	// single-set entry point (the trees differ only in bookkeeping).
+	pts := GeneratePoints(Plummer, 2000, 51)
+	dens := GenerateDensities(2000, 52)
+	a, err := Evaluate(pts, dens, Options{Q: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateAt(pts, pts, dens, Options{Q: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := RelErrL2(b.Potentials, a.Potentials); d > 1e-12 {
+		t.Errorf("shared-set EvaluateAt differs from Evaluate by %.2e", d)
+	}
+}
+
+func TestDualTreeValidates(t *testing.T) {
+	sources := GeneratePoints(Plummer, 3000, 61)
+	targets := GeneratePoints(Uniform, 2000, 62)
+	tree, err := BuildDualTree(targets, sources, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Error(err)
+	}
+	if tree.Shared {
+		t.Error("dual tree marked shared")
+	}
+	// Source and target counts at the root must cover both sets.
+	root := &tree.Nodes[tree.Root]
+	if root.NumSources() != 3000 || root.NumTargets() != 2000 {
+		t.Errorf("root covers %d sources and %d targets", root.NumSources(), root.NumTargets())
+	}
+}
+
+func TestDualTreeErrors(t *testing.T) {
+	pts := GeneratePoints(Uniform, 10, 1)
+	if _, err := BuildDualTree(nil, pts, 10, 20); err == nil {
+		t.Error("empty targets accepted")
+	}
+	if _, err := BuildDualTree(pts, nil, 10, 20); err == nil {
+		t.Error("empty sources accepted")
+	}
+	if _, err := EvaluateAt(pts, pts, make([]float64, 3), Options{}); err == nil {
+		t.Error("density length mismatch accepted")
+	}
+}
+
+func TestSharedTreeAliasesArrays(t *testing.T) {
+	pts := GeneratePoints(Uniform, 500, 71)
+	tree, err := BuildTree(pts, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Shared {
+		t.Fatal("single-set tree not marked shared")
+	}
+	// Trg must alias Src (no duplicated storage) and ranges must agree.
+	if &tree.Trg[0] != &tree.Src[0] {
+		t.Error("shared tree duplicates point storage")
+	}
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
+		if n.SrcStart != n.TrgStart || n.SrcEnd != n.TrgEnd {
+			t.Fatalf("node %d: shared ranges diverge", i)
+		}
+	}
+}
+
+func TestEvaluateAtProfileUsesBothSides(t *testing.T) {
+	// With 10x more sources than targets, U-phase evals must scale with
+	// ntrg*nsrc, not nsrc².
+	sources := GeneratePoints(Uniform, 5000, 81)
+	targets := GeneratePoints(Uniform, 500, 82)
+	dens := GenerateDensities(5000, 83)
+	res, err := EvaluateAt(targets, sources, dens, Options{Q: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uInstr := res.Profiles[PhaseU].Instructions()
+	// A shared-set run over the sources alone has far more U work.
+	resShared, err := Evaluate(sources, dens, Options{Q: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uInstr >= resShared.Profiles[PhaseU].Instructions() {
+		t.Error("U-phase work did not shrink with the smaller target set")
+	}
+}

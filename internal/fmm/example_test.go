@@ -1,0 +1,46 @@
+package fmm_test
+
+import (
+	"fmt"
+
+	"dvfsroofline/internal/fmm"
+)
+
+func ExampleEvaluate() {
+	pts := fmm.GeneratePoints(fmm.Uniform, 2000, 1)
+	dens := fmm.GenerateDensities(2000, 2)
+	res, err := fmm.Evaluate(pts, dens, fmm.Options{Q: 50})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	exact := fmm.DirectSum(pts, dens, nil, 0)
+	fmt.Println("error below 1e-3:", fmm.RelErrL2(res.Potentials, exact) < 1e-3)
+	fmt.Println("leaves:", res.Tree.NumLeaves())
+	// Output:
+	// error below 1e-3: true
+	// leaves: 64
+}
+
+func ExampleEvaluateAt() {
+	sources := fmm.GeneratePoints(fmm.Plummer, 3000, 3)
+	dens := fmm.GenerateDensities(3000, 4)
+	probes := []fmm.Point{{X: 0.5, Y: 0.5, Z: 0.5}}
+	res, err := fmm.EvaluateAt(probes, sources, dens, fmm.Options{Q: 64})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	exact := fmm.DirectSumAt(probes, sources, dens, nil, 1)
+	rel := (res.Potentials[0] - exact[0]) / exact[0]
+	if rel < 0 {
+		rel = -rel
+	}
+	fmt.Println("probe matches direct sum to 1e-3:", rel < 1e-3)
+	// Output: probe matches direct sum to 1e-3: true
+}
+
+func ExampleSurfaceCount() {
+	fmt.Println(fmm.SurfaceCount(4), fmm.SurfaceCount(6))
+	// Output: 56 152
+}

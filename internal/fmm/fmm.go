@@ -1,0 +1,428 @@
+package fmm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"dvfsroofline/internal/counters"
+)
+
+// Options configures an FMM evaluation.
+type Options struct {
+	// Q is the maximum number of points per leaf box (the paper's tuning
+	// parameter: large Q shifts work into the compute-bound U phase,
+	// small Q into the bandwidth-bound V phase). Default 128.
+	Q int
+	// SurfaceOrder is the number of equivalent-surface points per cube
+	// edge; accuracy grows with it. Default 4 (56 surface points).
+	SurfaceOrder int
+	// UseFFTM2L selects the FFT-accelerated V-list translation, the
+	// variant the paper's GPU implementation uses. Dense M2L is the
+	// default (it is faster at the default surface order).
+	UseFFTM2L bool
+	// UseBatchedM2L groups dense V-list translations by offset and
+	// applies each operator as one matrix-matrix product — the layout
+	// production KIFMM codes use. Ignored when UseFFTM2L is set.
+	UseBatchedM2L bool
+	// MaxLevel bounds tree depth. Default 20.
+	MaxLevel int
+	// Workers bounds evaluation parallelism. Default GOMAXPROCS.
+	Workers int
+	// Kernel is the interaction kernel. Default Laplace.
+	Kernel Kernel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Q == 0 {
+		o.Q = 128
+	}
+	if o.SurfaceOrder == 0 {
+		o.SurfaceOrder = 4
+	}
+	if o.MaxLevel == 0 {
+		o.MaxLevel = 20
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Kernel == nil {
+		o.Kernel = Laplace{}
+	}
+	return o
+}
+
+// Result holds the outcome of an FMM evaluation.
+type Result struct {
+	// Potentials[i] is the potential at input point i (original order).
+	Potentials []float64
+	// Tree is the octree used for the evaluation.
+	Tree *Tree
+	// Profiles hold the per-phase operation profiles — the performance-
+	// counter view of the run that feeds the energy model.
+	Profiles PhaseProfiles
+	// SetupEvals counts kernel evaluations spent precomputing operators
+	// (done on the host in the paper's implementation, hence kept out of
+	// the device phases).
+	SetupEvals int64
+	// Options echoes the effective (defaulted) options.
+	Options Options
+}
+
+// Evaluate computes the N-body potentials f(x_i) = Σ_j K(x_i, y_j)·s_j
+// (paper Eq. 10) for sources == targets == points, using the kernel-
+// independent FMM.
+func Evaluate(points []Point, densities []float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(points) != len(densities) {
+		return nil, fmt.Errorf("fmm: %d points but %d densities", len(points), len(densities))
+	}
+	tree, err := BuildTree(points, opt.Q, opt.MaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateOnTree(tree, densities, opt)
+}
+
+// EvaluateAt computes the potentials at distinct target points x_i due to
+// distinct source points y_j with densities s_j — the general form of the
+// paper's Eq. 10.
+func EvaluateAt(targets, sources []Point, densities []float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(sources) != len(densities) {
+		return nil, fmt.Errorf("fmm: %d sources but %d densities", len(sources), len(densities))
+	}
+	tree, err := BuildDualTree(targets, sources, opt.Q, opt.MaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateOnTree(tree, densities, opt)
+}
+
+// newEngine prepares an engine over a listed tree with permuted
+// densities and warmed operators.
+func newEngine(tree *Tree, densities []float64, opt Options) *engine {
+	tree.BuildLists()
+	e := &engine{
+		t:    tree,
+		opt:  opt,
+		ops:  newOperatorSet(opt.Kernel, opt.SurfaceOrder, tree.Nodes[tree.Root].Half),
+		dens: make([]float64, len(tree.Src)),
+		pot:  make([]float64, len(tree.Trg)),
+	}
+	for i, orig := range tree.SrcPerm {
+		e.dens[i] = densities[orig]
+	}
+	nsurf := SurfaceCount(opt.SurfaceOrder)
+	e.upEquiv = makeVecs(len(tree.Nodes), nsurf)
+	e.dnCheck = makeVecs(len(tree.Nodes), nsurf)
+	e.dnEquiv = makeVecs(len(tree.Nodes), nsurf)
+	e.byLevel = groupByLevel(tree)
+
+	// Warm the operator cache level by level before the parallel phases,
+	// so SetupEvals is deterministic and contention-free.
+	for lvl := range e.byLevel {
+		e.ops.at(lvl)
+	}
+	return e
+}
+
+// runTreePasses executes the four tree phases (UP, V, X, DOWN), leaving
+// every node's upward and downward equivalent densities populated.
+func (e *engine) runTreePasses() {
+	e.upward()
+	switch {
+	case e.opt.UseFFTM2L:
+		e.vPhaseFFT()
+	case e.opt.UseBatchedM2L:
+		e.vPhaseDenseBatched()
+	default:
+		e.vPhaseDense()
+	}
+	e.xPhase()
+	e.downward()
+}
+
+// result packages the engine's potentials and counted profiles.
+func (e *engine) result() *Result {
+	tree := e.t
+	out := make([]float64, len(tree.Trg))
+	for i, orig := range tree.TrgPerm {
+		out[orig] = e.pot[i]
+	}
+	nsurf := SurfaceCount(e.opt.SurfaceOrder)
+	tallies := countPhases(tree, nsurf, e.opt.UseFFTM2L, e.opt.SurfaceOrder)
+	var profiles PhaseProfiles
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		profiles[ph] = tallies[ph].Profile()
+	}
+	return &Result{
+		Potentials: out,
+		Tree:       tree,
+		Profiles:   profiles,
+		SetupEvals: e.ops.evalCount,
+		Options:    e.opt,
+	}
+}
+
+func evaluateOnTree(tree *Tree, densities []float64, opt Options) (*Result, error) {
+	e := newEngine(tree, densities, opt)
+	e.runTreePasses()
+	e.l2pPhase()
+	e.wPhase()
+	e.uPhase()
+	return e.result(), nil
+}
+
+// Workload converts a phase profile into a device workload with the
+// phase's characteristic occupancy.
+func (r *Result) Workload(ph Phase) counters.Profile { return r.Profiles[ph] }
+
+type engine struct {
+	t    *Tree
+	opt  Options
+	ops  *operatorSet
+	dens []float64 // densities, permuted order
+	pot  []float64 // potentials, permuted order
+
+	upEquiv [][]float64
+	dnCheck [][]float64
+	dnEquiv [][]float64
+	byLevel [][]int // node indices grouped by level, index = level
+}
+
+func makeVecs(n, m int) [][]float64 {
+	flat := make([]float64, n*m)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*m : (i+1)*m]
+	}
+	return out
+}
+
+func groupByLevel(t *Tree) [][]int {
+	depth := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Level > depth {
+			depth = t.Nodes[i].Level
+		}
+	}
+	out := make([][]int, depth+1)
+	for i := range t.Nodes {
+		lvl := t.Nodes[i].Level
+		out[lvl] = append(out[lvl], i)
+	}
+	return out
+}
+
+// parallelNodes runs fn over the given node indices with bounded
+// parallelism. All phases are structured so that fn writes only state
+// owned by its node, making this race-free.
+func (e *engine) parallelNodes(nodes []int, fn func(i int)) {
+	workers := e.opt.Workers
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		for _, i := range nodes {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(nodes))
+	for _, i := range nodes {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalSum adds Σ_j K(x - y_j)·q_j to each accumulator for targets x.
+func evalSum(k Kernel, targets []Point, acc []float64, sources []Point, q []float64) {
+	if _, ok := k.(Laplace); ok {
+		laplaceSum(targets, acc, sources, q)
+		return
+	}
+	for i, t := range targets {
+		var s float64
+		for j, y := range sources {
+			s += k.Eval(t.X-y.X, t.Y-y.Y, t.Z-y.Z) * q[j]
+		}
+		acc[i] += s
+	}
+}
+
+// laplaceSum is the concrete fast path for the Laplace kernel (avoids
+// interface dispatch in the innermost loop, mirroring the hand-tuned
+// inner kernels of the paper's CUDA implementation).
+func laplaceSum(targets []Point, acc []float64, sources []Point, q []float64) {
+	const inv4pi = 1.0 / (4 * 3.141592653589793)
+	for i := range targets {
+		tx, ty, tz := targets[i].X, targets[i].Y, targets[i].Z
+		var s float64
+		for j := range sources {
+			dx := tx - sources[j].X
+			dy := ty - sources[j].Y
+			dz := tz - sources[j].Z
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 > 0 {
+				s += q[j] / math.Sqrt(r2)
+			}
+		}
+		acc[i] += s * inv4pi
+	}
+}
+
+// upward runs the UP phase: P2M at leaves, then M2M level by level
+// toward the root.
+func (e *engine) upward() {
+	nsurf := len(e.ops.unitSurf)
+	check := e.ops
+	for lvl := len(e.byLevel) - 1; lvl >= 0; lvl-- {
+		ops := check.at(lvl)
+		e.parallelNodes(e.byLevel[lvl], func(i int) {
+			n := &e.t.Nodes[i]
+			chk := make([]float64, nsurf)
+			if n.Leaf {
+				ucPts := placeSurface(e.ops.unitSurf, n.Center, n.Half, checkRadius)
+				evalSum(e.opt.Kernel, ucPts, chk, e.t.Src[n.SrcStart:n.SrcEnd], e.dens[n.SrcStart:n.SrcEnd])
+			} else {
+				tmp := make([]float64, nsurf)
+				for _, c := range n.Children {
+					if c == nilNode {
+						continue
+					}
+					ops.m2m[e.t.Nodes[c].Octant].MulVecTo(tmp, e.upEquiv[c])
+					for k := range chk {
+						chk[k] += tmp[k]
+					}
+				}
+			}
+			ops.uc2ue.MulVecTo(e.upEquiv[i], chk)
+		})
+	}
+}
+
+// vPhaseDense applies dense M2L operators pair by pair.
+func (e *engine) vPhaseDense() {
+	nsurf := len(e.ops.unitSurf)
+	// Pre-build the needed M2L operators sequentially (deterministic
+	// eval counting), then apply in parallel.
+	for i := range e.t.Nodes {
+		n := &e.t.Nodes[i]
+		for _, v := range n.V {
+			e.ops.m2lFor(n.Level, vOffset(n, &e.t.Nodes[v]))
+		}
+	}
+	all := make([]int, 0, len(e.t.Nodes))
+	for i := range e.t.Nodes {
+		if len(e.t.Nodes[i].V) > 0 {
+			all = append(all, i)
+		}
+	}
+	e.parallelNodes(all, func(i int) {
+		n := &e.t.Nodes[i]
+		tmp := make([]float64, nsurf)
+		for _, v := range n.V {
+			m := e.ops.m2lFor(n.Level, vOffset(n, &e.t.Nodes[v]))
+			m.MulVecTo(tmp, e.upEquiv[v])
+			dst := e.dnCheck[i]
+			for k := range dst {
+				dst[k] += tmp[k]
+			}
+		}
+	})
+}
+
+// xPhase evaluates X-list source points directly onto downward check
+// surfaces.
+func (e *engine) xPhase() {
+	var nodes []int
+	for i := range e.t.Nodes {
+		if len(e.t.Nodes[i].X) > 0 {
+			nodes = append(nodes, i)
+		}
+	}
+	e.parallelNodes(nodes, func(i int) {
+		n := &e.t.Nodes[i]
+		dcPts := placeSurface(e.ops.unitSurf, n.Center, n.Half, equivRadius)
+		for _, x := range n.X {
+			a := &e.t.Nodes[x]
+			evalSum(e.opt.Kernel, dcPts, e.dnCheck[i], e.t.Src[a.SrcStart:a.SrcEnd], e.dens[a.SrcStart:a.SrcEnd])
+		}
+	})
+}
+
+// downward runs the DOWN tree pass: convert check to equivalent
+// densities and push to children (L2L), level by level.
+func (e *engine) downward() {
+	nsurf := len(e.ops.unitSurf)
+	for lvl := 0; lvl < len(e.byLevel); lvl++ {
+		ops := e.ops.at(lvl)
+		e.parallelNodes(e.byLevel[lvl], func(i int) {
+			n := &e.t.Nodes[i]
+			// Parent contribution (L2L) arrives via the parent's
+			// equivalent density, already computed on the previous level.
+			if n.Parent != nilNode {
+				tmp := make([]float64, nsurf)
+				parentOps := e.ops.at(n.Level - 1)
+				parentOps.l2l[n.Octant].MulVecTo(tmp, e.dnEquiv[n.Parent])
+				dst := e.dnCheck[i]
+				for k := range dst {
+					dst[k] += tmp[k]
+				}
+			}
+			ops.dc2de.MulVecTo(e.dnEquiv[i], e.dnCheck[i])
+		})
+	}
+}
+
+// l2pPhase evaluates each leaf's local expansion (downward equivalent
+// densities) at its target points. Together with downward it forms the
+// paper's DOWN phase.
+func (e *engine) l2pPhase() {
+	leaves := e.t.Leaves()
+	e.parallelNodes(leaves, func(i int) {
+		n := &e.t.Nodes[i]
+		dePts := placeSurface(e.ops.unitSurf, n.Center, n.Half, checkRadius)
+		evalSum(e.opt.Kernel, e.t.Trg[n.TrgStart:n.TrgEnd], e.pot[n.TrgStart:n.TrgEnd], dePts, e.dnEquiv[i])
+	})
+}
+
+// wPhase evaluates W-list upward equivalent densities at leaf targets.
+func (e *engine) wPhase() {
+	leaves := e.t.Leaves()
+	e.parallelNodes(leaves, func(i int) {
+		n := &e.t.Nodes[i]
+		for _, w := range n.W {
+			a := &e.t.Nodes[w]
+			uePts := placeSurface(e.ops.unitSurf, a.Center, a.Half, equivRadius)
+			evalSum(e.opt.Kernel, e.t.Trg[n.TrgStart:n.TrgEnd], e.pot[n.TrgStart:n.TrgEnd], uePts, e.upEquiv[w])
+		}
+	})
+}
+
+// uPhase computes the near-field directly, leaf against adjacent leaves.
+func (e *engine) uPhase() {
+	leaves := e.t.Leaves()
+	e.parallelNodes(leaves, func(i int) {
+		n := &e.t.Nodes[i]
+		targets := e.t.Trg[n.TrgStart:n.TrgEnd]
+		acc := e.pot[n.TrgStart:n.TrgEnd]
+		for _, u := range n.U {
+			a := &e.t.Nodes[u]
+			evalSum(e.opt.Kernel, targets, acc, e.t.Src[a.SrcStart:a.SrcEnd], e.dens[a.SrcStart:a.SrcEnd])
+		}
+	})
+}

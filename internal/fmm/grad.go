@@ -1,0 +1,158 @@
+package fmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gradient (force-field) evaluation. N-body applications usually need
+// ∇f(x_i) = Σ_j ∇ₓK(x_i, y_j)·s_j alongside the potentials; the KIFMM
+// delivers it for free by differentiating the far-field *representation*:
+// local expansions and W-list equivalent densities are smooth kernel sums,
+// so their target-gradients are exact kernel-gradient sums over the same
+// equivalent points, and the near field differentiates directly.
+
+// GradientKernel is implemented by kernels that can evaluate their
+// target-gradient ∇ₓK alongside the value.
+type GradientKernel interface {
+	Kernel
+	// EvalGrad returns K and the components of ∇ₓK for r = x - y. At
+	// r = 0 both must be zero (no self-interaction).
+	EvalGrad(dx, dy, dz float64) (k, gx, gy, gz float64)
+}
+
+// EvalGrad implements GradientKernel for the Laplace kernel:
+// ∇ₓ 1/(4π|r|) = -r / (4π|r|³).
+func (Laplace) EvalGrad(dx, dy, dz float64) (k, gx, gy, gz float64) {
+	r2 := dx*dx + dy*dy + dz*dz
+	if r2 == 0 {
+		return 0, 0, 0, 0
+	}
+	r := math.Sqrt(r2)
+	k = 1 / (4 * math.Pi * r)
+	g := -k / r2
+	return k, g * dx, g * dy, g * dz
+}
+
+// EvalGrad implements GradientKernel for the Yukawa kernel:
+// d/dr e^{-λr}/(4πr) = -(λ + 1/r)·K, directed along r̂.
+func (y Yukawa) EvalGrad(dx, dy, dz float64) (k, gx, gy, gz float64) {
+	r2 := dx*dx + dy*dy + dz*dz
+	if r2 == 0 {
+		return 0, 0, 0, 0
+	}
+	r := math.Sqrt(r2)
+	k = math.Exp(-y.Lambda*r) / (4 * math.Pi * r)
+	g := -(y.Lambda + 1/r) * k / r
+	return k, g * dx, g * dy, g * dz
+}
+
+// Gradient is ∇f at one target point.
+type Gradient [3]float64
+
+// EvaluateGrad computes both the potentials and their gradients at the
+// points (sources == targets), using the kernel-independent FMM. The
+// kernel must implement GradientKernel.
+func EvaluateGrad(points []Point, densities []float64, opt Options) (*Result, []Gradient, error) {
+	opt = opt.withDefaults()
+	if len(points) != len(densities) {
+		return nil, nil, fmt.Errorf("fmm: %d points but %d densities", len(points), len(densities))
+	}
+	if _, ok := opt.Kernel.(GradientKernel); !ok {
+		return nil, nil, fmt.Errorf("fmm: kernel %s does not implement GradientKernel", opt.Kernel.Name())
+	}
+	tree, err := BuildTree(points, opt.Q, opt.MaxLevel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return evaluateGradOnTree(tree, densities, opt)
+}
+
+// EvaluateGradAt is the distinct source/target variant of EvaluateGrad.
+func EvaluateGradAt(targets, sources []Point, densities []float64, opt Options) (*Result, []Gradient, error) {
+	opt = opt.withDefaults()
+	if len(sources) != len(densities) {
+		return nil, nil, fmt.Errorf("fmm: %d sources but %d densities", len(sources), len(densities))
+	}
+	if _, ok := opt.Kernel.(GradientKernel); !ok {
+		return nil, nil, fmt.Errorf("fmm: kernel %s does not implement GradientKernel", opt.Kernel.Name())
+	}
+	tree, err := BuildDualTree(targets, sources, opt.Q, opt.MaxLevel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return evaluateGradOnTree(tree, densities, opt)
+}
+
+func evaluateGradOnTree(tree *Tree, densities []float64, opt Options) (*Result, []Gradient, error) {
+	gk := opt.Kernel.(GradientKernel)
+
+	// Run the shared tree passes once; then evaluate the leaf phases in
+	// both potential and gradient form. The gradient of the far field is
+	// the kernel-gradient sum over the same smooth representations the
+	// potential used: the leaf's downward equivalent densities, each
+	// W-list member's upward equivalent densities, and the near field
+	// directly.
+	e := newEngine(tree, densities, opt)
+	e.runTreePasses()
+	e.l2pPhase()
+	e.wPhase()
+	e.uPhase()
+
+	grad := make([]Gradient, len(tree.Trg))
+	leaves := tree.Leaves()
+	e.parallelNodes(leaves, func(i int) {
+		n := &e.t.Nodes[i]
+		targets := tree.Trg[n.TrgStart:n.TrgEnd]
+		acc := grad[n.TrgStart:n.TrgEnd]
+		// L2P gradient: differentiate the local expansion.
+		dePts := placeSurface(e.ops.unitSurf, n.Center, n.Half, checkRadius)
+		gradSum(gk, targets, acc, dePts, e.dnEquiv[i])
+		// W-list gradient.
+		for _, w := range n.W {
+			a := &e.t.Nodes[w]
+			uePts := placeSurface(e.ops.unitSurf, a.Center, a.Half, equivRadius)
+			gradSum(gk, targets, acc, uePts, e.upEquiv[w])
+		}
+		// Near-field gradient.
+		for _, u := range n.U {
+			a := &e.t.Nodes[u]
+			gradSum(gk, targets, acc, tree.Src[a.SrcStart:a.SrcEnd], e.dens[a.SrcStart:a.SrcEnd])
+		}
+	})
+
+	// Back to the caller's target order.
+	out := make([]Gradient, len(tree.Trg))
+	for i, orig := range tree.TrgPerm {
+		out[orig] = grad[i]
+	}
+	return e.result(), out, nil
+}
+
+// gradSum accumulates Σ_j ∇ₓK(x - y_j)·q_j into each target's gradient.
+func gradSum(k GradientKernel, targets []Point, acc []Gradient, sources []Point, q []float64) {
+	for i := range targets {
+		tx, ty, tz := targets[i].X, targets[i].Y, targets[i].Z
+		var gx, gy, gz float64
+		for j := range sources {
+			_, dx, dy, dz := k.EvalGrad(tx-sources[j].X, ty-sources[j].Y, tz-sources[j].Z)
+			gx += dx * q[j]
+			gy += dy * q[j]
+			gz += dz * q[j]
+		}
+		acc[i][0] += gx
+		acc[i][1] += gy
+		acc[i][2] += gz
+	}
+}
+
+// DirectGradAt evaluates the exact gradients at targets — the O(N·M)
+// reference for the FMM gradients.
+func DirectGradAt(targets, sources []Point, densities []float64, k GradientKernel) []Gradient {
+	if len(sources) != len(densities) {
+		panic("fmm: DirectGradAt length mismatch")
+	}
+	out := make([]Gradient, len(targets))
+	gradSum(k, targets, out, sources, densities)
+	return out
+}

@@ -1,0 +1,147 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+)
+
+func gradRelErr(approx, exact []Gradient) float64 {
+	var num, den float64
+	for i := range approx {
+		for c := 0; c < 3; c++ {
+			d := approx[i][c] - exact[i][c]
+			num += d * d
+			den += exact[i][c] * exact[i][c]
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestLaplaceGradAnalytic(t *testing.T) {
+	// ∇ₓ 1/(4π|r|) at r = (2,0,0): -1/(4π·4) in x.
+	k, gx, gy, gz := Laplace{}.EvalGrad(2, 0, 0)
+	if math.Abs(k-1/(8*math.Pi)) > 1e-16 {
+		t.Errorf("K = %v", k)
+	}
+	want := -1 / (16 * math.Pi)
+	if math.Abs(gx-want) > 1e-16 || gy != 0 || gz != 0 {
+		t.Errorf("grad = (%v,%v,%v), want (%v,0,0)", gx, gy, gz, want)
+	}
+	// Self-interaction is zero.
+	if k, gx, _, _ := (Laplace{}).EvalGrad(0, 0, 0); k != 0 || gx != 0 {
+		t.Error("self-interaction gradient not zero")
+	}
+}
+
+func TestGradMatchesFiniteDifference(t *testing.T) {
+	// Property-style: the analytic kernel gradients agree with central
+	// finite differences of Eval.
+	kernels := []GradientKernel{Laplace{}, Yukawa{Lambda: 2.0}}
+	dirs := []Point{{0.7, -0.3, 0.4}, {1.5, 0.2, -0.9}, {-0.4, -0.4, 0.4}}
+	const h = 1e-6
+	for _, k := range kernels {
+		for _, d := range dirs {
+			_, gx, gy, gz := k.EvalGrad(d.X, d.Y, d.Z)
+			fdx := (k.Eval(d.X+h, d.Y, d.Z) - k.Eval(d.X-h, d.Y, d.Z)) / (2 * h)
+			fdy := (k.Eval(d.X, d.Y+h, d.Z) - k.Eval(d.X, d.Y-h, d.Z)) / (2 * h)
+			fdz := (k.Eval(d.X, d.Y, d.Z+h) - k.Eval(d.X, d.Y, d.Z-h)) / (2 * h)
+			for _, pair := range [][2]float64{{gx, fdx}, {gy, fdy}, {gz, fdz}} {
+				if math.Abs(pair[0]-pair[1]) > 1e-5*(1+math.Abs(pair[1])) {
+					t.Errorf("%s at %v: grad %v vs FD %v", k.Name(), d, pair[0], pair[1])
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateGradMatchesDirect(t *testing.T) {
+	pts := GeneratePoints(Plummer, 2000, 111)
+	dens := GenerateDensities(2000, 112)
+	res, grad, err := EvaluateGrad(pts, dens, Options{Q: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactPot := DirectSum(pts, dens, nil, 0)
+	if e := RelErrL2(res.Potentials, exactPot); e > 2e-3 {
+		t.Errorf("potential error %.2e", e)
+	}
+	exactGrad := DirectGradAt(pts, pts, dens, Laplace{})
+	if e := gradRelErr(grad, exactGrad); e > 5e-3 {
+		t.Errorf("gradient error %.2e", e)
+	}
+	t.Logf("gradient rel L2 error: %.2e", gradRelErr(grad, exactGrad))
+}
+
+func TestEvaluateGradAtDistinctSets(t *testing.T) {
+	sources := GeneratePoints(Uniform, 2500, 113)
+	targets := GeneratePoints(SphereSurface, 800, 114)
+	dens := GenerateDensities(2500, 115)
+	_, grad, err := EvaluateGradAt(targets, sources, dens, Options{Q: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectGradAt(targets, sources, dens, Laplace{})
+	if e := gradRelErr(grad, exact); e > 5e-3 {
+		t.Errorf("dual-set gradient error %.2e", e)
+	}
+}
+
+func TestEvaluateGradYukawa(t *testing.T) {
+	pts := GeneratePoints(Uniform, 1500, 116)
+	dens := GenerateDensities(1500, 117)
+	k := Yukawa{Lambda: 1.0}
+	_, grad, err := EvaluateGrad(pts, dens, Options{Q: 40, Kernel: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectGradAt(pts, pts, dens, k)
+	if e := gradRelErr(grad, exact); e > 1e-2 {
+		t.Errorf("yukawa gradient error %.2e", e)
+	}
+}
+
+// nonGradKernel is a kernel without gradient support, for the error path.
+type nonGradKernel struct{}
+
+func (nonGradKernel) Eval(dx, dy, dz float64) float64 { return Laplace{}.Eval(dx, dy, dz) }
+func (nonGradKernel) Name() string                    { return "nograd" }
+
+func TestEvaluateGradRequiresGradientKernel(t *testing.T) {
+	pts := GeneratePoints(Uniform, 100, 118)
+	dens := GenerateDensities(100, 119)
+	if _, _, err := EvaluateGrad(pts, dens, Options{Kernel: nonGradKernel{}}); err == nil {
+		t.Error("kernel without gradients accepted")
+	}
+	if _, _, err := EvaluateGradAt(pts, pts, dens, Options{Kernel: nonGradKernel{}}); err == nil {
+		t.Error("kernel without gradients accepted (dual)")
+	}
+}
+
+func TestEvaluateGradInputErrors(t *testing.T) {
+	pts := GeneratePoints(Uniform, 10, 1)
+	if _, _, err := EvaluateGrad(pts, make([]float64, 3), Options{}); err == nil {
+		t.Error("density mismatch accepted")
+	}
+	if _, _, err := EvaluateGradAt(pts, pts, make([]float64, 3), Options{}); err == nil {
+		t.Error("density mismatch accepted (dual)")
+	}
+}
+
+func TestNewtonThirdLaw(t *testing.T) {
+	// For two equal charges, forces (gradients of the pair potential) are
+	// equal and opposite.
+	pts := []Point{{0.2, 0.2, 0.2}, {0.8, 0.7, 0.6}}
+	dens := []float64{1, 1}
+	_, grad, err := EvaluateGrad(pts, dens, Options{Q: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if math.Abs(grad[0][c]+grad[1][c]) > 1e-12 {
+			t.Errorf("component %d: %v and %v not antisymmetric", c, grad[0][c], grad[1][c])
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package fmm
+
+// BuildLists computes the U, V, W and X interaction lists for every node
+// (paper §III-A, Fig. 3):
+//
+//   - U(B), for leaf B: all leaves adjacent to B, including B itself.
+//     These interact by direct evaluation.
+//   - V(B): children of B's parent's colleagues that are not adjacent to
+//     B — the classic far-field interaction list, handled by M2L.
+//   - W(B), for leaf B: descendants A of B's colleagues with A not
+//     adjacent to B but A's parent adjacent to B. A's upward equivalent
+//     densities are evaluated directly at B's targets.
+//   - X(B): all A with B ∈ W(A). A's source points are evaluated directly
+//     onto B's downward check surface.
+//
+// Every list has bounded length, which is what gives the FMM its O(N)
+// complexity.
+func (t *Tree) BuildLists() {
+	colleagues := t.buildColleagues()
+
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+
+		// V list: children of parent's colleagues not adjacent to n.
+		if n.Parent != nilNode {
+			for _, pc := range colleagues[n.Parent] {
+				for _, c := range t.Nodes[pc].Children {
+					if c == nilNode || c == i {
+						continue
+					}
+					if !adjacent(&t.Nodes[c], n) {
+						n.V = append(n.V, int32(c))
+					}
+				}
+			}
+		}
+
+		if !n.Leaf {
+			continue
+		}
+
+		// U list: adjacent leaves of any level, found by descending from
+		// the root through adjacent boxes.
+		t.collectAdjacentLeaves(t.Root, i, &n.U)
+
+		// W list: starting from colleagues, descend through adjacent
+		// internal descendants; the first non-adjacent child met joins W.
+		for _, k := range colleagues[i] {
+			if int(k) == i {
+				continue
+			}
+			t.collectW(int(k), i, &n.W)
+		}
+	}
+
+	// X lists invert W: A ∈ X(B) iff B ∈ W(A).
+	for i := range t.Nodes {
+		if !t.Nodes[i].Leaf {
+			continue
+		}
+		for _, w := range t.Nodes[i].W {
+			t.Nodes[w].X = append(t.Nodes[w].X, int32(i))
+		}
+	}
+}
+
+// buildColleagues returns, per node, the same-level adjacent nodes
+// (including the node itself). Colleagues are found through the parent's
+// colleagues, which bounds the search to 27 candidates per node.
+func (t *Tree) buildColleagues() [][]int32 {
+	col := make([][]int32, len(t.Nodes))
+	// The node slice is in pre-order (parents precede children), so one
+	// forward pass suffices.
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Parent == nilNode {
+			col[i] = []int32{int32(i)}
+			continue
+		}
+		for _, pc := range col[n.Parent] {
+			for _, c := range t.Nodes[pc].Children {
+				if c == nilNode {
+					continue
+				}
+				if adjacent(&t.Nodes[c], n) {
+					col[i] = append(col[i], int32(c))
+				}
+			}
+		}
+	}
+	return col
+}
+
+// collectAdjacentLeaves descends from node cur adding every leaf adjacent
+// to target.
+func (t *Tree) collectAdjacentLeaves(cur, target int, out *[]int32) {
+	cn := &t.Nodes[cur]
+	if !adjacent(cn, &t.Nodes[target]) {
+		return
+	}
+	if cn.Leaf {
+		*out = append(*out, int32(cur))
+		return
+	}
+	for _, c := range cn.Children {
+		if c != nilNode {
+			t.collectAdjacentLeaves(c, target, out)
+		}
+	}
+}
+
+// collectW descends from an adjacent node cur: children that are not
+// adjacent to the target leaf join its W list; adjacent internal children
+// are descended further (adjacent leaves are already in U).
+func (t *Tree) collectW(cur, target int, out *[]int32) {
+	cn := &t.Nodes[cur]
+	if cn.Leaf {
+		return
+	}
+	for _, c := range cn.Children {
+		if c == nilNode {
+			continue
+		}
+		if adjacent(&t.Nodes[c], &t.Nodes[target]) {
+			t.collectW(c, target, out)
+		} else {
+			*out = append(*out, int32(c))
+		}
+	}
+}
+
+// ListStats summarizes interaction-list sizes — useful for verifying the
+// boundedness invariants and for workload analysis.
+type ListStats struct {
+	MaxU, MaxV, MaxW, MaxX int
+	TotalU, TotalV         int64
+	TotalW, TotalX         int64
+}
+
+// Stats computes the list statistics over all nodes.
+func (t *Tree) Stats() ListStats {
+	var s ListStats
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if len(n.U) > s.MaxU {
+			s.MaxU = len(n.U)
+		}
+		if len(n.V) > s.MaxV {
+			s.MaxV = len(n.V)
+		}
+		if len(n.W) > s.MaxW {
+			s.MaxW = len(n.W)
+		}
+		if len(n.X) > s.MaxX {
+			s.MaxX = len(n.X)
+		}
+		s.TotalU += int64(len(n.U))
+		s.TotalV += int64(len(n.V))
+		s.TotalW += int64(len(n.W))
+		s.TotalX += int64(len(n.X))
+	}
+	return s
+}

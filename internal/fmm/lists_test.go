@@ -1,0 +1,209 @@
+package fmm
+
+import "testing"
+
+// buildListedTree builds a tree with lists for tests.
+func buildListedTree(t *testing.T, d Distribution, n, q int, seed int64) *Tree {
+	t.Helper()
+	pts := GeneratePoints(d, n, seed)
+	tree, err := BuildTree(pts, q, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.BuildLists()
+	return tree
+}
+
+// isAncestorOrSelf reports whether a is an ancestor of b (or b itself).
+func isAncestorOrSelf(t *Tree, a, b int) bool {
+	for b != nilNode {
+		if b == a {
+			return true
+		}
+		b = t.Nodes[b].Parent
+	}
+	return false
+}
+
+func TestInteractionCoverage(t *testing.T) {
+	// THE correctness invariant of FMM interaction lists: every
+	// (target leaf, source leaf) pair must be accounted for exactly once
+	// across U (direct), V (M2L at some ancestor), W (equivalent-density
+	// evaluation) and X (direct-to-check at some ancestor).
+	for _, d := range []Distribution{Uniform, Plummer, SphereSurface} {
+		tree := buildListedTree(t, d, 1500, 20, 9)
+		leaves := tree.Leaves()
+		for _, tb := range leaves {
+			// Collect ancestors of the target leaf (including itself).
+			var ancestors []int
+			for a := tb; a != nilNode; a = tree.Nodes[a].Parent {
+				ancestors = append(ancestors, a)
+			}
+			for _, sb := range leaves {
+				cover := 0
+				for _, u := range tree.Nodes[tb].U {
+					if int(u) == sb {
+						cover++
+					}
+				}
+				for _, anc := range ancestors {
+					for _, v := range tree.Nodes[anc].V {
+						if isAncestorOrSelf(tree, int(v), sb) {
+							cover++
+						}
+					}
+					for _, x := range tree.Nodes[anc].X {
+						if int(x) == sb {
+							cover++
+						}
+					}
+				}
+				for _, w := range tree.Nodes[tb].W {
+					if isAncestorOrSelf(tree, int(w), sb) {
+						cover++
+					}
+				}
+				if cover != 1 {
+					t.Fatalf("%v: pair (target %d, source %d) covered %d times", d, tb, sb, cover)
+				}
+			}
+		}
+	}
+}
+
+func TestUListSymmetricAndContainsSelf(t *testing.T) {
+	tree := buildListedTree(t, Plummer, 2000, 30, 4)
+	for _, li := range tree.Leaves() {
+		n := &tree.Nodes[li]
+		foundSelf := false
+		for _, u := range n.U {
+			if int(u) == li {
+				foundSelf = true
+			}
+			// Symmetry: li must appear in u's U list.
+			back := false
+			for _, v := range tree.Nodes[u].U {
+				if int(v) == li {
+					back = true
+					break
+				}
+			}
+			if !back {
+				t.Fatalf("U list not symmetric between %d and %d", li, u)
+			}
+		}
+		if !foundSelf {
+			t.Fatalf("leaf %d missing from its own U list", li)
+		}
+	}
+}
+
+func TestVListProperties(t *testing.T) {
+	tree := buildListedTree(t, Uniform, 4096, 60, 8)
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
+		for _, v := range n.V {
+			vn := &tree.Nodes[v]
+			if vn.Level != n.Level {
+				t.Fatalf("V member %d at level %d, target %d at level %d", v, vn.Level, i, n.Level)
+			}
+			if adjacent(vn, n) {
+				t.Fatalf("V member %d adjacent to target %d", v, i)
+			}
+			if !adjacent(&tree.Nodes[vn.Parent], &tree.Nodes[n.Parent]) {
+				t.Fatalf("V member %d's parent not adjacent to target %d's parent", v, i)
+			}
+			// Offset must be within the standard [-3,3] range.
+			off := vOffset(n, vn)
+			for _, o := range off {
+				if o < -3 || o > 3 {
+					t.Fatalf("V offset %v out of range", off)
+				}
+			}
+		}
+	}
+}
+
+func TestWXDuality(t *testing.T) {
+	tree := buildListedTree(t, Plummer, 3000, 25, 5)
+	// X(B) = {A : B ∈ W(A)}; check both directions.
+	for i := range tree.Nodes {
+		for _, x := range tree.Nodes[i].X {
+			found := false
+			for _, w := range tree.Nodes[x].W {
+				if int(w) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("X member %d of node %d lacks the dual W entry", x, i)
+			}
+		}
+		if tree.Nodes[i].Leaf {
+			for _, w := range tree.Nodes[i].W {
+				found := false
+				for _, x := range tree.Nodes[w].X {
+					if int(x) == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("W member %d of leaf %d lacks the dual X entry", w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWListProperties(t *testing.T) {
+	tree := buildListedTree(t, Plummer, 3000, 25, 6)
+	for _, li := range tree.Leaves() {
+		n := &tree.Nodes[li]
+		for _, w := range n.W {
+			wn := &tree.Nodes[w]
+			if wn.Level <= n.Level {
+				t.Fatalf("W member %d not finer than leaf %d", w, li)
+			}
+			if adjacent(wn, n) {
+				t.Fatalf("W member %d adjacent to leaf %d", w, li)
+			}
+			if !adjacent(&tree.Nodes[wn.Parent], n) {
+				t.Fatalf("W member %d's parent not adjacent to leaf %d", w, li)
+			}
+		}
+	}
+}
+
+func TestUniformTreeHasEmptyWX(t *testing.T) {
+	// A complete (level-uniform) tree has no W/X interactions: they only
+	// arise from leaves at different levels.
+	pts := GeneratePoints(Uniform, 4096, 10)
+	tree, err := BuildTree(pts, 4096/64+60, 20) // leaves at one level
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.BuildLists()
+	s := tree.Stats()
+	levels := map[int]bool{}
+	for _, li := range tree.Leaves() {
+		levels[tree.Nodes[li].Level] = true
+	}
+	if len(levels) == 1 && (s.TotalW != 0 || s.TotalX != 0) {
+		t.Errorf("level-uniform tree has W=%d X=%d entries", s.TotalW, s.TotalX)
+	}
+}
+
+func TestListBoundedness(t *testing.T) {
+	// The FMM's O(N) bound rests on constant-bounded list lengths:
+	// V ≤ 6³-3³ = 189 always; U bounded for bounded level difference.
+	tree := buildListedTree(t, Plummer, 5000, 30, 12)
+	s := tree.Stats()
+	if s.MaxV > 189 {
+		t.Errorf("max V list length %d exceeds the theoretical bound 189", s.MaxV)
+	}
+	if s.MaxU == 0 || s.TotalU == 0 {
+		t.Error("U lists unexpectedly empty")
+	}
+}

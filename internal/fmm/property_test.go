@@ -1,0 +1,142 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests of the FMM's mathematical invariants.
+
+func TestSuperpositionProperty(t *testing.T) {
+	// The potential operator is linear in the densities:
+	// F(a*q1 + q2) == a*F(q1) + F(q2), with the same geometry.
+	pts := GeneratePoints(Plummer, 1200, 91)
+	q1 := GenerateDensities(1200, 92)
+	q2 := GenerateDensities(1200, 93)
+	opt := Options{Q: 30}
+
+	r1, err := Evaluate(pts, q1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Evaluate(pts, q2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := func(raw int8) bool {
+		a := float64(raw) / 16
+		mix := make([]float64, len(q1))
+		for i := range mix {
+			mix[i] = a*q1[i] + q2[i]
+		}
+		rm, err := Evaluate(pts, mix, opt)
+		if err != nil {
+			return false
+		}
+		for i := range rm.Potentials {
+			want := a*r1.Potentials[i] + r2.Potentials[i]
+			if math.Abs(rm.Potentials[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	// The Laplace kernel depends only on differences, so shifting every
+	// point rigidly leaves the potentials unchanged.
+	pts := GeneratePoints(Uniform, 1500, 94)
+	dens := GenerateDensities(1500, 95)
+	opt := Options{Q: 40}
+	base, err := Evaluate(pts, dens, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := Point{12.5, -7.25, 3.0}
+	shifted := make([]Point, len(pts))
+	for i, p := range pts {
+		shifted[i] = p.Add(shift)
+	}
+	moved, err := Evaluate(shifted, dens, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := RelErrL2(moved.Potentials, base.Potentials); d > 1e-11 {
+		t.Errorf("potentials changed by %.2e under rigid translation", d)
+	}
+}
+
+func TestScalingLaw(t *testing.T) {
+	// Laplace's 1/r homogeneity: scaling all coordinates by s scales
+	// every potential by 1/s.
+	pts := GeneratePoints(Plummer, 1500, 96)
+	dens := GenerateDensities(1500, 97)
+	opt := Options{Q: 40}
+	base, err := Evaluate(pts, dens, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s = 3.5
+	scaled := make([]Point, len(pts))
+	for i, p := range pts {
+		scaled[i] = p.Scale(s)
+	}
+	big, err := Evaluate(scaled, dens, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Potentials {
+		want := base.Potentials[i] / s
+		if math.Abs(big.Potentials[i]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("potential %d: %v vs scaled expectation %v", i, big.Potentials[i], want)
+		}
+	}
+}
+
+func TestReciprocityEnergySum(t *testing.T) {
+	// For a symmetric kernel, Σ_i q_i f(x_i) is a quadratic form with a
+	// symmetric matrix; evaluating with densities q and probing with p
+	// must equal evaluating with p and probing with q.
+	pts := GeneratePoints(Uniform, 1000, 98)
+	q := GenerateDensities(1000, 99)
+	p := GenerateDensities(1000, 100)
+	opt := Options{Q: 30}
+	fq, err := Evaluate(pts, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Evaluate(pts, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b float64
+	for i := range pts {
+		a += p[i] * fq.Potentials[i]
+		b += q[i] * fp.Potentials[i]
+	}
+	if rel := math.Abs(a-b) / (math.Abs(a) + 1e-300); rel > 1e-10 {
+		t.Errorf("reciprocity violated: %v vs %v (rel %.2e)", a, b, rel)
+	}
+}
+
+func TestPotentialsAllFinite(t *testing.T) {
+	// Including coincident points (self-interaction defined as zero).
+	pts := GeneratePoints(Uniform, 800, 101)
+	pts = append(pts, pts[0], pts[1], pts[2]) // duplicates
+	dens := GenerateDensities(len(pts), 102)
+	res, err := Evaluate(pts, dens, Options{Q: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Potentials {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("potential %d is %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package fmm
+
+// Equivalent/check surface machinery of the kernel-independent FMM. A
+// surface is a grid of points on the boundary of a cube; a box's far
+// field is represented by charges ("equivalent densities") on such a
+// surface, determined by matching potentials on a larger check surface.
+//
+// Radii follow Ying et al.'s FFT-compatible choice: the equivalent
+// surface coincides with the box boundary (radius factor 1.0, so that
+// surface points of same-level boxes lie on one global lattice — the
+// property the FFT-accelerated M2L needs), while the check surface sits
+// at radius factor 2.95, just inside the 3h boundary that non-adjacent
+// boxes cannot cross.
+const (
+	equivRadius = 1.0
+	checkRadius = 2.95
+)
+
+// SurfaceGrid returns the unit cube-surface grid with p points per edge:
+// all points of the p³ lattice on [-1,1]³ that lie on the boundary. The
+// count is p³ - (p-2)³ (56 for p=4, 152 for p=6).
+func SurfaceGrid(p int) []Point {
+	if p < 2 {
+		panic("fmm: surface order must be at least 2")
+	}
+	var pts []Point
+	step := 2.0 / float64(p-1)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			for k := 0; k < p; k++ {
+				if i == 0 || i == p-1 || j == 0 || j == p-1 || k == 0 || k == p-1 {
+					pts = append(pts, Point{
+						X: -1 + float64(i)*step,
+						Y: -1 + float64(j)*step,
+						Z: -1 + float64(k)*step,
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// SurfaceCount returns the number of points of a p-order surface grid.
+func SurfaceCount(p int) int {
+	inner := p - 2
+	return p*p*p - inner*inner*inner
+}
+
+// placeSurface scales and translates the unit surface to a box at center
+// c, half-width h, with the given radius factor.
+func placeSurface(unit []Point, c Point, h, radius float64) []Point {
+	out := make([]Point, len(unit))
+	s := h * radius
+	for i, u := range unit {
+		out[i] = Point{c.X + s*u.X, c.Y + s*u.Y, c.Z + s*u.Z}
+	}
+	return out
+}

@@ -1,0 +1,489 @@
+package fmm2d
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"dvfsroofline/internal/fft"
+)
+
+// Options configures a 2-D FMM evaluation.
+type Options struct {
+	// Q is the maximum number of points per leaf square. Default 64.
+	Q int
+	// SurfaceOrder is the boundary points per square edge. Default 8
+	// (28 surface points), which gives ~5-digit accuracy for the log
+	// kernel.
+	SurfaceOrder int
+	// UseFFTM2L selects the spectral V-list translation.
+	UseFFTM2L bool
+	// MaxLevel bounds tree depth. Default 24.
+	MaxLevel int
+	// Workers bounds parallelism. Default GOMAXPROCS.
+	Workers int
+	// Kernel is the interaction kernel. Default the 2-D Laplace kernel.
+	Kernel Kernel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Q == 0 {
+		o.Q = 64
+	}
+	if o.SurfaceOrder == 0 {
+		o.SurfaceOrder = 8
+	}
+	if o.MaxLevel == 0 {
+		o.MaxLevel = 24
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Kernel == nil {
+		o.Kernel = Laplace{}
+	}
+	return o
+}
+
+// Result is the outcome of a 2-D FMM evaluation.
+type Result struct {
+	Potentials []float64
+	Tree       *Tree
+	Options    Options
+}
+
+// Evaluate computes the potentials for sources == targets == points.
+func Evaluate(points []Point, densities []float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(points) != len(densities) {
+		return nil, fmt.Errorf("fmm2d: %d points but %d densities", len(points), len(densities))
+	}
+	tree, err := BuildTree(points, opt.Q, opt.MaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateOnTree(tree, densities, opt)
+}
+
+// EvaluateAt computes potentials at distinct targets due to distinct
+// sources.
+func EvaluateAt(targets, sources []Point, densities []float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(sources) != len(densities) {
+		return nil, fmt.Errorf("fmm2d: %d sources but %d densities", len(sources), len(densities))
+	}
+	tree, err := BuildDualTree(targets, sources, opt.Q, opt.MaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateOnTree(tree, densities, opt)
+}
+
+func evaluateOnTree(tree *Tree, densities []float64, opt Options) (*Result, error) {
+	tree.BuildLists()
+	e := &engine{
+		t:    tree,
+		opt:  opt,
+		ops:  newOperatorSet(opt.Kernel, opt.SurfaceOrder, tree.Nodes[tree.Root].Half),
+		dens: make([]float64, len(tree.Src)),
+		pot:  make([]float64, len(tree.Trg)),
+	}
+	for i, orig := range tree.SrcPerm {
+		e.dens[i] = densities[orig]
+	}
+	nsurf := SurfaceCount(opt.SurfaceOrder)
+	e.upEquiv = makeVecs(len(tree.Nodes), nsurf)
+	e.dnCheck = makeVecs(len(tree.Nodes), nsurf)
+	e.dnEquiv = makeVecs(len(tree.Nodes), nsurf)
+	e.byLevel = groupByLevel(tree)
+	for lvl := range e.byLevel {
+		e.ops.at(lvl)
+	}
+
+	e.upward()
+	if opt.UseFFTM2L {
+		e.vPhaseFFT()
+	} else {
+		e.vPhaseDense()
+	}
+	e.xPhase()
+	e.downward()
+	e.wPhase()
+	e.uPhase()
+
+	out := make([]float64, len(tree.Trg))
+	for i, orig := range tree.TrgPerm {
+		out[orig] = e.pot[i]
+	}
+	return &Result{Potentials: out, Tree: tree, Options: opt}, nil
+}
+
+type engine struct {
+	t    *Tree
+	opt  Options
+	ops  *operatorSet
+	dens []float64
+	pot  []float64
+
+	upEquiv [][]float64
+	dnCheck [][]float64
+	dnEquiv [][]float64
+	byLevel [][]int
+}
+
+func makeVecs(n, m int) [][]float64 {
+	flat := make([]float64, n*m)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*m : (i+1)*m]
+	}
+	return out
+}
+
+func groupByLevel(t *Tree) [][]int {
+	depth := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Level > depth {
+			depth = t.Nodes[i].Level
+		}
+	}
+	out := make([][]int, depth+1)
+	for i := range t.Nodes {
+		out[t.Nodes[i].Level] = append(out[t.Nodes[i].Level], i)
+	}
+	return out
+}
+
+func (e *engine) parallelNodes(nodes []int, fn func(i int)) {
+	workers := e.opt.Workers
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		for _, i := range nodes {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(nodes))
+	for _, i := range nodes {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func evalSum(k Kernel, targets []Point, acc []float64, sources []Point, q []float64) {
+	for i, t := range targets {
+		var s float64
+		for j, y := range sources {
+			s += k.Eval(t.X-y.X, t.Y-y.Y) * q[j]
+		}
+		acc[i] += s
+	}
+}
+
+func (e *engine) upward() {
+	nsurf := len(e.ops.unitSurf)
+	for lvl := len(e.byLevel) - 1; lvl >= 0; lvl-- {
+		ops := e.ops.at(lvl)
+		e.parallelNodes(e.byLevel[lvl], func(i int) {
+			n := &e.t.Nodes[i]
+			chk := make([]float64, nsurf)
+			if n.Leaf {
+				ucPts := placeSurface(e.ops.unitSurf, n.Center, n.Half, checkRadius)
+				evalSum(e.opt.Kernel, ucPts, chk, e.t.Src[n.SrcStart:n.SrcEnd], e.dens[n.SrcStart:n.SrcEnd])
+			} else {
+				tmp := make([]float64, nsurf)
+				for _, c := range n.Children {
+					if c == nilNode {
+						continue
+					}
+					ops.m2m[e.t.Nodes[c].Quadrant].MulVecTo(tmp, e.upEquiv[c])
+					for k := range chk {
+						chk[k] += tmp[k]
+					}
+				}
+			}
+			ops.uc2ue.MulVecTo(e.upEquiv[i], chk)
+		})
+	}
+}
+
+func (e *engine) vPhaseDense() {
+	nsurf := len(e.ops.unitSurf)
+	for i := range e.t.Nodes {
+		n := &e.t.Nodes[i]
+		for _, v := range n.V {
+			e.ops.m2lFor(n.Level, vOffset(n, &e.t.Nodes[v]))
+		}
+	}
+	var all []int
+	for i := range e.t.Nodes {
+		if len(e.t.Nodes[i].V) > 0 {
+			all = append(all, i)
+		}
+	}
+	e.parallelNodes(all, func(i int) {
+		n := &e.t.Nodes[i]
+		tmp := make([]float64, nsurf)
+		for _, v := range n.V {
+			m := e.ops.m2lFor(n.Level, vOffset(n, &e.t.Nodes[v]))
+			m.MulVecTo(tmp, e.upEquiv[v])
+			dst := e.dnCheck[i]
+			for k := range dst {
+				dst[k] += tmp[k]
+			}
+		}
+	})
+}
+
+// vPhaseFFT is the spectral V-list translation on the 2-D boundary
+// lattice, embedded in a (2p)² cyclic grid.
+func (e *engine) vPhaseFFT() {
+	p := e.opt.SurfaceOrder
+	m := 2 * p
+	dim := fft.Dim3{Nx: m, Ny: m, Nz: 1}
+	// Grid index of each unit-surface point.
+	surfIdx := make([]int, len(e.ops.unitSurf))
+	f := float64(p-1) / 2
+	for i, u := range e.ops.unitSurf {
+		ix := roundInt((u.X + 1) * f)
+		iy := roundInt((u.Y + 1) * f)
+		surfIdx[i] = dim.Index(ix, iy, 0)
+	}
+
+	for lvl := range e.byLevel {
+		var targets []int
+		sources := map[int32]bool{}
+		for _, i := range e.byLevel[lvl] {
+			n := &e.t.Nodes[i]
+			if len(n.V) == 0 {
+				continue
+			}
+			targets = append(targets, i)
+			for _, v := range n.V {
+				sources[v] = true
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		h := e.ops.halfAt(lvl)
+		delta := 2 * h / float64(p-1)
+
+		// Spectral kernels per offset.
+		kernels := map[[2]int8][]complex128{}
+		var kmu sync.Mutex
+		kernelHat := func(off [2]int8) []complex128 {
+			kmu.Lock()
+			if g, ok := kernels[off]; ok {
+				kmu.Unlock()
+				return g
+			}
+			kmu.Unlock()
+			g := make([]complex128, dim.Len())
+			bx := float64(off[0]) * float64(p-1) * delta
+			by := float64(off[1]) * float64(p-1) * delta
+			for dx := -p + 1; dx < p; dx++ {
+				for dy := -p + 1; dy < p; dy++ {
+					v := e.opt.Kernel.Eval(bx+float64(dx)*delta, by+float64(dy)*delta)
+					g[dim.Index(mod(dx, m), mod(dy, m), 0)] = complex(v, 0)
+				}
+			}
+			fft.Forward3(g, dim)
+			kmu.Lock()
+			if exist, ok := kernels[off]; ok {
+				g = exist
+			} else {
+				kernels[off] = g
+			}
+			kmu.Unlock()
+			return g
+		}
+		// Pre-build sequentially for determinism.
+		for _, ti := range targets {
+			n := &e.t.Nodes[ti]
+			for _, v := range n.V {
+				kernelHat(vOffset(n, &e.t.Nodes[v]))
+			}
+		}
+
+		qhat := make(map[int32][]complex128, len(sources))
+		var mu sync.Mutex
+		srcList := make([]int, 0, len(sources))
+		for s := range sources {
+			srcList = append(srcList, int(s))
+		}
+		e.parallelNodes(srcList, func(si int) {
+			grid := make([]complex128, dim.Len())
+			for k, idx := range surfIdx {
+				grid[idx] = complex(e.upEquiv[si][k], 0)
+			}
+			fft.Forward3(grid, dim)
+			mu.Lock()
+			qhat[int32(si)] = grid
+			mu.Unlock()
+		})
+
+		e.parallelNodes(targets, func(ti int) {
+			n := &e.t.Nodes[ti]
+			acc := make([]complex128, dim.Len())
+			for _, v := range n.V {
+				ghat := kernelHat(vOffset(n, &e.t.Nodes[v]))
+				src := qhat[v]
+				for k := range acc {
+					acc[k] += ghat[k] * src[k]
+				}
+			}
+			fft.Inverse3(acc, dim)
+			dst := e.dnCheck[ti]
+			for k, idx := range surfIdx {
+				dst[k] += real(acc[idx])
+			}
+		})
+	}
+}
+
+func mod(a, m int) int {
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}
+
+func (e *engine) xPhase() {
+	var nodes []int
+	for i := range e.t.Nodes {
+		if len(e.t.Nodes[i].X) > 0 {
+			nodes = append(nodes, i)
+		}
+	}
+	e.parallelNodes(nodes, func(i int) {
+		n := &e.t.Nodes[i]
+		dcPts := placeSurface(e.ops.unitSurf, n.Center, n.Half, equivRadius)
+		for _, x := range n.X {
+			a := &e.t.Nodes[x]
+			evalSum(e.opt.Kernel, dcPts, e.dnCheck[i], e.t.Src[a.SrcStart:a.SrcEnd], e.dens[a.SrcStart:a.SrcEnd])
+		}
+	})
+}
+
+func (e *engine) downward() {
+	nsurf := len(e.ops.unitSurf)
+	for lvl := 0; lvl < len(e.byLevel); lvl++ {
+		ops := e.ops.at(lvl)
+		e.parallelNodes(e.byLevel[lvl], func(i int) {
+			n := &e.t.Nodes[i]
+			if n.Parent != nilNode {
+				tmp := make([]float64, nsurf)
+				parentOps := e.ops.at(n.Level - 1)
+				parentOps.l2l[n.Quadrant].MulVecTo(tmp, e.dnEquiv[n.Parent])
+				dst := e.dnCheck[i]
+				for k := range dst {
+					dst[k] += tmp[k]
+				}
+			}
+			ops.dc2de.MulVecTo(e.dnEquiv[i], e.dnCheck[i])
+			if n.Leaf {
+				dePts := placeSurface(e.ops.unitSurf, n.Center, n.Half, checkRadius)
+				evalSum(e.opt.Kernel, e.t.Trg[n.TrgStart:n.TrgEnd], e.pot[n.TrgStart:n.TrgEnd], dePts, e.dnEquiv[i])
+			}
+		})
+	}
+}
+
+func (e *engine) wPhase() {
+	leaves := e.t.Leaves()
+	e.parallelNodes(leaves, func(i int) {
+		n := &e.t.Nodes[i]
+		for _, w := range n.W {
+			a := &e.t.Nodes[w]
+			uePts := placeSurface(e.ops.unitSurf, a.Center, a.Half, equivRadius)
+			evalSum(e.opt.Kernel, e.t.Trg[n.TrgStart:n.TrgEnd], e.pot[n.TrgStart:n.TrgEnd], uePts, e.upEquiv[w])
+		}
+	})
+}
+
+func (e *engine) uPhase() {
+	leaves := e.t.Leaves()
+	e.parallelNodes(leaves, func(i int) {
+		n := &e.t.Nodes[i]
+		targets := e.t.Trg[n.TrgStart:n.TrgEnd]
+		acc := e.pot[n.TrgStart:n.TrgEnd]
+		for _, u := range n.U {
+			a := &e.t.Nodes[u]
+			evalSum(e.opt.Kernel, targets, acc, e.t.Src[a.SrcStart:a.SrcEnd], e.dens[a.SrcStart:a.SrcEnd])
+		}
+	})
+}
+
+// DirectSum evaluates the exact 2-D sums in O(N²).
+func DirectSum(points []Point, densities []float64, k Kernel, workers int) []float64 {
+	return DirectSumAt(points, points, densities, k, workers)
+}
+
+// DirectSumAt evaluates the exact potentials at targets due to sources.
+func DirectSumAt(targets, sources []Point, densities []float64, k Kernel, workers int) []float64 {
+	if len(sources) != len(densities) {
+		panic("fmm2d: DirectSumAt length mismatch")
+	}
+	if k == nil {
+		k = Laplace{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(targets)
+	out := make([]float64, n)
+	chunk := (n + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			evalSum(k, targets[lo:hi], out[lo:hi], sources, densities)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// RelErrL2 returns the relative L2 error of approx against exact.
+func RelErrL2(approx, exact []float64) float64 {
+	if len(approx) != len(exact) {
+		panic("fmm2d: RelErrL2 length mismatch")
+	}
+	var num, den float64
+	for i := range approx {
+		d := approx[i] - exact[i]
+		num += d * d
+		den += exact[i] * exact[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Sqrt(num / den)
+}

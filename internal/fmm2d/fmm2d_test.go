@@ -1,0 +1,269 @@
+package fmm2d
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTreeValidates(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Disk, Circle} {
+		pts := GeneratePoints(d, 3000, 1)
+		tree, err := BuildTree(pts, 30, 24)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Errorf("%v: %v", d, err)
+		}
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	pts := GeneratePoints(Uniform, 10, 1)
+	if _, err := BuildTree(nil, 10, 20); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := BuildTree(pts, 0, 20); err == nil {
+		t.Error("Q=0 accepted")
+	}
+	if _, err := BuildDualTree(nil, pts, 10, 20); err == nil {
+		t.Error("empty targets accepted")
+	}
+}
+
+// isAncestorOrSelf reports whether a is an ancestor of b (or b itself).
+func isAncestorOrSelf(t *Tree, a, b int) bool {
+	for b != nilNode {
+		if b == a {
+			return true
+		}
+		b = t.Nodes[b].Parent
+	}
+	return false
+}
+
+func TestInteractionCoverage2D(t *testing.T) {
+	// The exact-coverage invariant on the quadtree — the paper's
+	// Figure 3 structure: every (target leaf, source leaf) pair is
+	// accounted once across U/V/W/X.
+	for _, d := range []Distribution{Uniform, Disk} {
+		pts := GeneratePoints(d, 1200, 3)
+		tree, err := BuildTree(pts, 15, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree.BuildLists()
+		leaves := tree.Leaves()
+		for _, tb := range leaves {
+			var ancestors []int
+			for a := tb; a != nilNode; a = tree.Nodes[a].Parent {
+				ancestors = append(ancestors, a)
+			}
+			for _, sb := range leaves {
+				cover := 0
+				for _, u := range tree.Nodes[tb].U {
+					if int(u) == sb {
+						cover++
+					}
+				}
+				for _, anc := range ancestors {
+					for _, v := range tree.Nodes[anc].V {
+						if isAncestorOrSelf(tree, int(v), sb) {
+							cover++
+						}
+					}
+					for _, x := range tree.Nodes[anc].X {
+						if int(x) == sb {
+							cover++
+						}
+					}
+				}
+				for _, w := range tree.Nodes[tb].W {
+					if isAncestorOrSelf(tree, int(w), sb) {
+						cover++
+					}
+				}
+				if cover != 1 {
+					t.Fatalf("%v: pair (%d, %d) covered %d times", d, tb, sb, cover)
+				}
+			}
+		}
+	}
+}
+
+func TestVListBound2D(t *testing.T) {
+	// In 2-D the V list is bounded by 6²-3² = 27.
+	pts := GeneratePoints(Disk, 4000, 4)
+	tree, err := BuildTree(pts, 20, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.BuildLists()
+	for i := range tree.Nodes {
+		if len(tree.Nodes[i].V) > 27 {
+			t.Fatalf("node %d has %d V entries, bound is 27", i, len(tree.Nodes[i].V))
+		}
+	}
+}
+
+func TestSurfaceGrid2D(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		g := SurfaceGrid(p)
+		if len(g) != SurfaceCount(p) {
+			t.Errorf("p=%d: %d points, want %d", p, len(g), SurfaceCount(p))
+		}
+		for _, u := range g {
+			if math.Abs(u.MaxAbs()-1) > 1e-12 {
+				t.Fatalf("p=%d: point %v not on boundary", p, u)
+			}
+		}
+	}
+	if SurfaceCount(8) != 28 {
+		t.Error("SurfaceCount(8) != 28")
+	}
+}
+
+func TestAccuracy2DUniform(t *testing.T) {
+	pts := GeneratePoints(Uniform, 3000, 5)
+	dens := GenerateDensities(3000, 6)
+	res, err := Evaluate(pts, dens, Options{Q: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectSum(pts, dens, nil, 0)
+	e := RelErrL2(res.Potentials, exact)
+	if e > 1e-4 {
+		t.Errorf("2-D uniform error %.2e", e)
+	}
+	t.Logf("2-D uniform N=3000: rel err %.2e", e)
+}
+
+func TestAccuracy2DAdaptive(t *testing.T) {
+	pts := GeneratePoints(Disk, 3000, 7)
+	dens := GenerateDensities(3000, 8)
+	res, err := Evaluate(pts, dens, Options{Q: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := res.Tree
+	var totalW int
+	for i := range tree.Nodes {
+		totalW += len(tree.Nodes[i].W)
+	}
+	if totalW == 0 {
+		t.Error("disk distribution should exercise W/X lists")
+	}
+	exact := DirectSum(pts, dens, nil, 0)
+	if e := RelErrL2(res.Potentials, exact); e > 1e-4 {
+		t.Errorf("2-D adaptive error %.2e", e)
+	}
+}
+
+func TestFFT2DMatchesDense(t *testing.T) {
+	pts := GeneratePoints(Disk, 2500, 9)
+	dens := GenerateDensities(2500, 10)
+	a, err := Evaluate(pts, dens, Options{Q: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(pts, dens, Options{Q: 25, UseFFTM2L: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two paths are algebraically identical; the tolerance covers
+	// FFT round-off amplified by cancellation (±densities under the
+	// sign-changing log kernel make the potentials' norm small relative
+	// to the intermediate check potentials).
+	if d := RelErrL2(b.Potentials, a.Potentials); d > 1e-7 {
+		t.Errorf("2-D FFT M2L differs from dense by %.2e", d)
+	}
+}
+
+func TestEvaluateAt2D(t *testing.T) {
+	sources := GeneratePoints(Disk, 2000, 11)
+	targets := GeneratePoints(Circle, 1000, 12)
+	dens := GenerateDensities(2000, 13)
+	res, err := EvaluateAt(targets, sources, dens, Options{Q: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectSumAt(targets, sources, dens, nil, 0)
+	if e := RelErrL2(res.Potentials, exact); e > 1e-4 {
+		t.Errorf("2-D dual-set error %.2e", e)
+	}
+}
+
+func TestKernelIndependence2D(t *testing.T) {
+	pts := GeneratePoints(Uniform, 2000, 14)
+	dens := GenerateDensities(2000, 15)
+	k := Yukawa2D{Lambda: 0.8}
+	res, err := Evaluate(pts, dens, Options{Q: 30, Kernel: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectSum(pts, dens, k, 0)
+	if e := RelErrL2(res.Potentials, exact); e > 5e-4 {
+		t.Errorf("2-D yukawa error %.2e", e)
+	}
+}
+
+func TestAccuracyImprovesWithOrder2D(t *testing.T) {
+	pts := GeneratePoints(Uniform, 2000, 16)
+	dens := GenerateDensities(2000, 17)
+	exact := DirectSum(pts, dens, nil, 0)
+	var errs []float64
+	for _, p := range []int{4, 8, 12} {
+		res, err := Evaluate(pts, dens, Options{Q: 30, SurfaceOrder: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, RelErrL2(res.Potentials, exact))
+	}
+	if !(errs[0] > errs[1] && errs[1] > errs[2]) {
+		t.Errorf("errors not decreasing with order: %v", errs)
+	}
+	t.Logf("2-D convergence p=4,8,12: %.2e %.2e %.2e", errs[0], errs[1], errs[2])
+}
+
+func TestLaplace2DValues(t *testing.T) {
+	k := Laplace{}
+	if k.Eval(0, 0) != 0 {
+		t.Error("self-interaction not zero")
+	}
+	// K(r=1) = 0 for the log kernel.
+	if math.Abs(k.Eval(1, 0)) > 1e-15 {
+		t.Errorf("K(1) = %v, want 0", k.Eval(1, 0))
+	}
+	// K(r=e) = -1/(2π).
+	if got := k.Eval(math.E, 0); math.Abs(got+1/(2*math.Pi)) > 1e-15 {
+		t.Errorf("K(e) = %v, want %v", got, -1/(2*math.Pi))
+	}
+}
+
+func TestDeterminism2D(t *testing.T) {
+	pts := GeneratePoints(Disk, 1500, 18)
+	dens := GenerateDensities(1500, 19)
+	a, err := Evaluate(pts, dens, Options{Q: 20, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(pts, dens, Options{Q: 20, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Potentials {
+		if a.Potentials[i] != b.Potentials[i] {
+			t.Fatal("2-D evaluation not deterministic across worker counts")
+		}
+	}
+}
+
+func TestPointsInUnitSquare(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Disk, Circle} {
+		for _, p := range GeneratePoints(d, 1000, 20) {
+			if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+				t.Fatalf("%v: point %v outside unit square", d, p)
+			}
+		}
+	}
+}

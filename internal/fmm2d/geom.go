@@ -1,0 +1,104 @@
+// Package fmm2d implements the kernel-independent fast multipole method
+// in two dimensions — the quadtree variant the paper describes alongside
+// the octree (§III-A; its Figure 3 illustrates the U, V, W and X lists
+// on exactly such an adaptive quadtree). The structure mirrors
+// internal/fmm: adaptive quadtree with per-node source/target ranges,
+// the four interaction lists, equivalent-surface translation operators
+// with SVD-regularized pseudo-inverses, dense and FFT-accelerated M2L,
+// and a direct O(N²) baseline for validation.
+package fmm2d
+
+import (
+	"fmt"
+	"math"
+
+	"dvfsroofline/internal/stats"
+)
+
+// Point is a location in R².
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns s·p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// MaxAbs returns the Chebyshev norm of p.
+func (p Point) MaxAbs() float64 {
+	return math.Max(math.Abs(p.X), math.Abs(p.Y))
+}
+
+// Distribution selects a synthetic 2-D point distribution.
+type Distribution int
+
+const (
+	// Uniform fills the unit square uniformly.
+	Uniform Distribution = iota
+	// Disk distributes points with a center-heavy density on a disk —
+	// the non-uniform case that exercises the adaptive lists, like the
+	// quadtree of the paper's Figure 3.
+	Disk
+	// Circle places points on a circle (a 2-D boundary-integral
+	// geometry).
+	Circle
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Disk:
+		return "disk"
+	case Circle:
+		return "circle"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// GeneratePoints returns n seeded points of the distribution inside the
+// unit square [0,1)².
+func GeneratePoints(d Distribution, n int, seed int64) []Point {
+	if n <= 0 {
+		panic(fmt.Sprintf("fmm2d: invalid point count %d", n))
+	}
+	rng := stats.NewRNG(seed)
+	pts := make([]Point, n)
+	switch d {
+	case Uniform:
+		for i := range pts {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		}
+	case Disk:
+		for i := range pts {
+			// r ~ u² concentrates points near the center.
+			r := 0.45 * rng.Float64() * rng.Float64()
+			th := 2 * math.Pi * rng.Float64()
+			pts[i] = Point{0.5 + r*math.Cos(th), 0.5 + r*math.Sin(th)}
+		}
+	case Circle:
+		for i := range pts {
+			th := 2 * math.Pi * rng.Float64()
+			pts[i] = Point{0.5 + 0.45*math.Cos(th), 0.5 + 0.45*math.Sin(th)}
+		}
+	default:
+		panic(fmt.Sprintf("fmm2d: unknown distribution %d", int(d)))
+	}
+	return pts
+}
+
+// GenerateDensities returns n seeded source densities in [-1, 1).
+func GenerateDensities(n int, seed int64) []float64 {
+	rng := stats.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 2*rng.Float64() - 1
+	}
+	return out
+}

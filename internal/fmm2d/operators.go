@@ -1,0 +1,164 @@
+package fmm2d
+
+import (
+	"sync"
+
+	"dvfsroofline/internal/linalg"
+)
+
+// Surface radii, as in the 3-D implementation: equivalent densities live
+// on the box boundary (FFT-compatible lattice), check potentials just
+// inside the 3h exclusion zone of non-adjacent squares.
+const (
+	equivRadius = 1.0
+	checkRadius = 2.95
+	rcond       = 1e-9
+)
+
+// SurfaceGrid returns the boundary lattice of [-1,1]² with p points per
+// edge: 4(p-1) points.
+func SurfaceGrid(p int) []Point {
+	if p < 2 {
+		panic("fmm2d: surface order must be at least 2")
+	}
+	var pts []Point
+	step := 2.0 / float64(p-1)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == 0 || i == p-1 || j == 0 || j == p-1 {
+				pts = append(pts, Point{-1 + float64(i)*step, -1 + float64(j)*step})
+			}
+		}
+	}
+	return pts
+}
+
+// SurfaceCount returns the number of points of a p-order surface: 4(p-1).
+func SurfaceCount(p int) int { return 4 * (p - 1) }
+
+func placeSurface(unit []Point, c Point, h, radius float64) []Point {
+	out := make([]Point, len(unit))
+	s := h * radius
+	for i, u := range unit {
+		out[i] = Point{c.X + s*u.X, c.Y + s*u.Y}
+	}
+	return out
+}
+
+// levelOps holds one level's translation operators. Built per level, so
+// non-scale-invariant kernels (like the 2-D log kernel) are handled
+// exactly.
+type levelOps struct {
+	uc2ue *linalg.Matrix
+	dc2de *linalg.Matrix
+	m2m   [4]*linalg.Matrix
+	l2l   [4]*linalg.Matrix
+
+	m2l   map[[2]int8]*linalg.Matrix
+	m2lMu sync.Mutex
+}
+
+type operatorSet struct {
+	kernel   Kernel
+	unitSurf []Point
+	rootHalf float64
+
+	mu     sync.Mutex
+	levels map[int]*levelOps
+}
+
+func newOperatorSet(k Kernel, surfaceOrder int, rootHalf float64) *operatorSet {
+	return &operatorSet{
+		kernel:   k,
+		unitSurf: SurfaceGrid(surfaceOrder),
+		rootHalf: rootHalf,
+		levels:   make(map[int]*levelOps),
+	}
+}
+
+func (o *operatorSet) halfAt(level int) float64 {
+	h := o.rootHalf
+	for i := 0; i < level; i++ {
+		h /= 2
+	}
+	return h
+}
+
+func (o *operatorSet) kernelMatrix(targets, sources []Point) *linalg.Matrix {
+	m := linalg.NewMatrix(len(targets), len(sources))
+	for i, t := range targets {
+		row := m.Row(i)
+		for j, s := range sources {
+			row[j] = o.kernel.Eval(t.X-s.X, t.Y-s.Y)
+		}
+	}
+	return m
+}
+
+func (o *operatorSet) at(level int) *levelOps {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if ops, ok := o.levels[level]; ok {
+		return ops
+	}
+	h := o.halfAt(level)
+	origin := Point{}
+	ue := placeSurface(o.unitSurf, origin, h, equivRadius)
+	uc := placeSurface(o.unitSurf, origin, h, checkRadius)
+	dc := placeSurface(o.unitSurf, origin, h, equivRadius)
+	de := placeSurface(o.unitSurf, origin, h, checkRadius)
+
+	ops := &levelOps{
+		uc2ue: linalg.PseudoInverse(o.kernelMatrix(uc, ue), rcond),
+		dc2de: linalg.PseudoInverse(o.kernelMatrix(dc, de), rcond),
+		m2l:   make(map[[2]int8]*linalg.Matrix),
+	}
+	ch := h / 2
+	for q := 0; q < 4; q++ {
+		cc := quadrantCenter(origin, h, q)
+		childUE := placeSurface(o.unitSurf, cc, ch, equivRadius)
+		childDC := placeSurface(o.unitSurf, cc, ch, equivRadius)
+		ops.m2m[q] = o.kernelMatrix(uc, childUE)
+		ops.l2l[q] = o.kernelMatrix(childDC, de)
+	}
+	o.levels[level] = ops
+	return ops
+}
+
+func (o *operatorSet) m2lFor(level int, off [2]int8) *linalg.Matrix {
+	ops := o.at(level)
+	ops.m2lMu.Lock()
+	if m, ok := ops.m2l[off]; ok {
+		ops.m2lMu.Unlock()
+		return m
+	}
+	ops.m2lMu.Unlock()
+
+	h := o.halfAt(level)
+	src := placeSurface(o.unitSurf, Point{}, h, equivRadius)
+	tc := Point{2 * h * float64(off[0]), 2 * h * float64(off[1])}
+	dst := placeSurface(o.unitSurf, tc, h, equivRadius)
+	m := o.kernelMatrix(dst, src)
+
+	ops.m2lMu.Lock()
+	if exist, ok := ops.m2l[off]; ok {
+		m = exist
+	} else {
+		ops.m2l[off] = m
+	}
+	ops.m2lMu.Unlock()
+	return m
+}
+
+func vOffset(t, s *Node) [2]int8 {
+	edge := 2 * t.Half
+	d := t.Center.Sub(s.Center)
+	return [2]int8{int8(roundInt(d.X / edge)), int8(roundInt(d.Y / edge))}
+}
+
+func roundInt(x float64) int {
+	if x >= 0 {
+		return int(x + 0.5)
+	}
+	return -int(-x + 0.5)
+}

@@ -1,0 +1,389 @@
+package fmm2d
+
+import (
+	"fmt"
+	"math"
+)
+
+const nilNode = -1
+
+// Node is one square (quadrant) of the adaptive quadtree.
+type Node struct {
+	Center   Point
+	Half     float64
+	Level    int
+	Parent   int
+	Children [4]int
+	Quadrant int
+	Leaf     bool
+
+	SrcStart, SrcEnd int
+	TrgStart, TrgEnd int
+
+	// Interaction lists, exactly the U/V/W/X of the paper's Figure 3.
+	U, V, W, X []int32
+}
+
+// NumSources returns the node's source count.
+func (n *Node) NumSources() int { return n.SrcEnd - n.SrcStart }
+
+// NumTargets returns the node's target count.
+func (n *Node) NumTargets() int { return n.TrgEnd - n.TrgStart }
+
+// Tree is an adaptive quadtree over source and target point sets.
+type Tree struct {
+	Nodes []Node
+
+	Src     []Point
+	SrcPerm []int
+	Trg     []Point
+	TrgPerm []int
+	Shared  bool
+
+	Root      int
+	MaxLeaf   int
+	MaxLevel  int
+	numLeaves int
+	maxDepth  int
+}
+
+// BuildTree constructs the quadtree over a single point set.
+func BuildTree(pts []Point, q, maxLevel int) (*Tree, error) {
+	return buildTree(pts, nil, q, maxLevel, true)
+}
+
+// BuildDualTree constructs the quadtree over distinct targets and sources.
+func BuildDualTree(targets, sources []Point, q, maxLevel int) (*Tree, error) {
+	return buildTree(sources, targets, q, maxLevel, false)
+}
+
+func buildTree(src, trg []Point, q, maxLevel int, shared bool) (*Tree, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("fmm2d: no source points")
+	}
+	if !shared && len(trg) == 0 {
+		return nil, fmt.Errorf("fmm2d: no target points")
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("fmm2d: invalid leaf capacity Q=%d", q)
+	}
+	if maxLevel < 0 || maxLevel > 30 {
+		return nil, fmt.Errorf("fmm2d: invalid max level %d", maxLevel)
+	}
+
+	lo, hi := src[0], src[0]
+	expand := func(pts []Point) {
+		for _, p := range pts {
+			lo.X = math.Min(lo.X, p.X)
+			lo.Y = math.Min(lo.Y, p.Y)
+			hi.X = math.Max(hi.X, p.X)
+			hi.Y = math.Max(hi.Y, p.Y)
+		}
+	}
+	expand(src)
+	if !shared {
+		expand(trg)
+	}
+	center := Point{(lo.X + hi.X) / 2, (lo.Y + hi.Y) / 2}
+	half := math.Max(hi.X-lo.X, hi.Y-lo.Y)/2*1.0001 + 1e-12
+
+	t := &Tree{
+		Src:      append([]Point(nil), src...),
+		SrcPerm:  identity(len(src)),
+		Shared:   shared,
+		MaxLeaf:  q,
+		MaxLevel: maxLevel,
+	}
+	if shared {
+		t.Trg = t.Src
+		t.TrgPerm = t.SrcPerm
+	} else {
+		t.Trg = append([]Point(nil), trg...)
+		t.TrgPerm = identity(len(trg))
+	}
+	t.Root = t.addNode(Node{
+		Center: center, Half: half, Level: 0, Parent: nilNode,
+		SrcStart: 0, SrcEnd: len(src),
+		TrgStart: 0, TrgEnd: len(t.Trg),
+	})
+	t.split(t.Root)
+	return t, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (t *Tree) addNode(n Node) int {
+	for i := range n.Children {
+		n.Children[i] = nilNode
+	}
+	t.Nodes = append(t.Nodes, n)
+	return len(t.Nodes) - 1
+}
+
+// quadrantOf returns the quadrant (0..3) of p relative to c: bit 0 for
+// x, bit 1 for y.
+func quadrantOf(p, c Point) int {
+	o := 0
+	if p.X >= c.X {
+		o |= 1
+	}
+	if p.Y >= c.Y {
+		o |= 2
+	}
+	return o
+}
+
+// quadrantCenter returns the center of quadrant o of a square at c with
+// half width h.
+func quadrantCenter(c Point, h float64, o int) Point {
+	q := h / 2
+	d := Point{-q, -q}
+	if o&1 != 0 {
+		d.X = q
+	}
+	if o&2 != 0 {
+		d.Y = q
+	}
+	return c.Add(d)
+}
+
+func partitionQuadrants(pts []Point, perm []int, start, end int, center Point) (offsets, counts [4]int) {
+	for p := start; p < end; p++ {
+		counts[quadrantOf(pts[p], center)]++
+	}
+	sum := start
+	for o := 0; o < 4; o++ {
+		offsets[o] = sum
+		sum += counts[o]
+	}
+	permuted := make([]Point, end-start)
+	permIdx := make([]int, end-start)
+	cursor := offsets
+	for p := start; p < end; p++ {
+		o := quadrantOf(pts[p], center)
+		permuted[cursor[o]-start] = pts[p]
+		permIdx[cursor[o]-start] = perm[p]
+		cursor[o]++
+	}
+	copy(pts[start:end], permuted)
+	copy(perm[start:end], permIdx)
+	return offsets, counts
+}
+
+func (t *Tree) split(i int) {
+	n := &t.Nodes[i]
+	if (n.NumSources() <= t.MaxLeaf && n.NumTargets() <= t.MaxLeaf) || n.Level >= t.MaxLevel {
+		n.Leaf = true
+		t.numLeaves++
+		if n.Level > t.maxDepth {
+			t.maxDepth = n.Level
+		}
+		return
+	}
+	center := n.Center
+	srcOff, srcCnt := partitionQuadrants(t.Src, t.SrcPerm, n.SrcStart, n.SrcEnd, center)
+	trgOff, trgCnt := srcOff, srcCnt
+	if !t.Shared {
+		trgOff, trgCnt = partitionQuadrants(t.Trg, t.TrgPerm, n.TrgStart, n.TrgEnd, center)
+	}
+	level := n.Level
+	half := n.Half
+	for o := 0; o < 4; o++ {
+		if srcCnt[o] == 0 && trgCnt[o] == 0 {
+			continue
+		}
+		child := t.addNode(Node{
+			Center:   quadrantCenter(center, half, o),
+			Half:     half / 2,
+			Level:    level + 1,
+			Parent:   i,
+			Quadrant: o,
+			SrcStart: srcOff[o], SrcEnd: srcOff[o] + srcCnt[o],
+			TrgStart: trgOff[o], TrgEnd: trgOff[o] + trgCnt[o],
+		})
+		t.Nodes[i].Children[o] = child
+		t.split(child)
+	}
+}
+
+// NumLeaves returns the number of leaf squares.
+func (t *Tree) NumLeaves() int { return t.numLeaves }
+
+// Depth returns the deepest leaf level.
+func (t *Tree) Depth() int { return t.maxDepth }
+
+// Leaves returns leaf indices in construction order.
+func (t *Tree) Leaves() []int {
+	out := make([]int, 0, t.numLeaves)
+	for i := range t.Nodes {
+		if t.Nodes[i].Leaf {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func adjacent(a, b *Node) bool {
+	gap := a.Center.Sub(b.Center).MaxAbs() - (a.Half + b.Half)
+	return gap <= 1e-9*(a.Half+b.Half)
+}
+
+// Validate checks structural invariants for both point sides.
+func (t *Tree) Validate() error {
+	if err := t.validateSide("source", t.Src,
+		func(n *Node) (int, int) { return n.SrcStart, n.SrcEnd }); err != nil {
+		return err
+	}
+	return t.validateSide("target", t.Trg,
+		func(n *Node) (int, int) { return n.TrgStart, n.TrgEnd })
+}
+
+func (t *Tree) validateSide(side string, pts []Point, rng func(*Node) (int, int)) error {
+	seen := make([]bool, len(pts))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		start, end := rng(n)
+		if start < 0 || end > len(pts) || start > end {
+			return fmt.Errorf("fmm2d: node %d has bad %s range", i, side)
+		}
+		if n.Leaf {
+			if n.Level < t.MaxLevel && end-start > t.MaxLeaf {
+				return fmt.Errorf("fmm2d: leaf %d has %d %s points > Q=%d", i, end-start, side, t.MaxLeaf)
+			}
+			for p := start; p < end; p++ {
+				if seen[p] {
+					return fmt.Errorf("fmm2d: %s point %d in two leaves", side, p)
+				}
+				seen[p] = true
+			}
+		}
+		for p := start; p < end; p++ {
+			if pts[p].Sub(n.Center).MaxAbs() > n.Half*(1+1e-9) {
+				return fmt.Errorf("fmm2d: %s point %d outside node %d", side, p, i)
+			}
+		}
+		if !n.Leaf {
+			covered := 0
+			for _, c := range n.Children {
+				if c == nilNode {
+					continue
+				}
+				cn := &t.Nodes[c]
+				if cn.Parent != i || cn.Level != n.Level+1 {
+					return fmt.Errorf("fmm2d: child %d of %d badly linked", c, i)
+				}
+				cs, ce := rng(cn)
+				covered += ce - cs
+			}
+			if covered != end-start {
+				return fmt.Errorf("fmm2d: node %d children cover %d of %d %s points", i, covered, end-start, side)
+			}
+		}
+	}
+	for p, ok := range seen {
+		if !ok {
+			return fmt.Errorf("fmm2d: %s point %d unowned", side, p)
+		}
+	}
+	return nil
+}
+
+// BuildLists computes the U, V, W, X lists — the quadtree instance of
+// the paper's Figure 3.
+func (t *Tree) BuildLists() {
+	colleagues := t.buildColleagues()
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Parent != nilNode {
+			for _, pc := range colleagues[n.Parent] {
+				for _, c := range t.Nodes[pc].Children {
+					if c == nilNode || c == i {
+						continue
+					}
+					if !adjacent(&t.Nodes[c], n) {
+						n.V = append(n.V, int32(c))
+					}
+				}
+			}
+		}
+		if !n.Leaf {
+			continue
+		}
+		t.collectAdjacentLeaves(t.Root, i, &n.U)
+		for _, k := range colleagues[i] {
+			if int(k) == i {
+				continue
+			}
+			t.collectW(int(k), i, &n.W)
+		}
+	}
+	for i := range t.Nodes {
+		if !t.Nodes[i].Leaf {
+			continue
+		}
+		for _, w := range t.Nodes[i].W {
+			t.Nodes[w].X = append(t.Nodes[w].X, int32(i))
+		}
+	}
+}
+
+func (t *Tree) buildColleagues() [][]int32 {
+	col := make([][]int32, len(t.Nodes))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Parent == nilNode {
+			col[i] = []int32{int32(i)}
+			continue
+		}
+		for _, pc := range col[n.Parent] {
+			for _, c := range t.Nodes[pc].Children {
+				if c == nilNode {
+					continue
+				}
+				if adjacent(&t.Nodes[c], n) {
+					col[i] = append(col[i], int32(c))
+				}
+			}
+		}
+	}
+	return col
+}
+
+func (t *Tree) collectAdjacentLeaves(cur, target int, out *[]int32) {
+	cn := &t.Nodes[cur]
+	if !adjacent(cn, &t.Nodes[target]) {
+		return
+	}
+	if cn.Leaf {
+		*out = append(*out, int32(cur))
+		return
+	}
+	for _, c := range cn.Children {
+		if c != nilNode {
+			t.collectAdjacentLeaves(c, target, out)
+		}
+	}
+}
+
+func (t *Tree) collectW(cur, target int, out *[]int32) {
+	cn := &t.Nodes[cur]
+	if cn.Leaf {
+		return
+	}
+	for _, c := range cn.Children {
+		if c == nilNode {
+			continue
+		}
+		if adjacent(&t.Nodes[c], &t.Nodes[target]) {
+			t.collectW(c, target, out)
+		} else {
+			*out = append(*out, int32(c))
+		}
+	}
+}

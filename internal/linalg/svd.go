@@ -1,0 +1,176 @@
+package linalg
+
+import "math"
+
+// SVD holds a thin singular value decomposition a = U * diag(S) * Vᵀ for an
+// m-by-n matrix with m >= n: U is m-by-n with orthonormal columns, S holds
+// the n singular values in descending order, and V is n-by-n orthogonal.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// FactorSVD computes a thin SVD using the one-sided Jacobi method, which is
+// simple, backward stable, and more than fast enough for the operator
+// matrices in this repository (a few hundred rows at most). For inputs with
+// m < n the routine factorizes the transpose and swaps U and V.
+func FactorSVD(a *Matrix) *SVD {
+	if a.Rows < a.Cols {
+		s := FactorSVD(a.T())
+		return &SVD{U: s.V, S: s.S, V: s.U}
+	}
+	m, n := a.Rows, a.Cols
+	u := a.Clone()
+	v := Identity(n)
+
+	// One-sided Jacobi: repeatedly orthogonalize pairs of columns of U,
+	// accumulating rotations into V, until all pairs are orthogonal to
+	// machine precision.
+	const eps = 1e-15
+	for sweep := 0; sweep < 60; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					alpha += up * up
+					beta += uq * uq
+					gamma += up * uq
+				}
+				if gamma == 0 {
+					continue
+				}
+				if math.Abs(gamma) > eps*math.Sqrt(alpha*beta) {
+					off += gamma * gamma
+					// Jacobi rotation that zeroes the (p,q) inner product.
+					zeta := (beta - alpha) / (2 * gamma)
+					t := sign(zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+					c := 1 / math.Sqrt(1+t*t)
+					s := c * t
+					for i := 0; i < m; i++ {
+						up := u.At(i, p)
+						uq := u.At(i, q)
+						u.Set(i, p, c*up-s*uq)
+						u.Set(i, q, s*up+c*uq)
+					}
+					for i := 0; i < n; i++ {
+						vp := v.At(i, p)
+						vq := v.At(i, q)
+						v.Set(i, p, c*vp-s*vq)
+						v.Set(i, q, s*vp+c*vq)
+					}
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Column norms of U are the singular values; normalize the columns.
+	s := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm = math.Hypot(norm, u.At(i, j))
+		}
+		s[j] = norm
+		if norm > 0 {
+			inv := 1 / norm
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)*inv)
+			}
+		}
+	}
+
+	// Sort singular values descending, permuting U and V columns to match.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if s[order[j]] > s[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	su := NewMatrix(m, n)
+	sv := NewMatrix(n, n)
+	ss := make([]float64, n)
+	for jnew, jold := range order {
+		ss[jnew] = s[jold]
+		for i := 0; i < m; i++ {
+			su.Set(i, jnew, u.At(i, jold))
+		}
+		for i := 0; i < n; i++ {
+			sv.Set(i, jnew, v.At(i, jold))
+		}
+	}
+	return &SVD{U: su, S: ss, V: sv}
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// PseudoInverse returns the Moore-Penrose pseudo-inverse computed from the
+// SVD, truncating singular values below rcond times the largest. This is
+// the regularization the kernel-independent FMM uses to invert its
+// (ill-conditioned) equivalent-to-check potential operators.
+func (d *SVD) PseudoInverse(rcond float64) *Matrix {
+	n := len(d.S)
+	cutoff := 0.0
+	if n > 0 {
+		cutoff = rcond * d.S[0]
+	}
+	// pinv = V * diag(1/s) * Uᵀ, skipping truncated values.
+	ut := d.U.T()
+	out := NewMatrix(d.V.Rows, ut.Cols)
+	for k := 0; k < n; k++ {
+		if d.S[k] <= cutoff || d.S[k] == 0 {
+			continue
+		}
+		inv := 1 / d.S[k]
+		for i := 0; i < out.Rows; i++ {
+			vik := d.V.At(i, k) * inv
+			if vik == 0 {
+				continue
+			}
+			urow := ut.Data[k*ut.Cols : (k+1)*ut.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, uv := range urow {
+				orow[j] += vik * uv
+			}
+		}
+	}
+	return out
+}
+
+// PseudoInverse is a convenience wrapper combining FactorSVD and
+// SVD.PseudoInverse.
+func PseudoInverse(a *Matrix, rcond float64) *Matrix {
+	return FactorSVD(a).PseudoInverse(rcond)
+}
+
+// Cond2 returns the 2-norm condition number estimate from the SVD
+// (largest over smallest non-zero singular value). It returns +Inf when
+// the matrix is singular to working precision.
+func (d *SVD) Cond2() float64 {
+	if len(d.S) == 0 || d.S[0] == 0 {
+		return math.Inf(1)
+	}
+	smin := d.S[len(d.S)-1]
+	if smin == 0 {
+		return math.Inf(1)
+	}
+	return d.S[0] / smin
+}

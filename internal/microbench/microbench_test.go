@@ -1,0 +1,218 @@
+package microbench
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/powermon"
+	"dvfsroofline/internal/tegra"
+)
+
+func TestSuiteSizeMatchesPaper(t *testing.T) {
+	// 116 kernels x 16 settings = 1856 samples (§II-C).
+	s := Suite()
+	if len(s) != 116 {
+		t.Fatalf("suite has %d kernels, want 116 (for 1856 samples over 16 settings)", len(s))
+	}
+	if len(s)*len(dvfs.CalibrationSettings()) != 1856 {
+		t.Errorf("suite x calibration settings = %d, want 1856", len(s)*16)
+	}
+}
+
+func TestTableIIIntensityCounts(t *testing.T) {
+	// Table II "out of N" column: Single 25, Double 36, Integer 23,
+	// Shared 10, L2 9.
+	want := map[Kind]int{Single: 25, Double: 36, Integer: 23, Shared: 10, L2: 9, DRAM: 13}
+	for k, n := range want {
+		if got := len(k.Intensities()); got != n {
+			t.Errorf("%v has %d intensities, want %d", k, got, n)
+		}
+	}
+}
+
+func TestIntensitiesMonotoneAndPositive(t *testing.T) {
+	for _, k := range Kinds() {
+		is := k.Intensities()
+		for i, v := range is {
+			if v <= 0 {
+				t.Errorf("%v intensity %d is non-positive: %v", k, i, v)
+			}
+			if i > 0 && is[i] <= is[i-1] {
+				t.Errorf("%v intensities not strictly increasing at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestWorkloadTargetsRightClass(t *testing.T) {
+	const n = 1000.0
+	cases := []struct {
+		kind Kind
+		get  func(w tegra.Workload) float64
+	}{
+		{Single, func(w tegra.Workload) float64 { return w.Profile.SP }},
+		{Double, func(w tegra.Workload) float64 { return w.Profile.DPFMA }},
+		{Integer, func(w tegra.Workload) float64 { return w.Profile.Int }},
+		{Shared, func(w tegra.Workload) float64 { return w.Profile.SharedWords }},
+		{L2, func(w tegra.Workload) float64 { return w.Profile.L2Words }},
+	}
+	for _, c := range cases {
+		b := Benchmark{Kind: c.kind, Intensity: 8}
+		w := b.Workload(n)
+		if got := c.get(w); math.Abs(got-8*n) > 1e-9 {
+			t.Errorf("%v: target-class ops = %v, want %v", c.kind, got, 8*n)
+		}
+		if w.Profile.DRAMWords != n {
+			t.Errorf("%v: DRAM words = %v, want %v", c.kind, w.Profile.DRAMWords, n)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%v: invalid workload: %v", c.kind, err)
+		}
+	}
+}
+
+func TestWorkloadPanicsOnBadElements(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Benchmark{Kind: Single, Intensity: 1}.Workload(0)
+}
+
+func TestRunProducesMeasurableSample(t *testing.T) {
+	r := &Runner{
+		Device: tegra.NewDevice(),
+		Meter:  powermon.NewMeter(powermon.DefaultConfig(), 1),
+	}
+	smp, err := r.Run(Benchmark{Kind: Double, Intensity: 16}, dvfs.MustSetting(852, 924))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.Time < 0.25 || smp.Time > 0.40 {
+		t.Errorf("run time %v outside the sizing window [0.25, 0.40]", smp.Time)
+	}
+	if smp.Energy <= 0 || smp.Power <= 0 {
+		t.Errorf("non-positive measurement: E=%v P=%v", smp.Energy, smp.Power)
+	}
+	// Sanity: power must be at least constant power (~6.8 W at max
+	// setting) and below a plausible board limit.
+	if smp.Power < 5 || smp.Power > 25 {
+		t.Errorf("implausible power %v W", smp.Power)
+	}
+}
+
+func TestRunMeasurementTracksTruth(t *testing.T) {
+	dev := tegra.NewDevice()
+	r := &Runner{Device: dev, Meter: powermon.NewMeter(powermon.DefaultConfig(), 2)}
+	s := dvfs.MustSetting(540, 528)
+	smp, err := r.Run(Benchmark{Kind: L2, Intensity: 32}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dev.Execute(smp.Workload, s).TrueEnergy()
+	rel := math.Abs(smp.Energy-truth) / truth
+	if rel > 0.08 {
+		t.Errorf("measured energy off truth by %v", rel)
+	}
+}
+
+func TestRunSuiteCountAndOrder(t *testing.T) {
+	r := &Runner{
+		Device:     tegra.NewDevice(),
+		Meter:      powermon.NewMeter(powermon.DefaultConfig(), 3),
+		TargetTime: 0.05, // keep the test fast; still > 50 samples at 1024 Hz
+	}
+	benches := []Benchmark{
+		{Kind: Single, Intensity: 1},
+		{Kind: DRAM, Intensity: 0.25},
+	}
+	settings := []dvfs.Setting{dvfs.MustSetting(852, 924), dvfs.MustSetting(396, 204)}
+	samples, err := r.RunSuite(benches, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	// Setting-major order.
+	if samples[0].Setting != settings[0] || samples[2].Setting != settings[1] {
+		t.Error("samples not in setting-major order")
+	}
+	if samples[0].Bench.Kind != Single || samples[1].Bench.Kind != DRAM {
+		t.Error("samples not in benchmark order within a setting")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Single.String() != "Single" || Shared.String() != "Shared memory" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown Kind string wrong")
+	}
+}
+
+func TestComputeBoundRunsFasterAtHigherFrequency(t *testing.T) {
+	// The suite must actually exhibit the intensity behaviour the model
+	// exploits: compute-bound kernels speed up with core frequency,
+	// memory-bound kernels with memory frequency.
+	dev := tegra.NewDevice()
+	cb := Benchmark{Kind: Single, Intensity: 512}.Workload(1e7)
+	mb := Benchmark{Kind: DRAM, Intensity: 1.0 / 64}.Workload(1e7)
+
+	cbFast := dev.Execute(cb, dvfs.MustSetting(852, 204)).Time
+	cbSlow := dev.Execute(cb, dvfs.MustSetting(396, 204)).Time
+	if cbFast >= cbSlow {
+		t.Error("compute-bound kernel did not speed up with core frequency")
+	}
+	mbFast := dev.Execute(mb, dvfs.MustSetting(396, 924)).Time
+	mbSlow := dev.Execute(mb, dvfs.MustSetting(396, 204)).Time
+	if mbFast >= mbSlow {
+		t.Error("memory-bound kernel did not speed up with memory frequency")
+	}
+}
+
+func TestSizeForHitsTarget(t *testing.T) {
+	r := &Runner{Device: tegra.NewDevice(), Meter: powermon.NewMeter(powermon.DefaultConfig(), 9)}
+	b := Benchmark{Kind: Double, Intensity: 8}
+	for _, s := range []dvfs.Setting{dvfs.MaxSetting(), dvfs.MustSetting(180, 204)} {
+		elements := r.SizeFor(b, s, 0.2)
+		exec := tegra.NewDevice().Execute(b.Workload(elements), s)
+		if math.Abs(exec.Time-0.2) > 1e-9 {
+			t.Errorf("%v: sized run takes %v s, want 0.2", s, exec.Time)
+		}
+	}
+}
+
+func TestRunSizedKeepsWorkloadFixed(t *testing.T) {
+	// The same element count at two settings must yield identical
+	// operation profiles (that is the point of RunSized).
+	r := &Runner{Device: tegra.NewDevice(), Meter: powermon.NewMeter(powermon.DefaultConfig(), 10)}
+	b := Benchmark{Kind: L2, Intensity: 16}
+	const elements = 5e7
+	a, err := r.RunSized(b, elements, dvfs.MaxSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.RunSized(b, elements, dvfs.MustSetting(396, 204))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workload.Profile != c.Workload.Profile {
+		t.Error("RunSized changed the workload across settings")
+	}
+	if c.Time <= a.Time {
+		t.Error("slower setting did not take longer for the same work")
+	}
+}
+
+func TestRunSizedTooSmallErrors(t *testing.T) {
+	// A microscopic workload finishes between meter samples and cannot
+	// be measured.
+	r := &Runner{Device: tegra.NewDevice(), Meter: powermon.NewMeter(powermon.DefaultConfig(), 11)}
+	if _, err := r.RunSized(Benchmark{Kind: Single, Intensity: 1}, 10, dvfs.MaxSetting()); err == nil {
+		t.Error("unmeasurably short run accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Package nbody is a gravitational n-body integrator built on the FMM —
+// the downstream application class the paper's proxy stands in for
+// (Eq. 10 "might model electrostatic or gravitational interactions").
+// Each step evaluates the softened potential and force field with the
+// kernel-independent FMM and advances the system with the symplectic
+// leapfrog (kick-drift-kick) scheme.
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"dvfsroofline/internal/fmm"
+)
+
+// System is a self-gravitating particle system. Units are G = 1.
+type System struct {
+	Pos  []fmm.Point // positions
+	Vel  []fmm.Point // velocities
+	Mass []float64   // masses, all > 0
+	Soft float64     // Plummer softening length ε > 0
+	Opt  fmm.Options // FMM options used for force evaluation
+}
+
+// softenedKernel is the Plummer-softened gravitational kernel
+// K(x,y) = 1 / sqrt(|x-y|² + ε²) (up to the 1/4π normalization the FMM
+// kernels carry, which the integrator divides back out).
+type softenedKernel struct {
+	eps2 float64
+}
+
+func (k softenedKernel) Eval(dx, dy, dz float64) float64 {
+	r2 := dx*dx + dy*dy + dz*dz + k.eps2
+	return 1 / (4 * math.Pi * math.Sqrt(r2))
+}
+
+func (k softenedKernel) Name() string { return "plummer-softened" }
+
+func (k softenedKernel) EvalGrad(dx, dy, dz float64) (v, gx, gy, gz float64) {
+	r2 := dx*dx + dy*dy + dz*dz + k.eps2
+	r := math.Sqrt(r2)
+	v = 1 / (4 * math.Pi * r)
+	g := -v / r2
+	return v, g * dx, g * dy, g * dz
+}
+
+// NewSystem validates and assembles a system.
+func NewSystem(pos, vel []fmm.Point, mass []float64, soft float64, opt fmm.Options) (*System, error) {
+	if len(pos) == 0 || len(pos) != len(vel) || len(pos) != len(mass) {
+		return nil, fmt.Errorf("nbody: inconsistent sizes pos=%d vel=%d mass=%d", len(pos), len(vel), len(mass))
+	}
+	if soft <= 0 {
+		return nil, fmt.Errorf("nbody: softening must be positive, got %g", soft)
+	}
+	for i, m := range mass {
+		if m <= 0 || math.IsNaN(m) {
+			return nil, fmt.Errorf("nbody: mass %d is %g", i, m)
+		}
+	}
+	return &System{
+		Pos:  append([]fmm.Point(nil), pos...),
+		Vel:  append([]fmm.Point(nil), vel...),
+		Mass: append([]float64(nil), mass...),
+		Soft: soft,
+		Opt:  opt,
+	}, nil
+}
+
+// Accelerations evaluates the gravitational accelerations (and the
+// potential energy) of the current configuration with the FMM. The FMM
+// kernels carry a 1/4π normalization; gravity does not, so results are
+// scaled by 4π. Gravity attracts: a_i = -∇Φ evaluated here directly.
+func (s *System) Accelerations() ([]fmm.Gradient, float64, error) {
+	opt := s.Opt
+	opt.Kernel = softenedKernel{eps2: s.Soft * s.Soft}
+	res, grad, err := fmm.EvaluateGrad(s.Pos, s.Mass, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	const fourPi = 4 * math.Pi
+	acc := make([]fmm.Gradient, len(grad))
+	for i := range grad {
+		// The gravitational potential is Φ = -Σ m/r = -4π·(kernel sum),
+		// so the acceleration a = -∇Φ = +4π·∇(kernel sum): the kernel
+		// gradient already points toward the sources.
+		acc[i] = fmm.Gradient{
+			fourPi * grad[i][0],
+			fourPi * grad[i][1],
+			fourPi * grad[i][2],
+		}
+	}
+	// Total potential energy U = -1/2 Σ_i m_i Σ_j m_j/r_ij (the self
+	// term vanishes only up to softening; with softening the i=j term is
+	// m_i²/ε, which we subtract explicitly).
+	var u float64
+	for i, m := range s.Mass {
+		u += m * res.Potentials[i] * fourPi
+		u -= m * m / s.Soft // remove the softened self-interaction
+	}
+	return acc, -u / 2, nil
+}
+
+// Step advances the system by dt with one kick-drift-kick leapfrog step.
+func (s *System) Step(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("nbody: non-positive time step %g", dt)
+	}
+	acc, _, err := s.Accelerations()
+	if err != nil {
+		return err
+	}
+	half := dt / 2
+	for i := range s.Vel {
+		s.Vel[i].X += half * acc[i][0]
+		s.Vel[i].Y += half * acc[i][1]
+		s.Vel[i].Z += half * acc[i][2]
+		s.Pos[i].X += dt * s.Vel[i].X
+		s.Pos[i].Y += dt * s.Vel[i].Y
+		s.Pos[i].Z += dt * s.Vel[i].Z
+	}
+	acc, _, err = s.Accelerations()
+	if err != nil {
+		return err
+	}
+	for i := range s.Vel {
+		s.Vel[i].X += half * acc[i][0]
+		s.Vel[i].Y += half * acc[i][1]
+		s.Vel[i].Z += half * acc[i][2]
+	}
+	return nil
+}
+
+// KineticEnergy returns Σ ½ m v².
+func (s *System) KineticEnergy() float64 {
+	var k float64
+	for i, m := range s.Mass {
+		v := s.Vel[i]
+		k += 0.5 * m * (v.X*v.X + v.Y*v.Y + v.Z*v.Z)
+	}
+	return k
+}
+
+// TotalEnergy returns kinetic plus potential energy.
+func (s *System) TotalEnergy() (float64, error) {
+	_, u, err := s.Accelerations()
+	if err != nil {
+		return 0, err
+	}
+	return s.KineticEnergy() + u, nil
+}
+
+// Momentum returns the total linear momentum.
+func (s *System) Momentum() fmm.Point {
+	var p fmm.Point
+	for i, m := range s.Mass {
+		p.X += m * s.Vel[i].X
+		p.Y += m * s.Vel[i].Y
+		p.Z += m * s.Vel[i].Z
+	}
+	return p
+}

@@ -1,0 +1,152 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/fmm"
+)
+
+// cluster builds a small virialized-ish Plummer cluster.
+func cluster(t *testing.T, n int) *System {
+	t.Helper()
+	pos := fmm.GeneratePoints(fmm.Plummer, n, 201)
+	vel := make([]fmm.Point, n)
+	mass := make([]float64, n)
+	for i := range mass {
+		mass[i] = 1.0 / float64(n)
+	}
+	s, err := NewSystem(pos, vel, mass, 0.02, fmm.Options{Q: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	p := []fmm.Point{{X: 0.5, Y: 0.5, Z: 0.5}}
+	v := []fmm.Point{{}}
+	m := []float64{1}
+	if _, err := NewSystem(p, v, m, 0.01, fmm.Options{}); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+	if _, err := NewSystem(p, v, []float64{1, 2}, 0.01, fmm.Options{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := NewSystem(p, v, m, 0, fmm.Options{}); err == nil {
+		t.Error("zero softening accepted")
+	}
+	if _, err := NewSystem(p, v, []float64{-1}, 0.01, fmm.Options{}); err == nil {
+		t.Error("negative mass accepted")
+	}
+}
+
+func TestAccelerationsMatchDirectTwoBody(t *testing.T) {
+	// Two bodies: acceleration magnitude m/(r²+ε²)^(3/2)·r toward the
+	// partner.
+	pos := []fmm.Point{{X: 0.3, Y: 0.5, Z: 0.5}, {X: 0.7, Y: 0.5, Z: 0.5}}
+	vel := make([]fmm.Point, 2)
+	mass := []float64{1, 1}
+	const eps = 0.01
+	s, err := NewSystem(pos, vel, mass, eps, fmm.Options{Q: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _, err := s.Accelerations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 0.4
+	want := r / math.Pow(r*r+eps*eps, 1.5) // toward +x for body 0
+	if math.Abs(acc[0][0]-want)/want > 1e-10 {
+		t.Errorf("a0.x = %v, want %v", acc[0][0], want)
+	}
+	if math.Abs(acc[1][0]+want)/want > 1e-10 {
+		t.Errorf("a1.x = %v, want %v", acc[1][0], -want)
+	}
+	if math.Abs(acc[0][1]) > 1e-12 || math.Abs(acc[0][2]) > 1e-12 {
+		t.Error("transverse acceleration should vanish")
+	}
+}
+
+func TestMomentumConserved(t *testing.T) {
+	s := cluster(t, 2000)
+	before := s.Momentum()
+	for i := 0; i < 3; i++ {
+		if err := s.Step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := s.Momentum()
+	d := fmm.Point{X: after.X - before.X, Y: after.Y - before.Y, Z: after.Z - before.Z}
+	// The FMM's approximate far field breaks exact pairwise antisymmetry
+	// at the expansion-accuracy level, so momentum is conserved to the
+	// force error (~1e-3 relative), not to round-off.
+	if d.Norm() > 3e-4 {
+		t.Errorf("momentum drifted by %v", d.Norm())
+	}
+}
+
+func TestEnergyDriftBounded(t *testing.T) {
+	// Leapfrog is symplectic: over a few small steps the total energy
+	// must stay within a small relative band.
+	s := cluster(t, 1500)
+	e0, err := s.TotalEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Step(5e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1, err := s.TotalEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(e1-e0) / math.Abs(e0); rel > 5e-3 {
+		t.Errorf("energy drifted by %.2e over 5 steps (E0=%v, E1=%v)", rel, e0, e1)
+	}
+}
+
+func TestCollapseUnderGravity(t *testing.T) {
+	// A cold (zero-velocity) cluster must contract: kinetic energy grows
+	// from zero as potential energy is released.
+	s := cluster(t, 1000)
+	if k := s.KineticEnergy(); k != 0 {
+		t.Fatalf("cold start has kinetic energy %v", k)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k := s.KineticEnergy(); k <= 0 {
+		t.Errorf("kinetic energy %v after collapse steps; gravity should accelerate bodies", k)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	s := cluster(t, 100)
+	if err := s.Step(0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if err := s.Step(-1); err == nil {
+		t.Error("negative dt accepted")
+	}
+}
+
+func TestSoftenedKernelGradConsistency(t *testing.T) {
+	k := softenedKernel{eps2: 1e-4}
+	const h = 1e-7
+	d := fmm.Point{X: 0.21, Y: -0.4, Z: 0.33}
+	_, gx, gy, gz := k.EvalGrad(d.X, d.Y, d.Z)
+	fdx := (k.Eval(d.X+h, d.Y, d.Z) - k.Eval(d.X-h, d.Y, d.Z)) / (2 * h)
+	fdy := (k.Eval(d.X, d.Y+h, d.Z) - k.Eval(d.X, d.Y-h, d.Z)) / (2 * h)
+	fdz := (k.Eval(d.X, d.Y, d.Z+h) - k.Eval(d.X, d.Y, d.Z-h)) / (2 * h)
+	for _, pair := range [][2]float64{{gx, fdx}, {gy, fdy}, {gz, fdz}} {
+		if math.Abs(pair[0]-pair[1]) > 1e-5*(1+math.Abs(pair[1])) {
+			t.Errorf("softened gradient %v vs finite difference %v", pair[0], pair[1])
+		}
+	}
+}

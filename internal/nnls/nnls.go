@@ -1,0 +1,197 @@
+// Package nnls implements the Lawson–Hanson active-set algorithm for
+// non-negative least squares: given A (m-by-n) and b, find x >= 0
+// minimizing ||A*x - b||_2.
+//
+// The paper instantiates its DVFS-aware energy roofline (Eq. 9) by NNLS
+// rather than ordinary least squares because every fitted constant is a
+// physical quantity — a switched capacitance or a leakage coefficient —
+// that cannot be negative; under measurement noise an unconstrained fit
+// can and does produce negative energy costs (see BenchmarkNNLSvsLS in
+// the repository root for the ablation).
+package nnls
+
+import (
+	"errors"
+	"math"
+
+	"dvfsroofline/internal/linalg"
+)
+
+// ErrMaxIterations is returned when the active-set loop fails to converge.
+// With exact arithmetic Lawson–Hanson terminates finitely; hitting this
+// limit indicates a pathologically conditioned problem.
+var ErrMaxIterations = errors.New("nnls: exceeded maximum iterations")
+
+// Result reports the solution and diagnostics of an NNLS solve.
+type Result struct {
+	X          []float64 // solution, all entries >= 0
+	Residual   float64   // ||A*x - b||_2
+	Iterations int       // outer-loop iterations used
+	Passive    []bool    // Passive[j] reports whether x[j] is unconstrained (in the passive set)
+}
+
+// Solve runs Lawson–Hanson NNLS. The tolerance for the dual feasibility
+// test is scaled from the data; passing tol <= 0 selects it automatically.
+func Solve(a *linalg.Matrix, b []float64, tol float64) (*Result, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		panic("nnls: right-hand side length mismatch")
+	}
+	if tol <= 0 {
+		// Standard choice: a small multiple of machine epsilon scaled by
+		// the problem size and the magnitude of Aᵀb.
+		tol = 10 * 2.220446049250313e-16 * float64(m*n) * maxAbs(a.T().MulVec(b))
+		if tol == 0 {
+			tol = 1e-12
+		}
+	}
+
+	x := make([]float64, n)
+	passive := make([]bool, n)
+	resid := append([]float64(nil), b...) // b - A*x, x = 0 initially
+
+	maxIter := 3 * n
+	if maxIter < 30 {
+		maxIter = 30
+	}
+	iters := 0
+	for {
+		// Dual vector w = Aᵀ(b - A*x).
+		w := a.T().MulVec(resid)
+
+		// Find the most violated constraint among active (clamped) vars.
+		t := -1
+		wmax := tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > wmax {
+				wmax = w[j]
+				t = j
+			}
+		}
+		if t < 0 {
+			break // KKT conditions met
+		}
+		passive[t] = true
+
+		for {
+			iters++
+			if iters > maxIter {
+				return nil, ErrMaxIterations
+			}
+			// Solve the unconstrained LS problem on the passive set.
+			z, err := solvePassive(a, b, passive)
+			if err != nil {
+				// Numerically dependent column: drop the variable we just
+				// admitted and continue with the rest.
+				passive[t] = false
+				break
+			}
+			if allPositive(z, passive, 0) {
+				copyPassive(x, z, passive)
+				break
+			}
+			// Some passive variable went non-positive: move along the
+			// segment from x toward z until the first variable hits zero,
+			// then clamp it back into the active set.
+			alpha := math.Inf(1)
+			for j := 0; j < n; j++ {
+				if passive[j] && z[j] <= 0 {
+					if d := x[j] - z[j]; d > 0 {
+						if r := x[j] / d; r < alpha {
+							alpha = r
+						}
+					} else {
+						alpha = 0
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					x[j] += alpha * (z[j] - x[j])
+					if x[j] <= tol {
+						x[j] = 0
+						passive[j] = false
+					}
+				}
+			}
+		}
+
+		// Refresh the residual for the next dual test.
+		ax := a.MulVec(x)
+		for i := range resid {
+			resid[i] = b[i] - ax[i]
+		}
+	}
+
+	ax := a.MulVec(x)
+	for i := range resid {
+		resid[i] = b[i] - ax[i]
+	}
+	return &Result{
+		X:          x,
+		Residual:   linalg.Norm2(resid),
+		Iterations: iters,
+		Passive:    passive,
+	}, nil
+}
+
+// solvePassive solves the least-squares problem restricted to the passive
+// columns, returning a full-length vector with zeros in active positions.
+func solvePassive(a *linalg.Matrix, b []float64, passive []bool) ([]float64, error) {
+	cols := make([]int, 0, len(passive))
+	for j, p := range passive {
+		if p {
+			cols = append(cols, j)
+		}
+	}
+	if len(cols) == 0 {
+		return make([]float64, len(passive)), nil
+	}
+	sub := linalg.NewMatrix(a.Rows, len(cols))
+	for i := 0; i < a.Rows; i++ {
+		for jj, j := range cols {
+			sub.Set(i, jj, a.At(i, j))
+		}
+	}
+	zsub, err := linalg.SolveLS(sub, b)
+	if err != nil {
+		return nil, err
+	}
+	z := make([]float64, len(passive))
+	for jj, j := range cols {
+		z[j] = zsub[jj]
+	}
+	return z, nil
+}
+
+func allPositive(z []float64, passive []bool, tol float64) bool {
+	for j, p := range passive {
+		if p && z[j] <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+func copyPassive(x, z []float64, passive []bool) {
+	for j, p := range passive {
+		if p {
+			x[j] = z[j]
+		} else {
+			x[j] = 0
+		}
+	}
+}
+
+func maxAbs(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,188 @@
+package nnls
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvfsroofline/internal/linalg"
+)
+
+func TestSolveRecoverNonnegative(t *testing.T) {
+	// When the unconstrained LS solution is already non-negative, NNLS
+	// must find it exactly.
+	a := linalg.FromRows([][]float64{
+		{1, 0, 0},
+		{0, 2, 0},
+		{0, 0, 3},
+		{1, 1, 1},
+	})
+	want := []float64{1, 0.5, 2}
+	b := a.MulVec(want)
+	res, err := Solve(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+	if res.Residual > 1e-10 {
+		t.Errorf("residual = %v, want ~0", res.Residual)
+	}
+}
+
+func TestSolveClampsNegative(t *testing.T) {
+	// Classic example: the LS solution has a negative component; NNLS
+	// must clamp it to zero and re-optimize the rest.
+	a := linalg.FromRows([][]float64{
+		{1, 1},
+		{1, -1},
+	})
+	// Unconstrained solution of b=(0,2) is x=(1,-1); NNLS must return
+	// x=(x1,0) minimizing (x1)²+(x1-2)² -> x1=1.
+	b := []float64{0, 2}
+	res, err := Solve(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[1] != 0 {
+		t.Errorf("x[1] = %v, want 0 (clamped)", res.X[1])
+	}
+	if math.Abs(res.X[0]-1) > 1e-10 {
+		t.Errorf("x[0] = %v, want 1", res.X[0])
+	}
+}
+
+func TestSolveAllZero(t *testing.T) {
+	// If b is in the cone of -A columns, the best non-negative x is 0.
+	a := linalg.FromRows([][]float64{{1}, {1}})
+	res, err := Solve(a, []float64{-1, -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 0 {
+		t.Errorf("x = %v, want 0", res.X[0])
+	}
+	if math.Abs(res.Residual-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("residual = %v, want sqrt(2)", res.Residual)
+	}
+}
+
+func TestKKTConditions(t *testing.T) {
+	// Property: the NNLS solution satisfies the KKT conditions —
+	// x >= 0, w = Aᵀ(b-Ax) <= tol for active vars, |w| ~ 0 for passive.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(10)
+		n := 1 + rng.Intn(5)
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		res, err := Solve(a, b, 0)
+		if err != nil {
+			return true // ill-conditioned draw is acceptable
+		}
+		ax := a.MulVec(res.X)
+		r := make([]float64, m)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		w := a.T().MulVec(r)
+		for j := 0; j < n; j++ {
+			if res.X[j] < 0 {
+				return false
+			}
+			if res.X[j] > 0 && math.Abs(w[j]) > 1e-6 {
+				return false // gradient must vanish for interior vars
+			}
+			if res.X[j] == 0 && w[j] > 1e-6 {
+				return false // no descent direction may remain
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResidualNeverWorseThanZeroVector(t *testing.T) {
+	// Property: NNLS cannot do worse than x = 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + rng.Intn(8)
+		n := 1 + rng.Intn(4)
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		res, err := Solve(a, b, 0)
+		if err != nil {
+			return true
+		}
+		return res.Residual <= linalg.Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyModelShapedProblem(t *testing.T) {
+	// A fit shaped like the paper's Eq. 9 design matrix: columns are
+	// op-count x voltage² products plus time columns, with known
+	// non-negative ground truth and small noise. NNLS must recover the
+	// truth to within the noise level.
+	rng := rand.New(rand.NewSource(42))
+	truth := []float64{27.33, 131.12, 56.56, 369.63, 2.70, 3.80, 0.15}
+	n := len(truth)
+	m := 120
+	a := linalg.NewMatrix(m, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.Float64()*10)
+		}
+		dot := 0.0
+		for j := 0; j < n; j++ {
+			dot += a.At(i, j) * truth[j]
+		}
+		b[i] = dot * (1 + 0.001*rng.NormFloat64())
+	}
+	res, err := Solve(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range truth {
+		// Small coefficients absorb proportionally more of the noise, so
+		// allow them a looser relative tolerance.
+		tol := 0.05
+		if truth[j] < 10 {
+			tol = 0.15
+		}
+		rel := math.Abs(res.X[j]-truth[j]) / truth[j]
+		if rel > tol {
+			t.Errorf("coefficient %d: got %v, want %v (rel err %.3f)", j, res.X[j], truth[j], rel)
+		}
+	}
+}
+
+func TestSolveRHSMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched rhs")
+		}
+	}()
+	Solve(linalg.NewMatrix(3, 2), []float64{1, 2}, 0)
+}

@@ -1,0 +1,130 @@
+// Package powermon simulates the PowerMon 2 measurement device of Bedard
+// et al. (paper §II-B): an in-line power meter between the supply and the
+// Jetson TK1 that samples direct current and voltage at up to 1024 Hz.
+//
+// The meter observes only an instantaneous power trace (watts as a
+// function of time); energy is recovered by integrating discrete samples,
+// exactly as the paper's measurement pipeline does. The simulation
+// includes the device's principal error sources — per-session gain error
+// from the sense-resistor tolerance, additive sample noise, and ADC
+// quantization — all driven by a seeded generator so experiments are
+// reproducible.
+//
+// Substitution note (DESIGN.md §2): this package replaces the physical
+// PowerMon 2 board. The modeling pipeline obtains every "measured" joule
+// through this sampled path, never from the simulator's closed-form
+// energy, so measurement error is part of the reproduction.
+package powermon
+
+import (
+	"fmt"
+	"math"
+
+	"dvfsroofline/internal/stats"
+)
+
+// MaxSampleRate is the PowerMon 2's maximum sampling rate in Hz.
+const MaxSampleRate = 1024.0
+
+// Config describes one measurement session.
+type Config struct {
+	SampleRate float64 // samples per second; clamped to MaxSampleRate
+	GainSigma  float64 // relative std-dev of the per-measurement gain error
+	NoiseSigma float64 // additive white noise per sample, in watts
+	QuantumW   float64 // ADC quantization step in watts (0 disables)
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments: full rate, 3 % gain tolerance, 10 mW sample noise, and a
+// 5 mW ADC step (12-bit converter over a ~20 W range).
+func DefaultConfig() Config {
+	return Config{SampleRate: MaxSampleRate, GainSigma: 0.030, NoiseSigma: 0.010, QuantumW: 0.005}
+}
+
+// Meter is a simulated PowerMon 2. Create one per experiment with NewMeter;
+// measurements drawn from the same meter share its random stream, so a
+// fixed seed reproduces an entire measurement campaign.
+type Meter struct {
+	cfg Config
+	rng *stats.RNG
+}
+
+// NewMeter returns a meter with the given configuration and seed.
+func NewMeter(cfg Config, seed int64) *Meter {
+	if cfg.SampleRate <= 0 || cfg.SampleRate > MaxSampleRate {
+		cfg.SampleRate = MaxSampleRate
+	}
+	if cfg.GainSigma < 0 || cfg.NoiseSigma < 0 || cfg.QuantumW < 0 {
+		panic(fmt.Sprintf("powermon: negative noise parameter in %+v", cfg))
+	}
+	return &Meter{cfg: cfg, rng: stats.NewRNG(seed)}
+}
+
+// Measurement is the outcome of sampling one run.
+type Measurement struct {
+	Duration  float64   // seconds observed
+	Samples   []float64 // sampled power values, watts
+	Energy    float64   // joules, trapezoidal integral of Samples
+	MeanPower float64   // watts, Energy / Duration
+}
+
+// Measure samples the power trace over [0, duration] and integrates the
+// samples into an energy estimate. The trace function must be defined on
+// the whole interval. Runs shorter than two sample periods cannot be
+// integrated and yield an error; callers should repeat short kernels
+// until they fill a measurable window (as the paper's microbenchmark
+// harness does).
+func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measurement, error) {
+	if duration <= 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
+		return Measurement{}, fmt.Errorf("powermon: invalid duration %g", duration)
+	}
+	dt := 1 / m.cfg.SampleRate
+	n := int(duration/dt) + 1
+	if n < 3 {
+		return Measurement{}, fmt.Errorf("powermon: run of %gs too short to sample at %g Hz", duration, m.cfg.SampleRate)
+	}
+	gain := m.rng.Normal(1, m.cfg.GainSigma)
+	samples := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		if t > duration {
+			t = duration
+		}
+		v := trace(t)*gain + m.rng.Normal(0, m.cfg.NoiseSigma)
+		if q := m.cfg.QuantumW; q > 0 {
+			v = math.Round(v/q) * q
+		}
+		if v < 0 {
+			v = 0
+		}
+		samples[i] = v
+	}
+	// Trapezoidal integration over the sample grid, with the final
+	// partial interval handled at the trailing edge.
+	var energy float64
+	for i := 1; i < n; i++ {
+		step := dt
+		if t := float64(i) * dt; t > duration {
+			step = duration - float64(i-1)*dt
+		}
+		energy += 0.5 * (samples[i-1] + samples[i]) * step
+	}
+	return Measurement{
+		Duration:  duration,
+		Samples:   samples,
+		Energy:    energy,
+		MeanPower: energy / duration,
+	}, nil
+}
+
+// MinDuration returns the shortest run the meter can integrate with at
+// least k samples. Harnesses use it to size kernel repetition counts.
+func (m *Meter) MinDuration(k int) float64 {
+	if k < 3 {
+		k = 3
+	}
+	return float64(k) / m.cfg.SampleRate
+}
+
+// SampleRate returns the configured sampling rate in Hz.
+func (m *Meter) SampleRate() float64 { return m.cfg.SampleRate }

@@ -1,0 +1,169 @@
+package powermon
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/tegra"
+)
+
+// noiseless returns a config with every error source disabled.
+func noiseless(rate float64) Config {
+	return Config{SampleRate: rate}
+}
+
+func TestConstantTraceExactWithoutNoise(t *testing.T) {
+	m := NewMeter(noiseless(1024), 1)
+	meas, err := m.Measure(func(float64) float64 { return 5.0 }, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(meas.Energy-5.0) > 1e-9 {
+		t.Errorf("energy = %v, want 5.0 J", meas.Energy)
+	}
+	if math.Abs(meas.MeanPower-5.0) > 1e-9 {
+		t.Errorf("mean power = %v, want 5.0 W", meas.MeanPower)
+	}
+}
+
+func TestLinearTraceTrapezoidExact(t *testing.T) {
+	// The trapezoid rule is exact for linear integrands.
+	m := NewMeter(noiseless(512), 1)
+	meas, err := m.Measure(func(t float64) float64 { return 2 + 3*t }, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 + 1.5 // integral of 2+3t over [0,1]
+	if math.Abs(meas.Energy-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", meas.Energy, want)
+	}
+}
+
+func TestTooShortRunRejected(t *testing.T) {
+	m := NewMeter(DefaultConfig(), 1)
+	if _, err := m.Measure(func(float64) float64 { return 1 }, 0.001); err == nil {
+		t.Error("expected error for sub-sample-period run")
+	}
+	if _, err := m.Measure(func(float64) float64 { return 1 }, -1); err == nil {
+		t.Error("expected error for negative duration")
+	}
+	if _, err := m.Measure(func(float64) float64 { return 1 }, math.NaN()); err == nil {
+		t.Error("expected error for NaN duration")
+	}
+}
+
+func TestGainErrorBoundsAccuracy(t *testing.T) {
+	// With the default 2% gain sigma, measured energy of a constant
+	// trace should stay within ~3 sigma of truth, and across many
+	// measurements the mean should converge to truth.
+	m := NewMeter(DefaultConfig(), 42)
+	const truth = 6.0
+	var sum float64
+	const reps = 300
+	for i := 0; i < reps; i++ {
+		meas, err := m.Measure(func(float64) float64 { return truth }, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(meas.Energy-truth*0.5) / (truth * 0.5)
+		if rel > 0.11 { // ~4 sigma of the default 3% gain error
+			t.Errorf("measurement %d: relative error %v too large", i, rel)
+		}
+		sum += meas.Energy
+	}
+	meanRel := math.Abs(sum/reps-truth*0.5) / (truth * 0.5)
+	if meanRel > 0.005 {
+		t.Errorf("mean of %d measurements off by %v; gain error should be unbiased", reps, meanRel)
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	cfg := Config{SampleRate: 1024, QuantumW: 0.5}
+	m := NewMeter(cfg, 1)
+	meas, err := m.Measure(func(float64) float64 { return 5.2 }, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range meas.Samples {
+		if math.Abs(s-math.Round(s/0.5)*0.5) > 1e-12 {
+			t.Fatalf("sample %v not quantized to 0.5 W", s)
+		}
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	cfg := Config{SampleRate: 1024, NoiseSigma: 2.0}
+	m := NewMeter(cfg, 7)
+	meas, err := m.Measure(func(float64) float64 { return 0.1 }, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range meas.Samples {
+		if s < 0 {
+			t.Fatal("negative power sample survived clamping")
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, _ := NewMeter(DefaultConfig(), 9).Measure(func(t float64) float64 { return 3 + t }, 0.5)
+	b, _ := NewMeter(DefaultConfig(), 9).Measure(func(t float64) float64 { return 3 + t }, 0.5)
+	if a.Energy != b.Energy {
+		t.Error("same seed should reproduce the measurement")
+	}
+	c, _ := NewMeter(DefaultConfig(), 10).Measure(func(t float64) float64 { return 3 + t }, 0.5)
+	if a.Energy == c.Energy {
+		t.Error("different seeds should perturb the measurement")
+	}
+}
+
+func TestMinDuration(t *testing.T) {
+	m := NewMeter(DefaultConfig(), 1)
+	if d := m.MinDuration(256); d != 0.25 {
+		t.Errorf("MinDuration(256) = %v, want 0.25", d)
+	}
+	if d := m.MinDuration(0); d != 3.0/1024 {
+		t.Errorf("MinDuration(0) = %v, want %v", d, 3.0/1024)
+	}
+}
+
+func TestRateClamped(t *testing.T) {
+	m := NewMeter(Config{SampleRate: 1e6}, 1)
+	if m.SampleRate() != MaxSampleRate {
+		t.Errorf("rate %v not clamped to %v", m.SampleRate(), MaxSampleRate)
+	}
+}
+
+func TestNegativeConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMeter(Config{SampleRate: 100, GainSigma: -1}, 1)
+}
+
+func TestMeasureTegraRunMatchesTrueEnergy(t *testing.T) {
+	// End-to-end: sampling a simulated device run must land within a few
+	// percent of the device's closed-form energy.
+	dev := tegra.NewDevice()
+	w := tegra.Workload{
+		Profile:   counters.Profile{SP: 5e9, DRAMWords: 5e7},
+		Occupancy: 0.9,
+	}
+	e := dev.Execute(w, dvfs.MustSetting(852, 924))
+	if e.Time < 0.02 {
+		t.Fatalf("test workload too short to sample: %v s", e.Time)
+	}
+	m := NewMeter(DefaultConfig(), 3)
+	meas, err := m.Measure(e.PowerAt, e.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(meas.Energy-e.TrueEnergy()) / e.TrueEnergy()
+	if rel > 0.08 {
+		t.Errorf("measured %v J vs true %v J (rel %v)", meas.Energy, e.TrueEnergy(), rel)
+	}
+}

@@ -1,0 +1,109 @@
+package powermon
+
+import (
+	"fmt"
+	"math"
+
+	"dvfsroofline/internal/stats"
+)
+
+// Trace segmentation: the paper's goal is to "identify where a program
+// or the underlying hardware spends its energy". Phased applications
+// such as the FMM show up in a PowerMon trace as a piecewise-constant
+// power profile; this file recovers those phases from the samples alone
+// (no knowledge of the application), so measured per-phase energy can be
+// compared against the model's per-phase predictions.
+
+// Segment is one detected constant-power region of a trace.
+type Segment struct {
+	Start, End float64 // seconds, [Start, End)
+	MeanPower  float64 // watts
+	Energy     float64 // joules, MeanPower x duration
+}
+
+// Duration returns the segment length in seconds.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// SegmentTrace partitions a measurement into constant-power segments by
+// recursive binary splitting: the best split point of a region is the
+// one maximizing the mean-power difference between its two sides, and a
+// split is accepted while that difference exceeds both the noise floor
+// (estimated from first differences) and minJump watts. Regions shorter
+// than minDuration seconds are never split.
+func (m *Meter) SegmentTrace(meas Measurement, minDuration, minJump float64) ([]Segment, error) {
+	if len(meas.Samples) < 4 {
+		return nil, fmt.Errorf("powermon: too few samples to segment")
+	}
+	if minDuration <= 0 {
+		minDuration = 4 / m.cfg.SampleRate
+	}
+	dt := 1 / m.cfg.SampleRate
+	minLen := int(minDuration / dt)
+	if minLen < 2 {
+		minLen = 2
+	}
+
+	// Noise floor: median absolute first difference, scaled. Robust to
+	// the step changes themselves (they are rare among the diffs).
+	noise := stats.MedianAbsDiff(meas.Samples) * 3
+	if minJump < noise {
+		minJump = noise
+	}
+
+	var bounds []int
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2*minLen {
+			return
+		}
+		// Prefix sums for O(1) mean queries.
+		best, bestGap := -1, 0.0
+		var sum float64
+		prefix := make([]float64, hi-lo+1)
+		for i := lo; i < hi; i++ {
+			sum += meas.Samples[i]
+			prefix[i-lo+1] = sum
+		}
+		total := prefix[hi-lo]
+		for cut := lo + minLen; cut <= hi-minLen; cut++ {
+			left := prefix[cut-lo] / float64(cut-lo)
+			right := (total - prefix[cut-lo]) / float64(hi-cut)
+			if gap := math.Abs(left - right); gap > bestGap {
+				bestGap, best = gap, cut
+			}
+		}
+		if best < 0 || bestGap < minJump {
+			return
+		}
+		split(lo, best)
+		bounds = append(bounds, best)
+		split(best, hi)
+	}
+	split(0, len(meas.Samples))
+
+	// Assemble segments from the sorted boundaries (recursion emits them
+	// in order).
+	edges := append([]int{0}, bounds...)
+	edges = append(edges, len(meas.Samples))
+	out := make([]Segment, 0, len(edges)-1)
+	for i := 1; i < len(edges); i++ {
+		lo, hi := edges[i-1], edges[i]
+		var sum float64
+		for j := lo; j < hi; j++ {
+			sum += meas.Samples[j]
+		}
+		mean := sum / float64(hi-lo)
+		start := float64(lo) * dt
+		end := float64(hi) * dt
+		if end > meas.Duration {
+			end = meas.Duration
+		}
+		out = append(out, Segment{
+			Start:     start,
+			End:       end,
+			MeanPower: mean,
+			Energy:    mean * (end - start),
+		})
+	}
+	return out, nil
+}

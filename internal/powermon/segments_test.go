@@ -1,0 +1,110 @@
+package powermon
+
+import (
+	"math"
+	"testing"
+)
+
+// stepTrace builds a piecewise-constant power function.
+func stepTrace(levels []float64, segDur float64) (func(float64) float64, float64) {
+	total := segDur * float64(len(levels))
+	return func(t float64) float64 {
+		idx := int(t / segDur)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		return levels[idx]
+	}, total
+}
+
+func TestSegmentTraceCleanSteps(t *testing.T) {
+	levels := []float64{5, 9, 6.5}
+	trace, dur := stepTrace(levels, 0.5)
+	m := NewMeter(Config{SampleRate: 1024}, 1) // noiseless
+	meas, err := m.Measure(trace, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := m.SegmentTrace(meas, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("found %d segments, want 3: %+v", len(segs), segs)
+	}
+	for i, want := range levels {
+		if math.Abs(segs[i].MeanPower-want) > 0.05 {
+			t.Errorf("segment %d mean %.2f, want %.2f", i, segs[i].MeanPower, want)
+		}
+		if math.Abs(segs[i].Duration()-0.5) > 0.02 {
+			t.Errorf("segment %d duration %.3f, want 0.5", i, segs[i].Duration())
+		}
+	}
+}
+
+func TestSegmentTraceWithNoise(t *testing.T) {
+	levels := []float64{6, 10}
+	trace, dur := stepTrace(levels, 0.8)
+	m := NewMeter(DefaultConfig(), 3)
+	meas, err := m.Measure(trace, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := m.SegmentTrace(meas, 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("found %d segments, want 2", len(segs))
+	}
+	// Boundary within 30 ms of the true step.
+	if math.Abs(segs[0].End-0.8) > 0.03 {
+		t.Errorf("boundary at %.3f, want 0.8", segs[0].End)
+	}
+}
+
+func TestSegmentTraceFlat(t *testing.T) {
+	m := NewMeter(DefaultConfig(), 5)
+	meas, err := m.Measure(func(float64) float64 { return 7 }, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := m.SegmentTrace(meas, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("flat trace split into %d segments", len(segs))
+	}
+}
+
+func TestSegmentEnergySumsToTotal(t *testing.T) {
+	levels := []float64{5, 8, 6, 9}
+	trace, dur := stepTrace(levels, 0.4)
+	m := NewMeter(Config{SampleRate: 1024}, 7)
+	meas, err := m.Measure(trace, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := m.SegmentTrace(meas, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range segs {
+		sum += s.Energy
+	}
+	if rel := math.Abs(sum-meas.Energy) / meas.Energy; rel > 0.01 {
+		t.Errorf("segment energies sum to %.3f vs measured %.3f", sum, meas.Energy)
+	}
+}
+
+func TestSegmentTraceTooShort(t *testing.T) {
+	m := NewMeter(DefaultConfig(), 9)
+	if _, err := m.SegmentTrace(Measurement{Samples: []float64{1, 2}}, 0, 0); err == nil {
+		t.Error("expected error for too-short trace")
+	}
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stddev != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 || s.Stddev != 0 {
+		t.Fatalf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// Sample variance of {2,4,4,4,5,5,7,9} about mean 5 is 32/7.
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeBounds(t *testing.T) {
+	// Property: min <= mean <= max, stddev >= 0, for any input.
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-9*math.Abs(s.Mean)+1e-300 &&
+			s.Mean <= s.Max+1e-9*math.Abs(s.Max)+1e-300 &&
+			s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	cases := []struct {
+		pred, act, want float64
+	}{
+		{110, 100, 0.10},
+		{90, 100, 0.10},
+		{100, 100, 0},
+		{0, 0, 0},
+		{-50, -100, 0.5},
+	}
+	for _, c := range cases {
+		if got := RelErr(c.pred, c.act); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelErr(%v,%v) = %v, want %v", c.pred, c.act, got, c.want)
+		}
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1,0) should be +Inf")
+	}
+}
+
+func TestRelErrsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched lengths")
+		}
+	}()
+	RelErrs([]float64{1}, []float64{1, 2})
+}
+
+func TestKFoldPartition(t *testing.T) {
+	n, k := 23, 5
+	folds := KFold(n, k, 1)
+	if len(folds) != k {
+		t.Fatalf("got %d folds, want %d", len(folds), k)
+	}
+	seen := make(map[int]int)
+	for _, f := range folds {
+		if len(f.Train)+len(f.Test) != n {
+			t.Errorf("fold train+test = %d, want %d", len(f.Train)+len(f.Test), n)
+		}
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		// Train and test must be disjoint.
+		inTest := make(map[int]bool)
+		for _, i := range f.Test {
+			inTest[i] = true
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Errorf("index %d in both train and test", i)
+			}
+		}
+	}
+	// Every index appears in exactly one test fold.
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Errorf("index %d appears in %d test folds, want 1", i, seen[i])
+		}
+	}
+}
+
+func TestKFoldSizesBalanced(t *testing.T) {
+	folds := KFold(16, 16, 42)
+	for i, f := range folds {
+		if len(f.Test) != 1 {
+			t.Errorf("fold %d: 16-fold CV of 16 samples should have 1 test sample, got %d", i, len(f.Test))
+		}
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	a := KFold(10, 3, 7)
+	b := KFold(10, 3, 7)
+	for i := range a {
+		if len(a[i].Test) != len(b[i].Test) {
+			t.Fatal("KFold not deterministic for identical seeds")
+		}
+		for j := range a[i].Test {
+			if a[i].Test[j] != b[i].Test[j] {
+				t.Fatal("KFold not deterministic for identical seeds")
+			}
+		}
+	}
+}
+
+func TestKFoldPanics(t *testing.T) {
+	for _, bad := range []struct{ n, k int }{{5, 1}, {5, 6}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KFold(%d,%d) should panic", bad.n, bad.k)
+				}
+			}()
+			KFold(bad.n, bad.k, 0)
+		}()
+	}
+}
+
+func TestHoldout(t *testing.T) {
+	f := Holdout([]bool{true, false, true, true, false})
+	if len(f.Train) != 3 || len(f.Test) != 2 {
+		t.Fatalf("holdout sizes wrong: %+v", f)
+	}
+	if f.Train[0] != 0 || f.Train[1] != 2 || f.Train[2] != 3 {
+		t.Errorf("train indices wrong: %v", f.Train)
+	}
+	if f.Test[0] != 1 || f.Test[1] != 4 {
+		t.Errorf("test indices wrong: %v", f.Test)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	g := NewRNG(5)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := g.Normal(10, 2)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+	if Median([]float64{3}) != 3 {
+		t.Error("single-element median wrong")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median wrong")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Error("even median should interpolate")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := map[float64]float64{0: 10, 0.25: 20, 0.5: 30, 0.75: 40, 1: 50, 0.1: 14}
+	for p, want := range cases {
+		if got := Percentile(xs, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P%.0f = %v, want %v", p*100, got, want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 10 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p > 1")
+		}
+	}()
+	Percentile([]float64{1}, 1.5)
+}
+
+func TestMedianAbsDiff(t *testing.T) {
+	// Flat signal with one step: the step barely moves the median.
+	xs := []float64{5, 5.01, 4.99, 5, 9, 9.01, 8.99, 9}
+	mad := MedianAbsDiff(xs)
+	if mad > 0.05 {
+		t.Errorf("MAD = %v; a single step should not dominate", mad)
+	}
+	if MedianAbsDiff([]float64{1}) != 0 {
+		t.Error("MAD of one sample should be 0")
+	}
+}

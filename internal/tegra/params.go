@@ -1,0 +1,70 @@
+package tegra
+
+import "fmt"
+
+// DeviceParams describes a SoC for the simulator, so analysts can apply
+// the paper's methodology to platforms other than the Tegra K1 ("users
+// can easily replicate our experiments on their own systems", §VI). The
+// zero value is invalid; start from TK1Params and adjust.
+type DeviceParams struct {
+	// Per-op dynamic energy coefficients ĉ0, pJ per op per V².
+	SPpJ, DPpJ, IntpJ, SharedpJ, L2pJ, DRAMpJ float64
+	// Leakage coefficients in W/V and the operation-independent power.
+	LeakProcWpV, LeakMemWpV, MiscW float64
+	// Non-ideality knobs; zero values yield an ideal (exactly-linear)
+	// device.
+	ActivitySlope float64
+	ThermalSlope  float64
+	FreqSlope     float64
+	MixJitterAmp  float64
+	StallWatts    float64
+}
+
+// TK1Params returns the Tegra K1 ground truth used throughout the
+// reproduction (DESIGN.md §5), including its default non-idealities.
+func TK1Params() DeviceParams {
+	t := defaultTruth
+	return DeviceParams{
+		SPpJ: t.sp, DPpJ: t.dp, IntpJ: t.intg,
+		SharedpJ: t.shared, L2pJ: t.l2, DRAMpJ: t.dram,
+		LeakProcWpV: t.leakProc, LeakMemWpV: t.leakMem, MiscW: t.misc,
+		ActivitySlope: t.activitySlope, ThermalSlope: t.thermalSlope,
+		FreqSlope: t.freqSlope, MixJitterAmp: t.mixJitterAmp, StallWatts: t.stallWatts,
+	}
+}
+
+// Validate reports an error for physically meaningless parameters.
+func (p DeviceParams) Validate() error {
+	for name, v := range map[string]float64{
+		"SPpJ": p.SPpJ, "DPpJ": p.DPpJ, "IntpJ": p.IntpJ,
+		"SharedpJ": p.SharedpJ, "L2pJ": p.L2pJ, "DRAMpJ": p.DRAMpJ,
+	} {
+		if v <= 0 {
+			return fmt.Errorf("tegra: %s must be positive, got %g", name, v)
+		}
+	}
+	for name, v := range map[string]float64{
+		"LeakProcWpV": p.LeakProcWpV, "LeakMemWpV": p.LeakMemWpV, "MiscW": p.MiscW,
+		"ActivitySlope": p.ActivitySlope, "ThermalSlope": p.ThermalSlope,
+		"MixJitterAmp": p.MixJitterAmp, "StallWatts": p.StallWatts,
+	} {
+		if v < 0 {
+			return fmt.Errorf("tegra: %s must be non-negative, got %g", name, v)
+		}
+	}
+	return nil
+}
+
+// NewCustomDevice builds a simulated device from explicit parameters.
+func NewCustomDevice(p DeviceParams) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{truth: groundTruth{
+		sp: p.SPpJ, dp: p.DPpJ, intg: p.IntpJ,
+		shared: p.SharedpJ, l2: p.L2pJ, dram: p.DRAMpJ,
+		leakProc: p.LeakProcWpV, leakMem: p.LeakMemWpV, misc: p.MiscW,
+		activitySlope: p.ActivitySlope, thermalSlope: p.ThermalSlope,
+		freqSlope: p.FreqSlope, mixJitterAmp: p.MixJitterAmp, stallWatts: p.StallWatts,
+	}}, nil
+}

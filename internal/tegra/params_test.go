@@ -1,0 +1,107 @@
+package tegra
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+func TestTK1ParamsRoundTrip(t *testing.T) {
+	// A device built from TK1Params must behave identically to
+	// NewDevice().
+	custom, err := NewCustomDevice(TK1Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stock := NewDevice()
+	w := Workload{
+		Profile:   counters.Profile{DPFMA: 1e8, Int: 2e8, SharedWords: 5e7, DRAMWords: 1e7},
+		Occupancy: 0.4,
+	}
+	s := dvfs.MustSetting(540, 528)
+	a := stock.Execute(w, s)
+	b := custom.Execute(w, s)
+	if a.Time != b.Time || a.TrueEnergy() != b.TrueEnergy() {
+		t.Errorf("custom TK1 differs from stock: T %v vs %v, E %v vs %v",
+			a.Time, b.Time, a.TrueEnergy(), b.TrueEnergy())
+	}
+}
+
+func TestCustomDeviceScalesEnergy(t *testing.T) {
+	// Doubling every dynamic coefficient doubles dynamic energy but not
+	// time.
+	p := TK1Params()
+	p.ActivitySlope, p.ThermalSlope, p.FreqSlope, p.MixJitterAmp, p.StallWatts = 0, 0, 0, 0, 0
+	base, err := NewCustomDevice(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.SPpJ *= 2
+	p2.DPpJ *= 2
+	p2.IntpJ *= 2
+	p2.SharedpJ *= 2
+	p2.L2pJ *= 2
+	p2.DRAMpJ *= 2
+	hot, err := NewCustomDevice(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{Profile: counters.Profile{DPFMA: 1e9, DRAMWords: 1e8}, Occupancy: 0.9}
+	s := dvfs.MaxSetting()
+	a, b := base.Execute(w, s), hot.Execute(w, s)
+	if a.Time != b.Time {
+		t.Error("dynamic coefficients must not affect time")
+	}
+	da := base.TrueBreakdown(a)
+	db := hot.TrueBreakdown(b)
+	if math.Abs(db.Compute-2*da.Compute) > 1e-12*da.Compute ||
+		math.Abs(db.Data-2*da.Data) > 1e-12*da.Data {
+		t.Error("doubled coefficients did not double dynamic energy")
+	}
+}
+
+func TestCustomDeviceValidation(t *testing.T) {
+	good := TK1Params()
+	if err := good.Validate(); err != nil {
+		t.Errorf("TK1 params invalid: %v", err)
+	}
+	bad := good
+	bad.DPpJ = 0
+	if _, err := NewCustomDevice(bad); err == nil {
+		t.Error("zero DP coefficient accepted")
+	}
+	bad = good
+	bad.MiscW = -1
+	if _, err := NewCustomDevice(bad); err == nil {
+		t.Error("negative misc power accepted")
+	}
+	bad = good
+	bad.StallWatts = -0.1
+	if _, err := NewCustomDevice(bad); err == nil {
+		t.Error("negative stall watts accepted")
+	}
+}
+
+func TestCustomDeviceFitsItsOwnTableI(t *testing.T) {
+	// Build a hypothetical more-efficient SoC and verify EpsAt-style
+	// reasoning transfers: per-op energy at a setting equals c0·V².
+	p := TK1Params()
+	p.ActivitySlope, p.ThermalSlope, p.FreqSlope, p.MixJitterAmp, p.StallWatts = 0, 0, 0, 0, 0
+	p.SPpJ = 10
+	p.DRAMpJ = 100
+	dev, err := NewCustomDevice(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dvfs.MustSetting(756, 792)
+	const n = 1e9
+	e := dev.Execute(Workload{Profile: counters.Profile{SP: n}, Occupancy: 0.95}, s)
+	b := dev.TrueBreakdown(e)
+	wantSP := 10 * s.Core.Volts() * s.Core.Volts() // pJ per op
+	if got := (b.Compute + b.Data) / n * 1e12; math.Abs(got-wantSP) > 1e-9 {
+		t.Errorf("custom SP ε = %v pJ, want %v", got, wantSP)
+	}
+}

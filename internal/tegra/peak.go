@@ -1,0 +1,62 @@
+package tegra
+
+import "dvfsroofline/internal/counters"
+
+// Achievable-peak analysis (paper §IV-C): the paper explains the FMM's
+// low IPC by showing that, *given its instruction mix*, the best any
+// implementation could achieve is bounded well below the machine's peak —
+// "not all computation in the FMM translates to FMA instructions". This
+// file computes that bound for an arbitrary operation profile.
+
+// AchievableIPCFraction returns the highest fraction of the device's
+// peak instruction throughput that a kernel with the given profile could
+// sustain, assuming unlimited parallelism (no latency stalls): the mix
+// is bound by its most contended pipe, so the attainable instructions
+// per cycle are total instructions divided by the bottleneck pipe's
+// cycle count, normalized by the SP peak issue rate.
+//
+// A pure SP stream returns 1.0. The paper's U-list analysis found its
+// DP-heavy mix capped "slightly above 1/4 of the peak performance".
+func AchievableIPCFraction(p counters.Profile) float64 {
+	instr := p.Instructions()
+	if instr == 0 {
+		return 0
+	}
+	// Cycles required by each issue pipe; the slowest pipe gates the run.
+	cycles := maxOf(
+		p.SP/SPPerCycle,
+		(p.DPFMA+p.DPAdd+p.DPMul)/DPPerCycle,
+		p.Int/IntPerCycle,
+	)
+	if cycles == 0 {
+		return 0
+	}
+	ipc := instr / cycles
+	return ipc / SPPerCycle
+}
+
+// BottleneckPipe names the compute pipe that gates a profile's issue
+// rate: "sp", "dp" or "int".
+func BottleneckPipe(p counters.Profile) string {
+	sp := p.SP / SPPerCycle
+	dp := (p.DPFMA + p.DPAdd + p.DPMul) / DPPerCycle
+	in := p.Int / IntPerCycle
+	switch {
+	case dp >= sp && dp >= in:
+		return "dp"
+	case in >= sp:
+		return "int"
+	default:
+		return "sp"
+	}
+}
+
+func maxOf(xs ...float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

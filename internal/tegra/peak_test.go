@@ -1,0 +1,74 @@
+package tegra
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+func TestAchievableIPCPureStreams(t *testing.T) {
+	// A pure SP stream can reach peak; a pure DP stream only 8/192.
+	if got := AchievableIPCFraction(counters.Profile{SP: 1e9}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("pure SP fraction = %v, want 1", got)
+	}
+	if got := AchievableIPCFraction(counters.Profile{DPFMA: 1e9}); math.Abs(got-DPPerCycle/SPPerCycle) > 1e-12 {
+		t.Errorf("pure DP fraction = %v, want %v", got, DPPerCycle/SPPerCycle)
+	}
+	if got := AchievableIPCFraction(counters.Profile{Int: 1e9}); math.Abs(got-IntPerCycle/SPPerCycle) > 1e-12 {
+		t.Errorf("pure int fraction = %v, want %v", got, IntPerCycle/SPPerCycle)
+	}
+	if AchievableIPCFraction(counters.Profile{}) != 0 {
+		t.Error("empty profile should yield 0")
+	}
+}
+
+func TestAchievableIPCMixedDPInt(t *testing.T) {
+	// The paper's U-list regime: a DP kernel with ~60% integer overhead.
+	// DP gates the run; integer instructions issue alongside, lifting the
+	// total IPC above the DP pipe's alone but far below SP peak.
+	p := counters.Profile{DPFMA: 4e8, Int: 6e8}
+	got := AchievableIPCFraction(p)
+	// cycles = 4e8/8 = 5e7; instr = 1e9; IPC = 20; fraction = 20/192.
+	want := 20.0 / 192.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed fraction = %v, want %v", got, want)
+	}
+	if BottleneckPipe(p) != "dp" {
+		t.Errorf("bottleneck = %s, want dp", BottleneckPipe(p))
+	}
+}
+
+func TestBottleneckPipe(t *testing.T) {
+	cases := []struct {
+		p    counters.Profile
+		want string
+	}{
+		{counters.Profile{SP: 1e9, Int: 1e6}, "sp"},
+		{counters.Profile{Int: 1e9, SP: 1e6}, "int"},
+		{counters.Profile{DPFMA: 1e8, Int: 1e8, SP: 1e8}, "dp"},
+	}
+	for i, c := range cases {
+		if got := BottleneckPipe(c.p); got != c.want {
+			t.Errorf("case %d: bottleneck = %s, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestAchievableIPCConsistentWithExecute(t *testing.T) {
+	// The analysis must agree with the simulator's timing model: at
+	// occupancy 1 with no memory bottleneck, attained IPC fraction
+	// equals the achievable fraction.
+	p := counters.Profile{DPFMA: 2e8, Int: 3e8, SP: 1e8}
+	d := NewIdealDevice()
+	e := d.Execute(Workload{Profile: p, Occupancy: 1}, mustMax())
+	cycles := e.Time * mustMax().Core.FreqHz()
+	attained := p.Instructions() / cycles / SPPerCycle
+	want := AchievableIPCFraction(p)
+	if math.Abs(attained-want) > 1e-12 {
+		t.Errorf("attained fraction %v vs achievable %v", attained, want)
+	}
+}
+
+func mustMax() dvfs.Setting { return dvfs.MaxSetting() }

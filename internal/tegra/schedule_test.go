@@ -1,0 +1,76 @@
+package tegra
+
+import (
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+func testSchedule() (Schedule, *Device) {
+	dev := NewDevice()
+	s := dvfs.MustSetting(852, 924)
+	w1 := Workload{Profile: counters.Profile{DPFMA: 5e8}, Occupancy: 0.3}
+	w2 := Workload{Profile: counters.Profile{DRAMWords: 2e8}, Occupancy: 0.9}
+	return Schedule{Execs: []Execution{dev.Execute(w1, s), dev.Execute(w2, s)}}, dev
+}
+
+func TestScheduleDuration(t *testing.T) {
+	sched, _ := testSchedule()
+	want := sched.Execs[0].Time + sched.Execs[1].Time
+	if math.Abs(sched.Duration()-want) > 1e-15 {
+		t.Errorf("Duration = %v, want %v", sched.Duration(), want)
+	}
+}
+
+func TestSchedulePowerSegments(t *testing.T) {
+	sched, _ := testSchedule()
+	t0 := sched.Execs[0].Time
+	// Inside segment 1.
+	if got, want := sched.PowerAt(t0/2), sched.Execs[0].PowerAt(t0/2); got != want {
+		t.Errorf("segment 1 power %v, want %v", got, want)
+	}
+	// Inside segment 2 (offset by segment 1's duration).
+	dt := sched.Execs[1].Time / 2
+	if got, want := sched.PowerAt(t0+dt), sched.Execs[1].PowerAt(dt); got != want {
+		t.Errorf("segment 2 power %v, want %v", got, want)
+	}
+	// Before and after: idle at constant power, never dynamic.
+	if p := sched.PowerAt(-1); p > sched.Execs[0].ConstPower()*1.02 {
+		t.Errorf("pre-run power %v too high", p)
+	}
+	after := sched.PowerAt(sched.Duration() + 1)
+	if after > sched.Execs[1].ConstPower()*1.02 {
+		t.Errorf("post-run power %v too high", after)
+	}
+}
+
+func TestScheduleTrueEnergyAdds(t *testing.T) {
+	sched, _ := testSchedule()
+	want := sched.Execs[0].TrueEnergy() + sched.Execs[1].TrueEnergy()
+	if math.Abs(sched.TrueEnergy()-want) > 1e-12 {
+		t.Errorf("TrueEnergy = %v, want %v", sched.TrueEnergy(), want)
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	var s Schedule
+	if s.Duration() != 0 || s.TrueEnergy() != 0 || s.PowerAt(1) != 0 {
+		t.Error("empty schedule should be all zeros")
+	}
+}
+
+func TestScheduleTraceIntegratesToEnergy(t *testing.T) {
+	sched, _ := testSchedule()
+	const steps = 400000
+	dt := sched.Duration() / steps
+	var sum float64
+	for i := 0; i < steps; i++ {
+		sum += sched.PowerAt((float64(i) + 0.5) * dt)
+	}
+	integral := sum * dt
+	if rel := math.Abs(integral-sched.TrueEnergy()) / sched.TrueEnergy(); rel > 0.005 {
+		t.Errorf("trace integral %v vs TrueEnergy %v (rel %v)", integral, sched.TrueEnergy(), rel)
+	}
+}

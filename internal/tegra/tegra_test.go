@@ -1,0 +1,239 @@
+package tegra
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+)
+
+func spWorkload(n float64) Workload {
+	return Workload{Profile: counters.Profile{SP: n, DRAMWords: n / 1000}, Occupancy: 0.95}
+}
+
+func TestTableIEnergiesReproduced(t *testing.T) {
+	// The ideal device must reproduce every per-op energy in Table I to
+	// the table's printed precision (0.1 pJ). ε_op = ĉ0·V², evaluated by
+	// running single-op-class workloads and dividing out the counts.
+	d := NewIdealDevice()
+	rows := []struct {
+		coreMHz, memMHz                float64
+		sp, dp, intg, sm, l2, mem, pw0 float64
+	}{
+		{852, 924, 29.0, 139.1, 60.0, 35.4, 90.2, 377.0, 6.8},
+		{396, 924, 16.2, 77.7, 33.5, 19.8, 50.4, 377.0, 6.1},
+		{852, 528, 29.0, 139.1, 60.0, 35.4, 90.2, 286.2, 6.3},
+		{648, 528, 21.7, 103.8, 44.8, 26.4, 67.3, 286.2, 5.9},
+		{396, 528, 16.2, 77.7, 33.5, 19.8, 50.4, 286.2, 5.6},
+		{852, 204, 29.0, 139.1, 60.0, 35.4, 90.2, 236.5, 6.0},
+		{648, 204, 21.7, 103.8, 44.8, 26.4, 67.3, 236.5, 5.6},
+		{396, 204, 16.2, 77.7, 33.5, 19.8, 50.4, 236.5, 5.2},
+		{756, 924, 24.7, 118.3, 51.0, 30.1, 76.7, 377.0, 6.6},
+		{180, 528, 15.8, 75.7, 32.7, 19.3, 49.1, 286.2, 5.5},
+		{540, 528, 19.3, 92.5, 39.9, 23.5, 59.9, 286.2, 5.8},
+		{540, 204, 19.3, 92.5, 39.9, 23.5, 59.9, 236.5, 5.4},
+		{756, 204, 24.7, 118.3, 51.0, 30.1, 76.7, 236.5, 5.8},
+		{72, 68, 15.8, 75.7, 32.7, 19.3, 49.1, 236.5, 5.2},
+		{756, 68, 24.7, 118.3, 51.0, 30.1, 76.7, 236.5, 5.8},
+		{180, 924, 15.8, 75.7, 32.7, 19.3, 49.1, 377.0, 6.0},
+	}
+	const n = 1e9
+	perOp := func(p counters.Profile, s dvfs.Setting) float64 {
+		e := d.Execute(Workload{Profile: p, Occupancy: 0.95}, s)
+		b := d.TrueBreakdown(e)
+		return (b.Compute + b.Data) / n * 1e12 // pJ per op
+	}
+	for _, r := range rows {
+		s := dvfs.MustSetting(r.coreMHz, r.memMHz)
+		checks := []struct {
+			name string
+			prof counters.Profile
+			want float64
+		}{
+			{"SP", counters.Profile{SP: n}, r.sp},
+			{"DP", counters.Profile{DPFMA: n}, r.dp},
+			{"Int", counters.Profile{Int: n}, r.intg},
+			{"SM", counters.Profile{SharedWords: n}, r.sm},
+			{"L2", counters.Profile{L2Words: n}, r.l2},
+			{"Mem", counters.Profile{DRAMWords: n}, r.mem},
+		}
+		// Tolerance: Table I prints to 0.1 pJ / 0.1 W, and the published
+		// rows are themselves inconsistent beyond ~0.05 pJ (they come from
+		// the authors' own rounded fit), so half a printed unit is the
+		// tightest defensible bound.
+		for _, c := range checks {
+			got := perOp(c.prof, s)
+			if math.Abs(got-c.want) > 0.1 {
+				t.Errorf("%v %s: ε = %.2f pJ, Table I says %.1f", s, c.name, got, c.want)
+			}
+		}
+		// Constant power (ideal device: no thermal drift).
+		e := d.Execute(Workload{Profile: counters.Profile{SP: n}, Occupancy: 0.95}, s)
+		if got := e.ConstPower(); math.Abs(got-r.pw0) > 0.1 {
+			t.Errorf("%v: constant power = %.2f W, Table I says %.1f", s, got, r.pw0)
+		}
+	}
+}
+
+func TestTimeScalesInverselyWithFrequency(t *testing.T) {
+	d := NewIdealDevice()
+	w := Workload{Profile: counters.Profile{SP: 1e9}, Occupancy: 1}
+	fast := d.Execute(w, dvfs.MustSetting(852, 924))
+	slow := d.Execute(w, dvfs.MustSetting(396, 924))
+	ratio := slow.Time / fast.Time
+	want := 852.0 / 396.0
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("compute-bound time ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestDRAMBoundScalesWithMemFrequency(t *testing.T) {
+	d := NewIdealDevice()
+	w := Workload{Profile: counters.Profile{DRAMWords: 1e9}, Occupancy: 1}
+	fast := d.Execute(w, dvfs.MustSetting(852, 924))
+	slow := d.Execute(w, dvfs.MustSetting(852, 204))
+	ratio := slow.Time / fast.Time
+	want := 924.0 / 204.0
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("DRAM-bound time ratio = %v, want %v", ratio, want)
+	}
+	// And core frequency must not matter for a pure-DRAM stream.
+	other := d.Execute(w, dvfs.MustSetting(72, 924))
+	if math.Abs(other.Time-fast.Time) > 1e-15 {
+		t.Error("DRAM-bound time depends on core frequency")
+	}
+}
+
+func TestOccupancyStretchesTime(t *testing.T) {
+	d := NewIdealDevice()
+	s := dvfs.MustSetting(852, 924)
+	full := d.Execute(Workload{Profile: counters.Profile{SP: 1e9}, Occupancy: 1}, s)
+	quarter := d.Execute(Workload{Profile: counters.Profile{SP: 1e9}, Occupancy: 0.25}, s)
+	if math.Abs(quarter.Time/full.Time-4) > 1e-9 {
+		t.Errorf("quarter occupancy should run 4x slower, got %vx", quarter.Time/full.Time)
+	}
+}
+
+func TestEnergyAdditivity(t *testing.T) {
+	// Property (ideal device): dynamic energy is additive across op
+	// classes — E(a+b) = E(a) + E(b) at fixed occupancy.
+	d := NewIdealDevice()
+	s := dvfs.MustSetting(540, 528)
+	f := func(a, b uint32) bool {
+		na, nb := float64(a%1e6)+1, float64(b%1e6)+1
+		wa := Workload{Profile: counters.Profile{SP: na}, Occupancy: 0.9}
+		wb := Workload{Profile: counters.Profile{DRAMWords: nb}, Occupancy: 0.9}
+		wab := Workload{Profile: counters.Profile{SP: na, DRAMWords: nb}, Occupancy: 0.9}
+		ba := d.TrueBreakdown(d.Execute(wa, s))
+		bb := d.TrueBreakdown(d.Execute(wb, s))
+		bab := d.TrueBreakdown(d.Execute(wab, s))
+		sum := ba.Compute + ba.Data + bb.Compute + bb.Data
+		got := bab.Compute + bab.Data
+		return math.Abs(sum-got) < 1e-9*(1+sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerTraceConsistentWithEnergy(t *testing.T) {
+	// Integrating PowerAt numerically over the run must match TrueEnergy
+	// (the sinusoidal ripple integrates to ~zero).
+	d := NewDevice()
+	w := Workload{Profile: counters.Profile{SP: 5e8, DRAMWords: 1e7}, Occupancy: 0.8}
+	e := d.Execute(w, dvfs.MustSetting(852, 924))
+	const steps = 200000
+	dt := e.Time / steps
+	var sum float64
+	for i := 0; i < steps; i++ {
+		sum += e.PowerAt((float64(i) + 0.5) * dt)
+	}
+	integral := sum * dt
+	if rel := math.Abs(integral-e.TrueEnergy()) / e.TrueEnergy(); rel > 0.002 {
+		t.Errorf("trace integral %v vs TrueEnergy %v (rel %v)", integral, e.TrueEnergy(), rel)
+	}
+}
+
+func TestIdlePowerOutsideRun(t *testing.T) {
+	d := NewDevice()
+	e := d.Execute(spWorkload(1e8), dvfs.MustSetting(852, 924))
+	if p := e.PowerAt(e.Time + 1); p > e.ConstPower()*1.02 {
+		t.Errorf("idle power %v exceeds constant power %v", p, e.ConstPower())
+	}
+	if p := e.PowerAt(-1); p > e.ConstPower()*1.02 {
+		t.Errorf("pre-run power %v exceeds constant power %v", p, e.ConstPower())
+	}
+}
+
+func TestNonIdealitiesRaiseEnergyAtLowOccupancy(t *testing.T) {
+	d := NewDevice()
+	s := dvfs.MustSetting(852, 924)
+	p := counters.Profile{DPFMA: 1e8, Int: 2e8, DRAMWords: 1e7}
+	lo := d.Execute(Workload{Profile: p, Occupancy: 0.25}, s)
+	hi := d.Execute(Workload{Profile: p, Occupancy: 0.95}, s)
+	// Same op counts: low occupancy must burn strictly more dynamic
+	// energy (activity factor) on the non-ideal device.
+	bLo := d.TrueBreakdown(lo)
+	bHi := d.TrueBreakdown(hi)
+	if bLo.Compute <= bHi.Compute {
+		t.Errorf("low-occupancy compute energy %v should exceed high-occupancy %v", bLo.Compute, bHi.Compute)
+	}
+	// And the ideal device must not show this effect.
+	ideal := NewIdealDevice()
+	bLoI := ideal.TrueBreakdown(ideal.Execute(Workload{Profile: p, Occupancy: 0.25}, s))
+	bHiI := ideal.TrueBreakdown(ideal.Execute(Workload{Profile: p, Occupancy: 0.95}, s))
+	if math.Abs(bLoI.Compute-bHiI.Compute) > 1e-12 {
+		t.Error("ideal device compute energy depends on occupancy")
+	}
+}
+
+func TestBreakdownSumsToTrueEnergy(t *testing.T) {
+	d := NewDevice()
+	w := Workload{Profile: counters.Profile{DPFMA: 1e8, Int: 3e8, SharedWords: 1e8, L2Words: 3e7, DRAMWords: 1e7}, Occupancy: 0.5}
+	e := d.Execute(w, dvfs.MustSetting(612, 528))
+	b := d.TrueBreakdown(e)
+	if rel := math.Abs(b.Total()-e.TrueEnergy()) / e.TrueEnergy(); rel > 1e-9 {
+		t.Errorf("breakdown total %v != TrueEnergy %v", b.Total(), e.TrueEnergy())
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []Workload{
+		{Profile: counters.Profile{SP: 1}, Occupancy: 0},
+		{Profile: counters.Profile{SP: 1}, Occupancy: 1.5},
+		{Profile: counters.Profile{SP: -1}, Occupancy: 0.5},
+		{Profile: counters.Profile{}, Occupancy: 0.5},
+		{Profile: counters.Profile{SP: math.NaN()}, Occupancy: 0.5},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workload %d should be invalid", i)
+		}
+	}
+	good := Workload{Profile: counters.Profile{SP: 1}, Occupancy: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+}
+
+func TestExecutePanicsOnInvalidWorkload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDevice().Execute(Workload{}, dvfs.MaxSetting())
+}
+
+func TestDeterminism(t *testing.T) {
+	d := NewDevice()
+	w := Workload{Profile: counters.Profile{DPFMA: 12345, Int: 6789, DRAMWords: 321}, Occupancy: 0.42}
+	s := dvfs.MustSetting(540, 528)
+	a := d.Execute(w, s)
+	b := d.Execute(w, s)
+	if a.Time != b.Time || a.TrueEnergy() != b.TrueEnergy() {
+		t.Error("device execution is not deterministic")
+	}
+}
