@@ -19,6 +19,9 @@
 package repro
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"dvfsroofline/internal/core"
@@ -47,7 +50,7 @@ func getCalibration(b *testing.B) (*tegra.Device, *experiments.Calibration) {
 	b.Helper()
 	if calibrated == nil {
 		calibratedDev = tegra.NewDevice()
-		cal, err := experiments.Calibrate(calibratedDev, benchCfg())
+		cal, err := experiments.Calibrate(context.Background(), calibratedDev, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +67,7 @@ func BenchmarkTableI(b *testing.B) {
 	var cal *experiments.Calibration
 	var err error
 	for i := 0; i < b.N; i++ {
-		cal, err = experiments.Calibrate(dev, benchCfg())
+		cal, err = experiments.Calibrate(context.Background(), dev, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,6 +77,25 @@ func BenchmarkTableI(b *testing.B) {
 	}
 	b.ReportMetric(cal.Holdout.Percent().Mean, "holdout-%err")
 	b.ReportMetric(cal.Model.DPpJ, "DP-pJ/V2")
+}
+
+// BenchmarkCalibrateParallel measures the full 1856-sample calibration
+// campaign under the pipeline worker pool, serial vs fan-out. Both
+// variants produce byte-identical samples (per-sample seeded meters),
+// so the comparison is pure scheduling overhead vs speedup.
+func BenchmarkCalibrateParallel(b *testing.B) {
+	dev := tegra.NewDevice()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Calibrate(context.Background(), dev, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCrossValidation regenerates the §II-D numbers on a fixed
@@ -106,7 +128,7 @@ func BenchmarkTableII(b *testing.B) {
 	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Autotune(dev, cal.Model, benchCfg())
+		rows, err = experiments.Autotune(context.Background(), dev, cal.Model, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -383,7 +405,7 @@ func BenchmarkMicrobenchSuite(b *testing.B) {
 	dev := tegra.NewDevice()
 	r := &microbench.Runner{
 		Device:     dev,
-		Meter:      powermon.NewMeter(powermon.DefaultConfig(), 1),
+		Seed:       1,
 		TargetTime: 0.1,
 	}
 	suite := microbench.Suite()

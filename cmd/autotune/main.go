@@ -10,40 +10,30 @@
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
-	"log"
-	"os"
-	"path/filepath"
-	"text/tabwriter"
+	"io"
 
+	"dvfsroofline/internal/cli"
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/export"
-	"dvfsroofline/internal/tegra"
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "seed for measurement noise and experiment randomness")
-	csvDir := flag.String("csv", "", "directory to write table2.csv (empty disables)")
-	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("autotune: ")
+	app := cli.New("autotune")
+	app.Parse()
 
-	dev := tegra.NewDevice()
-	cfg := experiments.Config{Seed: *seed}
-	cal, err := experiments.Calibrate(dev, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rows, err := experiments.Autotune(dev, cal.Model, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
+	dev := app.Device()
+	cal, err := app.Calibrate(ctx, dev)
+	app.Check(err)
+	rows, err := experiments.Autotune(ctx, dev, cal.Model, app.Config())
+	app.Check(err)
 
 	fmt.Println("TABLE II: energy autotuning — mispredictions and energy lost (%)")
 	fmt.Println("(energy lost is relative to the experimentally measured minimum,")
 	fmt.Println(" summarized over the mispredicted cases only, as in the paper)")
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	w := cli.Table(0)
 	fmt.Fprintln(w, "Family\tStrategy\tMispredictions\tMean\tMin\tMax\t")
 	for _, r := range rows {
 		mp := r.Model.LostPercent()
@@ -57,16 +47,7 @@ func main() {
 	fmt.Println("\nPaper's headline: race-to-halt is not energy-optimal even for uniform")
 	fmt.Println("computations; the model picks (near-)optimal settings at a fraction of the loss.")
 
-	if *csvDir != "" {
-		path := filepath.Join(*csvDir, "table2.csv")
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := export.WriteTableII(f, rows); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-	}
+	app.Check(app.WriteArtifact("table2.csv", func(f io.Writer) error {
+		return export.WriteTableII(f, rows)
+	}))
 }

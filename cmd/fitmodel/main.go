@@ -11,31 +11,21 @@
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
-	"log"
-	"os"
-	"path/filepath"
+	"io"
 	"text/tabwriter"
 
-	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/cli"
 	"dvfsroofline/internal/export"
-	"dvfsroofline/internal/tegra"
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "seed for measurement noise and experiment randomness")
-	csvDir := flag.String("csv", "", "directory to write samples.csv and table1.csv (empty disables)")
-	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("fitmodel: ")
+	app := cli.New("fitmodel")
+	app.Parse()
 
-	dev := tegra.NewDevice()
-	cfg := experiments.Config{Seed: *seed}
-	cal, err := experiments.Calibrate(dev, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	cal, err := app.Calibrate(context.Background(), app.Device())
+	app.Check(err)
 
 	fmt.Printf("Fitted %d samples (116 kernels x 16 settings) by NNLS.\n", len(cal.Samples))
 	m := cal.Model
@@ -45,7 +35,7 @@ func main() {
 		m.C1Proc, m.C1Mem, m.PMisc)
 
 	fmt.Println("TABLE I: frequency/voltage settings and derived energy and power costs")
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w := cli.Table(tabwriter.AlignRight)
 	fmt.Fprintln(w, "Type\tCore MHz\tCore mV\tMem MHz\tMem mV\tSP pJ\tDP pJ\tInt pJ\tSM pJ\tL2 pJ\tMem pJ\tConst W\t")
 	for _, r := range cal.TableI() {
 		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
@@ -63,25 +53,10 @@ func main() {
 	fmt.Printf("  16-fold CV (leave-one-setting-out):      mean %.2f  stddev %.2f  min %.2f  max %.2f   (paper: 6.56 / 3.80 / 1.60 / 15.22)\n",
 		k.Mean, k.Stddev, k.Min, k.Max)
 
-	if *csvDir != "" {
-		writeCSV(filepath.Join(*csvDir, "samples.csv"), func(f *os.File) error {
-			return export.WriteSamples(f, cal.Samples)
-		})
-		writeCSV(filepath.Join(*csvDir, "table1.csv"), func(f *os.File) error {
-			return export.WriteTableI(f, cal.TableI())
-		})
-	}
-}
-
-// writeCSV creates path and runs fn against it, aborting on failure.
-func writeCSV(path string, fn func(*os.File) error) {
-	f, err := os.Create(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := fn(f); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	app.Check(app.WriteArtifact("samples.csv", func(f io.Writer) error {
+		return export.WriteSamples(f, cal.Samples)
+	}))
+	app.Check(app.WriteArtifact("table1.csv", func(f io.Writer) error {
+		return export.WriteTableI(f, cal.TableI())
+	}))
 }

@@ -7,43 +7,46 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 	"text/tabwriter"
 
+	"dvfsroofline/internal/cli"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/fmm"
-	"dvfsroofline/internal/tegra"
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "seed for point generation")
+	app := cli.New("fmmprof")
 	small := flag.Bool("small", false, "scale inputs down 8x for a quick demo")
 	attribute := flag.Bool("attribute", false, "segment the power trace of the last input and attribute energy per phase")
-	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("fmmprof: ")
+	app.Parse()
+
+	ctx := context.Background()
+	cfg := app.Config()
 
 	inputs := experiments.FMMInputs()
 	if *small {
-		for i := range inputs {
-			inputs[i].N /= 8
+		var clamped []string
+		inputs, clamped = experiments.ScaleInputs(inputs, 8)
+		if len(clamped) > 0 {
+			log.Printf("warning: clamped %s to N=2Q; scaling 8x would have left N <= Q (a degenerate single-leaf octree)",
+				strings.Join(clamped, ", "))
 		}
 	}
+	runs, err := experiments.RunFMMInputs(ctx, inputs, cfg)
+	app.Check(err)
 
 	fmt.Println("TABLE IV (FMM inputs) and FIGURE 4 (instruction/data breakdown)")
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w := cli.Table(tabwriter.AlignRight)
 	header := "ID\tN\tQ\tleaves\tdepth\tinstr FMA\tadd\tmul\tint\taccess SM\tL1\tL2\tDRAM\t"
 	fmt.Fprintln(w, header)
-	for _, in := range inputs {
-		run, err := experiments.RunFMMInput(in, experiments.Config{Seed: *seed})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, run := range runs {
+		in := run.Input
 		p := run.TotalProfile()
 		ins := p.Instructions()
 		acc := p.Accesses()
@@ -55,11 +58,7 @@ func main() {
 	w.Flush()
 
 	fmt.Println("\nPer-phase instruction share (last input):")
-	in := inputs[len(inputs)-1]
-	run, err := experiments.RunFMMInput(in, experiments.Config{Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
-	}
+	run := runs[len(runs)-1]
 	var total float64
 	for ph := fmm.Phase(0); ph < fmm.NumPhases; ph++ {
 		total += run.Result.Profiles[ph].Instructions()
@@ -75,17 +74,12 @@ func main() {
 
 	if *attribute {
 		fmt.Println("\nBLIND PHASE ATTRIBUTION (trace segmentation vs model, at 852/924 MHz):")
-		dev := tegra.NewDevice()
-		cfg := experiments.Config{Seed: *seed}
-		cal, err := experiments.Calibrate(dev, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		att, err := experiments.AttributePhases(dev, cfg.NewMeter(*seed+50), cal.Model, run, dvfs.MaxSetting())
-		if err != nil {
-			log.Fatal(err)
-		}
-		w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+		dev := app.Device()
+		cal, err := app.Calibrate(ctx, dev)
+		app.Check(err)
+		att, err := experiments.AttributePhases(dev, cfg.NewMeter(app.Seed+50), cal.Model, run, dvfs.MaxSetting())
+		app.Check(err)
+		w := cli.Table(tabwriter.AlignRight)
 		fmt.Fprintln(w, "Phase\tWindow s\tMeasured J\tPredicted J\t")
 		for _, pe := range att.Phases {
 			fmt.Fprintf(w, "%s\t%.3f-%.3f\t%.3f\t%.3f\t\n",

@@ -6,25 +6,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
-	"os"
 	"text/tabwriter"
 
+	"dvfsroofline/internal/cli"
 	"dvfsroofline/internal/core"
 	"dvfsroofline/internal/dvfs"
-	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/tegra"
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "seed for the calibration measurements")
+	app := cli.New("roofline")
 	class := flag.String("class", "DP", "op class to analyze: SP, DP or Int")
-	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("roofline: ")
+	app.Parse()
 
 	var c core.OpClass
 	var opsPerCycle float64
@@ -39,11 +37,8 @@ func main() {
 		log.Fatalf("unknown class %q (want SP, DP or Int)", *class)
 	}
 
-	dev := tegra.NewDevice()
-	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
-	}
+	cal, err := app.Calibrate(context.Background(), app.Device())
+	app.Check(err)
 	model := cal.Model
 
 	settings := []dvfs.Setting{
@@ -64,7 +59,7 @@ func main() {
 		} else {
 			fmt.Printf(", effective balance %.2f ops/word\n", eff)
 		}
-		w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+		w := cli.Table(tabwriter.AlignRight)
 		fmt.Fprintln(w, "I ops/word\tGops/s\tGops/J\tW\t")
 		for _, pt := range model.Roofline(c, mach, s, intensities) {
 			fmt.Fprintf(w, "%.3f\t%.2f\t%.3f\t%.2f\t\n",

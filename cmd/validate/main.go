@@ -10,55 +10,52 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
-	"path/filepath"
+	"strings"
 	"text/tabwriter"
 
+	"dvfsroofline/internal/cli"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/export"
-	"dvfsroofline/internal/tegra"
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "seed for measurement noise and experiment randomness")
+	app := cli.New("validate")
 	small := flag.Bool("small", false, "scale inputs down 8x for a quick demo")
-	csvDir := flag.String("csv", "", "directory to write figure5.csv (empty disables)")
-	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("validate: ")
+	app.Parse()
 
-	dev := tegra.NewDevice()
-	cfg := experiments.Config{Seed: *seed}
-	cal, err := experiments.Calibrate(dev, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
+	dev := app.Device()
+	cfg := app.Config()
+	cal, err := app.Calibrate(ctx, dev)
+	app.Check(err)
 
 	inputs := experiments.FMMInputs()
 	if *small {
-		for i := range inputs {
-			inputs[i].N /= 8
+		var clamped []string
+		inputs, clamped = experiments.ScaleInputs(inputs, 8)
+		if len(clamped) > 0 {
+			log.Printf("warning: clamped %s to N=2Q; scaling 8x would have left N <= Q (a degenerate single-leaf octree)",
+				strings.Join(clamped, ", "))
 		}
 	}
-	runs := make([]*experiments.FMMRun, len(inputs))
-	for i, in := range inputs {
+	for _, in := range inputs {
 		fmt.Fprintf(os.Stderr, "running FMM %s (N=%d, Q=%d)...\n", in.ID, in.N, in.Q)
-		if runs[i], err = experiments.RunFMMInput(in, cfg); err != nil {
-			log.Fatal(err)
-		}
 	}
+	runs, err := experiments.RunFMMInputs(ctx, inputs, cfg)
+	app.Check(err)
 
-	f5, err := experiments.Figure5(dev, cal.Model, runs, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	f5, err := experiments.Figure5(ctx, dev, cal.Model, runs, cfg)
+	app.Check(err)
 
 	fmt.Println("FIGURE 5: estimated vs measured energy, 64 test cases")
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w := cli.Table(tabwriter.AlignRight)
 	fmt.Fprintln(w, "Case\tTime s\tMeasured J\tPredicted J\tError %\tConst %\t")
 	for _, c := range f5.Cases {
 		fmt.Fprintf(w, "%s-%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t\n",
@@ -70,7 +67,7 @@ func main() {
 		f5.Summary.Mean*100, f5.Summary.Stddev*100, f5.Summary.Min*100, f5.Summary.Max*100)
 
 	fmt.Println("\nFIGURE 6: energy breakdown by type at max frequency (852/924 MHz)")
-	w = tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w = cli.Table(tabwriter.AlignRight)
 	fmt.Fprintln(w, "Input\tFMA %\tAdd %\tMul %\tInt %\tSM %\tL2 %\tDRAM %\tInt/compute %\tDRAM/data %\t")
 	s1 := dvfs.MaxSetting()
 	for _, run := range runs {
@@ -92,7 +89,7 @@ func main() {
 	fmt.Println("(paper: integers ~23% of computation energy; DRAM up to ~50% of data energy)")
 
 	fmt.Println("\nFIGURE 7: computation / data / constant-power energy split (%)")
-	w = tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	w = cli.Table(tabwriter.AlignRight)
 	fmt.Fprintln(w, "Case\tComputation\tData\tConstant\t")
 	for _, c := range f5.Cases {
 		tot := c.PredictedParts.Total()
@@ -103,26 +100,15 @@ func main() {
 	w.Flush()
 
 	mb, err := experiments.MicrobenchConstantFraction(dev, cal.Model, cfg, s1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	fmt.Printf("\nConstant power dominates the FMM (paper: 75–95%% of total energy), while a\n")
 	fmt.Printf("saturating microbenchmark spends only %.0f%% on constant power (paper: ~30%%).\n", mb*100)
 	fmt.Println("Hence, for the FMM, the energy-optimal DVFS setting coincides with the")
 	fmt.Println("time-optimal one (§IV-C).")
 
-	if *csvDir != "" {
-		path := filepath.Join(*csvDir, "figure5.csv")
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := export.WriteFigure5(f, f5.Cases); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-	}
+	app.Check(app.WriteArtifact("figure5.csv", func(f io.Writer) error {
+		return export.WriteFigure5(f, f5.Cases)
+	}))
 }
 
 func dpTotal(run *experiments.FMMRun) float64 {

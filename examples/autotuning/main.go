@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 
 	dev := tegra.NewDevice()
-	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 3})
+	cal, err := experiments.Calibrate(context.Background(), dev, experiments.Config{Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

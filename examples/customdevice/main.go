@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 		name string
 		dev  *tegra.Device
 	}{{"Tegra K1", tegra.NewDevice()}, {"hypothetical shrink", custom}} {
-		cal, err := experiments.Calibrate(d.dev, cfg)
+		cal, err := experiments.Calibrate(context.Background(), d.dev, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

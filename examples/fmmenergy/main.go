@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	// Calibrate the model and analyze where the FMM spends its energy at
 	// the maximum frequency setting.
 	dev := tegra.NewDevice()
-	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 2})
+	cal, err := experiments.Calibrate(context.Background(), dev, experiments.Config{Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

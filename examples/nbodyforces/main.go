@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -69,7 +70,7 @@ func main() {
 
 	// What would one force evaluation cost on the Jetson TK1?
 	dev := tegra.NewDevice()
-	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 5})
+	cal, err := experiments.Calibrate(context.Background(), dev, experiments.Config{Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	log.SetFlags(0)
 
 	dev := tegra.NewDevice()
-	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 4})
+	cal, err := experiments.Calibrate(context.Background(), dev, experiments.Config{Seed: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

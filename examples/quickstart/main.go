@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	// intensity microbenchmarks over 16 DVFS settings, measure them with
 	// the simulated PowerMon 2, and fit Eq. 9 by NNLS.
 	dev := tegra.NewDevice()
-	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 1})
+	cal, err := experiments.Calibrate(context.Background(), dev, experiments.Config{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

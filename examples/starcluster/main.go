@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func main() {
 
 	// Energy cost per force evaluation on the TK1, via the fitted model.
 	dev := tegra.NewDevice()
-	cal, err := experiments.Calibrate(dev, experiments.Config{Seed: 6})
+	cal, err := experiments.Calibrate(context.Background(), dev, experiments.Config{Seed: 6})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,174 @@
+// Package cli factors out the scaffolding every cmd/* binary used to
+// duplicate: the uniform flag set (-seed, -workers, -csv, -cache),
+// logger and device construction, the calibration cache on top of
+// internal/export, tabwriter setup, and fatal-error plumbing. Keeping it
+// here means a new experiment command is a main() of table-printing
+// code and nothing else.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/export"
+	"dvfsroofline/internal/tegra"
+)
+
+// App carries the flag values shared by every experiment command.
+type App struct {
+	Name    string
+	Seed    int64
+	Workers int
+	CSVDir  string
+	Cache   string
+
+	lastPct int // progress milestone tracker
+}
+
+// New registers the uniform flags on the default flag set and configures
+// the standard logger. Commands add their own flags afterwards and then
+// call Parse.
+func New(name string) *App {
+	a := &App{Name: name, lastPct: -1}
+	flag.Int64Var(&a.Seed, "seed", 42, "seed for measurement noise and experiment randomness")
+	flag.IntVar(&a.Workers, "workers", 0, "experiment pipeline parallelism (0 = GOMAXPROCS)")
+	flag.StringVar(&a.CSVDir, "csv", "", "directory to write CSV artifacts (empty disables)")
+	flag.StringVar(&a.Cache, "cache", "", "calibration sample cache file: loaded when present, written after a fresh calibration")
+	log.SetFlags(0)
+	log.SetPrefix(name + ": ")
+	return a
+}
+
+// Parse parses the command line.
+func (a *App) Parse() { flag.Parse() }
+
+// Device returns the simulated Jetson TK1 every command runs against.
+func (a *App) Device() *tegra.Device { return tegra.NewDevice() }
+
+// Config builds the experiment configuration from the parsed flags,
+// wiring pipeline progress to stderr at quarter milestones.
+func (a *App) Config() experiments.Config {
+	return experiments.Config{
+		Seed:       a.Seed,
+		Workers:    a.Workers,
+		OnProgress: a.reportProgress,
+	}
+}
+
+// reportProgress logs long-running pipeline stages at 25% steps.
+func (a *App) reportProgress(p experiments.Progress) {
+	if p.Total < 100 {
+		return
+	}
+	pct := 100 * p.Done / p.Total
+	if pct/25 > a.lastPct/25 || p.Done == p.Total && a.lastPct != 100 {
+		a.lastPct = pct
+		log.Printf("%s: %d/%d", p.Stage, p.Done, p.Total)
+	}
+	if p.Done == p.Total {
+		a.lastPct = -1
+	}
+}
+
+// Check aborts the command on a non-nil error.
+func (a *App) Check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Calibrate returns the model calibration, going through the -cache file
+// when one is configured: an existing cache is loaded and refitted
+// (skipping the measurement campaign entirely); otherwise a fresh
+// campaign runs and its samples are written back to the cache path. A
+// stale or malformed cache is reported and ignored.
+func (a *App) Calibrate(ctx context.Context, dev *tegra.Device) (*experiments.Calibration, error) {
+	if a.Cache != "" {
+		cal, err := LoadCalibration(a.Cache)
+		switch {
+		case err == nil:
+			log.Printf("refitted from %d cached samples in %s", len(cal.Samples), a.Cache)
+			return cal, nil
+		case !os.IsNotExist(err):
+			log.Printf("ignoring cache %s: %v", a.Cache, err)
+		}
+	}
+	cal, err := experiments.Calibrate(ctx, dev, a.Config())
+	if err != nil {
+		return nil, err
+	}
+	if a.Cache != "" {
+		if err := SaveSamples(a.Cache, cal.Samples); err != nil {
+			log.Printf("could not write cache %s: %v", a.Cache, err)
+		} else {
+			log.Printf("cached %d calibration samples to %s", len(cal.Samples), a.Cache)
+		}
+	}
+	return cal, nil
+}
+
+// LoadCalibration reads a calibration sample CSV (as written by
+// export.WriteSamples, the -csv flag of fitmodel, or a previous -cache
+// run) and rebuilds the full calibration from it.
+func LoadCalibration(path string) (*experiments.Calibration, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples, err := export.ReadSamples(f)
+	if err != nil {
+		return nil, fmt.Errorf("cli: reading %s: %w", path, err)
+	}
+	return experiments.CalibrateFromSamples(samples)
+}
+
+// SaveSamples writes calibration samples as CSV to path.
+func SaveSamples(path string, samples []core.Sample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export.WriteSamples(f, samples); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Table returns a tabwriter on stdout with the formatting every command
+// table uses; pass tabwriter.AlignRight for numeric tables or 0 for
+// left-aligned ones.
+func Table(flags uint) *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', flags)
+}
+
+// WriteArtifact writes one CSV artifact into the -csv directory and logs
+// the path; it is a no-op when the flag is unset.
+func (a *App) WriteArtifact(name string, fn func(io.Writer) error) error {
+	if a.CSVDir == "" {
+		return nil
+	}
+	path := filepath.Join(a.CSVDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

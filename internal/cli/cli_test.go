@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+)
+
+// modelsClose compares fitted constants with a tolerance covering the
+// CSV round trip: samples are serialized at 12 significant digits, so a
+// refit must agree to far better than 1e-6 relative.
+func modelsClose(t *testing.T, got, want *core.Model) {
+	t.Helper()
+	pairs := []struct {
+		name      string
+		got, want float64
+	}{
+		{"SPpJ", got.SPpJ, want.SPpJ}, {"DPpJ", got.DPpJ, want.DPpJ},
+		{"IntpJ", got.IntpJ, want.IntpJ}, {"SMpJ", got.SMpJ, want.SMpJ},
+		{"L2pJ", got.L2pJ, want.L2pJ}, {"DRAMpJ", got.DRAMpJ, want.DRAMpJ},
+		{"C1Proc", got.C1Proc, want.C1Proc}, {"C1Mem", got.C1Mem, want.C1Mem},
+		{"PMisc", got.PMisc, want.PMisc},
+	}
+	for _, p := range pairs {
+		if diff := math.Abs(p.got - p.want); diff > 1e-6*(1+math.Abs(p.want)) {
+			t.Errorf("%s = %v, want %v (diff %g)", p.name, p.got, p.want, diff)
+		}
+	}
+}
+
+func testCfg() experiments.Config {
+	return experiments.Config{Seed: 42, BenchTargetTime: 0.1}
+}
+
+func TestSaveLoadCalibrationRoundTrip(t *testing.T) {
+	dev := tegra.NewDevice()
+	cal, err := experiments.Calibrate(context.Background(), dev, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "samples.csv")
+	if err := SaveSamples(path, cal.Samples); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Samples) != len(cal.Samples) {
+		t.Fatalf("loaded %d samples, want %d", len(loaded.Samples), len(cal.Samples))
+	}
+	modelsClose(t, loaded.Model, cal.Model)
+	// Validation statistics must survive the round trip as well.
+	if d := math.Abs(loaded.Holdout.Summary.Mean - cal.Holdout.Summary.Mean); d > 1e-9 {
+		t.Errorf("holdout mean drifted by %g across the cache round trip", d)
+	}
+	if d := math.Abs(loaded.KFold.Summary.Mean - cal.KFold.Summary.Mean); d > 1e-9 {
+		t.Errorf("16-fold mean drifted by %g across the cache round trip", d)
+	}
+}
+
+func TestLoadCalibrationMissingFile(t *testing.T) {
+	_, err := LoadCalibration(filepath.Join(t.TempDir(), "absent.csv"))
+	if !os.IsNotExist(err) {
+		t.Errorf("got %v, want a does-not-exist error", err)
+	}
+}
+
+func TestLoadCalibrationMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.csv")
+	if err := os.WriteFile(path, []byte("this,is,not\na,sample,file\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCalibration(path)
+	if err == nil {
+		t.Fatal("malformed cache accepted")
+	}
+	if os.IsNotExist(err) {
+		t.Error("malformed cache misreported as missing")
+	}
+}
+
+// TestAppCalibrateCachePopulatesAndReuses drives App.Calibrate the way
+// the cmd/* binaries do: the first call measures and writes the cache,
+// the second loads it and must agree with the fresh fit.
+func TestAppCalibrateCachePopulatesAndReuses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.csv")
+	app := &App{Name: "test", Seed: 42, Cache: path, lastPct: -1}
+	dev := tegra.NewDevice()
+
+	fresh, err := app.Calibrate(context.Background(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+	cached, err := app.Calibrate(context.Background(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelsClose(t, cached.Model, fresh.Model)
+}

@@ -8,7 +8,7 @@ import (
 )
 
 func TestHoldoutValidateIdealIsNearExact(t *testing.T) {
-	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessMeter(), smallSuite())
+	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessCfg(), 1, smallSuite())
 	// Train on the T-type settings (first 8 of 16), validate on V-type,
 	// mirroring §II-D. Samples are setting-major: first half T.
 	mask := make([]bool, len(samples))
@@ -29,7 +29,7 @@ func TestHoldoutValidateRealisticErrorBand(t *testing.T) {
 	// noise the pipeline must land in the same regime: mean within
 	// [0.5%, 6%], max below 20%.
 	samples := calibrationSamples(t, tegra.NewDevice(),
-		powermon.NewMeter(powermon.DefaultConfig(), 11), smallSuite())
+		powermon.DefaultConfig(), 11, smallSuite())
 	mask := make([]bool, len(samples))
 	for i := range mask {
 		mask[i] = i < len(samples)/2
@@ -51,7 +51,7 @@ func TestCrossValidate16Fold(t *testing.T) {
 	// §II-D: 16-fold CV mean 6.56%, max 15.22%. Accept a generous band
 	// around the paper's numbers.
 	samples := calibrationSamples(t, tegra.NewDevice(),
-		powermon.NewMeter(powermon.DefaultConfig(), 13), smallSuite())
+		powermon.DefaultConfig(), 13, smallSuite())
 	res, err := CrossValidate(samples, 16, 99)
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestHoldoutMaskLengthMismatch(t *testing.T) {
 }
 
 func TestCrossValidatePanicsOnBadK(t *testing.T) {
-	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessMeter(), smallSuite()[:2])
+	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessCfg(), 1, smallSuite()[:2])
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for k < 2")
@@ -83,7 +83,7 @@ func TestCrossValidatePanicsOnBadK(t *testing.T) {
 }
 
 func TestCrossValidateGrouped(t *testing.T) {
-	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessMeter(), smallSuite())
+	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessCfg(), 1, smallSuite())
 	// Group by setting: samples are setting-major with equal group sizes.
 	per := len(samples) / 16
 	groups := make([]int, len(samples))

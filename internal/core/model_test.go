@@ -21,10 +21,11 @@ func knownModel() *Model {
 }
 
 // calibrationSamples runs the microbenchmark suite (or a subset) over the
-// paper's 16 calibration settings on the given device/meter.
-func calibrationSamples(t *testing.T, dev *tegra.Device, meter *powermon.Meter, benches []microbench.Benchmark) []Sample {
+// paper's 16 calibration settings on the given device, metering each
+// sample with the given meter config and campaign seed.
+func calibrationSamples(t *testing.T, dev *tegra.Device, meterCfg powermon.Config, seed int64, benches []microbench.Benchmark) []Sample {
 	t.Helper()
-	r := &microbench.Runner{Device: dev, Meter: meter, TargetTime: 0.1}
+	r := &microbench.Runner{Device: dev, MeterConfig: meterCfg, Seed: seed, TargetTime: 0.1}
 	var settings []dvfs.Setting
 	for _, cs := range dvfs.CalibrationSettings() {
 		settings = append(settings, cs.Setting)
@@ -55,14 +56,14 @@ func smallSuite() []microbench.Benchmark {
 	return out
 }
 
-func noiselessMeter() *powermon.Meter {
-	return powermon.NewMeter(powermon.Config{SampleRate: powermon.MaxSampleRate}, 1)
+func noiselessCfg() powermon.Config {
+	return powermon.Config{SampleRate: powermon.MaxSampleRate}
 }
 
 func TestFitRecoversGroundTruthOnIdealDevice(t *testing.T) {
 	// With the ideal device and a noiseless meter the NNLS fit must
 	// recover the hidden Table I constants almost exactly.
-	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessMeter(), smallSuite())
+	samples := calibrationSamples(t, tegra.NewIdealDevice(), noiselessCfg(), 1, smallSuite())
 	m, err := Fit(samples)
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +95,7 @@ func TestFitOnNoisyDeviceStaysCalibrated(t *testing.T) {
 	// suite fit must recover dynamic coefficients within ~18% of truth —
 	// the regime in which a printed Table I remains meaningful.
 	samples := calibrationSamples(t, tegra.NewDevice(),
-		powermon.NewMeter(powermon.DefaultConfig(), 7), microbench.Suite())
+		powermon.DefaultConfig(), 7, microbench.Suite())
 	m, err := Fit(samples)
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +216,7 @@ func TestFitDegenerateSingleSetting(t *testing.T) {
 	// still return a usable (non-negative) model that reproduces the
 	// training energies, rather than failing.
 	dev := tegra.NewIdealDevice()
-	r := &microbench.Runner{Device: dev, Meter: noiselessMeter(), TargetTime: 0.05}
+	r := &microbench.Runner{Device: dev, MeterConfig: noiselessCfg(), Seed: 1, TargetTime: 0.05}
 	s := dvfs.MaxSetting()
 	var samples []Sample
 	for _, k := range microbench.Kinds() {

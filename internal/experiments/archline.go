@@ -35,9 +35,10 @@ type RooflinePoint struct {
 // setting, measuring each kernel and predicting it with the model.
 func MeasuredRoofline(dev *tegra.Device, model *core.Model, cfg Config, kind microbench.Kind, s dvfs.Setting) ([]RooflinePoint, error) {
 	runner := &microbench.Runner{
-		Device:     dev,
-		Meter:      cfg.meter(31),
-		TargetTime: cfg.BenchTargetTime,
+		Device:      dev,
+		MeterConfig: cfg.meterConfig(),
+		Seed:        cfg.Seed + 31,
+		TargetTime:  cfg.BenchTargetTime,
 	}
 	var class core.OpClass
 	var opsPerCycle float64

@@ -64,14 +64,17 @@ func TestMeasuredRooflineUnsupportedFamily(t *testing.T) {
 func TestMeasuredRooflineEfficiencyPeaksNearBalance(t *testing.T) {
 	// Energy efficiency (ops/J) must be monotone non-decreasing with
 	// intensity and level off past the time balance — the defining
-	// energy-roofline shape.
+	// energy-roofline shape. Every point carries an independent ~3%
+	// per-measurement gain error (powermon.DefaultConfig), so the ratio
+	// of adjacent points has σ ≈ 4.2%; across ~24 pairs the monotonicity
+	// band must allow ~3σ.
 	dev, cal := calibrate(t)
 	pts, err := MeasuredRoofline(dev, cal.Model, testConfig(), microbench.Single, dvfs.MustSetting(540, 528))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 1; i < len(pts); i++ {
-		if pts[i].OpsPerJoule < pts[i-1].OpsPerJoule*0.93 {
+		if pts[i].OpsPerJoule < pts[i-1].OpsPerJoule*0.87 {
 			t.Errorf("ops/J dropped at I=%.2f: %.3g after %.3g",
 				pts[i].Intensity, pts[i].OpsPerJoule, pts[i-1].OpsPerJoule)
 		}

@@ -12,9 +12,17 @@
 //
 // Every experiment observes the simulated Jetson TK1 only through
 // simulated PowerMon measurements, mirroring the paper's methodology.
+//
+// Experiments that sweep independent units of work — calibration
+// samples, autotuning grid sweeps, FMM inputs, Figure 5 cases, Q-sweep
+// candidates — run on a deterministic concurrent pipeline (pipeline.go):
+// Config.Workers bounds the parallelism, contexts cancel in-flight
+// campaigns, Config.OnProgress observes completion, and per-unit seed
+// derivation guarantees results never depend on the worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dvfsroofline/internal/core"
@@ -36,26 +44,36 @@ type Config struct {
 	Meter powermon.Config
 	// BenchTargetTime sizes microbenchmark runs (seconds); zero = 0.3.
 	BenchTargetTime float64
-	// Workers bounds FMM evaluation parallelism; zero = GOMAXPROCS.
+	// Workers bounds the experiment pipeline's parallelism (calibration
+	// samples, autotuning sweeps, FMM runs, Figure 5 cases) as well as
+	// FMM evaluation parallelism; zero = GOMAXPROCS. Results are
+	// identical for every worker count: each unit of work derives its
+	// measurement-noise seed from its identity, not from a shared
+	// stream.
 	Workers int
+	// OnProgress, if non-nil, receives progress updates from the
+	// pipelined experiments. Invocations are serialized, but workers
+	// wait on the callback, so it must return quickly.
+	OnProgress func(Progress)
+}
+
+// meterConfig resolves the PowerMon configuration (zero value selects
+// the default).
+func (c Config) meterConfig() powermon.Config {
+	if c.Meter == (powermon.Config{}) {
+		return powermon.DefaultConfig()
+	}
+	return c.Meter
 }
 
 func (c Config) meter(offset int64) *powermon.Meter {
-	cfg := c.Meter
-	if cfg == (powermon.Config{}) {
-		cfg = powermon.DefaultConfig()
-	}
-	return powermon.NewMeter(cfg, c.Seed+offset)
+	return powermon.NewMeter(c.meterConfig(), c.Seed+offset)
 }
 
 // NewMeter returns a fresh meter with the config's noise model, for
 // callers outside this package composing their own measurement sessions.
 func (c Config) NewMeter(seed int64) *powermon.Meter {
-	cfg := c.Meter
-	if cfg == (powermon.Config{}) {
-		cfg = powermon.DefaultConfig()
-	}
-	return powermon.NewMeter(cfg, seed)
+	return powermon.NewMeter(c.meterConfig(), seed)
 }
 
 // Calibration is the outcome of the §II-C/D pipeline.
@@ -74,42 +92,60 @@ type Calibration struct {
 }
 
 // Calibrate runs the microbenchmark suite over the paper's 16 settings,
-// fits the model by NNLS, and cross-validates it.
-func Calibrate(dev *tegra.Device, cfg Config) (*Calibration, error) {
+// fits the model by NNLS, and cross-validates it. The 1856 sample
+// measurements fan out over cfg.Workers workers; per-sample seed
+// derivation (microbench.SampleSeed) makes the result identical for
+// every worker count.
+func Calibrate(ctx context.Context, dev *tegra.Device, cfg Config) (*Calibration, error) {
 	runner := &microbench.Runner{
-		Device:     dev,
-		Meter:      cfg.meter(1),
-		TargetTime: cfg.BenchTargetTime,
+		Device:      dev,
+		MeterConfig: cfg.meterConfig(),
+		Seed:        cfg.Seed + 1,
+		TargetTime:  cfg.BenchTargetTime,
 	}
 	calSettings := dvfs.CalibrationSettings()
-	settings := make([]dvfs.Setting, len(calSettings))
-	for i, cs := range calSettings {
-		settings[i] = cs.Setting
-	}
-	raw, err := runner.RunSuite(microbench.Suite(), settings)
+	benches := microbench.Suite()
+	samples := make([]core.Sample, len(calSettings)*len(benches))
+	err := forEach(ctx, cfg, "calibrate", len(samples), func(i int) error {
+		s := calSettings[i/len(benches)].Setting
+		b := benches[i%len(benches)]
+		smp, err := runner.Run(b, s)
+		if err != nil {
+			return err
+		}
+		samples[i] = core.Sample{
+			Profile: smp.Workload.Profile,
+			Setting: smp.Setting,
+			Time:    smp.Time,
+			Energy:  smp.Energy,
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return fitAndValidate(samples, calSettings)
+}
+
+// fitAndValidate is the deterministic tail of the calibration pipeline:
+// given the setting-major sample slice, it rebuilds the train mask,
+// fits the model by NNLS and runs the §II-D validations. Calibrate and
+// CalibrateFromSamples share it, which is what guarantees that a cached
+// sample set yields the same model as a fresh campaign.
+func fitAndValidate(samples []core.Sample, calSettings []dvfs.CalibrationSetting) (*Calibration, error) {
 	out := &Calibration{
-		Samples:   make([]core.Sample, len(raw)),
-		TrainMask: make([]bool, len(raw)),
+		Samples:   samples,
+		TrainMask: make([]bool, len(samples)),
 	}
-	perSetting := len(raw) / len(settings)
-	for i, s := range raw {
-		out.Samples[i] = core.Sample{
-			Profile: s.Workload.Profile,
-			Setting: s.Setting,
-			Time:    s.Time,
-			Energy:  s.Energy,
-		}
-		out.TrainMask[i] = calSettings[i/perSetting].Type == "T"
-	}
+	perSetting := len(samples) / len(calSettings)
 	var train []core.Sample
-	for i, s := range out.Samples {
+	for i, s := range samples {
+		out.TrainMask[i] = calSettings[i/perSetting].Type == "T"
 		if out.TrainMask[i] {
 			train = append(train, s)
 		}
 	}
+	var err error
 	if out.Model, err = core.Fit(train); err != nil {
 		return nil, fmt.Errorf("experiments: fit: %w", err)
 	}
@@ -126,6 +162,29 @@ func Calibrate(dev *tegra.Device, cfg Config) (*Calibration, error) {
 		return nil, fmt.Errorf("experiments: 16-fold: %w", err)
 	}
 	return out, nil
+}
+
+// CalibrateFromSamples rebuilds a full Calibration — train mask, NNLS
+// fit, holdout and 16-fold validation — from previously measured
+// calibration samples, e.g. a samples.csv written by export.WriteSamples.
+// The slice must be the setting-major campaign Calibrate produces: its
+// length a multiple of the 16 calibration settings, with each block's
+// setting matching dvfs.CalibrationSettings order. This is the cache
+// path the cmd/* binaries use to skip recalibration.
+func CalibrateFromSamples(samples []core.Sample) (*Calibration, error) {
+	calSettings := dvfs.CalibrationSettings()
+	if len(samples) == 0 || len(samples)%len(calSettings) != 0 {
+		return nil, fmt.Errorf("experiments: %d samples do not divide into %d calibration settings",
+			len(samples), len(calSettings))
+	}
+	perSetting := len(samples) / len(calSettings)
+	for i, s := range samples {
+		if want := calSettings[i/perSetting].Setting; s.Setting != want {
+			return nil, fmt.Errorf("experiments: sample %d measured at %v, want %v: not a setting-major calibration export",
+				i, s.Setting, want)
+		}
+	}
+	return fitAndValidate(samples, calSettings)
 }
 
 // TableIRow is one derived row of Table I.
@@ -147,12 +206,15 @@ func (c *Calibration) TableI() []TableIRow {
 
 // Autotune reproduces Table II: for every microbenchmark family and every
 // intensity, sweep the full DVFS grid, and score the model's pick against
-// the race-to-halt time oracle.
-func Autotune(dev *tegra.Device, model *core.Model, cfg Config) ([]core.TableIIRow, error) {
+// the race-to-halt time oracle. The 103 per-intensity grid sweeps fan
+// out over cfg.Workers workers; sample values depend only on each
+// (benchmark, setting) identity, so the rows are worker-count-invariant.
+func Autotune(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Config) ([]core.TableIIRow, error) {
 	runner := &microbench.Runner{
-		Device:     dev,
-		Meter:      cfg.meter(3),
-		TargetTime: cfg.BenchTargetTime,
+		Device:      dev,
+		MeterConfig: cfg.meterConfig(),
+		Seed:        cfg.Seed + 3,
+		TargetTime:  cfg.BenchTargetTime,
 	}
 	// Candidates are the paper's 16 measured calibration settings: the
 	// autotuner picks among configurations for which measurements exist,
@@ -161,34 +223,54 @@ func Autotune(dev *tegra.Device, model *core.Model, cfg Config) ([]core.TableIIR
 	for _, cs := range dvfs.CalibrationSettings() {
 		grid = append(grid, cs.Setting)
 	}
-	var rows []core.TableIIRow
+	// Table II covers the five families shown in the paper (not DRAM).
+	var kinds []microbench.Kind
 	for _, kind := range microbench.Kinds() {
-		if kind == microbench.DRAM {
-			continue // Table II covers the five families shown in the paper
+		if kind != microbench.DRAM {
+			kinds = append(kinds, kind)
 		}
-		var sweeps [][]core.Candidate
-		for _, ai := range kind.Intensities() {
-			b := microbench.Benchmark{Kind: kind, Intensity: ai}
-			// Fix the workload once (sized at the fastest setting) so that
-			// every candidate runs identical work — energies are only
-			// comparable at equal work.
-			elements := runner.SizeFor(b, dvfs.MaxSetting(), cfg.BenchTargetTime)
-			cands := make([]core.Candidate, 0, len(grid))
-			for _, s := range grid {
-				smp, err := runner.RunSized(b, elements, s)
-				if err != nil {
-					return nil, err
-				}
-				cands = append(cands, core.Candidate{
-					Setting:        s,
-					Profile:        smp.Workload.Profile,
-					Time:           smp.Time,
-					MeasuredEnergy: smp.Energy,
-				})
+	}
+	// One unit of work = one (family, intensity) sweep over the grid.
+	type unit struct{ kind, intensity int }
+	var units []unit
+	sweeps := make([][][]core.Candidate, len(kinds))
+	for ki, kind := range kinds {
+		n := len(kind.Intensities())
+		sweeps[ki] = make([][]core.Candidate, n)
+		for ii := 0; ii < n; ii++ {
+			units = append(units, unit{ki, ii})
+		}
+	}
+	err := forEach(ctx, cfg, "autotune", len(units), func(i int) error {
+		u := units[i]
+		kind := kinds[u.kind]
+		b := microbench.Benchmark{Kind: kind, Intensity: kind.Intensities()[u.intensity]}
+		// Fix the workload once (sized at the fastest setting) so that
+		// every candidate runs identical work — energies are only
+		// comparable at equal work.
+		elements := runner.SizeFor(b, dvfs.MaxSetting(), cfg.BenchTargetTime)
+		cands := make([]core.Candidate, 0, len(grid))
+		for _, s := range grid {
+			smp, err := runner.RunSized(b, elements, s)
+			if err != nil {
+				return err
 			}
-			sweeps = append(sweeps, cands)
+			cands = append(cands, core.Candidate{
+				Setting:        s,
+				Profile:        smp.Workload.Profile,
+				Time:           smp.Time,
+				MeasuredEnergy: smp.Energy,
+			})
 		}
-		rows = append(rows, model.CompareStrategies(kind.String(), sweeps))
+		sweeps[u.kind][u.intensity] = cands
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]core.TableIIRow, len(kinds))
+	for ki, kind := range kinds {
+		rows[ki] = model.CompareStrategies(kind.String(), sweeps[ki])
 	}
 	return rows, nil
 }
@@ -217,6 +299,28 @@ func FMMInputs() []FMMInput {
 	}
 }
 
+// ScaleInputs divides every input's point count by factor, for quick
+// demo runs (the cmd/* -small flag). An input whose scaled N would drop
+// to Q or below would build a degenerate single-leaf octree — every
+// interaction handled by the direct P2P kernel, profiling nothing — so
+// such inputs are clamped to N = 2Q instead; their IDs are returned so
+// callers can warn.
+func ScaleInputs(inputs []FMMInput, factor int) (scaled []FMMInput, clamped []string) {
+	if factor < 1 {
+		factor = 1
+	}
+	scaled = append([]FMMInput(nil), inputs...)
+	for i := range scaled {
+		n := scaled[i].N / factor
+		if min := 2 * scaled[i].Q; n < min {
+			n = min
+			clamped = append(clamped, scaled[i].ID)
+		}
+		scaled[i].N = n
+	}
+	return scaled, clamped
+}
+
 // FMMRun bundles an executed FMM evaluation with its input tag.
 type FMMRun struct {
 	Input  FMMInput
@@ -239,6 +343,25 @@ func RunFMMInput(in FMMInput, cfg Config) (*FMMRun, error) {
 		return nil, fmt.Errorf("experiments: FMM %s: %w", in.ID, err)
 	}
 	return &FMMRun{Input: in, Result: res}, nil
+}
+
+// RunFMMInputs executes the FMM proxy for every input, fanning the runs
+// out over cfg.Workers workers. Each run is deterministic in (input,
+// cfg.Seed) alone, so the result is identical for any worker count.
+func RunFMMInputs(ctx context.Context, inputs []FMMInput, cfg Config) ([]*FMMRun, error) {
+	runs := make([]*FMMRun, len(inputs))
+	err := forEach(ctx, cfg, "fmm", len(inputs), func(i int) error {
+		run, err := RunFMMInput(inputs[i], cfg)
+		if err != nil {
+			return err
+		}
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
 }
 
 // Schedule maps the run's phases onto the device at a setting.
@@ -316,21 +439,29 @@ type Figure5Result struct {
 	Summary stats.Summary // relative errors (fractions)
 }
 
-// Figure5 measures and predicts all (settings x runs) cases.
-func Figure5(dev *tegra.Device, model *core.Model, runs []*FMMRun, cfg Config) (*Figure5Result, error) {
-	meter := cfg.meter(5)
+// Figure5 measures and predicts all (settings x runs) cases, fanned out
+// over cfg.Workers workers. Every case owns a meter seeded from its
+// (setting, input) grid position, so the 64 cases come out identical
+// for any worker count, in setting-major order.
+func Figure5(ctx context.Context, dev *tegra.Device, model *core.Model, runs []*FMMRun, cfg Config) (*Figure5Result, error) {
 	settings := dvfs.ValidationSettings()
-	out := &Figure5Result{}
-	var errsList []float64
-	for si, s := range settings {
-		for _, run := range runs {
-			c, err := RunFMMCase(dev, meter, model, run, dvfs.ValidationID(si), s)
-			if err != nil {
-				return nil, err
-			}
-			out.Cases = append(out.Cases, c)
-			errsList = append(errsList, c.RelErr)
+	out := &Figure5Result{Cases: make([]FMMCase, len(settings)*len(runs))}
+	err := forEach(ctx, cfg, "figure5", len(out.Cases), func(i int) error {
+		si, ri := i/len(runs), i%len(runs)
+		meter := cfg.NewMeter(deriveSeed(cfg.Seed+5, int64(si), int64(ri)))
+		c, err := RunFMMCase(dev, meter, model, runs[ri], dvfs.ValidationID(si), settings[si])
+		if err != nil {
+			return err
 		}
+		out.Cases[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	errsList := make([]float64, len(out.Cases))
+	for i, c := range out.Cases {
+		errsList[i] = c.RelErr
 	}
 	out.Summary = stats.Summarize(errsList)
 	return out, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func testConfig() Config {
 func calibrate(t *testing.T) (*tegra.Device, *Calibration) {
 	t.Helper()
 	dev := tegra.NewDevice()
-	cal, err := Calibrate(dev, testConfig())
+	cal, err := Calibrate(context.Background(), dev, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestTableIReproducesPaperValues(t *testing.T) {
 
 func TestAutotuneTableIIShape(t *testing.T) {
 	dev, cal := calibrate(t)
-	rows, err := Autotune(dev, cal.Model, testConfig())
+	rows, err := Autotune(context.Background(), dev, cal.Model, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestFMMCaseValidation(t *testing.T) {
 
 func TestFigure5SmallSweep(t *testing.T) {
 	dev, cal, run := smallRun(t)
-	f5, err := Figure5(dev, cal.Model, []*FMMRun{run}, testConfig())
+	f5, err := Figure5(context.Background(), dev, cal.Model, []*FMMRun{run}, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dvfsroofline/internal/core"
@@ -35,23 +36,26 @@ type QSweepResult struct {
 }
 
 // TuneQ sweeps the given leaf capacities for an N-point uniform problem
-// at one DVFS setting, predicting time and energy for each.
-func TuneQ(dev *tegra.Device, model *core.Model, cfg Config, n int, qs []int, s dvfs.Setting) (*QSweepResult, error) {
+// at one DVFS setting, predicting time and energy for each. The sweep
+// candidates fan out over cfg.Workers workers; each candidate is purely
+// model-evaluated, so the result is worker-count-invariant.
+func TuneQ(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Config, n int, qs []int, s dvfs.Setting) (*QSweepResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("experiments: empty Q sweep")
 	}
-	out := &QSweepResult{Setting: s}
-	for _, q := range qs {
+	out := &QSweepResult{Setting: s, Candidates: make([]QCandidate, len(qs))}
+	err := forEach(ctx, cfg, "tuneq", len(qs), func(i int) error {
+		q := qs[i]
 		run, err := RunFMMInput(FMMInput{ID: fmt.Sprintf("Q%d", q), N: n, Q: q}, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sched := run.Schedule(dev, s)
 		dur := sched.Duration()
 		tot := run.TotalProfile()
 		parts := model.PredictParts(tot, s, dur)
 		instr := tot.Instructions()
-		cand := QCandidate{
+		out.Candidates[i] = QCandidate{
 			Q:           q,
 			Time:        dur,
 			PredictedJ:  parts.Total(),
@@ -59,7 +63,10 @@ func TuneQ(dev *tegra.Device, model *core.Model, cfg Config, n int, qs []int, s 
 			DPIntensity: core.ProfileIntensity(core.ClassDP, tot),
 			ConstShare:  parts.Constant / parts.Total(),
 		}
-		out.Candidates = append(out.Candidates, cand)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i, c := range out.Candidates {
 		if c.PredictedJ < out.Candidates[out.BestEnergy].PredictedJ {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"dvfsroofline/internal/dvfs"
@@ -11,7 +12,7 @@ func TestTuneQSweep(t *testing.T) {
 	// For a uniform 16 Ki-point cloud the leaf level changes at Q ≈ 4,
 	// 32, 256, 2048 (powers of 8 per level); pick one Q per level so the
 	// sweep actually moves the tree.
-	res, err := TuneQ(dev, cal.Model, testConfig(), 16384, []int{8, 32, 256, 2048}, dvfs.MaxSetting())
+	res, err := TuneQ(context.Background(), dev, cal.Model, testConfig(), 16384, []int{8, 32, 256, 2048}, dvfs.MaxSetting())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestTuneQSweep(t *testing.T) {
 
 func TestTuneQEmpty(t *testing.T) {
 	dev, cal := calibrate(t)
-	if _, err := TuneQ(dev, cal.Model, testConfig(), 1024, nil, dvfs.MaxSetting()); err == nil {
+	if _, err := TuneQ(context.Background(), dev, cal.Model, testConfig(), 1024, nil, dvfs.MaxSetting()); err == nil {
 		t.Error("empty sweep accepted")
 	}
 }

@@ -2,6 +2,7 @@ package export
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -43,6 +44,100 @@ func TestSamplesRoundTrip(t *testing.T) {
 	for i := range in {
 		if in[i] != out[i] {
 			t.Errorf("sample %d changed: %+v vs %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestSamplesRoundTripPrecision(t *testing.T) {
+	// Samples are serialized at 12 significant digits (%g). Measured
+	// times and energies carry full float64 entropy, so the round trip
+	// cannot be bit-exact — but every field must come back within 1 ulp
+	// of 12 digits (rel. 5e-12), and the DVFS setting fields, which are
+	// small integers in every rail table, must be exact.
+	in := []core.Sample{
+		{
+			Profile: counters.Profile{
+				SP: 1.23456789012345e9, DPFMA: 9.87654321098765e8,
+				DPAdd: 1.11111111111111e7, DPMul: 2.22222222222222e7,
+				Int: 0.333333333333333e9, SharedWords: 1e8 / 3,
+				L1Words: 7.77777777777777e6, L2Words: 1 / 3e-8,
+				DRAMWords: 2.99999999999999e7,
+			},
+			Setting: dvfs.MustSetting(852, 924),
+			Time:    0.123456789012345,
+			Energy:  2.71828182845905,
+		},
+		{
+			Profile: counters.Profile{SP: 1e-30, DRAMWords: 1e30},
+			Setting: dvfs.MustSetting(180, 204),
+			Time:    1e-3 + 1e-15,
+			Energy:  3.14159265358979,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(out), len(in))
+	}
+	const rel = 5e-12
+	closeEnough := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for i := range in {
+		if in[i].Setting != out[i].Setting {
+			t.Errorf("sample %d: setting changed: %+v vs %+v", i, in[i].Setting, out[i].Setting)
+		}
+		fields := []struct {
+			name    string
+			in, out float64
+		}{
+			{"SP", in[i].Profile.SP, out[i].Profile.SP},
+			{"DPFMA", in[i].Profile.DPFMA, out[i].Profile.DPFMA},
+			{"DPAdd", in[i].Profile.DPAdd, out[i].Profile.DPAdd},
+			{"DPMul", in[i].Profile.DPMul, out[i].Profile.DPMul},
+			{"Int", in[i].Profile.Int, out[i].Profile.Int},
+			{"SharedWords", in[i].Profile.SharedWords, out[i].Profile.SharedWords},
+			{"L1Words", in[i].Profile.L1Words, out[i].Profile.L1Words},
+			{"L2Words", in[i].Profile.L2Words, out[i].Profile.L2Words},
+			{"DRAMWords", in[i].Profile.DRAMWords, out[i].Profile.DRAMWords},
+			{"Time", in[i].Time, out[i].Time},
+			{"Energy", in[i].Energy, out[i].Energy},
+		}
+		for _, f := range fields {
+			if !closeEnough(f.in, f.out) {
+				t.Errorf("sample %d: %s = %.17g round-tripped to %.17g (rel err > %g)",
+					i, f.name, f.in, f.out, rel)
+			}
+		}
+	}
+	// The setting columns of every calibration setting round-trip
+	// exactly: all rail tables hold integral MHz and mV values.
+	var all []core.Sample
+	for _, cs := range dvfs.CalibrationSettings() {
+		all = append(all, core.Sample{Setting: cs.Setting, Time: 1, Energy: 1,
+			Profile: counters.Profile{DRAMWords: 1}})
+	}
+	buf.Reset()
+	if err := WriteSamples(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if all[i].Setting != back[i].Setting {
+			t.Errorf("calibration setting %d not exact after round trip: %+v vs %+v",
+				i, all[i].Setting, back[i].Setting)
 		}
 	}
 }

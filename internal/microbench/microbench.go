@@ -194,13 +194,67 @@ type Sample struct {
 	Power    float64 // watts, Energy / Time
 }
 
-// Runner executes benchmarks on a device and measures them with a meter.
+// Runner executes benchmarks on a device and measures each run with its
+// own deterministically seeded meter.
+//
+// Every (benchmark, setting) sample draws its measurement noise from a
+// fresh meter whose seed SampleSeed derives from the campaign Seed and
+// the *identity* of the pair — never from its position in a run. Two
+// properties follow, and the experiment pipeline leans on both:
+//
+//   - Order independence: running a subset of the suite, or the same
+//     benchmarks in a different order, reproduces identical samples.
+//   - Parallel determinism: callers may fan samples out over any number
+//     of workers and still obtain the byte-identical result of a serial
+//     sweep.
 type Runner struct {
 	Device *tegra.Device
-	Meter  *powermon.Meter
+	// MeterConfig configures the per-sample meters; the zero value
+	// selects powermon.DefaultConfig().
+	MeterConfig powermon.Config
+	// Seed is the campaign seed from which every per-sample meter seed
+	// is derived.
+	Seed int64
 	// TargetTime is the wall-clock window each kernel is sized to fill so
 	// that the meter integrates enough samples. Zero selects 0.3 s.
 	TargetTime float64
+}
+
+// SampleSeed derives the meter seed for one (benchmark, setting) sample
+// from the campaign seed and the pair's identity, via FNV-1a over the
+// constituent bit patterns. Using identities rather than loop indices is
+// what makes Runner measurements independent of execution order.
+func SampleSeed(seed int64, b Benchmark, s dvfs.Setting) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(seed))
+	mix(uint64(b.Kind))
+	mix(math.Float64bits(b.Intensity))
+	mix(math.Float64bits(s.Core.FreqMHz))
+	mix(math.Float64bits(s.Core.VoltageMV))
+	mix(math.Float64bits(s.Mem.FreqMHz))
+	mix(math.Float64bits(s.Mem.VoltageMV))
+	return int64(h)
+}
+
+// meterFor returns the fresh, deterministically seeded meter that
+// measures the (b, s) sample.
+func (r *Runner) meterFor(b Benchmark, s dvfs.Setting) *powermon.Meter {
+	cfg := r.MeterConfig
+	if cfg == (powermon.Config{}) {
+		cfg = powermon.DefaultConfig()
+	}
+	return powermon.NewMeter(cfg, SampleSeed(r.Seed, b, s))
 }
 
 // Run sizes, executes and measures one benchmark at one setting. The
@@ -224,7 +278,7 @@ func (r *Runner) SizeFor(b Benchmark, s dvfs.Setting, target float64) float64 {
 // work — energies are only comparable at equal work.
 func (r *Runner) RunSized(b Benchmark, elements float64, s dvfs.Setting) (Sample, error) {
 	exec := r.Device.Execute(b.Workload(elements), s)
-	meas, err := r.Meter.Measure(exec.PowerAt, exec.Time)
+	meas, err := r.meterFor(b, s).Measure(exec.PowerAt, exec.Time)
 	if err != nil {
 		return Sample{}, fmt.Errorf("microbench: measuring %v at %v: %w", b, s, err)
 	}
@@ -240,7 +294,11 @@ func (r *Runner) RunSized(b Benchmark, elements float64, s dvfs.Setting) (Sample
 
 // RunSuite measures every benchmark at every setting, in order
 // (setting-major). With the full suite and the paper's 16 calibration
-// settings this produces the paper's 1856 samples.
+// settings this produces the paper's 1856 samples. Each sample depends
+// only on the (benchmark, setting) identity, so a subset or reordering
+// of the suite reproduces the corresponding entries of a full sweep,
+// and the experiments package can fan the same sweep out over workers
+// without changing a single value.
 func (r *Runner) RunSuite(benches []Benchmark, settings []dvfs.Setting) ([]Sample, error) {
 	out := make([]Sample, 0, len(benches)*len(settings))
 	for _, s := range settings {

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"dvfsroofline/internal/dvfs"
-	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/tegra"
 )
 
@@ -82,10 +81,7 @@ func TestWorkloadPanicsOnBadElements(t *testing.T) {
 }
 
 func TestRunProducesMeasurableSample(t *testing.T) {
-	r := &Runner{
-		Device: tegra.NewDevice(),
-		Meter:  powermon.NewMeter(powermon.DefaultConfig(), 1),
-	}
+	r := &Runner{Device: tegra.NewDevice(), Seed: 1}
 	smp, err := r.Run(Benchmark{Kind: Double, Intensity: 16}, dvfs.MustSetting(852, 924))
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +101,7 @@ func TestRunProducesMeasurableSample(t *testing.T) {
 
 func TestRunMeasurementTracksTruth(t *testing.T) {
 	dev := tegra.NewDevice()
-	r := &Runner{Device: dev, Meter: powermon.NewMeter(powermon.DefaultConfig(), 2)}
+	r := &Runner{Device: dev, Seed: 2}
 	s := dvfs.MustSetting(540, 528)
 	smp, err := r.Run(Benchmark{Kind: L2, Intensity: 32}, s)
 	if err != nil {
@@ -121,7 +117,7 @@ func TestRunMeasurementTracksTruth(t *testing.T) {
 func TestRunSuiteCountAndOrder(t *testing.T) {
 	r := &Runner{
 		Device:     tegra.NewDevice(),
-		Meter:      powermon.NewMeter(powermon.DefaultConfig(), 3),
+		Seed:       3,
 		TargetTime: 0.05, // keep the test fast; still > 50 samples at 1024 Hz
 	}
 	benches := []Benchmark{
@@ -142,6 +138,48 @@ func TestRunSuiteCountAndOrder(t *testing.T) {
 	}
 	if samples[0].Bench.Kind != Single || samples[1].Bench.Kind != DRAM {
 		t.Error("samples not in benchmark order within a setting")
+	}
+}
+
+func TestRunSuiteSubsetReproducesFullSuite(t *testing.T) {
+	// Sample measurements are seeded by the (seed, benchmark, setting)
+	// identity, not by suite position: re-running any subset of the suite
+	// must reproduce exactly the samples the full run produced for those
+	// benchmarks. This is what makes cached and parallel calibrations
+	// byte-identical to serial ones.
+	r := &Runner{Device: tegra.NewDevice(), Seed: 42, TargetTime: 0.05}
+	benches := []Benchmark{
+		{Kind: Single, Intensity: 1},
+		{Kind: Double, Intensity: 16},
+		{Kind: DRAM, Intensity: 0.25},
+	}
+	settings := []dvfs.Setting{dvfs.MustSetting(852, 924), dvfs.MustSetting(396, 204)}
+	full, err := r.RunSuite(benches, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := r.RunSuite(benches[1:2], settings[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 1 {
+		t.Fatalf("got %d subset samples, want 1", len(sub))
+	}
+	// full is setting-major: the (settings[1], benches[1]) sample is at
+	// index 1*len(benches)+1.
+	want := full[1*len(benches)+1]
+	if sub[0] != want {
+		t.Errorf("subset sample differs from full-suite sample:\n got %+v\nwant %+v", sub[0], want)
+	}
+	// Reversed benchmark order must also reproduce the same samples.
+	rev, err := r.RunSuite([]Benchmark{benches[2], benches[1], benches[0]}, settings[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rev {
+		if rev[i] != full[len(benches)-1-i] {
+			t.Errorf("reordered sample %d differs from full-suite sample", i)
+		}
 	}
 }
 
@@ -175,7 +213,7 @@ func TestComputeBoundRunsFasterAtHigherFrequency(t *testing.T) {
 }
 
 func TestSizeForHitsTarget(t *testing.T) {
-	r := &Runner{Device: tegra.NewDevice(), Meter: powermon.NewMeter(powermon.DefaultConfig(), 9)}
+	r := &Runner{Device: tegra.NewDevice(), Seed: 9}
 	b := Benchmark{Kind: Double, Intensity: 8}
 	for _, s := range []dvfs.Setting{dvfs.MaxSetting(), dvfs.MustSetting(180, 204)} {
 		elements := r.SizeFor(b, s, 0.2)
@@ -189,7 +227,7 @@ func TestSizeForHitsTarget(t *testing.T) {
 func TestRunSizedKeepsWorkloadFixed(t *testing.T) {
 	// The same element count at two settings must yield identical
 	// operation profiles (that is the point of RunSized).
-	r := &Runner{Device: tegra.NewDevice(), Meter: powermon.NewMeter(powermon.DefaultConfig(), 10)}
+	r := &Runner{Device: tegra.NewDevice(), Seed: 10}
 	b := Benchmark{Kind: L2, Intensity: 16}
 	const elements = 5e7
 	a, err := r.RunSized(b, elements, dvfs.MaxSetting())
@@ -211,7 +249,7 @@ func TestRunSizedKeepsWorkloadFixed(t *testing.T) {
 func TestRunSizedTooSmallErrors(t *testing.T) {
 	// A microscopic workload finishes between meter samples and cannot
 	// be measured.
-	r := &Runner{Device: tegra.NewDevice(), Meter: powermon.NewMeter(powermon.DefaultConfig(), 11)}
+	r := &Runner{Device: tegra.NewDevice(), Seed: 11}
 	if _, err := r.RunSized(Benchmark{Kind: Single, Intensity: 1}, 10, dvfs.MaxSetting()); err == nil {
 		t.Error("unmeasurably short run accepted")
 	}
