@@ -1,0 +1,62 @@
+// Command energyd serves the DVFS-aware energy model over HTTP. Where
+// the other cmd/* binaries recalibrate per process, energyd calibrates
+// once at startup — or loads a -cache sample CSV and skips the
+// measurement campaign entirely — and then answers prediction and
+// autotuning queries until terminated:
+//
+//	POST /v1/predict     — Eq. 9 energy + parts for an op profile
+//	POST /v1/autotune    — best (f_core, f_mem) vs the time oracle,
+//	                       served from a keyed LRU + single-flight cache
+//	GET  /v1/calibration — Table I, model constants, CV statistics
+//	GET  /healthz        — liveness
+//	GET  /metrics        — Prometheus text format
+//
+// SIGINT/SIGTERM drain in-flight requests before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dvfsroofline/internal/cli"
+	"dvfsroofline/internal/serve"
+)
+
+func main() {
+	app := cli.New("energyd")
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	cacheCap := flag.Int("cachecap", 64, "autotune sweep cache capacity (entries)")
+	sweepTimeout := flag.Duration("sweep-timeout", 30*time.Second, "server-side cap on one autotune sweep")
+	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+	app.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dev := app.Device()
+	cal, err := app.Calibrate(ctx, dev)
+	app.Check(err)
+	log.Printf("calibration ready: %d samples, 16-fold CV mean %.2f%%",
+		len(cal.Samples), cal.KFold.Percent().Mean)
+
+	// The serving config drops the CLI progress callback: request sweeps
+	// run concurrently and must not share the App's milestone tracker.
+	cfg := app.Config()
+	cfg.OnProgress = nil
+	s := serve.New(dev, cal, cfg, serve.Options{
+		CacheSize:    *cacheCap,
+		SweepTimeout: *sweepTimeout,
+	})
+	l, err := net.Listen("tcp", *addr)
+	app.Check(err)
+	log.Printf("listening on http://%s (endpoints: /v1/predict /v1/autotune /v1/calibration /healthz /metrics)", l.Addr())
+
+	app.Check(serve.Run(ctx, l, s.Handler(), *drain))
+	log.Printf("drained, bye")
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dvfsroofline/internal/cli"
+	"dvfsroofline/internal/export"
+	"dvfsroofline/internal/serve"
+)
+
+// TestCachedSamplesMatchFixture pins testdata/samples.csv — the CSV the
+// CI smoke test boots energyd from — to serve.FixtureSamples byte for
+// byte, so the checked-in artifact cannot drift from the code that
+// defines it.
+func TestCachedSamplesMatchFixture(t *testing.T) {
+	var want bytes.Buffer
+	if err := export.WriteSamples(&want, serve.FixtureSamples()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join("testdata", "samples.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("testdata/samples.csv does not match serve.FixtureSamples(); regenerate it with export.WriteSamples")
+	}
+}
+
+// TestCachedSamplesLoad exercises the exact -cache startup path.
+func TestCachedSamplesLoad(t *testing.T) {
+	cal, err := cli.LoadCalibration(filepath.Join("testdata", "samples.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Samples) != 128 {
+		t.Fatalf("loaded %d samples, want 128", len(cal.Samples))
+	}
+	if m := cal.KFold.Percent().Mean; m > 1e-6 {
+		t.Errorf("noiseless cached calibration CV mean %g%%, want ~0", m)
+	}
+}

@@ -8,9 +8,11 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"os"
 	"path/filepath"
@@ -97,7 +99,7 @@ func (a *App) Calibrate(ctx context.Context, dev *tegra.Device) (*experiments.Ca
 		case err == nil:
 			log.Printf("refitted from %d cached samples in %s", len(cal.Samples), a.Cache)
 			return cal, nil
-		case !os.IsNotExist(err):
+		case !errors.Is(err, fs.ErrNotExist):
 			log.Printf("ignoring cache %s: %v", a.Cache, err)
 		}
 	}

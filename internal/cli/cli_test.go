@@ -2,6 +2,9 @@ package cli
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -67,8 +70,14 @@ func TestSaveLoadCalibrationRoundTrip(t *testing.T) {
 
 func TestLoadCalibrationMissingFile(t *testing.T) {
 	_, err := LoadCalibration(filepath.Join(t.TempDir(), "absent.csv"))
-	if !os.IsNotExist(err) {
+	if !errors.Is(err, fs.ErrNotExist) {
 		t.Errorf("got %v, want a does-not-exist error", err)
+	}
+	// Calibrate distinguishes "no cache yet" from "malformed cache" with
+	// errors.Is, which must keep working even if the path error is
+	// wrapped along the way (os.IsNotExist would not).
+	if wrapped := fmt.Errorf("loading cache: %w", err); !errors.Is(wrapped, fs.ErrNotExist) {
+		t.Errorf("wrapped error %v lost the not-exist sentinel", wrapped)
 	}
 }
 

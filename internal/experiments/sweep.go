@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/tegra"
+)
+
+// SweepWorkload measures one fixed workload at every setting of grid:
+// the single-workload, context-aware entry point behind the energyd
+// /v1/autotune endpoint. Each grid point executes the same work on the
+// device and integrates a simulated PowerMon trace, fanning out over
+// cfg.Workers workers; ctx cancellation (a request deadline, a client
+// disconnect) stops the sweep between units.
+//
+// Short executions are repeated back-to-back until they fill a
+// measurable window, exactly as the paper's microbenchmark harness
+// repeats short kernels, and the integrated energy is divided by the
+// repetition count. Every candidate derives its measurement-noise seed
+// from the setting's identity, so the sweep is byte-identical for any
+// worker count.
+func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.Workload, grid []dvfs.Setting) ([]core.Candidate, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("experiments: empty setting grid")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: sweep workload: %w", err)
+	}
+	cands := make([]core.Candidate, len(grid))
+	err := forEach(ctx, cfg, "sweep", len(grid), func(i int) error {
+		s := grid[i]
+		exec := dev.Execute(w, s)
+		meter := cfg.NewMeter(deriveSeed(cfg.Seed+9,
+			int64(math.Float64bits(s.Core.FreqMHz)), int64(math.Float64bits(s.Core.VoltageMV)),
+			int64(math.Float64bits(s.Mem.FreqMHz)), int64(math.Float64bits(s.Mem.VoltageMV))))
+		// Repeat the execution periodically until the run is long enough
+		// for the meter to integrate a stable sample count.
+		reps := 1.0
+		if min := meter.MinDuration(16); exec.Time < min {
+			reps = math.Ceil(min / exec.Time)
+		}
+		trace := exec.PowerAt
+		if reps > 1 {
+			period := exec.Time
+			trace = func(t float64) float64 { return exec.PowerAt(math.Mod(t, period)) }
+		}
+		meas, err := meter.Measure(trace, reps*exec.Time)
+		if err != nil {
+			return fmt.Errorf("experiments: sweep at %v: %w", s, err)
+		}
+		cands[i] = core.Candidate{
+			Setting:        s,
+			Profile:        w.Profile,
+			Time:           exec.Time,
+			MeasuredEnergy: meas.Energy / reps,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cands, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/tegra"
+)
+
+func sweepWorkload() tegra.Workload {
+	return tegra.Workload{
+		Profile: counters.Profile{
+			DPFMA:     2e8,
+			Int:       1e8,
+			DRAMWords: 5e7,
+		},
+		Occupancy: 0.9,
+	}
+}
+
+func sweepGrid() []dvfs.Setting {
+	cs := dvfs.CalibrationSettings()
+	grid := make([]dvfs.Setting, len(cs))
+	for i, c := range cs {
+		grid[i] = c.Setting
+	}
+	return grid
+}
+
+func TestSweepWorkloadCoversGrid(t *testing.T) {
+	dev := tegra.NewDevice()
+	grid := sweepGrid()
+	cands, err := SweepWorkload(context.Background(), dev, Config{Seed: 42}, sweepWorkload(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(grid) {
+		t.Fatalf("got %d candidates, want %d", len(cands), len(grid))
+	}
+	for i, c := range cands {
+		if c.Setting != grid[i] {
+			t.Errorf("candidate %d at %v, want %v", i, c.Setting, grid[i])
+		}
+		if c.Time <= 0 || c.MeasuredEnergy <= 0 {
+			t.Errorf("candidate %d has non-positive time %g or energy %g", i, c.Time, c.MeasuredEnergy)
+		}
+	}
+}
+
+func TestSweepWorkloadWorkerCountInvariant(t *testing.T) {
+	dev := tegra.NewDevice()
+	grid := sweepGrid()
+	serial, err := SweepWorkload(context.Background(), dev, Config{Seed: 42, Workers: 1}, sweepWorkload(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SweepWorkload(context.Background(), dev, Config{Seed: 42, Workers: 8}, sweepWorkload(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("candidate %d differs across worker counts: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestSweepWorkloadHonorsCancellation(t *testing.T) {
+	dev := tegra.NewDevice()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SweepWorkload(ctx, dev, Config{Seed: 42}, sweepWorkload(), sweepGrid())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepWorkloadRejectsBadInput(t *testing.T) {
+	dev := tegra.NewDevice()
+	if _, err := SweepWorkload(context.Background(), dev, Config{Seed: 42}, sweepWorkload(), nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+	bad := tegra.Workload{Occupancy: 0.9} // empty profile
+	if _, err := SweepWorkload(context.Background(), dev, Config{Seed: 42}, bad, sweepGrid()); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+// TestSweepWorkloadShortRunRepetition drives the sweep with a workload
+// far too short for a single measurement window; the repetition path
+// must still land near the device's closed-form energy.
+func TestSweepWorkloadShortRunRepetition(t *testing.T) {
+	dev := tegra.NewDevice()
+	w := tegra.Workload{
+		Profile:   counters.Profile{DPFMA: 1e5, DRAMWords: 1e4, Int: 1e4},
+		Occupancy: 0.9,
+	}
+	s := dvfs.MaxSetting()
+	cands, err := SweepWorkload(context.Background(), dev, Config{Seed: 42}, w, []dvfs.Setting{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := dev.Execute(w, s)
+	truth := exec.TrueEnergy()
+	rel := (cands[0].MeasuredEnergy - truth) / truth
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.12 {
+		t.Errorf("repeated short run measured %g J vs true %g J (rel %g)", cands[0].MeasuredEnergy, truth, rel)
+	}
+}

@@ -48,6 +48,15 @@ func Solve(a *linalg.Matrix, b []float64, tol float64) (*Result, error) {
 
 	x := make([]float64, n)
 	passive := make([]bool, n)
+	// banned marks variables that were admitted and then dropped again
+	// without the iterate moving — a numerically dependent column, or a
+	// zero-length step that clamped the variable straight back out. Since
+	// x (and therefore the dual vector) is unchanged, the dual test would
+	// re-select such a variable immediately and livelock until
+	// ErrMaxIterations. Banning it until x actually changes (when the
+	// duals are recomputed on new data) is the Lawson–Hanson degeneracy
+	// guard; bans are cleared on every real step.
+	banned := make([]bool, n)
 	resid := append([]float64(nil), b...) // b - A*x, x = 0 initially
 
 	maxIter := 3 * n
@@ -63,13 +72,13 @@ func Solve(a *linalg.Matrix, b []float64, tol float64) (*Result, error) {
 		t := -1
 		wmax := tol
 		for j := 0; j < n; j++ {
-			if !passive[j] && w[j] > wmax {
+			if !passive[j] && !banned[j] && w[j] > wmax {
 				wmax = w[j]
 				t = j
 			}
 		}
 		if t < 0 {
-			break // KKT conditions met
+			break // KKT conditions met (up to banned degenerate variables)
 		}
 		passive[t] = true
 
@@ -82,12 +91,15 @@ func Solve(a *linalg.Matrix, b []float64, tol float64) (*Result, error) {
 			z, err := solvePassive(a, b, passive)
 			if err != nil {
 				// Numerically dependent column: drop the variable we just
-				// admitted and continue with the rest.
+				// admitted and continue with the rest. x is unchanged, so
+				// ban it or the dual test re-selects it forever.
 				passive[t] = false
+				banned[t] = true
 				break
 			}
 			if allPositive(z, passive, 0) {
 				copyPassive(x, z, passive)
+				clearBans(banned)
 				break
 			}
 			// Some passive variable went non-positive: move along the
@@ -108,12 +120,21 @@ func Solve(a *linalg.Matrix, b []float64, tol float64) (*Result, error) {
 			if math.IsInf(alpha, 1) {
 				alpha = 0
 			}
+			if alpha > 0 {
+				clearBans(banned)
+			}
 			for j := 0; j < n; j++ {
 				if passive[j] {
 					x[j] += alpha * (z[j] - x[j])
 					if x[j] <= tol {
 						x[j] = 0
 						passive[j] = false
+						if alpha == 0 {
+							// Dropped at a zero step: x is unchanged, so
+							// this variable must not be re-admitted until
+							// some step moves the iterate.
+							banned[j] = true
+						}
 					}
 				}
 			}
@@ -183,6 +204,12 @@ func copyPassive(x, z []float64, passive []bool) {
 		} else {
 			x[j] = 0
 		}
+	}
+}
+
+func clearBans(banned []bool) {
+	for j := range banned {
+		banned[j] = false
 	}
 }
 

@@ -178,6 +178,72 @@ func TestEnergyModelShapedProblem(t *testing.T) {
 	}
 }
 
+// TestDegenerateColumnNoLivelock is the regression test for the
+// zero-progress livelock: column 1 is numerically dependent on column 0
+// (the pair is rank-deficient to the QR solver) yet carries a positive
+// dual after column 0 converges, because b has a huge component along the
+// tiny independent tail. The old loop admitted it, failed the passive
+// solve, dropped it, recomputed the *unchanged* dual, re-admitted it, and
+// burned iterations until ErrMaxIterations.
+func TestDegenerateColumnNoLivelock(t *testing.T) {
+	a := linalg.FromRows([][]float64{
+		{2, 1},
+		{0, 1e-13},
+		{0, 0},
+	})
+	b := []float64{1, 1e6, 0}
+	res, err := Solve(a, b, 0)
+	if err != nil {
+		t.Fatalf("degenerate column livelocked: %v", err)
+	}
+	// Column 0 alone solves the reachable part of b: x0 = (2·1)/4.
+	if math.Abs(res.X[0]-0.5) > 1e-10 {
+		t.Errorf("x[0] = %v, want 0.5", res.X[0])
+	}
+	if res.X[1] != 0 {
+		t.Errorf("x[1] = %v, want 0 (degenerate column must stay clamped)", res.X[1])
+	}
+}
+
+// TestNearDuplicateColumnsStress feeds the solver batches of matrices
+// with exactly and nearly duplicated columns. None may hit
+// ErrMaxIterations, every solution must be non-negative, and no solution
+// may fit worse than x = 0.
+func TestNearDuplicateColumnsStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m, n := 6, 4
+		a := linalg.NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			a.Set(i, 0, rng.NormFloat64())
+			a.Set(i, 1, rng.NormFloat64())
+		}
+		for i := 0; i < m; i++ {
+			// Column 2 duplicates column 0 exactly; column 3 nearly
+			// duplicates column 1, with a tail small enough to be
+			// rank-deficient to the QR factorization.
+			a.Set(i, 2, a.At(i, 0))
+			a.Set(i, 3, a.At(i, 1)+1e-14*rng.NormFloat64())
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64() * math.Pow(10, float64(trial%7)-3)
+		}
+		res, err := Solve(a, b, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for j, xj := range res.X {
+			if xj < 0 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, xj)
+			}
+		}
+		if zero := linalg.Norm2(b); res.Residual > zero*(1+1e-9) {
+			t.Fatalf("trial %d: residual %v worse than zero vector %v", trial, res.Residual, zero)
+		}
+	}
+}
+
 func TestSolveRHSMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

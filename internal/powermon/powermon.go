@@ -74,6 +74,12 @@ type Measurement struct {
 // integrated and yield an error; callers should repeat short kernels
 // until they fill a measurable window (as the paper's microbenchmark
 // harness does).
+//
+// When duration does not fall on the sample grid, one extra sample is
+// taken at t = duration itself so the closing partial interval
+// [(n-1)·dt, duration] is integrated rather than silently dropped —
+// without it every measurement under-reads by up to one sample period of
+// power.
 func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measurement, error) {
 	if duration <= 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
 		return Measurement{}, fmt.Errorf("powermon: invalid duration %g", duration)
@@ -83,12 +89,20 @@ func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measur
 	if n < 3 {
 		return Measurement{}, fmt.Errorf("powermon: run of %gs too short to sample at %g Hz", duration, m.cfg.SampleRate)
 	}
+	// The last grid point sits at (n-1)·dt <= duration. Unless the run is
+	// grid-aligned, a tail of up to one sample period remains; close it
+	// with one extra sample at the trailing edge.
+	tail := duration - float64(n-1)*dt
+	total := n
+	if tail > dt*1e-9 {
+		total = n + 1
+	}
 	gain := m.rng.Normal(1, m.cfg.GainSigma)
-	samples := make([]float64, n)
-	for i := 0; i < n; i++ {
+	samples := make([]float64, total)
+	for i := 0; i < total; i++ {
 		t := float64(i) * dt
 		if t > duration {
-			t = duration
+			t = duration // the appended closing sample
 		}
 		v := trace(t)*gain + m.rng.Normal(0, m.cfg.NoiseSigma)
 		if q := m.cfg.QuantumW; q > 0 {
@@ -99,13 +113,13 @@ func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measur
 		}
 		samples[i] = v
 	}
-	// Trapezoidal integration over the sample grid, with the final
-	// partial interval handled at the trailing edge.
+	// Trapezoidal integration: full sample periods over the grid, then
+	// the closing trapezoid over the partial tail interval.
 	var energy float64
-	for i := 1; i < n; i++ {
+	for i := 1; i < total; i++ {
 		step := dt
-		if t := float64(i) * dt; t > duration {
-			step = duration - float64(i-1)*dt
+		if i == n {
+			step = tail
 		}
 		energy += 0.5 * (samples[i-1] + samples[i]) * step
 	}

@@ -41,6 +41,62 @@ func TestLinearTraceTrapezoidExact(t *testing.T) {
 	}
 }
 
+// TestTailIntervalIntegrated is the regression test for the tail
+// truncation bug: the run below spans 512 full sample periods plus a
+// 0.4999 ms tail, and the old integrator dropped the tail entirely
+// (reading 5.000 J instead of 5.004999 J).
+func TestTailIntervalIntegrated(t *testing.T) {
+	m := NewMeter(noiseless(1024), 1)
+	const duration = 0.5004999
+	meas, err := m.Measure(func(float64) float64 { return 10.0 }, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0 * duration // 5.004999 J
+	if rel := math.Abs(meas.Energy-want) / want; rel > 1e-6 {
+		t.Errorf("energy = %.9f J, want %.9f J (rel err %g)", meas.Energy, want, rel)
+	}
+}
+
+// TestMeasureClosedFormOffGrid is the property test behind the fix: with
+// noise disabled, trapezoidal integration is exact for constant and
+// linear traces, so Measure must match the closed-form energy at any
+// duration — including ones that are not integer multiples of the sample
+// period, where the old code silently dropped the closing interval.
+func TestMeasureClosedFormOffGrid(t *testing.T) {
+	rates := []float64{256, 512, 1000, 1024}
+	// A spread of durations: grid-aligned, barely off-grid, half-period
+	// off, and nearly one full period off.
+	durations := []float64{
+		0.25, 0.25 + 1.0/2048, 0.3, 0.333333, 0.5004999,
+		1.0, 1.0 + 0.9/1024, 0.0999999,
+	}
+	traces := []struct {
+		name   string
+		f      func(t float64) float64
+		energy func(d float64) float64 // closed-form integral over [0, d]
+	}{
+		{"constant", func(float64) float64 { return 7.25 }, func(d float64) float64 { return 7.25 * d }},
+		{"linear", func(t float64) float64 { return 2 + 3*t }, func(d float64) float64 { return 2*d + 1.5*d*d }},
+	}
+	for _, rate := range rates {
+		for _, d := range durations {
+			for _, tr := range traces {
+				m := NewMeter(noiseless(rate), 1)
+				meas, err := m.Measure(tr.f, d)
+				if err != nil {
+					t.Fatalf("rate %g duration %g: %v", rate, d, err)
+				}
+				want := tr.energy(d)
+				if rel := math.Abs(meas.Energy-want) / want; rel > 1e-9 {
+					t.Errorf("%s trace, rate %g Hz, duration %g s: energy %.12g J, want %.12g J (rel %g)",
+						tr.name, rate, d, meas.Energy, want, rel)
+				}
+			}
+		}
+	}
+}
+
 func TestTooShortRunRejected(t *testing.T) {
 	m := NewMeter(DefaultConfig(), 1)
 	if _, err := m.Measure(func(float64) float64 { return 1 }, 0.001); err == nil {

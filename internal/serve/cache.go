@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// sweepCache is a keyed LRU with single-flight semantics: concurrent
+// Do calls for the same key run the expensive function once, with every
+// waiter receiving the one result, and completed results are retained up
+// to the capacity in least-recently-used order. Autotune sweeps are
+// deterministic in their request, so a cached answer is exactly the
+// answer a fresh sweep would produce.
+type sweepCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List               // front = most recently used
+	items   map[string]*list.Element // key -> element whose Value is *cacheEntry
+	flights map[string]*flight
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newSweepCache(capacity int) *sweepCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sweepCache{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached value for key, or runs fn to compute it. hit
+// reports whether the caller was served without running fn itself —
+// either from the LRU or by joining an in-flight computation. Successful
+// results are cached; errors are returned to every waiter but never
+// cached, so a later request retries. If ctx ends while waiting on
+// another caller's computation, Do returns ctx.Err() (the computation
+// itself keeps running for the caller that owns it).
+func (c *sweepCache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.insert(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// insert stores a value, evicting the least recently used entry when the
+// cache is full. Callers hold c.mu.
+func (c *sweepCache) insert(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *sweepCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

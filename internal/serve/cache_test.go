@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := newSweepCache(4)
+	ctx := context.Background()
+	v, hit, err := c.Do(ctx, "k", func() (any, error) { return 7, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("first Do = (%v, %v, %v), want (7, false, nil)", v, hit, err)
+	}
+	v, hit, err = c.Do(ctx, "k", func() (any, error) {
+		t.Fatal("fn re-ran on a cached key")
+		return nil, nil
+	})
+	if err != nil || !hit || v != 7 {
+		t.Fatalf("second Do = (%v, %v, %v), want (7, true, nil)", v, hit, err)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newSweepCache(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := c.Do(ctx, "k", func() (any, error) { return "ok", nil })
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("retry after error = (%v, %v, %v), want fresh run", v, hit, err)
+	}
+}
+
+func TestCacheSingleflightConcurrent(t *testing.T) {
+	c := newSweepCache(4)
+	var runs atomic.Int32
+	gate := make(chan struct{})
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func() (any, error) {
+				runs.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = (%v, %v)", v, err)
+			}
+		}()
+	}
+	// Let the goroutines pile onto the flight, then release the owner.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+}
+
+func TestCacheJoinerHonorsContext(t *testing.T) {
+	c := newSweepCache(4)
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-gate
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled joiner err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newSweepCache(2)
+	ctx := context.Background()
+	run := func(k string) (bool, error) {
+		_, hit, err := c.Do(ctx, k, func() (any, error) { return k, nil })
+		return hit, err
+	}
+	for _, k := range []string{"a", "b"} {
+		if _, err := run(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hit, _ := run("a"); !hit { // refresh a: b is now least recently used
+		t.Fatal("a evicted prematurely")
+	}
+	if _, err := run("c"); err != nil { // evicts b
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if hit, _ := run("a"); !hit {
+		t.Error("a lost despite being recently used")
+	}
+	if hit, _ := run("b"); hit {
+		t.Error("b survived eviction at capacity 2")
+	}
+}
+
+func TestCacheCapacityClamped(t *testing.T) {
+	c := newSweepCache(0)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(ctx, k, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want clamp to 1", c.Len())
+	}
+}

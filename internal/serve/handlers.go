@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+)
+
+// maxBodyBytes bounds request bodies; profiles are a handful of numbers.
+const maxBodyBytes = 1 << 20
+
+// ProfileJSON is the wire form of an operation profile. Field names
+// match the calibration CSV columns, so a row of samples.csv maps
+// directly onto a request body.
+type ProfileJSON struct {
+	SP          float64 `json:"sp,omitempty"`
+	DPFMA       float64 `json:"dp_fma,omitempty"`
+	DPAdd       float64 `json:"dp_add,omitempty"`
+	DPMul       float64 `json:"dp_mul,omitempty"`
+	Int         float64 `json:"int,omitempty"`
+	SharedWords float64 `json:"shared_words,omitempty"`
+	L1Words     float64 `json:"l1_words,omitempty"`
+	L2Words     float64 `json:"l2_words,omitempty"`
+	DRAMWords   float64 `json:"dram_words,omitempty"`
+}
+
+func (p ProfileJSON) profile() counters.Profile {
+	return counters.Profile{
+		SP: p.SP, DPFMA: p.DPFMA, DPAdd: p.DPAdd, DPMul: p.DPMul, Int: p.Int,
+		SharedWords: p.SharedWords, L1Words: p.L1Words,
+		L2Words: p.L2Words, DRAMWords: p.DRAMWords,
+	}
+}
+
+// SettingJSON selects a DVFS setting by its two frequencies; voltages
+// follow from the board's tables, as on the real Tegra K1.
+type SettingJSON struct {
+	CoreMHz float64 `json:"core_mhz"`
+	MemMHz  float64 `json:"mem_mhz"`
+}
+
+// SettingInfo is the wire form of a resolved setting.
+type SettingInfo struct {
+	CoreMHz float64 `json:"core_mhz"`
+	CoreMV  float64 `json:"core_mv"`
+	MemMHz  float64 `json:"mem_mhz"`
+	MemMV   float64 `json:"mem_mv"`
+}
+
+func settingInfo(s dvfs.Setting) SettingInfo {
+	return SettingInfo{
+		CoreMHz: s.Core.FreqMHz, CoreMV: s.Core.VoltageMV,
+		MemMHz: s.Mem.FreqMHz, MemMV: s.Mem.VoltageMV,
+	}
+}
+
+// PredictRequest asks for the Eq. 9 energy of one operation profile at
+// one DVFS setting. The setting comes either as explicit frequencies or
+// as a named ID ("S1".."S8" from Table IV, or "max"). When time_s is
+// zero the execution time is simulated on the device at the requested
+// occupancy (default 0.25, the paper's FMM operating point).
+type PredictRequest struct {
+	Profile   ProfileJSON  `json:"profile"`
+	Setting   *SettingJSON `json:"setting,omitempty"`
+	SettingID string       `json:"setting_id,omitempty"`
+	TimeS     float64      `json:"time_s,omitempty"`
+	Occupancy float64      `json:"occupancy,omitempty"`
+}
+
+// PartsJSON decomposes a prediction by component, in joules.
+type PartsJSON struct {
+	SP       float64 `json:"sp"`
+	DP       float64 `json:"dp"`
+	Int      float64 `json:"int"`
+	SM       float64 `json:"sm"`
+	L2       float64 `json:"l2"`
+	DRAM     float64 `json:"dram"`
+	Constant float64 `json:"constant"`
+	Compute  float64 `json:"compute"`
+	Data     float64 `json:"data"`
+}
+
+func partsJSON(p core.Parts) PartsJSON {
+	return PartsJSON{
+		SP: p.SP, DP: p.DP, Int: p.Int, SM: p.SM, L2: p.L2, DRAM: p.DRAM,
+		Constant: p.Constant, Compute: p.Compute(), Data: p.Data(),
+	}
+}
+
+// PredictResponse is the answer to a /v1/predict request.
+type PredictResponse struct {
+	Setting     SettingInfo `json:"setting"`
+	TimeS       float64     `json:"time_s"`
+	PredictedJ  float64     `json:"predicted_j"`
+	Parts       PartsJSON   `json:"parts"`
+	ConstPowerW float64     `json:"const_power_w"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	setting, err := s.resolveSetting(req.Setting, req.SettingID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	prof := req.Profile.profile()
+	t := req.TimeS
+	if t == 0 {
+		wl := tegra.Workload{Profile: prof, Occupancy: occupancyOrDefault(req.Occupancy)}
+		if err := wl.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		t = s.dev.Execute(wl, setting).Time
+	} else if t < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("negative time_s %g", t))
+		return
+	}
+	parts := s.cal.Model.PredictParts(prof, setting, t)
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Setting:     settingInfo(setting),
+		TimeS:       t,
+		PredictedJ:  parts.Total(),
+		Parts:       partsJSON(parts),
+		ConstPowerW: s.cal.Model.ConstPower(setting),
+	})
+}
+
+// AutotuneRequest asks for the energy-optimal (f_core, f_mem) pair for
+// one workload. grid selects the candidate set: "calibration" (default,
+// the paper's 16 measured settings) or "full" (all 105 permutations).
+// timeout_s bounds the sweep; it combines with the server-wide cap and
+// the client's connection lifetime, whichever ends first.
+type AutotuneRequest struct {
+	Profile   ProfileJSON `json:"profile"`
+	Occupancy float64     `json:"occupancy,omitempty"`
+	Grid      string      `json:"grid,omitempty"`
+	TimeoutS  float64     `json:"timeout_s,omitempty"`
+}
+
+// PickJSON reports one strategy's choice over the sweep.
+type PickJSON struct {
+	Setting    SettingInfo `json:"setting"`
+	TimeS      float64     `json:"time_s"`
+	PredictedJ float64     `json:"predicted_j"`
+	MeasuredJ  float64     `json:"measured_j"`
+}
+
+// AutotuneResponse is the answer to a /v1/autotune request. Extra-energy
+// percentages are relative to the measured-minimum candidate, matching
+// the paper's Table II "energy lost" definition.
+type AutotuneResponse struct {
+	Grid                 string   `json:"grid"`
+	Candidates           int      `json:"candidates"`
+	Cached               bool     `json:"cached"`
+	Model                PickJSON `json:"model"`
+	TimeOracle           PickJSON `json:"time_oracle"`
+	MeasuredMin          PickJSON `json:"measured_min"`
+	ModelExtraEnergyPct  float64  `json:"model_extra_energy_pct"`
+	OracleExtraEnergyPct float64  `json:"oracle_extra_energy_pct"`
+}
+
+func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	var req AutotuneRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	gridName := req.Grid
+	if gridName == "" {
+		gridName = "calibration"
+	}
+	grid, ok := s.grids[gridName]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown grid %q (want \"calibration\" or \"full\")", gridName))
+		return
+	}
+	wl := tegra.Workload{Profile: req.Profile.profile(), Occupancy: occupancyOrDefault(req.Occupancy)}
+	if err := wl.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// The request deadline propagates into the sweep pipeline: client
+	// disconnects and timeouts cancel the in-flight forEach between
+	// units of work.
+	timeout := s.timeout
+	if req.TimeoutS > 0 && time.Duration(req.TimeoutS*float64(time.Second)) < timeout {
+		timeout = time.Duration(req.TimeoutS * float64(time.Second))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	key := autotuneKey(gridName, wl, s.cfg.Seed)
+	val, hit, err := s.cache.Do(ctx, key, func() (any, error) {
+		cands, err := experiments.SweepWorkload(ctx, s.dev, s.cfg, wl, grid)
+		if err != nil {
+			return nil, err
+		}
+		return s.scoreSweep(gridName, cands), nil
+	})
+	if hit {
+		s.metrics.cacheHit()
+	} else {
+		s.metrics.cacheMiss()
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "sweep deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "sweep cancelled")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	resp := *val.(*AutotuneResponse)
+	resp.Cached = hit
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scoreSweep runs the three pickers of §II-E over one finished sweep.
+func (s *Server) scoreSweep(gridName string, cands []core.Candidate) *AutotuneResponse {
+	m := s.cal.Model
+	pick := func(i int) PickJSON {
+		c := cands[i]
+		return PickJSON{
+			Setting:    settingInfo(c.Setting),
+			TimeS:      c.Time,
+			PredictedJ: m.Predict(c.Profile, c.Setting, c.Time),
+			MeasuredJ:  c.MeasuredEnergy,
+		}
+	}
+	model := pick(m.PickModelMinEnergy(cands))
+	oracle := pick(core.PickTimeOracle(cands))
+	best := pick(core.PickMeasuredMin(cands))
+	extra := func(p PickJSON) float64 {
+		if best.MeasuredJ == 0 {
+			return 0
+		}
+		return 100 * (p.MeasuredJ - best.MeasuredJ) / best.MeasuredJ
+	}
+	return &AutotuneResponse{
+		Grid:                 gridName,
+		Candidates:           len(cands),
+		Model:                model,
+		TimeOracle:           oracle,
+		MeasuredMin:          best,
+		ModelExtraEnergyPct:  extra(model),
+		OracleExtraEnergyPct: extra(oracle),
+	}
+}
+
+// autotuneKey canonicalizes a sweep request. Two requests with the same
+// key are guaranteed to produce identical sweeps (the measurement noise
+// is seeded by setting identity and the campaign seed alone).
+func autotuneKey(grid string, wl tegra.Workload, seed int64) string {
+	p := wl.Profile
+	return fmt.Sprintf("g=%s occ=%g seed=%d sp=%g fma=%g add=%g mul=%g int=%g sm=%g l1=%g l2=%g dram=%g",
+		grid, wl.Occupancy, seed,
+		p.SP, p.DPFMA, p.DPAdd, p.DPMul, p.Int,
+		p.SharedWords, p.L1Words, p.L2Words, p.DRAMWords)
+}
+
+// CalibrationResponse summarizes the loaded calibration: the fitted
+// constants, Table I, and the §II-D validation statistics.
+type CalibrationResponse struct {
+	Samples int            `json:"samples"`
+	Model   ModelJSON      `json:"model"`
+	TableI  []TableIRow    `json:"table_i"`
+	Holdout CVSummaryJSON  `json:"holdout"`
+	KFold   CVSummaryJSON  `json:"kfold_16"`
+	Grids   map[string]int `json:"grids"`
+}
+
+// ModelJSON is the wire form of the fitted Eq. 9 constants.
+type ModelJSON struct {
+	SPpJ   float64 `json:"sp_pj_v2"`
+	DPpJ   float64 `json:"dp_pj_v2"`
+	IntpJ  float64 `json:"int_pj_v2"`
+	SMpJ   float64 `json:"sm_pj_v2"`
+	L2pJ   float64 `json:"l2_pj_v2"`
+	DRAMpJ float64 `json:"dram_pj_v2"`
+	C1Proc float64 `json:"c1_proc_w_v"`
+	C1Mem  float64 `json:"c1_mem_w_v"`
+	PMisc  float64 `json:"p_misc_w"`
+}
+
+// TableIRow is one derived row of the paper's Table I.
+type TableIRow struct {
+	Type    string      `json:"type"`
+	Setting SettingInfo `json:"setting"`
+	SPpJ    float64     `json:"sp_pj"`
+	DPpJ    float64     `json:"dp_pj"`
+	IntpJ   float64     `json:"int_pj"`
+	SMpJ    float64     `json:"sm_pj"`
+	L2pJ    float64     `json:"l2_pj"`
+	DRAMpJ  float64     `json:"dram_pj"`
+	ConstW  float64     `json:"const_w"`
+}
+
+// CVSummaryJSON reports validation relative errors in percent.
+type CVSummaryJSON struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean_pct"`
+	Stddev float64 `json:"stddev_pct"`
+	Min    float64 `json:"min_pct"`
+	Max    float64 `json:"max_pct"`
+}
+
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	m := s.cal.Model
+	resp := CalibrationResponse{
+		Samples: len(s.cal.Samples),
+		Model: ModelJSON{
+			SPpJ: m.SPpJ, DPpJ: m.DPpJ, IntpJ: m.IntpJ, SMpJ: m.SMpJ,
+			L2pJ: m.L2pJ, DRAMpJ: m.DRAMpJ,
+			C1Proc: m.C1Proc, C1Mem: m.C1Mem, PMisc: m.PMisc,
+		},
+		Holdout: cvSummary(s.cal.Holdout),
+		KFold:   cvSummary(s.cal.KFold),
+		Grids:   map[string]int{},
+	}
+	for name, grid := range s.grids {
+		resp.Grids[name] = len(grid)
+	}
+	for _, row := range s.cal.TableI() {
+		resp.TableI = append(resp.TableI, TableIRow{
+			Type: row.Type, Setting: settingInfo(row.Setting),
+			SPpJ: row.Eps.SP, DPpJ: row.Eps.DP, IntpJ: row.Eps.Int,
+			SMpJ: row.Eps.SM, L2pJ: row.Eps.L2, DRAMpJ: row.Eps.DRAM,
+			ConstW: row.Eps.ConstPower,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func cvSummary(r core.CVResult) CVSummaryJSON {
+	p := r.Percent()
+	return CVSummaryJSON{N: p.N, Mean: p.Mean, Stddev: p.Stddev, Min: p.Min, Max: p.Max}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"samples": len(s.cal.Samples),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeText(w)
+}
+
+// resolveSetting maps the request's setting selector onto the board's
+// DVFS tables. Exactly one of explicit frequencies or a named ID must be
+// present.
+func (s *Server) resolveSetting(explicit *SettingJSON, id string) (dvfs.Setting, error) {
+	switch {
+	case explicit != nil && id != "":
+		return dvfs.Setting{}, errors.New("give either setting or setting_id, not both")
+	case explicit != nil:
+		core, err := dvfs.CorePoint(explicit.CoreMHz)
+		if err != nil {
+			return dvfs.Setting{}, err
+		}
+		mem, err := dvfs.MemPoint(explicit.MemMHz)
+		if err != nil {
+			return dvfs.Setting{}, err
+		}
+		return dvfs.Setting{Core: core, Mem: mem}, nil
+	case id == "":
+		return dvfs.Setting{}, errors.New("missing setting or setting_id")
+	case strings.EqualFold(id, "max"):
+		return dvfs.MaxSetting(), nil
+	default:
+		for i, s := range dvfs.ValidationSettings() {
+			if strings.EqualFold(dvfs.ValidationID(i), id) {
+				return s, nil
+			}
+		}
+		return dvfs.Setting{}, fmt.Errorf("unknown setting_id %q (want S1..S8 or max)", id)
+	}
+}
+
+// occupancyOrDefault applies the FMM-like default occupancy.
+func occupancyOrDefault(occ float64) float64 {
+	if occ == 0 {
+		return 0.25
+	}
+	return occ
+}
+
+// decodeJSON parses a POST body, rejecting unknown fields so typos in
+// profile keys surface as 400s instead of silently predicting zero.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

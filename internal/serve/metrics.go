@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics is a hand-rolled Prometheus registry: the daemon exposes the
+// standard text exposition format (version 0.0.4) without pulling in a
+// client library. It tracks per-endpoint request counts by status code,
+// a fixed-bucket latency histogram, the autotune cache hit/miss
+// counters, and an in-flight request gauge. All methods are safe for
+// concurrent use.
+type metrics struct {
+	mu        sync.Mutex
+	inflight  int
+	endpoints map[string]*endpointMetrics
+	hits      uint64
+	misses    uint64
+}
+
+// latencyBuckets are the histogram upper bounds in seconds. Prediction
+// is sub-millisecond; a cold full-grid autotune sweep can take seconds.
+var latencyBuckets = []float64{0.0005, 0.0025, 0.01, 0.05, 0.25, 1, 5}
+
+type endpointMetrics struct {
+	codes   map[int]uint64
+	buckets []uint64 // cumulative counts per latencyBuckets entry
+	sum     float64  // total observed seconds
+	count   uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[endpoint]
+	if e == nil {
+		e = &endpointMetrics{codes: make(map[int]uint64), buckets: make([]uint64, len(latencyBuckets))}
+		m.endpoints[endpoint] = e
+	}
+	e.codes[code]++
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			e.buckets[i]++
+		}
+	}
+	e.sum += seconds
+	e.count++
+}
+
+func (m *metrics) addInflight(d int) {
+	m.mu.Lock()
+	m.inflight += d
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheHit() {
+	m.mu.Lock()
+	m.hits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheMiss() {
+	m.mu.Lock()
+	m.misses++
+	m.mu.Unlock()
+}
+
+// snapshot returns the cache counters (exposed for tests).
+func (m *metrics) cacheCounts() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// writeText renders the registry in the Prometheus text format, with
+// deterministic ordering so the output is diffable.
+func (m *metrics) writeText(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP energyd_requests_total Completed HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE energyd_requests_total counter")
+	for _, ep := range sortedKeys(m.endpoints) {
+		e := m.endpoints[ep]
+		codes := make([]int, 0, len(e.codes))
+		for c := range e.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "energyd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, e.codes[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP energyd_request_duration_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE energyd_request_duration_seconds histogram")
+	for _, ep := range sortedKeys(m.endpoints) {
+		e := m.endpoints[ep]
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(w, "energyd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, fmt.Sprintf("%g", le), e.buckets[i])
+		}
+		fmt.Fprintf(w, "energyd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, e.count)
+		fmt.Fprintf(w, "energyd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, e.sum)
+		fmt.Fprintf(w, "energyd_request_duration_seconds_count{endpoint=%q} %d\n", ep, e.count)
+	}
+
+	fmt.Fprintln(w, "# HELP energyd_autotune_cache_hits_total Autotune requests answered from the sweep cache (including joined in-flight sweeps).")
+	fmt.Fprintln(w, "# TYPE energyd_autotune_cache_hits_total counter")
+	fmt.Fprintf(w, "energyd_autotune_cache_hits_total %d\n", m.hits)
+	fmt.Fprintln(w, "# HELP energyd_autotune_cache_misses_total Autotune requests that ran a fresh sweep.")
+	fmt.Fprintln(w, "# TYPE energyd_autotune_cache_misses_total counter")
+	fmt.Fprintf(w, "energyd_autotune_cache_misses_total %d\n", m.misses)
+	fmt.Fprintln(w, "# HELP energyd_inflight_requests Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE energyd_inflight_requests gauge")
+	fmt.Fprintf(w, "energyd_inflight_requests %d\n", m.inflight)
+}
+
+func sortedKeys(m map[string]*endpointMetrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,143 @@
+// Package serve turns the calibrated DVFS-aware energy model into a
+// long-lived prediction service: energyd. The paper's pipeline
+// recalibrates per process — 1856 measurements before the first
+// prediction — which caps it at one-shot experiment runs. This package
+// calibrates (or loads a cached calibration) once and then answers
+// energy-prediction and autotuning queries over HTTP:
+//
+//	POST /v1/predict     — Eq. 9 energy + per-component parts for an
+//	                       operation profile at a DVFS setting
+//	POST /v1/autotune    — best (f_core, f_mem) over a setting grid vs
+//	                       the race-to-halt time oracle, backed by a
+//	                       keyed LRU + single-flight sweep cache
+//	GET  /v1/calibration — Table I rows, model constants, CV statistics
+//	GET  /healthz        — liveness
+//	GET  /metrics        — Prometheus text format (hand-rolled)
+//
+// Request deadlines propagate as context.Context into the experiment
+// pipelines, and Run drains in-flight requests on shutdown.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+)
+
+// Options tune the server; the zero value selects sensible defaults.
+type Options struct {
+	// CacheSize bounds the autotune sweep cache (entries); zero = 64.
+	CacheSize int
+	// SweepTimeout caps the time one autotune sweep may run, independent
+	// of any client-supplied deadline; zero = 30 s.
+	SweepTimeout time.Duration
+}
+
+// Server answers model queries against one calibration. It is safe for
+// concurrent use: the calibration and device are read-only after
+// construction, and the cache and metrics synchronize internally.
+type Server struct {
+	dev     *tegra.Device
+	cal     *experiments.Calibration
+	cfg     experiments.Config
+	grids   map[string][]dvfs.Setting
+	metrics *metrics
+	cache   *sweepCache
+	timeout time.Duration
+}
+
+// New builds a server around a fitted calibration.
+func New(dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config, opts Options) *Server {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 64
+	}
+	if opts.SweepTimeout <= 0 {
+		opts.SweepTimeout = 30 * time.Second
+	}
+	calGrid := make([]dvfs.Setting, 0, 16)
+	for _, cs := range dvfs.CalibrationSettings() {
+		calGrid = append(calGrid, cs.Setting)
+	}
+	return &Server{
+		dev: dev,
+		cal: cal,
+		cfg: cfg,
+		grids: map[string][]dvfs.Setting{
+			// "calibration": the paper's 16 measured settings (§II-E
+			// autotunes among configurations with measurements).
+			// "full": all 105 core x memory permutations.
+			"calibration": calGrid,
+			"full":        dvfs.Grid(),
+		},
+		metrics: newMetrics(),
+		cache:   newSweepCache(opts.CacheSize),
+		timeout: opts.SweepTimeout,
+	}
+}
+
+// Handler returns the daemon's routing table with every endpoint
+// instrumented for /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	mux.Handle("/v1/autotune", s.instrument("/v1/autotune", s.handleAutotune))
+	mux.Handle("/v1/calibration", s.instrument("/v1/calibration", s.handleCalibration))
+	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with in-flight, count and latency tracking.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.addInflight(1)
+		defer s.metrics.addInflight(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.observe(endpoint, sw.code, time.Since(start).Seconds())
+	})
+}
+
+// Run serves h on l until ctx is cancelled, then shuts the server down
+// gracefully: the listener closes immediately, in-flight requests drain,
+// and Run returns once every handler has finished (or drainTimeout
+// elapses, whichever is first). This is the SIGINT/SIGTERM path of
+// cmd/energyd.
+func Run(ctx context.Context, l net.Listener, h http.Handler, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}
