@@ -196,7 +196,7 @@ func BenchmarkFigure5(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	meter := powermon.NewMeter(powermon.DefaultConfig(), 5)
+	meter := powermon.MustMeter(powermon.DefaultConfig(), 5)
 	var c experiments.FMMCase
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -236,7 +236,7 @@ func BenchmarkFigure7(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	meter := powermon.NewMeter(powermon.DefaultConfig(), 7)
+	meter := powermon.MustMeter(powermon.DefaultConfig(), 7)
 	var cf, mb float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -336,7 +336,7 @@ func BenchmarkPowermonRate(b *testing.B) {
 	for _, rate := range []float64{32, 128, 1024} {
 		rate := rate
 		b.Run(benchName(rate), func(b *testing.B) {
-			m := powermon.NewMeter(powermon.Config{SampleRate: rate}, 11)
+			m := powermon.MustMeter(powermon.Config{SampleRate: rate}, 11)
 			var rel float64
 			for i := 0; i < b.N; i++ {
 				meas, err := m.Measure(exec.PowerAt, exec.Time)

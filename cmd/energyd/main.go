@@ -8,10 +8,16 @@
 //	POST /v1/autotune    — best (f_core, f_mem) vs the time oracle,
 //	                       served from a keyed LRU + single-flight cache
 //	GET  /v1/calibration — Table I, model constants, CV statistics
-//	GET  /healthz        — liveness
+//	GET  /healthz        — liveness (stays 200 in degraded mode)
+//	GET  /readyz         — readiness (503 while the sweep breaker is open)
 //	GET  /metrics        — Prometheus text format
 //
-// SIGINT/SIGTERM drain in-flight requests before the process exits.
+// A circuit breaker guards the autotune sweep path: after
+// -breaker-threshold consecutive sweep failures it opens for
+// -breaker-cooldown, during which /v1/autotune serves stale cached
+// sweeps flagged "degraded": true. -force-degraded pins it open for
+// drills. SIGINT/SIGTERM drain in-flight requests before the process
+// exits.
 package main
 
 import (
@@ -34,6 +40,9 @@ func main() {
 	cacheCap := flag.Int("cachecap", 64, "autotune sweep cache capacity (entries)")
 	sweepTimeout := flag.Duration("sweep-timeout", 30*time.Second, "server-side cap on one autotune sweep")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive sweep failures that open the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open period before the breaker allows a probe sweep")
+	forceDegraded := flag.Bool("force-degraded", false, "pin the sweep breaker open at startup (degraded-mode drill)")
 	app.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -50,12 +59,18 @@ func main() {
 	cfg := app.Config()
 	cfg.OnProgress = nil
 	s := serve.New(dev, cal, cfg, serve.Options{
-		CacheSize:    *cacheCap,
-		SweepTimeout: *sweepTimeout,
+		CacheSize:        *cacheCap,
+		SweepTimeout:     *sweepTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
+	if *forceDegraded {
+		s.ForceBreakerOpen(true)
+		log.Printf("sweep breaker forced open: autotune serves cached results only")
+	}
 	l, err := net.Listen("tcp", *addr)
 	app.Check(err)
-	log.Printf("listening on http://%s (endpoints: /v1/predict /v1/autotune /v1/calibration /healthz /metrics)", l.Addr())
+	log.Printf("listening on http://%s (endpoints: /v1/predict /v1/autotune /v1/calibration /healthz /readyz /metrics)", l.Addr())
 
 	app.Check(serve.Run(ctx, l, s.Handler(), *drain))
 	log.Printf("drained, bye")

@@ -77,7 +77,9 @@ func main() {
 		dev := app.Device()
 		cal, err := app.Calibrate(ctx, dev)
 		app.Check(err)
-		att, err := experiments.AttributePhases(dev, cfg.NewMeter(app.Seed+50), cal.Model, run, dvfs.MaxSetting())
+		meter, err := cfg.NewMeter(app.Seed + 50)
+		app.Check(err)
+		att, err := experiments.AttributePhases(dev, meter, cal.Model, run, dvfs.MaxSetting())
 		app.Check(err)
 		w := cli.Table(tabwriter.AlignRight)
 		fmt.Fprintln(w, "Phase\tWindow s\tMeasured J\tPredicted J\t")

@@ -28,7 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	meter := powermon.NewMeter(powermon.DefaultConfig(), 99)
+	meter := powermon.MustMeter(powermon.DefaultConfig(), 99)
 
 	// Two contrasting workloads: a compute-bound SP kernel and a
 	// bandwidth-bound streaming kernel.

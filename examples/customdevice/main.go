@@ -60,7 +60,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		c, err := experiments.RunFMMCase(d.dev, cfg.NewMeter(77), cal.Model, run, "S1", dvfs.MaxSetting())
+		meter, err := cfg.NewMeter(77)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := experiments.RunFMMCase(d.dev, meter, cal.Model, run, "S1", dvfs.MaxSetting())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -21,18 +21,22 @@ import (
 	"dvfsroofline/internal/core"
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/export"
+	"dvfsroofline/internal/faults"
 	"dvfsroofline/internal/tegra"
 )
 
 // App carries the flag values shared by every experiment command.
 type App struct {
-	Name    string
-	Seed    int64
-	Workers int
-	CSVDir  string
-	Cache   string
+	Name        string
+	Seed        int64
+	Workers     int
+	CSVDir      string
+	Cache       string
+	FaultSpec   string
+	MinCoverage float64
 
-	lastPct int // progress milestone tracker
+	faultPlan faults.Plan // parsed from FaultSpec by Validate
+	lastPct   int         // progress milestone tracker
 }
 
 // New registers the uniform flags on the default flag set and configures
@@ -44,13 +48,43 @@ func New(name string) *App {
 	flag.IntVar(&a.Workers, "workers", 0, "experiment pipeline parallelism (0 = GOMAXPROCS)")
 	flag.StringVar(&a.CSVDir, "csv", "", "directory to write CSV artifacts (empty disables)")
 	flag.StringVar(&a.Cache, "cache", "", "calibration sample cache file: loaded when present, written after a fresh calibration")
+	flag.StringVar(&a.FaultSpec, "faults", "", "fault-injection plan, e.g. \"disconnect=0.1,spike=0.02,seed=7\" (see internal/faults)")
+	flag.Float64Var(&a.MinCoverage, "min-coverage", 1.0, "calibration sample coverage floor in (0,1]; below 1 quarantines failing samples instead of aborting")
 	log.SetFlags(0)
 	log.SetPrefix(name + ": ")
 	return a
 }
 
-// Parse parses the command line.
-func (a *App) Parse() { flag.Parse() }
+// Parse parses the command line and validates the uniform flags,
+// exiting with usage on a bad value.
+func (a *App) Parse() {
+	flag.Parse()
+	if err := a.Validate(); err != nil {
+		fmt.Fprintf(flag.CommandLine.Output(), "%s: %v\n", a.Name, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// Validate checks the uniform flag values without exiting (exposed for
+// tests; Parse calls it).
+func (a *App) Validate() error {
+	if a.Workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)", a.Workers)
+	}
+	if a.Seed <= 0 {
+		return fmt.Errorf("invalid -seed %d: must be positive", a.Seed)
+	}
+	if a.MinCoverage <= 0 || a.MinCoverage > 1 {
+		return fmt.Errorf("invalid -min-coverage %g: must be in (0, 1]", a.MinCoverage)
+	}
+	plan, err := faults.ParsePlan(a.FaultSpec)
+	if err != nil {
+		return fmt.Errorf("invalid -faults: %w", err)
+	}
+	a.faultPlan = plan
+	return nil
+}
 
 // Device returns the simulated Jetson TK1 every command runs against.
 func (a *App) Device() *tegra.Device { return tegra.NewDevice() }
@@ -59,9 +93,11 @@ func (a *App) Device() *tegra.Device { return tegra.NewDevice() }
 // wiring pipeline progress to stderr at quarter milestones.
 func (a *App) Config() experiments.Config {
 	return experiments.Config{
-		Seed:       a.Seed,
-		Workers:    a.Workers,
-		OnProgress: a.reportProgress,
+		Seed:        a.Seed,
+		Workers:     a.Workers,
+		OnProgress:  a.reportProgress,
+		Faults:      a.faultPlan,
+		MinCoverage: a.MinCoverage,
 	}
 }
 
@@ -107,8 +143,17 @@ func (a *App) Calibrate(ctx context.Context, dev *tegra.Device) (*experiments.Ca
 	if err != nil {
 		return nil, err
 	}
+	if !cal.Coverage.Complete() {
+		log.Printf("degraded calibration: %d/%d samples measured (%.1f%% coverage), %d quarantined, %d retries",
+			cal.Coverage.Measured, cal.Coverage.Total, 100*cal.Coverage.Fraction(),
+			len(cal.Coverage.Quarantined), cal.Coverage.Retried)
+	}
 	if a.Cache != "" {
-		if err := SaveSamples(a.Cache, cal.Samples); err != nil {
+		if !cal.Coverage.Complete() {
+			// A partial campaign holds zeroed samples in quarantined
+			// slots; caching it would silently poison later refits.
+			log.Printf("not caching partial calibration to %s", a.Cache)
+		} else if err := SaveSamples(a.Cache, cal.Samples); err != nil {
 			log.Printf("could not write cache %s: %v", a.Cache, err)
 		} else {
 			log.Printf("cached %d calibration samples to %s", len(cal.Samples), a.Cache)

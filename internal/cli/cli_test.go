@@ -116,3 +116,46 @@ func TestAppCalibrateCachePopulatesAndReuses(t *testing.T) {
 	}
 	modelsClose(t, cached.Model, fresh.Model)
 }
+
+func TestAppValidate(t *testing.T) {
+	valid := func() *App {
+		return &App{Name: "test", Seed: 42, Workers: 0, MinCoverage: 1.0}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*App)
+	}{
+		{"negative workers", func(a *App) { a.Workers = -1 }},
+		{"zero seed", func(a *App) { a.Seed = 0 }},
+		{"negative seed", func(a *App) { a.Seed = -7 }},
+		{"zero coverage", func(a *App) { a.MinCoverage = 0 }},
+		{"coverage above one", func(a *App) { a.MinCoverage = 1.01 }},
+		{"bad fault spec", func(a *App) { a.FaultSpec = "dropout=nope" }},
+		{"out-of-range fault", func(a *App) { a.FaultSpec = "spike=2" }},
+	}
+	for _, c := range cases {
+		a := valid()
+		c.mutate(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, a)
+		}
+	}
+}
+
+func TestAppConfigCarriesFaultPlan(t *testing.T) {
+	a := &App{Name: "test", Seed: 42, MinCoverage: 0.95, FaultSpec: "disconnect=0.1,seed=3"}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := a.Config()
+	if cfg.MinCoverage != 0.95 {
+		t.Errorf("MinCoverage = %g, want 0.95", cfg.MinCoverage)
+	}
+	if cfg.Faults.MeterDisconnect != 0.1 || cfg.Faults.Seed != 3 {
+		t.Errorf("fault plan not threaded through: %+v", cfg.Faults)
+	}
+}

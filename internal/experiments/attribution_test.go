@@ -11,7 +11,7 @@ import (
 func TestAttributePhases(t *testing.T) {
 	dev, cal, run := smallRun(t)
 	cfg := testConfig()
-	att, err := AttributePhases(dev, cfg.meter(21), cal.Model, run, dvfs.MaxSetting())
+	att, err := AttributePhases(dev, testMeter(t, cfg, 21), cal.Model, run, dvfs.MaxSetting())
 	if err != nil {
 		t.Fatal(err)
 	}

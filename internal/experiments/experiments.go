@@ -24,10 +24,13 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 
 	"dvfsroofline/internal/core"
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/faults"
 	"dvfsroofline/internal/fmm"
 	"dvfsroofline/internal/microbench"
 	"dvfsroofline/internal/powermon"
@@ -55,6 +58,27 @@ type Config struct {
 	// pipelined experiments. Invocations are serialized, but workers
 	// wait on the callback, so it must return quickly.
 	OnProgress func(Progress)
+	// Faults is the deterministic fault-injection plan threaded through
+	// every measurement; the zero Plan injects nothing.
+	Faults faults.Plan
+	// Retry bounds the per-sample retry loop around transient
+	// measurement failures; the zero value selects faults.Retry
+	// defaults.
+	Retry faults.Retry
+	// MinCoverage is the fraction of the calibration grid that must
+	// survive retries for Calibrate to proceed, in (0, 1]. Zero selects
+	// 1.0 — the historical fail-fast behavior, where the first permanent
+	// failure aborts the campaign. Below 1.0, permanently failed samples
+	// are quarantined instead and reported in Calibration.Coverage.
+	MinCoverage float64
+}
+
+// minCoverage resolves the configured coverage floor (zero = 1.0).
+func (c Config) minCoverage() float64 {
+	if c.MinCoverage == 0 {
+		return 1.0
+	}
+	return c.MinCoverage
 }
 
 // meterConfig resolves the PowerMon configuration (zero value selects
@@ -66,24 +90,32 @@ func (c Config) meterConfig() powermon.Config {
 	return c.Meter
 }
 
-func (c Config) meter(offset int64) *powermon.Meter {
+func (c Config) meter(offset int64) (*powermon.Meter, error) {
 	return powermon.NewMeter(c.meterConfig(), c.Seed+offset)
 }
 
 // NewMeter returns a fresh meter with the config's noise model, for
 // callers outside this package composing their own measurement sessions.
-func (c Config) NewMeter(seed int64) *powermon.Meter {
+func (c Config) NewMeter(seed int64) (*powermon.Meter, error) {
 	return powermon.NewMeter(c.meterConfig(), seed)
 }
 
 // Calibration is the outcome of the §II-C/D pipeline.
 type Calibration struct {
 	// Samples are all 1856 measurements (116 kernels x 16 settings),
-	// setting-major in Table I order.
+	// setting-major in Table I order. Quarantined samples keep their
+	// slot (so indices stay grid positions) but hold the zero Sample;
+	// Valid marks the measured ones.
 	Samples []core.Sample
 	// TrainMask marks the samples from "T"-type settings.
 	TrainMask []bool
-	// Model is fitted on the training samples only.
+	// Valid marks the samples that survived measurement (all of them in
+	// a fault-free campaign).
+	Valid []bool
+	// Coverage reports how the campaign survived its faults.
+	Coverage Coverage
+	// Model is fitted on the valid training samples only (minus any
+	// outliers the median/MAD screen removed).
 	Model *core.Model
 	// Holdout is the 2-fold validation on the "V"-type samples.
 	Holdout core.CVResult
@@ -91,27 +123,106 @@ type Calibration struct {
 	KFold core.CVResult
 }
 
+// Quarantined records one permanently failed calibration sample.
+type Quarantined struct {
+	Index    int // position in the setting-major sample grid
+	Bench    microbench.Benchmark
+	Setting  dvfs.Setting
+	Attempts int   // measurement attempts made before giving up
+	Err      error // the final error
+}
+
+// Coverage reports how a calibration campaign survived measurement
+// faults: how much of the grid was measured, how hard the retry loop
+// worked, and what the fit's outlier screen removed.
+type Coverage struct {
+	Total            int // grid size (1856 for the full campaign)
+	Measured         int // samples that produced a measurement
+	Retried          int // extra attempts spent on transient failures
+	ScreenedOutliers int // training samples removed by the median/MAD screen
+	// Quarantined lists the permanently failed samples, ordered by grid
+	// index (so the report is identical for every worker count).
+	Quarantined []Quarantined
+}
+
+// Fraction returns the measured fraction of the grid (1.0 when empty).
+func (c Coverage) Fraction() float64 {
+	if c.Total == 0 {
+		return 1.0
+	}
+	return float64(c.Measured) / float64(c.Total)
+}
+
+// Complete reports whether every sample of the grid was measured.
+func (c Coverage) Complete() bool { return c.Measured == c.Total }
+
 // Calibrate runs the microbenchmark suite over the paper's 16 settings,
 // fits the model by NNLS, and cross-validates it. The 1856 sample
 // measurements fan out over cfg.Workers workers; per-sample seed
 // derivation (microbench.SampleSeed) makes the result identical for
 // every worker count.
+//
+// Under an active cfg.Faults plan, each sample retries transient
+// failures per cfg.Retry; when cfg.MinCoverage < 1, samples that fail
+// every attempt are quarantined rather than aborting the campaign, and
+// the calibration proceeds as long as the surviving fraction of the
+// grid stays at or above the floor. The quarantine report, retry
+// counts and outlier-screen tally land in Calibration.Coverage — all
+// worker-count-invariant, like the samples themselves.
 func Calibrate(ctx context.Context, dev *tegra.Device, cfg Config) (*Calibration, error) {
+	if err := cfg.meterConfig().Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	minCov := cfg.minCoverage()
+	if minCov <= 0 || minCov > 1 {
+		return nil, fmt.Errorf("experiments: min coverage %g outside (0, 1]", cfg.MinCoverage)
+	}
 	runner := &microbench.Runner{
 		Device:      dev,
 		MeterConfig: cfg.meterConfig(),
 		Seed:        cfg.Seed + 1,
 		TargetTime:  cfg.BenchTargetTime,
+		Faults:      cfg.Faults,
 	}
 	calSettings := dvfs.CalibrationSettings()
 	benches := microbench.Suite()
 	samples := make([]core.Sample, len(calSettings)*len(benches))
+	valid := make([]bool, len(samples))
+	var (
+		mu          sync.Mutex // guards retried and quarantined
+		retried     int
+		quarantined []Quarantined
+	)
 	err := forEach(ctx, cfg, "calibrate", len(samples), func(i int) error {
 		s := calSettings[i/len(benches)].Setting
 		b := benches[i%len(benches)]
-		smp, err := runner.Run(b, s)
-		if err != nil {
+		var smp microbench.Sample
+		attempts, runErr := faults.Do(ctx, cfg.Retry, func(attempt int) error {
+			var err error
+			smp, err = runner.RunAttempt(b, s, attempt)
 			return err
+		})
+		if attempts > 1 {
+			mu.Lock()
+			retried += attempts - 1
+			mu.Unlock()
+		}
+		if runErr != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if minCov >= 1 {
+				return runErr // fail-fast mode: first permanent failure aborts
+			}
+			mu.Lock()
+			quarantined = append(quarantined, Quarantined{
+				Index: i, Bench: b, Setting: s, Attempts: attempts, Err: runErr,
+			})
+			mu.Unlock()
+			return nil
 		}
 		samples[i] = core.Sample{
 			Profile: smp.Workload.Profile,
@@ -119,29 +230,94 @@ func Calibrate(ctx context.Context, dev *tegra.Device, cfg Config) (*Calibration
 			Time:    smp.Time,
 			Energy:  smp.Energy,
 		}
+		valid[i] = true
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return fitAndValidate(samples, calSettings)
+	// Workers append quarantine entries in completion order; sort by grid
+	// index so the report is identical for every worker count.
+	sort.Slice(quarantined, func(a, b int) bool { return quarantined[a].Index < quarantined[b].Index })
+	cov := Coverage{
+		Total:       len(samples),
+		Measured:    len(samples) - len(quarantined),
+		Retried:     retried,
+		Quarantined: quarantined,
+	}
+	if cov.Fraction() < minCov {
+		return nil, fmt.Errorf("experiments: calibration coverage %.3f below the required %.2f (%d of %d samples quarantined, e.g. %v at %v: %v)",
+			cov.Fraction(), minCov, len(quarantined), len(samples),
+			quarantined[0].Bench, quarantined[0].Setting, quarantined[0].Err)
+	}
+	return fitAndValidate(samples, calSettings, valid, cov)
+}
+
+// Outlier-screen tuning. A spike-corrupted measurement reads tens of
+// percent high and a throttled one tens of percent low, while honest
+// noise plus the device's non-idealities keep |relative residual| under
+// ~8%. The cut is the larger of screenK robust standard deviations
+// (1.4826·MAD) and an absolute screenFloor, so a near-noiseless
+// campaign (MAD ≈ 0, as with cached fixture samples) screens nothing.
+const (
+	screenK     = 6.0
+	screenFloor = 0.12
+)
+
+// screenOutliers applies the median/MAD screen to the training set's
+// relative fit residuals and returns the surviving samples. When
+// nothing is flagged — every fault-free campaign — it returns train
+// unchanged, so the screened fit is byte-identical to the historical
+// one. It refuses to screen below the model's coefficient count.
+func screenOutliers(m *core.Model, train []core.Sample) (kept []core.Sample, screened int) {
+	res := make([]float64, len(train))
+	for i, s := range train {
+		res[i] = (m.Predict(s.Profile, s.Setting, s.Time) - s.Energy) / s.Energy
+	}
+	mask := stats.OutlierMask(res, screenK, screenFloor)
+	for _, bad := range mask {
+		if bad {
+			screened++
+		}
+	}
+	if screened == 0 || len(train)-screened < 9 {
+		return train, 0
+	}
+	kept = make([]core.Sample, 0, len(train)-screened)
+	for i, s := range train {
+		if !mask[i] {
+			kept = append(kept, s)
+		}
+	}
+	return kept, screened
 }
 
 // fitAndValidate is the deterministic tail of the calibration pipeline:
 // given the setting-major sample slice, it rebuilds the train mask,
-// fits the model by NNLS and runs the §II-D validations. Calibrate and
-// CalibrateFromSamples share it, which is what guarantees that a cached
-// sample set yields the same model as a fresh campaign.
-func fitAndValidate(samples []core.Sample, calSettings []dvfs.CalibrationSetting) (*Calibration, error) {
+// fits the model by NNLS (with a median/MAD outlier screen protecting
+// the fit from spike-corrupted measurements) and runs the §II-D
+// validations on the valid samples. Calibrate and CalibrateFromSamples
+// share it, which is what guarantees that a cached sample set yields
+// the same model as a fresh campaign. A nil valid mask means every
+// sample was measured.
+func fitAndValidate(samples []core.Sample, calSettings []dvfs.CalibrationSetting, valid []bool, cov Coverage) (*Calibration, error) {
+	if valid == nil {
+		valid = make([]bool, len(samples))
+		for i := range valid {
+			valid[i] = true
+		}
+	}
 	out := &Calibration{
 		Samples:   samples,
 		TrainMask: make([]bool, len(samples)),
+		Valid:     valid,
+		Coverage:  cov,
 	}
 	perSetting := len(samples) / len(calSettings)
 	var train []core.Sample
 	for i, s := range samples {
 		out.TrainMask[i] = calSettings[i/perSetting].Type == "T"
-		if out.TrainMask[i] {
+		if out.TrainMask[i] && valid[i] {
 			train = append(train, s)
 		}
 	}
@@ -149,16 +325,30 @@ func fitAndValidate(samples []core.Sample, calSettings []dvfs.CalibrationSetting
 	if out.Model, err = core.Fit(train); err != nil {
 		return nil, fmt.Errorf("experiments: fit: %w", err)
 	}
-	if out.Holdout, err = core.HoldoutValidate(out.Samples, out.TrainMask); err != nil {
+	if kept, screened := screenOutliers(out.Model, train); screened > 0 {
+		if out.Model, err = core.Fit(kept); err != nil {
+			return nil, fmt.Errorf("experiments: refit after outlier screen: %w", err)
+		}
+		out.Coverage.ScreenedOutliers = screened
+	}
+	// Validations run over the valid samples only; quarantined slots
+	// hold no measurement to validate against.
+	vSamples := make([]core.Sample, 0, len(samples))
+	vMask := make([]bool, 0, len(samples))
+	vGroups := make([]int, 0, len(samples))
+	for i, s := range samples {
+		if valid[i] {
+			vSamples = append(vSamples, s)
+			vMask = append(vMask, out.TrainMask[i])
+			vGroups = append(vGroups, i/perSetting)
+		}
+	}
+	if out.Holdout, err = core.HoldoutValidate(vSamples, vMask); err != nil {
 		return nil, fmt.Errorf("experiments: holdout: %w", err)
 	}
 	// 16-fold CV leaves one whole setting out per fold, assessing
 	// generalization to unseen voltage/frequency points (§II-D).
-	groups := make([]int, len(out.Samples))
-	for i := range groups {
-		groups[i] = i / perSetting
-	}
-	if out.KFold, err = core.CrossValidateGrouped(out.Samples, groups); err != nil {
+	if out.KFold, err = core.CrossValidateGrouped(vSamples, vGroups); err != nil {
 		return nil, fmt.Errorf("experiments: 16-fold: %w", err)
 	}
 	return out, nil
@@ -184,7 +374,7 @@ func CalibrateFromSamples(samples []core.Sample) (*Calibration, error) {
 				i, s.Setting, want)
 		}
 	}
-	return fitAndValidate(samples, calSettings)
+	return fitAndValidate(samples, calSettings, nil, Coverage{Total: len(samples), Measured: len(samples)})
 }
 
 // TableIRow is one derived row of Table I.
@@ -215,6 +405,7 @@ func Autotune(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Con
 		MeterConfig: cfg.meterConfig(),
 		Seed:        cfg.Seed + 3,
 		TargetTime:  cfg.BenchTargetTime,
+		Faults:      cfg.Faults,
 	}
 	// Candidates are the paper's 16 measured calibration settings: the
 	// autotuner picks among configurations for which measurements exist,
@@ -251,7 +442,15 @@ func Autotune(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Con
 		elements := runner.SizeFor(b, dvfs.MaxSetting(), cfg.BenchTargetTime)
 		cands := make([]core.Candidate, 0, len(grid))
 		for _, s := range grid {
-			smp, err := runner.RunSized(b, elements, s)
+			// Transient faults retry like calibration samples do; an
+			// autotuning sweep has no quarantine — a hole in the grid
+			// would silently bias the pick, so persistent failure aborts.
+			var smp microbench.Sample
+			_, err := faults.Do(ctx, cfg.Retry, func(attempt int) error {
+				var err error
+				smp, err = runner.RunSizedAttempt(b, elements, s, attempt)
+				return err
+			})
 			if err != nil {
 				return err
 			}
@@ -448,7 +647,10 @@ func Figure5(ctx context.Context, dev *tegra.Device, model *core.Model, runs []*
 	out := &Figure5Result{Cases: make([]FMMCase, len(settings)*len(runs))}
 	err := forEach(ctx, cfg, "figure5", len(out.Cases), func(i int) error {
 		si, ri := i/len(runs), i%len(runs)
-		meter := cfg.NewMeter(deriveSeed(cfg.Seed+5, int64(si), int64(ri)))
+		meter, err := cfg.NewMeter(deriveSeed(cfg.Seed+5, int64(si), int64(ri)))
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
 		c, err := RunFMMCase(dev, meter, model, runs[ri], dvfs.ValidationID(si), settings[si])
 		if err != nil {
 			return err
@@ -484,7 +686,10 @@ func (c FMMCase) ConstantFraction() float64 {
 // comparison point of §IV-C, which the paper contrasts against the FMM's
 // 75–95%.
 func MicrobenchConstantFraction(dev *tegra.Device, model *core.Model, cfg Config, s dvfs.Setting) (float64, error) {
-	meter := cfg.meter(7)
+	meter, err := cfg.meter(7)
+	if err != nil {
+		return 0, err
+	}
 	// Per-cycle saturation mix at occupancy 0.97: 192 SP, 130 integer,
 	// 48 shared words, and enough DRAM words to stream without becoming
 	// the bottleneck.

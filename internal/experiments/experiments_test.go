@@ -7,12 +7,23 @@ import (
 
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/fmm"
+	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/tegra"
 )
 
 // testConfig keeps experiment tests fast while exercising the full paths.
 func testConfig() Config {
 	return Config{Seed: 2024, BenchTargetTime: 0.1}
+}
+
+// testMeter builds a meter from the config, failing the test on error.
+func testMeter(t *testing.T, cfg Config, offset int64) *powermon.Meter {
+	t.Helper()
+	m, err := cfg.meter(offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func calibrate(t *testing.T) (*tegra.Device, *Calibration) {
@@ -207,7 +218,7 @@ func TestFMMRunProfileShape(t *testing.T) {
 func TestFMMCaseValidation(t *testing.T) {
 	dev, cal, run := smallRun(t)
 	cfg := testConfig()
-	meter := cfg.meter(5)
+	meter := testMeter(t, cfg, 5)
 	c, err := RunFMMCase(dev, meter, cal.Model, run, "S1", dvfs.MaxSetting())
 	if err != nil {
 		t.Fatal(err)
@@ -277,7 +288,7 @@ func TestMicrobenchVsFMMConstantFraction(t *testing.T) {
 	if mb < 0.20 || mb > 0.50 {
 		t.Errorf("microbenchmark constant fraction %.2f, paper says ~0.30", mb)
 	}
-	c, err := RunFMMCase(dev, cfg.meter(9), cal.Model, run, "S1", dvfs.MaxSetting())
+	c, err := RunFMMCase(dev, testMeter(t, cfg, 9), cal.Model, run, "S1", dvfs.MaxSetting())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +374,7 @@ func TestFMMCaseNonUniformDistribution(t *testing.T) {
 		t.Error("Plummer input should exercise the W and X phases")
 	}
 	cfg := testConfig()
-	c, err := RunFMMCase(dev, cfg.meter(11), cal.Model, run, "S1", dvfs.MaxSetting())
+	c, err := RunFMMCase(dev, testMeter(t, cfg, 11), cal.Model, run, "S1", dvfs.MaxSetting())
 	if err != nil {
 		t.Fatal(err)
 	}

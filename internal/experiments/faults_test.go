@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dvfsroofline/internal/faults"
+	"dvfsroofline/internal/tegra"
+)
+
+// soakPlan is the acceptance-criteria fault load: >=10% of samples hit a
+// transient failure (disconnects + DVFS failures) and >=2% complete with
+// spike-corrupted traces that only the outlier screen can catch.
+func soakPlan() faults.Plan {
+	return faults.Plan{
+		Seed:            99,
+		MeterDisconnect: 0.06,
+		DVFSFailure:     0.05,
+		MeterSpike:      0.025,
+		MeterDropout:    0.02,
+		Throttle:        0.01,
+	}
+}
+
+func soakConfig(workers int) Config {
+	cfg := testConfig()
+	cfg.Workers = workers
+	cfg.Faults = soakPlan()
+	// Two attempts: enough to recover most transients while leaving the
+	// unluckiest samples to exercise the quarantine path.
+	cfg.Retry = faults.Retry{MaxAttempts: 2, Sleep: func(time.Duration) {}}
+	cfg.MinCoverage = 0.97
+	return cfg
+}
+
+// tableIConstants flattens the recovered Table I (per-op energies and
+// constant power at every calibration setting) into named values.
+func tableIConstants(cal *Calibration) map[string]float64 {
+	out := make(map[string]float64)
+	for _, row := range cal.TableI() {
+		key := fmt.Sprintf("%v/", row.Setting)
+		out[key+"SP"] = row.Eps.SP
+		out[key+"DP"] = row.Eps.DP
+		out[key+"Int"] = row.Eps.Int
+		out[key+"SM"] = row.Eps.SM
+		out[key+"L2"] = row.Eps.L2
+		out[key+"DRAM"] = row.Eps.DRAM
+		out[key+"ConstW"] = row.Eps.ConstPower
+	}
+	return out
+}
+
+func TestCalibrateSurvivesHighFaultPlan(t *testing.T) {
+	dev, clean := calibrate(t) // fault-free reference fit
+
+	cal, err := Calibrate(context.Background(), dev, soakConfig(0))
+	if err != nil {
+		t.Fatalf("calibration died under the fault plan: %v", err)
+	}
+	cov := cal.Coverage
+	if cov.Fraction() < 0.97 {
+		t.Fatalf("coverage %.3f below the configured floor", cov.Fraction())
+	}
+	if cov.Retried == 0 {
+		t.Error("no retries recorded; the plan should hit transient faults")
+	}
+	if len(cov.Quarantined) == 0 {
+		t.Error("no quarantined samples; expected some to exhaust retries")
+	}
+	if cov.ScreenedOutliers == 0 {
+		t.Error("outlier screen caught nothing; spikes should corrupt some fits")
+	}
+	t.Logf("coverage %.4f, %d retries, %d quarantined, %d screened",
+		cov.Fraction(), cov.Retried, len(cov.Quarantined), cov.ScreenedOutliers)
+
+	// Every recovered Table I constant within 5% of the fault-free fit.
+	ref := tableIConstants(clean)
+	for name, got := range tableIConstants(cal) {
+		want := ref[name]
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 0.05 {
+			t.Errorf("%s = %g vs fault-free %g (%.1f%% off, want <5%%)", name, got, want, 100*rel)
+		}
+	}
+}
+
+func TestFaultyCalibrationWorkerInvariant(t *testing.T) {
+	dev := tegra.NewDevice()
+	serial, err := Calibrate(context.Background(), dev, soakConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Calibrate(context.Background(), dev, soakConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Samples, par.Samples) {
+		t.Error("samples differ between 1 and 4 workers under faults")
+	}
+	if *serial.Model != *par.Model {
+		t.Errorf("fitted models differ: %+v vs %+v", *serial.Model, *par.Model)
+	}
+	if serial.Coverage.Retried != par.Coverage.Retried {
+		t.Errorf("retry counts differ: %d vs %d", serial.Coverage.Retried, par.Coverage.Retried)
+	}
+	qIdx := func(c *Calibration) []int {
+		out := make([]int, len(c.Coverage.Quarantined))
+		for i, q := range c.Coverage.Quarantined {
+			out[i] = q.Index
+		}
+		return out
+	}
+	if !reflect.DeepEqual(qIdx(serial), qIdx(par)) {
+		t.Errorf("quarantine reports differ: %v vs %v", qIdx(serial), qIdx(par))
+	}
+}
+
+func TestCalibrateFaultFreePlanUnchanged(t *testing.T) {
+	// An inactive fault plan with retry machinery configured must yield
+	// byte-identical results to the historical pipeline.
+	dev, ref := calibrate(t)
+	cfg := testConfig()
+	cfg.Retry = faults.Retry{MaxAttempts: 4, Sleep: func(time.Duration) {}}
+	cfg.MinCoverage = 0.5
+	cal, err := Calibrate(context.Background(), dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Samples, cal.Samples) {
+		t.Error("inactive fault plan changed the samples")
+	}
+	if *ref.Model != *cal.Model {
+		t.Error("inactive fault plan changed the fit")
+	}
+	if !cal.Coverage.Complete() || cal.Coverage.Retried != 0 || cal.Coverage.ScreenedOutliers != 0 {
+		t.Errorf("clean campaign reported fault activity: %+v", cal.Coverage)
+	}
+}
+
+func TestCalibrateCoverageGate(t *testing.T) {
+	dev := tegra.NewDevice()
+
+	// Default MinCoverage (1.0) keeps the historical fail-fast contract.
+	cfg := testConfig()
+	cfg.Faults = faults.Plan{Seed: 1, MeterDisconnect: 1}
+	cfg.Retry = faults.Retry{MaxAttempts: 2, Sleep: func(time.Duration) {}}
+	if _, err := Calibrate(context.Background(), dev, cfg); err == nil {
+		t.Error("fail-fast mode completed despite guaranteed disconnects")
+	}
+
+	// With quarantining enabled but everything failing, the coverage gate
+	// must refuse to fit and say why.
+	cfg.MinCoverage = 0.5
+	_, err := Calibrate(context.Background(), dev, cfg)
+	if err == nil {
+		t.Fatal("coverage gate passed a campaign with zero survivors")
+	}
+	if !strings.Contains(err.Error(), "coverage") {
+		t.Errorf("gate error %q does not mention coverage", err)
+	}
+}
+
+func TestCalibrateRejectsBadFaultPlan(t *testing.T) {
+	dev := tegra.NewDevice()
+	cfg := testConfig()
+	cfg.Faults = faults.Plan{MeterDropout: 2}
+	if _, err := Calibrate(context.Background(), dev, cfg); err == nil {
+		t.Error("invalid fault plan accepted")
+	}
+	cfg = testConfig()
+	cfg.MinCoverage = 1.5
+	if _, err := Calibrate(context.Background(), dev, cfg); err == nil {
+		t.Error("min coverage above 1 accepted")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"dvfsroofline/internal/stats"
 )
 
 // This file is the experiment layer's concurrency substrate. Every
@@ -120,21 +122,5 @@ func forEach(ctx context.Context, cfg Config, stage string, n int, task func(i i
 // patterns) so that every pipelined unit of work owns an independent
 // random stream tied to its identity, not to execution order.
 func deriveSeed(base int64, idx ...int64) int64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	mix(uint64(base))
-	for _, v := range idx {
-		mix(uint64(v))
-	}
-	return int64(h)
+	return stats.MixSeed(base, idx...)
 }

@@ -7,6 +7,8 @@ import (
 
 	"dvfsroofline/internal/core"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/faults"
+	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/tegra"
 )
 
@@ -22,7 +24,9 @@ import (
 // repeats short kernels, and the integrated energy is divided by the
 // repetition count. Every candidate derives its measurement-noise seed
 // from the setting's identity, so the sweep is byte-identical for any
-// worker count.
+// worker count. Under an active cfg.Faults plan, transient failures
+// retry per cfg.Retry; a candidate that fails every attempt aborts the
+// sweep — a hole in the grid would silently bias the pick.
 func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.Workload, grid []dvfs.Setting) ([]core.Candidate, error) {
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("experiments: empty setting grid")
@@ -34,23 +38,57 @@ func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.W
 	err := forEach(ctx, cfg, "sweep", len(grid), func(i int) error {
 		s := grid[i]
 		exec := dev.Execute(w, s)
-		meter := cfg.NewMeter(deriveSeed(cfg.Seed+9,
+		key := deriveSeed(cfg.Seed+9,
 			int64(math.Float64bits(s.Core.FreqMHz)), int64(math.Float64bits(s.Core.VoltageMV)),
-			int64(math.Float64bits(s.Mem.FreqMHz)), int64(math.Float64bits(s.Mem.VoltageMV))))
-		// Repeat the execution periodically until the run is long enough
-		// for the meter to integrate a stable sample count.
-		reps := 1.0
-		if min := meter.MinDuration(16); exec.Time < min {
-			reps = math.Ceil(min / exec.Time)
-		}
-		trace := exec.PowerAt
-		if reps > 1 {
-			period := exec.Time
-			trace = func(t float64) float64 { return exec.PowerAt(math.Mod(t, period)) }
-		}
-		meas, err := meter.Measure(trace, reps*exec.Time)
+			int64(math.Float64bits(s.Mem.FreqMHz)), int64(math.Float64bits(s.Mem.VoltageMV)))
+		var meas powermon.Measurement
+		var reps float64
+		_, err := faults.Do(ctx, cfg.Retry, func(attempt int) error {
+			inj := cfg.Faults.ForSample(key, attempt)
+			if inj != nil {
+				if err := inj.DVFSTransition(); err != nil {
+					return fmt.Errorf("experiments: sweep at %v: %w", s, err)
+				}
+			}
+			mcfg := cfg.meterConfig()
+			if inj != nil {
+				mcfg.Faults = inj
+			}
+			seed := key
+			if attempt > 0 {
+				seed = deriveSeed(key, int64(attempt))
+			}
+			meter, err := powermon.NewMeter(mcfg, seed)
+			if err != nil {
+				return fmt.Errorf("experiments: %w", err)
+			}
+			// Repeat the execution periodically until the run is long enough
+			// for the meter to integrate a stable sample count.
+			reps = 1.0
+			if min := meter.MinDuration(16); exec.Time < min {
+				reps = math.Ceil(min / exec.Time)
+			}
+			// Throttle windows land inside one execution period and repeat
+			// with it, so their relative energy effect is the same whether
+			// the run needed repetition or not.
+			trace := exec.PowerAt
+			if inj != nil {
+				trace = exec.ThrottledTrace(inj.ThrottleWindows(exec.Time))
+			}
+			if reps > 1 {
+				period := exec.Time
+				inner := trace
+				trace = func(t float64) float64 { return inner(math.Mod(t, period)) }
+			}
+			m, err := meter.Measure(trace, reps*exec.Time)
+			if err != nil {
+				return fmt.Errorf("experiments: sweep at %v: %w", s, err)
+			}
+			meas = m
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("experiments: sweep at %v: %w", s, err)
+			return err
 		}
 		cands[i] = core.Candidate{
 			Setting:        s,

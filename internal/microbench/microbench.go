@@ -16,7 +16,9 @@ import (
 
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/faults"
 	"dvfsroofline/internal/powermon"
+	"dvfsroofline/internal/stats"
 	"dvfsroofline/internal/tegra"
 )
 
@@ -218,6 +220,12 @@ type Runner struct {
 	// TargetTime is the wall-clock window each kernel is sized to fill so
 	// that the meter integrates enough samples. Zero selects 0.3 s.
 	TargetTime float64
+	// Faults is the deterministic fault-injection plan threaded through
+	// every measurement (DVFS transition failures, throttle windows,
+	// meter faults). The zero Plan injects nothing. Faults derive from
+	// the same (benchmark, setting) identity as the measurement noise,
+	// so they too are order- and worker-count-independent.
+	Faults faults.Plan
 }
 
 // SampleSeed derives the meter seed for one (benchmark, setting) sample
@@ -225,42 +233,47 @@ type Runner struct {
 // constituent bit patterns. Using identities rather than loop indices is
 // what makes Runner measurements independent of execution order.
 func SampleSeed(seed int64, b Benchmark, s dvfs.Setting) int64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	mix(uint64(seed))
-	mix(uint64(b.Kind))
-	mix(math.Float64bits(b.Intensity))
-	mix(math.Float64bits(s.Core.FreqMHz))
-	mix(math.Float64bits(s.Core.VoltageMV))
-	mix(math.Float64bits(s.Mem.FreqMHz))
-	mix(math.Float64bits(s.Mem.VoltageMV))
-	return int64(h)
+	return stats.MixSeed(seed,
+		int64(b.Kind),
+		int64(math.Float64bits(b.Intensity)),
+		int64(math.Float64bits(s.Core.FreqMHz)),
+		int64(math.Float64bits(s.Core.VoltageMV)),
+		int64(math.Float64bits(s.Mem.FreqMHz)),
+		int64(math.Float64bits(s.Mem.VoltageMV)))
 }
 
 // meterFor returns the fresh, deterministically seeded meter that
-// measures the (b, s) sample.
-func (r *Runner) meterFor(b Benchmark, s dvfs.Setting) *powermon.Meter {
+// measures one attempt of the (b, s) sample. Attempt 0 draws the seed
+// the identity alone defines — the fault-free path is byte-identical
+// with or without an (inactive) plan — while retries remix the attempt
+// number so a re-measurement redraws its noise instead of replaying the
+// corrupted stream.
+func (r *Runner) meterFor(b Benchmark, s dvfs.Setting, attempt int, inj *faults.Injector) (*powermon.Meter, error) {
 	cfg := r.MeterConfig
 	if cfg == (powermon.Config{}) {
 		cfg = powermon.DefaultConfig()
 	}
-	return powermon.NewMeter(cfg, SampleSeed(r.Seed, b, s))
+	if inj != nil {
+		cfg.Faults = inj
+	}
+	seed := SampleSeed(r.Seed, b, s)
+	if attempt > 0 {
+		seed = stats.MixSeed(seed, int64(attempt))
+	}
+	return powermon.NewMeter(cfg, seed)
 }
 
 // Run sizes, executes and measures one benchmark at one setting. The
 // stream is sized so the run fills the measurement window at s.
 func (r *Runner) Run(b Benchmark, s dvfs.Setting) (Sample, error) {
-	return r.RunSized(b, r.SizeFor(b, s, r.TargetTime), s)
+	return r.RunAttempt(b, s, 0)
+}
+
+// RunAttempt is Run for one retry attempt: the attempt number selects
+// which deterministic faults (if any) the run suffers and, for
+// attempt > 0, re-seeds the measurement noise.
+func (r *Runner) RunAttempt(b Benchmark, s dvfs.Setting, attempt int) (Sample, error) {
+	return r.RunSizedAttempt(b, r.SizeFor(b, s, r.TargetTime), s, attempt)
 }
 
 // SizeFor returns an element count such that the benchmark runs for
@@ -277,8 +290,32 @@ func (r *Runner) SizeFor(b Benchmark, s dvfs.Setting, target float64) float64 {
 // Autotuning sweeps use it so that every DVFS setting runs the *same*
 // work — energies are only comparable at equal work.
 func (r *Runner) RunSized(b Benchmark, elements float64, s dvfs.Setting) (Sample, error) {
+	return r.RunSizedAttempt(b, elements, s, 0)
+}
+
+// RunSizedAttempt is RunSized for one retry attempt. The attempt's
+// injector (derived from the plan, the sample identity and the attempt
+// number) gates the DVFS transition, may throttle the execution's power
+// trace, and rides along into the meter to corrupt or abort the
+// sampling session. Injected failures are transient (faults.IsTransient)
+// so callers can retry with the next attempt number.
+func (r *Runner) RunSizedAttempt(b Benchmark, elements float64, s dvfs.Setting, attempt int) (Sample, error) {
+	inj := r.Faults.ForSample(SampleSeed(r.Seed, b, s), attempt)
+	if inj != nil {
+		if err := inj.DVFSTransition(); err != nil {
+			return Sample{}, fmt.Errorf("microbench: switching to %v for %v: %w", s, b, err)
+		}
+	}
 	exec := r.Device.Execute(b.Workload(elements), s)
-	meas, err := r.meterFor(b, s).Measure(exec.PowerAt, exec.Time)
+	trace := exec.PowerAt
+	if inj != nil {
+		trace = exec.ThrottledTrace(inj.ThrottleWindows(exec.Time))
+	}
+	meter, err := r.meterFor(b, s, attempt, inj)
+	if err != nil {
+		return Sample{}, fmt.Errorf("microbench: %w", err)
+	}
+	meas, err := meter.Measure(trace, exec.Time)
 	if err != nil {
 		return Sample{}, fmt.Errorf("microbench: measuring %v at %v: %w", b, s, err)
 	}

@@ -32,6 +32,33 @@ type Config struct {
 	GainSigma  float64 // relative std-dev of the per-measurement gain error
 	NoiseSigma float64 // additive white noise per sample, in watts
 	QuantumW   float64 // ADC quantization step in watts (0 disables)
+
+	// Faults, if non-nil, intercepts the measurement session: it may
+	// abort the session before the first sample (a meter disconnect) and
+	// rewrite individual samples (dropouts, spikes). internal/faults
+	// provides the standard deterministic implementation; nil injects
+	// nothing.
+	Faults FaultInjector
+}
+
+// Validate reports physically meaningless configurations.
+func (c Config) Validate() error {
+	if c.GainSigma < 0 || c.NoiseSigma < 0 || c.QuantumW < 0 {
+		return fmt.Errorf("powermon: negative noise parameter in %+v", c)
+	}
+	return nil
+}
+
+// FaultInjector intercepts one measurement session. Implementations
+// must be deterministic for reproducibility; internal/faults derives
+// them from the sample's identity. The meter calls BeginMeasure once
+// per session before sampling — a non-nil error aborts the measurement
+// — and ObserveSample once per recorded sample, with the value the
+// meter would record (clean) and the previously recorded sample (prev);
+// the return value is what the meter stores.
+type FaultInjector interface {
+	BeginMeasure(duration float64, samples int) error
+	ObserveSample(i int, clean, prev float64) float64
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -49,15 +76,28 @@ type Meter struct {
 	rng *stats.RNG
 }
 
-// NewMeter returns a meter with the given configuration and seed.
-func NewMeter(cfg Config, seed int64) *Meter {
+// NewMeter returns a meter with the given configuration and seed. A
+// configuration with negative noise parameters is a caller bug on a
+// hand-built Config but reachable from user input (flag and config
+// plumbing), so it is reported as an error rather than a panic.
+func NewMeter(cfg Config, seed int64) (*Meter, error) {
 	if cfg.SampleRate <= 0 || cfg.SampleRate > MaxSampleRate {
 		cfg.SampleRate = MaxSampleRate
 	}
-	if cfg.GainSigma < 0 || cfg.NoiseSigma < 0 || cfg.QuantumW < 0 {
-		panic(fmt.Sprintf("powermon: negative noise parameter in %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return &Meter{cfg: cfg, rng: stats.NewRNG(seed)}
+	return &Meter{cfg: cfg, rng: stats.NewRNG(seed)}, nil
+}
+
+// MustMeter is NewMeter for statically known-good configurations; it
+// panics on an invalid one. Tests, benchmarks and examples use it.
+func MustMeter(cfg Config, seed int64) *Meter {
+	m, err := NewMeter(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Measurement is the outcome of sampling one run.
@@ -97,6 +137,11 @@ func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measur
 	if tail > dt*1e-9 {
 		total = n + 1
 	}
+	if f := m.cfg.Faults; f != nil {
+		if err := f.BeginMeasure(duration, total); err != nil {
+			return Measurement{}, fmt.Errorf("powermon: %w", err)
+		}
+	}
 	gain := m.rng.Normal(1, m.cfg.GainSigma)
 	samples := make([]float64, total)
 	for i := 0; i < total; i++ {
@@ -110,6 +155,13 @@ func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measur
 		}
 		if v < 0 {
 			v = 0
+		}
+		if f := m.cfg.Faults; f != nil {
+			var prev float64
+			if i > 0 {
+				prev = samples[i-1]
+			}
+			v = f.ObserveSample(i, v, prev)
 		}
 		samples[i] = v
 	}

@@ -1,6 +1,7 @@
 package powermon
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func noiseless(rate float64) Config {
 }
 
 func TestConstantTraceExactWithoutNoise(t *testing.T) {
-	m := NewMeter(noiseless(1024), 1)
+	m := MustMeter(noiseless(1024), 1)
 	meas, err := m.Measure(func(float64) float64 { return 5.0 }, 1.0)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +31,7 @@ func TestConstantTraceExactWithoutNoise(t *testing.T) {
 
 func TestLinearTraceTrapezoidExact(t *testing.T) {
 	// The trapezoid rule is exact for linear integrands.
-	m := NewMeter(noiseless(512), 1)
+	m := MustMeter(noiseless(512), 1)
 	meas, err := m.Measure(func(t float64) float64 { return 2 + 3*t }, 1.0)
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +47,7 @@ func TestLinearTraceTrapezoidExact(t *testing.T) {
 // 0.4999 ms tail, and the old integrator dropped the tail entirely
 // (reading 5.000 J instead of 5.004999 J).
 func TestTailIntervalIntegrated(t *testing.T) {
-	m := NewMeter(noiseless(1024), 1)
+	m := MustMeter(noiseless(1024), 1)
 	const duration = 0.5004999
 	meas, err := m.Measure(func(float64) float64 { return 10.0 }, duration)
 	if err != nil {
@@ -82,7 +83,7 @@ func TestMeasureClosedFormOffGrid(t *testing.T) {
 	for _, rate := range rates {
 		for _, d := range durations {
 			for _, tr := range traces {
-				m := NewMeter(noiseless(rate), 1)
+				m := MustMeter(noiseless(rate), 1)
 				meas, err := m.Measure(tr.f, d)
 				if err != nil {
 					t.Fatalf("rate %g duration %g: %v", rate, d, err)
@@ -98,7 +99,7 @@ func TestMeasureClosedFormOffGrid(t *testing.T) {
 }
 
 func TestTooShortRunRejected(t *testing.T) {
-	m := NewMeter(DefaultConfig(), 1)
+	m := MustMeter(DefaultConfig(), 1)
 	if _, err := m.Measure(func(float64) float64 { return 1 }, 0.001); err == nil {
 		t.Error("expected error for sub-sample-period run")
 	}
@@ -114,7 +115,7 @@ func TestGainErrorBoundsAccuracy(t *testing.T) {
 	// With the default 2% gain sigma, measured energy of a constant
 	// trace should stay within ~3 sigma of truth, and across many
 	// measurements the mean should converge to truth.
-	m := NewMeter(DefaultConfig(), 42)
+	m := MustMeter(DefaultConfig(), 42)
 	const truth = 6.0
 	var sum float64
 	const reps = 300
@@ -137,7 +138,7 @@ func TestGainErrorBoundsAccuracy(t *testing.T) {
 
 func TestQuantization(t *testing.T) {
 	cfg := Config{SampleRate: 1024, QuantumW: 0.5}
-	m := NewMeter(cfg, 1)
+	m := MustMeter(cfg, 1)
 	meas, err := m.Measure(func(float64) float64 { return 5.2 }, 0.25)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +152,7 @@ func TestQuantization(t *testing.T) {
 
 func TestNegativeClamped(t *testing.T) {
 	cfg := Config{SampleRate: 1024, NoiseSigma: 2.0}
-	m := NewMeter(cfg, 7)
+	m := MustMeter(cfg, 7)
 	meas, err := m.Measure(func(float64) float64 { return 0.1 }, 0.5)
 	if err != nil {
 		t.Fatal(err)
@@ -164,19 +165,19 @@ func TestNegativeClamped(t *testing.T) {
 }
 
 func TestDeterministicPerSeed(t *testing.T) {
-	a, _ := NewMeter(DefaultConfig(), 9).Measure(func(t float64) float64 { return 3 + t }, 0.5)
-	b, _ := NewMeter(DefaultConfig(), 9).Measure(func(t float64) float64 { return 3 + t }, 0.5)
+	a, _ := MustMeter(DefaultConfig(), 9).Measure(func(t float64) float64 { return 3 + t }, 0.5)
+	b, _ := MustMeter(DefaultConfig(), 9).Measure(func(t float64) float64 { return 3 + t }, 0.5)
 	if a.Energy != b.Energy {
 		t.Error("same seed should reproduce the measurement")
 	}
-	c, _ := NewMeter(DefaultConfig(), 10).Measure(func(t float64) float64 { return 3 + t }, 0.5)
+	c, _ := MustMeter(DefaultConfig(), 10).Measure(func(t float64) float64 { return 3 + t }, 0.5)
 	if a.Energy == c.Energy {
 		t.Error("different seeds should perturb the measurement")
 	}
 }
 
 func TestMinDuration(t *testing.T) {
-	m := NewMeter(DefaultConfig(), 1)
+	m := MustMeter(DefaultConfig(), 1)
 	if d := m.MinDuration(256); d != 0.25 {
 		t.Errorf("MinDuration(256) = %v, want 0.25", d)
 	}
@@ -186,19 +187,95 @@ func TestMinDuration(t *testing.T) {
 }
 
 func TestRateClamped(t *testing.T) {
-	m := NewMeter(Config{SampleRate: 1e6}, 1)
+	m := MustMeter(Config{SampleRate: 1e6}, 1)
 	if m.SampleRate() != MaxSampleRate {
 		t.Errorf("rate %v not clamped to %v", m.SampleRate(), MaxSampleRate)
 	}
 }
 
-func TestNegativeConfigPanics(t *testing.T) {
+func TestNegativeConfigRejected(t *testing.T) {
+	for _, cfg := range []Config{
+		{SampleRate: 100, GainSigma: -1},
+		{SampleRate: 100, NoiseSigma: -0.01},
+		{SampleRate: 100, QuantumW: -0.005},
+	} {
+		if _, err := NewMeter(cfg, 1); err == nil {
+			t.Errorf("NewMeter(%+v) accepted a negative noise parameter", cfg)
+		}
+	}
+}
+
+func TestMustMeterPanicsOnInvalidConfig(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
 		}
 	}()
-	NewMeter(Config{SampleRate: 100, GainSigma: -1}, 1)
+	MustMeter(Config{SampleRate: 100, GainSigma: -1}, 1)
+}
+
+// stubInjector exercises the Config.Faults hook without pulling in the
+// faults package (powermon must not depend on it).
+type stubInjector struct {
+	beginErr   error
+	scale      float64 // multiplies every sample when non-zero
+	dropFrom   int     // hold the previous sample from this index on (0 disables)
+	sawSamples int
+}
+
+func (f *stubInjector) BeginMeasure(duration float64, samples int) error {
+	f.sawSamples = samples
+	return f.beginErr
+}
+
+func (f *stubInjector) ObserveSample(i int, clean, prev float64) float64 {
+	if f.dropFrom > 0 && i >= f.dropFrom {
+		return prev
+	}
+	if f.scale != 0 {
+		return clean * f.scale
+	}
+	return clean
+}
+
+func TestFaultInjectorAbortsSession(t *testing.T) {
+	inj := &stubInjector{beginErr: errTest}
+	cfg := noiseless(1024)
+	cfg.Faults = inj
+	m := MustMeter(cfg, 1)
+	if _, err := m.Measure(func(float64) float64 { return 5 }, 1.0); err == nil {
+		t.Fatal("expected the injected BeginMeasure error to abort Measure")
+	}
+	if inj.sawSamples < 1024 {
+		t.Errorf("injector saw %d samples, want >= 1024", inj.sawSamples)
+	}
+}
+
+var errTest = fmt.Errorf("injected test failure")
+
+func TestFaultInjectorRewritesSamples(t *testing.T) {
+	cfg := noiseless(1024)
+	cfg.Faults = &stubInjector{scale: 2}
+	m := MustMeter(cfg, 1)
+	meas, err := m.Measure(func(float64) float64 { return 5 }, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(meas.Energy-10.0) > 1e-9 {
+		t.Errorf("scaled energy = %v, want 10 J", meas.Energy)
+	}
+
+	cfg.Faults = &stubInjector{dropFrom: 1}
+	m = MustMeter(cfg, 1)
+	meas, err = m.Measure(func(t float64) float64 { return 1 + 8*t }, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every sample after the first repeats it, so the integral collapses
+	// to the held first reading.
+	if math.Abs(meas.Energy-1.0) > 1e-9 {
+		t.Errorf("sample-and-hold energy = %v, want 1 J", meas.Energy)
+	}
 }
 
 func TestMeasureTegraRunMatchesTrueEnergy(t *testing.T) {
@@ -213,7 +290,7 @@ func TestMeasureTegraRunMatchesTrueEnergy(t *testing.T) {
 	if e.Time < 0.02 {
 		t.Fatalf("test workload too short to sample: %v s", e.Time)
 	}
-	m := NewMeter(DefaultConfig(), 3)
+	m := MustMeter(DefaultConfig(), 3)
 	meas, err := m.Measure(e.PowerAt, e.Time)
 	if err != nil {
 		t.Fatal(err)

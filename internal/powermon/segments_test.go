@@ -23,7 +23,7 @@ func stepTrace(levels []float64, segDur float64) (func(float64) float64, float64
 func TestSegmentTraceCleanSteps(t *testing.T) {
 	levels := []float64{5, 9, 6.5}
 	trace, dur := stepTrace(levels, 0.5)
-	m := NewMeter(Config{SampleRate: 1024}, 1) // noiseless
+	m := MustMeter(Config{SampleRate: 1024}, 1) // noiseless
 	meas, err := m.Measure(trace, dur)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +48,7 @@ func TestSegmentTraceCleanSteps(t *testing.T) {
 func TestSegmentTraceWithNoise(t *testing.T) {
 	levels := []float64{6, 10}
 	trace, dur := stepTrace(levels, 0.8)
-	m := NewMeter(DefaultConfig(), 3)
+	m := MustMeter(DefaultConfig(), 3)
 	meas, err := m.Measure(trace, dur)
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestSegmentTraceWithNoise(t *testing.T) {
 }
 
 func TestSegmentTraceFlat(t *testing.T) {
-	m := NewMeter(DefaultConfig(), 5)
+	m := MustMeter(DefaultConfig(), 5)
 	meas, err := m.Measure(func(float64) float64 { return 7 }, 1.0)
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestSegmentTraceFlat(t *testing.T) {
 func TestSegmentEnergySumsToTotal(t *testing.T) {
 	levels := []float64{5, 8, 6, 9}
 	trace, dur := stepTrace(levels, 0.4)
-	m := NewMeter(Config{SampleRate: 1024}, 7)
+	m := MustMeter(Config{SampleRate: 1024}, 7)
 	meas, err := m.Measure(trace, dur)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestSegmentEnergySumsToTotal(t *testing.T) {
 }
 
 func TestSegmentTraceTooShort(t *testing.T) {
-	m := NewMeter(DefaultConfig(), 9)
+	m := MustMeter(DefaultConfig(), 9)
 	if _, err := m.SegmentTrace(Measurement{Samples: []float64{1, 2}}, 0, 0); err == nil {
 		t.Error("expected error for too-short trace")
 	}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState enumerates the circuit breaker's states. The numeric
+// values are exported on /metrics as the energyd_breaker_state gauge.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = 0 // sweeps run normally
+	breakerHalfOpen breakerState = 1 // one probe sweep allowed
+	breakerOpen     breakerState = 2 // sweeps rejected; cache serves stale
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// breaker is the circuit breaker around autotune sweeps. Consecutive
+// sweep failures (timeouts, internal errors) trip it open; while open,
+// the autotune endpoint answers from the stale sweep cache with a
+// degraded flag instead of queueing more doomed sweeps, and /readyz
+// reports the daemon not ready. After a cooldown, one half-open probe
+// sweep is allowed through: success recloses the breaker, failure
+// reopens it for another cooldown. forceOpen pins the breaker open
+// regardless of outcomes (the -force-degraded drill flag).
+type breaker struct {
+	mu        sync.Mutex
+	threshold int              // consecutive failures that trip the breaker
+	cooldown  time.Duration    // open period before a half-open probe
+	now       func() time.Time // injectable clock for tests
+
+	state    breakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	forced   bool
+	opens    uint64 // cumulative closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a fresh sweep may run now. In the half-open
+// state only one caller at a time gets a probe slot.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.forced {
+		return false
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		return false
+	}
+}
+
+// success records a completed sweep: it recloses the breaker and resets
+// the consecutive-failure count.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed sweep. A failed half-open probe reopens the
+// breaker immediately; while closed, the threshold-th consecutive
+// failure trips it.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.trip()
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.trip()
+	}
+}
+
+// release frees a probe slot granted by allow without recording an
+// outcome — the caller was answered from cache, so no sweep ran and
+// the breaker learned nothing.
+func (b *breaker) release() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.opens++
+}
+
+// forceOpen pins the breaker open (true) or releases the pin (false).
+// Releasing does not close an organically opened breaker.
+func (b *breaker) forceOpen(v bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v && !b.forced {
+		b.opens++
+	}
+	b.forced = v
+}
+
+// snapshot returns the effective state and the cumulative open count.
+func (b *breaker) snapshot() (state breakerState, opens uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	state = b.state
+	if b.forced {
+		state = breakerOpen
+	}
+	return state, b.opens
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(2, time.Minute, func() time.Time { return now })
+
+	if !b.allow() {
+		t.Fatal("new breaker must be closed")
+	}
+	b.failure()
+	if !b.allow() {
+		t.Fatal("one failure below threshold must not trip")
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("threshold failures must open the breaker")
+	}
+	if state, opens := b.snapshot(); state != breakerOpen || opens != 1 {
+		t.Fatalf("state %v opens %d, want open 1", state, opens)
+	}
+
+	// Before the cooldown no probe; after it exactly one.
+	now = now.Add(30 * time.Second)
+	if b.allow() {
+		t.Fatal("probe allowed before cooldown elapsed")
+	}
+	now = now.Add(31 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed; a probe must be allowed")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe allowed")
+	}
+
+	// A failed probe reopens for a full cooldown.
+	b.failure()
+	if b.allow() {
+		t.Fatal("failed probe must reopen the breaker")
+	}
+	if _, opens := b.snapshot(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+	now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("second probe not allowed after cooldown")
+	}
+	b.success()
+	if state, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", state)
+	}
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed breaker must allow freely")
+	}
+
+	// success resets the consecutive-failure count.
+	b.failure()
+	b.success()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("failure count survived an intervening success")
+	}
+}
+
+func TestBreakerProbeRelease(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Minute, func() time.Time { return now })
+	b.failure()
+	now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("probe not granted")
+	}
+	// The probe was answered from cache: no outcome, slot freed.
+	b.release()
+	if !b.allow() {
+		t.Fatal("released probe slot not reusable")
+	}
+}
+
+func TestBreakerForceOpen(t *testing.T) {
+	b := newBreaker(0, 0, nil)
+	b.forceOpen(true)
+	if b.allow() {
+		t.Fatal("forced-open breaker allowed a sweep")
+	}
+	if state, opens := b.snapshot(); state != breakerOpen || opens != 1 {
+		t.Fatalf("forced snapshot %v/%d, want open/1", state, opens)
+	}
+	b.forceOpen(true) // idempotent; must not bump opens again
+	if _, opens := b.snapshot(); opens != 1 {
+		t.Fatal("re-forcing bumped the opens counter")
+	}
+	b.forceOpen(false)
+	if !b.allow() {
+		t.Fatal("released breaker must close again")
+	}
+}
+
+// TestDegradedModeServesFromCache is the acceptance scenario: with the
+// breaker forced open, a previously swept workload is still answered —
+// from cache, flagged degraded — while /readyz flips to 503 and
+// /healthz stays 200.
+func TestDegradedModeServesFromCache(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	body := `{"profile": {"dp_fma": 2e8, "int": 1e8, "dram_words": 5e7}, "occupancy": 0.9}`
+
+	// Populate the cache while healthy.
+	if w := postJSON(t, h, "/v1/autotune", body); w.Code != http.StatusOK {
+		t.Fatalf("warm-up autotune = %d: %s", w.Code, w.Body)
+	}
+	var fresh AutotuneResponse
+	json.Unmarshal(postJSON(t, h, "/v1/autotune", body).Body.Bytes(), &fresh)
+	if fresh.Degraded {
+		t.Fatal("healthy answer flagged degraded")
+	}
+
+	s.ForceBreakerOpen(true)
+
+	w := postJSON(t, h, "/v1/autotune", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded autotune = %d: %s", w.Code, w.Body)
+	}
+	var stale AutotuneResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &stale); err != nil {
+		t.Fatal(err)
+	}
+	if !stale.Degraded || !stale.Cached {
+		t.Errorf("degraded answer flags: degraded=%v cached=%v, want both true", stale.Degraded, stale.Cached)
+	}
+	stale.Degraded, stale.Cached = fresh.Degraded, fresh.Cached
+	if stale != fresh {
+		t.Errorf("degraded answer drifted from the cached sweep: %+v vs %+v", stale, fresh)
+	}
+
+	// A workload never swept has no safe answer while the breaker is open.
+	miss := postJSON(t, h, "/v1/autotune", `{"profile": {"sp": 9e8}, "occupancy": 0.5}`)
+	if miss.Code != http.StatusServiceUnavailable {
+		t.Errorf("uncached degraded autotune = %d, want 503", miss.Code)
+	}
+
+	if w := getPath(t, h, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d while degraded, want 503", w.Code)
+	} else if !strings.Contains(w.Body.String(), `"degraded"`) {
+		t.Errorf("/readyz body %s does not report degraded", w.Body)
+	}
+	if w := getPath(t, h, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("/healthz = %d while degraded, want 200", w.Code)
+	}
+
+	metrics := getPath(t, h, "/metrics").Body.String()
+	for _, want := range []string{
+		"energyd_breaker_state 2",
+		"energyd_autotune_degraded_total 1",
+		"energyd_calibration_coverage_fraction 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	s.ForceBreakerOpen(false)
+	if w := getPath(t, h, "/readyz"); w.Code != http.StatusOK {
+		t.Errorf("/readyz = %d after recovery, want 200", w.Code)
+	}
+	var again AutotuneResponse
+	json.Unmarshal(postJSON(t, h, "/v1/autotune", body).Body.Bytes(), &again)
+	if again.Degraded {
+		t.Error("recovered answer still flagged degraded")
+	}
+}
+
+// TestBreakerOpensAfterConsecutiveSweepFailures drives the organic trip
+// path: a sweep timeout small enough that every sweep 504s must open
+// the breaker after the configured threshold, after which requests get
+// the 503 degraded rejection instead of queueing more doomed sweeps.
+func TestBreakerOpensAfterConsecutiveSweepFailures(t *testing.T) {
+	cal, err := FixtureCalibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(tegra.NewDevice(), cal, experiments.Config{Seed: 42}, Options{
+		SweepTimeout:     time.Nanosecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+	})
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		// Distinct profiles so every request runs (and fails) a fresh sweep.
+		body := `{"profile": {"sp": ` + string(rune('1'+i)) + `e8}, "occupancy": 0.9}`
+		if w := postJSON(t, h, "/v1/autotune", body); w.Code != http.StatusGatewayTimeout {
+			t.Fatalf("sweep %d = %d, want 504", i, w.Code)
+		}
+	}
+	if state, _ := s.breaker.snapshot(); state != breakerOpen {
+		t.Fatalf("breaker %v after 3 consecutive failures, want open", state)
+	}
+	w := postJSON(t, h, "/v1/autotune", `{"profile": {"sp": 9e8}, "occupancy": 0.9}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("open-breaker autotune = %d, want 503 (not another 504 sweep)", w.Code)
+	}
+	if w := getPath(t, h, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d with organically open breaker, want 503", w.Code)
+	}
+}

@@ -100,6 +100,21 @@ func (c *sweepCache) insert(key string, val any) {
 	}
 }
 
+// Get returns the cached value for key without computing anything on a
+// miss. A hit still refreshes the entry's LRU position. This is the
+// degraded-mode read path: while the breaker is open the autotune
+// handler serves stale sweeps from here instead of calling Do.
+func (c *sweepCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
 // Len returns the number of cached entries.
 func (c *sweepCache) Len() int {
 	c.mu.Lock()

@@ -161,11 +161,13 @@ type PickJSON struct {
 
 // AutotuneResponse is the answer to a /v1/autotune request. Extra-energy
 // percentages are relative to the measured-minimum candidate, matching
-// the paper's Table II "energy lost" definition.
+// the paper's Table II "energy lost" definition. Degraded marks an
+// answer served stale from the cache while the sweep breaker was open.
 type AutotuneResponse struct {
 	Grid                 string   `json:"grid"`
 	Candidates           int      `json:"candidates"`
 	Cached               bool     `json:"cached"`
+	Degraded             bool     `json:"degraded"`
 	Model                PickJSON `json:"model"`
 	TimeOracle           PickJSON `json:"time_oracle"`
 	MeasuredMin          PickJSON `json:"measured_min"`
@@ -204,6 +206,23 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	key := autotuneKey(gridName, wl, s.cfg.Seed)
+	if !s.breaker.allow() {
+		// Degraded mode: the breaker is open, so no fresh sweep runs.
+		// A stale cached sweep is still exactly the answer a fresh one
+		// would give (sweeps are deterministic in the key), so serve it
+		// flagged; with nothing cached there is nothing safe to say.
+		if val, ok := s.cache.Get(key); ok {
+			s.metrics.cacheHit()
+			s.metrics.degradedHit()
+			resp := *val.(*AutotuneResponse)
+			resp.Cached = true
+			resp.Degraded = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "sweep breaker open and no cached sweep for this workload")
+		return
+	}
 	val, hit, err := s.cache.Do(ctx, key, func() (any, error) {
 		cands, err := experiments.SweepWorkload(ctx, s.dev, s.cfg, wl, grid)
 		if err != nil {
@@ -213,8 +232,19 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	})
 	if hit {
 		s.metrics.cacheHit()
+		s.breaker.release() // no sweep ran; free any half-open probe slot
 	} else {
 		s.metrics.cacheMiss()
+		// Feed the breaker from sweeps this request actually ran. A
+		// client cancellation says nothing about the sweep path's
+		// health, so it carries no signal either way.
+		switch {
+		case err == nil:
+			s.breaker.success()
+		case errors.Is(err, context.Canceled):
+		default:
+			s.breaker.failure()
+		}
 	}
 	if err != nil {
 		switch {
@@ -357,6 +387,9 @@ func cvSummary(r core.CVResult) CVSummaryJSON {
 	return CVSummaryJSON{N: p.N, Mean: p.Mean, Stddev: p.Stddev, Min: p.Min, Max: p.Max}
 }
 
+// handleHealthz is liveness only: the process is up and holds a
+// calibration. It stays 200 in degraded mode so orchestrators do not
+// restart a daemon that is usefully serving stale answers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
@@ -364,9 +397,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is readiness: 503 while the sweep breaker is open, so
+// load balancers steer fresh traffic away without the process being
+// killed. The body carries the breaker state and calibration coverage
+// for operators.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state, _ := s.breaker.snapshot()
+	code := http.StatusOK
+	status := "ready"
+	if state == breakerOpen {
+		code = http.StatusServiceUnavailable
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"breaker":  state.String(),
+		"samples":  len(s.cal.Samples),
+		"coverage": s.cal.Coverage.Fraction(),
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeText(w)
+
+	state, opens := s.breaker.snapshot()
+	fmt.Fprintln(w, "# HELP energyd_breaker_state Sweep circuit breaker state (0=closed, 1=half-open, 2=open).")
+	fmt.Fprintln(w, "# TYPE energyd_breaker_state gauge")
+	fmt.Fprintf(w, "energyd_breaker_state %d\n", state)
+	fmt.Fprintln(w, "# HELP energyd_breaker_opens_total Times the sweep breaker has opened.")
+	fmt.Fprintln(w, "# TYPE energyd_breaker_opens_total counter")
+	fmt.Fprintf(w, "energyd_breaker_opens_total %d\n", opens)
+
+	cov := s.cal.Coverage
+	fmt.Fprintln(w, "# HELP energyd_calibration_coverage_fraction Fraction of calibration samples measured (1 = complete).")
+	fmt.Fprintln(w, "# TYPE energyd_calibration_coverage_fraction gauge")
+	fmt.Fprintf(w, "energyd_calibration_coverage_fraction %g\n", cov.Fraction())
+	fmt.Fprintln(w, "# HELP energyd_calibration_retries_total Calibration measurement retries after transient faults.")
+	fmt.Fprintln(w, "# TYPE energyd_calibration_retries_total counter")
+	fmt.Fprintf(w, "energyd_calibration_retries_total %d\n", cov.Retried)
+	fmt.Fprintln(w, "# HELP energyd_calibration_quarantined_total Calibration samples quarantined after permanent faults.")
+	fmt.Fprintln(w, "# TYPE energyd_calibration_quarantined_total counter")
+	fmt.Fprintf(w, "energyd_calibration_quarantined_total %d\n", len(cov.Quarantined))
+	fmt.Fprintln(w, "# HELP energyd_calibration_screened_outliers_total Calibration samples excluded from the fit by the robust outlier screen.")
+	fmt.Fprintln(w, "# TYPE energyd_calibration_screened_outliers_total counter")
+	fmt.Fprintf(w, "energyd_calibration_screened_outliers_total %d\n", cov.ScreenedOutliers)
 }
 
 // resolveSetting maps the request's setting selector onto the board's

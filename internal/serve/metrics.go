@@ -19,6 +19,7 @@ type metrics struct {
 	endpoints map[string]*endpointMetrics
 	hits      uint64
 	misses    uint64
+	degraded  uint64
 }
 
 // latencyBuckets are the histogram upper bounds in seconds. Prediction
@@ -73,11 +74,26 @@ func (m *metrics) cacheMiss() {
 	m.mu.Unlock()
 }
 
+// degradedHit records one autotune request answered from stale cache
+// while the circuit breaker was open.
+func (m *metrics) degradedHit() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
+}
+
 // snapshot returns the cache counters (exposed for tests).
 func (m *metrics) cacheCounts() (hits, misses uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.hits, m.misses
+}
+
+// degradedCount returns the degraded-serving counter (exposed for tests).
+func (m *metrics) degradedCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
 }
 
 // writeText renders the registry in the Prometheus text format, with
@@ -119,6 +135,9 @@ func (m *metrics) writeText(w io.Writer) {
 	fmt.Fprintln(w, "# HELP energyd_autotune_cache_misses_total Autotune requests that ran a fresh sweep.")
 	fmt.Fprintln(w, "# TYPE energyd_autotune_cache_misses_total counter")
 	fmt.Fprintf(w, "energyd_autotune_cache_misses_total %d\n", m.misses)
+	fmt.Fprintln(w, "# HELP energyd_autotune_degraded_total Autotune requests served stale from cache while the breaker was open.")
+	fmt.Fprintln(w, "# TYPE energyd_autotune_degraded_total counter")
+	fmt.Fprintf(w, "energyd_autotune_degraded_total %d\n", m.degraded)
 	fmt.Fprintln(w, "# HELP energyd_inflight_requests Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE energyd_inflight_requests gauge")
 	fmt.Fprintf(w, "energyd_inflight_requests %d\n", m.inflight)

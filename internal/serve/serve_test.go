@@ -378,3 +378,55 @@ func TestRunDrainsInflightOnShutdown(t *testing.T) {
 		t.Errorf("in-flight response = %q", res.body)
 	}
 }
+
+func TestMalformedRequestsRejected(t *testing.T) {
+	h := newTestServer(t).Handler()
+	for _, path := range []string{"/v1/predict", "/v1/autotune"} {
+		for _, body := range []string{
+			`{`,                 // truncated JSON
+			`not json at all`,   // not JSON
+			`{"profile": "sp"}`, // wrong type
+			`{"profiel": {}}`,   // unknown field
+		} {
+			if w := postJSON(t, h, path, body); w.Code != http.StatusBadRequest {
+				t.Errorf("POST %s %q = %d, want 400 (%s)", path, body, w.Code, w.Body)
+			}
+		}
+		for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodDelete} {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(method, path, nil))
+			if w.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want 405", method, path, w.Code)
+			}
+		}
+	}
+}
+
+func TestCancelledSweepNotCached(t *testing.T) {
+	// A client disconnect mid-sweep must leave no partial result in the
+	// LRU and must not count against the breaker.
+	cal, err := FixtureCalibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := experiments.Config{Seed: 42, Workers: 1}
+	cfg.OnProgress = func(experiments.Progress) { cancel() } // fires after the first unit of work
+	s := New(tegra.NewDevice(), cal, cfg, Options{})
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/autotune",
+		strings.NewReader(`{"profile": {"sp": 4e8, "dram_words": 1e8}, "occupancy": 0.9}`))
+	req = req.WithContext(ctx)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled sweep = %d, want 503 (%s)", w.Code, w.Body)
+	}
+	if n := s.cache.Len(); n != 0 {
+		t.Errorf("partial sweep landed in the cache: %d entries", n)
+	}
+	if state, _ := s.breaker.snapshot(); state != breakerClosed {
+		t.Errorf("client cancellation tripped the breaker to %v", state)
+	}
+}

@@ -12,10 +12,17 @@
 //	                       keyed LRU + single-flight sweep cache
 //	GET  /v1/calibration — Table I rows, model constants, CV statistics
 //	GET  /healthz        — liveness
+//	GET  /readyz         — readiness; 503 while the sweep breaker is open
 //	GET  /metrics        — Prometheus text format (hand-rolled)
 //
 // Request deadlines propagate as context.Context into the experiment
 // pipelines, and Run drains in-flight requests on shutdown.
+//
+// A circuit breaker guards the autotune sweep path: consecutive sweep
+// failures open it, after which /v1/autotune answers from the stale
+// sweep cache with "degraded": true (or 503 on a cache miss) instead of
+// queueing more doomed sweeps, and /readyz reports 503 so load
+// balancers steer fresh work elsewhere while /healthz stays 200.
 package serve
 
 import (
@@ -37,6 +44,14 @@ type Options struct {
 	// SweepTimeout caps the time one autotune sweep may run, independent
 	// of any client-supplied deadline; zero = 30 s.
 	SweepTimeout time.Duration
+	// BreakerThreshold is the number of consecutive sweep failures that
+	// open the circuit breaker; zero = 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before allowing
+	// a half-open probe sweep; zero = 30 s.
+	BreakerCooldown time.Duration
+	// Clock overrides the breaker's time source (tests); nil = time.Now.
+	Clock func() time.Time
 }
 
 // Server answers model queries against one calibration. It is safe for
@@ -49,6 +64,7 @@ type Server struct {
 	grids   map[string][]dvfs.Setting
 	metrics *metrics
 	cache   *sweepCache
+	breaker *breaker
 	timeout time.Duration
 }
 
@@ -77,8 +93,15 @@ func New(dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config
 		},
 		metrics: newMetrics(),
 		cache:   newSweepCache(opts.CacheSize),
+		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock),
 		timeout: opts.SweepTimeout,
 	}
+}
+
+// ForceBreakerOpen pins the sweep breaker open (degraded-mode drill) or
+// releases the pin. See the -force-degraded flag of cmd/energyd.
+func (s *Server) ForceBreakerOpen(v bool) {
+	s.breaker.forceOpen(v)
 }
 
 // Handler returns the daemon's routing table with every endpoint
@@ -89,6 +112,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/autotune", s.instrument("/v1/autotune", s.handleAutotune))
 	mux.Handle("/v1/calibration", s.instrument("/v1/calibration", s.handleCalibration))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }

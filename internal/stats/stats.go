@@ -210,3 +210,72 @@ func MedianAbsDiff(xs []float64) float64 {
 	}
 	return Median(diffs)
 }
+
+// MedianMAD returns the median of xs and the median absolute deviation
+// about it. The MAD is the robust scale estimate behind the calibration
+// pipeline's outlier screen: unlike the standard deviation it is immune
+// to the very outliers the screen hunts. An empty input returns (0, 0).
+func MedianMAD(xs []float64) (median, mad float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	median = Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - median)
+	}
+	return median, Median(devs)
+}
+
+// madToSigma converts a MAD into a standard-deviation estimate for
+// normally distributed data (1 / Φ⁻¹(3/4)).
+const madToSigma = 1.4826
+
+// OutlierMask flags the entries of xs lying more than
+// max(k·1.4826·MAD, floor) from the median. k is the cut in robust
+// standard deviations; floor is an absolute deviation below which
+// nothing is flagged regardless of how tight the MAD is — without it, a
+// near-noiseless dataset (MAD ≈ 0) would flag every point. The returned
+// mask is parallel to xs (true = outlier).
+func OutlierMask(xs []float64, k, floor float64) []bool {
+	mask := make([]bool, len(xs))
+	if len(xs) == 0 {
+		return mask
+	}
+	median, mad := MedianMAD(xs)
+	cut := k * madToSigma * mad
+	if cut < floor {
+		cut = floor
+	}
+	for i, x := range xs {
+		mask[i] = math.Abs(x-median) > cut
+	}
+	return mask
+}
+
+// MixSeed derives a new deterministic seed from a base seed and a list
+// of identity values, via FNV-1a over the 64-bit patterns. Every unit of
+// work in the experiment pipeline seeds its random streams this way —
+// from its *identity*, never from its position in a run — which is what
+// makes parallel, reordered and partial campaigns byte-identical to
+// serial ones. microbench.SampleSeed and the fault-injection layer build
+// on it.
+func MixSeed(base int64, vals ...int64) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(base))
+	for _, v := range vals {
+		mix(uint64(v))
+	}
+	return int64(h)
+}

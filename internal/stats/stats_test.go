@@ -246,3 +246,55 @@ func TestMedianAbsDiff(t *testing.T) {
 		t.Error("MAD of one sample should be 0")
 	}
 }
+
+func TestMedianMAD(t *testing.T) {
+	m, mad := MedianMAD([]float64{1, 2, 3, 4, 100})
+	if m != 3 {
+		t.Errorf("median = %v, want 3", m)
+	}
+	// Deviations about 3: |1-3|,|2-3|,|3-3|,|4-3|,|100-3| = 2,1,0,1,97 -> median 1.
+	if mad != 1 {
+		t.Errorf("mad = %v, want 1", mad)
+	}
+	if m, mad := MedianMAD(nil); m != 0 || mad != 0 {
+		t.Errorf("empty input: (%v, %v), want (0, 0)", m, mad)
+	}
+}
+
+func TestOutlierMask(t *testing.T) {
+	xs := []float64{1.0, 1.1, 0.9, 1.05, 0.95, 8.0}
+	mask := OutlierMask(xs, 6, 0)
+	want := []bool{false, false, false, false, false, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("mask[%d] = %v, want %v (xs=%v)", i, mask[i], want[i], xs)
+		}
+	}
+	// A near-constant dataset has MAD ~ 0; without the floor the tiny
+	// perturbation would be flagged, with it nothing is.
+	tight := []float64{1, 1, 1, 1.001, 1}
+	for i, f := range OutlierMask(tight, 6, 0.1) {
+		if f {
+			t.Errorf("floor failed to protect near-noiseless point %d", i)
+		}
+	}
+	if n := len(OutlierMask(nil, 6, 0.1)); n != 0 {
+		t.Errorf("empty input produced mask of length %d", n)
+	}
+}
+
+func TestMixSeedIdentity(t *testing.T) {
+	a := MixSeed(1, 2, 3)
+	if a != MixSeed(1, 2, 3) {
+		t.Error("MixSeed not deterministic")
+	}
+	if a == MixSeed(1, 3, 2) {
+		t.Error("MixSeed ignored argument order")
+	}
+	if a == MixSeed(2, 2, 3) {
+		t.Error("MixSeed ignored the base seed")
+	}
+	if MixSeed(0) == MixSeed(0, 0) {
+		t.Error("MixSeed ignored extra zero values")
+	}
+}

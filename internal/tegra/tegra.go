@@ -228,6 +228,43 @@ func (e Execution) PowerAt(t float64) float64 {
 	return base * (1 + e.ripple*math.Sin(2*math.Pi*e.rippleFreq*t))
 }
 
+// ThrottleWindow is an interval of a run during which thermal
+// throttling depresses the device's dynamic power. The fault-injection
+// layer (internal/faults) schedules windows; the simulator only applies
+// them to the trace, since throttling is a property of the silicon, not
+// of the meter.
+type ThrottleWindow struct {
+	Start    float64 // seconds into the run
+	Duration float64 // seconds
+	Factor   float64 // dynamic power multiplier inside the window, in [0, 1]
+}
+
+// ThrottledTrace returns the run's power trace with the given throttle
+// windows applied: inside a window the dynamic power is scaled by the
+// window's factor, while constant power (leakage does not gate) and the
+// supply ripple are unchanged. With no windows it returns PowerAt
+// itself.
+func (e Execution) ThrottledTrace(windows []ThrottleWindow) func(t float64) float64 {
+	if len(windows) == 0 {
+		return e.PowerAt
+	}
+	ws := append([]ThrottleWindow(nil), windows...)
+	return func(t float64) float64 {
+		base := e.constPower
+		if t >= 0 && t < e.Time {
+			dyn := e.dynPower
+			for _, w := range ws {
+				if t >= w.Start && t < w.Start+w.Duration {
+					dyn *= w.Factor
+					break
+				}
+			}
+			base += dyn
+		}
+		return base * (1 + e.ripple*math.Sin(2*math.Pi*e.rippleFreq*t))
+	}
+}
+
 // TrueEnergy returns the exact energy of the run in joules (the integral
 // of the trace over [0, Time], with the zero-mean ripple integrating
 // away). It exists for tests and for the experiment harness's "measured

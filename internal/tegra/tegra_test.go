@@ -237,3 +237,44 @@ func TestDeterminism(t *testing.T) {
 		t.Error("device execution is not deterministic")
 	}
 }
+
+func TestThrottledTrace(t *testing.T) {
+	dev := NewDevice()
+	w := Workload{Profile: counters.Profile{SP: 5e9, DRAMWords: 5e7}, Occupancy: 0.9}
+	e := dev.Execute(w, dvfs.MustSetting(852, 924))
+
+	// No windows: identical to the honest trace everywhere.
+	same := e.ThrottledTrace(nil)
+	for _, ts := range []float64{0, e.Time / 3, e.Time / 2, e.Time} {
+		if same(ts) != e.PowerAt(ts) {
+			t.Fatalf("empty-window trace differs from PowerAt at t=%g", ts)
+		}
+	}
+
+	win := ThrottleWindow{Start: e.Time / 4, Duration: e.Time / 4, Factor: 0.3}
+	tr := e.ThrottledTrace([]ThrottleWindow{win})
+	inside := win.Start + win.Duration/2
+	outside := win.Start + win.Duration + e.Time/8
+	if tr(outside) != e.PowerAt(outside) {
+		t.Error("trace altered outside the throttle window")
+	}
+	if got := tr(inside); got >= e.PowerAt(inside) {
+		t.Errorf("power inside window %g not depressed (honest %g)", got, e.PowerAt(inside))
+	}
+	// Only dynamic power scales: ripple aside, the throttled level is
+	// const + 0.3*dyn.
+	ripple := 1 + 0.01*rippleAt(e, inside)
+	want := (e.ConstPower() + 0.3*(e.TruePower()-e.ConstPower())) * ripple
+	if got := tr(inside); !closeTo(got, want, 1e-9) {
+		t.Errorf("throttled power %g, want %g", tr(inside), want)
+	}
+}
+
+// rippleAt reproduces the trace's sinusoidal term for assertions.
+func rippleAt(e Execution, t float64) float64 {
+	return math.Sin(2 * math.Pi * e.rippleFreq * t)
+}
+
+func closeTo(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
