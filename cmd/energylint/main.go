@@ -1,0 +1,134 @@
+// Command energylint runs the repository's static-analysis suite
+// (internal/analysis) over Go package patterns:
+//
+//	go run ./cmd/energylint ./...
+//
+// It prints one line per diagnostic in deterministic order and exits
+// non-zero when anything fires, which is how CI gates on it. The rules
+// and their escape hatch are documented in DESIGN.md § Static analysis.
+//
+// The binary also speaks the cmd/go vettool protocol, so it can run as
+//
+//	go vet -vettool=$(which energylint) ./...
+//
+// (-V=full, -flags, and *.cfg unit configs are handled in vettool.go).
+//
+// Example and demo programs (examples/...) are exempt: they are
+// pedagogical wall-clock-and-print code, not part of the reproduction
+// pipeline.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"dvfsroofline/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// vettool protocol entry points must be handled before flag parsing:
+	// cmd/go probes with -V=full and -flags, then invokes with a single
+	// *.cfg argument.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			fmt.Println("energylint version 1 (dvfsroofline static-analysis suite)")
+			return 0
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetConfig(args[0])
+		}
+	}
+
+	fs := flag.NewFlagSet("energylint", flag.ContinueOnError)
+	list := fs.Bool("rules", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n\t%s\n", a.Name, a.Doc, a.URL)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := listPackages(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energylint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader()
+	nDiags := 0
+	for _, p := range pkgs {
+		loaded, err := loader.LoadDir(p.dir, p.importPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "energylint:", err)
+			return 2
+		}
+		diags, err := analysis.Run(loaded, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "energylint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s [%s]\n", d.Pos, d.Rule, d.Message, d.URL)
+			nDiags++
+		}
+	}
+	if nDiags > 0 {
+		fmt.Fprintf(os.Stderr, "energylint: %d issue(s); see DESIGN.md § Static analysis (escape hatch: //energylint:allow <rule>(<reason>))\n", nDiags)
+		return 1
+	}
+	return 0
+}
+
+type listedPkg struct {
+	dir        string
+	importPath string
+}
+
+// listPackages resolves package patterns through the go tool, skipping
+// example programs and packages with no non-test Go files.
+func listPackages(patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}\x01{{.ImportPath}}\x01{{len .GoFiles}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var pkgs []listedPkg
+	for _, line := range bytes.Split(bytes.TrimSpace(out), []byte("\n")) {
+		parts := strings.Split(string(line), "\x01")
+		if len(parts) != 3 || parts[2] == "0" {
+			continue
+		}
+		if isExamplePath(parts[1]) {
+			continue
+		}
+		pkgs = append(pkgs, listedPkg{dir: parts[0], importPath: parts[1]})
+	}
+	return pkgs, nil
+}
+
+func isExamplePath(importPath string) bool {
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "examples" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVettoolProbes(t *testing.T) {
+	for _, arg := range []string{"-V=full", "-flags", "-rules"} {
+		if got := run([]string{arg}); got != 0 {
+			t.Errorf("run(%q) = %d, want 0", arg, got)
+		}
+	}
+}
+
+func TestIsExamplePath(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"dvfsroofline/examples/quickstart", true},
+		{"examples", true},
+		{"dvfsroofline/internal/core", false},
+		{"dvfsroofline/internal/examplesaurus", false},
+	}
+	for _, tc := range cases {
+		if got := isExamplePath(tc.path); got != tc.want {
+			t.Errorf("isExamplePath(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestCleanPackageExitsZero runs the standalone driver over a real
+// package of this module that is known clean.
+func TestCleanPackageExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages from source")
+	}
+	if got := run([]string{"./../../internal/stats"}); got != 0 {
+		t.Errorf("run on internal/stats = %d, want 0", got)
+	}
+}
+
+// violationModule writes a throwaway module whose single package reads
+// the wall clock, and returns its directory.
+func violationModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"clock.go": `package tmpmod
+
+import "time"
+
+// Stamp reads the wall clock, which energylint must flag.
+func Stamp() time.Time { return time.Now() }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestViolationExitsOne chdirs into a module containing a time.Now call
+// and expects the standalone driver to fail with exit code 1.
+func TestViolationExitsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages from source")
+	}
+	dir := violationModule(t)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := run([]string{"./..."}); got != 1 {
+		t.Errorf("run on a module with a time.Now call = %d, want 1", got)
+	}
+}
+
+// TestGoVetVettool builds the binary and drives it through cmd/go's
+// vettool protocol: clean on this module's internal/stats, failing on
+// the violation module.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "energylint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building energylint: %v\n%s", err, out)
+	}
+
+	if out, err := exec.Command("go", "vet", "-vettool="+bin, "./../../internal/stats").CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool on internal/stats: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = violationModule(t)
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on a module with a time.Now call succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now reads the wall clock") {
+		t.Errorf("go vet -vettool output missing the determinism diagnostic:\n%s", out)
+	}
+}

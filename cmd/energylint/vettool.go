@@ -1,0 +1,129 @@
+package main
+
+// The cmd/go vettool protocol (a subset of what
+// golang.org/x/tools/go/analysis/unitchecker implements): go vet
+// type-checks nothing itself; it hands the tool a JSON "unit config"
+// naming the package's files and the export data of every dependency,
+// already built by the go command. We re-parse the listed files, type-
+// check against that export data with the stdlib's gc importer, and run
+// the suite. The energylint analyzers exchange no facts between
+// packages, so the .vetx fact files cmd/go expects are written empty.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"dvfsroofline/internal/analysis"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet config JSON that this
+// tool consumes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetConfig(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energylint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "energylint: parsing %s: %v\n", path, err)
+		return 2
+	}
+	// Facts first: cmd/go caches the vetx output even for VetxOnly runs.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("energylint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "energylint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly || isExamplePath(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Tests are exempt from energylint (see analysis.Loader); under
+		// go vet they arrive as the package's test variant.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return typecheckFailure(cfg, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	imp := importer.ForCompiler(fset, "gc", func(importPath string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		file, ok := cfg.PackageFile[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailure(cfg, err)
+	}
+	pkg := &analysis.Package{
+		Fset:   fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		Path:   cfg.ImportPath,
+		Allows: analysis.NewAllowIndex(fset, files),
+	}
+	diags, err := analysis.Run(pkg, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energylint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s [%s]\n", d.Pos, d.Rule, d.Message, d.URL)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func typecheckFailure(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "energylint: %s: %v\n", cfg.ImportPath, err)
+	return 2
+}

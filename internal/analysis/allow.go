@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The escape hatch. A directive comment of the form
+//
+//	//energylint:allow determinism(the breaker clock is injected via Options.Clock)
+//
+// suppresses diagnostics of the named rule on the directive's own line
+// and on the line immediately below it (so it can trail the flagged
+// statement or sit on its own line above). The reason is mandatory:
+// a suppression nobody can explain is a suppression nobody can audit.
+
+// allowDirective is one parsed //energylint: comment.
+type allowDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	// problem is non-empty for malformed directives; allowdecl reports it.
+	problem string
+}
+
+// AllowIndex holds every energylint directive of a package, keyed for
+// position lookup during Pass.Reportf.
+type AllowIndex struct {
+	// byFileLine maps filename -> line -> directives written on that line.
+	byFileLine map[string]map[int][]allowDirective
+	malformed  []allowDirective
+}
+
+// directiveRe matches the payload after "energylint:allow":
+// a rule identifier followed by a parenthesized, non-empty reason.
+var directiveRe = regexp.MustCompile(`^([A-Za-z][A-Za-z0-9_]*)\((.+)\)$`)
+
+// NewAllowIndex scans a package's comments for energylint directives.
+// It is exported for drivers that load packages by other means than
+// Loader.LoadDir (the go vet unit-config path of cmd/energylint).
+func NewAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	return newAllowIndex(fset, files)
+}
+
+// newAllowIndex scans the package's comments for energylint directives.
+func newAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	idx := &AllowIndex{byFileLine: make(map[string]map[int][]allowDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx.addComment(fset.Position(c.Pos()), c.Text)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *AllowIndex) addComment(pos token.Position, text string) {
+	if !strings.HasPrefix(text, "//") {
+		return // /* */ comments cannot carry directives, same as go:build
+	}
+	body := text[len("//"):]
+	trimmed := strings.TrimSpace(body)
+	if !strings.HasPrefix(trimmed, "energylint:") {
+		return
+	}
+	d := allowDirective{pos: pos}
+	switch {
+	case !strings.HasPrefix(body, "energylint:"):
+		// "// energylint:" — a directive must start //energylint: with no
+		// space, like go:build; flag it instead of silently ignoring it.
+		d.problem = "malformed directive: write //energylint: with no space after //"
+	case !strings.HasPrefix(trimmed, "energylint:allow"):
+		d.problem = "unknown energylint directive " + quoteHead(trimmed) + ": only //energylint:allow <rule>(<reason>) is defined"
+	default:
+		payload := strings.TrimSpace(strings.TrimPrefix(trimmed, "energylint:allow"))
+		m := directiveRe.FindStringSubmatch(payload)
+		switch {
+		case payload == "":
+			d.problem = "bare //energylint:allow: name the rule and give a reason, e.g. //energylint:allow determinism(why this is safe)"
+		case m == nil:
+			d.problem = "malformed //energylint:allow " + quoteHead(payload) + ": want <rule>(<non-empty reason>)"
+		case strings.TrimSpace(m[2]) == "":
+			d.problem = "//energylint:allow " + m[1] + " has an empty reason: say why the suppression is safe"
+		case !knownRule(m[1]):
+			d.problem = "//energylint:allow names unknown rule " + quoteHead(m[1])
+		default:
+			d.rule = m[1]
+			d.reason = strings.TrimSpace(m[2])
+		}
+	}
+	if d.problem != "" {
+		idx.malformed = append(idx.malformed, d)
+		return
+	}
+	lines := idx.byFileLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]allowDirective)
+		idx.byFileLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = append(lines[pos.Line], d)
+}
+
+// Allowed reports whether a diagnostic of rule at pos is suppressed by a
+// directive on the same line or the line directly above.
+func (idx *AllowIndex) Allowed(rule string, pos token.Position) bool {
+	lines := idx.byFileLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.rule == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func quoteHead(s string) string {
+	if i := strings.IndexAny(s, " \t"); i > 0 && i < len(s) {
+		// keep the message single-token for readability
+		s = s[:i] + "…"
+	}
+	if len(s) > 40 {
+		s = s[:40] + "…"
+	}
+	return "\"" + s + "\""
+}
+
+func knownRule(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Allowdecl polices the escape hatch itself: every //energylint:
+// directive must be a well-formed allow with a known rule and a
+// non-empty reason. Without this rule a typoed suppression would both
+// fail to suppress and fail to be noticed — or worse, a bare blanket
+// allow would hide a diagnostic with no recorded justification.
+var Allowdecl = &Analyzer{
+	Name: "allowdecl",
+	Doc:  "energylint:allow directives must name a known rule and carry a non-empty reason",
+	URL:  ruleURL("allowdecl"),
+	Run: func(pass *Pass) error {
+		if pass.allows == nil {
+			return nil
+		}
+		for _, d := range pass.allows.malformed {
+			pass.diags = append(pass.diags, Diagnostic{
+				Pos:     d.pos,
+				Rule:    pass.Analyzer.Name,
+				Message: d.problem,
+				URL:     pass.Analyzer.URL,
+			})
+		}
+		return nil
+	},
+}

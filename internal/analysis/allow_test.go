@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func parseFixture(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+// TestAllowDirectiveProblems covers the malformed-directive forms whose
+// diagnosis depends on the directive payload; these cannot live in
+// analysistest testdata because appending a // want expectation to the
+// comment would become part of that payload.
+func TestAllowDirectiveProblems(t *testing.T) {
+	cases := []struct {
+		name    string
+		comment string
+		problem string // required substring of the reported problem
+	}{
+		{"bare", "//energylint:allow", "bare //energylint:allow"},
+		{"rule without reason", "//energylint:allow determinism", "want <rule>(<non-empty reason>)"},
+		{"empty parens", "//energylint:allow determinism()", "want <rule>(<non-empty reason>)"},
+		{"blank reason", "//energylint:allow determinism(   )", "empty reason"},
+		{"unknown rule", "//energylint:allow nosuchrule(looks plausible)", "unknown rule"},
+		{"space after slashes", "// energylint:allow determinism(spaced)", "no space after //"},
+		{"unknown directive", "//energylint:ignore determinism", "unknown energylint directive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "package p\n\n" + tc.comment + "\nvar x = 1\n"
+			fset, f := parseFixture(t, src)
+			idx := NewAllowIndex(fset, []*ast.File{f})
+			if len(idx.malformed) != 1 {
+				t.Fatalf("got %d malformed directives, want 1", len(idx.malformed))
+			}
+			if got := idx.malformed[0].problem; !strings.Contains(got, tc.problem) {
+				t.Errorf("problem = %q, want substring %q", got, tc.problem)
+			}
+		})
+	}
+}
+
+func TestWellFormedDirectiveIsNotMalformed(t *testing.T) {
+	src := "package p\n\n//energylint:allow determinism(a perfectly auditable reason)\nvar x = 1\n"
+	fset, f := parseFixture(t, src)
+	idx := NewAllowIndex(fset, []*ast.File{f})
+	if len(idx.malformed) != 0 {
+		t.Fatalf("well-formed directive reported as malformed: %+v", idx.malformed)
+	}
+}
+
+// TestAllowedScope pins the suppression window: the directive's own
+// line, the line directly below, nothing else, and only the named rule.
+func TestAllowedScope(t *testing.T) {
+	src := "package p\n\n//energylint:allow determinism(next line)\nvar a = 1\nvar b = 1\n"
+	fset, f := parseFixture(t, src)
+	idx := NewAllowIndex(fset, []*ast.File{f})
+	pos := func(line int) token.Position { return token.Position{Filename: "fixture.go", Line: line} }
+	if !idx.Allowed("determinism", pos(3)) {
+		t.Error("diagnostic on the directive's own line should be suppressed")
+	}
+	if !idx.Allowed("determinism", pos(4)) {
+		t.Error("diagnostic on the line below the directive should be suppressed")
+	}
+	if idx.Allowed("determinism", pos(5)) {
+		t.Error("diagnostic two lines below the directive should NOT be suppressed")
+	}
+	if idx.Allowed("seedflow", pos(4)) {
+		t.Error("a directive for one rule should not suppress another")
+	}
+}
+
+// TestBareAllowIsDiagnostic runs the full suite end to end over a
+// hand-built package: a bare //energylint:allow must surface as exactly
+// one allowdecl diagnostic.
+func TestBareAllowIsDiagnostic(t *testing.T) {
+	src := "package p\n\n//energylint:allow\nvar x = 1\n"
+	fset, f := parseFixture(t, src)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pkg := &Package{
+		Fset:   fset,
+		Files:  []*ast.File{f},
+		Types:  tpkg,
+		Info:   info,
+		Path:   "p",
+		Allows: NewAllowIndex(fset, []*ast.File{f}),
+	}
+	diags, err := Run(pkg, All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "allowdecl" || !strings.Contains(d.Message, "bare //energylint:allow") {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	if d.URL != "DESIGN.md#energylint-allowdecl" {
+		t.Errorf("URL = %q, want DESIGN.md#energylint-allowdecl", d.URL)
+	}
+	if d.Pos.Line != 3 {
+		t.Errorf("diagnostic line = %d, want 3", d.Pos.Line)
+	}
+}

@@ -1,0 +1,148 @@
+// Package analysis is energylint: a suite of static analyzers that turn
+// this repository's reproducibility conventions into compiler-grade,
+// CI-checked rules. The headline guarantee of the reproduction — Eq. 9
+// constants recovered byte-identically for any -workers count, with
+// per-sample identity-derived seeds and context-aware sweeps — survives
+// only as long as nobody introduces a stray time.Now, an unseeded
+// global rand call, an order-dependent map iteration, or a positional
+// seed+i derivation. Each analyzer here mechanically enforces one such
+// invariant; cmd/energylint is the multichecker driver.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API surface
+// (Analyzer, Pass, Reportf, analysistest-style testdata) but is built
+// entirely on the standard library's go/ast and go/types, because this
+// module deliberately has no third-party dependencies. Every diagnostic
+// carries a URL-style rule ID pointing at the "Static analysis" section
+// of DESIGN.md, and every rule has a single escape hatch:
+//
+//	//energylint:allow <rule>(<reason>)
+//
+// placed on the flagged line or the line directly above it. A bare
+// allow without a rule or a reason is itself a diagnostic (see the
+// allowdecl analyzer), so suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one energylint rule. The shape intentionally
+// matches golang.org/x/tools/go/analysis.Analyzer so the suite could be
+// ported onto the upstream framework without touching the rule logic.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and in
+	// //energylint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// URL is the rule's documentation anchor (DESIGN.md#energylint-<name>).
+	URL string
+	// Run reports the rule's diagnostics through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one resolved finding, positioned and attributed.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+	URL     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.URL)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's import path ("determinism" etc. under
+	// analysistest).
+	Path string
+
+	allows *AllowIndex
+	diags  []Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an //energylint:allow
+// directive for this rule covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows != nil && p.allows.Allowed(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     position,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		URL:     p.Analyzer.URL,
+	})
+}
+
+// errorType is the predeclared error interface, shared by analyzers.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// Run executes the analyzers over one loaded package and returns the
+// combined diagnostics in deterministic order (file, line, column, rule,
+// message) so repeated runs and parallel CI shards agree byte-for-byte.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			allows:   pkg.Allows,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+// All returns the full energylint suite in the order diagnostics should
+// be attributed when several rules fire on one line.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Allowdecl,
+		Ctxloop,
+		Determinism,
+		Errwrap,
+		Seedflow,
+		Unitdoc,
+	}
+}
+
+// ruleURL builds the documentation anchor every analyzer advertises.
+func ruleURL(name string) string {
+	return "DESIGN.md#energylint-" + name
+}

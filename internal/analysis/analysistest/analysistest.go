@@ -1,0 +1,156 @@
+// Package analysistest runs energylint analyzers over testdata packages
+// and checks their diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library.
+//
+// Expectation syntax, on the line the diagnostic is expected:
+//
+//	x := seed + i // want `regexp` `another regexp`
+//
+// Each backquoted (or double-quoted) string is a regular expression that
+// must match the message of exactly one diagnostic reported on that
+// line; diagnostics without a matching want, and wants without a
+// matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dvfsroofline/internal/analysis"
+)
+
+// loader is shared across all tests in the process: the source importer
+// caches type-checked dependencies (fmt, context, math/rand), which
+// would otherwise be re-checked for every testdata package.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+)
+
+func sharedLoader() *analysis.Loader {
+	loaderOnce.Do(func() { loader = analysis.NewLoader() })
+	return loader
+}
+
+// Run loads each testdata/src/<pkg> package, applies the analyzer, and
+// reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		loaded, err := sharedLoader().LoadDir(dir, pkg)
+		if err != nil {
+			t.Errorf("loading %s: %v", pkg, err)
+			continue
+		}
+		diags, err := analysis.Run(loaded, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		checkExpectations(t, loaded, diags)
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe pulls the payload out of a "// want ..." comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want: %v", pos, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, p, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// splitPatterns parses a want payload: a sequence of backquoted or
+// double-quoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// find the closing quote, honoring escapes
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", s)
+		}
+	}
+	return out, nil
+}

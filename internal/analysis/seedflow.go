@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Seedflow enforces the pipeline's identity-seeding discipline: a unit
+// of work derives its random stream from *what it is*, never from
+// *where it ran*. Arithmetic like seed+i or seed*int64(i) on a loop
+// index produces seeds that change whenever the iteration order, grid
+// size, or subset changes — exactly the property that breaks
+// "parallel == serial byte-identically" and "subsets reproduce the full
+// suite". The sanctioned derivations are the FNV-mixing helpers
+// stats.MixSeed, experiments.deriveSeed and microbench.SampleSeed,
+// which hash the unit's identity values; a plain constant offset
+// (cfg.Seed+9, a stream discriminator) is fine because no loop index
+// is involved.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "forbid seeds built by arithmetic on loop indices; derive seeds from unit identity",
+	URL:  ruleURL("seedflow"),
+	Run:  runSeedflow,
+}
+
+// seedflowOps are the integer operators that smuggle a loop index into
+// a seed value.
+var seedflowOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.XOR: true, token.OR: true, token.REM: true, token.SHL: true,
+}
+
+func runSeedflow(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			seedflowFunc(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// seedflowFunc collects the function's loop variables, then flags every
+// binary expression mixing a seed-named operand with one of them.
+// Closures inherit the loop variables of their enclosing function — a
+// worker body capturing the pipeline index is the classic offender.
+func seedflowFunc(pass *Pass, body *ast.BlockStmt) {
+	loopVars := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.Info.ObjectOf(id); obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.ObjectOf(id); obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || !seedflowOps[bin.Op] {
+			return true
+		}
+		if !isInteger(pass.Info.TypeOf(bin)) {
+			return true
+		}
+		seedName, seedSide := seedOperand(pass, bin.X), seedOperand(pass, bin.Y)
+		name := seedName
+		if name == "" {
+			name = seedSide
+		}
+		if name == "" {
+			return true
+		}
+		var idx *ast.Ident
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if id := loopVarIn(pass, side, loopVars); id != nil {
+				idx = id
+				break
+			}
+		}
+		if idx == nil {
+			return true
+		}
+		pass.Reportf(bin.Pos(), "seed %q combined with loop index %q by arithmetic: positional seeds break order- and subset-reproducibility; derive from the unit's identity via stats.MixSeed (cf. experiments.deriveSeed, microbench.SampleSeed)", name, idx.Name)
+		return false
+	})
+}
+
+// seedOperand returns the seed-ish name an expression carries, if any:
+// an identifier or field selection whose name mentions "seed".
+func seedOperand(pass *Pass, e ast.Expr) string {
+	name := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if strings.Contains(strings.ToLower(id.Name), "seed") && isInteger(pass.Info.TypeOf(id)) {
+			name = id.Name
+		}
+		return true
+	})
+	return name
+}
+
+// loopVarIn returns a loop-variable identifier referenced anywhere in e
+// (through conversions like int64(i), nested arithmetic, etc.).
+func loopVarIn(pass *Pass, e ast.Expr, loopVars map[types.Object]bool) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && loopVars[pass.Info.ObjectOf(id)] {
+			found = id
+		}
+		return true
+	})
+	return found
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,15 @@
+// Package allowpkg exercises the allowdecl analyzer on directive forms
+// whose diagnosis does not depend on the text after the rule name (the
+// payload-dependent forms — bare allow, empty reason, unknown rule — are
+// covered by unit tests in internal/analysis, because appending an
+// expectation comment to those directives would change their payload).
+package allowpkg
+
+import "time"
+
+// energylint:allow determinism(spaced directives are ignored by go vet conventions) // want `malformed directive: write //energylint: with no space`
+
+//energylint:ignore determinism // want `unknown energylint directive`
+
+//energylint:allow determinism(a well-formed directive produces no allowdecl diagnostic)
+var injectedDefault = time.Now

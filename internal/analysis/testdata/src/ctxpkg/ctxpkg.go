@@ -1,0 +1,105 @@
+// Package ctxpkg exercises the ctxloop analyzer: loops that do real work
+// inside context-taking functions must consult a context.
+package ctxpkg
+
+import "context"
+
+func work(x int) int { return x * 2 }
+
+func workCtx(_ context.Context, x int) int { return x }
+
+func sweepNoCheck(ctx context.Context, points []int) int {
+	total := 0
+	for _, p := range points { // want `loop inside a context-taking function never consults a context`
+		total += work(p)
+	}
+	return total
+}
+
+func sweepChecked(ctx context.Context, points []int) (int, error) {
+	total := 0
+	for _, p := range points {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += work(p)
+	}
+	return total, nil
+}
+
+func sweepPassesCtx(ctx context.Context, points []int) int {
+	total := 0
+	for _, p := range points {
+		total += workCtx(ctx, p) // handing ctx to the callee qualifies
+	}
+	return total
+}
+
+func sweepSelects(ctx context.Context, points []int) int {
+	total := 0
+	for _, p := range points {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		total += work(p)
+	}
+	return total
+}
+
+// assemblyOnly's loop contains no calls beyond builtins; cheap slice
+// assembly is exempt.
+func assemblyOnly(ctx context.Context, n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// channelRange is exempt: the receive is the blocking point and the
+// sender owns cancellation.
+func channelRange(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		total += work(v)
+	}
+	return total
+}
+
+// noCtxParam makes no cancellation promise, so its loops are exempt.
+func noCtxParam(points []int) int {
+	total := 0
+	for _, p := range points {
+		total += work(p)
+	}
+	return total
+}
+
+// closureInherits: a func literal without its own context parameter
+// answers to the enclosing function's ctx.
+func closureInherits(ctx context.Context, points []int) func() int {
+	return func() int {
+		total := 0
+		for _, p := range points { // want `loop inside a context-taking function never consults a context`
+			total += work(p)
+		}
+		return total
+	}
+}
+
+// closureOwnCtx: a func literal with its own context parameter restarts
+// the obligation against that parameter.
+func closureOwnCtx(ctx context.Context, points []int) func(context.Context) int {
+	return func(inner context.Context) int {
+		total := 0
+		for _, p := range points {
+			if inner.Err() != nil {
+				return total
+			}
+			total += work(p)
+		}
+		return total
+	}
+}

@@ -1,0 +1,54 @@
+// Package errpkg exercises the errwrap analyzer: %w wrapping and
+// errors.Is sentinel comparison.
+package errpkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotCached = errors.New("not cached")
+
+func wrapV(err error) error {
+	return fmt.Errorf("load: %v", err) // want `error wrapped with %v loses its chain`
+}
+
+func wrapS(key string, err error) error {
+	return fmt.Errorf("load %s: %s", key, err) // want `error wrapped with %s loses its chain`
+}
+
+func wrapW(err error) error {
+	return fmt.Errorf("load: %w", err)
+}
+
+func nonErrorOperand(name string) error {
+	return fmt.Errorf("bad name %v", name) // %v on a non-error: fine
+}
+
+type payload struct{ n int }
+
+// mixedVerbs checks verb/argument pairing through flags: %+v consumes
+// the payload, %w wraps the error.
+func mixedVerbs(p payload, err error) error {
+	return fmt.Errorf("payload %+v: %w", p, err)
+}
+
+func widthAndPercent(pct float64, err error) error {
+	return fmt.Errorf("at %6.2f%%: %w", pct, err)
+}
+
+func sentinelEq(err error) bool {
+	return err == ErrNotCached // want `comparing errors with == misses wrapped chains; use errors\.Is`
+}
+
+func sentinelNeq(err error) bool {
+	return err != ErrNotCached // want `comparing errors with != misses wrapped chains; use !errors\.Is`
+}
+
+func nilCompare(err error) bool {
+	return err == nil // nil checks stay ==
+}
+
+func isIdiom(err error) bool {
+	return errors.Is(err, ErrNotCached)
+}

@@ -1,0 +1,72 @@
+// Package experiments opts into the determinism analyzer's map-order
+// rule by carrying one of the order-sensitive package names.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" while ranging over a map`
+	}
+	return keys
+}
+
+func sortedKeysIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // collect-then-sort: fine
+	return keys
+}
+
+func dumpUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside a map-range loop`
+	}
+}
+
+func dumpIO(w io.Writer, m map[string]int) {
+	for k := range m {
+		io.WriteString(w, k) // want `io\.WriteString inside a map-range loop`
+	}
+}
+
+func sharedBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `\(\*strings\.Builder\)\.WriteString inside a map-range loop`
+	}
+	return b.String()
+}
+
+// perIterationBuilder writes to a sink that lives one iteration only and
+// sorts the collected slice afterwards; both halves are deterministic.
+func perIterationBuilder(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		out = append(out, b.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loopLocalAccumulator appends to a slice scoped to one iteration, which
+// cannot leak iteration order.
+func loopLocalAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

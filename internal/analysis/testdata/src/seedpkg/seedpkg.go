@@ -1,0 +1,63 @@
+// Package seedpkg exercises the seedflow analyzer: seeds derived by
+// arithmetic on loop indices are flagged, identity-derived and
+// constant-offset seeds are not.
+package seedpkg
+
+func positionalSeeds(seed int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, seed+int64(i)) // want `seed "seed" combined with loop index "i"`
+	}
+	return out
+}
+
+func rangeSeeds(cfgSeed int64, kinds []string) []int64 {
+	var out []int64
+	for i := range kinds {
+		out = append(out, cfgSeed*int64(i+1)) // want `seed "cfgSeed" combined with loop index "i"`
+	}
+	return out
+}
+
+func xorSeeds(baseSeed int64, rows []int) []int64 {
+	var out []int64
+	for r := range rows {
+		out = append(out, baseSeed^int64(r)) // want `seed "baseSeed" combined with loop index "r"`
+	}
+	return out
+}
+
+// workerClosure captures the loop index in a closure; the positional
+// seed is just as order-dependent there.
+func workerClosure(seed int64, tasks []string) []func() int64 {
+	var fns []func() int64
+	for i := range tasks {
+		fns = append(fns, func() int64 {
+			return seed + int64(i) // want `seed "seed" combined with loop index "i"`
+		})
+	}
+	return fns
+}
+
+// constantOffset is a stream discriminator: no loop index involved.
+func constantOffset(seed int64) int64 {
+	return seed + 9
+}
+
+// identityDerived hands the seed and the unit's identity to a mixing
+// helper instead of doing index arithmetic — the sanctioned pattern.
+func identityDerived(seed int64, names []string) []int64 {
+	out := make([]int64, 0, len(names))
+	for _, name := range names {
+		out = append(out, mix(seed, name))
+	}
+	return out
+}
+
+func mix(base int64, name string) int64 {
+	h := base
+	for _, r := range name {
+		h = (h ^ int64(r)) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,30 @@
+// Package tegra opts into the unitdoc analyzer by carrying one of the
+// unit-bearing package names.
+package tegra
+
+// Rail models one power rail.
+type Rail struct {
+	VoltageMV float64
+	// Power drawn by the rail, in W.
+	Power float64
+	Droop float64 // want `exported float64 field Rail\.Droop does not name its unit`
+	slack float64
+}
+
+// Budget is the rail's remaining headroom, in joules.
+type Budget struct {
+	Remaining float64
+	Ceiling   float64
+}
+
+// Scale converts a core clock into an operating point index.
+func Scale(coreMHz float64, droop float64) float64 { // want `float64 parameter "droop" of exported Scale`
+	return coreMHz * droop
+}
+
+// Headroom returns the remaining budget in J at the given draw in W.
+func Headroom(budget, draw float64) float64 {
+	return budget / draw
+}
+
+func internalHelper(x float64) float64 { return x }

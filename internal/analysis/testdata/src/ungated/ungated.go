@@ -1,0 +1,20 @@
+// Package ungated carries no expectation comments at all: every rule
+// that is gated by package name (unitdoc, the map-order sub-rule of
+// determinism) must stay completely silent here.
+package ungated
+
+// Quantity has an exported float64 with no unit suffix; unitdoc is
+// gated to tegra/core/serve.
+type Quantity struct {
+	Amount float64
+}
+
+// keys appends under a map range; the map-order rule is gated to the
+// measurement and experiment packages.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// unitPkgs are the packages whose exported float64 surfaces carry
+// physical quantities: the device model (tegra), the Eq. 9 energy model
+// (core), and the energyd wire types (serve). Everywhere else float64s
+// are mostly dimensionless math.
+var unitPkgs = map[string]bool{"tegra": true, "core": true, "serve": true}
+
+// Unitdoc enforces that every exported float64 struct field and every
+// exported function's float64 parameter in the unit-bearing packages
+// names its unit — either in the identifier (TimeS, PredictedJ,
+// ConstPowerW, CoreMHz) or in a doc comment ("seconds, measured",
+// "W/V"). Eq. 9 mixes V² dynamic terms with V-linear leakage terms and
+// pJ/J/W across one struct; a silently mislabeled field is exactly the
+// class of bug an energy-model reproduction cannot detect numerically,
+// because the fit will happily absorb it.
+var Unitdoc = &Analyzer{
+	Name: "unitdoc",
+	Doc:  "exported float64 fields and params in tegra/core/serve must name their unit",
+	URL:  ruleURL("unitdoc"),
+	Run:  runUnitdoc,
+}
+
+// unitSuffixes are identifier endings that name a unit (or an explicit
+// count/ratio), checked case-sensitively: J/pJ (joules), W (watts),
+// V/MV/mV (volts), S/Sec/Seconds (seconds), Hz/MHz/GHz, Pct/Percent,
+// and the count-like Words/Bytes/Ops/Count/Frac/Fraction/Ratio.
+var unitSuffixes = []string{
+	"J", "pJ", "nJ", "mJ", "Joule", "Joules",
+	"W", "mW", "Watt", "Watts",
+	"V", "MV", "mV", "Volt", "Volts",
+	"S", "Sec", "Secs", "Seconds", "Ms", "Ns", "Us",
+	"Hz", "KHz", "MHz", "GHz", "Cycle", "Cycles",
+	"Pct", "Percent",
+	"Words", "Bytes", "Ops", "Count", "Frac", "Fraction", "Ratio", "Occupancy",
+}
+
+// unitWordRe matches a unit mention inside a comment: either a
+// case-sensitive symbol token (J, pJ, W, V, mV, s, ms, Hz, MHz, W/V, %)
+// or a case-insensitive spelled-out unit word.
+var unitWordRe = regexp.MustCompile(
+	`(^|[^A-Za-z0-9/])(J|pJ|nJ|W|V|mV|MV|s|ms|ns|µs|us|Hz|MHz|GHz|W/V|V²|V\^2|%)($|[^A-Za-z0-9/])` +
+		`|(?i)\b(joules?|watts?|volts?|seconds?|hertz|percent(age)?|ratio|fractions?|multiplier|factor|dimensionless|unitless|counts?|words?|bytes?|occupancy|millivolts?|megahertz)\b`)
+
+func runUnitdoc(pass *Pass) error {
+	if !unitPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					checkStruct(pass, ts.Name.Name, st, doc)
+				}
+			case *ast.FuncDecl:
+				checkFuncParams(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkStruct verifies each exported float64 field. A unit named in the
+// struct's own doc comment ("...decomposes a prediction by component,
+// in joules") blesses every field at once — the idiomatic way to
+// document a homogeneous struct.
+func checkStruct(pass *Pass, structName string, st *ast.StructType, doc *ast.CommentGroup) {
+	if commentNamesUnit(doc) {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if !isFloat64Expr(pass, field.Type) {
+			continue
+		}
+		if commentNamesUnit(field.Doc) || commentNamesUnit(field.Comment) {
+			continue
+		}
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if hasUnitSuffix(name.Name) {
+				continue
+			}
+			pass.Reportf(name.Pos(), "exported float64 field %s.%s does not name its unit: add a unit suffix (…J, …W, …S, …MHz, …Pct) or a doc comment naming the unit (J, W, V, s, Hz, ratio, count)", structName, name.Name)
+		}
+	}
+}
+
+// checkFuncParams verifies float64 parameters of exported functions and
+// methods: either the parameter name carries a unit suffix or the
+// function's doc comment names a unit.
+func checkFuncParams(pass *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Params == nil {
+		return
+	}
+	if commentNamesUnit(fn.Doc) {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		if !isFloat64Expr(pass, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" || hasUnitSuffix(name.Name) {
+				continue
+			}
+			pass.Reportf(name.Pos(), "float64 parameter %q of exported %s does not name its unit: use a unit-suffixed name or name the unit in the doc comment", name.Name, fn.Name.Name)
+		}
+	}
+}
+
+func isFloat64Expr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, suf := range unitSuffixes {
+		if strings.HasSuffix(name, suf) {
+			return true
+		}
+		// Parameters are lowerCamel: accept "timeS" for "TimeS" as well
+		// as fully lowercase spellings like "seconds" or "joules".
+		if strings.EqualFold(name, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func commentNamesUnit(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	return unitWordRe.MatchString(cg.Text())
+}

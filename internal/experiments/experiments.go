@@ -246,7 +246,7 @@ func Calibrate(ctx context.Context, dev *tegra.Device, cfg Config) (*Calibration
 		Quarantined: quarantined,
 	}
 	if cov.Fraction() < minCov {
-		return nil, fmt.Errorf("experiments: calibration coverage %.3f below the required %.2f (%d of %d samples quarantined, e.g. %v at %v: %v)",
+		return nil, fmt.Errorf("experiments: calibration coverage %.3f below the required %.2f (%d of %d samples quarantined, e.g. %v at %v: %w)",
 			cov.Fraction(), minCov, len(quarantined), len(samples),
 			quarantined[0].Bench, quarantined[0].Setting, quarantined[0].Err)
 	}
@@ -426,6 +426,9 @@ func Autotune(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Con
 	var units []unit
 	sweeps := make([][][]core.Candidate, len(kinds))
 	for ki, kind := range kinds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := len(kind.Intensities())
 		sweeps[ki] = make([][]core.Candidate, n)
 		for ii := 0; ii < n; ii++ {
@@ -469,6 +472,9 @@ func Autotune(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Con
 	}
 	rows := make([]core.TableIIRow, len(kinds))
 	for ki, kind := range kinds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rows[ki] = model.CompareStrategies(kind.String(), sweeps[ki])
 	}
 	return rows, nil

@@ -1,0 +1,66 @@
+package export
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"dvfsroofline/internal/experiments"
+)
+
+// FuzzReadSamples hammers the calibration-sample CSV parser — the
+// surface external data crosses on the cmd/* cache path (-samples
+// files) — with the shipped energyd corpus as the seed. Properties:
+//
+//  1. ReadSamples never panics, whatever the bytes.
+//  2. Anything it accepts survives a write→read→write cycle with
+//     byte-identical CSV output: the canonical form is a fixed point,
+//     which is the determinism guarantee cached artifacts rely on.
+//     (One write→read hop may legitimately reduce precision — the
+//     writer rounds to 12 significant digits — but 12 < 15, float64's
+//     unique-decimal threshold, so the canonical form re-reads exactly.)
+//  3. CalibrateFromSamples never panics on parsed samples; it may
+//     reject them with an error, which is its job.
+func FuzzReadSamples(f *testing.F) {
+	corpus, err := os.ReadFile("../../cmd/energyd/testdata/samples.csv")
+	if err != nil {
+		f.Fatalf("reading seed corpus: %v", err)
+	}
+	f.Add(corpus)
+	f.Add([]byte(""))
+	f.Add([]byte("a,b,c\n1,2,3\n"))
+	header := "core_mhz,core_mv,mem_mhz,mem_mv,sp,dp_fma,dp_add,dp_mul,int,shared_words,l1_words,l2_words,dram_words,time_s,energy_j\n"
+	f.Add([]byte(header + "852,1030,924,1010,NaN,+Inf,-Inf,0x1p10,1_000,0,0,0,0,0.2,1.5\n"))
+	f.Add([]byte(header + "852,1030,924,1010,4e9,0,0,0,1e8,0,0,0,5e7,0.2,notanumber\n"))
+	f.Add([]byte(header))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, err := ReadSamples(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is correct behavior
+		}
+		var buf1 bytes.Buffer
+		if err := WriteSamples(&buf1, samples); err != nil {
+			t.Fatalf("WriteSamples on parsed samples: %v", err)
+		}
+		again, err := ReadSamples(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadSamples rejects WriteSamples output: %v", err)
+		}
+		if len(again) != len(samples) {
+			t.Fatalf("round trip changed sample count: %d -> %d", len(samples), len(again))
+		}
+		var buf2 bytes.Buffer
+		if err := WriteSamples(&buf2, again); err != nil {
+			t.Fatalf("WriteSamples on round-tripped samples: %v", err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("canonical CSV is not a fixed point:\nfirst:\n%s\nsecond:\n%s", buf1.Bytes(), buf2.Bytes())
+		}
+		// The cache path feeds parsed samples straight into the fitter;
+		// errors are expected for non-campaign shapes, panics are not.
+		if _, err := experiments.CalibrateFromSamples(samples); err != nil {
+			return
+		}
+	})
+}

@@ -182,7 +182,7 @@ func ParsePlan(spec string) (Plan, error) {
 			return Plan{}, fmt.Errorf("faults: unknown key %q", key)
 		}
 		if err != nil {
-			return Plan{}, fmt.Errorf("faults: bad value for %s: %v", key, err)
+			return Plan{}, fmt.Errorf("faults: bad value for %s: %w", key, err)
 		}
 	}
 	if err := p.Validate(); err != nil {

@@ -56,6 +56,7 @@ func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *br
 		cooldown = 30 * time.Second
 	}
 	if now == nil {
+		//energylint:allow determinism(defensive default for direct construction in tests; serve.New always injects Options.Clock)
 		now = time.Now
 	}
 	return &breaker{threshold: threshold, cooldown: cooldown, now: now}

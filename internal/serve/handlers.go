@@ -19,19 +19,20 @@ import (
 // maxBodyBytes bounds request bodies; profiles are a handful of numbers.
 const maxBodyBytes = 1 << 20
 
-// ProfileJSON is the wire form of an operation profile. Field names
+// ProfileJSON is the wire form of an operation profile: every field is
+// an operation or word count for one kernel execution. Field names
 // match the calibration CSV columns, so a row of samples.csv maps
 // directly onto a request body.
 type ProfileJSON struct {
-	SP          float64 `json:"sp,omitempty"`
-	DPFMA       float64 `json:"dp_fma,omitempty"`
-	DPAdd       float64 `json:"dp_add,omitempty"`
-	DPMul       float64 `json:"dp_mul,omitempty"`
-	Int         float64 `json:"int,omitempty"`
-	SharedWords float64 `json:"shared_words,omitempty"`
-	L1Words     float64 `json:"l1_words,omitempty"`
-	L2Words     float64 `json:"l2_words,omitempty"`
-	DRAMWords   float64 `json:"dram_words,omitempty"`
+	SP          float64 `json:"sp,omitempty"`           // single-precision flop count
+	DPFMA       float64 `json:"dp_fma,omitempty"`       // double-precision FMA count
+	DPAdd       float64 `json:"dp_add,omitempty"`       // double-precision add count
+	DPMul       float64 `json:"dp_mul,omitempty"`       // double-precision mul count
+	Int         float64 `json:"int,omitempty"`          // integer instruction count
+	SharedWords float64 `json:"shared_words,omitempty"` // shared-memory words
+	L1Words     float64 `json:"l1_words,omitempty"`     // L1 words
+	L2Words     float64 `json:"l2_words,omitempty"`     // L2 words
+	DRAMWords   float64 `json:"dram_words,omitempty"`   // DRAM words
 }
 
 func (p ProfileJSON) profile() counters.Profile {
@@ -316,7 +317,10 @@ type CalibrationResponse struct {
 	Grids   map[string]int `json:"grids"`
 }
 
-// ModelJSON is the wire form of the fitted Eq. 9 constants.
+// ModelJSON is the wire form of the fitted Eq. 9 constants. Dynamic
+// coefficients are pJ/V², leakage coefficients W/V, PMisc plain watts —
+// the JSON names carry the same unit tags so external analysts cannot
+// confuse the V²-scaled and V-linear terms.
 type ModelJSON struct {
 	SPpJ   float64 `json:"sp_pj_v2"`
 	DPpJ   float64 `json:"dp_pj_v2"`
@@ -324,9 +328,9 @@ type ModelJSON struct {
 	SMpJ   float64 `json:"sm_pj_v2"`
 	L2pJ   float64 `json:"l2_pj_v2"`
 	DRAMpJ float64 `json:"dram_pj_v2"`
-	C1Proc float64 `json:"c1_proc_w_v"`
-	C1Mem  float64 `json:"c1_mem_w_v"`
-	PMisc  float64 `json:"p_misc_w"`
+	C1Proc float64 `json:"c1_proc_w_v"` // W/V, processor leakage
+	C1Mem  float64 `json:"c1_mem_w_v"`  // W/V, memory leakage
+	PMisc  float64 `json:"p_misc_w"`    // W, operation-independent
 }
 
 // TableIRow is one derived row of the paper's Table I.

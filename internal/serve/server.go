@@ -50,7 +50,8 @@ type Options struct {
 	// BreakerCooldown is how long the breaker stays open before allowing
 	// a half-open probe sweep; zero = 30 s.
 	BreakerCooldown time.Duration
-	// Clock overrides the breaker's time source (tests); nil = time.Now.
+	// Clock overrides the server's time source — breaker cooldowns and
+	// request-latency metrics (tests); nil = time.Now.
 	Clock func() time.Time
 }
 
@@ -66,6 +67,7 @@ type Server struct {
 	cache   *sweepCache
 	breaker *breaker
 	timeout time.Duration
+	clock   func() time.Time // Options.Clock; drives latency metrics and the breaker
 }
 
 // New builds a server around a fitted calibration.
@@ -75,6 +77,10 @@ func New(dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config
 	}
 	if opts.SweepTimeout <= 0 {
 		opts.SweepTimeout = 30 * time.Second
+	}
+	if opts.Clock == nil {
+		//energylint:allow determinism(the clock is injected via Options.Clock; wall time is the production default and tests override it)
+		opts.Clock = time.Now
 	}
 	calGrid := make([]dvfs.Setting, 0, 16)
 	for _, cs := range dvfs.CalibrationSettings() {
@@ -95,6 +101,7 @@ func New(dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config
 		cache:   newSweepCache(opts.CacheSize),
 		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock),
 		timeout: opts.SweepTimeout,
+		clock:   opts.Clock,
 	}
 }
 
@@ -134,9 +141,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		s.metrics.addInflight(1)
 		defer s.metrics.addInflight(-1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		start := time.Now()
+		start := s.clock()
 		h(sw, r)
-		s.metrics.observe(endpoint, sw.code, time.Since(start).Seconds())
+		s.metrics.observe(endpoint, sw.code, s.clock().Sub(start).Seconds())
 	})
 }
 

@@ -100,7 +100,7 @@ func KFold(n, k int, seed int64) []Fold {
 	if k < 2 || k > n {
 		panic(fmt.Sprintf("stats: KFold requires 2 <= k <= n, got k=%d n=%d", k, n))
 	}
-	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	perm := NewRNG(seed).Perm(n)
 	buckets := make([][]int, k)
 	for i, p := range perm {
 		buckets[i%k] = append(buckets[i%k], p)
