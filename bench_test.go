@@ -35,6 +35,7 @@ import (
 	"dvfsroofline/internal/nnls"
 	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // benchCfg keeps the benchmark harness deterministic.
@@ -76,7 +77,7 @@ func BenchmarkTableI(b *testing.B) {
 		b.Fatal("Table I must have 16 rows")
 	}
 	b.ReportMetric(cal.Holdout.Percent().Mean, "holdout-%err")
-	b.ReportMetric(cal.Model.DPpJ, "DP-pJ/V2")
+	b.ReportMetric(float64(cal.Model.DPpJ), "DP-pJ/V2")
 }
 
 // BenchmarkCalibrateParallel measures the full 1856-sample calibration
@@ -223,8 +224,8 @@ func BenchmarkFigure6(b *testing.B) {
 		sched := run.Schedule(dev, s)
 		parts = cal.Model.PredictParts(run.TotalProfile(), s, sched.Duration())
 	}
-	b.ReportMetric(100*parts.Int/parts.Compute(), "int-%of-compute-E")
-	b.ReportMetric(100*parts.DRAM/parts.Data(), "dram-%of-data-E")
+	b.ReportMetric(100*float64(parts.Int)/float64(parts.Compute()), "int-%of-compute-E")
+	b.ReportMetric(100*float64(parts.DRAM)/float64(parts.Data()), "dram-%of-data-E")
 }
 
 // BenchmarkFigure7 computes the computation/data/constant split for the
@@ -285,10 +286,10 @@ func BenchmarkNNLSvsLS(b *testing.B) {
 	// Build the design matrix once from the calibration samples.
 	rows := len(cal.Samples)
 	a := linalg.NewMatrix(rows, 9)
-	y := make([]float64, rows)
+	y := make([]units.Joule, rows)
 	for i, s := range cal.Samples {
-		vp := s.Setting.Core.Volts()
-		vm := s.Setting.Mem.Volts()
+		vp := float64(s.Setting.Core.Volts())
+		vm := float64(s.Setting.Mem.Volts())
 		p := s.Profile
 		r := a.Row(i)
 		r[0] = p.SP * vp * vp * 1e-12
@@ -297,15 +298,19 @@ func BenchmarkNNLSvsLS(b *testing.B) {
 		r[3] = (p.SharedWords + p.L1Words) * vp * vp * 1e-12
 		r[4] = p.L2Words * vp * vp * 1e-12
 		r[5] = p.DRAMWords * vm * vm * 1e-12
-		r[6] = vp * s.Time
-		r[7] = vm * s.Time
-		r[8] = s.Time
+		r[6] = vp * float64(s.Time)
+		r[7] = vm * float64(s.Time)
+		r[8] = float64(s.Time)
 		y[i] = s.Energy
+	}
+	yRaw := make([]float64, rows)
+	for i := range y {
+		yRaw[i] = float64(y[i])
 	}
 	var negLS, negNNLS int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ls, err := linalg.SolveLS(a, y)
+		ls, err := linalg.SolveLS(a, yRaw)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -333,7 +338,7 @@ func BenchmarkPowermonRate(b *testing.B) {
 	dev := tegra.NewDevice()
 	w := tegra.Workload{Profile: counters.Profile{SP: 2e10, DRAMWords: 2e8}, Occupancy: 0.9}
 	exec := dev.Execute(w, dvfs.MaxSetting())
-	for _, rate := range []float64{32, 128, 1024} {
+	for _, rate := range []units.Hertz{32, 128, 1024} {
 		rate := rate
 		b.Run(benchName(rate), func(b *testing.B) {
 			m := powermon.MustMeter(powermon.Config{SampleRate: rate}, 11)
@@ -343,7 +348,7 @@ func BenchmarkPowermonRate(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rel = (meas.Energy - exec.TrueEnergy()) / exec.TrueEnergy()
+				rel = float64((meas.Energy - exec.TrueEnergy()) / exec.TrueEnergy())
 				if rel < 0 {
 					rel = -rel
 				}
@@ -353,7 +358,7 @@ func BenchmarkPowermonRate(b *testing.B) {
 	}
 }
 
-func benchName(rate float64) string {
+func benchName(rate units.Hertz) string {
 	switch rate {
 	case 32:
 		return "32Hz"
@@ -464,8 +469,8 @@ func BenchmarkRoofline(b *testing.B) {
 	_, cal := getCalibration(b)
 	s := dvfs.MaxSetting()
 	mach := core.MachineFor(tegra.DPPerCycle, tegra.DRAMWordsPerCycle, s)
-	intensities := make([]float64, 64)
-	x := 0.0625
+	intensities := make([]units.OpsPerWord, 64)
+	x := units.OpsPerWord(0.0625)
 	for i := range intensities {
 		intensities[i] = x
 		x *= 1.2
@@ -475,7 +480,7 @@ func BenchmarkRoofline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pts = cal.Model.Roofline(core.ClassDP, mach, s, intensities)
 	}
-	b.ReportMetric(pts[len(pts)-1].OpsPerJoule/1e9, "peak-Gops/J")
+	b.ReportMetric(float64(pts[len(pts)-1].OpsPerJoule)/1e9, "peak-Gops/J")
 }
 
 // BenchmarkM2LBatched completes the M2L ablation: per-pair matvec vs

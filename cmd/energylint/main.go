@@ -52,6 +52,7 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("energylint", flag.ContinueOnError)
 	list := fs.Bool("rules", false, "list the analyzers and exit")
+	allows := fs.Bool("allows", false, "list every //energylint:allow directive with file:line and reason, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +72,9 @@ func run(args []string) int {
 		return 2
 	}
 	loader := analysis.NewLoader()
+	if *allows {
+		return runAllows(loader, pkgs)
+	}
 	nDiags := 0
 	for _, p := range pkgs {
 		loaded, err := loader.LoadDir(p.dir, p.importPath)
@@ -92,6 +96,28 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "energylint: %d issue(s); see DESIGN.md § Static analysis (escape hatch: //energylint:allow <rule>(<reason>))\n", nDiags)
 		return 1
 	}
+	return 0
+}
+
+// runAllows prints the escape-hatch inventory: one line per well-formed
+// //energylint:allow directive, in deterministic order, so CI logs keep
+// an auditable record of every suppression and its stated reason. The
+// listing itself never fails the build (malformed directives are the
+// allowdecl analyzer's job); it exits 0 even when directives exist.
+func runAllows(loader *analysis.Loader, pkgs []listedPkg) int {
+	n := 0
+	for _, p := range pkgs {
+		loaded, err := loader.LoadDir(p.dir, p.importPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "energylint:", err)
+			return 2
+		}
+		for _, e := range loaded.Allows.Entries() {
+			fmt.Printf("%s:%d: %s(%s)\n", e.Pos.Filename, e.Pos.Line, e.Rule, e.Reason)
+			n++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "energylint: %d allow directive(s)\n", n)
 	return 0
 }
 

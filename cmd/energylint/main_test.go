@@ -44,6 +44,33 @@ func TestCleanPackageExitsZero(t *testing.T) {
 	}
 }
 
+// TestAllowsListing drives the -allows audit mode over internal/serve,
+// which carries the module's two known determinism suppressions; the
+// listing must name them with file:line and reason and exit 0.
+func TestAllowsListing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages from source")
+	}
+	bin := filepath.Join(t.TempDir(), "energylint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building energylint: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-allows", "./../../internal/serve").CombinedOutput()
+	if err != nil {
+		t.Fatalf("energylint -allows failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"breaker.go:", "server.go:",
+		"determinism(", "Options.Clock",
+		"allow directive(s)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-allows output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 // violationModule writes a throwaway module whose single package reads
 // the wall clock, and returns its directory.
 func violationModule(t *testing.T) string {

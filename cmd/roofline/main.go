@@ -17,6 +17,7 @@ import (
 	"dvfsroofline/internal/core"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 func main() {
@@ -25,7 +26,7 @@ func main() {
 	app.Parse()
 
 	var c core.OpClass
-	var opsPerCycle float64
+	var opsPerCycle units.PerCycle
 	switch *class {
 	case "SP":
 		c, opsPerCycle = core.ClassSP, tegra.SPPerCycle
@@ -46,7 +47,7 @@ func main() {
 		dvfs.MustSetting(540, 528),
 		dvfs.MustSetting(180, 204),
 	}
-	intensities := []float64{0.125, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+	intensities := []units.OpsPerWord{0.125, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 	for _, s := range settings {
 		mach := core.MachineFor(opsPerCycle, tegra.DRAMWordsPerCycle, s)
@@ -54,7 +55,7 @@ func main() {
 		fmt.Printf("  time balance %.2f ops/word, energy balance %.2f ops/word",
 			mach.TimeBalance(), model.EnergyBalance(c, s))
 		eff := model.EffectiveEnergyBalance(c, mach, s)
-		if math.IsInf(eff, 1) {
+		if math.IsInf(float64(eff), 1) {
 			fmt.Printf(", effective balance: unreachable (constant power exceeds ε at peak)\n")
 		} else {
 			fmt.Printf(", effective balance %.2f ops/word\n", eff)

@@ -78,9 +78,9 @@ func main() {
 			run.Input.ID,
 			// The model charges all DP flavors at the DP cost; split the
 			// DP bar by instruction share for display, as the paper does.
-			100*parts.DP/dyn*run.Result.Profiles.Total().DPFMA/dpTotal(run),
-			100*parts.DP/dyn*run.Result.Profiles.Total().DPAdd/dpTotal(run),
-			100*parts.DP/dyn*run.Result.Profiles.Total().DPMul/dpTotal(run),
+			100*float64(parts.DP)/float64(dyn)*run.Result.Profiles.Total().DPFMA/dpTotal(run),
+			100*float64(parts.DP)/float64(dyn)*run.Result.Profiles.Total().DPAdd/dpTotal(run),
+			100*float64(parts.DP)/float64(dyn)*run.Result.Profiles.Total().DPMul/dpTotal(run),
 			100*parts.Int/dyn, 100*parts.SM/dyn, 100*parts.L2/dyn, 100*parts.DRAM/dyn,
 			100*parts.Int/parts.Compute(),
 			100*parts.DRAM/parts.Data())

@@ -67,7 +67,7 @@ func main() {
 		report("race-to-halt pick:", oi)
 		report("measured minimum:", bi)
 		lost := func(i int) float64 {
-			return 100 * (cands[i].MeasuredEnergy - cands[bi].MeasuredEnergy) / cands[bi].MeasuredEnergy
+			return float64(100 * (cands[i].MeasuredEnergy - cands[bi].MeasuredEnergy) / cands[bi].MeasuredEnergy)
 		}
 		fmt.Printf("  energy lost: model %.1f%%, race-to-halt %.1f%%\n\n", lost(mi), lost(oi))
 	}

@@ -19,6 +19,7 @@ import (
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/fmm"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 func main() {
@@ -47,14 +48,15 @@ func main() {
 	s := dvfs.MaxSetting()
 
 	fmt.Println("Per-phase profile and predicted energy at 852/924 MHz:")
-	var totalE, totalT float64
+	var totalE units.Joule
+	var totalT units.Second
 	for _, ph := range fmm.Phases() {
 		p := res.Profiles[ph]
 		if p.Instructions() == 0 && p.Accesses() == 0 {
 			fmt.Printf("  %-5s (empty: tree is %s)\n", ph, "level-uniform or list unused")
 			continue
 		}
-		exec := dev.Execute(tegra.Workload{Profile: p, Occupancy: ph.Occupancy()}, s)
+		exec := dev.Execute(tegra.Workload{Profile: p, Occupancy: units.Ratio(ph.Occupancy())}, s)
 		parts := cal.Model.PredictParts(p, s, exec.Time)
 		totalE += parts.Total()
 		totalT += exec.Time

@@ -19,6 +19,7 @@ import (
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/fmm"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 func main() {
@@ -75,13 +76,13 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, s := range []dvfs.Setting{dvfs.MaxSetting(), dvfs.MustSetting(396, 528)} {
-		var dur float64
+		var dur units.Second
 		for _, ph := range fmm.Phases() {
 			p := res.Profiles[ph]
 			if p.Instructions() == 0 && p.Accesses() == 0 {
 				continue
 			}
-			dur += dev.Execute(tegra.Workload{Profile: p, Occupancy: ph.Occupancy()}, s).Time
+			dur += dev.Execute(tegra.Workload{Profile: p, Occupancy: units.Ratio(ph.Occupancy())}, s).Time
 		}
 		e := cal.Model.Predict(res.Profiles.Total(), s, dur)
 		fmt.Printf("  on TK1 at %v: %.3f s, %.2f J per step\n", s, dur, e)

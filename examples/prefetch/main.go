@@ -19,6 +19,7 @@ import (
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 func main() {
@@ -54,7 +55,7 @@ func main() {
 	fmt.Println("Prefetching what-if (paper §VI):")
 	fmt.Printf("  with prefetch:    %.3f s, %6.2f J\n", scenario.TimeWithPrefetch, v.WithPrefetchJ)
 	fmt.Printf("  without prefetch: %.3f s, %6.2f J\n",
-		scenario.TimeWithPrefetch*scenario.Slowdown, v.WithoutPrefetchJ)
+		float64(scenario.TimeWithPrefetch)*float64(scenario.Slowdown), v.WithoutPrefetchJ)
 	fmt.Printf("\n  disabling prefetch saves %.2f J of DRAM energy but pays %.2f J of\n",
 		v.DRAMSavedJ, v.ConstantPaidJ)
 	fmt.Printf("  constant-power energy from running %.0f%% longer.\n", (scenario.Slowdown-1)*100)
@@ -74,7 +75,7 @@ func main() {
 	fmt.Println("  prefetched data is actually used; below that, turn it off.")
 
 	// The break-even moves with the slowdown penalty.
-	for _, sd := range []float64{1.05, 1.25, 1.6} {
+	for _, sd := range []units.Ratio{1.05, 1.25, 1.6} {
 		sc := scenario
 		sc.Slowdown = sd
 		b, err := cal.Model.PrefetchBreakEven(sc, s)

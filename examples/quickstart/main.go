@@ -16,6 +16,7 @@ import (
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 func main() {
@@ -57,7 +58,7 @@ func main() {
 
 	// 4. Autotune: pick the energy-minimal setting over the whole grid.
 	var best dvfs.Setting
-	bestE := 0.0
+	bestE := units.Joule(0)
 	for i, s := range dvfs.Grid() {
 		exec := dev.Execute(tegra.Workload{Profile: kernel, Occupancy: 0.5}, s)
 		if e := model.Predict(kernel, s, exec.Time); i == 0 || e < bestE {

@@ -17,6 +17,7 @@ import (
 	"dvfsroofline/internal/fmm"
 	"dvfsroofline/internal/nbody"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 func main() {
@@ -71,13 +72,13 @@ func main() {
 	}
 	fmt.Println("Per-step cost on the simulated Jetson TK1 (2 force evaluations/step):")
 	for _, s := range []dvfs.Setting{dvfs.MaxSetting(), dvfs.MustSetting(540, 528)} {
-		var dur float64
+		var dur units.Second
 		for _, ph := range fmm.Phases() {
 			prof := res.Profiles[ph]
 			if prof.Instructions() == 0 && prof.Accesses() == 0 {
 				continue
 			}
-			dur += dev.Execute(tegra.Workload{Profile: prof, Occupancy: ph.Occupancy()}, s).Time
+			dur += dev.Execute(tegra.Workload{Profile: prof, Occupancy: units.Ratio(ph.Occupancy())}, s).Time
 		}
 		e := cal.Model.Predict(res.Profiles.Total(), s, dur)
 		fmt.Printf("  %v: %.3f s and %.2f J per evaluation\n", s, dur, e)

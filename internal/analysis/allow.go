@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -101,6 +102,39 @@ func (idx *AllowIndex) addComment(pos token.Position, text string) {
 		idx.byFileLine[pos.Filename] = lines
 	}
 	lines[pos.Line] = append(lines[pos.Line], d)
+}
+
+// AllowEntry is one well-formed //energylint:allow directive, as
+// surfaced by the -allows audit listing of cmd/energylint.
+type AllowEntry struct {
+	Pos    token.Position
+	Rule   string
+	Reason string
+}
+
+// Entries returns every well-formed allow directive of the package in
+// deterministic (file, line) order, so the escape-hatch inventory can
+// be audited and diffed across CI runs.
+func (idx *AllowIndex) Entries() []AllowEntry {
+	var out []AllowEntry
+	for _, lines := range idx.byFileLine {
+		for _, ds := range lines {
+			for _, d := range ds {
+				out = append(out, AllowEntry{Pos: d.pos, Rule: d.rule, Reason: d.reason})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
 }
 
 // Allowed reports whether a diagnostic of rule at pos is suppressed by a

@@ -125,3 +125,35 @@ func TestBareAllowIsDiagnostic(t *testing.T) {
 		t.Errorf("diagnostic line = %d, want 3", d.Pos.Line)
 	}
 }
+
+// TestAllowEntries checks the -allows enumeration API: well-formed
+// directives come back in (file, line) order with rule and reason;
+// malformed ones are excluded (they are allowdecl diagnostics instead).
+func TestAllowEntries(t *testing.T) {
+	src := `package p
+
+//energylint:allow determinism(clock injected in tests)
+var a = 1
+
+//energylint:allow seedflow(identity mixing happens one call up)
+var b = 2
+
+//energylint:allow
+var c = 3
+`
+	fset, f := parseFixture(t, src)
+	idx := NewAllowIndex(fset, []*ast.File{f})
+	entries := idx.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(entries), entries)
+	}
+	if entries[0].Rule != "determinism" || entries[0].Reason != "clock injected in tests" {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Rule != "seedflow" || entries[1].Pos.Line != 6 {
+		t.Errorf("entry 1 = %+v", entries[1])
+	}
+	if entries[0].Pos.Line >= entries[1].Pos.Line {
+		t.Errorf("entries not in line order: %+v", entries)
+	}
+}

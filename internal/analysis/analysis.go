@@ -139,6 +139,7 @@ func All() []*Analyzer {
 		Errwrap,
 		Seedflow,
 		Unitdoc,
+		Unittypes,
 	}
 }
 

@@ -18,6 +18,15 @@ import (
 // Loops with no calls (pure index arithmetic, slice assembly) and loops
 // ranging over channels (the receive itself is the blocking point, and
 // the sender owns cancellation) are exempt.
+//
+// Consulting the context may also happen one call level deep: a loop
+// that calls a package-local function, method or closure whose own body
+// consults a context — a method on a struct carrying the ctx, or a
+// closure capturing it — is covered, even though the callee takes no
+// ctx parameter. The summary is deliberately one level only (computed
+// from direct context references, never transitively), keeping the
+// analysis predictable: if cancellation is buried deeper than one call,
+// the loop should say so explicitly.
 var Ctxloop = &Analyzer{
 	Name: "ctxloop",
 	Doc:  "loops doing work inside context-taking functions must consult the context",
@@ -26,6 +35,7 @@ var Ctxloop = &Analyzer{
 }
 
 func runCtxloop(pass *Pass) error {
+	consults := ctxConsultingCallees(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			fn, ok := n.(*ast.FuncDecl)
@@ -35,11 +45,55 @@ func runCtxloop(pass *Pass) error {
 			if !hasCtxParam(pass, fn.Type) {
 				return true
 			}
-			checkCtxLoops(pass, fn.Body)
+			checkCtxLoops(pass, fn.Body, consults)
 			return false // checkCtxLoops descends into closures itself
 		})
 	}
 	return nil
+}
+
+// ctxConsultingCallees builds the one-level cross-function summary: the
+// set of package-local functions, methods and closure-holding variables
+// whose body directly references a context value. Calling one of them
+// counts as consulting the context.
+func ctxConsultingCallees(pass *Pass) map[types.Object]bool {
+	consults := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil && referencesContext(pass, d.Body) {
+					if obj := pass.Info.ObjectOf(d.Name); obj != nil {
+						consults[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range d.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(d.Lhs) || !referencesContext(pass, lit.Body) {
+						continue
+					}
+					if id, ok := d.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.ObjectOf(id); obj != nil {
+							consults[obj] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range d.Values {
+					lit, ok := v.(*ast.FuncLit)
+					if !ok || i >= len(d.Names) || !referencesContext(pass, lit.Body) {
+						continue
+					}
+					if obj := pass.Info.ObjectOf(d.Names[i]); obj != nil {
+						consults[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return consults
 }
 
 // hasCtxParam reports whether the signature declares a named, non-blank
@@ -67,37 +121,61 @@ func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
 // checkCtxLoops flags qualifying loops in body, descending into nested
 // closures: a func literal without its own context parameter inherits
 // the obligation (and the captured ctx) of its enclosing function.
-func checkCtxLoops(pass *Pass, body *ast.BlockStmt) {
+func checkCtxLoops(pass *Pass, body *ast.BlockStmt, consults map[types.Object]bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			if hasCtxParam(pass, n.Type) {
-				checkCtxLoops(pass, n.Body)
+				checkCtxLoops(pass, n.Body, consults)
 				return false
 			}
 			return true // keep walking: its loops answer to the outer ctx
 		case *ast.ForStmt:
-			checkOneLoop(pass, n, n.Body)
+			checkOneLoop(pass, n, n.Body, consults)
 		case *ast.RangeStmt:
 			if t := pass.Info.TypeOf(n.X); t != nil {
 				if _, isChan := t.Underlying().(*types.Chan); isChan {
 					return true
 				}
 			}
-			checkOneLoop(pass, n, n.Body)
+			checkOneLoop(pass, n, n.Body, consults)
 		}
 		return true
 	})
 }
 
-func checkOneLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt) {
+func checkOneLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, consults map[types.Object]bool) {
 	if !loopDoesWork(pass, body) {
 		return
 	}
 	if referencesContext(pass, body) {
 		return
 	}
-	pass.Reportf(loop.Pos(), "loop inside a context-taking function never consults a context; check ctx.Err() (or pass ctx to the work) so deadlines and client disconnects stop the loop")
+	if callsCtxConsultingCallee(pass, body, consults) {
+		return
+	}
+	pass.Reportf(loop.Pos(), "loop inside a context-taking function never consults a context; check ctx.Err() (or pass ctx to the work, or call a helper that consults it) so deadlines and client disconnects stop the loop")
+}
+
+// callsCtxConsultingCallee reports whether the loop body calls a
+// summarized package-local callee that consults a context internally.
+func callsCtxConsultingCallee(pass *Pass, body *ast.BlockStmt, consults map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := calleeObject(pass, call); obj != nil && consults[obj] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // loopDoesWork reports whether the loop body contains at least one call

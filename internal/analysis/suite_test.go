@@ -31,6 +31,10 @@ func TestUnitdoc(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Unitdoc, "tegra", "ungated")
 }
 
+func TestUnittypes(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Unittypes, "powermon", "ungated")
+}
+
 func TestAllowdecl(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Allowdecl, "allowpkg")
 }

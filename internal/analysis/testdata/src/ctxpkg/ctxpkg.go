@@ -103,3 +103,71 @@ func closureOwnCtx(ctx context.Context, points []int) func(context.Context) int 
 		return total
 	}
 }
+
+// job carries its context in a field; its methods consult it internally
+// without taking a ctx parameter.
+type job struct{ ctx context.Context }
+
+func (j job) cancelled() bool { return j.ctx.Err() != nil }
+
+// helperDone consults the enclosing package's summarized pattern: the
+// loop never mentions a context, but calling a method that checks one
+// internally qualifies (one-level cross-function summary).
+func helperDone(ctx context.Context, points []int) int {
+	j := job{ctx: ctx}
+	total := 0
+	for _, p := range points {
+		if j.cancelled() {
+			return total
+		}
+		total += work(p)
+	}
+	return total
+}
+
+// closureHelper: a captured-ctx closure held in a variable is
+// summarized the same way.
+func closureHelper(ctx context.Context, points []int) (int, error) {
+	stop := func() error { return ctx.Err() }
+	total := 0
+	for _, p := range points {
+		if err := stop(); err != nil {
+			return 0, err
+		}
+		total += work(p)
+	}
+	return total, nil
+}
+
+// obliviousHelper never consults any context, so calling it does not
+// discharge the obligation.
+func obliviousHelper() bool { return false }
+
+func sweepObliviousHelper(ctx context.Context, points []int) int {
+	total := 0
+	for _, p := range points { // want `loop inside a context-taking function never consults a context`
+		if obliviousHelper() {
+			return total
+		}
+		total += work(p)
+	}
+	return total
+}
+
+// twoLevels: the summary is one level deep by design — a callee that
+// only reaches a context through its own callee does not qualify.
+func viaOblivious(j job) bool { return obliviousThenCtx(j) }
+
+func obliviousThenCtx(j job) bool { return j.cancelled() }
+
+func sweepTwoLevels(ctx context.Context, points []int) int {
+	j := job{ctx: ctx}
+	total := 0
+	for _, p := range points { // want `loop inside a context-taking function never consults a context`
+		if viaOblivious(j) {
+			return total
+		}
+		total += work(p)
+	}
+	return total
+}

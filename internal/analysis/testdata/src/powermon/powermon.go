@@ -1,0 +1,72 @@
+// Package powermon opts into the unittypes analyzer by carrying one of
+// the unit-typed package names: exported API here must use defined
+// quantity types, never raw float64.
+package powermon
+
+// Watt and Second stand in for the internal/units quantity types; any
+// defined float64 type satisfies the rule.
+type (
+	Watt   float64
+	Second float64
+)
+
+// Measurement mixes typed and raw fields; only the raw ones fire.
+type Measurement struct {
+	MeanPower Watt
+	Duration  Second
+	Energy    float64 // want `exported field Measurement\.Energy has raw float64 type`
+	noise     float64
+}
+
+// Trace carries raw float64 inside composite types, which the rule
+// chases through slices, maps, pointers and function types.
+type Trace struct {
+	Samples []float64            // want `exported field Trace\.Samples has raw float64 type`
+	ByName  map[string]float64   // want `exported field Trace\.ByName has raw float64 type`
+	Peak    *float64             // want `exported field Trace\.Peak has raw float64 type`
+	Shape   func(Second) float64 // want `exported field Trace\.Shape has raw float64 type`
+	Typed   []Watt
+}
+
+// Meter is an interface whose exported methods are checked like
+// top-level functions.
+type Meter interface {
+	Read() Watt
+	Raw() float64 // want `exported method Meter\.Raw returns raw float64`
+}
+
+// Integrate takes a raw duration.
+func Integrate(samples []Watt, duration float64) Watt { // want `exported Integrate takes raw float64`
+	_ = duration
+	var sum Watt
+	for _, s := range samples {
+		sum += s
+	}
+	return sum
+}
+
+// Mean returns a raw average.
+func Mean(samples []Watt) float64 { // want `exported Mean returns raw float64`
+	return 0
+}
+
+// Scaled is fully typed end to end and passes.
+func Scaled(p Watt, by Ratio) Watt { return p * Watt(by) }
+
+// Ratio is the sanctioned home for dimensionless values.
+type Ratio float64
+
+// helper is unexported: raw float64 is fine off the exported surface.
+func helper(x float64) float64 { return x }
+
+// meterImpl is an unexported type; its exported-looking methods are
+// unreachable and exempt.
+type meterImpl struct{}
+
+func (meterImpl) Raw() float64 { return 0 }
+
+// Calibrate has an allow directive with a reason; the diagnostic is
+// suppressed but stays auditable.
+//
+//energylint:allow unittypes(tolerance is a pure convergence knob, not a physical quantity)
+func Calibrate(tol float64) error { return nil }

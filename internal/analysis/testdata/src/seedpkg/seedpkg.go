@@ -1,57 +1,98 @@
-// Package seedpkg exercises the seedflow analyzer: seeds derived by
-// arithmetic on loop indices are flagged, identity-derived and
-// constant-offset seeds are not.
+// Package seedpkg exercises the taint-tracking seedflow analyzer:
+// values derived from loop indices must not flow into the RNG
+// constructors, no matter what the variables are called. None of the
+// identifiers here mention "seed" — the rule tracks flow, not names.
 package seedpkg
 
-func positionalSeeds(seed int64, n int) []int64 {
-	out := make([]int64, 0, n)
+import "math/rand"
+
+// positional derives a per-iteration value by arithmetic on the loop
+// index; the value reaches rand.NewSource through an intermediate
+// variable.
+func positional(base int64, n int) []*rand.Rand {
+	var out []*rand.Rand
 	for i := 0; i < n; i++ {
-		out = append(out, seed+int64(i)) // want `seed "seed" combined with loop index "i"`
+		k := base + int64(i)
+		out = append(out, rand.New(rand.NewSource(k))) // want `seed derived from loop index "i" flows into rand\.NewSource`
 	}
 	return out
 }
 
-func rangeSeeds(cfgSeed int64, kinds []string) []int64 {
-	var out []int64
-	for i := range kinds {
-		out = append(out, cfgSeed*int64(i+1)) // want `seed "cfgSeed" combined with loop index "i"`
+// rangeIndex feeds a range index straight into the constructor, with
+// only a conversion in between.
+func rangeIndex(kinds []string) []rand.Source {
+	var out []rand.Source
+	for idx := range kinds {
+		out = append(out, rand.NewSource(int64(idx))) // want `seed derived from loop index "idx" flows into rand\.NewSource`
 	}
 	return out
 }
 
-func xorSeeds(baseSeed int64, rows []int) []int64 {
-	var out []int64
+// reassigned launders the index through two assignments and a compound
+// update; taint survives all of them.
+func reassigned(base int64, rows []int) []rand.Source {
+	var out []rand.Source
 	for r := range rows {
-		out = append(out, baseSeed^int64(r)) // want `seed "baseSeed" combined with loop index "r"`
+		step := int64(r) * 3
+		mixed := base
+		mixed += step
+		out = append(out, rand.NewSource(mixed)) // want `seed derived from loop index "r" flows into rand\.NewSource`
 	}
 	return out
 }
 
 // workerClosure captures the loop index in a closure; the positional
 // seed is just as order-dependent there.
-func workerClosure(seed int64, tasks []string) []func() int64 {
-	var fns []func() int64
+func workerClosure(base int64, tasks []string) []func() *rand.Rand {
+	var fns []func() *rand.Rand
 	for i := range tasks {
-		fns = append(fns, func() int64 {
-			return seed + int64(i) // want `seed "seed" combined with loop index "i"`
+		fns = append(fns, func() *rand.Rand {
+			return rand.New(rand.NewSource(base ^ int64(i))) // want `seed derived from loop index "i" flows into rand\.NewSource`
 		})
 	}
 	return fns
 }
 
-// constantOffset is a stream discriminator: no loop index involved.
-func constantOffset(seed int64) int64 {
-	return seed + 9
+// spawn is a package-local helper whose parameter reaches a sink; calls
+// to it are sinks one level deep.
+func spawn(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(stream))
 }
 
-// identityDerived hands the seed and the unit's identity to a mixing
-// helper instead of doing index arithmetic — the sanctioned pattern.
-func identityDerived(seed int64, names []string) []int64 {
-	out := make([]int64, 0, len(names))
-	for _, name := range names {
-		out = append(out, mix(seed, name))
+// viaHelper passes a loop-derived value through spawn's summarized
+// parameter.
+func viaHelper(base int64, n int) []*rand.Rand {
+	var out []*rand.Rand
+	for i := 0; i < n; i++ {
+		out = append(out, spawn(base*int64(i+1))) // want `seed derived from loop index "i" flows into spawn`
 	}
 	return out
+}
+
+// constantOffset is a stream discriminator: no loop index involved.
+func constantOffset(base int64) rand.Source {
+	return rand.NewSource(base + 9)
+}
+
+// identityDerived hands the base and the unit's identity to a mixing
+// helper instead of doing index arithmetic — the sanctioned pattern.
+// Call results are clean: hashing decouples the seed from position.
+func identityDerived(base int64, names []string) []rand.Source {
+	out := make([]rand.Source, 0, len(names))
+	for _, name := range names {
+		out = append(out, rand.NewSource(mix(base, name)))
+	}
+	return out
+}
+
+// indexElsewhere does arithmetic on the loop index that never reaches a
+// seed sink; accumulators and offsets are not the rule's business.
+func indexElsewhere(vals []int64) int64 {
+	var total int64
+	for i, v := range vals {
+		total += v * int64(i+1)
+	}
+	return total
 }
 
 func mix(base int64, name string) int64 {

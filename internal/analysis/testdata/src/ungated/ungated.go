@@ -1,13 +1,17 @@
 // Package ungated carries no expectation comments at all: every rule
-// that is gated by package name (unitdoc, the map-order sub-rule of
-// determinism) must stay completely silent here.
+// that is gated by package name (unitdoc, unittypes, the map-order
+// sub-rule of determinism) must stay completely silent here.
 package ungated
 
 // Quantity has an exported float64 with no unit suffix; unitdoc is
-// gated to tegra/core/serve.
+// gated to tegra/core/serve, unittypes to core/tegra/serve/powermon/dvfs.
 type Quantity struct {
 	Amount float64
 }
+
+// Raw returns raw float64 from an exported function; unittypes stays
+// quiet outside its gate.
+func Raw(q Quantity) float64 { return q.Amount }
 
 // keys appends under a map range; the map-order rule is gated to the
 // measurement and experiment packages.

@@ -21,6 +21,14 @@ var unitPkgs = map[string]bool{"tegra": true, "core": true, "serve": true}
 // pJ/J/W across one struct; a silently mislabeled field is exactly the
 // class of bug an energy-model reproduction cannot detect numerically,
 // because the fit will happily absorb it.
+//
+// Deprecated: in the unit-typed packages (see unittypes) the quantity
+// types of internal/units carry the unit in the type system itself, so
+// this naming convention is subsumed there — a units.Joule field is
+// invisible to unitdoc (its type is no longer basic float64) and needs
+// no "…J" suffix. The rule stays in the suite only to police any raw
+// float64 that slips past migration with a misleadingly mute name; new
+// code should satisfy unittypes instead.
 var Unitdoc = &Analyzer{
 	Name: "unitdoc",
 	Doc:  "exported float64 fields and params in tegra/core/serve must name their unit",

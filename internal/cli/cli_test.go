@@ -24,11 +24,11 @@ func modelsClose(t *testing.T, got, want *core.Model) {
 		name      string
 		got, want float64
 	}{
-		{"SPpJ", got.SPpJ, want.SPpJ}, {"DPpJ", got.DPpJ, want.DPpJ},
-		{"IntpJ", got.IntpJ, want.IntpJ}, {"SMpJ", got.SMpJ, want.SMpJ},
-		{"L2pJ", got.L2pJ, want.L2pJ}, {"DRAMpJ", got.DRAMpJ, want.DRAMpJ},
-		{"C1Proc", got.C1Proc, want.C1Proc}, {"C1Mem", got.C1Mem, want.C1Mem},
-		{"PMisc", got.PMisc, want.PMisc},
+		{"SPpJ", float64(got.SPpJ), float64(want.SPpJ)}, {"DPpJ", float64(got.DPpJ), float64(want.DPpJ)},
+		{"IntpJ", float64(got.IntpJ), float64(want.IntpJ)}, {"SMpJ", float64(got.SMpJ), float64(want.SMpJ)},
+		{"L2pJ", float64(got.L2pJ), float64(want.L2pJ)}, {"DRAMpJ", float64(got.DRAMpJ), float64(want.DRAMpJ)},
+		{"C1Proc", float64(got.C1Proc), float64(want.C1Proc)}, {"C1Mem", float64(got.C1Mem), float64(want.C1Mem)},
+		{"PMisc", float64(got.PMisc), float64(want.PMisc)},
 	}
 	for _, p := range pairs {
 		if diff := math.Abs(p.got - p.want); diff > 1e-6*(1+math.Abs(p.want)) {

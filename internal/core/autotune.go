@@ -6,6 +6,7 @@ import (
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/stats"
+	"dvfsroofline/internal/units"
 )
 
 // Candidate is one DVFS configuration of a kernel in an autotuning sweep:
@@ -15,8 +16,8 @@ import (
 type Candidate struct {
 	Setting        dvfs.Setting
 	Profile        counters.Profile
-	Time           float64
-	MeasuredEnergy float64
+	Time           units.Second
+	MeasuredEnergy units.Joule
 }
 
 // PickModelMinEnergy returns the index of the candidate the model
@@ -25,7 +26,7 @@ func (m *Model) PickModelMinEnergy(cands []Candidate) int {
 	if len(cands) == 0 {
 		panic("core: empty candidate list")
 	}
-	best, bestE := 0, 0.0
+	best, bestE := 0, units.Joule(0)
 	for i, c := range cands {
 		e := m.Predict(c.Profile, c.Setting, c.Time)
 		if i == 0 || e < bestE {
@@ -78,10 +79,10 @@ func PickMeasuredMin(cands []Candidate) int {
 
 // TuneOutcome scores one strategy on one kernel sweep.
 type TuneOutcome struct {
-	Pick       int     // candidate index the strategy chose
-	Best       int     // candidate index with measured-minimum energy
-	Mispredict bool    // strategy picked a non-minimal configuration
-	EnergyLost float64 // fraction of extra energy over the measured minimum
+	Pick       int         // candidate index the strategy chose
+	Best       int         // candidate index with measured-minimum energy
+	Mispredict bool        // strategy picked a non-minimal configuration
+	EnergyLost units.Ratio // fraction of extra energy over the measured minimum
 }
 
 // scoreOutcome evaluates a pick against the measured minimum.
@@ -92,7 +93,7 @@ func scoreOutcome(cands []Candidate, pick int) TuneOutcome {
 	pickE := cands[pick].MeasuredEnergy
 	if pickE > minE {
 		out.Mispredict = true
-		out.EnergyLost = (pickE - minE) / minE
+		out.EnergyLost = units.Ratio((pickE - minE) / minE)
 	}
 	return out
 }
@@ -137,7 +138,7 @@ func EvaluateStrategy(sweeps [][]Candidate, pick Picker) StrategyStats {
 		out.Cases++
 		if o.Mispredict {
 			out.Mispredictions++
-			losses = append(losses, o.EnergyLost)
+			losses = append(losses, float64(o.EnergyLost))
 		}
 	}
 	out.Lost = stats.Summarize(losses)

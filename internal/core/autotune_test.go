@@ -6,6 +6,7 @@ import (
 
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/units"
 )
 
 // syntheticSweep builds a three-candidate sweep where candidate 1 is the
@@ -40,10 +41,10 @@ func TestPickModelMinEnergyUsesPrediction(t *testing.T) {
 	p := counters.Profile{SP: 1e9, DRAMWords: 2e8}
 	sweep := make([]Candidate, 0, 3)
 	for _, cfg := range [][3]float64{{852, 924, 0.10}, {540, 528, 0.18}, {72, 68, 1.4}} {
-		s := dvfs.MustSetting(cfg[0], cfg[1])
+		s := dvfs.MustSetting(units.MegaHertz(cfg[0]), units.MegaHertz(cfg[1]))
 		sweep = append(sweep, Candidate{
-			Setting: s, Profile: p, Time: cfg[2],
-			MeasuredEnergy: m.Predict(p, s, cfg[2]),
+			Setting: s, Profile: p, Time: units.Second(cfg[2]),
+			MeasuredEnergy: m.Predict(p, s, units.Second(cfg[2])),
 		})
 	}
 	pick := m.PickModelMinEnergy(sweep)

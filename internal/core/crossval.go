@@ -4,12 +4,13 @@ import (
 	"fmt"
 
 	"dvfsroofline/internal/stats"
+	"dvfsroofline/internal/units"
 )
 
 // CVResult reports a cross-validation run: the per-test-sample relative
 // errors (as fractions, not percent) and their summary.
 type CVResult struct {
-	Errors  []float64
+	Errors  []units.Ratio
 	Summary stats.Summary
 }
 
@@ -42,10 +43,14 @@ func validateFolds(samples []Sample, folds []stats.Fold) (CVResult, error) {
 		for _, idx := range fold.Test {
 			s := samples[idx]
 			pred := m.Predict(s.Profile, s.Setting, s.Time)
-			errs = append(errs, stats.RelErr(pred, s.Energy))
+			errs = append(errs, stats.RelErr(float64(pred), float64(s.Energy)))
 		}
 	}
-	return CVResult{Errors: errs, Summary: stats.Summarize(errs)}, nil
+	typed := make([]units.Ratio, len(errs))
+	for i, e := range errs {
+		typed[i] = units.Ratio(e)
+	}
+	return CVResult{Errors: typed, Summary: stats.Summarize(errs)}, nil
 }
 
 // HoldoutValidate performs the paper's 2-fold "holdout method" (§II-D):

@@ -13,6 +13,10 @@
 // over measured samples (§II-C), energy prediction and per-component
 // breakdowns (§IV), cross-validation (§II-D), and the energy autotuner
 // with its race-to-halt "time oracle" baseline (§II-E).
+//
+// Every physical quantity is carried in the defined types of
+// internal/units, so a Watt handed where a Joule belongs is a compile
+// error (enforced repo-wide by the energylint unittypes rule).
 package core
 
 import (
@@ -23,6 +27,7 @@ import (
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/linalg"
 	"dvfsroofline/internal/nnls"
+	"dvfsroofline/internal/units"
 )
 
 // Sample is one training/validation observation: an operation profile
@@ -32,35 +37,33 @@ import (
 type Sample struct {
 	Profile counters.Profile
 	Setting dvfs.Setting
-	Time    float64 // seconds, measured
-	Energy  float64 // joules, measured
+	Time    units.Second // measured
+	Energy  units.Joule  // measured
 }
 
 // Validate reports an error for samples the fit cannot consume.
 func (s Sample) Validate() error {
 	if s.Time <= 0 {
-		return fmt.Errorf("core: sample has non-positive time %g", s.Time)
+		return fmt.Errorf("core: sample has non-positive time %g", float64(s.Time))
 	}
 	if s.Energy <= 0 {
-		return fmt.Errorf("core: sample has non-positive energy %g", s.Energy)
+		return fmt.Errorf("core: sample has non-positive energy %g", float64(s.Energy))
 	}
 	return nil
 }
 
-// Model holds the fitted constants of Eq. 9. Dynamic coefficients are in
-// picojoules per operation per volt²; leakage coefficients in watts per
-// volt; PMisc in watts.
+// Model holds the fitted constants of Eq. 9.
 type Model struct {
-	SPpJ   float64 // ĉ0 for single-precision flops
-	DPpJ   float64 // ĉ0 for double-precision flops (FMA, add and mul alike)
-	IntpJ  float64 // ĉ0 for integer instructions
-	SMpJ   float64 // ĉ0 for shared-memory/L1 words (one SRAM on Kepler)
-	L2pJ   float64 // ĉ0 for L2 words
-	DRAMpJ float64 // ĉ0 for DRAM words (scales with the memory voltage)
+	SPpJ   units.PicoJoulePerOpPerVoltSq // ĉ0 for single-precision flops
+	DPpJ   units.PicoJoulePerOpPerVoltSq // ĉ0 for double-precision flops (FMA, add and mul alike)
+	IntpJ  units.PicoJoulePerOpPerVoltSq // ĉ0 for integer instructions
+	SMpJ   units.PicoJoulePerOpPerVoltSq // ĉ0 for shared-memory/L1 words (one SRAM on Kepler)
+	L2pJ   units.PicoJoulePerOpPerVoltSq // ĉ0 for L2 words
+	DRAMpJ units.PicoJoulePerOpPerVoltSq // ĉ0 for DRAM words (scales with the memory voltage)
 
-	C1Proc float64 // processor leakage coefficient, W/V
-	C1Mem  float64 // memory leakage coefficient, W/V
-	PMisc  float64 // operation-independent miscellaneous power, W
+	C1Proc units.WattPerVolt // processor leakage coefficient
+	C1Mem  units.WattPerVolt // memory leakage coefficient
+	PMisc  units.Watt        // operation-independent miscellaneous power
 }
 
 // ErrTooFewSamples is returned when the training set cannot identify the
@@ -71,9 +74,12 @@ const numCoeffs = 9
 
 // designRow fills one row of the Eq. 9 design matrix. Count columns carry
 // a 1e-12 scale so the fitted dynamic coefficients come out in pJ/V².
+// The row is dimensionally heterogeneous by construction (counts·V²
+// against V·s and s columns), so it stays raw float64 like the NNLS
+// solution vector it pairs with.
 func designRow(row []float64, p counters.Profile, s dvfs.Setting, time float64) {
-	vp := s.Core.Volts()
-	vm := s.Mem.Volts()
+	vp := float64(s.Core.Volts())
+	vm := float64(s.Mem.Volts())
 	vp2, vm2 := vp*vp, vm*vm
 	const scale = 1e-12
 	row[0] = p.SP * vp2 * scale
@@ -95,12 +101,12 @@ func Fit(samples []Sample) (*Model, error) {
 		return nil, ErrTooFewSamples
 	}
 	a := linalg.NewMatrix(len(samples), numCoeffs)
-	b := make([]float64, len(samples))
+	b := make([]units.Joule, len(samples))
 	for i, s := range samples {
 		if err := s.Validate(); err != nil {
 			return nil, fmt.Errorf("sample %d: %w", i, err)
 		}
-		designRow(a.Row(i), s.Profile, s.Setting, s.Time)
+		designRow(a.Row(i), s.Profile, s.Setting, float64(s.Time))
 		b[i] = s.Energy
 	}
 	res, err := nnls.Solve(a, b, 0)
@@ -109,79 +115,85 @@ func Fit(samples []Sample) (*Model, error) {
 	}
 	x := res.X
 	return &Model{
-		SPpJ: x[0], DPpJ: x[1], IntpJ: x[2], SMpJ: x[3], L2pJ: x[4], DRAMpJ: x[5],
-		C1Proc: x[6], C1Mem: x[7], PMisc: x[8],
+		SPpJ:   units.PicoJoulePerOpPerVoltSq(x[0]),
+		DPpJ:   units.PicoJoulePerOpPerVoltSq(x[1]),
+		IntpJ:  units.PicoJoulePerOpPerVoltSq(x[2]),
+		SMpJ:   units.PicoJoulePerOpPerVoltSq(x[3]),
+		L2pJ:   units.PicoJoulePerOpPerVoltSq(x[4]),
+		DRAMpJ: units.PicoJoulePerOpPerVoltSq(x[5]),
+		C1Proc: units.WattPerVolt(x[6]),
+		C1Mem:  units.WattPerVolt(x[7]),
+		PMisc:  units.Watt(x[8]),
 	}, nil
 }
 
-// Eps returns the model's per-operation energies at a setting, in
-// picojoules — one derived row of the paper's Table I.
+// Eps returns the model's per-operation energies at a setting — one
+// derived row of the paper's Table I.
 type Eps struct {
-	SP, DP, Int, SM, L2, DRAM float64 // pJ per operation
-	ConstPower                float64 // W
+	SP, DP, Int, SM, L2, DRAM units.PicoJoulePerOp
+	ConstPower                units.Watt
 }
 
 // EpsAt evaluates the per-operation energy costs at setting s
 // (Eqs. 6–8): ε = ĉ0·V² with the processor voltage for on-chip classes
 // and the memory voltage for DRAM.
 func (m *Model) EpsAt(s dvfs.Setting) Eps {
-	vp := s.Core.Volts()
-	vm := s.Mem.Volts()
-	vp2, vm2 := vp*vp, vm*vm
+	vp2 := s.Core.Volts().Squared()
+	vm2 := s.Mem.Volts().Squared()
 	return Eps{
-		SP:         m.SPpJ * vp2,
-		DP:         m.DPpJ * vp2,
-		Int:        m.IntpJ * vp2,
-		SM:         m.SMpJ * vp2,
-		L2:         m.L2pJ * vp2,
-		DRAM:       m.DRAMpJ * vm2,
+		SP:         m.SPpJ.At(vp2),
+		DP:         m.DPpJ.At(vp2),
+		Int:        m.IntpJ.At(vp2),
+		SM:         m.SMpJ.At(vp2),
+		L2:         m.L2pJ.At(vp2),
+		DRAM:       m.DRAMpJ.At(vm2),
 		ConstPower: m.ConstPower(s),
 	}
 }
 
 // ConstPower returns the model's constant power π0 at setting s (Eq. 8).
-func (m *Model) ConstPower(s dvfs.Setting) float64 {
-	return m.C1Proc*s.Core.Volts() + m.C1Mem*s.Mem.Volts() + m.PMisc
+func (m *Model) ConstPower(s dvfs.Setting) units.Watt {
+	return m.C1Proc.At(s.Core.Volts()) + m.C1Mem.At(s.Mem.Volts()) + m.PMisc
 }
 
-// Parts is an energy prediction decomposed by component, in joules. It
-// is the data behind the paper's Figures 6 and 7.
+// Parts is an energy prediction decomposed by component. It is the data
+// behind the paper's Figures 6 and 7.
 type Parts struct {
-	SP, DP, Int  float64 // computation instructions
-	SM, L2, DRAM float64 // data movement (SM includes L1)
-	Constant     float64 // π0 · T
+	SP, DP, Int  units.Joule // computation instructions
+	SM, L2, DRAM units.Joule // data movement (SM includes L1)
+	Constant     units.Joule // π0 · T
 }
 
 // Total returns the summed predicted energy.
-func (p Parts) Total() float64 {
+func (p Parts) Total() units.Joule {
 	return p.SP + p.DP + p.Int + p.SM + p.L2 + p.DRAM + p.Constant
 }
 
 // Compute returns the computation-instruction energy (Figure 7's
 // "Computation" bar).
-func (p Parts) Compute() float64 { return p.SP + p.DP + p.Int }
+func (p Parts) Compute() units.Joule { return p.SP + p.DP + p.Int }
 
 // Data returns the data-movement energy (Figure 7's "Data" bar).
-func (p Parts) Data() float64 { return p.SM + p.L2 + p.DRAM }
+func (p Parts) Data() units.Joule { return p.SM + p.L2 + p.DRAM }
 
 // PredictParts predicts the energy of executing profile p at setting s
 // with measured execution time t, decomposed by component.
-func (m *Model) PredictParts(p counters.Profile, s dvfs.Setting, t float64) Parts {
+func (m *Model) PredictParts(p counters.Profile, s dvfs.Setting, t units.Second) Parts {
 	e := m.EpsAt(s)
 	const pJ = 1e-12
 	return Parts{
-		SP:       p.SP * e.SP * pJ,
-		DP:       (p.DPFMA + p.DPAdd + p.DPMul) * e.DP * pJ,
-		Int:      p.Int * e.Int * pJ,
-		SM:       (p.SharedWords + p.L1Words) * e.SM * pJ,
-		L2:       p.L2Words * e.L2 * pJ,
-		DRAM:     p.DRAMWords * e.DRAM * pJ,
-		Constant: e.ConstPower * t,
+		SP:       units.Joule(p.SP * float64(e.SP) * pJ),
+		DP:       units.Joule((p.DPFMA + p.DPAdd + p.DPMul) * float64(e.DP) * pJ),
+		Int:      units.Joule(p.Int * float64(e.Int) * pJ),
+		SM:       units.Joule((p.SharedWords + p.L1Words) * float64(e.SM) * pJ),
+		L2:       units.Joule(p.L2Words * float64(e.L2) * pJ),
+		DRAM:     units.Joule(p.DRAMWords * float64(e.DRAM) * pJ),
+		Constant: units.Energy(e.ConstPower, t),
 	}
 }
 
-// Predict returns the total predicted energy in joules for profile p at
-// setting s with measured time t (Eq. 9 with the fitted constants).
-func (m *Model) Predict(p counters.Profile, s dvfs.Setting, t float64) float64 {
+// Predict returns the total predicted energy for profile p at setting s
+// with measured time t (Eq. 9 with the fitted constants).
+func (m *Model) Predict(p counters.Profile, s dvfs.Setting, t units.Second) units.Joule {
 	return m.PredictParts(p, s, t).Total()
 }

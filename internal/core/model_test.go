@@ -9,6 +9,7 @@ import (
 	"dvfsroofline/internal/microbench"
 	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // knownModel returns a model with the paper's Table I ground-truth
@@ -74,14 +75,14 @@ func TestFitRecoversGroundTruthOnIdealDevice(t *testing.T) {
 		got, want float64
 		tol       float64
 	}{
-		{"SPpJ", m.SPpJ, want.SPpJ, 0.02},
-		{"DPpJ", m.DPpJ, want.DPpJ, 0.02},
-		{"IntpJ", m.IntpJ, want.IntpJ, 0.02},
-		{"SMpJ", m.SMpJ, want.SMpJ, 0.02},
-		{"L2pJ", m.L2pJ, want.L2pJ, 0.02},
-		{"DRAMpJ", m.DRAMpJ, want.DRAMpJ, 0.02},
-		{"C1Proc", m.C1Proc, want.C1Proc, 0.10},
-		{"C1Mem", m.C1Mem, want.C1Mem, 0.10},
+		{"SPpJ", float64(m.SPpJ), float64(want.SPpJ), 0.02},
+		{"DPpJ", float64(m.DPpJ), float64(want.DPpJ), 0.02},
+		{"IntpJ", float64(m.IntpJ), float64(want.IntpJ), 0.02},
+		{"SMpJ", float64(m.SMpJ), float64(want.SMpJ), 0.02},
+		{"L2pJ", float64(m.L2pJ), float64(want.L2pJ), 0.02},
+		{"DRAMpJ", float64(m.DRAMpJ), float64(want.DRAMpJ), 0.02},
+		{"C1Proc", float64(m.C1Proc), float64(want.C1Proc), 0.10},
+		{"C1Mem", float64(m.C1Mem), float64(want.C1Mem), 0.10},
 	}
 	for _, c := range checks {
 		if rel := math.Abs(c.got-c.want) / c.want; rel > c.tol {
@@ -101,12 +102,12 @@ func TestFitOnNoisyDeviceStaysCalibrated(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := knownModel()
-	pairs := [][2]float64{
+	pairs := [][2]units.PicoJoulePerOpPerVoltSq{
 		{m.SPpJ, want.SPpJ}, {m.DPpJ, want.DPpJ}, {m.IntpJ, want.IntpJ},
 		{m.SMpJ, want.SMpJ}, {m.L2pJ, want.L2pJ}, {m.DRAMpJ, want.DRAMpJ},
 	}
 	for i, p := range pairs {
-		if rel := math.Abs(p[0]-p[1]) / p[1]; rel > 0.18 {
+		if rel := math.Abs(float64(p[0]-p[1])) / float64(p[1]); rel > 0.18 {
 			t.Errorf("coefficient %d: got %v, want %v (rel %.3f)", i, p[0], p[1], rel)
 		}
 	}
@@ -121,9 +122,9 @@ func TestEpsAtReproducesTableIRows(t *testing.T) {
 		name      string
 		got, want float64
 	}{
-		{"SP", e.SP, 29.0}, {"DP", e.DP, 139.1}, {"Int", e.Int, 60.0},
-		{"SM", e.SM, 35.4}, {"L2", e.L2, 90.2}, {"DRAM", e.DRAM, 377.0},
-		{"pi0", e.ConstPower, 6.8},
+		{"SP", float64(e.SP), 29.0}, {"DP", float64(e.DP), 139.1}, {"Int", float64(e.Int), 60.0},
+		{"SM", float64(e.SM), 35.4}, {"L2", float64(e.L2), 90.2}, {"DRAM", float64(e.DRAM), 377.0},
+		{"pi0", float64(e.ConstPower), 6.8},
 	}
 	for _, r := range rows {
 		if math.Abs(r.got-r.want) > 0.1 {
@@ -131,7 +132,7 @@ func TestEpsAtReproducesTableIRows(t *testing.T) {
 		}
 	}
 	e = m.EpsAt(dvfs.MustSetting(396, 204))
-	if math.Abs(e.SP-16.2) > 0.1 || math.Abs(e.DRAM-236.5) > 0.1 || math.Abs(e.ConstPower-5.2) > 0.1 {
+	if math.Abs(float64(e.SP)-16.2) > 0.1 || math.Abs(float64(e.DRAM)-236.5) > 0.1 || math.Abs(float64(e.ConstPower)-5.2) > 0.1 {
 		t.Errorf("396/204 row wrong: %+v", e)
 	}
 }
@@ -140,12 +141,12 @@ func TestPredictMatchesHandComputation(t *testing.T) {
 	m := knownModel()
 	s := dvfs.MustSetting(852, 924)
 	p := counters.Profile{DPFMA: 1e9, Int: 2e9, DRAMWords: 1e8}
-	tm := 0.5
+	tm := units.Second(0.5)
 	e := m.EpsAt(s)
-	want := (1e9*e.DP + 2e9*e.Int + 1e8*e.DRAM) * 1e-12 // dynamic
-	want += e.ConstPower * tm
+	want := (1e9*float64(e.DP) + 2e9*float64(e.Int) + 1e8*float64(e.DRAM)) * 1e-12 // dynamic
+	want += float64(e.ConstPower) * float64(tm)
 	got := m.Predict(p, s, tm)
-	if math.Abs(got-want)/want > 1e-12 {
+	if math.Abs(float64(got)-want)/want > 1e-12 {
 		t.Errorf("Predict = %v, want %v", got, want)
 	}
 }
@@ -156,7 +157,7 @@ func TestPartsSumToTotal(t *testing.T) {
 		SharedWords: 3e8, L1Words: 1e8, L2Words: 5e7, DRAMWords: 2e7}
 	parts := m.PredictParts(p, dvfs.MustSetting(540, 528), 0.7)
 	sum := parts.Compute() + parts.Data() + parts.Constant
-	if math.Abs(sum-parts.Total())/parts.Total() > 1e-12 {
+	if math.Abs(float64(sum-parts.Total()))/float64(parts.Total()) > 1e-12 {
 		t.Errorf("Compute+Data+Constant = %v != Total %v", sum, parts.Total())
 	}
 	if parts.Constant <= 0 || parts.DP <= 0 || parts.SM <= 0 {
@@ -169,7 +170,7 @@ func TestL1ChargedAtSharedCost(t *testing.T) {
 	s := dvfs.MustSetting(852, 924)
 	a := m.Predict(counters.Profile{SharedWords: 1e9, SP: 1}, s, 0.1)
 	b := m.Predict(counters.Profile{L1Words: 1e9, SP: 1}, s, 0.1)
-	if math.Abs(a-b)/a > 1e-12 {
+	if math.Abs(float64(a-b))/float64(a) > 1e-12 {
 		t.Errorf("L1 words charged differently from shared words: %v vs %v", a, b)
 	}
 }
@@ -195,14 +196,14 @@ func TestPredictionEquationMatchesEq9Form(t *testing.T) {
 	p := counters.Profile{DPFMA: 1e9, Int: 1e9, L2Words: 1e8, DRAMWords: 1e7}
 	base := m.PredictParts(p, s, 1.0)
 	doubleOps := m.PredictParts(p.Scale(2), s, 1.0)
-	if math.Abs(doubleOps.Compute()+doubleOps.Data()-2*(base.Compute()+base.Data())) > 1e-9 {
+	if math.Abs(float64(doubleOps.Compute()+doubleOps.Data()-2*(base.Compute()+base.Data()))) > 1e-9 {
 		t.Error("dynamic energy not linear in operation counts")
 	}
 	if doubleOps.Constant != base.Constant {
 		t.Error("constant energy should not depend on counts")
 	}
 	doubleTime := m.PredictParts(p, s, 2.0)
-	if math.Abs(doubleTime.Constant-2*base.Constant) > 1e-12 {
+	if math.Abs(float64(doubleTime.Constant-2*base.Constant)) > 1e-12 {
 		t.Error("constant energy not linear in time")
 	}
 	if doubleTime.Compute() != base.Compute() {
@@ -232,7 +233,10 @@ func TestFitDegenerateSingleSetting(t *testing.T) {
 	if err != nil {
 		t.Fatalf("degenerate fit failed: %v", err)
 	}
-	for _, c := range []float64{m.SPpJ, m.DPpJ, m.IntpJ, m.SMpJ, m.L2pJ, m.DRAMpJ, m.C1Proc, m.C1Mem, m.PMisc} {
+	for _, c := range []float64{
+		float64(m.SPpJ), float64(m.DPpJ), float64(m.IntpJ), float64(m.SMpJ), float64(m.L2pJ), float64(m.DRAMpJ),
+		float64(m.C1Proc), float64(m.C1Mem), float64(m.PMisc),
+	} {
 		if c < 0 {
 			t.Fatalf("negative coefficient in degenerate fit: %+v", *m)
 		}
@@ -240,7 +244,7 @@ func TestFitDegenerateSingleSetting(t *testing.T) {
 	// In-sample predictions must still be accurate.
 	var worst float64
 	for _, smp := range samples {
-		rel := math.Abs(m.Predict(smp.Profile, smp.Setting, smp.Time)-smp.Energy) / smp.Energy
+		rel := math.Abs(float64(m.Predict(smp.Profile, smp.Setting, smp.Time)-smp.Energy)) / float64(smp.Energy)
 		if rel > worst {
 			worst = rel
 		}

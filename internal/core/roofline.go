@@ -6,6 +6,7 @@ import (
 
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/units"
 )
 
 // This file implements the energy-roofline analysis the DVFS-aware model
@@ -46,8 +47,8 @@ func (c OpClass) String() string {
 // peak DRAM word bandwidth. (The energy-side costs come from the fitted
 // Model.)
 type Machine struct {
-	OpsPerSec   float64 // peak throughput of the op class, ops/s
-	WordsPerSec float64 // peak DRAM bandwidth, 32-bit words/s
+	OpsPerSec   units.OpsPerSecond   // peak throughput of the op class
+	WordsPerSec units.WordsPerSecond // peak DRAM bandwidth, 32-bit words
 }
 
 // Validate reports an error for non-physical machines.
@@ -61,12 +62,12 @@ func (m Machine) Validate() error {
 // TimeBalance returns B_τ, the arithmetic intensity (ops per word) at
 // which execution time transitions from memory- to compute-bound:
 // below it the kernel is bandwidth-limited.
-func (m Machine) TimeBalance() float64 {
-	return m.OpsPerSec / m.WordsPerSec
+func (m Machine) TimeBalance() units.OpsPerWord {
+	return units.OpsPerWord(float64(m.OpsPerSec) / float64(m.WordsPerSec))
 }
 
-// epsOf returns the model's per-op energy (pJ) for the class at s.
-func (m *Model) epsOf(c OpClass, s dvfs.Setting) float64 {
+// epsOf returns the model's per-op energy for the class at s.
+func (m *Model) epsOf(c OpClass, s dvfs.Setting) units.PicoJoulePerOp {
 	e := m.EpsAt(s)
 	switch c {
 	case ClassSP:
@@ -83,47 +84,48 @@ func (m *Model) epsOf(c OpClass, s dvfs.Setting) float64 {
 // EnergyBalance returns B_ε, the intensity at which a kernel spends as
 // much energy on DRAM traffic as on operations: ε_mem / ε_op. Below it,
 // data movement dominates the kernel's dynamic energy.
-func (m *Model) EnergyBalance(c OpClass, s dvfs.Setting) float64 {
+func (m *Model) EnergyBalance(c OpClass, s dvfs.Setting) units.OpsPerWord {
 	e := m.EpsAt(s)
-	return e.DRAM / m.epsOf(c, s)
+	return units.OpsPerWord(e.DRAM / m.epsOf(c, s))
 }
 
 // RooflinePoint is one sample of the energy roofline curves at a given
 // arithmetic intensity, all per-op quantities normalized per operation.
 type RooflinePoint struct {
-	Intensity float64 // ops per DRAM word
+	Intensity units.OpsPerWord
 
-	TimePerOp   float64 // seconds, max(1/peak, 1/(I*BW))
-	OpsPerSec   float64 // attained performance (the classic roofline)
-	EnergyPerOp float64 // joules: ε_op + ε_mem/I + π0·TimePerOp
-	OpsPerJoule float64 // attained energy efficiency (the energy roofline)
-	Power       float64 // watts: EnergyPerOp / TimePerOp
+	TimePerOp   units.Second       // max(1/peak, 1/(I*BW))
+	OpsPerSec   units.OpsPerSecond // attained performance (the classic roofline)
+	EnergyPerOp units.JoulePerOp   // ε_op + ε_mem/I + π0·TimePerOp
+	OpsPerJoule units.OpsPerJoule  // attained energy efficiency (the energy roofline)
+	Power       units.Watt         // EnergyPerOp / TimePerOp
 }
 
 // RooflineAt evaluates the roofline curves for intensity I at setting s.
-func (m *Model) RooflineAt(c OpClass, mach Machine, s dvfs.Setting, intensity float64) RooflinePoint {
+func (m *Model) RooflineAt(c OpClass, mach Machine, s dvfs.Setting, intensity units.OpsPerWord) RooflinePoint {
 	if err := mach.Validate(); err != nil {
 		panic(err)
 	}
 	if intensity <= 0 {
-		panic(fmt.Sprintf("core: non-positive intensity %g", intensity))
+		panic(fmt.Sprintf("core: non-positive intensity %g", float64(intensity)))
 	}
 	const pJ = 1e-12
 	e := m.EpsAt(s)
-	tOp := math.Max(1/mach.OpsPerSec, 1/(intensity*mach.WordsPerSec))
-	eOp := m.epsOf(c, s)*pJ + e.DRAM*pJ/intensity + e.ConstPower*tOp
+	inten := float64(intensity)
+	tOp := math.Max(1/float64(mach.OpsPerSec), 1/(inten*float64(mach.WordsPerSec)))
+	eOp := float64(m.epsOf(c, s))*pJ + float64(e.DRAM)*pJ/inten + float64(e.ConstPower)*tOp
 	return RooflinePoint{
 		Intensity:   intensity,
-		TimePerOp:   tOp,
-		OpsPerSec:   1 / tOp,
-		EnergyPerOp: eOp,
-		OpsPerJoule: 1 / eOp,
-		Power:       eOp / tOp,
+		TimePerOp:   units.Second(tOp),
+		OpsPerSec:   units.OpsPerSecond(1 / tOp),
+		EnergyPerOp: units.JoulePerOp(eOp),
+		OpsPerJoule: units.OpsPerJoule(1 / eOp),
+		Power:       units.Watt(eOp / tOp),
 	}
 }
 
 // Roofline samples the curves at the given intensities.
-func (m *Model) Roofline(c OpClass, mach Machine, s dvfs.Setting, intensities []float64) []RooflinePoint {
+func (m *Model) Roofline(c OpClass, mach Machine, s dvfs.Setting, intensities []units.OpsPerWord) []RooflinePoint {
 	out := make([]RooflinePoint, len(intensities))
 	for i, x := range intensities {
 		out[i] = m.RooflineAt(c, mach, s, x)
@@ -137,22 +139,22 @@ func (m *Model) Roofline(c OpClass, mach Machine, s dvfs.Setting, intensities []
 // EnergyBalance it accounts for constant power, which shifts the balance
 // right on platforms with high idle power — the effect that makes
 // race-to-halt nearly optimal for the paper's FMM.
-func (m *Model) EffectiveEnergyBalance(c OpClass, mach Machine, s dvfs.Setting) float64 {
+func (m *Model) EffectiveEnergyBalance(c OpClass, mach Machine, s dvfs.Setting) units.OpsPerWord {
 	const pJ = 1e-12
 	e := m.EpsAt(s)
-	opE := m.epsOf(c, s) * pJ
+	opE := float64(m.epsOf(c, s)) * pJ
 	// Solve ε_mem/I + π0·t(I) = ε_op by bisection on I; the left side is
 	// strictly decreasing in I.
 	nonOp := func(i float64) float64 {
-		tOp := math.Max(1/mach.OpsPerSec, 1/(i*mach.WordsPerSec))
-		return e.DRAM*pJ/i + e.ConstPower*tOp
+		tOp := math.Max(1/float64(mach.OpsPerSec), 1/(i*float64(mach.WordsPerSec)))
+		return float64(e.DRAM)*pJ/i + float64(e.ConstPower)*tOp
 	}
 	lo, hi := 1e-6, 1e9
 	if nonOp(hi) > opE {
-		return math.Inf(1) // constant power alone exceeds op energy
+		return units.OpsPerWord(math.Inf(1)) // constant power alone exceeds op energy
 	}
 	if nonOp(lo) < opE {
-		return lo
+		return units.OpsPerWord(lo)
 	}
 	for iter := 0; iter < 200; iter++ {
 		mid := math.Sqrt(lo * hi)
@@ -162,23 +164,23 @@ func (m *Model) EffectiveEnergyBalance(c OpClass, mach Machine, s dvfs.Setting) 
 			hi = mid
 		}
 	}
-	return math.Sqrt(lo * hi)
+	return units.OpsPerWord(math.Sqrt(lo * hi))
 }
 
 // MachineFor derives the time-side peaks for a class at a setting from
 // per-cycle throughputs — a convenience for platforms described the way
 // internal/tegra describes the Tegra K1.
-func MachineFor(opsPerCycle, wordsPerCycle float64, s dvfs.Setting) Machine {
+func MachineFor(opsPerCycle, wordsPerCycle units.PerCycle, s dvfs.Setting) Machine {
 	return Machine{
-		OpsPerSec:   opsPerCycle * s.Core.FreqHz(),
-		WordsPerSec: wordsPerCycle * s.Mem.FreqHz(),
+		OpsPerSec:   units.OpsPerSecond(float64(opsPerCycle) * float64(s.Core.FreqHz())),
+		WordsPerSec: units.WordsPerSecond(float64(wordsPerCycle) * float64(s.Mem.FreqHz())),
 	}
 }
 
 // ProfileIntensity returns a profile's arithmetic intensity with respect
 // to one op class: class operations per DRAM word. It returns +Inf for
 // profiles without DRAM traffic.
-func ProfileIntensity(c OpClass, p counters.Profile) float64 {
+func ProfileIntensity(c OpClass, p counters.Profile) units.OpsPerWord {
 	var ops float64
 	switch c {
 	case ClassSP:
@@ -191,7 +193,7 @@ func ProfileIntensity(c OpClass, p counters.Profile) float64 {
 		panic(fmt.Sprintf("core: unknown op class %d", int(c)))
 	}
 	if p.DRAMWords == 0 {
-		return math.Inf(1)
+		return units.OpsPerWord(math.Inf(1))
 	}
-	return ops / p.DRAMWords
+	return units.OpsPerWord(ops / p.DRAMWords)
 }

@@ -8,6 +8,7 @@ import (
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 func tk1Machine(s dvfs.Setting) Machine {
@@ -19,7 +20,7 @@ func TestTimeBalance(t *testing.T) {
 	m := tk1Machine(s)
 	// B_τ = peak DP / peak DRAM words: (8*852e6) / (4*924e6).
 	want := (8.0 * 852e6) / (4.0 * 924e6)
-	if math.Abs(m.TimeBalance()-want) > 1e-12 {
+	if math.Abs(float64(m.TimeBalance())-want) > 1e-12 {
 		t.Errorf("TimeBalance = %v, want %v", m.TimeBalance(), want)
 	}
 }
@@ -28,10 +29,10 @@ func TestEnergyBalanceMatchesEpsRatio(t *testing.T) {
 	m := knownModel()
 	s := dvfs.MaxSetting()
 	e := m.EpsAt(s)
-	if got := m.EnergyBalance(ClassDP, s); math.Abs(got-e.DRAM/e.DP) > 1e-12 {
+	if got := m.EnergyBalance(ClassDP, s); math.Abs(float64(got)-float64(e.DRAM/e.DP)) > 1e-12 {
 		t.Errorf("EnergyBalance = %v, want %v", got, e.DRAM/e.DP)
 	}
-	if got := m.EnergyBalance(ClassSP, s); math.Abs(got-e.DRAM/e.SP) > 1e-12 {
+	if got := m.EnergyBalance(ClassSP, s); math.Abs(float64(got)-float64(e.DRAM/e.SP)) > 1e-12 {
 		t.Errorf("SP EnergyBalance = %v, want %v", got, e.DRAM/e.SP)
 	}
 }
@@ -49,15 +50,15 @@ func TestRooflineShape(t *testing.T) {
 	high := m.RooflineAt(ClassDP, mach, s, bt*100)
 
 	// Memory-bound: perf = I * BW.
-	if rel := math.Abs(low.OpsPerSec-low.Intensity*mach.WordsPerSec) / low.OpsPerSec; rel > 1e-12 {
+	if rel := math.Abs(float64(low.OpsPerSec)-float64(low.Intensity)*float64(mach.WordsPerSec)) / float64(low.OpsPerSec); rel > 1e-12 {
 		t.Errorf("memory-bound perf %v != I*BW", low.OpsPerSec)
 	}
 	// Compute-bound: perf = peak.
-	if rel := math.Abs(high.OpsPerSec-mach.OpsPerSec) / mach.OpsPerSec; rel > 1e-12 {
+	if rel := math.Abs(float64(high.OpsPerSec-mach.OpsPerSec)) / float64(mach.OpsPerSec); rel > 1e-12 {
 		t.Errorf("compute-bound perf %v != peak %v", high.OpsPerSec, mach.OpsPerSec)
 	}
 	// The ridge point attains peak too.
-	if rel := math.Abs(mid.OpsPerSec-mach.OpsPerSec) / mach.OpsPerSec; rel > 1e-9 {
+	if rel := math.Abs(float64(mid.OpsPerSec-mach.OpsPerSec)) / float64(mach.OpsPerSec); rel > 1e-9 {
 		t.Errorf("ridge perf %v != peak", mid.OpsPerSec)
 	}
 }
@@ -69,8 +70,8 @@ func TestRooflineMonotonicity(t *testing.T) {
 	s := dvfs.MustSetting(540, 528)
 	mach := tk1Machine(s)
 	f := func(a, b uint16) bool {
-		i1 := 0.01 * (1 + float64(a%1000))
-		i2 := i1 * (1 + float64(b%100)/10)
+		i1 := units.OpsPerWord(0.01 * (1 + float64(a%1000)))
+		i2 := i1 * units.OpsPerWord(1+float64(b%100)/10)
 		p1 := m.RooflineAt(ClassDP, mach, s, i1)
 		p2 := m.RooflineAt(ClassDP, mach, s, i2)
 		return p2.OpsPerSec >= p1.OpsPerSec-1e-9 &&
@@ -92,14 +93,14 @@ func TestRooflineEnergyDecomposition(t *testing.T) {
 	const pJ = 1e-12
 
 	high := m.RooflineAt(ClassDP, mach, s, 1e9)
-	want := e.DP*pJ + e.ConstPower/mach.OpsPerSec
-	if rel := math.Abs(high.EnergyPerOp-want) / want; rel > 1e-3 {
+	want := float64(e.DP)*pJ + float64(e.ConstPower)/float64(mach.OpsPerSec)
+	if rel := math.Abs(float64(high.EnergyPerOp)-want) / want; rel > 1e-3 {
 		t.Errorf("high-intensity energy/op = %v, want %v", high.EnergyPerOp, want)
 	}
 
 	low := m.RooflineAt(ClassDP, mach, s, 1e-6)
 	// Dominated by ε_mem/I.
-	if low.EnergyPerOp < e.DRAM*pJ/1e-6*0.9 {
+	if float64(low.EnergyPerOp) < float64(e.DRAM)*pJ/1e-6*0.9 {
 		t.Errorf("low-intensity energy/op %v should be DRAM-dominated", low.EnergyPerOp)
 	}
 }
@@ -115,7 +116,7 @@ func TestEffectiveEnergyBalanceExceedsPureBalance(t *testing.T) {
 	// constant power: π0/peak exceeds ε_op, so the effective balance is
 	// +Inf — precisely the paper's §IV-C finding that constant power
 	// dominates any DP application on this SoC.
-	if eff := m.EffectiveEnergyBalance(ClassDP, tk1Machine(s), s); !math.IsInf(eff, 1) {
+	if eff := m.EffectiveEnergyBalance(ClassDP, tk1Machine(s), s); !math.IsInf(float64(eff), 1) {
 		t.Errorf("TK1 DP effective balance = %v, want +Inf (idle power > ε_DP at peak)", eff)
 	}
 
@@ -124,14 +125,14 @@ func TestEffectiveEnergyBalanceExceedsPureBalance(t *testing.T) {
 	mach := Machine{OpsPerSec: 1e12, WordsPerSec: 4 * 924e6}
 	pure := m.EnergyBalance(ClassDP, s)
 	eff := m.EffectiveEnergyBalance(ClassDP, mach, s)
-	if math.IsInf(eff, 1) || eff <= pure {
+	if math.IsInf(float64(eff), 1) || eff <= pure {
 		t.Fatalf("effective balance %v should be finite and exceed pure balance %v", eff, pure)
 	}
 	// At the effective balance, non-op energy equals op energy, so the
 	// total is twice the op energy (within bisection tolerance).
 	pt := m.RooflineAt(ClassDP, mach, s, eff)
-	opE := m.epsOf(ClassDP, s) * 1e-12
-	if rel := math.Abs(pt.EnergyPerOp-2*opE) / (2 * opE); rel > 1e-6 {
+	opE := float64(m.epsOf(ClassDP, s)) * 1e-12
+	if rel := math.Abs(float64(pt.EnergyPerOp)-2*opE) / (2 * opE); rel > 1e-6 {
 		t.Errorf("at effective balance, energy/op = %v, want %v", pt.EnergyPerOp, 2*opE)
 	}
 }
@@ -166,7 +167,7 @@ func TestProfileIntensity(t *testing.T) {
 	if got := ProfileIntensity(ClassInt, p); got != 20 {
 		t.Errorf("Int intensity = %v, want 20", got)
 	}
-	if !math.IsInf(ProfileIntensity(ClassDP, counters.Profile{DPFMA: 1}), 1) {
+	if !math.IsInf(float64(ProfileIntensity(ClassDP, counters.Profile{DPFMA: 1})), 1) {
 		t.Error("intensity without DRAM traffic should be +Inf")
 	}
 }
@@ -189,10 +190,10 @@ func TestRooflineIdentifiesFMMRegime(t *testing.T) {
 	mach := tk1Machine(s)
 	// A representative FMM profile shape (from Figure 4): per DRAM word,
 	// roughly 13 DP ops at Q=64.
-	fmmIntensity := 13.0
+	fmmIntensity := units.OpsPerWord(13)
 	eff := m.EffectiveEnergyBalance(ClassDP, mach, s)
 	pt := m.RooflineAt(ClassDP, mach, s, fmmIntensity)
-	constShare := m.ConstPower(s) * pt.TimePerOp / pt.EnergyPerOp
+	constShare := float64(m.ConstPower(s)) * float64(pt.TimePerOp) / float64(pt.EnergyPerOp)
 	if eff < fmmIntensity && constShare > 0.5 {
 		t.Errorf("inconsistent regime: intensity %v above balance %v yet constant-dominated (%.2f)",
 			fmmIntensity, eff, constShare)
@@ -205,7 +206,7 @@ func TestRooflineSamplesCurve(t *testing.T) {
 	m := knownModel()
 	s := dvfs.MaxSetting()
 	mach := tk1Machine(s)
-	intensities := []float64{0.5, 1, 2, 4, 8}
+	intensities := []units.OpsPerWord{0.5, 1, 2, 4, 8}
 	pts := m.Roofline(ClassDP, mach, s, intensities)
 	if len(pts) != len(intensities) {
 		t.Fatalf("got %d points, want %d", len(pts), len(intensities))

@@ -5,6 +5,7 @@ import (
 
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/units"
 )
 
 // What-if analyses (paper §VI): "One scenario in which our model could
@@ -22,36 +23,36 @@ type PrefetchScenario struct {
 	Profile counters.Profile
 	// UsedFraction is the fraction of prefetched DRAM data actually
 	// consumed, in (0, 1].
-	UsedFraction float64
+	UsedFraction units.Ratio
 	// Slowdown is the runtime multiplier of disabling prefetch (>= 1):
 	// demand misses stall the pipeline.
-	Slowdown float64
+	Slowdown units.Ratio
 	// TimeWithPrefetch is the measured execution time with prefetching
-	// on, in seconds.
-	TimeWithPrefetch float64
+	// on.
+	TimeWithPrefetch units.Second
 }
 
 // Validate reports an error for meaningless scenarios.
 func (s PrefetchScenario) Validate() error {
 	if s.UsedFraction <= 0 || s.UsedFraction > 1 {
-		return fmt.Errorf("core: used fraction %g outside (0, 1]", s.UsedFraction)
+		return fmt.Errorf("core: used fraction %g outside (0, 1]", float64(s.UsedFraction))
 	}
 	if s.Slowdown < 1 {
-		return fmt.Errorf("core: slowdown %g below 1", s.Slowdown)
+		return fmt.Errorf("core: slowdown %g below 1", float64(s.Slowdown))
 	}
 	if s.TimeWithPrefetch <= 0 {
-		return fmt.Errorf("core: non-positive time %g", s.TimeWithPrefetch)
+		return fmt.Errorf("core: non-positive time %g", float64(s.TimeWithPrefetch))
 	}
 	return nil
 }
 
 // PrefetchVerdict is the estimator's output.
 type PrefetchVerdict struct {
-	WithPrefetchJ    float64 // predicted energy with prefetching on
-	WithoutPrefetchJ float64 // predicted energy with prefetching off
-	DRAMSavedJ       float64 // energy saved by not loading unused data
-	ConstantPaidJ    float64 // extra constant energy from running longer
-	KeepPrefetch     bool    // true if prefetching is the lower-energy choice
+	WithPrefetchJ    units.Joule // predicted energy with prefetching on
+	WithoutPrefetchJ units.Joule // predicted energy with prefetching off
+	DRAMSavedJ       units.Joule // energy saved by not loading unused data
+	ConstantPaidJ    units.Joule // extra constant energy from running longer
+	KeepPrefetch     bool        // true if prefetching is the lower-energy choice
 }
 
 // PrefetchAdvice evaluates the scenario at a DVFS setting with the
@@ -61,8 +62,8 @@ func (m *Model) PrefetchAdvice(s PrefetchScenario, setting dvfs.Setting) (Prefet
 		return PrefetchVerdict{}, err
 	}
 	withOff := s.Profile
-	withOff.DRAMWords = s.Profile.DRAMWords * s.UsedFraction
-	tOff := s.TimeWithPrefetch * s.Slowdown
+	withOff.DRAMWords = s.Profile.DRAMWords * float64(s.UsedFraction)
+	tOff := units.Second(float64(s.TimeWithPrefetch) * float64(s.Slowdown))
 
 	on := m.PredictParts(s.Profile, setting, s.TimeWithPrefetch)
 	off := m.PredictParts(withOff, setting, tOff)
@@ -80,16 +81,16 @@ func (m *Model) PrefetchAdvice(s PrefetchScenario, setting dvfs.Setting) (Prefet
 // prefetch becomes the lower-energy choice for the given slowdown, found
 // by bisection. It returns 0 if prefetching wins even at arbitrarily low
 // utilization, and 1 if disabling wins even at full utilization.
-func (m *Model) PrefetchBreakEven(s PrefetchScenario, setting dvfs.Setting) (float64, error) {
+func (m *Model) PrefetchBreakEven(s PrefetchScenario, setting dvfs.Setting) (units.Ratio, error) {
 	if err := s.Validate(); err != nil {
 		return 0, err
 	}
 	keepAt := func(frac float64) bool {
 		sc := s
-		sc.UsedFraction = frac
+		sc.UsedFraction = units.Ratio(frac)
 		// The with-prefetch profile loads usedWords/frac DRAM words for
 		// the same used data; rescale so the used volume is constant.
-		used := s.Profile.DRAMWords * s.UsedFraction
+		used := s.Profile.DRAMWords * float64(s.UsedFraction)
 		sc.Profile.DRAMWords = used / frac
 		v, err := m.PrefetchAdvice(sc, setting)
 		if err != nil {
@@ -113,5 +114,5 @@ func (m *Model) PrefetchBreakEven(s PrefetchScenario, setting dvfs.Setting) (flo
 			lo = mid
 		}
 	}
-	return (lo + hi) / 2, nil
+	return units.Ratio((lo + hi) / 2), nil
 }

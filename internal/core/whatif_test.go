@@ -6,6 +6,7 @@ import (
 
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/units"
 )
 
 func prefetchScenario(usedFrac float64) PrefetchScenario {
@@ -15,7 +16,7 @@ func prefetchScenario(usedFrac float64) PrefetchScenario {
 			Int:       9e8,
 			DRAMWords: 5e8 / usedFrac,
 		},
-		UsedFraction:     usedFrac,
+		UsedFraction:     units.Ratio(usedFrac),
 		Slowdown:         1.25,
 		TimeWithPrefetch: 0.5,
 	}
@@ -34,7 +35,7 @@ func TestPrefetchAdviceHighUtilizationKeeps(t *testing.T) {
 	// energy difference equals constant paid minus DRAM saved plus any
 	// dynamic-time-independent terms (zero here).
 	diff := v.WithoutPrefetchJ - v.WithPrefetchJ
-	if math.Abs(diff-(v.ConstantPaidJ-v.DRAMSavedJ)) > 1e-9 {
+	if math.Abs(float64(diff-(v.ConstantPaidJ-v.DRAMSavedJ))) > 1e-9 {
 		t.Errorf("decomposition inconsistent: diff %v vs paid-saved %v",
 			diff, v.ConstantPaidJ-v.DRAMSavedJ)
 	}
@@ -67,11 +68,11 @@ func TestPrefetchBreakEvenMonotone(t *testing.T) {
 	// Consistency: slightly above the break-even keep, slightly below
 	// disable. (Rebuild the scenario at each fraction with constant used
 	// data, as PrefetchBreakEven does.)
-	check := func(frac float64) bool {
+	check := func(frac units.Ratio) bool {
 		sc := prefetchScenario(0.4)
-		used := sc.Profile.DRAMWords * sc.UsedFraction
+		used := sc.Profile.DRAMWords * float64(sc.UsedFraction)
 		sc.UsedFraction = frac
-		sc.Profile.DRAMWords = used / frac
+		sc.Profile.DRAMWords = used / float64(frac)
 		v, err := m.PrefetchAdvice(sc, s)
 		if err != nil {
 			t.Fatal(err)

@@ -12,6 +12,8 @@ package dvfs
 import (
 	"fmt"
 	"sort"
+
+	"dvfsroofline/internal/units"
 )
 
 // Domain identifies an independently scalable voltage/frequency domain.
@@ -37,18 +39,18 @@ func (d Domain) String() string {
 
 // OperatingPoint is one frequency/voltage pair of a domain's DVFS table.
 type OperatingPoint struct {
-	FreqMHz   float64 // clock frequency in MHz
-	VoltageMV float64 // predetermined supply voltage in millivolts
+	FreqMHz   units.MegaHertz // clock frequency
+	VoltageMV units.MilliVolt // predetermined supply voltage
 }
 
 // FreqHz returns the frequency in hertz.
-func (p OperatingPoint) FreqHz() float64 { return p.FreqMHz * 1e6 }
+func (p OperatingPoint) FreqHz() units.Hertz { return p.FreqMHz.Hertz() }
 
 // Volts returns the supply voltage in volts.
-func (p OperatingPoint) Volts() float64 { return p.VoltageMV * 1e-3 }
+func (p OperatingPoint) Volts() units.Volt { return p.VoltageMV.Volts() }
 
 func (p OperatingPoint) String() string {
-	return fmt.Sprintf("%.0fMHz@%.0fmV", p.FreqMHz, p.VoltageMV)
+	return fmt.Sprintf("%.0fMHz@%.0fmV", float64(p.FreqMHz), float64(p.VoltageMV))
 }
 
 // CoreTable lists the 15 GPU core operating points of the Tegra K1,
@@ -82,28 +84,28 @@ func (s Setting) String() string {
 }
 
 // CorePoint returns the core operating point with the given frequency.
-func CorePoint(freqMHz float64) (OperatingPoint, error) {
+func CorePoint(freqMHz units.MegaHertz) (OperatingPoint, error) {
 	return lookup(CoreTable, freqMHz, "core")
 }
 
 // MemPoint returns the memory operating point with the given frequency.
-func MemPoint(freqMHz float64) (OperatingPoint, error) {
+func MemPoint(freqMHz units.MegaHertz) (OperatingPoint, error) {
 	return lookup(MemTable, freqMHz, "mem")
 }
 
-func lookup(table []OperatingPoint, freqMHz float64, what string) (OperatingPoint, error) {
+func lookup(table []OperatingPoint, freqMHz units.MegaHertz, what string) (OperatingPoint, error) {
 	for _, p := range table {
 		if p.FreqMHz == freqMHz {
 			return p, nil
 		}
 	}
-	return OperatingPoint{}, fmt.Errorf("dvfs: no %s operating point at %g MHz", what, freqMHz)
+	return OperatingPoint{}, fmt.Errorf("dvfs: no %s operating point at %g MHz", what, float64(freqMHz))
 }
 
 // MustSetting builds a Setting from core and memory frequencies that must
 // exist in the tables; it panics otherwise. Use it for the fixed
 // experiment configurations compiled into this repository.
-func MustSetting(coreMHz, memMHz float64) Setting {
+func MustSetting(coreMHz, memMHz units.MegaHertz) Setting {
 	c, err := CorePoint(coreMHz)
 	if err != nil {
 		panic(err)
@@ -139,7 +141,7 @@ type CalibrationSetting struct {
 func CalibrationSettings() []CalibrationSetting {
 	rows := []struct {
 		typ       string
-		core, mem float64
+		core, mem units.MegaHertz
 	}{
 		{"T", 852, 924}, {"T", 396, 924}, {"T", 852, 528}, {"T", 648, 528},
 		{"T", 396, 528}, {"T", 852, 204}, {"T", 648, 204}, {"T", 396, 204},
@@ -156,7 +158,7 @@ func CalibrationSettings() []CalibrationSetting {
 // ValidationSettings returns the paper's Table IV system settings S1–S8
 // used for the FMM validation study.
 func ValidationSettings() []Setting {
-	rows := [][2]float64{
+	rows := [][2]units.MegaHertz{
 		{852, 924}, {756, 924}, {180, 924}, {852, 792},
 		{612, 528}, {540, 528}, {612, 396}, {852, 204},
 	}
@@ -189,10 +191,10 @@ func Validate(table []OperatingPoint) error {
 	}
 	for i := 1; i < len(table); i++ {
 		if table[i].FreqMHz == table[i-1].FreqMHz {
-			return fmt.Errorf("dvfs: duplicate frequency %g MHz", table[i].FreqMHz)
+			return fmt.Errorf("dvfs: duplicate frequency %g MHz", float64(table[i].FreqMHz))
 		}
 		if table[i].VoltageMV < table[i-1].VoltageMV {
-			return fmt.Errorf("dvfs: voltage not monotone at %g MHz", table[i].FreqMHz)
+			return fmt.Errorf("dvfs: voltage not monotone at %g MHz", float64(table[i].FreqMHz))
 		}
 	}
 	for _, p := range table {

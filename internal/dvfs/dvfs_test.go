@@ -3,6 +3,8 @@ package dvfs
 import (
 	"strings"
 	"testing"
+
+	"dvfsroofline/internal/units"
 )
 
 func TestTablesValid(t *testing.T) {
@@ -31,7 +33,7 @@ func TestTableSizesMatchPaper(t *testing.T) {
 func TestPaperQuotedVoltages(t *testing.T) {
 	// Every (freq, voltage) pair printed in Table I and Table IV must be
 	// reproduced exactly.
-	core := map[float64]float64{
+	core := map[units.MegaHertz]units.MilliVolt{
 		852: 1030, 756: 950, 648: 890, 540: 840,
 		396: 770, 180: 760, 72: 760,
 	}
@@ -44,7 +46,7 @@ func TestPaperQuotedVoltages(t *testing.T) {
 			t.Errorf("core %g MHz: voltage %g mV, paper says %g", f, p.VoltageMV, v)
 		}
 	}
-	mem := map[float64]float64{924: 1010, 528: 880, 204: 800, 68: 800}
+	mem := map[units.MegaHertz]units.MilliVolt{924: 1010, 528: 880, 204: 800, 68: 800}
 	for f, v := range mem {
 		p, err := MemPoint(f)
 		if err != nil {

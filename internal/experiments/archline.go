@@ -7,6 +7,7 @@ import (
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/microbench"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // Measured rooflines: the authors' "archline" microbenchmark suite
@@ -20,12 +21,12 @@ import (
 // RooflinePoint is one measured point of the intensity sweep, with the
 // model's prediction alongside.
 type RooflinePoint struct {
-	Intensity float64 // target ops per DRAM word
+	Intensity units.OpsPerWord // target ops per DRAM word
 
 	// Measured through the device + PowerMon path.
-	OpsPerSec   float64
-	Power       float64 // W
-	OpsPerJoule float64
+	OpsPerSec   units.OpsPerSecond
+	Power       units.Watt
+	OpsPerJoule units.OpsPerJoule
 
 	// Model predictions from the fitted constants and the machine peaks.
 	Predicted core.RooflinePoint
@@ -41,7 +42,7 @@ func MeasuredRoofline(dev *tegra.Device, model *core.Model, cfg Config, kind mic
 		TargetTime:  cfg.BenchTargetTime,
 	}
 	var class core.OpClass
-	var opsPerCycle float64
+	var opsPerCycle units.PerCycle
 	switch kind {
 	case microbench.Single, microbench.DRAM:
 		class, opsPerCycle = core.ClassSP, tegra.SPPerCycle
@@ -63,11 +64,11 @@ func MeasuredRoofline(dev *tegra.Device, model *core.Model, cfg Config, kind mic
 		}
 		ops := ai * smp.Workload.Profile.DRAMWords
 		out = append(out, RooflinePoint{
-			Intensity:   ai,
-			OpsPerSec:   ops / smp.Time,
+			Intensity:   units.OpsPerWord(ai),
+			OpsPerSec:   units.OpsPerSecond(ops / float64(smp.Time)),
 			Power:       smp.Power,
-			OpsPerJoule: ops / smp.Energy,
-			Predicted:   model.RooflineAt(class, mach, s, ai),
+			OpsPerJoule: units.OpsPerJoule(ops / float64(smp.Energy)),
+			Predicted:   model.RooflineAt(class, mach, s, units.OpsPerWord(ai)),
 		})
 	}
 	return out, nil

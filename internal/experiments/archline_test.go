@@ -32,7 +32,7 @@ func TestMeasuredRooflineMatchesModel(t *testing.T) {
 		// Energy efficiency agrees with the model's curve within the
 		// measurement-noise envelope. The prediction ignores the kernel's
 		// small integer loop overhead, so allow a slightly wider band.
-		if rel := math.Abs(p.OpsPerJoule-p.Predicted.OpsPerJoule) / p.Predicted.OpsPerJoule; rel > 0.25 {
+		if rel := math.Abs(float64(p.OpsPerJoule-p.Predicted.OpsPerJoule)) / float64(p.Predicted.OpsPerJoule); rel > 0.25 {
 			t.Errorf("I=%.2f: measured %.3g ops/J vs predicted %.3g (rel %.2f)",
 				p.Intensity, p.OpsPerJoule, p.Predicted.OpsPerJoule, rel)
 		}
@@ -47,8 +47,8 @@ func TestMeasuredRooflineMatchesModel(t *testing.T) {
 	if d := pts[n-1].OpsPerSec / pts[n-2].OpsPerSec; d > 1.05 {
 		t.Errorf("performance not saturated at high intensity (ratio %.3f)", d)
 	}
-	growth := pts[1].OpsPerSec / pts[0].OpsPerSec
-	want := pts[1].Intensity / pts[0].Intensity
+	growth := float64(pts[1].OpsPerSec / pts[0].OpsPerSec)
+	want := float64(pts[1].Intensity / pts[0].Intensity)
 	if math.Abs(growth-want)/want > 0.1 {
 		t.Errorf("memory-bound growth %.3f, want ~%.3f", growth, want)
 	}

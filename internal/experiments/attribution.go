@@ -8,6 +8,7 @@ import (
 	"dvfsroofline/internal/fmm"
 	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // Phase-level energy attribution: the paper's stated purpose is to find
@@ -20,16 +21,16 @@ import (
 // PhaseEnergy is one phase's window and energies.
 type PhaseEnergy struct {
 	Phase      fmm.Phase
-	Start, End float64 // seconds within the run
-	PredictedJ float64 // model prediction (counts + ε + π0·T)
-	MeasuredJ  float64 // integrated from the trace over [Start, End)
+	Start, End units.Second // window within the run
+	PredictedJ units.Joule  // model prediction (counts + ε + π0·T)
+	MeasuredJ  units.Joule  // integrated from the trace over [Start, End)
 }
 
 // PhaseAttribution is the outcome of AttributePhases.
 type PhaseAttribution struct {
 	Segments []powermon.Segment // blind segmentation of the trace
 	Phases   []PhaseEnergy      // per executed phase, in schedule order
-	TotalJ   float64            // measured total
+	TotalJ   units.Joule        // measured total
 }
 
 // AttributePhases measures run's schedule at setting s, segments the
@@ -46,7 +47,7 @@ func AttributePhases(dev *tegra.Device, meter *powermon.Meter, model *core.Model
 	}
 
 	out := &PhaseAttribution{Segments: segs, TotalJ: meas.Energy}
-	cursor := 0.0
+	cursor := units.Second(0)
 	execIdx := 0
 	for _, ph := range fmm.Phases() {
 		p := run.Result.Profiles[ph]
@@ -74,8 +75,8 @@ func AttributePhases(dev *tegra.Device, meter *powermon.Meter, model *core.Model
 
 // integrateSegments returns the energy the segmentation assigns to the
 // window [start, end), pro-rating segments that straddle the borders.
-func integrateSegments(segs []powermon.Segment, start, end float64) float64 {
-	var e float64
+func integrateSegments(segs []powermon.Segment, start, end units.Second) units.Joule {
+	var e units.Joule
 	for _, s := range segs {
 		lo := s.Start
 		if start > lo {
@@ -86,7 +87,7 @@ func integrateSegments(segs []powermon.Segment, start, end float64) float64 {
 			hi = end
 		}
 		if hi > lo {
-			e += s.MeanPower * (hi - lo)
+			e += units.Energy(s.MeanPower, hi-lo)
 		}
 	}
 	return e

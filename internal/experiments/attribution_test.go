@@ -6,6 +6,7 @@ import (
 
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/powermon"
+	"dvfsroofline/internal/units"
 )
 
 func TestAttributePhases(t *testing.T) {
@@ -24,14 +25,14 @@ func TestAttributePhases(t *testing.T) {
 
 	// Phase windows must tile the run contiguously.
 	for i := 1; i < len(att.Phases); i++ {
-		if math.Abs(att.Phases[i].Start-att.Phases[i-1].End) > 1e-12 {
+		if math.Abs(float64(att.Phases[i].Start-att.Phases[i-1].End)) > 1e-12 {
 			t.Errorf("phase %v does not start where %v ends",
 				att.Phases[i].Phase, att.Phases[i-1].Phase)
 		}
 	}
 
 	// Measured phase energies must sum to ~the measured total.
-	var sumM, sumP float64
+	var sumM, sumP units.Joule
 	for _, pe := range att.Phases {
 		sumM += pe.MeasuredJ
 		sumP += pe.PredictedJ
@@ -39,7 +40,7 @@ func TestAttributePhases(t *testing.T) {
 			t.Errorf("%v: non-positive energies %+v", pe.Phase, pe)
 		}
 	}
-	if rel := math.Abs(sumM-att.TotalJ) / att.TotalJ; rel > 0.02 {
+	if rel := math.Abs(float64(sumM-att.TotalJ)) / float64(att.TotalJ); rel > 0.02 {
 		t.Errorf("phase energies sum to %.3f vs total %.3f", sumM, att.TotalJ)
 	}
 
@@ -49,7 +50,7 @@ func TestAttributePhases(t *testing.T) {
 		if pe.End-pe.Start < 0.1*att.Phases[len(att.Phases)-1].End {
 			continue
 		}
-		rel := math.Abs(pe.MeasuredJ-pe.PredictedJ) / pe.MeasuredJ
+		rel := math.Abs(float64(pe.MeasuredJ-pe.PredictedJ)) / float64(pe.MeasuredJ)
 		if rel > 0.20 {
 			t.Errorf("%v: measured %.3f J vs predicted %.3f J (rel %.2f)",
 				pe.Phase, pe.MeasuredJ, pe.PredictedJ, rel)
@@ -64,8 +65,8 @@ func TestIntegrateSegmentsPartial(t *testing.T) {
 	}
 	// A window straddling the boundary takes pro-rated shares.
 	got := integrateSegments(segs, 0.5, 1.5)
-	want := 10*0.5 + 20*0.5
-	if math.Abs(got-want) > 1e-12 {
+	want := units.Joule(10*0.5 + 20*0.5)
+	if math.Abs(float64(got-want)) > 1e-12 {
 		t.Errorf("integrate = %v, want %v", got, want)
 	}
 	// Window outside all segments integrates to zero.
@@ -73,7 +74,7 @@ func TestIntegrateSegmentsPartial(t *testing.T) {
 		t.Error("out-of-range window should integrate to 0")
 	}
 	// Full-range window returns total energy.
-	if got := integrateSegments(segs, 0, 2); math.Abs(got-30) > 1e-12 {
+	if got := integrateSegments(segs, 0, 2); math.Abs(float64(got)-30) > 1e-12 {
 		t.Errorf("full window = %v, want 30", got)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/stats"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // Config carries the knobs shared by all experiments.
@@ -272,7 +273,7 @@ const (
 func screenOutliers(m *core.Model, train []core.Sample) (kept []core.Sample, screened int) {
 	res := make([]float64, len(train))
 	for i, s := range train {
-		res[i] = (m.Predict(s.Profile, s.Setting, s.Time) - s.Energy) / s.Energy
+		res[i] = float64((m.Predict(s.Profile, s.Setting, s.Time) - s.Energy) / s.Energy)
 	}
 	mask := stats.OutlierMask(res, screenK, screenFloor)
 	for _, bad := range mask {
@@ -421,12 +422,17 @@ func Autotune(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Con
 			kinds = append(kinds, kind)
 		}
 	}
+	// stop consults the context for the cheap assembly and scoring
+	// loops below. ctxloop's one-level summary recognizes callees that
+	// check a captured ctx internally, so the loops carry no inline
+	// ctx.Err() guards.
+	stop := func() error { return ctx.Err() }
 	// One unit of work = one (family, intensity) sweep over the grid.
 	type unit struct{ kind, intensity int }
 	var units []unit
 	sweeps := make([][][]core.Candidate, len(kinds))
 	for ki, kind := range kinds {
-		if err := ctx.Err(); err != nil {
+		if err := stop(); err != nil {
 			return nil, err
 		}
 		n := len(kind.Intensities())
@@ -472,7 +478,7 @@ func Autotune(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Con
 	}
 	rows := make([]core.TableIIRow, len(kinds))
 	for ki, kind := range kinds {
-		if err := ctx.Err(); err != nil {
+		if err := stop(); err != nil {
 			return nil, err
 		}
 		rows[ki] = model.CompareStrategies(kind.String(), sweeps[ki])
@@ -579,7 +585,7 @@ func (r *FMMRun) Schedule(dev *tegra.Device, s dvfs.Setting) tegra.Schedule {
 		}
 		sched.Execs = append(sched.Execs, dev.Execute(tegra.Workload{
 			Profile:   p,
-			Occupancy: ph.Occupancy(),
+			Occupancy: units.Ratio(ph.Occupancy()),
 		}, s))
 	}
 	return sched
@@ -596,10 +602,10 @@ type FMMCase struct {
 	SettingID string
 	Setting   dvfs.Setting
 
-	Time            float64 // seconds, measured
-	MeasuredEnergy  float64 // joules, PowerMon-integrated
-	PredictedEnergy float64 // joules, Eq. 9 with fitted constants
-	RelErr          float64
+	Time            units.Second // measured
+	MeasuredEnergy  units.Joule  // PowerMon-integrated
+	PredictedEnergy units.Joule  // Eq. 9 with fitted constants
+	RelErr          float64      // signed fraction, (predicted - measured)/measured
 
 	// PredictedParts decomposes the prediction (Figures 6 and 7).
 	PredictedParts core.Parts
@@ -631,7 +637,7 @@ func RunFMMCase(dev *tegra.Device, meter *powermon.Meter, model *core.Model, run
 		Time:            dur,
 		MeasuredEnergy:  meas.Energy,
 		PredictedEnergy: parts.Total(),
-		RelErr:          stats.RelErr(parts.Total(), meas.Energy),
+		RelErr:          stats.RelErr(float64(parts.Total()), float64(meas.Energy)),
 		PredictedParts:  parts,
 		TrueBreakdown:   truth,
 	}, nil
@@ -683,7 +689,7 @@ func (c FMMCase) ConstantFraction() float64 {
 	if t == 0 {
 		return 0
 	}
-	return c.PredictedParts.Constant / t
+	return float64(c.PredictedParts.Constant / t)
 }
 
 // MicrobenchConstantFraction measures the constant-power energy share of
@@ -715,5 +721,5 @@ func MicrobenchConstantFraction(dev *tegra.Device, model *core.Model, cfg Config
 		return 0, err
 	}
 	parts := model.PredictParts(w.Profile, s, meas.Duration)
-	return parts.Constant / parts.Total(), nil
+	return float64(parts.Constant / parts.Total()), nil
 }

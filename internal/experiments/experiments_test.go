@@ -9,6 +9,7 @@ import (
 	"dvfsroofline/internal/fmm"
 	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // testConfig keeps experiment tests fast while exercising the full paths.
@@ -93,13 +94,13 @@ func TestTableIReproducesPaperValues(t *testing.T) {
 		got, want float64
 		tol       float64
 	}{
-		{"SP", rows[0].Eps.SP, 29.0, 0.15},
-		{"DP", rows[0].Eps.DP, 139.1, 0.15},
-		{"Int", rows[0].Eps.Int, 60.0, 0.15},
-		{"SM", rows[0].Eps.SM, 35.4, 0.25},
-		{"L2", rows[0].Eps.L2, 90.2, 0.25},
-		{"DRAM", rows[0].Eps.DRAM, 377.0, 0.15},
-		{"pi0", rows[0].Eps.ConstPower, 6.8, 0.15},
+		{"SP", float64(rows[0].Eps.SP), 29.0, 0.15},
+		{"DP", float64(rows[0].Eps.DP), 139.1, 0.15},
+		{"Int", float64(rows[0].Eps.Int), 60.0, 0.15},
+		{"SM", float64(rows[0].Eps.SM), 35.4, 0.25},
+		{"L2", float64(rows[0].Eps.L2), 90.2, 0.25},
+		{"DRAM", float64(rows[0].Eps.DRAM), 377.0, 0.15},
+		{"pi0", float64(rows[0].Eps.ConstPower), 6.8, 0.15},
 	}
 	for _, p := range paper {
 		if rel := math.Abs(p.got-p.want) / p.want; rel > p.tol {
@@ -115,7 +116,7 @@ func TestTableIReproducesPaperValues(t *testing.T) {
 		}
 	}
 	// Same core voltage ⇒ same on-chip ε regardless of memory setting.
-	if math.Abs(rows[0].Eps.SP-rows[2].Eps.SP) > 1e-9 {
+	if math.Abs(float64(rows[0].Eps.SP-rows[2].Eps.SP)) > 1e-9 {
 		t.Error("SP energy depends on memory setting")
 	}
 }
@@ -234,7 +235,7 @@ func TestFMMCaseValidation(t *testing.T) {
 		t.Errorf("constant fraction %.2f, paper says 0.75–0.95", f)
 	}
 	// Prediction parts must be internally consistent.
-	if math.Abs(c.PredictedParts.Total()-c.PredictedEnergy) > 1e-12*c.PredictedEnergy {
+	if math.Abs(float64(c.PredictedParts.Total()-c.PredictedEnergy)) > 1e-12*float64(c.PredictedEnergy) {
 		t.Error("parts do not sum to the prediction")
 	}
 }
@@ -305,11 +306,11 @@ func TestScheduleConsistency(t *testing.T) {
 	if len(sched.Execs) == 0 {
 		t.Fatal("empty schedule")
 	}
-	var sum float64
+	var sum units.Second
 	for _, e := range sched.Execs {
 		sum += e.Time
 	}
-	if math.Abs(sum-sched.Duration()) > 1e-12 {
+	if math.Abs(float64(sum-sched.Duration())) > 1e-12 {
 		t.Error("Duration() does not sum the segments")
 	}
 	// The trace at a time inside the first segment equals the segment's.

@@ -44,13 +44,13 @@ func tableIConstants(cal *Calibration) map[string]float64 {
 	out := make(map[string]float64)
 	for _, row := range cal.TableI() {
 		key := fmt.Sprintf("%v/", row.Setting)
-		out[key+"SP"] = row.Eps.SP
-		out[key+"DP"] = row.Eps.DP
-		out[key+"Int"] = row.Eps.Int
-		out[key+"SM"] = row.Eps.SM
-		out[key+"L2"] = row.Eps.L2
-		out[key+"DRAM"] = row.Eps.DRAM
-		out[key+"ConstW"] = row.Eps.ConstPower
+		out[key+"SP"] = float64(row.Eps.SP)
+		out[key+"DP"] = float64(row.Eps.DP)
+		out[key+"Int"] = float64(row.Eps.Int)
+		out[key+"SM"] = float64(row.Eps.SM)
+		out[key+"L2"] = float64(row.Eps.L2)
+		out[key+"DRAM"] = float64(row.Eps.DRAM)
+		out[key+"ConstW"] = float64(row.Eps.ConstPower)
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // Energy heatmap: the model evaluated over the full 105-setting DVFS
@@ -17,8 +18,8 @@ import (
 // HeatmapCell is one grid point of the surface.
 type HeatmapCell struct {
 	Setting    dvfs.Setting
-	Time       float64 // seconds, from the device's timing model
-	PredictedJ float64 // model prediction
+	Time       units.Second // from the device's timing model
+	PredictedJ units.Joule  // model prediction
 }
 
 // Heatmap holds the full surface and the locations of its minima.
@@ -31,7 +32,7 @@ type Heatmap struct {
 
 // EnergyHeatmap evaluates the model across the whole DVFS grid for a
 // workload with the given occupancy.
-func EnergyHeatmap(dev *tegra.Device, model *core.Model, p counters.Profile, occupancy float64) (*Heatmap, error) {
+func EnergyHeatmap(dev *tegra.Device, model *core.Model, p counters.Profile, occupancy units.Ratio) (*Heatmap, error) {
 	w := tegra.Workload{Profile: p, Occupancy: occupancy}
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("experiments: heatmap: %w", err)
@@ -74,5 +75,5 @@ func (h *Heatmap) MinTime() HeatmapCell {
 // Table II's "energy lost".
 func (h *Heatmap) RaceToHaltPenalty() float64 {
 	minE := h.MinEnergy().PredictedJ
-	return (h.MinTime().PredictedJ - minE) / minE
+	return float64((h.MinTime().PredictedJ - minE) / minE)
 }

@@ -10,6 +10,7 @@ import (
 	"dvfsroofline/internal/faults"
 	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // SweepWorkload measures one fixed workload at every setting of grid:
@@ -39,8 +40,8 @@ func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.W
 		s := grid[i]
 		exec := dev.Execute(w, s)
 		key := deriveSeed(cfg.Seed+9,
-			int64(math.Float64bits(s.Core.FreqMHz)), int64(math.Float64bits(s.Core.VoltageMV)),
-			int64(math.Float64bits(s.Mem.FreqMHz)), int64(math.Float64bits(s.Mem.VoltageMV)))
+			int64(math.Float64bits(float64(s.Core.FreqMHz))), int64(math.Float64bits(float64(s.Core.VoltageMV))),
+			int64(math.Float64bits(float64(s.Mem.FreqMHz))), int64(math.Float64bits(float64(s.Mem.VoltageMV))))
 		var meas powermon.Measurement
 		var reps float64
 		_, err := faults.Do(ctx, cfg.Retry, func(attempt int) error {
@@ -66,7 +67,7 @@ func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.W
 			// for the meter to integrate a stable sample count.
 			reps = 1.0
 			if min := meter.MinDuration(16); exec.Time < min {
-				reps = math.Ceil(min / exec.Time)
+				reps = math.Ceil(float64(min / exec.Time))
 			}
 			// Throttle windows land inside one execution period and repeat
 			// with it, so their relative energy effect is the same whether
@@ -76,11 +77,13 @@ func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.W
 				trace = exec.ThrottledTrace(inj.ThrottleWindows(exec.Time))
 			}
 			if reps > 1 {
-				period := exec.Time
+				period := float64(exec.Time)
 				inner := trace
-				trace = func(t float64) float64 { return inner(math.Mod(t, period)) }
+				trace = func(t units.Second) units.Watt {
+					return inner(units.Second(math.Mod(float64(t), period)))
+				}
 			}
-			m, err := meter.Measure(trace, reps*exec.Time)
+			m, err := meter.Measure(trace, units.Second(reps*float64(exec.Time)))
 			if err != nil {
 				return fmt.Errorf("experiments: sweep at %v: %w", s, err)
 			}
@@ -94,7 +97,7 @@ func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.W
 			Setting:        s,
 			Profile:        w.Profile,
 			Time:           exec.Time,
-			MeasuredEnergy: meas.Energy / reps,
+			MeasuredEnergy: units.Joule(float64(meas.Energy) / reps),
 		}
 		return nil
 	})

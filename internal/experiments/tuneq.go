@@ -8,6 +8,7 @@ import (
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/fmm"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // Q tuning: the paper (§III-B) points out that the leaf capacity Q
@@ -20,11 +21,11 @@ import (
 // QCandidate is one point of a Q sweep.
 type QCandidate struct {
 	Q           int
-	Time        float64 // seconds on the device at the sweep's setting
-	PredictedJ  float64 // model-predicted energy
-	UInstrShare float64 // U-phase share of instructions
-	DPIntensity float64 // DP ops per DRAM word
-	ConstShare  float64 // constant power share of predicted energy
+	Time        units.Second     // on the device at the sweep's setting
+	PredictedJ  units.Joule      // model-predicted energy
+	UInstrShare float64          // U-phase share of instructions
+	DPIntensity units.OpsPerWord // DP ops per DRAM word
+	ConstShare  float64          // constant power share of predicted energy
 }
 
 // QSweepResult holds a full sweep plus the tuner's picks.
@@ -61,7 +62,7 @@ func TuneQ(ctx context.Context, dev *tegra.Device, model *core.Model, cfg Config
 			PredictedJ:  parts.Total(),
 			UInstrShare: run.Result.Profiles[fmm.PhaseU].Instructions() / instr,
 			DPIntensity: core.ProfileIntensity(core.ClassDP, tot),
-			ConstShare:  parts.Constant / parts.Total(),
+			ConstShare:  float64(parts.Constant / parts.Total()),
 		}
 		return nil
 	})

@@ -13,9 +13,12 @@ import (
 
 	"dvfsroofline/internal/core"
 	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/units"
 )
 
-func f(x float64) string { return strconv.FormatFloat(x, 'g', 12, 64) }
+// f formats any float64-backed quantity — raw or unit-typed — with the
+// same 'g'/12 encoding, so adopting internal/units moved no CSV byte.
+func f[T ~float64](x T) string { return strconv.FormatFloat(float64(x), 'g', 12, 64) }
 
 // WriteSamples writes model-training samples (one row per measurement):
 // the DVFS setting, the operation profile, and the measured time/energy.
@@ -154,10 +157,10 @@ func ReadSamples(r io.Reader) ([]core.Sample, error) {
 			vals[i] = v
 		}
 		var s core.Sample
-		s.Setting.Core.FreqMHz = vals[0]
-		s.Setting.Core.VoltageMV = vals[1]
-		s.Setting.Mem.FreqMHz = vals[2]
-		s.Setting.Mem.VoltageMV = vals[3]
+		s.Setting.Core.FreqMHz = units.MegaHertz(vals[0])
+		s.Setting.Core.VoltageMV = units.MilliVolt(vals[1])
+		s.Setting.Mem.FreqMHz = units.MegaHertz(vals[2])
+		s.Setting.Mem.VoltageMV = units.MilliVolt(vals[3])
 		s.Profile.SP = vals[4]
 		s.Profile.DPFMA = vals[5]
 		s.Profile.DPAdd = vals[6]
@@ -167,8 +170,8 @@ func ReadSamples(r io.Reader) ([]core.Sample, error) {
 		s.Profile.L1Words = vals[10]
 		s.Profile.L2Words = vals[11]
 		s.Profile.DRAMWords = vals[12]
-		s.Time = vals[13]
-		s.Energy = vals[14]
+		s.Time = units.Second(vals[13])
+		s.Energy = units.Joule(vals[14])
 		out = append(out, s)
 	}
 	return out, nil

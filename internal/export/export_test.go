@@ -11,6 +11,7 @@ import (
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/stats"
+	"dvfsroofline/internal/units"
 )
 
 func testSamples() []core.Sample {
@@ -109,8 +110,8 @@ func TestSamplesRoundTripPrecision(t *testing.T) {
 			{"L1Words", in[i].Profile.L1Words, out[i].Profile.L1Words},
 			{"L2Words", in[i].Profile.L2Words, out[i].Profile.L2Words},
 			{"DRAMWords", in[i].Profile.DRAMWords, out[i].Profile.DRAMWords},
-			{"Time", in[i].Time, out[i].Time},
-			{"Energy", in[i].Energy, out[i].Energy},
+			{"Time", float64(in[i].Time), float64(out[i].Time)},
+			{"Energy", float64(in[i].Energy), float64(out[i].Energy)},
 		}
 		for _, f := range fields {
 			if !closeEnough(f.in, f.out) {
@@ -157,7 +158,7 @@ func TestSamplesFitAfterRoundTrip(t *testing.T) {
 		}
 		m := core.Model{SPpJ: 27, DPpJ: 131, IntpJ: 56, SMpJ: 33, L2pJ: 85, DRAMpJ: 370,
 			C1Proc: 2.7, C1Mem: 3.8, PMisc: 0.15}
-		tm := 0.2 + 0.01*float64(i)
+		tm := units.Second(0.2 + 0.01*float64(i))
 		samples = append(samples, core.Sample{
 			Profile: p, Setting: cs.Setting, Time: tm,
 			Energy: m.Predict(p, cs.Setting, tm),

@@ -31,6 +31,7 @@ import (
 
 	"dvfsroofline/internal/stats"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // Plan describes which faults a campaign injects and how often. The
@@ -251,20 +252,25 @@ func (in *Injector) DVFSTransition() error {
 
 // ThrottleWindows returns the thermal-throttle windows this attempt
 // injects into a run of the given duration (nil when none).
-func (in *Injector) ThrottleWindows(runTime float64) []tegra.ThrottleWindow {
+func (in *Injector) ThrottleWindows(runTime units.Second) []tegra.ThrottleWindow {
 	if in.uThrottle >= in.plan.Throttle || runTime <= 0 {
 		return nil
 	}
-	dur := in.plan.throttleFraction() * runTime
+	rt := float64(runTime)
+	dur := in.plan.throttleFraction() * rt
 	// Place the window's start so it always fits inside the run.
-	start := in.throttlePos * (runTime - dur)
-	return []tegra.ThrottleWindow{{Start: start, Duration: dur, Factor: in.plan.throttleFactor()}}
+	start := in.throttlePos * (rt - dur)
+	return []tegra.ThrottleWindow{{
+		Start:    units.Second(start),
+		Duration: units.Second(dur),
+		Factor:   units.Ratio(in.plan.throttleFactor()),
+	}}
 }
 
 // BeginMeasure opens the attempt's measurement session: it fails the
 // whole session on an injected disconnect and otherwise positions the
 // spike window (if this measurement drew one) among the n samples.
-func (in *Injector) BeginMeasure(duration float64, n int) error {
+func (in *Injector) BeginMeasure(duration units.Second, n int) error {
 	if in.uDisconnect < in.plan.MeterDisconnect {
 		return Transient(ErrMeterDisconnect)
 	}
@@ -292,10 +298,10 @@ func (in *Injector) BeginMeasure(duration float64, n int) error {
 // ObserveSample filters one meter sample: clean is the value the meter
 // would record, prev the previous recorded sample. Spike windows
 // multiply the sample; dropouts hold the previous one.
-func (in *Injector) ObserveSample(i int, clean, prev float64) float64 {
+func (in *Injector) ObserveSample(i int, clean, prev units.Watt) units.Watt {
 	v := clean
 	if i >= in.spikeStart && i < in.spikeEnd {
-		v *= in.plan.spikeFactor()
+		v = units.Watt(float64(v) * in.plan.spikeFactor())
 	}
 	if in.plan.MeterDropout > 0 && in.rng.Float64() < in.plan.MeterDropout && i > 0 {
 		return prev

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"dvfsroofline/internal/units"
 )
 
 func TestZeroPlanInactive(t *testing.T) {
@@ -61,10 +63,10 @@ func drain(in *Injector) string {
 	dvfsErr := in.DVFSTransition()
 	wins := in.ThrottleWindows(0.5)
 	beginErr := in.BeginMeasure(0.5, 64)
-	var samples [64]float64
-	prev := 0.0
+	var samples [64]units.Watt
+	prev := units.Watt(0)
 	for i := range samples {
-		samples[i] = in.ObserveSample(i, float64(i)+1, prev)
+		samples[i] = in.ObserveSample(i, units.Watt(float64(i)+1), prev)
 		prev = samples[i]
 	}
 	return fmt.Sprint(dvfsErr, wins, beginErr, samples)

@@ -20,6 +20,7 @@ import (
 	"dvfsroofline/internal/powermon"
 	"dvfsroofline/internal/stats"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // Kind enumerates the microbenchmark families. The first five match the
@@ -183,7 +184,7 @@ func (b Benchmark) Workload(elements float64) tegra.Workload {
 	default:
 		panic(fmt.Sprintf("microbench: unknown kind %d", int(b.Kind)))
 	}
-	return tegra.Workload{Profile: p, Occupancy: b.Kind.occupancy()}
+	return tegra.Workload{Profile: p, Occupancy: units.Ratio(b.Kind.occupancy())}
 }
 
 // Sample is one measured benchmark execution: the model's training row.
@@ -191,9 +192,9 @@ type Sample struct {
 	Bench    Benchmark
 	Setting  dvfs.Setting
 	Workload tegra.Workload
-	Time     float64 // seconds, measured
-	Energy   float64 // joules, integrated from PowerMon samples
-	Power    float64 // watts, Energy / Time
+	Time     units.Second // measured
+	Energy   units.Joule  // integrated from PowerMon samples
+	Power    units.Watt   // Energy / Time
 }
 
 // Runner executes benchmarks on a device and measures each run with its
@@ -236,10 +237,10 @@ func SampleSeed(seed int64, b Benchmark, s dvfs.Setting) int64 {
 	return stats.MixSeed(seed,
 		int64(b.Kind),
 		int64(math.Float64bits(b.Intensity)),
-		int64(math.Float64bits(s.Core.FreqMHz)),
-		int64(math.Float64bits(s.Core.VoltageMV)),
-		int64(math.Float64bits(s.Mem.FreqMHz)),
-		int64(math.Float64bits(s.Mem.VoltageMV)))
+		int64(math.Float64bits(float64(s.Core.FreqMHz))),
+		int64(math.Float64bits(float64(s.Core.VoltageMV))),
+		int64(math.Float64bits(float64(s.Mem.FreqMHz))),
+		int64(math.Float64bits(float64(s.Mem.VoltageMV))))
 }
 
 // meterFor returns the fresh, deterministically seeded meter that
@@ -283,7 +284,7 @@ func (r *Runner) SizeFor(b Benchmark, s dvfs.Setting, target float64) float64 {
 		target = 0.3
 	}
 	probe := r.Device.Execute(b.Workload(1e6), s)
-	return 1e6 * target / probe.Time
+	return 1e6 * target / float64(probe.Time)
 }
 
 // RunSized executes and measures a benchmark with a fixed element count.

@@ -108,7 +108,7 @@ func TestRunMeasurementTracksTruth(t *testing.T) {
 		t.Fatal(err)
 	}
 	truth := dev.Execute(smp.Workload, s).TrueEnergy()
-	rel := math.Abs(smp.Energy-truth) / truth
+	rel := math.Abs(float64(smp.Energy-truth)) / float64(truth)
 	if rel > 0.08 {
 		t.Errorf("measured energy off truth by %v", rel)
 	}
@@ -218,7 +218,7 @@ func TestSizeForHitsTarget(t *testing.T) {
 	for _, s := range []dvfs.Setting{dvfs.MaxSetting(), dvfs.MustSetting(180, 204)} {
 		elements := r.SizeFor(b, s, 0.2)
 		exec := tegra.NewDevice().Execute(b.Workload(elements), s)
-		if math.Abs(exec.Time-0.2) > 1e-9 {
+		if math.Abs(float64(exec.Time)-0.2) > 1e-9 {
 			t.Errorf("%v: sized run takes %v s, want 0.2", s, exec.Time)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"dvfsroofline/internal/linalg"
+	"dvfsroofline/internal/units"
 )
 
 // ErrMaxIterations is returned when the active-set loop fails to converge.
@@ -22,20 +23,29 @@ import (
 // limit indicates a pathologically conditioned problem.
 var ErrMaxIterations = errors.New("nnls: exceeded maximum iterations")
 
-// Result reports the solution and diagnostics of an NNLS solve.
+// Result reports the solution and diagnostics of an NNLS solve. X stays
+// raw float64 because its entries are dimensionally heterogeneous — for
+// the Eq. 9 fit they mix pJ/op/V², W/V and W coefficients — and acquire
+// their unit types only when core.Fit unpacks them into a Model.
 type Result struct {
-	X          []float64 // solution, all entries >= 0
-	Residual   float64   // ||A*x - b||_2
-	Iterations int       // outer-loop iterations used
-	Passive    []bool    // Passive[j] reports whether x[j] is unconstrained (in the passive set)
+	X          []float64   // solution, all entries >= 0
+	Residual   units.Joule // ||A*x - b||_2
+	Iterations int         // outer-loop iterations used
+	Passive    []bool      // Passive[j] reports whether x[j] is unconstrained (in the passive set)
 }
 
-// Solve runs Lawson–Hanson NNLS. The tolerance for the dual feasibility
-// test is scaled from the data; passing tol <= 0 selects it automatically.
-func Solve(a *linalg.Matrix, b []float64, tol float64) (*Result, error) {
+// Solve runs Lawson–Hanson NNLS on measured energies: given the design
+// matrix A and the observed right-hand side, find x >= 0 minimizing
+// ||A*x - rhs||_2. The tolerance for the dual feasibility test is scaled
+// from the data; passing tol <= 0 selects it automatically.
+func Solve(a *linalg.Matrix, rhs []units.Joule, tol float64) (*Result, error) {
 	m, n := a.Rows, a.Cols
-	if len(b) != m {
+	if len(rhs) != m {
 		panic("nnls: right-hand side length mismatch")
+	}
+	b := make([]float64, len(rhs))
+	for i, v := range rhs {
+		b[i] = float64(v)
 	}
 	if tol <= 0 {
 		// Standard choice: a small multiple of machine epsilon scaled by
@@ -153,7 +163,7 @@ func Solve(a *linalg.Matrix, b []float64, tol float64) (*Result, error) {
 	}
 	return &Result{
 		X:          x,
-		Residual:   linalg.Norm2(resid),
+		Residual:   units.Joule(linalg.Norm2(resid)),
 		Iterations: iters,
 		Passive:    passive,
 	}, nil

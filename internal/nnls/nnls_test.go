@@ -7,7 +7,18 @@ import (
 	"testing/quick"
 
 	"dvfsroofline/internal/linalg"
+	"dvfsroofline/internal/units"
 )
+
+// joules converts a raw right-hand-side vector to the typed form Solve
+// takes, keeping the test matrices in plain float64.
+func joules(v []float64) []units.Joule {
+	out := make([]units.Joule, len(v))
+	for i, x := range v {
+		out[i] = units.Joule(x)
+	}
+	return out
+}
 
 func TestSolveRecoverNonnegative(t *testing.T) {
 	// When the unconstrained LS solution is already non-negative, NNLS
@@ -20,7 +31,7 @@ func TestSolveRecoverNonnegative(t *testing.T) {
 	})
 	want := []float64{1, 0.5, 2}
 	b := a.MulVec(want)
-	res, err := Solve(a, b, 0)
+	res, err := Solve(a, joules(b), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +55,7 @@ func TestSolveClampsNegative(t *testing.T) {
 	// Unconstrained solution of b=(0,2) is x=(1,-1); NNLS must return
 	// x=(x1,0) minimizing (x1)²+(x1-2)² -> x1=1.
 	b := []float64{0, 2}
-	res, err := Solve(a, b, 0)
+	res, err := Solve(a, joules(b), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +70,14 @@ func TestSolveClampsNegative(t *testing.T) {
 func TestSolveAllZero(t *testing.T) {
 	// If b is in the cone of -A columns, the best non-negative x is 0.
 	a := linalg.FromRows([][]float64{{1}, {1}})
-	res, err := Solve(a, []float64{-1, -1}, 0)
+	res, err := Solve(a, []units.Joule{-1, -1}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.X[0] != 0 {
 		t.Errorf("x = %v, want 0", res.X[0])
 	}
-	if math.Abs(res.Residual-math.Sqrt(2)) > 1e-12 {
+	if math.Abs(float64(res.Residual)-math.Sqrt(2)) > 1e-12 {
 		t.Errorf("residual = %v, want sqrt(2)", res.Residual)
 	}
 }
@@ -86,7 +97,7 @@ func TestKKTConditions(t *testing.T) {
 		for i := range b {
 			b[i] = rng.NormFloat64()
 		}
-		res, err := Solve(a, b, 0)
+		res, err := Solve(a, joules(b), 0)
 		if err != nil {
 			return true // ill-conditioned draw is acceptable
 		}
@@ -128,11 +139,11 @@ func TestResidualNeverWorseThanZeroVector(t *testing.T) {
 		for i := range b {
 			b[i] = rng.NormFloat64()
 		}
-		res, err := Solve(a, b, 0)
+		res, err := Solve(a, joules(b), 0)
 		if err != nil {
 			return true
 		}
-		return res.Residual <= linalg.Norm2(b)+1e-9
+		return float64(res.Residual) <= linalg.Norm2(b)+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -160,7 +171,7 @@ func TestEnergyModelShapedProblem(t *testing.T) {
 		}
 		b[i] = dot * (1 + 0.001*rng.NormFloat64())
 	}
-	res, err := Solve(a, b, 0)
+	res, err := Solve(a, joules(b), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +203,7 @@ func TestDegenerateColumnNoLivelock(t *testing.T) {
 		{0, 0},
 	})
 	b := []float64{1, 1e6, 0}
-	res, err := Solve(a, b, 0)
+	res, err := Solve(a, joules(b), 0)
 	if err != nil {
 		t.Fatalf("degenerate column livelocked: %v", err)
 	}
@@ -229,7 +240,7 @@ func TestNearDuplicateColumnsStress(t *testing.T) {
 		for i := range b {
 			b[i] = rng.NormFloat64() * math.Pow(10, float64(trial%7)-3)
 		}
-		res, err := Solve(a, b, 0)
+		res, err := Solve(a, joules(b), 0)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -238,7 +249,7 @@ func TestNearDuplicateColumnsStress(t *testing.T) {
 				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, xj)
 			}
 		}
-		if zero := linalg.Norm2(b); res.Residual > zero*(1+1e-9) {
+		if zero := linalg.Norm2(b); float64(res.Residual) > zero*(1+1e-9) {
 			t.Fatalf("trial %d: residual %v worse than zero vector %v", trial, res.Residual, zero)
 		}
 	}
@@ -250,5 +261,5 @@ func TestSolveRHSMismatchPanics(t *testing.T) {
 			t.Error("expected panic for mismatched rhs")
 		}
 	}()
-	Solve(linalg.NewMatrix(3, 2), []float64{1, 2}, 0)
+	Solve(linalg.NewMatrix(3, 2), []units.Joule{1, 2}, 0)
 }

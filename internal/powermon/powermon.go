@@ -21,17 +21,26 @@ import (
 	"math"
 
 	"dvfsroofline/internal/stats"
+	"dvfsroofline/internal/units"
 )
 
 // MaxSampleRate is the PowerMon 2's maximum sampling rate in Hz.
 const MaxSampleRate = 1024.0
 
+// MaxSamples bounds one measurement session: about 68 minutes at full
+// rate, three orders of magnitude above any run the harnesses produce
+// (microbenchmark windows are fractions of a second). The bound exists
+// because Measure's duration can descend from untrusted input — an
+// energyd autotune body with absurd operation counts yields an absurd
+// simulated runtime — and the sample buffer must not be sized by it.
+const MaxSamples = 4 << 20
+
 // Config describes one measurement session.
 type Config struct {
-	SampleRate float64 // samples per second; clamped to MaxSampleRate
-	GainSigma  float64 // relative std-dev of the per-measurement gain error
-	NoiseSigma float64 // additive white noise per sample, in watts
-	QuantumW   float64 // ADC quantization step in watts (0 disables)
+	SampleRate units.Hertz // samples per second; clamped to MaxSampleRate
+	GainSigma  units.Ratio // relative std-dev of the per-measurement gain error
+	NoiseSigma units.Watt  // additive white noise per sample
+	QuantumW   units.Watt  // ADC quantization step (0 disables)
 
 	// Faults, if non-nil, intercepts the measurement session: it may
 	// abort the session before the first sample (a meter disconnect) and
@@ -57,8 +66,8 @@ func (c Config) Validate() error {
 // meter would record (clean) and the previously recorded sample (prev);
 // the return value is what the meter stores.
 type FaultInjector interface {
-	BeginMeasure(duration float64, samples int) error
-	ObserveSample(i int, clean, prev float64) float64
+	BeginMeasure(duration units.Second, samples int) error
+	ObserveSample(i int, clean, prev units.Watt) units.Watt
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -102,10 +111,10 @@ func MustMeter(cfg Config, seed int64) *Meter {
 
 // Measurement is the outcome of sampling one run.
 type Measurement struct {
-	Duration  float64   // seconds observed
-	Samples   []float64 // sampled power values, watts
-	Energy    float64   // joules, trapezoidal integral of Samples
-	MeanPower float64   // watts, Energy / Duration
+	Duration  units.Second // time observed
+	Samples   []units.Watt // sampled power values
+	Energy    units.Joule  // trapezoidal integral of Samples
+	MeanPower units.Watt   // Energy / Duration
 }
 
 // Measure samples the power trace over [0, duration] and integrates the
@@ -120,19 +129,26 @@ type Measurement struct {
 // [(n-1)·dt, duration] is integrated rather than silently dropped —
 // without it every measurement under-reads by up to one sample period of
 // power.
-func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measurement, error) {
-	if duration <= 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
-		return Measurement{}, fmt.Errorf("powermon: invalid duration %g", duration)
+func (m *Meter) Measure(trace func(t units.Second) units.Watt, duration units.Second) (Measurement, error) {
+	dur := float64(duration)
+	if dur <= 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
+		return Measurement{}, fmt.Errorf("powermon: invalid duration %g", dur)
 	}
-	dt := 1 / m.cfg.SampleRate
-	n := int(duration/dt) + 1
+	rate := float64(m.cfg.SampleRate)
+	// Reject oversized runs on the float product, before the conversion
+	// to int below can overflow for astronomically long durations.
+	if dur*rate > MaxSamples-1 {
+		return Measurement{}, fmt.Errorf("powermon: run of %gs needs more than %d samples at %g Hz; split or subsample the run", dur, MaxSamples, rate)
+	}
+	dt := 1 / rate
+	n := int(dur/dt) + 1
 	if n < 3 {
-		return Measurement{}, fmt.Errorf("powermon: run of %gs too short to sample at %g Hz", duration, m.cfg.SampleRate)
+		return Measurement{}, fmt.Errorf("powermon: run of %gs too short to sample at %g Hz", dur, rate)
 	}
 	// The last grid point sits at (n-1)·dt <= duration. Unless the run is
 	// grid-aligned, a tail of up to one sample period remains; close it
 	// with one extra sample at the trailing edge.
-	tail := duration - float64(n-1)*dt
+	tail := dur - float64(n-1)*dt
 	total := n
 	if tail > dt*1e-9 {
 		total = n + 1
@@ -142,28 +158,28 @@ func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measur
 			return Measurement{}, fmt.Errorf("powermon: %w", err)
 		}
 	}
-	gain := m.rng.Normal(1, m.cfg.GainSigma)
-	samples := make([]float64, total)
+	gain := m.rng.Normal(1, float64(m.cfg.GainSigma))
+	samples := make([]units.Watt, total)
 	for i := 0; i < total; i++ {
 		t := float64(i) * dt
-		if t > duration {
-			t = duration // the appended closing sample
+		if t > dur {
+			t = dur // the appended closing sample
 		}
-		v := trace(t)*gain + m.rng.Normal(0, m.cfg.NoiseSigma)
-		if q := m.cfg.QuantumW; q > 0 {
+		v := float64(trace(units.Second(t)))*gain + m.rng.Normal(0, float64(m.cfg.NoiseSigma))
+		if q := float64(m.cfg.QuantumW); q > 0 {
 			v = math.Round(v/q) * q
 		}
 		if v < 0 {
 			v = 0
 		}
 		if f := m.cfg.Faults; f != nil {
-			var prev float64
+			var prev units.Watt
 			if i > 0 {
 				prev = samples[i-1]
 			}
-			v = f.ObserveSample(i, v, prev)
+			v = float64(f.ObserveSample(i, units.Watt(v), prev))
 		}
-		samples[i] = v
+		samples[i] = units.Watt(v)
 	}
 	// Trapezoidal integration: full sample periods over the grid, then
 	// the closing trapezoid over the partial tail interval.
@@ -173,24 +189,24 @@ func (m *Meter) Measure(trace func(t float64) float64, duration float64) (Measur
 		if i == n {
 			step = tail
 		}
-		energy += 0.5 * (samples[i-1] + samples[i]) * step
+		energy += 0.5 * (float64(samples[i-1]) + float64(samples[i])) * step
 	}
 	return Measurement{
 		Duration:  duration,
 		Samples:   samples,
-		Energy:    energy,
-		MeanPower: energy / duration,
+		Energy:    units.Joule(energy),
+		MeanPower: units.Watt(energy / dur),
 	}, nil
 }
 
 // MinDuration returns the shortest run the meter can integrate with at
 // least k samples. Harnesses use it to size kernel repetition counts.
-func (m *Meter) MinDuration(k int) float64 {
+func (m *Meter) MinDuration(k int) units.Second {
 	if k < 3 {
 		k = 3
 	}
-	return float64(k) / m.cfg.SampleRate
+	return units.Second(float64(k) / float64(m.cfg.SampleRate))
 }
 
-// SampleRate returns the configured sampling rate in Hz.
-func (m *Meter) SampleRate() float64 { return m.cfg.SampleRate }
+// SampleRate returns the configured sampling rate.
+func (m *Meter) SampleRate() units.Hertz { return m.cfg.SampleRate }

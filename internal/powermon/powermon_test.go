@@ -8,23 +8,24 @@ import (
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // noiseless returns a config with every error source disabled.
-func noiseless(rate float64) Config {
+func noiseless(rate units.Hertz) Config {
 	return Config{SampleRate: rate}
 }
 
 func TestConstantTraceExactWithoutNoise(t *testing.T) {
 	m := MustMeter(noiseless(1024), 1)
-	meas, err := m.Measure(func(float64) float64 { return 5.0 }, 1.0)
+	meas, err := m.Measure(func(units.Second) units.Watt { return 5.0 }, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(meas.Energy-5.0) > 1e-9 {
+	if math.Abs(float64(meas.Energy)-5.0) > 1e-9 {
 		t.Errorf("energy = %v, want 5.0 J", meas.Energy)
 	}
-	if math.Abs(meas.MeanPower-5.0) > 1e-9 {
+	if math.Abs(float64(meas.MeanPower)-5.0) > 1e-9 {
 		t.Errorf("mean power = %v, want 5.0 W", meas.MeanPower)
 	}
 }
@@ -32,12 +33,12 @@ func TestConstantTraceExactWithoutNoise(t *testing.T) {
 func TestLinearTraceTrapezoidExact(t *testing.T) {
 	// The trapezoid rule is exact for linear integrands.
 	m := MustMeter(noiseless(512), 1)
-	meas, err := m.Measure(func(t float64) float64 { return 2 + 3*t }, 1.0)
+	meas, err := m.Measure(func(t units.Second) units.Watt { return units.Watt(2 + 3*float64(t)) }, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := 2.0 + 1.5 // integral of 2+3t over [0,1]
-	if math.Abs(meas.Energy-want) > 1e-9 {
+	if math.Abs(float64(meas.Energy)-want) > 1e-9 {
 		t.Errorf("energy = %v, want %v", meas.Energy, want)
 	}
 }
@@ -49,12 +50,12 @@ func TestLinearTraceTrapezoidExact(t *testing.T) {
 func TestTailIntervalIntegrated(t *testing.T) {
 	m := MustMeter(noiseless(1024), 1)
 	const duration = 0.5004999
-	meas, err := m.Measure(func(float64) float64 { return 10.0 }, duration)
+	meas, err := m.Measure(func(units.Second) units.Watt { return 10.0 }, duration)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := 10.0 * duration // 5.004999 J
-	if rel := math.Abs(meas.Energy-want) / want; rel > 1e-6 {
+	if rel := math.Abs(float64(meas.Energy)-want) / want; rel > 1e-6 {
 		t.Errorf("energy = %.9f J, want %.9f J (rel err %g)", meas.Energy, want, rel)
 	}
 }
@@ -65,7 +66,7 @@ func TestTailIntervalIntegrated(t *testing.T) {
 // duration — including ones that are not integer multiples of the sample
 // period, where the old code silently dropped the closing interval.
 func TestMeasureClosedFormOffGrid(t *testing.T) {
-	rates := []float64{256, 512, 1000, 1024}
+	rates := []units.Hertz{256, 512, 1000, 1024}
 	// A spread of durations: grid-aligned, barely off-grid, half-period
 	// off, and nearly one full period off.
 	durations := []float64{
@@ -74,22 +75,22 @@ func TestMeasureClosedFormOffGrid(t *testing.T) {
 	}
 	traces := []struct {
 		name   string
-		f      func(t float64) float64
+		f      func(t units.Second) units.Watt
 		energy func(d float64) float64 // closed-form integral over [0, d]
 	}{
-		{"constant", func(float64) float64 { return 7.25 }, func(d float64) float64 { return 7.25 * d }},
-		{"linear", func(t float64) float64 { return 2 + 3*t }, func(d float64) float64 { return 2*d + 1.5*d*d }},
+		{"constant", func(units.Second) units.Watt { return 7.25 }, func(d float64) float64 { return 7.25 * d }},
+		{"linear", func(t units.Second) units.Watt { return units.Watt(2 + 3*float64(t)) }, func(d float64) float64 { return 2*d + 1.5*d*d }},
 	}
 	for _, rate := range rates {
 		for _, d := range durations {
 			for _, tr := range traces {
 				m := MustMeter(noiseless(rate), 1)
-				meas, err := m.Measure(tr.f, d)
+				meas, err := m.Measure(tr.f, units.Second(d))
 				if err != nil {
 					t.Fatalf("rate %g duration %g: %v", rate, d, err)
 				}
 				want := tr.energy(d)
-				if rel := math.Abs(meas.Energy-want) / want; rel > 1e-9 {
+				if rel := math.Abs(float64(meas.Energy)-want) / want; rel > 1e-9 {
 					t.Errorf("%s trace, rate %g Hz, duration %g s: energy %.12g J, want %.12g J (rel %g)",
 						tr.name, rate, d, meas.Energy, want, rel)
 				}
@@ -100,13 +101,13 @@ func TestMeasureClosedFormOffGrid(t *testing.T) {
 
 func TestTooShortRunRejected(t *testing.T) {
 	m := MustMeter(DefaultConfig(), 1)
-	if _, err := m.Measure(func(float64) float64 { return 1 }, 0.001); err == nil {
+	if _, err := m.Measure(func(units.Second) units.Watt { return 1 }, 0.001); err == nil {
 		t.Error("expected error for sub-sample-period run")
 	}
-	if _, err := m.Measure(func(float64) float64 { return 1 }, -1); err == nil {
+	if _, err := m.Measure(func(units.Second) units.Watt { return 1 }, -1); err == nil {
 		t.Error("expected error for negative duration")
 	}
-	if _, err := m.Measure(func(float64) float64 { return 1 }, math.NaN()); err == nil {
+	if _, err := m.Measure(func(units.Second) units.Watt { return 1 }, units.Second(math.NaN())); err == nil {
 		t.Error("expected error for NaN duration")
 	}
 }
@@ -120,15 +121,15 @@ func TestGainErrorBoundsAccuracy(t *testing.T) {
 	var sum float64
 	const reps = 300
 	for i := 0; i < reps; i++ {
-		meas, err := m.Measure(func(float64) float64 { return truth }, 0.5)
+		meas, err := m.Measure(func(units.Second) units.Watt { return truth }, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rel := math.Abs(meas.Energy-truth*0.5) / (truth * 0.5)
+		rel := math.Abs(float64(meas.Energy)-truth*0.5) / (truth * 0.5)
 		if rel > 0.11 { // ~4 sigma of the default 3% gain error
 			t.Errorf("measurement %d: relative error %v too large", i, rel)
 		}
-		sum += meas.Energy
+		sum += float64(meas.Energy)
 	}
 	meanRel := math.Abs(sum/reps-truth*0.5) / (truth * 0.5)
 	if meanRel > 0.005 {
@@ -139,12 +140,12 @@ func TestGainErrorBoundsAccuracy(t *testing.T) {
 func TestQuantization(t *testing.T) {
 	cfg := Config{SampleRate: 1024, QuantumW: 0.5}
 	m := MustMeter(cfg, 1)
-	meas, err := m.Measure(func(float64) float64 { return 5.2 }, 0.25)
+	meas, err := m.Measure(func(units.Second) units.Watt { return 5.2 }, 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range meas.Samples {
-		if math.Abs(s-math.Round(s/0.5)*0.5) > 1e-12 {
+		if math.Abs(float64(s)-math.Round(float64(s)/0.5)*0.5) > 1e-12 {
 			t.Fatalf("sample %v not quantized to 0.5 W", s)
 		}
 	}
@@ -153,7 +154,7 @@ func TestQuantization(t *testing.T) {
 func TestNegativeClamped(t *testing.T) {
 	cfg := Config{SampleRate: 1024, NoiseSigma: 2.0}
 	m := MustMeter(cfg, 7)
-	meas, err := m.Measure(func(float64) float64 { return 0.1 }, 0.5)
+	meas, err := m.Measure(func(units.Second) units.Watt { return 0.1 }, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +166,12 @@ func TestNegativeClamped(t *testing.T) {
 }
 
 func TestDeterministicPerSeed(t *testing.T) {
-	a, _ := MustMeter(DefaultConfig(), 9).Measure(func(t float64) float64 { return 3 + t }, 0.5)
-	b, _ := MustMeter(DefaultConfig(), 9).Measure(func(t float64) float64 { return 3 + t }, 0.5)
+	a, _ := MustMeter(DefaultConfig(), 9).Measure(func(t units.Second) units.Watt { return units.Watt(3 + float64(t)) }, 0.5)
+	b, _ := MustMeter(DefaultConfig(), 9).Measure(func(t units.Second) units.Watt { return units.Watt(3 + float64(t)) }, 0.5)
 	if a.Energy != b.Energy {
 		t.Error("same seed should reproduce the measurement")
 	}
-	c, _ := MustMeter(DefaultConfig(), 10).Measure(func(t float64) float64 { return 3 + t }, 0.5)
+	c, _ := MustMeter(DefaultConfig(), 10).Measure(func(t units.Second) units.Watt { return units.Watt(3 + float64(t)) }, 0.5)
 	if a.Energy == c.Energy {
 		t.Error("different seeds should perturb the measurement")
 	}
@@ -223,17 +224,17 @@ type stubInjector struct {
 	sawSamples int
 }
 
-func (f *stubInjector) BeginMeasure(duration float64, samples int) error {
+func (f *stubInjector) BeginMeasure(duration units.Second, samples int) error {
 	f.sawSamples = samples
 	return f.beginErr
 }
 
-func (f *stubInjector) ObserveSample(i int, clean, prev float64) float64 {
+func (f *stubInjector) ObserveSample(i int, clean, prev units.Watt) units.Watt {
 	if f.dropFrom > 0 && i >= f.dropFrom {
 		return prev
 	}
 	if f.scale != 0 {
-		return clean * f.scale
+		return clean * units.Watt(f.scale)
 	}
 	return clean
 }
@@ -243,7 +244,7 @@ func TestFaultInjectorAbortsSession(t *testing.T) {
 	cfg := noiseless(1024)
 	cfg.Faults = inj
 	m := MustMeter(cfg, 1)
-	if _, err := m.Measure(func(float64) float64 { return 5 }, 1.0); err == nil {
+	if _, err := m.Measure(func(units.Second) units.Watt { return 5 }, 1.0); err == nil {
 		t.Fatal("expected the injected BeginMeasure error to abort Measure")
 	}
 	if inj.sawSamples < 1024 {
@@ -257,23 +258,23 @@ func TestFaultInjectorRewritesSamples(t *testing.T) {
 	cfg := noiseless(1024)
 	cfg.Faults = &stubInjector{scale: 2}
 	m := MustMeter(cfg, 1)
-	meas, err := m.Measure(func(float64) float64 { return 5 }, 1.0)
+	meas, err := m.Measure(func(units.Second) units.Watt { return 5 }, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(meas.Energy-10.0) > 1e-9 {
+	if math.Abs(float64(meas.Energy)-10.0) > 1e-9 {
 		t.Errorf("scaled energy = %v, want 10 J", meas.Energy)
 	}
 
 	cfg.Faults = &stubInjector{dropFrom: 1}
 	m = MustMeter(cfg, 1)
-	meas, err = m.Measure(func(t float64) float64 { return 1 + 8*t }, 1.0)
+	meas, err = m.Measure(func(t units.Second) units.Watt { return units.Watt(1 + 8*float64(t)) }, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Every sample after the first repeats it, so the integral collapses
 	// to the held first reading.
-	if math.Abs(meas.Energy-1.0) > 1e-9 {
+	if math.Abs(float64(meas.Energy)-1.0) > 1e-9 {
 		t.Errorf("sample-and-hold energy = %v, want 1 J", meas.Energy)
 	}
 }
@@ -295,7 +296,7 @@ func TestMeasureTegraRunMatchesTrueEnergy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rel := math.Abs(meas.Energy-e.TrueEnergy()) / e.TrueEnergy()
+	rel := math.Abs(float64(meas.Energy-e.TrueEnergy())) / float64(e.TrueEnergy())
 	if rel > 0.08 {
 		t.Errorf("measured %v J vs true %v J (rel %v)", meas.Energy, e.TrueEnergy(), rel)
 	}

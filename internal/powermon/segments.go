@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dvfsroofline/internal/stats"
+	"dvfsroofline/internal/units"
 )
 
 // Trace segmentation: the paper's goal is to "identify where a program
@@ -16,38 +17,45 @@ import (
 
 // Segment is one detected constant-power region of a trace.
 type Segment struct {
-	Start, End float64 // seconds, [Start, End)
-	MeanPower  float64 // watts
-	Energy     float64 // joules, MeanPower x duration
+	Start, End units.Second // [Start, End)
+	MeanPower  units.Watt
+	Energy     units.Joule // MeanPower x duration
 }
 
-// Duration returns the segment length in seconds.
-func (s Segment) Duration() float64 { return s.End - s.Start }
+// Duration returns the segment length.
+func (s Segment) Duration() units.Second { return s.End - s.Start }
 
 // SegmentTrace partitions a measurement into constant-power segments by
 // recursive binary splitting: the best split point of a region is the
 // one maximizing the mean-power difference between its two sides, and a
 // split is accepted while that difference exceeds both the noise floor
-// (estimated from first differences) and minJump watts. Regions shorter
-// than minDuration seconds are never split.
-func (m *Meter) SegmentTrace(meas Measurement, minDuration, minJump float64) ([]Segment, error) {
+// (estimated from first differences) and minJump. Regions shorter than
+// minDuration are never split.
+func (m *Meter) SegmentTrace(meas Measurement, minDuration units.Second, minJump units.Watt) ([]Segment, error) {
 	if len(meas.Samples) < 4 {
 		return nil, fmt.Errorf("powermon: too few samples to segment")
 	}
-	if minDuration <= 0 {
-		minDuration = 4 / m.cfg.SampleRate
+	samples := make([]float64, len(meas.Samples))
+	for i, v := range meas.Samples {
+		samples[i] = float64(v)
 	}
-	dt := 1 / m.cfg.SampleRate
-	minLen := int(minDuration / dt)
+	rate := float64(m.cfg.SampleRate)
+	minDur := float64(minDuration)
+	if minDur <= 0 {
+		minDur = 4 / rate
+	}
+	jump := float64(minJump)
+	dt := 1 / rate
+	minLen := int(minDur / dt)
 	if minLen < 2 {
 		minLen = 2
 	}
 
 	// Noise floor: median absolute first difference, scaled. Robust to
 	// the step changes themselves (they are rare among the diffs).
-	noise := stats.MedianAbsDiff(meas.Samples) * 3
-	if minJump < noise {
-		minJump = noise
+	noise := stats.MedianAbsDiff(samples) * 3
+	if jump < noise {
+		jump = noise
 	}
 
 	var bounds []int
@@ -61,7 +69,7 @@ func (m *Meter) SegmentTrace(meas Measurement, minDuration, minJump float64) ([]
 		var sum float64
 		prefix := make([]float64, hi-lo+1)
 		for i := lo; i < hi; i++ {
-			sum += meas.Samples[i]
+			sum += samples[i]
 			prefix[i-lo+1] = sum
 		}
 		total := prefix[hi-lo]
@@ -72,37 +80,37 @@ func (m *Meter) SegmentTrace(meas Measurement, minDuration, minJump float64) ([]
 				bestGap, best = gap, cut
 			}
 		}
-		if best < 0 || bestGap < minJump {
+		if best < 0 || bestGap < jump {
 			return
 		}
 		split(lo, best)
 		bounds = append(bounds, best)
 		split(best, hi)
 	}
-	split(0, len(meas.Samples))
+	split(0, len(samples))
 
 	// Assemble segments from the sorted boundaries (recursion emits them
 	// in order).
 	edges := append([]int{0}, bounds...)
-	edges = append(edges, len(meas.Samples))
+	edges = append(edges, len(samples))
 	out := make([]Segment, 0, len(edges)-1)
 	for i := 1; i < len(edges); i++ {
 		lo, hi := edges[i-1], edges[i]
 		var sum float64
 		for j := lo; j < hi; j++ {
-			sum += meas.Samples[j]
+			sum += samples[j]
 		}
 		mean := sum / float64(hi-lo)
 		start := float64(lo) * dt
 		end := float64(hi) * dt
-		if end > meas.Duration {
-			end = meas.Duration
+		if end > float64(meas.Duration) {
+			end = float64(meas.Duration)
 		}
 		out = append(out, Segment{
-			Start:     start,
-			End:       end,
-			MeanPower: mean,
-			Energy:    mean * (end - start),
+			Start:     units.Second(start),
+			End:       units.Second(end),
+			MeanPower: units.Watt(mean),
+			Energy:    units.Joule(mean * (end - start)),
 		})
 	}
 	return out, nil

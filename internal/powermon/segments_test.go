@@ -3,13 +3,15 @@ package powermon
 import (
 	"math"
 	"testing"
+
+	"dvfsroofline/internal/units"
 )
 
 // stepTrace builds a piecewise-constant power function.
-func stepTrace(levels []float64, segDur float64) (func(float64) float64, float64) {
-	total := segDur * float64(len(levels))
-	return func(t float64) float64 {
-		idx := int(t / segDur)
+func stepTrace(levels []units.Watt, segDur float64) (func(units.Second) units.Watt, units.Second) {
+	total := units.Second(segDur * float64(len(levels)))
+	return func(t units.Second) units.Watt {
+		idx := int(float64(t) / segDur)
 		if idx < 0 {
 			idx = 0
 		}
@@ -21,7 +23,7 @@ func stepTrace(levels []float64, segDur float64) (func(float64) float64, float64
 }
 
 func TestSegmentTraceCleanSteps(t *testing.T) {
-	levels := []float64{5, 9, 6.5}
+	levels := []units.Watt{5, 9, 6.5}
 	trace, dur := stepTrace(levels, 0.5)
 	m := MustMeter(Config{SampleRate: 1024}, 1) // noiseless
 	meas, err := m.Measure(trace, dur)
@@ -36,17 +38,17 @@ func TestSegmentTraceCleanSteps(t *testing.T) {
 		t.Fatalf("found %d segments, want 3: %+v", len(segs), segs)
 	}
 	for i, want := range levels {
-		if math.Abs(segs[i].MeanPower-want) > 0.05 {
+		if math.Abs(float64(segs[i].MeanPower-want)) > 0.05 {
 			t.Errorf("segment %d mean %.2f, want %.2f", i, segs[i].MeanPower, want)
 		}
-		if math.Abs(segs[i].Duration()-0.5) > 0.02 {
+		if math.Abs(float64(segs[i].Duration())-0.5) > 0.02 {
 			t.Errorf("segment %d duration %.3f, want 0.5", i, segs[i].Duration())
 		}
 	}
 }
 
 func TestSegmentTraceWithNoise(t *testing.T) {
-	levels := []float64{6, 10}
+	levels := []units.Watt{6, 10}
 	trace, dur := stepTrace(levels, 0.8)
 	m := MustMeter(DefaultConfig(), 3)
 	meas, err := m.Measure(trace, dur)
@@ -61,14 +63,14 @@ func TestSegmentTraceWithNoise(t *testing.T) {
 		t.Fatalf("found %d segments, want 2", len(segs))
 	}
 	// Boundary within 30 ms of the true step.
-	if math.Abs(segs[0].End-0.8) > 0.03 {
+	if math.Abs(float64(segs[0].End)-0.8) > 0.03 {
 		t.Errorf("boundary at %.3f, want 0.8", segs[0].End)
 	}
 }
 
 func TestSegmentTraceFlat(t *testing.T) {
 	m := MustMeter(DefaultConfig(), 5)
-	meas, err := m.Measure(func(float64) float64 { return 7 }, 1.0)
+	meas, err := m.Measure(func(units.Second) units.Watt { return 7 }, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestSegmentTraceFlat(t *testing.T) {
 }
 
 func TestSegmentEnergySumsToTotal(t *testing.T) {
-	levels := []float64{5, 8, 6, 9}
+	levels := []units.Watt{5, 8, 6, 9}
 	trace, dur := stepTrace(levels, 0.4)
 	m := MustMeter(Config{SampleRate: 1024}, 7)
 	meas, err := m.Measure(trace, dur)
@@ -93,18 +95,18 @@ func TestSegmentEnergySumsToTotal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sum float64
+	var sum units.Joule
 	for _, s := range segs {
 		sum += s.Energy
 	}
-	if rel := math.Abs(sum-meas.Energy) / meas.Energy; rel > 0.01 {
+	if rel := math.Abs(float64(sum-meas.Energy)) / float64(meas.Energy); rel > 0.01 {
 		t.Errorf("segment energies sum to %.3f vs measured %.3f", sum, meas.Energy)
 	}
 }
 
 func TestSegmentTraceTooShort(t *testing.T) {
 	m := MustMeter(DefaultConfig(), 9)
-	if _, err := m.SegmentTrace(Measurement{Samples: []float64{1, 2}}, 0, 0); err == nil {
+	if _, err := m.SegmentTrace(Measurement{Samples: []units.Watt{1, 2}}, 0, 0); err == nil {
 		t.Error("expected error for too-short trace")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"dvfsroofline/internal/core"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/units"
 )
 
 // Fixture calibration: a small, fully deterministic sample campaign
@@ -55,7 +56,7 @@ func FixtureSamples() []core.Sample {
 			p := pj.profile()
 			// A deterministic, physically plausible runtime: longer on
 			// slower clocks, different per profile.
-			t := 0.2 * (1 + 0.1*float64(pi)) * (852.0 / s.Core.FreqMHz)
+			t := units.Second(0.2 * (1 + 0.1*float64(pi)) * (852.0 / float64(s.Core.FreqMHz)))
 			samples = append(samples, core.Sample{
 				Profile: p,
 				Setting: s,

@@ -14,6 +14,7 @@ import (
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
 )
 
 // maxBodyBytes bounds request bodies; profiles are a handful of numbers.
@@ -22,40 +23,43 @@ const maxBodyBytes = 1 << 20
 // ProfileJSON is the wire form of an operation profile: every field is
 // an operation or word count for one kernel execution. Field names
 // match the calibration CSV columns, so a row of samples.csv maps
-// directly onto a request body.
+// directly onto a request body. The unit types marshal exactly like the
+// raw floats they replaced, so no wire byte moved.
 type ProfileJSON struct {
-	SP          float64 `json:"sp,omitempty"`           // single-precision flop count
-	DPFMA       float64 `json:"dp_fma,omitempty"`       // double-precision FMA count
-	DPAdd       float64 `json:"dp_add,omitempty"`       // double-precision add count
-	DPMul       float64 `json:"dp_mul,omitempty"`       // double-precision mul count
-	Int         float64 `json:"int,omitempty"`          // integer instruction count
-	SharedWords float64 `json:"shared_words,omitempty"` // shared-memory words
-	L1Words     float64 `json:"l1_words,omitempty"`     // L1 words
-	L2Words     float64 `json:"l2_words,omitempty"`     // L2 words
-	DRAMWords   float64 `json:"dram_words,omitempty"`   // DRAM words
+	SP          units.Count `json:"sp,omitempty"`           // single-precision flop count
+	DPFMA       units.Count `json:"dp_fma,omitempty"`       // double-precision FMA count
+	DPAdd       units.Count `json:"dp_add,omitempty"`       // double-precision add count
+	DPMul       units.Count `json:"dp_mul,omitempty"`       // double-precision mul count
+	Int         units.Count `json:"int,omitempty"`          // integer instruction count
+	SharedWords units.Count `json:"shared_words,omitempty"` // shared-memory words
+	L1Words     units.Count `json:"l1_words,omitempty"`     // L1 words
+	L2Words     units.Count `json:"l2_words,omitempty"`     // L2 words
+	DRAMWords   units.Count `json:"dram_words,omitempty"`   // DRAM words
 }
 
 func (p ProfileJSON) profile() counters.Profile {
 	return counters.Profile{
-		SP: p.SP, DPFMA: p.DPFMA, DPAdd: p.DPAdd, DPMul: p.DPMul, Int: p.Int,
-		SharedWords: p.SharedWords, L1Words: p.L1Words,
-		L2Words: p.L2Words, DRAMWords: p.DRAMWords,
+		SP:    float64(p.SP),
+		DPFMA: float64(p.DPFMA), DPAdd: float64(p.DPAdd), DPMul: float64(p.DPMul),
+		Int:         float64(p.Int),
+		SharedWords: float64(p.SharedWords), L1Words: float64(p.L1Words),
+		L2Words: float64(p.L2Words), DRAMWords: float64(p.DRAMWords),
 	}
 }
 
 // SettingJSON selects a DVFS setting by its two frequencies; voltages
 // follow from the board's tables, as on the real Tegra K1.
 type SettingJSON struct {
-	CoreMHz float64 `json:"core_mhz"`
-	MemMHz  float64 `json:"mem_mhz"`
+	CoreMHz units.MegaHertz `json:"core_mhz"`
+	MemMHz  units.MegaHertz `json:"mem_mhz"`
 }
 
 // SettingInfo is the wire form of a resolved setting.
 type SettingInfo struct {
-	CoreMHz float64 `json:"core_mhz"`
-	CoreMV  float64 `json:"core_mv"`
-	MemMHz  float64 `json:"mem_mhz"`
-	MemMV   float64 `json:"mem_mv"`
+	CoreMHz units.MegaHertz `json:"core_mhz"`
+	CoreMV  units.MilliVolt `json:"core_mv"`
+	MemMHz  units.MegaHertz `json:"mem_mhz"`
+	MemMV   units.MilliVolt `json:"mem_mv"`
 }
 
 func settingInfo(s dvfs.Setting) SettingInfo {
@@ -74,21 +78,21 @@ type PredictRequest struct {
 	Profile   ProfileJSON  `json:"profile"`
 	Setting   *SettingJSON `json:"setting,omitempty"`
 	SettingID string       `json:"setting_id,omitempty"`
-	TimeS     float64      `json:"time_s,omitempty"`
-	Occupancy float64      `json:"occupancy,omitempty"`
+	TimeS     units.Second `json:"time_s,omitempty"`
+	Occupancy units.Ratio  `json:"occupancy,omitempty"`
 }
 
 // PartsJSON decomposes a prediction by component, in joules.
 type PartsJSON struct {
-	SP       float64 `json:"sp"`
-	DP       float64 `json:"dp"`
-	Int      float64 `json:"int"`
-	SM       float64 `json:"sm"`
-	L2       float64 `json:"l2"`
-	DRAM     float64 `json:"dram"`
-	Constant float64 `json:"constant"`
-	Compute  float64 `json:"compute"`
-	Data     float64 `json:"data"`
+	SP       units.Joule `json:"sp"`
+	DP       units.Joule `json:"dp"`
+	Int      units.Joule `json:"int"`
+	SM       units.Joule `json:"sm"`
+	L2       units.Joule `json:"l2"`
+	DRAM     units.Joule `json:"dram"`
+	Constant units.Joule `json:"constant"`
+	Compute  units.Joule `json:"compute"`
+	Data     units.Joule `json:"data"`
 }
 
 func partsJSON(p core.Parts) PartsJSON {
@@ -100,11 +104,11 @@ func partsJSON(p core.Parts) PartsJSON {
 
 // PredictResponse is the answer to a /v1/predict request.
 type PredictResponse struct {
-	Setting     SettingInfo `json:"setting"`
-	TimeS       float64     `json:"time_s"`
-	PredictedJ  float64     `json:"predicted_j"`
-	Parts       PartsJSON   `json:"parts"`
-	ConstPowerW float64     `json:"const_power_w"`
+	Setting     SettingInfo  `json:"setting"`
+	TimeS       units.Second `json:"time_s"`
+	PredictedJ  units.Joule  `json:"predicted_j"`
+	Parts       PartsJSON    `json:"parts"`
+	ConstPowerW units.Watt   `json:"const_power_w"`
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -146,18 +150,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // timeout_s bounds the sweep; it combines with the server-wide cap and
 // the client's connection lifetime, whichever ends first.
 type AutotuneRequest struct {
-	Profile   ProfileJSON `json:"profile"`
-	Occupancy float64     `json:"occupancy,omitempty"`
-	Grid      string      `json:"grid,omitempty"`
-	TimeoutS  float64     `json:"timeout_s,omitempty"`
+	Profile   ProfileJSON  `json:"profile"`
+	Occupancy units.Ratio  `json:"occupancy,omitempty"`
+	Grid      string       `json:"grid,omitempty"`
+	TimeoutS  units.Second `json:"timeout_s,omitempty"`
 }
 
 // PickJSON reports one strategy's choice over the sweep.
 type PickJSON struct {
-	Setting    SettingInfo `json:"setting"`
-	TimeS      float64     `json:"time_s"`
-	PredictedJ float64     `json:"predicted_j"`
-	MeasuredJ  float64     `json:"measured_j"`
+	Setting    SettingInfo  `json:"setting"`
+	TimeS      units.Second `json:"time_s"`
+	PredictedJ units.Joule  `json:"predicted_j"`
+	MeasuredJ  units.Joule  `json:"measured_j"`
 }
 
 // AutotuneResponse is the answer to a /v1/autotune request. Extra-energy
@@ -165,15 +169,15 @@ type PickJSON struct {
 // the paper's Table II "energy lost" definition. Degraded marks an
 // answer served stale from the cache while the sweep breaker was open.
 type AutotuneResponse struct {
-	Grid                 string   `json:"grid"`
-	Candidates           int      `json:"candidates"`
-	Cached               bool     `json:"cached"`
-	Degraded             bool     `json:"degraded"`
-	Model                PickJSON `json:"model"`
-	TimeOracle           PickJSON `json:"time_oracle"`
-	MeasuredMin          PickJSON `json:"measured_min"`
-	ModelExtraEnergyPct  float64  `json:"model_extra_energy_pct"`
-	OracleExtraEnergyPct float64  `json:"oracle_extra_energy_pct"`
+	Grid                 string        `json:"grid"`
+	Candidates           int           `json:"candidates"`
+	Cached               bool          `json:"cached"`
+	Degraded             bool          `json:"degraded"`
+	Model                PickJSON      `json:"model"`
+	TimeOracle           PickJSON      `json:"time_oracle"`
+	MeasuredMin          PickJSON      `json:"measured_min"`
+	ModelExtraEnergyPct  units.Percent `json:"model_extra_energy_pct"`
+	OracleExtraEnergyPct units.Percent `json:"oracle_extra_energy_pct"`
 }
 
 func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
@@ -200,8 +204,8 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	// disconnects and timeouts cancel the in-flight forEach between
 	// units of work.
 	timeout := s.timeout
-	if req.TimeoutS > 0 && time.Duration(req.TimeoutS*float64(time.Second)) < timeout {
-		timeout = time.Duration(req.TimeoutS * float64(time.Second))
+	if req.TimeoutS > 0 && time.Duration(float64(req.TimeoutS)*float64(time.Second)) < timeout {
+		timeout = time.Duration(float64(req.TimeoutS) * float64(time.Second))
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -278,11 +282,11 @@ func (s *Server) scoreSweep(gridName string, cands []core.Candidate) *AutotuneRe
 	model := pick(m.PickModelMinEnergy(cands))
 	oracle := pick(core.PickTimeOracle(cands))
 	best := pick(core.PickMeasuredMin(cands))
-	extra := func(p PickJSON) float64 {
+	extra := func(p PickJSON) units.Percent {
 		if best.MeasuredJ == 0 {
 			return 0
 		}
-		return 100 * (p.MeasuredJ - best.MeasuredJ) / best.MeasuredJ
+		return units.Percent(100 * (p.MeasuredJ - best.MeasuredJ) / best.MeasuredJ)
 	}
 	return &AutotuneResponse{
 		Grid:                 gridName,
@@ -322,37 +326,37 @@ type CalibrationResponse struct {
 // the JSON names carry the same unit tags so external analysts cannot
 // confuse the V²-scaled and V-linear terms.
 type ModelJSON struct {
-	SPpJ   float64 `json:"sp_pj_v2"`
-	DPpJ   float64 `json:"dp_pj_v2"`
-	IntpJ  float64 `json:"int_pj_v2"`
-	SMpJ   float64 `json:"sm_pj_v2"`
-	L2pJ   float64 `json:"l2_pj_v2"`
-	DRAMpJ float64 `json:"dram_pj_v2"`
-	C1Proc float64 `json:"c1_proc_w_v"` // W/V, processor leakage
-	C1Mem  float64 `json:"c1_mem_w_v"`  // W/V, memory leakage
-	PMisc  float64 `json:"p_misc_w"`    // W, operation-independent
+	SPpJ   units.PicoJoulePerOpPerVoltSq `json:"sp_pj_v2"`
+	DPpJ   units.PicoJoulePerOpPerVoltSq `json:"dp_pj_v2"`
+	IntpJ  units.PicoJoulePerOpPerVoltSq `json:"int_pj_v2"`
+	SMpJ   units.PicoJoulePerOpPerVoltSq `json:"sm_pj_v2"`
+	L2pJ   units.PicoJoulePerOpPerVoltSq `json:"l2_pj_v2"`
+	DRAMpJ units.PicoJoulePerOpPerVoltSq `json:"dram_pj_v2"`
+	C1Proc units.WattPerVolt             `json:"c1_proc_w_v"` // W/V, processor leakage
+	C1Mem  units.WattPerVolt             `json:"c1_mem_w_v"`  // W/V, memory leakage
+	PMisc  units.Watt                    `json:"p_misc_w"`    // W, operation-independent
 }
 
 // TableIRow is one derived row of the paper's Table I.
 type TableIRow struct {
-	Type    string      `json:"type"`
-	Setting SettingInfo `json:"setting"`
-	SPpJ    float64     `json:"sp_pj"`
-	DPpJ    float64     `json:"dp_pj"`
-	IntpJ   float64     `json:"int_pj"`
-	SMpJ    float64     `json:"sm_pj"`
-	L2pJ    float64     `json:"l2_pj"`
-	DRAMpJ  float64     `json:"dram_pj"`
-	ConstW  float64     `json:"const_w"`
+	Type    string               `json:"type"`
+	Setting SettingInfo          `json:"setting"`
+	SPpJ    units.PicoJoulePerOp `json:"sp_pj"`
+	DPpJ    units.PicoJoulePerOp `json:"dp_pj"`
+	IntpJ   units.PicoJoulePerOp `json:"int_pj"`
+	SMpJ    units.PicoJoulePerOp `json:"sm_pj"`
+	L2pJ    units.PicoJoulePerOp `json:"l2_pj"`
+	DRAMpJ  units.PicoJoulePerOp `json:"dram_pj"`
+	ConstW  units.Watt           `json:"const_w"`
 }
 
 // CVSummaryJSON reports validation relative errors in percent.
 type CVSummaryJSON struct {
-	N      int     `json:"n"`
-	Mean   float64 `json:"mean_pct"`
-	Stddev float64 `json:"stddev_pct"`
-	Min    float64 `json:"min_pct"`
-	Max    float64 `json:"max_pct"`
+	N      int           `json:"n"`
+	Mean   units.Percent `json:"mean_pct"`
+	Stddev units.Percent `json:"stddev_pct"`
+	Min    units.Percent `json:"min_pct"`
+	Max    units.Percent `json:"max_pct"`
 }
 
 func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
@@ -388,7 +392,11 @@ func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 
 func cvSummary(r core.CVResult) CVSummaryJSON {
 	p := r.Percent()
-	return CVSummaryJSON{N: p.N, Mean: p.Mean, Stddev: p.Stddev, Min: p.Min, Max: p.Max}
+	return CVSummaryJSON{
+		N:    p.N,
+		Mean: units.Percent(p.Mean), Stddev: units.Percent(p.Stddev),
+		Min: units.Percent(p.Min), Max: units.Percent(p.Max),
+	}
 }
 
 // handleHealthz is liveness only: the process is up and holds a
@@ -480,7 +488,7 @@ func (s *Server) resolveSetting(explicit *SettingJSON, id string) (dvfs.Setting,
 }
 
 // occupancyOrDefault applies the FMM-like default occupancy.
-func occupancyOrDefault(occ float64) float64 {
+func occupancyOrDefault(occ units.Ratio) units.Ratio {
 	if occ == 0 {
 		return 0.25
 	}

@@ -52,9 +52,11 @@ func TestFixtureRecoversReferenceModel(t *testing.T) {
 	ref := fixtureModel()
 	got := cal.Model
 	pairs := [][2]float64{
-		{got.SPpJ, ref.SPpJ}, {got.DPpJ, ref.DPpJ}, {got.IntpJ, ref.IntpJ},
-		{got.SMpJ, ref.SMpJ}, {got.L2pJ, ref.L2pJ}, {got.DRAMpJ, ref.DRAMpJ},
-		{got.C1Proc, ref.C1Proc}, {got.C1Mem, ref.C1Mem}, {got.PMisc, ref.PMisc},
+		{float64(got.SPpJ), float64(ref.SPpJ)}, {float64(got.DPpJ), float64(ref.DPpJ)},
+		{float64(got.IntpJ), float64(ref.IntpJ)}, {float64(got.SMpJ), float64(ref.SMpJ)},
+		{float64(got.L2pJ), float64(ref.L2pJ)}, {float64(got.DRAMpJ), float64(ref.DRAMpJ)},
+		{float64(got.C1Proc), float64(ref.C1Proc)}, {float64(got.C1Mem), float64(ref.C1Mem)},
+		{float64(got.PMisc), float64(ref.PMisc)},
 	}
 	for i, p := range pairs {
 		if math.Abs(p[0]-p[1]) > 1e-6*(1+math.Abs(p[1])) {
@@ -98,12 +100,12 @@ func TestPredictMatchesModel(t *testing.T) {
 	}
 	req := PredictRequest{Profile: ProfileJSON{DPFMA: 1e9, Int: 5e8, DRAMWords: 2e8}}
 	want := s.cal.Model.Predict(req.Profile.profile(), dvfs.ValidationSettings()[0], 0.5)
-	if math.Abs(resp.PredictedJ-want) > 1e-9*want {
+	if math.Abs(float64(resp.PredictedJ-want)) > 1e-9*float64(want) {
 		t.Errorf("predicted %v J, want %v J", resp.PredictedJ, want)
 	}
 	sum := resp.Parts.SP + resp.Parts.DP + resp.Parts.Int + resp.Parts.SM +
 		resp.Parts.L2 + resp.Parts.DRAM + resp.Parts.Constant
-	if math.Abs(sum-resp.PredictedJ) > 1e-9*want {
+	if math.Abs(float64(sum-resp.PredictedJ)) > 1e-9*float64(want) {
 		t.Errorf("parts sum %v != total %v", sum, resp.PredictedJ)
 	}
 	if resp.Setting.CoreMHz != 852 || resp.Setting.MemMHz != 924 {
@@ -124,7 +126,7 @@ func TestPredictSimulatesTimeWhenAbsent(t *testing.T) {
 	}
 	wl := tegra.Workload{Profile: ProfileJSON{DPFMA: 1e9, DRAMWords: 2e8}.profile(), Occupancy: 0.25}
 	want := s.dev.Execute(wl, dvfs.MaxSetting()).Time
-	if math.Abs(resp.TimeS-want) > 1e-12 {
+	if math.Abs(float64(resp.TimeS-want)) > 1e-12 {
 		t.Errorf("simulated time %v, want %v", resp.TimeS, want)
 	}
 }
@@ -299,7 +301,7 @@ func TestCalibrationEndpoint(t *testing.T) {
 	if resp.Samples != 128 || len(resp.TableI) != 16 {
 		t.Errorf("samples %d / table rows %d, want 128 / 16", resp.Samples, len(resp.TableI))
 	}
-	if math.Abs(resp.Model.DRAMpJ-369.63) > 1e-6 {
+	if math.Abs(float64(resp.Model.DRAMpJ)-369.63) > 1e-6 {
 		t.Errorf("DRAM constant %v, want 369.63", resp.Model.DRAMpJ)
 	}
 	if resp.Grids["calibration"] != 16 || resp.Grids["full"] != 105 {

@@ -1,0 +1,186 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dvfsroofline/internal/serve"
+	"dvfsroofline/internal/units"
+)
+
+// The unit-typed wire structs must be invisible on the wire: every field
+// that became a units.* quantity marshals byte-for-byte like the raw
+// float64 it replaced, tags, omitempty and all. The raw* mirrors below
+// restate the wire types with plain float64 fields; the tests encode the
+// same values through both and demand identical bytes.
+
+type rawProfile struct {
+	SP          float64 `json:"sp,omitempty"`
+	DPFMA       float64 `json:"dp_fma,omitempty"`
+	DPAdd       float64 `json:"dp_add,omitempty"`
+	DPMul       float64 `json:"dp_mul,omitempty"`
+	Int         float64 `json:"int,omitempty"`
+	SharedWords float64 `json:"shared_words,omitempty"`
+	L1Words     float64 `json:"l1_words,omitempty"`
+	L2Words     float64 `json:"l2_words,omitempty"`
+	DRAMWords   float64 `json:"dram_words,omitempty"`
+}
+
+type rawSetting struct {
+	CoreMHz float64 `json:"core_mhz"`
+	MemMHz  float64 `json:"mem_mhz"`
+}
+
+type rawPredictRequest struct {
+	Profile   rawProfile  `json:"profile"`
+	Setting   *rawSetting `json:"setting,omitempty"`
+	SettingID string      `json:"setting_id,omitempty"`
+	TimeS     float64     `json:"time_s,omitempty"`
+	Occupancy float64     `json:"occupancy,omitempty"`
+}
+
+type rawAutotuneRequest struct {
+	Profile   rawProfile `json:"profile"`
+	Occupancy float64    `json:"occupancy,omitempty"`
+	Grid      string     `json:"grid,omitempty"`
+	TimeoutS  float64    `json:"timeout_s,omitempty"`
+}
+
+type rawSettingInfo struct {
+	CoreMHz float64 `json:"core_mhz"`
+	CoreMV  float64 `json:"core_mv"`
+	MemMHz  float64 `json:"mem_mhz"`
+	MemMV   float64 `json:"mem_mv"`
+}
+
+type rawParts struct {
+	SP       float64 `json:"sp"`
+	DP       float64 `json:"dp"`
+	Int      float64 `json:"int"`
+	SM       float64 `json:"sm"`
+	L2       float64 `json:"l2"`
+	DRAM     float64 `json:"dram"`
+	Constant float64 `json:"constant"`
+	Compute  float64 `json:"compute"`
+	Data     float64 `json:"data"`
+}
+
+type rawPredictResponse struct {
+	Setting     rawSettingInfo `json:"setting"`
+	TimeS       float64        `json:"time_s"`
+	PredictedJ  float64        `json:"predicted_j"`
+	Parts       rawParts       `json:"parts"`
+	ConstPowerW float64        `json:"const_power_w"`
+}
+
+// mustJSON marshals v or fails the test.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	return b
+}
+
+// TestWireEncodingMatchesRawFloats encodes hand-built typed and raw
+// values — including zero fields, so omitempty parity is exercised —
+// and compares the bytes.
+func TestWireEncodingMatchesRawFloats(t *testing.T) {
+	typedReq := serve.PredictRequest{
+		Profile:   serve.ProfileJSON{DPFMA: 1.5e9, DPAdd: 3e8, DRAMWords: 5e7},
+		Setting:   &serve.SettingJSON{CoreMHz: 564, MemMHz: 792},
+		TimeS:     0.22,
+		Occupancy: 0.25,
+	}
+	rawReq := rawPredictRequest{
+		Profile:   rawProfile{DPFMA: 1.5e9, DPAdd: 3e8, DRAMWords: 5e7},
+		Setting:   &rawSetting{CoreMHz: 564, MemMHz: 792},
+		TimeS:     0.22,
+		Occupancy: 0.25,
+	}
+	if got, want := mustJSON(t, typedReq), mustJSON(t, rawReq); !bytes.Equal(got, want) {
+		t.Errorf("PredictRequest encoding drifted:\n typed %s\n raw   %s", got, want)
+	}
+
+	typedResp := serve.PredictResponse{
+		Setting:     serve.SettingInfo{CoreMHz: 852, CoreMV: 1030, MemMHz: 924, MemMV: 1010},
+		TimeS:       0.2,
+		PredictedJ:  1.494,
+		Parts:       serve.PartsJSON{DP: 0.8, DRAM: 0.3, Constant: 0.394, Compute: 0.8, Data: 0.3},
+		ConstPowerW: units.Watt(1.97),
+	}
+	rawResp := rawPredictResponse{
+		Setting:     rawSettingInfo{CoreMHz: 852, CoreMV: 1030, MemMHz: 924, MemMV: 1010},
+		TimeS:       0.2,
+		PredictedJ:  1.494,
+		Parts:       rawParts{DP: 0.8, DRAM: 0.3, Constant: 0.394, Compute: 0.8, Data: 0.3},
+		ConstPowerW: 1.97,
+	}
+	if got, want := mustJSON(t, typedResp), mustJSON(t, rawResp); !bytes.Equal(got, want) {
+		t.Errorf("PredictResponse encoding drifted:\n typed %s\n raw   %s", got, want)
+	}
+
+	typedAt := serve.AutotuneRequest{
+		Profile:  serve.ProfileJSON{Int: 5e8, L2Words: 1e8},
+		Grid:     "full",
+		TimeoutS: 0.5,
+	}
+	rawAt := rawAutotuneRequest{
+		Profile:  rawProfile{Int: 5e8, L2Words: 1e8},
+		Grid:     "full",
+		TimeoutS: 0.5,
+	}
+	if got, want := mustJSON(t, typedAt), mustJSON(t, rawAt); !bytes.Equal(got, want) {
+		t.Errorf("AutotuneRequest encoding drifted:\n typed %s\n raw   %s", got, want)
+	}
+}
+
+// TestWireRoundTripMatchesRawFloats pushes the fuzz seed fixtures —
+// bodies derived from cmd/energyd/testdata plus the handwritten valid
+// cases — through decode→encode on both the typed and raw mirrors and
+// demands byte-identical output, proving the unit-type migration left
+// the wire format untouched in both directions.
+func TestWireRoundTripMatchesRawFloats(t *testing.T) {
+	decode := func(body string, dst any) error {
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.DisallowUnknownFields()
+		return dec.Decode(dst)
+	}
+	predictBodies := append(csvSeedBodies(t, true),
+		`{"profile": {"dp_fma": 1e9, "dram_words": 2e8}, "setting_id": "max"}`,
+		`{"profile": {"dp_fma": 1e9}, "setting_id": "S3", "occupancy": 0.5}`,
+	)
+	for _, body := range predictBodies {
+		var typed serve.PredictRequest
+		var raw rawPredictRequest
+		if err := decode(body, &typed); err != nil {
+			t.Fatalf("typed decode of fixture %q: %v", body, err)
+		}
+		if err := decode(body, &raw); err != nil {
+			t.Fatalf("raw decode of fixture %q: %v", body, err)
+		}
+		if got, want := mustJSON(t, typed), mustJSON(t, raw); !bytes.Equal(got, want) {
+			t.Errorf("fixture %q round-trips differently:\n typed %s\n raw   %s", body, got, want)
+		}
+	}
+	autotuneBodies := append(csvSeedBodies(t, false),
+		`{"profile": {"dp_fma": 1e9, "dram_words": 2e8}}`,
+		`{"profile": {"dp_fma": 1e9}, "grid": "full", "timeout_s": 0.5}`,
+	)
+	for _, body := range autotuneBodies {
+		var typed serve.AutotuneRequest
+		var raw rawAutotuneRequest
+		if err := decode(body, &typed); err != nil {
+			t.Fatalf("typed decode of fixture %q: %v", body, err)
+		}
+		if err := decode(body, &raw); err != nil {
+			t.Fatalf("raw decode of fixture %q: %v", body, err)
+		}
+		if got, want := mustJSON(t, typed), mustJSON(t, raw); !bytes.Equal(got, want) {
+			t.Errorf("fixture %q round-trips differently:\n typed %s\n raw   %s", body, got, want)
+		}
+	}
+}

@@ -1,23 +1,28 @@
 package tegra
 
-import "fmt"
+import (
+	"fmt"
+
+	"dvfsroofline/internal/units"
+)
 
 // DeviceParams describes a SoC for the simulator, so analysts can apply
 // the paper's methodology to platforms other than the Tegra K1 ("users
 // can easily replicate our experiments on their own systems", §VI). The
 // zero value is invalid; start from TK1Params and adjust.
 type DeviceParams struct {
-	// Per-op dynamic energy coefficients ĉ0, pJ per op per V².
-	SPpJ, DPpJ, IntpJ, SharedpJ, L2pJ, DRAMpJ float64
-	// Leakage coefficients in W/V and the operation-independent power.
-	LeakProcWpV, LeakMemWpV, MiscW float64
+	// Per-op dynamic energy coefficients ĉ0.
+	SPpJ, DPpJ, IntpJ, SharedpJ, L2pJ, DRAMpJ units.PicoJoulePerOpPerVoltSq
+	// Leakage coefficients and the operation-independent power.
+	LeakProcWpV, LeakMemWpV units.WattPerVolt
+	MiscW                   units.Watt
 	// Non-ideality knobs; zero values yield an ideal (exactly-linear)
 	// device.
-	ActivitySlope float64
-	ThermalSlope  float64
-	FreqSlope     float64
-	MixJitterAmp  float64
-	StallWatts    float64
+	ActivitySlope units.Ratio
+	ThermalSlope  units.Ratio
+	FreqSlope     units.Ratio
+	MixJitterAmp  units.Ratio
+	StallWatts    units.Watt
 }
 
 // TK1Params returns the Tegra K1 ground truth used throughout the
@@ -25,28 +30,38 @@ type DeviceParams struct {
 func TK1Params() DeviceParams {
 	t := defaultTruth
 	return DeviceParams{
-		SPpJ: t.sp, DPpJ: t.dp, IntpJ: t.intg,
-		SharedpJ: t.shared, L2pJ: t.l2, DRAMpJ: t.dram,
-		LeakProcWpV: t.leakProc, LeakMemWpV: t.leakMem, MiscW: t.misc,
-		ActivitySlope: t.activitySlope, ThermalSlope: t.thermalSlope,
-		FreqSlope: t.freqSlope, MixJitterAmp: t.mixJitterAmp, StallWatts: t.stallWatts,
+		SPpJ:          units.PicoJoulePerOpPerVoltSq(t.sp),
+		DPpJ:          units.PicoJoulePerOpPerVoltSq(t.dp),
+		IntpJ:         units.PicoJoulePerOpPerVoltSq(t.intg),
+		SharedpJ:      units.PicoJoulePerOpPerVoltSq(t.shared),
+		L2pJ:          units.PicoJoulePerOpPerVoltSq(t.l2),
+		DRAMpJ:        units.PicoJoulePerOpPerVoltSq(t.dram),
+		LeakProcWpV:   units.WattPerVolt(t.leakProc),
+		LeakMemWpV:    units.WattPerVolt(t.leakMem),
+		MiscW:         units.Watt(t.misc),
+		ActivitySlope: units.Ratio(t.activitySlope),
+		ThermalSlope:  units.Ratio(t.thermalSlope),
+		FreqSlope:     units.Ratio(t.freqSlope),
+		MixJitterAmp:  units.Ratio(t.mixJitterAmp),
+		StallWatts:    units.Watt(t.stallWatts),
 	}
 }
 
 // Validate reports an error for physically meaningless parameters.
 func (p DeviceParams) Validate() error {
 	for name, v := range map[string]float64{
-		"SPpJ": p.SPpJ, "DPpJ": p.DPpJ, "IntpJ": p.IntpJ,
-		"SharedpJ": p.SharedpJ, "L2pJ": p.L2pJ, "DRAMpJ": p.DRAMpJ,
+		"SPpJ": float64(p.SPpJ), "DPpJ": float64(p.DPpJ), "IntpJ": float64(p.IntpJ),
+		"SharedpJ": float64(p.SharedpJ), "L2pJ": float64(p.L2pJ), "DRAMpJ": float64(p.DRAMpJ),
 	} {
 		if v <= 0 {
 			return fmt.Errorf("tegra: %s must be positive, got %g", name, v)
 		}
 	}
 	for name, v := range map[string]float64{
-		"LeakProcWpV": p.LeakProcWpV, "LeakMemWpV": p.LeakMemWpV, "MiscW": p.MiscW,
-		"ActivitySlope": p.ActivitySlope, "ThermalSlope": p.ThermalSlope,
-		"MixJitterAmp": p.MixJitterAmp, "StallWatts": p.StallWatts,
+		"LeakProcWpV": float64(p.LeakProcWpV), "LeakMemWpV": float64(p.LeakMemWpV),
+		"MiscW":         float64(p.MiscW),
+		"ActivitySlope": float64(p.ActivitySlope), "ThermalSlope": float64(p.ThermalSlope),
+		"MixJitterAmp": float64(p.MixJitterAmp), "StallWatts": float64(p.StallWatts),
 	} {
 		if v < 0 {
 			return fmt.Errorf("tegra: %s must be non-negative, got %g", name, v)
@@ -61,10 +76,11 @@ func NewCustomDevice(p DeviceParams) (*Device, error) {
 		return nil, err
 	}
 	return &Device{truth: groundTruth{
-		sp: p.SPpJ, dp: p.DPpJ, intg: p.IntpJ,
-		shared: p.SharedpJ, l2: p.L2pJ, dram: p.DRAMpJ,
-		leakProc: p.LeakProcWpV, leakMem: p.LeakMemWpV, misc: p.MiscW,
-		activitySlope: p.ActivitySlope, thermalSlope: p.ThermalSlope,
-		freqSlope: p.FreqSlope, mixJitterAmp: p.MixJitterAmp, stallWatts: p.StallWatts,
+		sp: float64(p.SPpJ), dp: float64(p.DPpJ), intg: float64(p.IntpJ),
+		shared: float64(p.SharedpJ), l2: float64(p.L2pJ), dram: float64(p.DRAMpJ),
+		leakProc: float64(p.LeakProcWpV), leakMem: float64(p.LeakMemWpV), misc: float64(p.MiscW),
+		activitySlope: float64(p.ActivitySlope), thermalSlope: float64(p.ThermalSlope),
+		freqSlope: float64(p.FreqSlope), mixJitterAmp: float64(p.MixJitterAmp),
+		stallWatts: float64(p.StallWatts),
 	}}, nil
 }

@@ -57,8 +57,8 @@ func TestCustomDeviceScalesEnergy(t *testing.T) {
 	}
 	da := base.TrueBreakdown(a)
 	db := hot.TrueBreakdown(b)
-	if math.Abs(db.Compute-2*da.Compute) > 1e-12*da.Compute ||
-		math.Abs(db.Data-2*da.Data) > 1e-12*da.Data {
+	if math.Abs(float64(db.Compute-2*da.Compute)) > 1e-12*float64(da.Compute) ||
+		math.Abs(float64(db.Data-2*da.Data)) > 1e-12*float64(da.Data) {
 		t.Error("doubled coefficients did not double dynamic energy")
 	}
 }
@@ -100,8 +100,8 @@ func TestCustomDeviceFitsItsOwnTableI(t *testing.T) {
 	const n = 1e9
 	e := dev.Execute(Workload{Profile: counters.Profile{SP: n}, Occupancy: 0.95}, s)
 	b := dev.TrueBreakdown(e)
-	wantSP := 10 * s.Core.Volts() * s.Core.Volts() // pJ per op
-	if got := (b.Compute + b.Data) / n * 1e12; math.Abs(got-wantSP) > 1e-9 {
+	wantSP := 10 * float64(s.Core.Volts()) * float64(s.Core.Volts()) // pJ per op
+	if got := float64(b.Compute+b.Data) / n * 1e12; math.Abs(got-wantSP) > 1e-9 {
 		t.Errorf("custom SP ε = %v pJ, want %v", got, wantSP)
 	}
 }

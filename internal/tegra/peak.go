@@ -1,6 +1,9 @@
 package tegra
 
-import "dvfsroofline/internal/counters"
+import (
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/units"
+)
 
 // Achievable-peak analysis (paper §IV-C): the paper explains the FMM's
 // low IPC by showing that, *given its instruction mix*, the best any
@@ -17,7 +20,7 @@ import "dvfsroofline/internal/counters"
 //
 // A pure SP stream returns 1.0. The paper's U-list analysis found its
 // DP-heavy mix capped "slightly above 1/4 of the peak performance".
-func AchievableIPCFraction(p counters.Profile) float64 {
+func AchievableIPCFraction(p counters.Profile) units.Ratio {
 	instr := p.Instructions()
 	if instr == 0 {
 		return 0
@@ -32,7 +35,7 @@ func AchievableIPCFraction(p counters.Profile) float64 {
 		return 0
 	}
 	ipc := instr / cycles
-	return ipc / SPPerCycle
+	return units.Ratio(ipc / SPPerCycle)
 }
 
 // BottleneckPipe names the compute pipe that gates a profile's issue

@@ -10,13 +10,13 @@ import (
 
 func TestAchievableIPCPureStreams(t *testing.T) {
 	// A pure SP stream can reach peak; a pure DP stream only 8/192.
-	if got := AchievableIPCFraction(counters.Profile{SP: 1e9}); math.Abs(got-1) > 1e-12 {
+	if got := AchievableIPCFraction(counters.Profile{SP: 1e9}); math.Abs(float64(got)-1) > 1e-12 {
 		t.Errorf("pure SP fraction = %v, want 1", got)
 	}
-	if got := AchievableIPCFraction(counters.Profile{DPFMA: 1e9}); math.Abs(got-DPPerCycle/SPPerCycle) > 1e-12 {
+	if got := AchievableIPCFraction(counters.Profile{DPFMA: 1e9}); math.Abs(float64(got)-DPPerCycle/SPPerCycle) > 1e-12 {
 		t.Errorf("pure DP fraction = %v, want %v", got, DPPerCycle/SPPerCycle)
 	}
-	if got := AchievableIPCFraction(counters.Profile{Int: 1e9}); math.Abs(got-IntPerCycle/SPPerCycle) > 1e-12 {
+	if got := AchievableIPCFraction(counters.Profile{Int: 1e9}); math.Abs(float64(got)-IntPerCycle/SPPerCycle) > 1e-12 {
 		t.Errorf("pure int fraction = %v, want %v", got, IntPerCycle/SPPerCycle)
 	}
 	if AchievableIPCFraction(counters.Profile{}) != 0 {
@@ -32,7 +32,7 @@ func TestAchievableIPCMixedDPInt(t *testing.T) {
 	got := AchievableIPCFraction(p)
 	// cycles = 4e8/8 = 5e7; instr = 1e9; IPC = 20; fraction = 20/192.
 	want := 20.0 / 192.0
-	if math.Abs(got-want) > 1e-12 {
+	if math.Abs(float64(got)-want) > 1e-12 {
 		t.Errorf("mixed fraction = %v, want %v", got, want)
 	}
 	if BottleneckPipe(p) != "dp" {
@@ -63,10 +63,10 @@ func TestAchievableIPCConsistentWithExecute(t *testing.T) {
 	p := counters.Profile{DPFMA: 2e8, Int: 3e8, SP: 1e8}
 	d := NewIdealDevice()
 	e := d.Execute(Workload{Profile: p, Occupancy: 1}, mustMax())
-	cycles := e.Time * mustMax().Core.FreqHz()
+	cycles := float64(e.Time) * float64(mustMax().Core.FreqHz())
 	attained := p.Instructions() / cycles / SPPerCycle
 	want := AchievableIPCFraction(p)
-	if math.Abs(attained-want) > 1e-12 {
+	if math.Abs(attained-float64(want)) > 1e-12 {
 		t.Errorf("attained fraction %v vs achievable %v", attained, want)
 	}
 }

@@ -1,5 +1,7 @@
 package tegra
 
+import "dvfsroofline/internal/units"
+
 // Schedule is a sequence of executions run back to back on the device —
 // how a phased application such as the FMM occupies the SoC. The
 // PowerMon simulator samples a schedule's combined power trace exactly as
@@ -8,9 +10,9 @@ type Schedule struct {
 	Execs []Execution
 }
 
-// Duration returns the total wall-clock time of the schedule in seconds.
-func (s Schedule) Duration() float64 {
-	var d float64
+// Duration returns the total wall-clock time of the schedule.
+func (s Schedule) Duration() units.Second {
+	var d units.Second
 	for _, e := range s.Execs {
 		d += e.Time
 	}
@@ -20,7 +22,7 @@ func (s Schedule) Duration() float64 {
 // PowerAt returns the instantaneous power at time t into the schedule.
 // Before the start or after the end the device idles at the first/last
 // segment's constant power.
-func (s Schedule) PowerAt(t float64) float64 {
+func (s Schedule) PowerAt(t units.Second) units.Watt {
 	if len(s.Execs) == 0 {
 		return 0
 	}
@@ -37,10 +39,10 @@ func (s Schedule) PowerAt(t float64) float64 {
 	return last.PowerAt(last.Time + 1)
 }
 
-// TrueEnergy returns the closed-form total energy in joules (for tests
-// and oracles; the modeling pipeline uses PowerMon measurements).
-func (s Schedule) TrueEnergy() float64 {
-	var e float64
+// TrueEnergy returns the closed-form total energy (for tests and
+// oracles; the modeling pipeline uses PowerMon measurements).
+func (s Schedule) TrueEnergy() units.Joule {
+	var e units.Joule
 	for _, x := range s.Execs {
 		e += x.TrueEnergy()
 	}

@@ -6,6 +6,7 @@ import (
 
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/units"
 )
 
 func testSchedule() (Schedule, *Device) {
@@ -19,7 +20,7 @@ func testSchedule() (Schedule, *Device) {
 func TestScheduleDuration(t *testing.T) {
 	sched, _ := testSchedule()
 	want := sched.Execs[0].Time + sched.Execs[1].Time
-	if math.Abs(sched.Duration()-want) > 1e-15 {
+	if math.Abs(float64(sched.Duration()-want)) > 1e-15 {
 		t.Errorf("Duration = %v, want %v", sched.Duration(), want)
 	}
 }
@@ -49,7 +50,7 @@ func TestSchedulePowerSegments(t *testing.T) {
 func TestScheduleTrueEnergyAdds(t *testing.T) {
 	sched, _ := testSchedule()
 	want := sched.Execs[0].TrueEnergy() + sched.Execs[1].TrueEnergy()
-	if math.Abs(sched.TrueEnergy()-want) > 1e-12 {
+	if math.Abs(float64(sched.TrueEnergy()-want)) > 1e-12 {
 		t.Errorf("TrueEnergy = %v, want %v", sched.TrueEnergy(), want)
 	}
 }
@@ -67,10 +68,10 @@ func TestScheduleTraceIntegratesToEnergy(t *testing.T) {
 	dt := sched.Duration() / steps
 	var sum float64
 	for i := 0; i < steps; i++ {
-		sum += sched.PowerAt((float64(i) + 0.5) * dt)
+		sum += float64(sched.PowerAt(units.Second(float64(i)+0.5) * dt))
 	}
-	integral := sum * dt
-	if rel := math.Abs(integral-sched.TrueEnergy()) / sched.TrueEnergy(); rel > 0.005 {
+	integral := sum * float64(dt)
+	if rel := math.Abs(integral-float64(sched.TrueEnergy())) / float64(sched.TrueEnergy()); rel > 0.005 {
 		t.Errorf("trace integral %v vs TrueEnergy %v (rel %v)", integral, sched.TrueEnergy(), rel)
 	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/units"
 )
 
 // Architectural throughput constants of the Tegra K1's single Kepler SMX,
@@ -119,13 +120,13 @@ func NewIdealDevice() *Device {
 // "our code delivers less than a quarter of [peak] IPC").
 type Workload struct {
 	Profile   counters.Profile
-	Occupancy float64
+	Occupancy units.Ratio
 }
 
 // Validate reports an error for physically meaningless workloads.
 func (w Workload) Validate() error {
 	if w.Occupancy <= 0 || w.Occupancy > 1 {
-		return fmt.Errorf("tegra: occupancy %g outside (0, 1]", w.Occupancy)
+		return fmt.Errorf("tegra: occupancy %g outside (0, 1]", float64(w.Occupancy))
 	}
 	p := w.Profile
 	for _, v := range []float64{p.SP, p.DPFMA, p.DPAdd, p.DPMul, p.Int,
@@ -148,7 +149,7 @@ func (w Workload) Validate() error {
 type Execution struct {
 	Setting  dvfs.Setting
 	Workload Workload
-	Time     float64 // seconds
+	Time     units.Second
 
 	dynPower   float64 // W, constant over the run
 	constPower float64 // W, constant power during the run (incl. thermal drift)
@@ -167,9 +168,9 @@ func (d *Device) Execute(w Workload, s dvfs.Setting) Execution {
 	p := w.Profile
 
 	// --- Time: roofline over compute and each memory level. ---
-	fc := s.Core.FreqHz()
-	fm := s.Mem.FreqHz()
-	occ := w.Occupancy
+	fc := float64(s.Core.FreqHz())
+	fm := float64(s.Mem.FreqHz())
+	occ := float64(w.Occupancy)
 	// The Kepler SMX dual-issues across its SP, DP and integer pipes, so
 	// compute time is a roofline over the per-pipe cycle counts rather
 	// than their sum.
@@ -191,12 +192,13 @@ func (d *Device) Execute(w Workload, s dvfs.Setting) Execution {
 
 	// Non-ideality 3: imperfectly gated stalled pipelines draw power for
 	// the whole run, proportional to the unused issue bandwidth.
-	stall := t.stallWatts * (1 - occ) * s.Core.Volts() * s.Core.Volts() * (fc / refCoreHz)
+	vc := float64(s.Core.Volts())
+	stall := t.stallWatts * (1 - occ) * vc * vc * (fc / refCoreHz)
 
 	dynPower := eDyn/time + stall
 
 	// Constant power per Eq. 8.
-	constPower := t.leakProc*s.Core.Volts() + t.leakMem*s.Mem.Volts() + t.misc
+	constPower := t.leakProc*vc + t.leakMem*float64(s.Mem.Volts()) + t.misc
 	// Non-ideality 2: leakage grows with die temperature, which tracks
 	// dynamic power; normalized against a ~10 W envelope.
 	constPower *= 1 + t.thermalSlope*dynPower/10.0
@@ -208,7 +210,7 @@ func (d *Device) Execute(w Workload, s dvfs.Setting) Execution {
 	return Execution{
 		Setting:    s,
 		Workload:   w,
-		Time:       time,
+		Time:       units.Second(time),
 		dynPower:   dynPower,
 		constPower: constPower,
 		ripple:     0.01,
@@ -216,16 +218,16 @@ func (d *Device) Execute(w Workload, s dvfs.Setting) Execution {
 	}
 }
 
-// PowerAt returns the instantaneous power draw in watts at time t seconds
-// into the run. Outside [0, Time] the device idles at constant power. A
-// small 50 Hz supply ripple keeps the trace from being trivially flat, as
-// on the real board's unregulated rail.
-func (e Execution) PowerAt(t float64) float64 {
+// PowerAt returns the instantaneous power draw at time t into the run.
+// Outside [0, Time] the device idles at constant power. A small 50 Hz
+// supply ripple keeps the trace from being trivially flat, as on the
+// real board's unregulated rail.
+func (e Execution) PowerAt(t units.Second) units.Watt {
 	base := e.constPower
 	if t >= 0 && t < e.Time {
 		base += e.dynPower
 	}
-	return base * (1 + e.ripple*math.Sin(2*math.Pi*e.rippleFreq*t))
+	return units.Watt(base * (1 + e.ripple*math.Sin(2*math.Pi*e.rippleFreq*float64(t))))
 }
 
 // ThrottleWindow is an interval of a run during which thermal
@@ -234,9 +236,9 @@ func (e Execution) PowerAt(t float64) float64 {
 // them to the trace, since throttling is a property of the silicon, not
 // of the meter.
 type ThrottleWindow struct {
-	Start    float64 // seconds into the run
-	Duration float64 // seconds
-	Factor   float64 // dynamic power multiplier inside the window, in [0, 1]
+	Start    units.Second // offset into the run
+	Duration units.Second
+	Factor   units.Ratio // dynamic power multiplier inside the window, in [0, 1]
 }
 
 // ThrottledTrace returns the run's power trace with the given throttle
@@ -244,52 +246,52 @@ type ThrottleWindow struct {
 // window's factor, while constant power (leakage does not gate) and the
 // supply ripple are unchanged. With no windows it returns PowerAt
 // itself.
-func (e Execution) ThrottledTrace(windows []ThrottleWindow) func(t float64) float64 {
+func (e Execution) ThrottledTrace(windows []ThrottleWindow) func(t units.Second) units.Watt {
 	if len(windows) == 0 {
 		return e.PowerAt
 	}
 	ws := append([]ThrottleWindow(nil), windows...)
-	return func(t float64) float64 {
+	return func(t units.Second) units.Watt {
 		base := e.constPower
 		if t >= 0 && t < e.Time {
 			dyn := e.dynPower
 			for _, w := range ws {
 				if t >= w.Start && t < w.Start+w.Duration {
-					dyn *= w.Factor
+					dyn *= float64(w.Factor)
 					break
 				}
 			}
 			base += dyn
 		}
-		return base * (1 + e.ripple*math.Sin(2*math.Pi*e.rippleFreq*t))
+		return units.Watt(base * (1 + e.ripple*math.Sin(2*math.Pi*e.rippleFreq*float64(t))))
 	}
 }
 
-// TrueEnergy returns the exact energy of the run in joules (the integral
-// of the trace over [0, Time], with the zero-mean ripple integrating
-// away). It exists for tests and for the experiment harness's "measured
-// minimum" oracle; the modeling pipeline sees only PowerMon samples.
-func (e Execution) TrueEnergy() float64 {
-	return (e.dynPower + e.constPower) * e.Time
+// TrueEnergy returns the exact energy of the run (the integral of the
+// trace over [0, Time], with the zero-mean ripple integrating away). It
+// exists for tests and for the experiment harness's "measured minimum"
+// oracle; the modeling pipeline sees only PowerMon samples.
+func (e Execution) TrueEnergy() units.Joule {
+	return units.Joule((e.dynPower + e.constPower) * float64(e.Time))
 }
 
-// TruePower returns the exact mean power of the run in watts.
-func (e Execution) TruePower() float64 { return e.dynPower + e.constPower }
+// TruePower returns the exact mean power of the run.
+func (e Execution) TruePower() units.Watt { return units.Watt(e.dynPower + e.constPower) }
 
-// ConstPower returns the run's operation-independent power in watts
-// (leakage plus miscellaneous, including the thermal drift).
-func (e Execution) ConstPower() float64 { return e.constPower }
+// ConstPower returns the run's operation-independent power (leakage
+// plus miscellaneous, including the thermal drift).
+func (e Execution) ConstPower() units.Watt { return units.Watt(e.constPower) }
 
 // Breakdown decomposes the run's true energy the way the paper's Figure 7
 // does: computation instructions, data movement, and constant power.
 type Breakdown struct {
-	Compute  float64 // J: SP + DP + integer instructions
-	Data     float64 // J: shared + L1 + L2 + DRAM traffic
-	Constant float64 // J: constant power x time
+	Compute  units.Joule // SP + DP + integer instructions
+	Data     units.Joule // shared + L1 + L2 + DRAM traffic
+	Constant units.Joule // constant power x time
 }
 
 // Total returns the summed energy of the breakdown.
-func (b Breakdown) Total() float64 { return b.Compute + b.Data + b.Constant }
+func (b Breakdown) Total() units.Joule { return b.Compute + b.Data + b.Constant }
 
 // dynamicEnergy returns the exact compute- and data-movement energy (J)
 // of a workload at a setting, including the activity and frequency
@@ -297,8 +299,10 @@ func (b Breakdown) Total() float64 { return b.Compute + b.Data + b.Constant }
 func (d *Device) dynamicEnergy(w Workload, s dvfs.Setting) (compute, data float64) {
 	t := d.truth
 	p := w.Profile
-	vp2 := s.Core.Volts() * s.Core.Volts()
-	vm2 := s.Mem.Volts() * s.Mem.Volts()
+	vp := float64(s.Core.Volts())
+	vm := float64(s.Mem.Volts())
+	vp2 := vp * vp
+	vm2 := vm * vm
 	const pJ = 1e-12
 
 	compute = (p.SP*t.sp + (p.DPFMA+p.DPAdd+p.DPMul)*t.dp + p.Int*t.intg) * vp2 * pJ
@@ -311,12 +315,12 @@ func (d *Device) dynamicEnergy(w Workload, s dvfs.Setting) (compute, data float6
 	// Non-ideality 1: the switching activity factor rises slightly for
 	// poorly pipelined (low-occupancy) kernels — replayed issues and
 	// register re-fetches burn energy the linear model cannot see.
-	activity := 1 + t.activitySlope*(0.95-w.Occupancy) + t.mixJitterAmp*mixJitter(p)
+	activity := 1 + t.activitySlope*(0.95-float64(w.Occupancy)) + t.mixJitterAmp*mixJitter(p)
 	// Non-ideality 2: per-op energy drifts mildly with clock frequency
 	// (short-circuit currents), so ε is not exactly ĉ·V² — the linear
 	// model's extrapolation to unseen frequencies carries error.
-	procDrift := 1 + t.freqSlope*(s.Core.FreqHz()/refCoreHz-0.5)
-	memDrift := 1 + t.freqSlope*(s.Mem.FreqHz()/refMemHz-0.5)
+	procDrift := 1 + t.freqSlope*(float64(s.Core.FreqHz())/refCoreHz-0.5)
+	memDrift := 1 + t.freqSlope*(float64(s.Mem.FreqHz())/refMemHz-0.5)
 
 	compute *= activity * procDrift
 	data = dataProc*activity*procDrift + dataMem*activity*memDrift
@@ -330,16 +334,16 @@ func (d *Device) dynamicEnergy(w Workload, s dvfs.Setting) (compute, data float6
 func (d *Device) TrueBreakdown(e Execution) Breakdown {
 	compute, data := d.dynamicEnergy(e.Workload, e.Setting)
 	return Breakdown{
-		Compute:  compute,
-		Data:     data,
-		Constant: e.TrueEnergy() - compute - data,
+		Compute:  units.Joule(compute),
+		Data:     units.Joule(data),
+		Constant: e.TrueEnergy() - units.Joule(compute) - units.Joule(data),
 	}
 }
 
 // PeakIPC returns the device's peak instructions per cycle for a pure-SP
 // instruction stream; exposed for the underutilization analysis of the
 // paper's §IV-C.
-func PeakIPC() float64 { return SPPerCycle }
+func PeakIPC() units.PerCycle { return SPPerCycle }
 
 // mixJitter maps a workload's op-mix ratios to a deterministic
 // pseudo-random value in [-1, 1]. Workloads with the same mix always get

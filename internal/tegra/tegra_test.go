@@ -7,6 +7,7 @@ import (
 
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/units"
 )
 
 func spWorkload(n float64) Workload {
@@ -19,7 +20,7 @@ func TestTableIEnergiesReproduced(t *testing.T) {
 	// running single-op-class workloads and dividing out the counts.
 	d := NewIdealDevice()
 	rows := []struct {
-		coreMHz, memMHz                float64
+		coreMHz, memMHz                units.MegaHertz
 		sp, dp, intg, sm, l2, mem, pw0 float64
 	}{
 		{852, 924, 29.0, 139.1, 60.0, 35.4, 90.2, 377.0, 6.8},
@@ -43,7 +44,7 @@ func TestTableIEnergiesReproduced(t *testing.T) {
 	perOp := func(p counters.Profile, s dvfs.Setting) float64 {
 		e := d.Execute(Workload{Profile: p, Occupancy: 0.95}, s)
 		b := d.TrueBreakdown(e)
-		return (b.Compute + b.Data) / n * 1e12 // pJ per op
+		return float64((b.Compute + b.Data) / n * 1e12) // pJ per op
 	}
 	for _, r := range rows {
 		s := dvfs.MustSetting(r.coreMHz, r.memMHz)
@@ -71,7 +72,7 @@ func TestTableIEnergiesReproduced(t *testing.T) {
 		}
 		// Constant power (ideal device: no thermal drift).
 		e := d.Execute(Workload{Profile: counters.Profile{SP: n}, Occupancy: 0.95}, s)
-		if got := e.ConstPower(); math.Abs(got-r.pw0) > 0.1 {
+		if got := e.ConstPower(); math.Abs(float64(got)-r.pw0) > 0.1 {
 			t.Errorf("%v: constant power = %.2f W, Table I says %.1f", s, got, r.pw0)
 		}
 	}
@@ -82,7 +83,7 @@ func TestTimeScalesInverselyWithFrequency(t *testing.T) {
 	w := Workload{Profile: counters.Profile{SP: 1e9}, Occupancy: 1}
 	fast := d.Execute(w, dvfs.MustSetting(852, 924))
 	slow := d.Execute(w, dvfs.MustSetting(396, 924))
-	ratio := slow.Time / fast.Time
+	ratio := float64(slow.Time / fast.Time)
 	want := 852.0 / 396.0
 	if math.Abs(ratio-want) > 1e-9 {
 		t.Errorf("compute-bound time ratio = %v, want %v", ratio, want)
@@ -94,14 +95,14 @@ func TestDRAMBoundScalesWithMemFrequency(t *testing.T) {
 	w := Workload{Profile: counters.Profile{DRAMWords: 1e9}, Occupancy: 1}
 	fast := d.Execute(w, dvfs.MustSetting(852, 924))
 	slow := d.Execute(w, dvfs.MustSetting(852, 204))
-	ratio := slow.Time / fast.Time
+	ratio := float64(slow.Time / fast.Time)
 	want := 924.0 / 204.0
 	if math.Abs(ratio-want) > 1e-9 {
 		t.Errorf("DRAM-bound time ratio = %v, want %v", ratio, want)
 	}
 	// And core frequency must not matter for a pure-DRAM stream.
 	other := d.Execute(w, dvfs.MustSetting(72, 924))
-	if math.Abs(other.Time-fast.Time) > 1e-15 {
+	if math.Abs(float64(other.Time-fast.Time)) > 1e-15 {
 		t.Error("DRAM-bound time depends on core frequency")
 	}
 }
@@ -111,7 +112,7 @@ func TestOccupancyStretchesTime(t *testing.T) {
 	s := dvfs.MustSetting(852, 924)
 	full := d.Execute(Workload{Profile: counters.Profile{SP: 1e9}, Occupancy: 1}, s)
 	quarter := d.Execute(Workload{Profile: counters.Profile{SP: 1e9}, Occupancy: 0.25}, s)
-	if math.Abs(quarter.Time/full.Time-4) > 1e-9 {
+	if math.Abs(float64(quarter.Time/full.Time)-4) > 1e-9 {
 		t.Errorf("quarter occupancy should run 4x slower, got %vx", quarter.Time/full.Time)
 	}
 }
@@ -131,7 +132,7 @@ func TestEnergyAdditivity(t *testing.T) {
 		bab := d.TrueBreakdown(d.Execute(wab, s))
 		sum := ba.Compute + ba.Data + bb.Compute + bb.Data
 		got := bab.Compute + bab.Data
-		return math.Abs(sum-got) < 1e-9*(1+sum)
+		return math.Abs(float64(sum-got)) < 1e-9*(1+float64(sum))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
@@ -148,10 +149,10 @@ func TestPowerTraceConsistentWithEnergy(t *testing.T) {
 	dt := e.Time / steps
 	var sum float64
 	for i := 0; i < steps; i++ {
-		sum += e.PowerAt((float64(i) + 0.5) * dt)
+		sum += float64(e.PowerAt(units.Second(float64(i)+0.5) * dt))
 	}
-	integral := sum * dt
-	if rel := math.Abs(integral-e.TrueEnergy()) / e.TrueEnergy(); rel > 0.002 {
+	integral := sum * float64(dt)
+	if rel := math.Abs(integral-float64(e.TrueEnergy())) / float64(e.TrueEnergy()); rel > 0.002 {
 		t.Errorf("trace integral %v vs TrueEnergy %v (rel %v)", integral, e.TrueEnergy(), rel)
 	}
 }
@@ -184,7 +185,7 @@ func TestNonIdealitiesRaiseEnergyAtLowOccupancy(t *testing.T) {
 	ideal := NewIdealDevice()
 	bLoI := ideal.TrueBreakdown(ideal.Execute(Workload{Profile: p, Occupancy: 0.25}, s))
 	bHiI := ideal.TrueBreakdown(ideal.Execute(Workload{Profile: p, Occupancy: 0.95}, s))
-	if math.Abs(bLoI.Compute-bHiI.Compute) > 1e-12 {
+	if math.Abs(float64(bLoI.Compute-bHiI.Compute)) > 1e-12 {
 		t.Error("ideal device compute energy depends on occupancy")
 	}
 }
@@ -194,7 +195,7 @@ func TestBreakdownSumsToTrueEnergy(t *testing.T) {
 	w := Workload{Profile: counters.Profile{DPFMA: 1e8, Int: 3e8, SharedWords: 1e8, L2Words: 3e7, DRAMWords: 1e7}, Occupancy: 0.5}
 	e := d.Execute(w, dvfs.MustSetting(612, 528))
 	b := d.TrueBreakdown(e)
-	if rel := math.Abs(b.Total()-e.TrueEnergy()) / e.TrueEnergy(); rel > 1e-9 {
+	if rel := math.Abs(float64(b.Total()-e.TrueEnergy())) / float64(e.TrueEnergy()); rel > 1e-9 {
 		t.Errorf("breakdown total %v != TrueEnergy %v", b.Total(), e.TrueEnergy())
 	}
 }
@@ -245,7 +246,7 @@ func TestThrottledTrace(t *testing.T) {
 
 	// No windows: identical to the honest trace everywhere.
 	same := e.ThrottledTrace(nil)
-	for _, ts := range []float64{0, e.Time / 3, e.Time / 2, e.Time} {
+	for _, ts := range []units.Second{0, e.Time / 3, e.Time / 2, e.Time} {
 		if same(ts) != e.PowerAt(ts) {
 			t.Fatalf("empty-window trace differs from PowerAt at t=%g", ts)
 		}
@@ -264,15 +265,15 @@ func TestThrottledTrace(t *testing.T) {
 	// Only dynamic power scales: ripple aside, the throttled level is
 	// const + 0.3*dyn.
 	ripple := 1 + 0.01*rippleAt(e, inside)
-	want := (e.ConstPower() + 0.3*(e.TruePower()-e.ConstPower())) * ripple
-	if got := tr(inside); !closeTo(got, want, 1e-9) {
-		t.Errorf("throttled power %g, want %g", tr(inside), want)
+	want := float64(e.ConstPower()+0.3*(e.TruePower()-e.ConstPower())) * ripple
+	if got := tr(inside); !closeTo(float64(got), want, 1e-9) {
+		t.Errorf("throttled power %g, want %g", float64(tr(inside)), want)
 	}
 }
 
 // rippleAt reproduces the trace's sinusoidal term for assertions.
-func rippleAt(e Execution, t float64) float64 {
-	return math.Sin(2 * math.Pi * e.rippleFreq * t)
+func rippleAt(e Execution, t units.Second) float64 {
+	return math.Sin(2 * math.Pi * e.rippleFreq * float64(t))
 }
 
 func closeTo(a, b, tol float64) bool {
