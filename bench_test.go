@@ -19,8 +19,11 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
@@ -28,12 +31,14 @@ import (
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/fmm"
 	"dvfsroofline/internal/fmm2d"
 	"dvfsroofline/internal/linalg"
 	"dvfsroofline/internal/microbench"
 	"dvfsroofline/internal/nnls"
 	"dvfsroofline/internal/powermon"
+	"dvfsroofline/internal/serve"
 	"dvfsroofline/internal/tegra"
 	"dvfsroofline/internal/units"
 )
@@ -481,6 +486,52 @@ func BenchmarkRoofline(b *testing.B) {
 		pts = cal.Model.Roofline(core.ClassDP, mach, s, intensities)
 	}
 	b.ReportMetric(float64(pts[len(pts)-1].OpsPerJoule)/1e9, "peak-Gops/J")
+}
+
+// BenchmarkFleetPredict measures the cost of one fleet predict request
+// end to end — HTTP routing, consistent-hash device selection, model
+// evaluation and JSON encoding — as the fleet grows from the degenerate
+// single device to 16 heterogeneous devices. Each device gets its own
+// synthetic calibration at build time (outside the timed loop); the
+// request mix rotates across distinct workloads so the hash ring
+// actually spreads traffic.
+func BenchmarkFleetPredict(b *testing.B) {
+	bodies := make([][]byte, 8)
+	for i := range bodies {
+		bodies[i] = []byte(fmt.Sprintf(
+			`{"profile": {"dp_fma": %g, "int": 5e8, "dram_words": 2e8}, "setting_id": "S1", "time_s": 0.5}`,
+			1e9+1e8*float64(i)))
+	}
+	for _, devices := range []int{1, 4, 16} {
+		devices := devices
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			fc := fleet.FleetConfig{Seed: 42}
+			for i := 0; i < devices; i++ {
+				fc.Devices = append(fc.Devices, fleet.Spec{
+					ID: fmt.Sprintf("dev-%02d", i),
+					Params: fleet.ParamsJSON{
+						SPpJ:  units.PicoJoulePerOpPerVoltSq(27.33 + 0.5*float64(i)),
+						MiscW: units.Watt(0.15 + 0.01*float64(i)),
+					},
+				})
+			}
+			reg, err := fleet.Build(fc, benchCfg(), nil, fleet.NodeOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := serve.NewFleet(reg, serve.Options{}).Handler()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/fleet/predict", bytes.NewReader(bodies[i%len(bodies)]))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("fleet predict = %d: %s", w.Code, w.Body)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkM2LBatched completes the M2L ablation: per-pair matvec vs

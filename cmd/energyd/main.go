@@ -4,18 +4,30 @@
 // measurement campaign entirely — and then answers prediction and
 // autotuning queries until terminated:
 //
-//	POST /v1/predict     — Eq. 9 energy + parts for an op profile
-//	POST /v1/autotune    — best (f_core, f_mem) vs the time oracle,
-//	                       served from a keyed LRU + single-flight cache
-//	GET  /v1/calibration — Table I, model constants, CV statistics
-//	GET  /healthz        — liveness (stays 200 in degraded mode)
-//	GET  /readyz         — readiness (503 while the sweep breaker is open)
-//	GET  /metrics        — Prometheus text format
+//	POST /v1/predict       — Eq. 9 energy + parts for an op profile
+//	POST /v1/autotune      — best (f_core, f_mem) vs the time oracle,
+//	                         served from a keyed LRU + single-flight cache
+//	GET  /v1/calibration   — Table I, model constants, CV statistics
+//	POST /v1/fleet/predict — predict routed across the device fleet
+//	POST /v1/fleet/place   — cheapest (device, setting) across the fleet
+//	GET  /v1/fleet/devices — fleet inventory with per-device health
+//	GET  /healthz          — liveness (stays 200 in degraded mode)
+//	GET  /readyz           — readiness (503 once no device can sweep)
+//	GET  /metrics          — Prometheus text format
 //
-// A circuit breaker guards the autotune sweep path: after
-// -breaker-threshold consecutive sweep failures it opens for
-// -breaker-cooldown, during which /v1/autotune serves stale cached
-// sweeps flagged "degraded": true. -force-degraded pins it open for
+// With -fleet fleet.json the daemon serves a heterogeneous multi-device
+// fleet: each declared device gets its own simulator, calibration
+// (loaded from its calibration_cache CSV, or synthesized instantly from
+// its declared parameters), seed lineage, sweep cache and circuit
+// breaker, and traffic shards across devices by consistent hashing.
+// Without -fleet it serves the single local device exactly as before —
+// the degenerate one-device fleet, byte-identical on the wire.
+//
+// Per-device circuit breakers guard the autotune sweep paths: after
+// -breaker-threshold consecutive sweep failures a device's breaker
+// opens for -breaker-cooldown, during which its autotunes serve stale
+// cached sweeps flagged "degraded": true and fresh sweep traffic fails
+// over along the hash ring. -force-degraded pins every breaker open for
 // drills. SIGINT/SIGTERM drain in-flight requests before the process
 // exits.
 package main
@@ -31,46 +43,63 @@ import (
 	"time"
 
 	"dvfsroofline/internal/cli"
+	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/serve"
 )
 
 func main() {
 	app := cli.New("energyd")
 	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-	cacheCap := flag.Int("cachecap", 64, "autotune sweep cache capacity (entries)")
+	fleetPath := flag.String("fleet", "", "fleet config JSON (list of device specs); empty = single local device")
+	cacheCap := flag.Int("cachecap", 64, "autotune sweep cache capacity per device (entries)")
 	sweepTimeout := flag.Duration("sweep-timeout", 30*time.Second, "server-side cap on one autotune sweep")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
-	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive sweep failures that open the circuit breaker")
-	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open period before the breaker allows a probe sweep")
-	forceDegraded := flag.Bool("force-degraded", false, "pin the sweep breaker open at startup (degraded-mode drill)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive sweep failures that open a device's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open period before a breaker allows a probe sweep")
+	forceDegraded := flag.Bool("force-degraded", false, "pin the sweep breakers open at startup (degraded-mode drill)")
 	app.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	dev := app.Device()
-	cal, err := app.Calibrate(ctx, dev)
-	app.Check(err)
-	log.Printf("calibration ready: %d samples, 16-fold CV mean %.2f%%",
-		len(cal.Samples), cal.KFold.Percent().Mean)
-
-	// The serving config drops the CLI progress callback: request sweeps
-	// run concurrently and must not share the App's milestone tracker.
-	cfg := app.Config()
-	cfg.OnProgress = nil
-	s := serve.New(dev, cal, cfg, serve.Options{
+	opts := serve.Options{
 		CacheSize:        *cacheCap,
 		SweepTimeout:     *sweepTimeout,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
-	})
+	}
+	// The serving config drops the CLI progress callback: request sweeps
+	// run concurrently and must not share the App's milestone tracker.
+	cfg := app.Config()
+	cfg.OnProgress = nil
+
+	var s *serve.Server
+	if *fleetPath != "" {
+		fc, err := fleet.LoadConfig(*fleetPath)
+		app.Check(err)
+		reg, err := fleet.Build(fc, cfg, cli.LoadCalibration, opts.NodeOptions())
+		app.Check(err)
+		for _, n := range reg.Nodes() {
+			log.Printf("device %q ready: %d samples, seed %d, grids cal=%d full=%d",
+				n.ID, len(n.Cal.Samples), n.Cfg.Seed, len(n.Grids["calibration"]), len(n.Grids["full"]))
+		}
+		s = serve.NewFleet(reg, opts)
+		log.Printf("fleet ready: %d devices", reg.Len())
+	} else {
+		dev := app.Device()
+		cal, err := app.Calibrate(ctx, dev)
+		app.Check(err)
+		log.Printf("calibration ready: %d samples, 16-fold CV mean %.2f%%",
+			len(cal.Samples), cal.KFold.Percent().Mean)
+		s = serve.New(dev, cal, cfg, opts)
+	}
 	if *forceDegraded {
 		s.ForceBreakerOpen(true)
-		log.Printf("sweep breaker forced open: autotune serves cached results only")
+		log.Printf("sweep breakers forced open: autotune serves cached results only")
 	}
 	l, err := net.Listen("tcp", *addr)
 	app.Check(err)
-	log.Printf("listening on http://%s (endpoints: /v1/predict /v1/autotune /v1/calibration /healthz /readyz /metrics)", l.Addr())
+	log.Printf("listening on http://%s (endpoints: /v1/predict /v1/autotune /v1/calibration /v1/fleet/predict /v1/fleet/place /v1/fleet/devices /healthz /readyz /metrics)", l.Addr())
 
 	app.Check(serve.Run(ctx, l, s.Handler(), *drain))
 	log.Printf("drained, bye")

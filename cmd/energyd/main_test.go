@@ -7,7 +7,10 @@ import (
 	"testing"
 
 	"dvfsroofline/internal/cli"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/export"
+	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/serve"
 )
 
@@ -40,5 +43,38 @@ func TestCachedSamplesLoad(t *testing.T) {
 	}
 	if m := cal.KFold.Percent().Mean; m > 1e-6 {
 		t.Errorf("noiseless cached calibration CV mean %g%%, want ~0", m)
+	}
+}
+
+// TestFleetConfigBoots exercises the exact -fleet startup path against
+// the checked-in testdata/fleet.json the CI smoke test uses: the config
+// must parse, build a 3-device registry, and calibrate every device.
+func TestFleetConfigBoots(t *testing.T) {
+	fc, err := fleet.LoadConfig(filepath.Join("testdata", "fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := fleet.Build(fc, experiments.Config{Seed: fc.Seed}, cli.LoadCalibration, fleet.NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 3 {
+		t.Fatalf("testdata/fleet.json built %d devices, want 3", reg.Len())
+	}
+	seen := map[int64]bool{}
+	for _, n := range reg.Nodes() {
+		if len(n.Cal.Samples) == 0 {
+			t.Errorf("device %q has no calibration samples", n.ID)
+		}
+		if m := n.Cal.KFold.Percent().Mean; m > 1e-6 {
+			t.Errorf("device %q synthetic calibration CV mean %g%%, want ~0", n.ID, m)
+		}
+		if seen[n.Cfg.Seed] {
+			t.Errorf("device %q shares its derived seed %d with another device", n.ID, n.Cfg.Seed)
+		}
+		seen[n.Cfg.Seed] = true
+	}
+	if n, ok := reg.Get("tk1-lowpower-sku"); !ok || len(n.Grids["full"]) >= len(dvfs.Grid()) {
+		t.Error("tk1-lowpower-sku's DVFS bounds did not trim its full grid")
 	}
 }

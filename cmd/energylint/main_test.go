@@ -44,9 +44,10 @@ func TestCleanPackageExitsZero(t *testing.T) {
 	}
 }
 
-// TestAllowsListing drives the -allows audit mode over internal/serve,
-// which carries the module's two known determinism suppressions; the
-// listing must name them with file:line and reason and exit 0.
+// TestAllowsListing drives the -allows audit mode over internal/serve
+// and internal/fleet, which carry the module's two known determinism
+// suppressions (the injected-clock defaults); the listing must name
+// them with file:line and reason and exit 0.
 func TestAllowsListing(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads packages from source")
@@ -55,7 +56,7 @@ func TestAllowsListing(t *testing.T) {
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("building energylint: %v\n%s", err, out)
 	}
-	out, err := exec.Command(bin, "-allows", "./../../internal/serve").CombinedOutput()
+	out, err := exec.Command(bin, "-allows", "./../../internal/serve", "./../../internal/fleet").CombinedOutput()
 	if err != nil {
 		t.Fatalf("energylint -allows failed: %v\n%s", err, out)
 	}

@@ -8,14 +8,15 @@ import (
 // defined quantity types of internal/units rather than raw float64.
 // They are the packages where a number *is* a physical quantity: the
 // device model (tegra), the Eq. 9 energy model (core), the energyd wire
-// types (serve), the power-meter simulation (powermon) and the
-// frequency/voltage tables (dvfs). This is a superset of unitPkgs
+// types (serve), the fleet device specs (fleet), the power-meter
+// simulation (powermon) and the frequency/voltage tables (dvfs). This
+// is a superset of unitPkgs
 // (unitdoc's gate): unitdoc's name-a-unit-in-the-name convention is the
 // deprecated predecessor of this rule, and inside unitTypePkgs it is
 // subsumed — a units.Joule field needs no "…J" suffix because the type
 // system already says more than the suffix ever did.
 var unitTypePkgs = map[string]bool{
-	"core": true, "tegra": true, "serve": true, "powermon": true, "dvfs": true,
+	"core": true, "tegra": true, "serve": true, "fleet": true, "powermon": true, "dvfs": true,
 }
 
 // Unittypes forbids raw float64 in exported API surfaces of the

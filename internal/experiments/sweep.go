@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"dvfsroofline/internal/core"
 	"dvfsroofline/internal/dvfs"
@@ -13,21 +14,90 @@ import (
 	"dvfsroofline/internal/units"
 )
 
+// measureCandidate executes one fixed workload at one setting on one
+// device and integrates a simulated PowerMon trace, producing the sweep
+// candidate for that grid point. Short executions are repeated
+// back-to-back until they fill a measurable window, exactly as the
+// paper's microbenchmark harness repeats short kernels, and the
+// integrated energy is divided by the repetition count. The
+// measurement-noise seed derives from cfg.Seed and the setting's
+// identity — never from scheduling order — so any sweep built from
+// these units is byte-identical at any worker count. Under an active
+// cfg.Faults plan, transient failures retry per cfg.Retry.
+func measureCandidate(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.Workload, s dvfs.Setting) (core.Candidate, error) {
+	exec := dev.Execute(w, s)
+	key := deriveSeed(cfg.Seed+9,
+		int64(math.Float64bits(float64(s.Core.FreqMHz))), int64(math.Float64bits(float64(s.Core.VoltageMV))),
+		int64(math.Float64bits(float64(s.Mem.FreqMHz))), int64(math.Float64bits(float64(s.Mem.VoltageMV))))
+	var meas powermon.Measurement
+	var reps float64
+	_, err := faults.Do(ctx, cfg.Retry, func(attempt int) error {
+		inj := cfg.Faults.ForSample(key, attempt)
+		if inj != nil {
+			if err := inj.DVFSTransition(); err != nil {
+				return fmt.Errorf("experiments: sweep at %v: %w", s, err)
+			}
+		}
+		mcfg := cfg.meterConfig()
+		if inj != nil {
+			mcfg.Faults = inj
+		}
+		seed := key
+		if attempt > 0 {
+			seed = deriveSeed(key, int64(attempt))
+		}
+		meter, err := powermon.NewMeter(mcfg, seed)
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		// Repeat the execution periodically until the run is long enough
+		// for the meter to integrate a stable sample count.
+		reps = 1.0
+		if min := meter.MinDuration(16); exec.Time < min {
+			reps = math.Ceil(float64(min / exec.Time))
+		}
+		// Throttle windows land inside one execution period and repeat
+		// with it, so their relative energy effect is the same whether
+		// the run needed repetition or not.
+		trace := exec.PowerAt
+		if inj != nil {
+			trace = exec.ThrottledTrace(inj.ThrottleWindows(exec.Time))
+		}
+		if reps > 1 {
+			period := float64(exec.Time)
+			inner := trace
+			trace = func(t units.Second) units.Watt {
+				return inner(units.Second(math.Mod(float64(t), period)))
+			}
+		}
+		m, err := meter.Measure(trace, units.Second(reps*float64(exec.Time)))
+		if err != nil {
+			return fmt.Errorf("experiments: sweep at %v: %w", s, err)
+		}
+		meas = m
+		return nil
+	})
+	if err != nil {
+		return core.Candidate{}, err
+	}
+	return core.Candidate{
+		Setting:        s,
+		Profile:        w.Profile,
+		Time:           exec.Time,
+		MeasuredEnergy: units.Joule(float64(meas.Energy) / reps),
+	}, nil
+}
+
 // SweepWorkload measures one fixed workload at every setting of grid:
-// the single-workload, context-aware entry point behind the energyd
+// the single-device, context-aware entry point behind the energyd
 // /v1/autotune endpoint. Each grid point executes the same work on the
 // device and integrates a simulated PowerMon trace, fanning out over
 // cfg.Workers workers; ctx cancellation (a request deadline, a client
-// disconnect) stops the sweep between units.
-//
-// Short executions are repeated back-to-back until they fill a
-// measurable window, exactly as the paper's microbenchmark harness
-// repeats short kernels, and the integrated energy is divided by the
-// repetition count. Every candidate derives its measurement-noise seed
-// from the setting's identity, so the sweep is byte-identical for any
-// worker count. Under an active cfg.Faults plan, transient failures
-// retry per cfg.Retry; a candidate that fails every attempt aborts the
-// sweep — a hole in the grid would silently bias the pick.
+// disconnect) stops the sweep between units. Every candidate derives
+// its measurement-noise seed from the setting's identity, so the sweep
+// is byte-identical for any worker count. A candidate that fails every
+// retry attempt aborts the sweep — a hole in the grid would silently
+// bias the pick.
 func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.Workload, grid []dvfs.Setting) ([]core.Candidate, error) {
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("experiments: empty setting grid")
@@ -37,72 +107,103 @@ func SweepWorkload(ctx context.Context, dev *tegra.Device, cfg Config, w tegra.W
 	}
 	cands := make([]core.Candidate, len(grid))
 	err := forEach(ctx, cfg, "sweep", len(grid), func(i int) error {
-		s := grid[i]
-		exec := dev.Execute(w, s)
-		key := deriveSeed(cfg.Seed+9,
-			int64(math.Float64bits(float64(s.Core.FreqMHz))), int64(math.Float64bits(float64(s.Core.VoltageMV))),
-			int64(math.Float64bits(float64(s.Mem.FreqMHz))), int64(math.Float64bits(float64(s.Mem.VoltageMV))))
-		var meas powermon.Measurement
-		var reps float64
-		_, err := faults.Do(ctx, cfg.Retry, func(attempt int) error {
-			inj := cfg.Faults.ForSample(key, attempt)
-			if inj != nil {
-				if err := inj.DVFSTransition(); err != nil {
-					return fmt.Errorf("experiments: sweep at %v: %w", s, err)
-				}
-			}
-			mcfg := cfg.meterConfig()
-			if inj != nil {
-				mcfg.Faults = inj
-			}
-			seed := key
-			if attempt > 0 {
-				seed = deriveSeed(key, int64(attempt))
-			}
-			meter, err := powermon.NewMeter(mcfg, seed)
-			if err != nil {
-				return fmt.Errorf("experiments: %w", err)
-			}
-			// Repeat the execution periodically until the run is long enough
-			// for the meter to integrate a stable sample count.
-			reps = 1.0
-			if min := meter.MinDuration(16); exec.Time < min {
-				reps = math.Ceil(float64(min / exec.Time))
-			}
-			// Throttle windows land inside one execution period and repeat
-			// with it, so their relative energy effect is the same whether
-			// the run needed repetition or not.
-			trace := exec.PowerAt
-			if inj != nil {
-				trace = exec.ThrottledTrace(inj.ThrottleWindows(exec.Time))
-			}
-			if reps > 1 {
-				period := float64(exec.Time)
-				inner := trace
-				trace = func(t units.Second) units.Watt {
-					return inner(units.Second(math.Mod(float64(t), period)))
-				}
-			}
-			m, err := meter.Measure(trace, units.Second(reps*float64(exec.Time)))
-			if err != nil {
-				return fmt.Errorf("experiments: sweep at %v: %w", s, err)
-			}
-			meas = m
-			return nil
-		})
+		c, err := measureCandidate(ctx, dev, cfg, w, grid[i])
 		if err != nil {
 			return err
 		}
-		cands[i] = core.Candidate{
-			Setting:        s,
-			Profile:        w.Profile,
-			Time:           exec.Time,
-			MeasuredEnergy: units.Joule(float64(meas.Energy) / reps),
-		}
+		cands[i] = c
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return cands, nil
+}
+
+// SweepTarget is one device's share of a fleet sweep: the device, its
+// own config (seed lineage, fault plan) and its own candidate grid —
+// heterogeneous devices may run different slices of the DVFS ladder.
+type SweepTarget struct {
+	Dev  *tegra.Device
+	Cfg  Config
+	Grid []dvfs.Setting
+}
+
+// TargetSweep is one target's outcome: its candidates, or the first
+// error (in grid order) that its share of the sweep produced.
+type TargetSweep struct {
+	Candidates []core.Candidate
+	Err        error
+}
+
+// SweepTargets measures one workload on every target, flattening all
+// (target, setting) pairs onto a single worker pool — the fleet
+// placement fan-out. Each unit derives its measurement-noise seed from
+// its target's cfg.Seed and its setting's identity, so per-target
+// results are byte-identical to running SweepWorkload on that target
+// alone, at any pool worker count and in any scheduling order.
+//
+// Unlike SweepWorkload, one target's permanent failure does not abort
+// the others: its TargetSweep carries the error (deterministically the
+// first in grid order) and its candidates are nil, so the fleet layer
+// can report the device unavailable while the rest still answer. Only
+// ctx cancellation — a request deadline or client disconnect — stops
+// the whole fan-out, returning the ctx error.
+//
+// pool supplies the shared concurrency knobs (Workers, OnProgress);
+// per-unit measurement behavior comes from each target's own Cfg.
+func SweepTargets(ctx context.Context, pool Config, w tegra.Workload, targets []SweepTarget) ([]TargetSweep, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: sweep workload: %w", err)
+	}
+	type unit struct{ target, point int }
+	var work []unit
+	out := make([]TargetSweep, len(targets))
+	errs := make([][]error, len(targets))
+	//energylint:allow ctxloop(bounded in-memory setup; the measurement fan-out below runs under forEach, which honors ctx)
+	for ti, t := range targets {
+		if len(t.Grid) == 0 {
+			out[ti].Err = fmt.Errorf("experiments: target %d: empty setting grid", ti)
+			continue
+		}
+		out[ti].Candidates = make([]core.Candidate, len(t.Grid))
+		errs[ti] = make([]error, len(t.Grid))
+		for gi := range t.Grid {
+			work = append(work, unit{target: ti, point: gi})
+		}
+	}
+	var mu sync.Mutex
+	err := forEach(ctx, pool, "fleetsweep", len(work), func(i int) error {
+		u := work[i]
+		t := targets[u.target]
+		c, err := measureCandidate(ctx, t.Dev, t.Cfg, w, t.Grid[u.point])
+		if err != nil {
+			if ctx.Err() != nil {
+				// Cancellation aborts the fan-out; per-target errors are
+				// reserved for genuine measurement failures.
+				return err
+			}
+			mu.Lock()
+			errs[u.target][u.point] = err
+			mu.Unlock()
+			return nil
+		}
+		out[u.target].Candidates[u.point] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti := range out {
+		if out[ti].Err != nil {
+			continue
+		}
+		for _, e := range errs[ti] {
+			if e != nil {
+				out[ti] = TargetSweep{Err: e}
+				break
+			}
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(2, time.Minute, func() time.Time { return now })
+
+	if !b.Allow() {
+		t.Fatal("new breaker must be closed")
+	}
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("one failure below threshold must not trip")
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("threshold failures must open the breaker")
+	}
+	if state, opens := b.Snapshot(); state != BreakerOpen || opens != 1 {
+		t.Fatalf("state %v opens %d, want open 1", state, opens)
+	}
+
+	// Before the cooldown no probe; after it exactly one.
+	now = now.Add(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("probe allowed before cooldown elapsed")
+	}
+	now = now.Add(31 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed; a probe must be allowed")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed")
+	}
+
+	// A failed probe reopens for a full cooldown.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("failed probe must reopen the breaker")
+	}
+	if _, opens := b.Snapshot(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe not allowed after cooldown")
+	}
+	b.Success()
+	if state, _ := b.Snapshot(); state != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", state)
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker must allow freely")
+	}
+
+	// Success resets the consecutive-failure count.
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("failure count survived an intervening success")
+	}
+}
+
+func TestBreakerProbeRelease(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(1, time.Minute, func() time.Time { return now })
+	b.Failure()
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe not granted")
+	}
+	// The probe was answered from cache: no outcome, slot freed.
+	b.Release()
+	if !b.Allow() {
+		t.Fatal("released probe slot not reusable")
+	}
+}
+
+func TestBreakerForceOpen(t *testing.T) {
+	b := NewBreaker(0, 0, nil)
+	b.ForceOpen(true)
+	if b.Allow() {
+		t.Fatal("forced-open breaker allowed a sweep")
+	}
+	if state, opens := b.Snapshot(); state != BreakerOpen || opens != 1 {
+		t.Fatalf("forced snapshot %v/%d, want open/1", state, opens)
+	}
+	b.ForceOpen(true) // idempotent; must not bump opens again
+	if _, opens := b.Snapshot(); opens != 1 {
+		t.Fatal("re-forcing bumped the opens counter")
+	}
+	b.ForceOpen(false)
+	if !b.Allow() {
+		t.Fatal("released breaker must close again")
+	}
+}

@@ -1,4 +1,4 @@
-package serve
+package fleet
 
 import (
 	"container/list"
@@ -6,13 +6,15 @@ import (
 	"sync"
 )
 
-// sweepCache is a keyed LRU with single-flight semantics: concurrent
-// Do calls for the same key run the expensive function once, with every
+// Cache is a keyed LRU with single-flight semantics: concurrent Do
+// calls for the same key run the expensive function once, with every
 // waiter receiving the one result, and completed results are retained up
-// to the capacity in least-recently-used order. Autotune sweeps are
-// deterministic in their request, so a cached answer is exactly the
-// answer a fresh sweep would produce.
-type sweepCache struct {
+// to the capacity in least-recently-used order. Sweeps are deterministic
+// in their key (workload identity plus the owning device's seed), so a
+// cached answer is exactly the answer a fresh sweep would produce. Every
+// fleet device owns one Cache, so evictions and breaker trips on one
+// device never disturb another's working set.
+type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List               // front = most recently used
@@ -32,11 +34,12 @@ type flight struct {
 	err  error
 }
 
-func newSweepCache(capacity int) *sweepCache {
+// NewCache builds a cache bounded at capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &sweepCache{
+	return &Cache{
 		cap:     capacity,
 		ll:      list.New(),
 		items:   make(map[string]*list.Element),
@@ -51,7 +54,7 @@ func newSweepCache(capacity int) *sweepCache {
 // cached, so a later request retries. If ctx ends while waiting on
 // another caller's computation, Do returns ctx.Err() (the computation
 // itself keeps running for the caller that owns it).
-func (c *sweepCache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -84,9 +87,20 @@ func (c *sweepCache) Do(ctx context.Context, key string, fn func() (any, error))
 	return f.val, false, f.err
 }
 
+// Put stores a value computed outside Do — the fleet placement path
+// shards many devices' sweeps onto one worker pool and deposits each
+// device's share here afterwards. Concurrent Put and Do for the same key
+// are safe: sweeps are deterministic in the key, so whichever write
+// lands last stores the same bytes the other computed.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	c.insert(key, val)
+	c.mu.Unlock()
+}
+
 // insert stores a value, evicting the least recently used entry when the
 // cache is full. Callers hold c.mu.
-func (c *sweepCache) insert(key string, val any) {
+func (c *Cache) insert(key string, val any) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).val = val
 		c.ll.MoveToFront(el)
@@ -102,9 +116,9 @@ func (c *sweepCache) insert(key string, val any) {
 
 // Get returns the cached value for key without computing anything on a
 // miss. A hit still refreshes the entry's LRU position. This is the
-// degraded-mode read path: while the breaker is open the autotune
-// handler serves stale sweeps from here instead of calling Do.
-func (c *sweepCache) Get(key string) (any, bool) {
+// degraded-mode read path: while a device's breaker is open the serving
+// layer answers from here instead of calling Do.
+func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -116,7 +130,7 @@ func (c *sweepCache) Get(key string) (any, bool) {
 }
 
 // Len returns the number of cached entries.
-func (c *sweepCache) Len() int {
+func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()

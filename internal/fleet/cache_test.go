@@ -1,4 +1,4 @@
-package serve
+package fleet
 
 import (
 	"context"
@@ -11,7 +11,7 @@ import (
 )
 
 func TestCacheHitAfterMiss(t *testing.T) {
-	c := newSweepCache(4)
+	c := NewCache(4)
 	ctx := context.Background()
 	v, hit, err := c.Do(ctx, "k", func() (any, error) { return 7, nil })
 	if err != nil || hit || v != 7 {
@@ -27,7 +27,7 @@ func TestCacheHitAfterMiss(t *testing.T) {
 }
 
 func TestCacheErrorsNotCached(t *testing.T) {
-	c := newSweepCache(4)
+	c := NewCache(4)
 	ctx := context.Background()
 	boom := errors.New("boom")
 	if _, _, err := c.Do(ctx, "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
@@ -40,7 +40,7 @@ func TestCacheErrorsNotCached(t *testing.T) {
 }
 
 func TestCacheSingleflightConcurrent(t *testing.T) {
-	c := newSweepCache(4)
+	c := NewCache(4)
 	var runs atomic.Int32
 	gate := make(chan struct{})
 	const n = 32
@@ -69,7 +69,7 @@ func TestCacheSingleflightConcurrent(t *testing.T) {
 }
 
 func TestCacheJoinerHonorsContext(t *testing.T) {
-	c := newSweepCache(4)
+	c := NewCache(4)
 	gate := make(chan struct{})
 	defer close(gate)
 	started := make(chan struct{})
@@ -87,7 +87,7 @@ func TestCacheJoinerHonorsContext(t *testing.T) {
 }
 
 func TestCacheEvictsLRU(t *testing.T) {
-	c := newSweepCache(2)
+	c := NewCache(2)
 	ctx := context.Background()
 	run := func(k string) (bool, error) {
 		_, hit, err := c.Do(ctx, k, func() (any, error) { return k, nil })
@@ -116,7 +116,7 @@ func TestCacheEvictsLRU(t *testing.T) {
 }
 
 func TestCacheCapacityClamped(t *testing.T) {
-	c := newSweepCache(0)
+	c := NewCache(0)
 	ctx := context.Background()
 	for i := 0; i < 3; i++ {
 		k := fmt.Sprintf("k%d", i)
@@ -126,5 +126,31 @@ func TestCacheCapacityClamped(t *testing.T) {
 	}
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want clamp to 1", c.Len())
+	}
+}
+
+func TestCachePutServesDo(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", 99)
+	if v, ok := c.Get("k"); !ok || v != 99 {
+		t.Fatalf("Get after Put = (%v, %v), want (99, true)", v, ok)
+	}
+	v, hit, err := c.Do(context.Background(), "k", func() (any, error) {
+		t.Fatal("fn ran despite a deposited value")
+		return nil, nil
+	})
+	if err != nil || !hit || v != 99 {
+		t.Fatalf("Do after Put = (%v, %v, %v), want (99, true, nil)", v, hit, err)
+	}
+	// Put participates in LRU accounting.
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Put("d", 4)
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", c.Len())
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("oldest entry survived Put-driven eviction")
 	}
 }

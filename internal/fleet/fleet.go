@@ -1,0 +1,248 @@
+// Package fleet turns the single calibrated device behind energyd into
+// a heterogeneous multi-device fleet. The paper calibrates one
+// DVFS-aware energy model for one Jetson-class board; a production
+// daemon serves many boards with distinct capacitances, leakage slopes
+// and DVFS ladders, and must answer fleet-level questions — "which
+// device, at which (f_core, f_mem), answers this workload cheapest?"
+//
+// The package provides:
+//
+//   - Spec / FleetConfig — JSON device declarations (tegra.DeviceParams
+//     variants with per-device seeds, calibration caches, DVFS bounds).
+//   - Node — one running device: simulator, calibration, per-device
+//     sweep cache and circuit breaker, and a load gauge.
+//   - Registry — the routing layer: deterministic consistent-hash
+//     placement with ring-order failover around open breakers, plus a
+//     least-loaded picker for load-balancing callers.
+//   - SyntheticCalibration — instant noiseless calibration from declared
+//     parameters, so an N-device fleet boots without N measurement
+//     campaigns.
+//
+// Everything is deterministic: per-device seeds derive from the fleet
+// seed and the device ID (never from registry order), routing is a pure
+// function of the request key and the sorted ID list, and sweeps shard
+// over the experiments worker pool with identity-derived seeds — so a
+// fleet answer is byte-identical at any worker count or routing order.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/stats"
+	"dvfsroofline/internal/tegra"
+)
+
+// Node is one device of the fleet: the simulated board, its fitted
+// calibration, its private sweep cache and circuit breaker, and its
+// setting grids. All fields are read-only after construction; Cache,
+// Breaker and the load gauge synchronize internally.
+type Node struct {
+	// ID names the device; the empty ID is reserved for the legacy
+	// single-device mode of internal/serve, which keeps device labels
+	// off every wire format.
+	ID      string
+	Dev     *tegra.Device
+	Cal     *experiments.Calibration
+	Cfg     experiments.Config // per-device seed lineage; OnProgress nil
+	Grids   map[string][]dvfs.Setting
+	Cache   *Cache
+	Breaker *Breaker
+	Spec    Spec
+
+	inflight atomic.Int64
+}
+
+// NodeOptions tune the per-device machinery; the zero value selects the
+// serving defaults (64 cache entries, 5-failure breaker, 30 s cooldown,
+// wall clock).
+type NodeOptions struct {
+	CacheSize        int
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	Clock            func() time.Time
+}
+
+// NewNode assembles a node from already-built parts. cfg.OnProgress, if
+// set, fires from every sweep this node runs; callers serving
+// concurrent requests should leave it nil.
+func NewNode(id string, dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config, grids map[string][]dvfs.Setting, opts NodeOptions) *Node {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 64
+	}
+	return &Node{
+		ID:      id,
+		Dev:     dev,
+		Cal:     cal,
+		Cfg:     cfg,
+		Grids:   grids,
+		Cache:   NewCache(opts.CacheSize),
+		Breaker: NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock),
+	}
+}
+
+// Acquire increments the node's in-flight load gauge and returns the
+// matching release. The least-loaded router reads this gauge.
+func (n *Node) Acquire() func() {
+	n.inflight.Add(1)
+	return func() { n.inflight.Add(-1) }
+}
+
+// Load returns the node's current in-flight request count.
+func (n *Node) Load() int64 { return n.inflight.Load() }
+
+// Supports reports whether the node's DVFS bounds admit the setting.
+// The legacy single-device node has no bounds and supports everything.
+func (n *Node) Supports(s dvfs.Setting) bool { return n.Spec.supports(s) }
+
+// Registry is the fleet's routing table: the sorted node list, an index
+// by ID, and the consistent-hash ring. It is immutable after
+// construction and safe for concurrent use.
+type Registry struct {
+	nodes []*Node // sorted by ID
+	byID  map[string]*Node
+	ring  *ring
+}
+
+// NewRegistry builds a registry over the given nodes. Nodes are sorted
+// by ID so every derived structure (ring points, iteration order,
+// argmin tie-breaks) is a pure function of the node set, not of the
+// caller's slice order. replicas <= 0 selects the ring default.
+func NewRegistry(nodes []*Node, replicas int) (*Registry, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("fleet: registry needs at least one node")
+	}
+	sorted := make([]*Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].ID < sorted[b].ID })
+	byID := make(map[string]*Node, len(sorted))
+	ids := make([]string, len(sorted))
+	for i, n := range sorted {
+		if _, dup := byID[n.ID]; dup {
+			return nil, fmt.Errorf("fleet: duplicate node id %q", n.ID)
+		}
+		byID[n.ID] = n
+		ids[i] = n.ID
+	}
+	return &Registry{nodes: sorted, byID: byID, ring: newRing(ids, replicas)}, nil
+}
+
+// Len returns the fleet size.
+func (r *Registry) Len() int { return len(r.nodes) }
+
+// Nodes returns the fleet sorted by ID. Callers must not mutate the
+// slice.
+func (r *Registry) Nodes() []*Node { return r.nodes }
+
+// Get returns the node with the given ID.
+func (r *Registry) Get(id string) (*Node, bool) {
+	n, ok := r.byID[id]
+	return n, ok
+}
+
+// Route returns the node owning key on the consistent-hash ring: the
+// deterministic primary placement, regardless of health. Prediction
+// traffic routes here — it never runs sweeps, so an open sweep breaker
+// is no reason to move it off its cache-affine home.
+func (r *Registry) Route(key string) *Node {
+	return r.nodes[r.ring.successor(key)]
+}
+
+// RouteHealthy returns the first node in ring order from key whose
+// sweep breaker admits fresh work, for traffic that will run a sweep.
+// failover reports whether the primary was skipped. When every breaker
+// is open it returns the primary, whose degraded cache path is then the
+// only thing left to try.
+func (r *Registry) RouteHealthy(key string) (n *Node, failover bool) {
+	order := r.ring.walk(key)
+	for i, idx := range order {
+		node := r.nodes[idx]
+		if state, _ := node.Breaker.Snapshot(); state != BreakerOpen {
+			return node, i > 0
+		}
+	}
+	return r.nodes[order[0]], false
+}
+
+// LeastLoaded returns the node with the fewest in-flight requests,
+// breaking ties by ID so the choice is deterministic under equal load.
+func (r *Registry) LeastLoaded() *Node {
+	best := r.nodes[0]
+	for _, n := range r.nodes[1:] {
+		if n.Load() < best.Load() {
+			best = n
+		}
+	}
+	return best
+}
+
+// Loader resolves a calibration cache path to a fitted calibration;
+// cmd/energyd passes cli.LoadCalibration. Build uses it only for specs
+// that declare a cache.
+type Loader func(path string) (*experiments.Calibration, error)
+
+// Build assembles a registry from a validated config. Every device gets
+// its own simulator (from its merged parameters), its own calibration
+// (loaded from its cache when declared, synthesized from its declared
+// parameters otherwise), a seed derived from the fleet seed and its ID,
+// and its filtered setting grids. base supplies the fleet-wide
+// experiment knobs (workers, meter, faults); its seed is overridden per
+// device.
+func Build(fc FleetConfig, base experiments.Config, load Loader, opts NodeOptions) (*Registry, error) {
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	fleetSeed := fc.Seed
+	if fleetSeed == 0 {
+		fleetSeed = base.Seed
+	}
+	nodes := make([]*Node, 0, len(fc.Devices))
+	for _, spec := range fc.Devices {
+		params := spec.DeviceParams()
+		dev, err := tegra.NewCustomDevice(params)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: device %q: %w", spec.ID, err)
+		}
+		var cal *experiments.Calibration
+		switch {
+		case spec.CalibrationCache != "":
+			if load == nil {
+				return nil, fmt.Errorf("fleet: device %q declares a calibration cache but no loader was supplied", spec.ID)
+			}
+			cal, err = load(spec.CalibrationCache)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: device %q: loading calibration: %w", spec.ID, err)
+			}
+		default:
+			cal, err = SyntheticCalibration(DeclaredModel(params))
+			if err != nil {
+				return nil, fmt.Errorf("fleet: device %q: synthetic calibration: %w", spec.ID, err)
+			}
+		}
+		grids, err := spec.Grids()
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Seed = NodeSeed(fleetSeed, spec)
+		node := NewNode(spec.ID, dev, cal, cfg, grids, opts)
+		node.Spec = spec
+		nodes = append(nodes, node)
+	}
+	return NewRegistry(nodes, fc.Replicas)
+}
+
+// NodeSeed resolves a device's measurement-noise seed: the spec's pin
+// when present, otherwise a mix of the fleet seed with the device ID's
+// hash — identity-derived, so seeds survive fleet membership changes
+// and never depend on declaration order.
+func NodeSeed(fleetSeed int64, spec Spec) int64 {
+	if spec.Seed > 0 {
+		return spec.Seed
+	}
+	return stats.MixSeed(fleetSeed, int64(hashKey(spec.ID)))
+}

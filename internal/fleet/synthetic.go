@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/dvfs"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
+)
+
+// Synthetic calibrations let a fleet of heterogeneous devices boot
+// without N x 1856-sample measurement campaigns: each device's declared
+// parameters ARE its ideal Eq. 9 constants, so a small noiseless sample
+// campaign generated from them in closed form refits to exactly those
+// constants. The simulated device itself still carries its non-ideality
+// knobs, so model-vs-measured comparisons in sweeps stay honest — the
+// synthetic shortcut only replaces the fit's input, not the ground
+// truth being predicted. serve.FixtureSamples is the single-device
+// instance of this generator.
+
+// syntheticProfiles are eight operation mixes diverse enough to identify
+// all nine Eq. 9 constants: one near-pure workload per class plus two
+// blends, in units of 1e9 operations.
+func syntheticProfiles() []counters.Profile {
+	const g = 1e9
+	return []counters.Profile{
+		{SP: 4 * g, Int: 0.1 * g, DRAMWords: 0.05 * g},
+		{DPFMA: 1.5 * g, DPAdd: 0.3 * g, DPMul: 0.2 * g, DRAMWords: 0.05 * g},
+		{Int: 3 * g, DRAMWords: 0.05 * g},
+		{SharedWords: 2 * g, Int: 0.1 * g, DRAMWords: 0.05 * g},
+		{L1Words: 1.5 * g, Int: 0.1 * g, DRAMWords: 0.05 * g},
+		{L2Words: 1 * g, Int: 0.1 * g, DRAMWords: 0.05 * g},
+		{SP: 0.2 * g, Int: 0.1 * g, DRAMWords: 0.8 * g},
+		{DPFMA: 0.8 * g, Int: 0.5 * g, SharedWords: 0.5 * g, L2Words: 0.3 * g, DRAMWords: 0.3 * g},
+	}
+}
+
+// SyntheticSamples builds the synthetic campaign for one model: every
+// synthetic profile at every one of the 16 calibration settings,
+// setting-major as experiments.Calibrate produces and
+// CalibrateFromSamples expects. Execution times scale with the core
+// period so the constant-energy term varies across settings and the
+// leakage coefficients are identifiable.
+func SyntheticSamples(model *core.Model) []core.Sample {
+	settings := dvfs.CalibrationSettings()
+	profiles := syntheticProfiles()
+	samples := make([]core.Sample, 0, len(settings)*len(profiles))
+	for _, cs := range settings {
+		s := cs.Setting
+		for pi, p := range profiles {
+			// A deterministic, physically plausible runtime: longer on
+			// slower clocks, different per profile.
+			t := units.Second(0.2 * (1 + 0.1*float64(pi)) * (852.0 / float64(s.Core.FreqMHz)))
+			samples = append(samples, core.Sample{
+				Profile: p,
+				Setting: s,
+				Time:    t,
+				Energy:  model.Predict(p, s, t),
+			})
+		}
+	}
+	return samples
+}
+
+// SyntheticCalibration fits and validates the synthetic campaign for one
+// model; the fitted constants recover the input exactly (noiseless).
+func SyntheticCalibration(model *core.Model) (*experiments.Calibration, error) {
+	return experiments.CalibrateFromSamples(SyntheticSamples(model))
+}
+
+// DeclaredModel maps a device's declared physical parameters onto the
+// Eq. 9 constants an ideal calibration of that device would fit:
+// per-class capacitance coefficients carry over one to one (shared and
+// L1 words share the one Kepler SRAM, hence one SM constant), leakage
+// slopes become the c1 terms, and the misc draw the constant power.
+func DeclaredModel(p tegra.DeviceParams) *core.Model {
+	return &core.Model{
+		SPpJ: p.SPpJ, DPpJ: p.DPpJ, IntpJ: p.IntpJ,
+		SMpJ: p.SharedpJ, L2pJ: p.L2pJ, DRAMpJ: p.DRAMpJ,
+		C1Proc: p.LeakProcWpV, C1Mem: p.LeakMemWpV, PMisc: p.MiscW,
+	}
+}

@@ -8,103 +8,9 @@ import (
 	"time"
 
 	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/tegra"
 )
-
-func TestBreakerStateMachine(t *testing.T) {
-	now := time.Unix(0, 0)
-	b := newBreaker(2, time.Minute, func() time.Time { return now })
-
-	if !b.allow() {
-		t.Fatal("new breaker must be closed")
-	}
-	b.failure()
-	if !b.allow() {
-		t.Fatal("one failure below threshold must not trip")
-	}
-	b.failure()
-	if b.allow() {
-		t.Fatal("threshold failures must open the breaker")
-	}
-	if state, opens := b.snapshot(); state != breakerOpen || opens != 1 {
-		t.Fatalf("state %v opens %d, want open 1", state, opens)
-	}
-
-	// Before the cooldown no probe; after it exactly one.
-	now = now.Add(30 * time.Second)
-	if b.allow() {
-		t.Fatal("probe allowed before cooldown elapsed")
-	}
-	now = now.Add(31 * time.Second)
-	if !b.allow() {
-		t.Fatal("cooldown elapsed; a probe must be allowed")
-	}
-	if b.allow() {
-		t.Fatal("second concurrent probe allowed")
-	}
-
-	// A failed probe reopens for a full cooldown.
-	b.failure()
-	if b.allow() {
-		t.Fatal("failed probe must reopen the breaker")
-	}
-	if _, opens := b.snapshot(); opens != 2 {
-		t.Fatalf("opens = %d, want 2", opens)
-	}
-	now = now.Add(2 * time.Minute)
-	if !b.allow() {
-		t.Fatal("second probe not allowed after cooldown")
-	}
-	b.success()
-	if state, _ := b.snapshot(); state != breakerClosed {
-		t.Fatalf("state %v after successful probe, want closed", state)
-	}
-	if !b.allow() || !b.allow() {
-		t.Fatal("closed breaker must allow freely")
-	}
-
-	// success resets the consecutive-failure count.
-	b.failure()
-	b.success()
-	b.failure()
-	if !b.allow() {
-		t.Fatal("failure count survived an intervening success")
-	}
-}
-
-func TestBreakerProbeRelease(t *testing.T) {
-	now := time.Unix(0, 0)
-	b := newBreaker(1, time.Minute, func() time.Time { return now })
-	b.failure()
-	now = now.Add(2 * time.Minute)
-	if !b.allow() {
-		t.Fatal("probe not granted")
-	}
-	// The probe was answered from cache: no outcome, slot freed.
-	b.release()
-	if !b.allow() {
-		t.Fatal("released probe slot not reusable")
-	}
-}
-
-func TestBreakerForceOpen(t *testing.T) {
-	b := newBreaker(0, 0, nil)
-	b.forceOpen(true)
-	if b.allow() {
-		t.Fatal("forced-open breaker allowed a sweep")
-	}
-	if state, opens := b.snapshot(); state != breakerOpen || opens != 1 {
-		t.Fatalf("forced snapshot %v/%d, want open/1", state, opens)
-	}
-	b.forceOpen(true) // idempotent; must not bump opens again
-	if _, opens := b.snapshot(); opens != 1 {
-		t.Fatal("re-forcing bumped the opens counter")
-	}
-	b.forceOpen(false)
-	if !b.allow() {
-		t.Fatal("released breaker must close again")
-	}
-}
 
 // TestDegradedModeServesFromCache is the acceptance scenario: with the
 // breaker forced open, a previously swept workload is still answered —
@@ -202,7 +108,7 @@ func TestBreakerOpensAfterConsecutiveSweepFailures(t *testing.T) {
 			t.Fatalf("sweep %d = %d, want 504", i, w.Code)
 		}
 	}
-	if state, _ := s.breaker.snapshot(); state != breakerOpen {
+	if state, _ := node0(s).Breaker.Snapshot(); state != fleet.BreakerOpen {
 		t.Fatalf("breaker %v after 3 consecutive failures, want open", state)
 	}
 	w := postJSON(t, h, "/v1/autotune", `{"profile": {"sp": 9e8}, "occupancy": 0.9}`)

@@ -2,9 +2,8 @@ package serve
 
 import (
 	"dvfsroofline/internal/core"
-	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
-	"dvfsroofline/internal/units"
+	"dvfsroofline/internal/fleet"
 )
 
 // Fixture calibration: a small, fully deterministic sample campaign
@@ -12,7 +11,11 @@ import (
 // §5) in closed form, with no measurement noise. Fitting it recovers the
 // reference model exactly, which makes it ideal as a fast test fixture
 // and as the checked-in cmd/energyd/testdata cache the CI smoke test
-// boots from — no 1856-measurement campaign required.
+// boots from — no 1856-measurement campaign required. The generator
+// itself lives in internal/fleet (fleet.SyntheticSamples), where every
+// fleet device uses it to boot from its declared parameters; this is
+// the single-device instance, pinned byte-for-byte by
+// cmd/energyd/testdata/samples.csv.
 
 // fixtureModel returns the DESIGN.md §5 reference constants.
 func fixtureModel() *core.Model {
@@ -23,49 +26,11 @@ func fixtureModel() *core.Model {
 	}
 }
 
-// fixtureProfiles are eight operation mixes diverse enough to identify
-// all nine Eq. 9 constants: one near-pure workload per class plus two
-// blends, in units of 1e9 operations.
-func fixtureProfiles() []ProfileJSON {
-	const g = 1e9
-	return []ProfileJSON{
-		{SP: 4 * g, Int: 0.1 * g, DRAMWords: 0.05 * g},
-		{DPFMA: 1.5 * g, DPAdd: 0.3 * g, DPMul: 0.2 * g, DRAMWords: 0.05 * g},
-		{Int: 3 * g, DRAMWords: 0.05 * g},
-		{SharedWords: 2 * g, Int: 0.1 * g, DRAMWords: 0.05 * g},
-		{L1Words: 1.5 * g, Int: 0.1 * g, DRAMWords: 0.05 * g},
-		{L2Words: 1 * g, Int: 0.1 * g, DRAMWords: 0.05 * g},
-		{SP: 0.2 * g, Int: 0.1 * g, DRAMWords: 0.8 * g},
-		{DPFMA: 0.8 * g, Int: 0.5 * g, SharedWords: 0.5 * g, L2Words: 0.3 * g, DRAMWords: 0.3 * g},
-	}
-}
-
 // FixtureSamples builds the synthetic campaign: every fixture profile at
 // every one of the 16 calibration settings, setting-major as
 // experiments.Calibrate produces and CalibrateFromSamples expects.
-// Execution times scale with the core period so the constant-energy term
-// varies across settings and the leakage coefficients are identifiable.
 func FixtureSamples() []core.Sample {
-	model := fixtureModel()
-	settings := dvfs.CalibrationSettings()
-	profiles := fixtureProfiles()
-	samples := make([]core.Sample, 0, len(settings)*len(profiles))
-	for _, cs := range settings {
-		s := cs.Setting
-		for pi, pj := range profiles {
-			p := pj.profile()
-			// A deterministic, physically plausible runtime: longer on
-			// slower clocks, different per profile.
-			t := units.Second(0.2 * (1 + 0.1*float64(pi)) * (852.0 / float64(s.Core.FreqMHz)))
-			samples = append(samples, core.Sample{
-				Profile: p,
-				Setting: s,
-				Time:    t,
-				Energy:  model.Predict(p, s, t),
-			})
-		}
-	}
-	return samples
+	return fleet.SyntheticSamples(fixtureModel())
 }
 
 // FixtureCalibration fits and validates the synthetic campaign.

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fleet"
+	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/units"
+)
+
+// FleetPredictRequest is a predict request routed across the fleet.
+// device pins the answer to one named device; otherwise the request's
+// consistent hash picks its deterministic home.
+type FleetPredictRequest struct {
+	PredictRequest
+	Device string `json:"device,omitempty"`
+}
+
+// FleetPredictResponse names the device whose simulator and calibration
+// produced the embedded prediction.
+type FleetPredictResponse struct {
+	DeviceID string `json:"device_id"`
+	PredictResponse
+}
+
+func (s *Server) handleFleetPredict(w http.ResponseWriter, r *http.Request) {
+	var req FleetPredictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var node *fleet.Node
+	if req.Device != "" {
+		n, ok := s.reg.Get(req.Device)
+		if !ok {
+			writeErrorDev(w, http.StatusNotFound, fmt.Sprintf("unknown device %q", req.Device), req.Device)
+			return
+		}
+		node = n
+	} else {
+		node = s.reg.Route(predictKey(req.PredictRequest))
+	}
+	release := node.Acquire()
+	defer release()
+	resp, err := s.predictOn(node, req.PredictRequest)
+	if err != nil {
+		writeErrorDev(w, http.StatusBadRequest, err.Error(), node.ID)
+		return
+	}
+	markDevice(w, node.ID)
+	writeJSON(w, http.StatusOK, FleetPredictResponse{DeviceID: node.ID, PredictResponse: resp})
+}
+
+// DevicePlacement is one device's sweep outcome inside a /v1/fleet/place
+// answer: the three §II-E picks over that device's own grid slice.
+type DevicePlacement struct {
+	DeviceID             string        `json:"device_id"`
+	Candidates           int           `json:"candidates"`
+	Model                PickJSON      `json:"model"`
+	TimeOracle           PickJSON      `json:"time_oracle"`
+	MeasuredMin          PickJSON      `json:"measured_min"`
+	ModelExtraEnergyPct  units.Percent `json:"model_extra_energy_pct"`
+	OracleExtraEnergyPct units.Percent `json:"oracle_extra_energy_pct"`
+}
+
+// PlaceSkip records a device that could not contribute to a placement
+// and why (open breaker, sweep failure).
+type PlaceSkip struct {
+	DeviceID string `json:"device_id"`
+	Reason   string `json:"reason"`
+}
+
+// PlaceResponse is the answer to a /v1/fleet/place request: every
+// device's sweep outcome sorted by device ID, and the winner — the
+// argmin of measured sweep energy across the fleet, ties broken by ID.
+// The body carries no cache or degraded flags: a placement is a pure
+// function of the workload and the fleet, so repeated calls return
+// byte-identical answers.
+type PlaceResponse struct {
+	Grid       string            `json:"grid"`
+	Devices    []DevicePlacement `json:"devices"`
+	Skipped    []PlaceSkip       `json:"skipped,omitempty"`
+	Winner     string            `json:"winner"`
+	WinnerPick PickJSON          `json:"winner_pick"`
+}
+
+// handleFleetPlace answers "which device runs this workload cheapest,
+// and at which DVFS setting?" It checks each device's sweep cache,
+// shards the remaining devices' sweeps as (device, setting) units onto
+// one worker pool (experiments.SweepTargets), deposits each device's
+// share back into that device's cache, and feeds each device's breaker
+// with its own outcome. Devices whose breaker rejects fresh work and
+// whose cache has no entry are skipped, not failed — a placement over
+// the surviving fleet is still useful, and the skip list says what it
+// omits.
+func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
+	var req AutotuneRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	gridName := req.Grid
+	if gridName == "" {
+		gridName = "calibration"
+	}
+	wl := tegra.Workload{Profile: req.Profile.profile(), Occupancy: occupancyOrDefault(req.Occupancy)}
+	if err := wl.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	nodes := s.reg.Nodes()
+	if _, ok := nodes[0].Grids[gridName]; !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown grid %q (want \"calibration\" or \"full\")", gridName))
+		return
+	}
+
+	timeout := s.timeout
+	if req.TimeoutS > 0 && time.Duration(float64(req.TimeoutS)*float64(time.Second)) < timeout {
+		timeout = time.Duration(float64(req.TimeoutS) * float64(time.Second))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Partition the fleet: cached devices answer immediately, healthy
+	// uncached ones join the sharded sweep, open-breaker misses are
+	// skipped.
+	sweeps := make(map[string][]core.Candidate, len(nodes))
+	var skips []PlaceSkip
+	var targets []experiments.SweepTarget
+	var targetNodes []*fleet.Node
+	for _, n := range nodes {
+		key := autotuneKey(gridName, wl, n.Cfg.Seed)
+		if val, ok := n.Cache.Get(key); ok {
+			s.metrics.cacheHit(n.ID)
+			sweeps[n.ID] = val.([]core.Candidate)
+			continue
+		}
+		if !n.Breaker.Allow() {
+			skips = append(skips, PlaceSkip{DeviceID: n.ID, Reason: "sweep breaker open and no cached sweep"})
+			continue
+		}
+		s.metrics.cacheMiss(n.ID)
+		targets = append(targets, experiments.SweepTarget{Dev: n.Dev, Cfg: n.Cfg, Grid: n.Grids[gridName]})
+		targetNodes = append(targetNodes, n)
+	}
+	if len(targets) > 0 {
+		results, err := experiments.SweepTargets(ctx, nodes[0].Cfg, wl, targets)
+		if err != nil {
+			// Cancellation: no per-device outcome exists, so no breaker
+			// signal either way.
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout, "sweep deadline exceeded")
+			case errors.Is(err, context.Canceled):
+				writeError(w, http.StatusServiceUnavailable, "sweep cancelled")
+			default:
+				writeError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		for i, res := range results {
+			n := targetNodes[i]
+			if res.Err != nil {
+				n.Breaker.Failure()
+				skips = append(skips, PlaceSkip{DeviceID: n.ID, Reason: res.Err.Error()})
+				continue
+			}
+			n.Breaker.Success()
+			n.Cache.Put(autotuneKey(gridName, wl, n.Cfg.Seed), res.Candidates)
+			sweeps[n.ID] = res.Candidates
+		}
+	}
+	if len(sweeps) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no device could sweep this workload")
+		return
+	}
+
+	// Score per device and take the fleet argmin. Iterating nodes in
+	// sorted-ID order makes the strict < tie-break deterministic.
+	resp := PlaceResponse{Grid: gridName, Skipped: skips}
+	winner := -1
+	for _, n := range nodes {
+		cands, ok := sweeps[n.ID]
+		if !ok {
+			continue
+		}
+		sc := scoreSweep(n.Cal.Model, gridName, cands)
+		resp.Devices = append(resp.Devices, DevicePlacement{
+			DeviceID:             n.ID,
+			Candidates:           sc.Candidates,
+			Model:                sc.Model,
+			TimeOracle:           sc.TimeOracle,
+			MeasuredMin:          sc.MeasuredMin,
+			ModelExtraEnergyPct:  sc.ModelExtraEnergyPct,
+			OracleExtraEnergyPct: sc.OracleExtraEnergyPct,
+		})
+		i := len(resp.Devices) - 1
+		if winner < 0 || resp.Devices[i].MeasuredMin.MeasuredJ < resp.Devices[winner].MeasuredMin.MeasuredJ {
+			winner = i
+		}
+	}
+	resp.Winner = resp.Devices[winner].DeviceID
+	resp.WinnerPick = resp.Devices[winner].MeasuredMin
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DeviceInfo is one device's row in the fleet inventory.
+type DeviceInfo struct {
+	DeviceID     string         `json:"device_id"`
+	Seed         int64          `json:"seed"`
+	Breaker      string         `json:"breaker"`
+	Samples      int            `json:"samples"`
+	Coverage     units.Ratio    `json:"coverage"`
+	CacheEntries int            `json:"cache_entries"`
+	Inflight     int64          `json:"inflight"`
+	Grids        map[string]int `json:"grids"`
+}
+
+// DevicesResponse is the answer to GET /v1/fleet/devices, sorted by
+// device ID.
+type DevicesResponse struct {
+	Devices []DeviceInfo `json:"devices"`
+}
+
+func (s *Server) handleFleetDevices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := DevicesResponse{Devices: make([]DeviceInfo, 0, s.reg.Len())}
+	for _, n := range s.reg.Nodes() {
+		state, _ := n.Breaker.Snapshot()
+		grids := make(map[string]int, len(n.Grids))
+		for name, g := range n.Grids {
+			grids[name] = len(g)
+		}
+		resp.Devices = append(resp.Devices, DeviceInfo{
+			DeviceID:     n.ID,
+			Seed:         n.Cfg.Seed,
+			Breaker:      state.String(),
+			Samples:      len(n.Cal.Samples),
+			Coverage:     units.Ratio(n.Cal.Coverage.Fraction()),
+			CacheEntries: n.Cache.Len(),
+			Inflight:     n.Load(),
+			Grids:        grids,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

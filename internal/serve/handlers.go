@@ -13,6 +13,7 @@ import (
 	"dvfsroofline/internal/counters"
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/tegra"
 	"dvfsroofline/internal/units"
 )
@@ -111,37 +112,66 @@ type PredictResponse struct {
 	ConstPowerW units.Watt   `json:"const_power_w"`
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req PredictRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
+// predictOn answers one predict request against one device's simulator
+// and calibration. Every failure is a client error (bad setting,
+// invalid workload), so callers map a non-nil error to a 400.
+func (s *Server) predictOn(n *fleet.Node, req PredictRequest) (PredictResponse, error) {
 	setting, err := s.resolveSetting(req.Setting, req.SettingID)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return PredictResponse{}, err
 	}
 	prof := req.Profile.profile()
 	t := req.TimeS
 	if t == 0 {
 		wl := tegra.Workload{Profile: prof, Occupancy: occupancyOrDefault(req.Occupancy)}
 		if err := wl.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return PredictResponse{}, err
 		}
-		t = s.dev.Execute(wl, setting).Time
+		t = n.Dev.Execute(wl, setting).Time
 	} else if t < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("negative time_s %g", t))
-		return
+		return PredictResponse{}, fmt.Errorf("negative time_s %g", t)
 	}
-	parts := s.cal.Model.PredictParts(prof, setting, t)
-	writeJSON(w, http.StatusOK, PredictResponse{
+	parts := n.Cal.Model.PredictParts(prof, setting, t)
+	return PredictResponse{
 		Setting:     settingInfo(setting),
 		TimeS:       t,
 		PredictedJ:  parts.Total(),
 		Parts:       partsJSON(parts),
-		ConstPowerW: s.cal.Model.ConstPower(setting),
-	})
+		ConstPowerW: n.Cal.Model.ConstPower(setting),
+	}, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	node := s.reg.Route(predictKey(req))
+	release := node.Acquire()
+	defer release()
+	resp, err := s.predictOn(node, req)
+	if err != nil {
+		writeErrorDev(w, http.StatusBadRequest, err.Error(), node.ID)
+		return
+	}
+	markDevice(w, node.ID)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictKey canonicalizes a predict request for routing: two identical
+// requests land on the same device, whose answer for them is fully
+// deterministic.
+func predictKey(req PredictRequest) string {
+	p := req.Profile
+	var b strings.Builder
+	fmt.Fprintf(&b, "p id=%s t=%g occ=%g", req.SettingID, req.TimeS, req.Occupancy)
+	if req.Setting != nil {
+		fmt.Fprintf(&b, " core=%g mem=%g", req.Setting.CoreMHz, req.Setting.MemMHz)
+	}
+	fmt.Fprintf(&b, " sp=%g fma=%g add=%g mul=%g int=%g sm=%g l1=%g l2=%g dram=%g",
+		p.SP, p.DPFMA, p.DPAdd, p.DPMul, p.Int,
+		p.SharedWords, p.L1Words, p.L2Words, p.DRAMWords)
+	return b.String()
 }
 
 // AutotuneRequest asks for the energy-optimal (f_core, f_mem) pair for
@@ -189,14 +219,23 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	if gridName == "" {
 		gridName = "calibration"
 	}
-	grid, ok := s.grids[gridName]
+	wl := tegra.Workload{Profile: req.Profile.profile(), Occupancy: occupancyOrDefault(req.Occupancy)}
+
+	// Sweep traffic routes to the healthiest device in ring order from
+	// the workload's hash: cache-affine when the primary is up, a
+	// deterministic neighbor when its breaker is open.
+	node, _ := s.reg.RouteHealthy(workloadKey(gridName, wl))
+	release := node.Acquire()
+	defer release()
+	markDevice(w, node.ID)
+
+	grid, ok := node.Grids[gridName]
 	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown grid %q (want \"calibration\" or \"full\")", gridName))
+		writeErrorDev(w, http.StatusBadRequest, fmt.Sprintf("unknown grid %q (want \"calibration\" or \"full\")", gridName), node.ID)
 		return
 	}
-	wl := tegra.Workload{Profile: req.Profile.profile(), Occupancy: occupancyOrDefault(req.Occupancy)}
 	if err := wl.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeErrorDev(w, http.StatusBadRequest, err.Error(), node.ID)
 		return
 	}
 
@@ -210,66 +249,67 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	key := autotuneKey(gridName, wl, s.cfg.Seed)
-	if !s.breaker.allow() {
+	key := autotuneKey(gridName, wl, node.Cfg.Seed)
+	if !node.Breaker.Allow() {
 		// Degraded mode: the breaker is open, so no fresh sweep runs.
 		// A stale cached sweep is still exactly the answer a fresh one
 		// would give (sweeps are deterministic in the key), so serve it
 		// flagged; with nothing cached there is nothing safe to say.
-		if val, ok := s.cache.Get(key); ok {
-			s.metrics.cacheHit()
-			s.metrics.degradedHit()
-			resp := *val.(*AutotuneResponse)
+		if val, ok := node.Cache.Get(key); ok {
+			s.metrics.cacheHit(node.ID)
+			s.metrics.degradedHit(node.ID)
+			resp := scoreSweep(node.Cal.Model, gridName, val.([]core.Candidate))
 			resp.Cached = true
 			resp.Degraded = true
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
-		writeError(w, http.StatusServiceUnavailable, "sweep breaker open and no cached sweep for this workload")
+		writeErrorDev(w, http.StatusServiceUnavailable, "sweep breaker open and no cached sweep for this workload", node.ID)
 		return
 	}
-	val, hit, err := s.cache.Do(ctx, key, func() (any, error) {
-		cands, err := experiments.SweepWorkload(ctx, s.dev, s.cfg, wl, grid)
+	val, hit, err := node.Cache.Do(ctx, key, func() (any, error) {
+		cands, err := experiments.SweepWorkload(ctx, node.Dev, node.Cfg, wl, grid)
 		if err != nil {
 			return nil, err
 		}
-		return s.scoreSweep(gridName, cands), nil
+		return cands, nil
 	})
 	if hit {
-		s.metrics.cacheHit()
-		s.breaker.release() // no sweep ran; free any half-open probe slot
+		s.metrics.cacheHit(node.ID)
+		node.Breaker.Release() // no sweep ran; free any half-open probe slot
 	} else {
-		s.metrics.cacheMiss()
+		s.metrics.cacheMiss(node.ID)
 		// Feed the breaker from sweeps this request actually ran. A
 		// client cancellation says nothing about the sweep path's
 		// health, so it carries no signal either way.
 		switch {
 		case err == nil:
-			s.breaker.success()
+			node.Breaker.Success()
 		case errors.Is(err, context.Canceled):
 		default:
-			s.breaker.failure()
+			node.Breaker.Failure()
 		}
 	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "sweep deadline exceeded")
+			writeErrorDev(w, http.StatusGatewayTimeout, "sweep deadline exceeded", node.ID)
 		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "sweep cancelled")
+			writeErrorDev(w, http.StatusServiceUnavailable, "sweep cancelled", node.ID)
 		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeErrorDev(w, http.StatusInternalServerError, err.Error(), node.ID)
 		}
 		return
 	}
-	resp := *val.(*AutotuneResponse)
+	resp := scoreSweep(node.Cal.Model, gridName, val.([]core.Candidate))
 	resp.Cached = hit
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // scoreSweep runs the three pickers of §II-E over one finished sweep.
-func (s *Server) scoreSweep(gridName string, cands []core.Candidate) *AutotuneResponse {
-	m := s.cal.Model
+// Scoring is pure arithmetic over the cached candidates, so re-running
+// it at serve time keeps the cache value model-independent.
+func scoreSweep(m *core.Model, gridName string, cands []core.Candidate) *AutotuneResponse {
 	pick := func(i int) PickJSON {
 		c := cands[i]
 		return PickJSON{
@@ -299,26 +339,39 @@ func (s *Server) scoreSweep(gridName string, cands []core.Candidate) *AutotuneRe
 	}
 }
 
-// autotuneKey canonicalizes a sweep request. Two requests with the same
-// key are guaranteed to produce identical sweeps (the measurement noise
-// is seeded by setting identity and the campaign seed alone).
+// autotuneKey canonicalizes a sweep request for one device's cache. Two
+// requests with the same key are guaranteed to produce identical sweeps
+// (the measurement noise is seeded by setting identity and the device's
+// campaign seed alone).
 func autotuneKey(grid string, wl tegra.Workload, seed int64) string {
-	p := wl.Profile
-	return fmt.Sprintf("g=%s occ=%g seed=%d sp=%g fma=%g add=%g mul=%g int=%g sm=%g l1=%g l2=%g dram=%g",
-		grid, wl.Occupancy, seed,
+	return fmt.Sprintf("g=%s occ=%g seed=%d %s", grid, wl.Occupancy, seed, profileKey(wl.Profile))
+}
+
+// workloadKey canonicalizes a sweep request for routing: the
+// device-independent part of autotuneKey, so the same workload hashes
+// to the same device no matter which device ends up serving it.
+func workloadKey(grid string, wl tegra.Workload) string {
+	return fmt.Sprintf("g=%s occ=%g %s", grid, wl.Occupancy, profileKey(wl.Profile))
+}
+
+func profileKey(p counters.Profile) string {
+	return fmt.Sprintf("sp=%g fma=%g add=%g mul=%g int=%g sm=%g l1=%g l2=%g dram=%g",
 		p.SP, p.DPFMA, p.DPAdd, p.DPMul, p.Int,
 		p.SharedWords, p.L1Words, p.L2Words, p.DRAMWords)
 }
 
-// CalibrationResponse summarizes the loaded calibration: the fitted
-// constants, Table I, and the §II-D validation statistics.
+// CalibrationResponse summarizes one device's loaded calibration: the
+// fitted constants, Table I, and the §II-D validation statistics.
+// DeviceID is absent in single-device mode, keeping the legacy JSON
+// bytes unchanged.
 type CalibrationResponse struct {
-	Samples int            `json:"samples"`
-	Model   ModelJSON      `json:"model"`
-	TableI  []TableIRow    `json:"table_i"`
-	Holdout CVSummaryJSON  `json:"holdout"`
-	KFold   CVSummaryJSON  `json:"kfold_16"`
-	Grids   map[string]int `json:"grids"`
+	DeviceID string         `json:"device_id,omitempty"`
+	Samples  int            `json:"samples"`
+	Model    ModelJSON      `json:"model"`
+	TableI   []TableIRow    `json:"table_i"`
+	Holdout  CVSummaryJSON  `json:"holdout"`
+	KFold    CVSummaryJSON  `json:"kfold_16"`
+	Grids    map[string]int `json:"grids"`
 }
 
 // ModelJSON is the wire form of the fitted Eq. 9 constants. Dynamic
@@ -359,27 +412,49 @@ type CVSummaryJSON struct {
 	Max    units.Percent `json:"max_pct"`
 }
 
+// deviceParam picks the node a GET request addresses: the ?device=
+// query parameter when present, the fleet's first device (sorted by ID;
+// the single node in legacy mode) otherwise.
+func (s *Server) deviceParam(r *http.Request) (*fleet.Node, error) {
+	id := r.URL.Query().Get("device")
+	if id == "" {
+		return s.reg.Nodes()[0], nil
+	}
+	n, ok := s.reg.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown device %q", id)
+	}
+	return n, nil
+}
+
 func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	m := s.cal.Model
+	node, err := s.deviceParam(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	markDevice(w, node.ID)
+	m := node.Cal.Model
 	resp := CalibrationResponse{
-		Samples: len(s.cal.Samples),
+		DeviceID: node.ID,
+		Samples:  len(node.Cal.Samples),
 		Model: ModelJSON{
 			SPpJ: m.SPpJ, DPpJ: m.DPpJ, IntpJ: m.IntpJ, SMpJ: m.SMpJ,
 			L2pJ: m.L2pJ, DRAMpJ: m.DRAMpJ,
 			C1Proc: m.C1Proc, C1Mem: m.C1Mem, PMisc: m.PMisc,
 		},
-		Holdout: cvSummary(s.cal.Holdout),
-		KFold:   cvSummary(s.cal.KFold),
+		Holdout: cvSummary(node.Cal.Holdout),
+		KFold:   cvSummary(node.Cal.KFold),
 		Grids:   map[string]int{},
 	}
-	for name, grid := range s.grids {
+	for name, grid := range node.Grids {
 		resp.Grids[name] = len(grid)
 	}
-	for _, row := range s.cal.TableI() {
+	for _, row := range node.Cal.TableI() {
 		resp.TableI = append(resp.TableI, TableIRow{
 			Type: row.Type, Setting: settingInfo(row.Setting),
 			SPpJ: row.Eps.SP, DPpJ: row.Eps.DP, IntpJ: row.Eps.Int,
@@ -399,61 +474,144 @@ func cvSummary(r core.CVResult) CVSummaryJSON {
 	}
 }
 
-// handleHealthz is liveness only: the process is up and holds a
-// calibration. It stays 200 in degraded mode so orchestrators do not
+// handleHealthz is liveness only: the process is up and holds
+// calibrations. It stays 200 in degraded mode so orchestrators do not
 // restart a daemon that is usefully serving stale answers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.legacy {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"samples": len(s.reg.Nodes()[0].Cal.Samples),
+		})
+		return
+	}
+	samples := 0
+	for _, n := range s.reg.Nodes() {
+		samples += len(n.Cal.Samples)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"samples": len(s.cal.Samples),
+		"devices": s.reg.Len(),
+		"samples": samples,
 	})
 }
 
-// handleReadyz is readiness: 503 while the sweep breaker is open, so
-// load balancers steer fresh traffic away without the process being
-// killed. The body carries the breaker state and calibration coverage
-// for operators.
+// handleReadyz is readiness: 503 once no device can accept fresh
+// sweeps, so load balancers steer fresh traffic away without the
+// process being killed. The body carries breaker state and calibration
+// coverage for operators — per device in fleet mode.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	state, _ := s.breaker.snapshot()
+	if s.legacy {
+		node := s.reg.Nodes()[0]
+		state, _ := node.Breaker.Snapshot()
+		code := http.StatusOK
+		status := "ready"
+		if state == fleet.BreakerOpen {
+			code = http.StatusServiceUnavailable
+			status = "degraded"
+		}
+		writeJSON(w, code, map[string]any{
+			"status":   status,
+			"breaker":  state.String(),
+			"samples":  len(node.Cal.Samples),
+			"coverage": node.Cal.Coverage.Fraction(),
+		})
+		return
+	}
+	open := 0
+	devices := make([]deviceReadiness, 0, s.reg.Len())
+	for _, n := range s.reg.Nodes() {
+		state, _ := n.Breaker.Snapshot()
+		if state == fleet.BreakerOpen {
+			open++
+		}
+		devices = append(devices, deviceReadiness{
+			DeviceID: n.ID,
+			Breaker:  state.String(),
+			Samples:  len(n.Cal.Samples),
+			Coverage: units.Ratio(n.Cal.Coverage.Fraction()),
+		})
+	}
 	code := http.StatusOK
 	status := "ready"
-	if state == breakerOpen {
+	if open == s.reg.Len() {
 		code = http.StatusServiceUnavailable
 		status = "degraded"
 	}
 	writeJSON(w, code, map[string]any{
-		"status":   status,
-		"breaker":  state.String(),
-		"samples":  len(s.cal.Samples),
-		"coverage": s.cal.Coverage.Fraction(),
+		"status":  status,
+		"open":    open,
+		"devices": devices,
 	})
+}
+
+// deviceReadiness is one device's row in the fleet /readyz body.
+type deviceReadiness struct {
+	DeviceID string      `json:"device_id"`
+	Breaker  string      `json:"breaker"`
+	Samples  int         `json:"samples"`
+	Coverage units.Ratio `json:"coverage"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeText(w)
 
-	state, opens := s.breaker.snapshot()
+	// Per-device gauges. The legacy node's empty ID prints the historic
+	// unlabeled lines, so single-device scrape output is byte-identical.
+	deviceLine := func(name, id string, v any) {
+		if id == "" {
+			fmt.Fprintf(w, "%s %v\n", name, v)
+		} else {
+			fmt.Fprintf(w, "%s{device=%q} %v\n", name, id, v)
+		}
+	}
+	nodes := s.reg.Nodes()
+
 	fmt.Fprintln(w, "# HELP energyd_breaker_state Sweep circuit breaker state (0=closed, 1=half-open, 2=open).")
 	fmt.Fprintln(w, "# TYPE energyd_breaker_state gauge")
-	fmt.Fprintf(w, "energyd_breaker_state %d\n", state)
+	for _, n := range nodes {
+		state, _ := n.Breaker.Snapshot()
+		deviceLine("energyd_breaker_state", n.ID, int(state))
+	}
 	fmt.Fprintln(w, "# HELP energyd_breaker_opens_total Times the sweep breaker has opened.")
 	fmt.Fprintln(w, "# TYPE energyd_breaker_opens_total counter")
-	fmt.Fprintf(w, "energyd_breaker_opens_total %d\n", opens)
+	for _, n := range nodes {
+		_, opens := n.Breaker.Snapshot()
+		deviceLine("energyd_breaker_opens_total", n.ID, opens)
+	}
 
-	cov := s.cal.Coverage
 	fmt.Fprintln(w, "# HELP energyd_calibration_coverage_fraction Fraction of calibration samples measured (1 = complete).")
 	fmt.Fprintln(w, "# TYPE energyd_calibration_coverage_fraction gauge")
-	fmt.Fprintf(w, "energyd_calibration_coverage_fraction %g\n", cov.Fraction())
+	for _, n := range nodes {
+		deviceLine("energyd_calibration_coverage_fraction", n.ID, n.Cal.Coverage.Fraction())
+	}
 	fmt.Fprintln(w, "# HELP energyd_calibration_retries_total Calibration measurement retries after transient faults.")
 	fmt.Fprintln(w, "# TYPE energyd_calibration_retries_total counter")
-	fmt.Fprintf(w, "energyd_calibration_retries_total %d\n", cov.Retried)
+	for _, n := range nodes {
+		deviceLine("energyd_calibration_retries_total", n.ID, n.Cal.Coverage.Retried)
+	}
 	fmt.Fprintln(w, "# HELP energyd_calibration_quarantined_total Calibration samples quarantined after permanent faults.")
 	fmt.Fprintln(w, "# TYPE energyd_calibration_quarantined_total counter")
-	fmt.Fprintf(w, "energyd_calibration_quarantined_total %d\n", len(cov.Quarantined))
+	for _, n := range nodes {
+		deviceLine("energyd_calibration_quarantined_total", n.ID, len(n.Cal.Coverage.Quarantined))
+	}
 	fmt.Fprintln(w, "# HELP energyd_calibration_screened_outliers_total Calibration samples excluded from the fit by the robust outlier screen.")
 	fmt.Fprintln(w, "# TYPE energyd_calibration_screened_outliers_total counter")
-	fmt.Fprintf(w, "energyd_calibration_screened_outliers_total %d\n", cov.ScreenedOutliers)
+	for _, n := range nodes {
+		deviceLine("energyd_calibration_screened_outliers_total", n.ID, n.Cal.Coverage.ScreenedOutliers)
+	}
+
+	if !s.legacy {
+		fmt.Fprintln(w, "# HELP energyd_fleet_devices Devices in the serving fleet.")
+		fmt.Fprintln(w, "# TYPE energyd_fleet_devices gauge")
+		fmt.Fprintf(w, "energyd_fleet_devices %d\n", s.reg.Len())
+		fmt.Fprintln(w, "# HELP energyd_device_inflight_requests Requests currently holding each device.")
+		fmt.Fprintln(w, "# TYPE energyd_device_inflight_requests gauge")
+		for _, n := range nodes {
+			deviceLine("energyd_device_inflight_requests", n.ID, n.Load())
+		}
+	}
 }
 
 // resolveSetting maps the request's setting selector onto the board's
@@ -519,6 +677,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// ErrorJSON is the wire form of every energyd error. DeviceID names the
+// device that failed the request when one had been chosen; it is absent
+// in single-device mode (the empty legacy ID), keeping legacy error
+// bytes unchanged.
+type ErrorJSON struct {
+	Error    string `json:"error"`
+	DeviceID string `json:"device_id,omitempty"`
+}
+
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+	writeJSON(w, code, ErrorJSON{Error: msg})
+}
+
+// writeErrorDev is writeError carrying the serving device's ID.
+func writeErrorDev(w http.ResponseWriter, code int, msg, dev string) {
+	markDevice(w, dev)
+	writeJSON(w, code, ErrorJSON{Error: msg, DeviceID: dev})
 }

@@ -11,15 +11,17 @@ import (
 // standard text exposition format (version 0.0.4) without pulling in a
 // client library. It tracks per-endpoint request counts by status code,
 // a fixed-bucket latency histogram, the autotune cache hit/miss
-// counters, and an in-flight request gauge. All methods are safe for
-// concurrent use.
+// counters keyed by device, and an in-flight request gauge. All methods
+// are safe for concurrent use.
 type metrics struct {
 	mu        sync.Mutex
 	inflight  int
 	endpoints map[string]*endpointMetrics
-	hits      uint64
-	misses    uint64
-	degraded  uint64
+	// Per-device cache counters. The legacy single-device node uses the
+	// empty key, which prints as the historic unlabeled lines.
+	hits     map[string]uint64
+	misses   map[string]uint64
+	degraded map[string]uint64
 }
 
 // latencyBuckets are the histogram upper bounds in seconds. Prediction
@@ -34,7 +36,12 @@ type endpointMetrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+	return &metrics{
+		endpoints: make(map[string]*endpointMetrics),
+		hits:      make(map[string]uint64),
+		misses:    make(map[string]uint64),
+		degraded:  make(map[string]uint64),
+	}
 }
 
 // observe records one completed request.
@@ -62,38 +69,47 @@ func (m *metrics) addInflight(d int) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) cacheHit() {
+func (m *metrics) cacheHit(dev string) {
 	m.mu.Lock()
-	m.hits++
+	m.hits[dev]++
 	m.mu.Unlock()
 }
 
-func (m *metrics) cacheMiss() {
+func (m *metrics) cacheMiss(dev string) {
 	m.mu.Lock()
-	m.misses++
+	m.misses[dev]++
 	m.mu.Unlock()
 }
 
 // degradedHit records one autotune request answered from stale cache
-// while the circuit breaker was open.
-func (m *metrics) degradedHit() {
+// while the device's circuit breaker was open.
+func (m *metrics) degradedHit(dev string) {
 	m.mu.Lock()
-	m.degraded++
+	m.degraded[dev]++
 	m.mu.Unlock()
 }
 
-// snapshot returns the cache counters (exposed for tests).
+// cacheCounts returns the fleet-wide cache counters (exposed for tests).
 func (m *metrics) cacheCounts() (hits, misses uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.hits, m.misses
+	return sumCounter(m.hits), sumCounter(m.misses)
 }
 
-// degradedCount returns the degraded-serving counter (exposed for tests).
+// degradedCount returns the fleet-wide degraded-serving counter
+// (exposed for tests).
 func (m *metrics) degradedCount() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.degraded
+	return sumCounter(m.degraded)
+}
+
+func sumCounter(c map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range c {
+		total += v
+	}
+	return total
 }
 
 // writeText renders the registry in the Prometheus text format, with
@@ -129,15 +145,30 @@ func (m *metrics) writeText(w io.Writer) {
 		fmt.Fprintf(w, "energyd_request_duration_seconds_count{endpoint=%q} %d\n", ep, e.count)
 	}
 
-	fmt.Fprintln(w, "# HELP energyd_autotune_cache_hits_total Autotune requests answered from the sweep cache (including joined in-flight sweeps).")
-	fmt.Fprintln(w, "# TYPE energyd_autotune_cache_hits_total counter")
-	fmt.Fprintf(w, "energyd_autotune_cache_hits_total %d\n", m.hits)
-	fmt.Fprintln(w, "# HELP energyd_autotune_cache_misses_total Autotune requests that ran a fresh sweep.")
-	fmt.Fprintln(w, "# TYPE energyd_autotune_cache_misses_total counter")
-	fmt.Fprintf(w, "energyd_autotune_cache_misses_total %d\n", m.misses)
-	fmt.Fprintln(w, "# HELP energyd_autotune_degraded_total Autotune requests served stale from cache while the breaker was open.")
-	fmt.Fprintln(w, "# TYPE energyd_autotune_degraded_total counter")
-	fmt.Fprintf(w, "energyd_autotune_degraded_total %d\n", m.degraded)
+	// Cache counters: the fleet-wide total first (the pre-fleet line, so
+	// single-device scrapes are byte-identical), then per named device.
+	counter := func(name, help string, c map[string]uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, sumCounter(c))
+		devs := make([]string, 0, len(c))
+		for d := range c {
+			if d != "" {
+				devs = append(devs, d)
+			}
+		}
+		sort.Strings(devs)
+		for _, d := range devs {
+			fmt.Fprintf(w, "%s{device=%q} %d\n", name, d, c[d])
+		}
+	}
+	counter("energyd_autotune_cache_hits_total",
+		"Autotune requests answered from the sweep cache (including joined in-flight sweeps).", m.hits)
+	counter("energyd_autotune_cache_misses_total",
+		"Autotune requests that ran a fresh sweep.", m.misses)
+	counter("energyd_autotune_degraded_total",
+		"Autotune requests served stale from cache while the breaker was open.", m.degraded)
+
 	fmt.Fprintln(w, "# HELP energyd_inflight_requests Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE energyd_inflight_requests gauge")
 	fmt.Fprintf(w, "energyd_inflight_requests %d\n", m.inflight)

@@ -17,8 +17,12 @@ import (
 
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/tegra"
 )
+
+// node0 returns the single legacy node behind a test server.
+func node0(s *Server) *fleet.Node { return s.reg.Nodes()[0] }
 
 func newTestServer(t *testing.T) *Server {
 	t.Helper()
@@ -99,7 +103,7 @@ func TestPredictMatchesModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := PredictRequest{Profile: ProfileJSON{DPFMA: 1e9, Int: 5e8, DRAMWords: 2e8}}
-	want := s.cal.Model.Predict(req.Profile.profile(), dvfs.ValidationSettings()[0], 0.5)
+	want := node0(s).Cal.Model.Predict(req.Profile.profile(), dvfs.ValidationSettings()[0], 0.5)
 	if math.Abs(float64(resp.PredictedJ-want)) > 1e-9*float64(want) {
 		t.Errorf("predicted %v J, want %v J", resp.PredictedJ, want)
 	}
@@ -125,7 +129,7 @@ func TestPredictSimulatesTimeWhenAbsent(t *testing.T) {
 		t.Fatal(err)
 	}
 	wl := tegra.Workload{Profile: ProfileJSON{DPFMA: 1e9, DRAMWords: 2e8}.profile(), Occupancy: 0.25}
-	want := s.dev.Execute(wl, dvfs.MaxSetting()).Time
+	want := node0(s).Dev.Execute(wl, dvfs.MaxSetting()).Time
 	if math.Abs(float64(resp.TimeS-want)) > 1e-12 {
 		t.Errorf("simulated time %v, want %v", resp.TimeS, want)
 	}
@@ -275,7 +279,7 @@ func TestAutotuneDeadline(t *testing.T) {
 	if w.Code != http.StatusGatewayTimeout {
 		t.Fatalf("autotune with 1ns deadline = %d: %s", w.Code, w.Body)
 	}
-	if got := s.cache.Len(); got != 0 {
+	if got := node0(s).Cache.Len(); got != 0 {
 		t.Errorf("failed sweep cached: %d entries", got)
 	}
 }
@@ -425,10 +429,10 @@ func TestCancelledSweepNotCached(t *testing.T) {
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("cancelled sweep = %d, want 503 (%s)", w.Code, w.Body)
 	}
-	if n := s.cache.Len(); n != 0 {
+	if n := node0(s).Cache.Len(); n != 0 {
 		t.Errorf("partial sweep landed in the cache: %d entries", n)
 	}
-	if state, _ := s.breaker.snapshot(); state != breakerClosed {
+	if state, _ := node0(s).Breaker.Snapshot(); state != fleet.BreakerClosed {
 		t.Errorf("client cancellation tripped the breaker to %v", state)
 	}
 }

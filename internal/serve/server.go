@@ -1,28 +1,44 @@
-// Package serve turns the calibrated DVFS-aware energy model into a
+// Package serve turns calibrated DVFS-aware energy models into a
 // long-lived prediction service: energyd. The paper's pipeline
 // recalibrates per process — 1856 measurements before the first
 // prediction — which caps it at one-shot experiment runs. This package
-// calibrates (or loads a cached calibration) once and then answers
-// energy-prediction and autotuning queries over HTTP:
+// serves one device (the legacy mode) or a heterogeneous fleet of them
+// (see internal/fleet) behind one HTTP surface:
 //
-//	POST /v1/predict     — Eq. 9 energy + per-component parts for an
-//	                       operation profile at a DVFS setting
-//	POST /v1/autotune    — best (f_core, f_mem) over a setting grid vs
-//	                       the race-to-halt time oracle, backed by a
-//	                       keyed LRU + single-flight sweep cache
-//	GET  /v1/calibration — Table I rows, model constants, CV statistics
-//	GET  /healthz        — liveness
-//	GET  /readyz         — readiness; 503 while the sweep breaker is open
-//	GET  /metrics        — Prometheus text format (hand-rolled)
+//	POST /v1/predict       — Eq. 9 energy + per-component parts for an
+//	                         operation profile at a DVFS setting
+//	POST /v1/autotune      — best (f_core, f_mem) over a setting grid vs
+//	                         the race-to-halt time oracle, backed by a
+//	                         per-device keyed LRU + single-flight cache
+//	GET  /v1/calibration   — Table I rows, model constants, CV statistics
+//	POST /v1/fleet/predict — predict routed across the fleet; the answer
+//	                         names the device that served it
+//	POST /v1/fleet/place   — cheapest placement: sweep every device and
+//	                         argmin measured energy across the fleet
+//	GET  /v1/fleet/devices — fleet inventory with per-device health
+//	GET  /healthz          — liveness
+//	GET  /readyz           — readiness; 503 while no device can sweep
+//	GET  /metrics          — Prometheus text format (hand-rolled)
+//
+// Request routing is deterministic: predict and autotune traffic lands
+// on a device by consistent hash of the workload identity (cache
+// affinity), failing over in ring order around open breakers; placement
+// shards every device's sweep onto one worker pool with
+// identity-derived seeds. Fleet answers are therefore byte-identical at
+// any worker count and for any routing history.
+//
+// Single-device mode is the degenerate one-node fleet: the node carries
+// the reserved empty ID, which keeps device labels off every legacy
+// wire format, so existing clients see byte-identical responses.
 //
 // Request deadlines propagate as context.Context into the experiment
 // pipelines, and Run drains in-flight requests on shutdown.
 //
-// A circuit breaker guards the autotune sweep path: consecutive sweep
-// failures open it, after which /v1/autotune answers from the stale
-// sweep cache with "degraded": true (or 503 on a cache miss) instead of
-// queueing more doomed sweeps, and /readyz reports 503 so load
-// balancers steer fresh work elsewhere while /healthz stays 200.
+// A per-device circuit breaker guards each sweep path: consecutive
+// sweep failures open it, after which that device answers autotunes
+// from its stale sweep cache with "degraded": true (or 503 on a cache
+// miss) instead of queueing more doomed sweeps, and /readyz reports 503
+// once no device can accept fresh sweeps while /healthz stays 200.
 package serve
 
 import (
@@ -34,20 +50,22 @@ import (
 
 	"dvfsroofline/internal/dvfs"
 	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/tegra"
 )
 
 // Options tune the server; the zero value selects sensible defaults.
 type Options struct {
-	// CacheSize bounds the autotune sweep cache (entries); zero = 64.
+	// CacheSize bounds each device's autotune sweep cache (entries);
+	// zero = 64.
 	CacheSize int
 	// SweepTimeout caps the time one autotune sweep may run, independent
 	// of any client-supplied deadline; zero = 30 s.
 	SweepTimeout time.Duration
 	// BreakerThreshold is the number of consecutive sweep failures that
-	// open the circuit breaker; zero = 5.
+	// open a device's circuit breaker; zero = 5.
 	BreakerThreshold int
-	// BreakerCooldown is how long the breaker stays open before allowing
+	// BreakerCooldown is how long an open breaker waits before allowing
 	// a half-open probe sweep; zero = 30 s.
 	BreakerCooldown time.Duration
 	// Clock overrides the server's time source — breaker cooldowns and
@@ -55,60 +73,98 @@ type Options struct {
 	Clock func() time.Time
 }
 
-// Server answers model queries against one calibration. It is safe for
-// concurrent use: the calibration and device are read-only after
-// construction, and the cache and metrics synchronize internally.
-type Server struct {
-	dev     *tegra.Device
-	cal     *experiments.Calibration
-	cfg     experiments.Config
-	grids   map[string][]dvfs.Setting
-	metrics *metrics
-	cache   *sweepCache
-	breaker *breaker
-	timeout time.Duration
-	clock   func() time.Time // Options.Clock; drives latency metrics and the breaker
+func (o Options) withDefaults() Options {
+	if o.SweepTimeout <= 0 {
+		o.SweepTimeout = 30 * time.Second
+	}
+	if o.Clock == nil {
+		//energylint:allow determinism(the clock is injected via Options.Clock; wall time is the production default and tests override it)
+		o.Clock = time.Now
+	}
+	return o
 }
 
-// New builds a server around a fitted calibration.
+// NodeOptions projects the server options onto the per-device knobs
+// fleet.Build expects, so cmd/energyd configures both layers from one
+// flag set.
+func (o Options) NodeOptions() fleet.NodeOptions {
+	return fleet.NodeOptions{
+		CacheSize:        o.CacheSize,
+		BreakerThreshold: o.BreakerThreshold,
+		BreakerCooldown:  o.BreakerCooldown,
+		Clock:            o.Clock,
+	}
+}
+
+// Server answers model queries against a registry of calibrated
+// devices. It is safe for concurrent use: the registry is read-only
+// after construction, and each node's cache, breaker and the metrics
+// synchronize internally.
+type Server struct {
+	reg *fleet.Registry
+	// legacy marks single-device mode: one node with the reserved empty
+	// ID, no device labels on any wire format, responses byte-identical
+	// to the pre-fleet daemon.
+	legacy  bool
+	metrics *metrics
+	timeout time.Duration
+	clock   func() time.Time // Options.Clock; drives latency metrics and the breakers
+}
+
+// New builds a single-device server around a fitted calibration: the
+// degenerate one-node fleet. The node carries the reserved empty ID, so
+// every response and metric line is byte-identical to the pre-fleet
+// daemon.
 func New(dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config, opts Options) *Server {
-	if opts.CacheSize <= 0 {
-		opts.CacheSize = 64
-	}
-	if opts.SweepTimeout <= 0 {
-		opts.SweepTimeout = 30 * time.Second
-	}
-	if opts.Clock == nil {
-		//energylint:allow determinism(the clock is injected via Options.Clock; wall time is the production default and tests override it)
-		opts.Clock = time.Now
-	}
+	opts = opts.withDefaults()
 	calGrid := make([]dvfs.Setting, 0, 16)
 	for _, cs := range dvfs.CalibrationSettings() {
 		calGrid = append(calGrid, cs.Setting)
 	}
+	grids := map[string][]dvfs.Setting{
+		// "calibration": the paper's 16 measured settings (§II-E
+		// autotunes among configurations with measurements).
+		// "full": all 105 core x memory permutations.
+		"calibration": calGrid,
+		"full":        dvfs.Grid(),
+	}
+	node := fleet.NewNode("", dev, cal, cfg, grids, opts.NodeOptions())
+	reg, err := fleet.NewRegistry([]*fleet.Node{node}, 0)
+	if err != nil {
+		// Unreachable: one node, no duplicate IDs.
+		panic(err)
+	}
 	return &Server{
-		dev: dev,
-		cal: cal,
-		cfg: cfg,
-		grids: map[string][]dvfs.Setting{
-			// "calibration": the paper's 16 measured settings (§II-E
-			// autotunes among configurations with measurements).
-			// "full": all 105 core x memory permutations.
-			"calibration": calGrid,
-			"full":        dvfs.Grid(),
-		},
+		reg:     reg,
+		legacy:  true,
 		metrics: newMetrics(),
-		cache:   newSweepCache(opts.CacheSize),
-		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock),
 		timeout: opts.SweepTimeout,
 		clock:   opts.Clock,
 	}
 }
 
-// ForceBreakerOpen pins the sweep breaker open (degraded-mode drill) or
-// releases the pin. See the -force-degraded flag of cmd/energyd.
+// NewFleet builds a multi-device server over an assembled registry
+// (see fleet.Build).
+func NewFleet(reg *fleet.Registry, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		reg:     reg,
+		metrics: newMetrics(),
+		timeout: opts.SweepTimeout,
+		clock:   opts.Clock,
+	}
+}
+
+// Registry exposes the fleet behind the server.
+func (s *Server) Registry() *fleet.Registry { return s.reg }
+
+// ForceBreakerOpen pins every device's sweep breaker open (degraded-mode
+// drill) or releases the pins. See the -force-degraded flag of
+// cmd/energyd.
 func (s *Server) ForceBreakerOpen(v bool) {
-	s.breaker.forceOpen(v)
+	for _, n := range s.reg.Nodes() {
+		n.Breaker.ForceOpen(v)
+	}
 }
 
 // Handler returns the daemon's routing table with every endpoint
@@ -118,6 +174,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	mux.Handle("/v1/autotune", s.instrument("/v1/autotune", s.handleAutotune))
 	mux.Handle("/v1/calibration", s.instrument("/v1/calibration", s.handleCalibration))
+	mux.Handle("/v1/fleet/predict", s.instrument("/v1/fleet/predict", s.handleFleetPredict))
+	mux.Handle("/v1/fleet/place", s.instrument("/v1/fleet/place", s.handleFleetPlace))
+	mux.Handle("/v1/fleet/devices", s.instrument("/v1/fleet/devices", s.handleFleetDevices))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -145,6 +204,16 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		h(sw, r)
 		s.metrics.observe(endpoint, sw.code, s.clock().Sub(start).Seconds())
 	})
+}
+
+// markDevice names the serving device on responses. Fleet mode conveys
+// it in a response header so the legacy endpoint bodies stay
+// byte-identical whether the fleet has one device or fifty; legacy mode
+// (the empty ID) adds nothing at all.
+func markDevice(w http.ResponseWriter, id string) {
+	if id != "" {
+		w.Header().Set("X-Energyd-Device", id)
+	}
 }
 
 // Run serves h on l until ctx is cancelled, then shuts the server down

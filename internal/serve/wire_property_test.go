@@ -6,7 +6,9 @@ import (
 	"strings"
 	"testing"
 
+	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/serve"
+	"dvfsroofline/internal/tegra"
 	"dvfsroofline/internal/units"
 )
 
@@ -183,4 +185,122 @@ func TestWireRoundTripMatchesRawFloats(t *testing.T) {
 			t.Errorf("fixture %q round-trips differently:\n typed %s\n raw   %s", body, got, want)
 		}
 	}
+}
+
+// The fleet refactor added device_id to the calibration response and
+// error bodies, tagged omitempty. The mirrors below restate those wire
+// types exactly as they were BEFORE the fleet existed — no device_id
+// anywhere — and the tests prove a single-device server still emits
+// those pre-fleet bytes.
+
+type rawModelJSON struct {
+	SPpJ   float64 `json:"sp_pj_v2"`
+	DPpJ   float64 `json:"dp_pj_v2"`
+	IntpJ  float64 `json:"int_pj_v2"`
+	SMpJ   float64 `json:"sm_pj_v2"`
+	L2pJ   float64 `json:"l2_pj_v2"`
+	DRAMpJ float64 `json:"dram_pj_v2"`
+	C1Proc float64 `json:"c1_proc_w_v"`
+	C1Mem  float64 `json:"c1_mem_w_v"`
+	PMisc  float64 `json:"p_misc_w"`
+}
+
+type rawTableIRow struct {
+	Type    string         `json:"type"`
+	Setting rawSettingInfo `json:"setting"`
+	SPpJ    float64        `json:"sp_pj"`
+	DPpJ    float64        `json:"dp_pj"`
+	IntpJ   float64        `json:"int_pj"`
+	SMpJ    float64        `json:"sm_pj"`
+	L2pJ    float64        `json:"l2_pj"`
+	DRAMpJ  float64        `json:"dram_pj"`
+	ConstW  float64        `json:"const_w"`
+}
+
+type rawCVSummary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean_pct"`
+	Stddev float64 `json:"stddev_pct"`
+	Min    float64 `json:"min_pct"`
+	Max    float64 `json:"max_pct"`
+}
+
+type rawLegacyCalibrationResponse struct {
+	Samples int            `json:"samples"`
+	Model   rawModelJSON   `json:"model"`
+	TableI  []rawTableIRow `json:"table_i"`
+	Holdout rawCVSummary   `json:"holdout"`
+	KFold   rawCVSummary   `json:"kfold_16"`
+	Grids   map[string]int `json:"grids"`
+}
+
+// indentJSON encodes v exactly the way the handlers do (2-space indent,
+// trailing newline).
+func indentJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	return buf.Bytes()
+}
+
+// TestLegacyCalibrationWireUnchanged fetches a live single-device
+// /v1/calibration body, decodes it into the pre-fleet mirror with
+// unknown fields disallowed (so a leaked device_id fails loudly), and
+// re-encodes the mirror: the bytes must match the live body exactly.
+func TestLegacyCalibrationWireUnchanged(t *testing.T) {
+	live := get(t, legacyServer(t).Handler(), "/v1/calibration").Body.Bytes()
+
+	dec := json.NewDecoder(bytes.NewReader(live))
+	dec.DisallowUnknownFields()
+	var mirror rawLegacyCalibrationResponse
+	if err := dec.Decode(&mirror); err != nil {
+		t.Fatalf("legacy calibration body no longer decodes as the pre-fleet wire type: %v\nbody: %s", err, live)
+	}
+	if got := indentJSON(t, mirror); !bytes.Equal(got, live) {
+		t.Errorf("legacy calibration bytes drifted:\n live   %s\n mirror %s", live, got)
+	}
+	if bytes.Contains(live, []byte("device_id")) {
+		t.Error("single-device calibration body grew a device_id field")
+	}
+}
+
+// TestErrorBodyWireUnchanged proves the typed ErrorJSON struct emits the
+// same bytes as the pre-fleet map[string]string{"error": msg} in legacy
+// mode, and that fleet errors add device_id without disturbing the error
+// key.
+func TestErrorBodyWireUnchanged(t *testing.T) {
+	h := legacyServer(t).Handler()
+	for path, body := range map[string]string{
+		"/v1/predict":  `{"profile": {"sp": 1e9}}`,
+		"/v1/autotune": `{"profile": {"sp": 1e9}, "grid": "nope"}`,
+		"/v1/predict ": `not json`,
+	} {
+		w := post(t, h, strings.TrimSpace(path), body)
+		if w.Code/100 != 4 {
+			t.Fatalf("%s %q = %d, want 4xx", path, body, w.Code)
+		}
+		var probe struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &probe); err != nil || probe.Error == "" {
+			t.Fatalf("%s error body %s unparseable: %v", path, w.Body, err)
+		}
+		oldBytes := indentJSON(t, map[string]string{"error": probe.Error})
+		if !bytes.Equal(w.Body.Bytes(), oldBytes) {
+			t.Errorf("%s error body drifted from the pre-fleet encoding:\n live %s\n old  %s", path, w.Body, oldBytes)
+		}
+	}
+}
+
+func legacyServer(t *testing.T) *serve.Server {
+	t.Helper()
+	cal, err := serve.FixtureCalibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.New(tegra.NewDevice(), cal, experiments.Config{Seed: 42}, serve.Options{})
 }
