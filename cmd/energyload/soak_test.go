@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/faults"
+	"dvfsroofline/internal/serve"
+	"dvfsroofline/internal/tegra"
+	"dvfsroofline/internal/workload"
+)
+
+func readSoakTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "soak.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.Read(f)
+	if err != nil {
+		t.Fatalf("reading checked-in trace: %v", err)
+	}
+	return tr
+}
+
+// soakServer builds the faulted single-device server the soak replays
+// against. disconnect=0.5 under plan seed 17 sits in the gap where
+// every calibration-grid sweep succeeds and every full-grid sweep
+// fails permanently (the fault stream keys on setting identity, so a
+// grid's fate is uniform): full-grid autotunes trip the breaker while
+// calibration keys warm the cache, and the warmed keys then serve
+// degraded — deterministically.
+func soakServer(t *testing.T, clk *workload.StepClock) *serve.Server {
+	t.Helper()
+	cal, err := serve.FixtureCalibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.ParsePlan("disconnect=0.5,seed=17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.Config{Seed: 42, Faults: plan}
+	return serve.New(tegra.NewDevice(), cal, cfg, serve.Options{
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Minute,
+		Clock:            clk.Now,
+	})
+}
+
+func replaySoak(t *testing.T) []byte {
+	t.Helper()
+	tr := readSoakTrace(t)
+	clk := workload.NewStepClock(time.Millisecond)
+	srv := soakServer(t, clk)
+	rep, err := workload.Replay(context.Background(), tr, workload.HandlerTarget{Handler: srv.Handler()},
+		workload.ReplayOptions{Mode: workload.ModeSync, Now: clk.Now})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The acceptance contract: replaying the checked-in trace twice against
+// identically-seeded servers yields byte-identical reports.
+func TestSoakReplayByteIdentical(t *testing.T) {
+	a, b := replaySoak(t), replaySoak(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two replays against identically-seeded servers differ:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+}
+
+// The soak must actually exercise the failure machinery — breaker
+// trips, degraded serves — and the client-side report must reconcile
+// exactly with the server's own counters.
+func TestSoakReplayReconcilesWithServer(t *testing.T) {
+	raw := replaySoak(t)
+	var rep workload.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+
+	tr := readSoakTrace(t)
+	if rep.Requests != len(tr.Events) {
+		t.Fatalf("report counts %d requests, trace has %d", rep.Requests, len(tr.Events))
+	}
+	if rep.TransportFailures != 0 {
+		t.Fatalf("%d transport failures against an in-process handler", rep.TransportFailures)
+	}
+	srv := rep.Server
+	if srv == nil {
+		t.Fatalf("report carries no server snapshot")
+	}
+	if srv.BreakerTrips == 0 {
+		t.Fatalf("soak never tripped a breaker; the fault plan has drifted out of its regime")
+	}
+	if srv.DegradedServes == 0 || rep.DegradedResponses == 0 {
+		t.Fatalf("soak produced no degraded serves (server %d, client %d)", srv.DegradedServes, rep.DegradedResponses)
+	}
+	if uint64(rep.DegradedResponses) != srv.DegradedServes {
+		t.Fatalf("client saw %d degraded responses, server counted %d", rep.DegradedResponses, srv.DegradedServes)
+	}
+	if srv.CacheHits == 0 {
+		t.Fatalf("soak never hit the sweep cache")
+	}
+	if srv.SweepJ <= 0 || srv.AnsweredJ <= 0 || srv.AnsweredPerSweepJ <= 0 {
+		t.Fatalf("energy ledgers empty: sweep %v answered %v ratio %v", srv.SweepJ, srv.AnsweredJ, srv.AnsweredPerSweepJ)
+	}
+
+	// Every endpoint's client-side status counts must match the server's
+	// own request counters — /v1/stats reads must not move them.
+	clk := workload.NewStepClock(time.Millisecond)
+	target := workload.HandlerTarget{Handler: soakServer(t, clk).Handler()}
+	rep2, err := workload.Replay(context.Background(), tr, target, workload.ReplayOptions{Mode: workload.ModeSync, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := target.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, ep := range rep2.Endpoints {
+		srvEp, ok := stats.Endpoints[path]
+		if !ok {
+			t.Fatalf("server has no counters for %s", path)
+		}
+		if uint64(ep.Requests) != srvEp.Requests {
+			t.Fatalf("%s: client sent %d, server counted %d", path, ep.Requests, srvEp.Requests)
+		}
+		for code, n := range ep.ByStatus {
+			if uint64(n) != srvEp.ByCode[code] {
+				t.Fatalf("%s status %s: client saw %d, server counted %d", path, code, n, srvEp.ByCode[code])
+			}
+		}
+	}
+}
+
+// The CLI wrapper end to end: gen twice is byte-identical, and an
+// in-process fleet replay through runReplay is too.
+func TestCLIGenAndReplayDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	genOut := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := runGen([]string{"-seed", "7", "-duration", "2", "-out", p}); err != nil {
+			t.Fatalf("gen: %v", err)
+		}
+		return p
+	}
+	a, b := genOut("a.jsonl"), genOut("b.jsonl")
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("two gens with one seed differ")
+	}
+
+	replayOut := func(name string) []byte {
+		p := filepath.Join(dir, name)
+		if err := runReplay([]string{"-trace", a, "-inprocess", "-report", p}); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	ra, rb := replayOut("ra.json"), replayOut("rb.json")
+	if !bytes.Equal(ra, rb) {
+		t.Fatalf("two in-process replays differ:\n--- a\n%s\n--- b\n%s", ra, rb)
+	}
+	var rep workload.Report
+	if err := json.Unmarshal(ra, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	// The built-in fleet has three devices; the hash ring should spread
+	// the request keys across all of them.
+	devs := 0
+	for dev, share := range rep.DeviceShare {
+		if dev != "" && share > 0 {
+			devs++
+		}
+	}
+	if devs != 3 {
+		t.Fatalf("device share covers %d devices, want 3: %v", devs, rep.DeviceShare)
+	}
+}

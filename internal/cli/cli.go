@@ -43,13 +43,21 @@ type App struct {
 // the standard logger. Commands add their own flags afterwards and then
 // call Parse.
 func New(name string) *App {
+	return NewOn(name, flag.CommandLine)
+}
+
+// NewOn registers the uniform flags on an explicit flag set, for
+// commands with subcommands (each subcommand owns a flag.FlagSet but
+// shares the uniform -seed/-workers/-faults/... vocabulary). The caller
+// parses the set itself and then calls Validate.
+func NewOn(name string, fs *flag.FlagSet) *App {
 	a := &App{Name: name, lastPct: -1}
-	flag.Int64Var(&a.Seed, "seed", 42, "seed for measurement noise and experiment randomness")
-	flag.IntVar(&a.Workers, "workers", 0, "experiment pipeline parallelism (0 = GOMAXPROCS)")
-	flag.StringVar(&a.CSVDir, "csv", "", "directory to write CSV artifacts (empty disables)")
-	flag.StringVar(&a.Cache, "cache", "", "calibration sample cache file: loaded when present, written after a fresh calibration")
-	flag.StringVar(&a.FaultSpec, "faults", "", "fault-injection plan, e.g. \"disconnect=0.1,spike=0.02,seed=7\" (see internal/faults)")
-	flag.Float64Var(&a.MinCoverage, "min-coverage", 1.0, "calibration sample coverage floor in (0,1]; below 1 quarantines failing samples instead of aborting")
+	fs.Int64Var(&a.Seed, "seed", 42, "seed for measurement noise and experiment randomness")
+	fs.IntVar(&a.Workers, "workers", 0, "experiment pipeline parallelism (0 = GOMAXPROCS)")
+	fs.StringVar(&a.CSVDir, "csv", "", "directory to write CSV artifacts (empty disables)")
+	fs.StringVar(&a.Cache, "cache", "", "calibration sample cache file: loaded when present, written after a fresh calibration")
+	fs.StringVar(&a.FaultSpec, "faults", "", "fault-injection plan, e.g. \"disconnect=0.1,spike=0.02,seed=7\" (see internal/faults)")
+	fs.Float64Var(&a.MinCoverage, "min-coverage", 1.0, "calibration sample coverage floor in (0,1]; below 1 quarantines failing samples instead of aborting")
 	log.SetFlags(0)
 	log.SetPrefix(name + ": ")
 	return a

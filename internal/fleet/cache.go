@@ -3,8 +3,29 @@ package fleet
 import (
 	"container/list"
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 )
+
+// ErrFlightPanic is the error waiters of a single-flight computation
+// receive when the caller that owned it panicked. The panic itself
+// propagates up the owner's stack; the flight is unregistered either
+// way, so the key is immediately retryable instead of permanently
+// poisoned.
+var ErrFlightPanic = errors.New("fleet: in-flight computation panicked")
+
+// ErrShared wraps the error a waiter received from another caller's
+// flight. The waiter ran nothing itself, so callers feeding failure
+// signals to a circuit breaker should treat ErrShared as "not my
+// outcome" — the owner already reported the same failure once.
+var ErrShared = errors.New("fleet: shared in-flight computation failed")
+
+// ErrWaiterAbandoned wraps the context error of a waiter whose ctx
+// ended while it was joined to another caller's flight. The waiter was
+// never served: it got no value and learned nothing about the
+// computation, which keeps running for its owner.
+var ErrWaiterAbandoned = errors.New("fleet: waiter abandoned in-flight computation")
 
 // Cache is a keyed LRU with single-flight semantics: concurrent Do
 // calls for the same key run the expensive function once, with every
@@ -48,12 +69,21 @@ func NewCache(capacity int) *Cache {
 }
 
 // Do returns the cached value for key, or runs fn to compute it. hit
-// reports whether the caller was served without running fn itself —
-// either from the LRU or by joining an in-flight computation. Successful
-// results are cached; errors are returned to every waiter but never
-// cached, so a later request retries. If ctx ends while waiting on
-// another caller's computation, Do returns ctx.Err() (the computation
-// itself keeps running for the caller that owns it).
+// reports whether the caller was actually served a value without
+// running fn itself — from the LRU, or by joining an in-flight
+// computation that completed successfully. A caller that got nothing
+// (its own fn failed, the joined flight failed, or its ctx ended while
+// waiting) always reports hit=false, so hit counts requests served, not
+// requests that merely queued behind one.
+//
+// Successful results are cached; errors are returned to every waiter
+// but never cached, so a later request retries. A waiter whose joined
+// flight failed sees the owner's error wrapped in ErrShared; a waiter
+// whose ctx ends first returns its ctx error wrapped in
+// ErrWaiterAbandoned (the computation keeps running for its owner). If
+// fn panics, the panic propagates to the owner, the flight is
+// unregistered — the key is never poisoned — and waiters fail with
+// ErrFlightPanic (wrapped in ErrShared).
 func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -66,24 +96,36 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val
 		c.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.val, true, f.err
+			if f.err != nil {
+				return nil, false, fmt.Errorf("%w: %w", ErrShared, f.err)
+			}
+			return f.val, true, nil
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return nil, false, fmt.Errorf("%w: %w", ErrWaiterAbandoned, ctx.Err())
 		}
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
 
+	// The deferred cleanup runs on every exit from fn, including a
+	// panic: the flight is always unregistered and done always closed,
+	// so a panicking fn cannot leave waiters blocked forever on a
+	// permanently poisoned key.
+	panicked := true
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		if panicked {
+			f.val, f.err = nil, ErrFlightPanic
+		} else if f.err == nil {
+			c.insert(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
 	f.val, f.err = fn()
-
-	c.mu.Lock()
-	delete(c.flights, key)
-	if f.err == nil {
-		c.insert(key, f.val)
-	}
-	c.mu.Unlock()
-	close(f.done)
+	panicked = false
 	return f.val, false, f.err
 }
 

@@ -81,8 +81,120 @@ func TestCacheJoinerHonorsContext(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := c.Do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+	v, hit, err := c.Do(ctx, "k", nil)
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled joiner err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, ErrWaiterAbandoned) {
+		t.Errorf("cancelled joiner err = %v, want ErrWaiterAbandoned wrap", err)
+	}
+	// The waiter was never served, so it must not report a cache hit:
+	// counting it would inflate the hit metric with requests that got
+	// nothing.
+	if hit || v != nil {
+		t.Errorf("cancelled joiner = (%v, hit=%v), want (nil, false)", v, hit)
+	}
+}
+
+// TestCachePanicDoesNotPoisonKey is the regression test for the
+// single-flight poisoning bug: a panicking fn used to leave its flight
+// registered forever with done never closed, so every later Do for the
+// key blocked indefinitely. Now the panic propagates to the owner,
+// waiters fail with ErrFlightPanic, and the key stays usable.
+func TestCachePanicDoesNotPoisonKey(t *testing.T) {
+	c := NewCache(4)
+	ctx := context.Background()
+
+	// A waiter joined to the doomed flight must be failed, not hung.
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	ownerDone := make(chan any, 1)
+	go func() {
+		defer func() { ownerDone <- recover() }()
+		c.Do(ctx, "k", func() (any, error) {
+			close(inFn)
+			<-release
+			panic("sweep blew up")
+		})
+	}()
+	<-inFn
+	go func() {
+		_, hit, err := c.Do(ctx, "k", nil)
+		if hit {
+			err = errors.New("panicked flight reported hit=true")
+		}
+		waiterDone <- err
+	}()
+	// Give the waiter a moment to join the flight, then detonate.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	if r := <-ownerDone; r != "sweep blew up" {
+		t.Fatalf("owner recovered %v, want the original panic value", r)
+	}
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, ErrFlightPanic) {
+			t.Fatalf("waiter err = %v, want ErrFlightPanic", err)
+		}
+		if !errors.Is(err, ErrShared) {
+			t.Errorf("waiter err = %v, want ErrShared wrap", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after the flight panicked: key is poisoned")
+	}
+
+	// The key must be retryable: a fresh Do runs fn and succeeds.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, hit, err := c.Do(ctx, "k", func() (any, error) { return "recovered", nil })
+		if err != nil || hit || v != "recovered" {
+			t.Errorf("Do after panic = (%v, %v, %v), want fresh run", v, hit, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do after panic still blocked: flight was not unregistered")
+	}
+	if v, hit, err := c.Do(ctx, "k", nil); err != nil || !hit || v != "recovered" {
+		t.Errorf("cached retry = (%v, %v, %v), want (recovered, true, nil)", v, hit, err)
+	}
+}
+
+// TestCacheSharedFailureNotAHit pins the hit semantics for waiters of a
+// failing flight: they got no value, so hit must be false and the
+// owner's error arrives wrapped in ErrShared.
+func TestCacheSharedFailureNotAHit(t *testing.T) {
+	c := NewCache(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(ctx, "k", func() (any, error) {
+		close(inFn)
+		<-release
+		return nil, boom
+	})
+	<-inFn
+	waiter := make(chan struct{})
+	var v any
+	var hit bool
+	var err error
+	go func() {
+		defer close(waiter)
+		v, hit, err = c.Do(ctx, "k", nil)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	<-waiter
+	if hit || v != nil {
+		t.Errorf("failed-flight waiter = (%v, hit=%v), want (nil, false)", v, hit)
+	}
+	if !errors.Is(err, boom) || !errors.Is(err, ErrShared) {
+		t.Errorf("failed-flight waiter err = %v, want boom wrapped in ErrShared", err)
 	}
 }
 

@@ -158,14 +158,25 @@ func (r *Registry) Route(key string) *Node {
 // is open it returns the primary, whose degraded cache path is then the
 // only thing left to try.
 func (r *Registry) RouteHealthy(key string) (n *Node, failover bool) {
-	order := r.ring.walk(key)
-	for i, idx := range order {
+	var primary *Node
+	visited := 0
+	r.ring.walkFrom(key, func(idx int) bool {
 		node := r.nodes[idx]
-		if state, _ := node.Breaker.Snapshot(); state != BreakerOpen {
-			return node, i > 0
+		if primary == nil {
+			primary = node
 		}
+		if state, _ := node.Breaker.Snapshot(); state != BreakerOpen {
+			n = node
+			failover = visited > 0
+			return true
+		}
+		visited++
+		return false
+	})
+	if n == nil {
+		return primary, false
 	}
-	return r.nodes[order[0]], false
+	return n, failover
 }
 
 // LeastLoaded returns the node with the fewest in-flight requests,

@@ -21,6 +21,7 @@ import (
 // The ring is immutable after construction and safe for concurrent use.
 type ring struct {
 	points []ringPoint // sorted by (hash, index)
+	nodes  int         // distinct node count (len of the ID list)
 }
 
 type ringPoint struct {
@@ -36,7 +37,7 @@ func newRing(ids []string, replicas int) *ring {
 	if replicas <= 0 {
 		replicas = defaultReplicas
 	}
-	r := &ring{points: make([]ringPoint, 0, len(ids)*replicas)}
+	r := &ring{points: make([]ringPoint, 0, len(ids)*replicas), nodes: len(ids)}
 	for i, id := range ids {
 		for k := 0; k < replicas; k++ {
 			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", id, k)), index: i})
@@ -81,21 +82,59 @@ func (r *ring) successor(key string) int {
 	return r.points[i].index
 }
 
-// walk returns every distinct node index in ring order starting from
-// key's successor. The serving layer uses it for deterministic failover:
-// when the primary's breaker is open, traffic moves to the next device
-// on the ring, not to an arbitrary one.
-func (r *ring) walk(key string) []int {
+// walkFrom visits every distinct node index in ring order starting from
+// key's successor, stopping early when visit returns true or when all
+// nodes have been seen. The serving layer uses it for deterministic
+// failover: when the primary's breaker is open, traffic moves to the
+// next device on the ring, not to an arbitrary one.
+//
+// This is the per-request hot path, so it allocates nothing for fleets
+// of up to 64 devices: the seen-set is a uint64 bitmask, and the scan
+// stops as soon as every distinct node has appeared — typically after a
+// handful of points, not the full 128·N ring. Larger fleets fall back
+// to a []bool seen-set (one allocation).
+func (r *ring) walkFrom(key string, visit func(node int) (stop bool)) {
 	h := hashKey(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	seen := make(map[int]bool)
-	order := make([]int, 0, 8)
-	for k := 0; k < len(r.points); k++ {
-		p := r.points[(start+k)%len(r.points)]
-		if !seen[p.index] {
-			seen[p.index] = true
-			order = append(order, p.index)
+	var mask uint64 // seen-set for nodes < 64
+	var seen []bool // lazy fallback for the rest
+	if r.nodes > 64 {
+		seen = make([]bool, r.nodes)
+	}
+	found := 0
+	for k := 0; k < len(r.points) && found < r.nodes; k++ {
+		i := start + k
+		if i >= len(r.points) {
+			i -= len(r.points)
+		}
+		idx := r.points[i].index
+		if seen != nil {
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+		} else {
+			bit := uint64(1) << uint(idx)
+			if mask&bit != 0 {
+				continue
+			}
+			mask |= bit
+		}
+		found++
+		if visit(idx) {
+			return
 		}
 	}
+}
+
+// walk returns every distinct node index in ring order starting from
+// key's successor — walkFrom collected into a slice, for callers that
+// need the whole failover order at once (tests, diagnostics).
+func (r *ring) walk(key string) []int {
+	order := make([]int, 0, r.nodes)
+	r.walkFrom(key, func(idx int) bool {
+		order = append(order, idx)
+		return false
+	})
 	return order
 }

@@ -3,6 +3,8 @@ package fleet
 import (
 	"fmt"
 	"testing"
+
+	"dvfsroofline/internal/experiments"
 )
 
 func ringIDs(n int) []string {
@@ -92,6 +94,115 @@ func TestRingBalance(t *testing.T) {
 		if c > 2*fair || c < fair/2 {
 			t.Errorf("node %d owns %d keys, fair share %d — ring is unbalanced: %v", i, c, fair, counts)
 		}
+	}
+}
+
+// referenceWalk is the original O(points) map-based implementation,
+// kept as the oracle for the optimized walkFrom.
+func referenceWalk(r *ring, key string) []int {
+	h := hashKey(key)
+	start := 0
+	for i, p := range r.points {
+		if p.hash >= h {
+			start = i
+			break
+		}
+	}
+	seen := make(map[int]bool)
+	order := make([]int, 0, 8)
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if !seen[p.index] {
+			seen[p.index] = true
+			order = append(order, p.index)
+		}
+	}
+	return order
+}
+
+// TestRingWalkMatchesReference checks the optimized early-exit walk
+// against the exhaustive map-based scan it replaced, across fleet sizes
+// that exercise both the bitmask and the []bool seen-set paths.
+func TestRingWalkMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 64, 65, 80} {
+		r := newRing(ringIDs(n), 0)
+		for k := 0; k < 128; k++ {
+			key := fmt.Sprintf("wl-%d", k)
+			got := r.walk(key)
+			want := referenceWalk(r, key)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d walk(%q) = %d nodes, reference %d", n, key, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d walk(%q)[%d] = %d, reference %d", n, key, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRingWalkEarlyExit verifies walkFrom stops at the first visit that
+// returns true instead of scanning the rest of the ring.
+func TestRingWalkEarlyExit(t *testing.T) {
+	r := newRing(ringIDs(8), 0)
+	calls := 0
+	r.walkFrom("some-key", func(int) bool {
+		calls++
+		return calls == 2
+	})
+	if calls != 2 {
+		t.Errorf("walkFrom visited %d nodes after stop, want 2", calls)
+	}
+}
+
+// BenchmarkRingWalk measures the failover-order scan on the request hot
+// path. The pre-PR7 implementation allocated a map and scanned all
+// 128·N virtual points per lookup; the rewrite early-exits once every
+// distinct node has appeared and keeps the seen-set in a register for
+// fleets up to 64 devices, so the common case is zero-allocation.
+func BenchmarkRingWalk(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) {
+			r := newRing(ringIDs(n), 0)
+			keys := make([]string, 64)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("wl-%d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.walkFrom(keys[i%len(keys)], func(int) bool { return false })
+			}
+		})
+	}
+}
+
+// BenchmarkRingRouteHealthy measures the full healthy-routing decision
+// (walk + breaker snapshots) as the serving layer runs it per autotune
+// request, with all breakers closed (the common case: the primary wins
+// on the first visit).
+func BenchmarkRingRouteHealthy(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) {
+			nodes := make([]*Node, n)
+			for i := range nodes {
+				nodes[i] = NewNode(fmt.Sprintf("dev-%02d", i), nil, nil, experiments.Config{Seed: 1}, nil, NodeOptions{})
+			}
+			reg, err := NewRegistry(nodes, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]string, 64)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("wl-%d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg.RouteHealthy(keys[i%len(keys)])
+			}
+		})
 	}
 }
 

@@ -34,15 +34,29 @@ func (s *Server) handleFleetPredict(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	// ?route= selects the placement policy: "hash" (the default) is the
+	// consistent-hash home with its cache affinity and deterministic
+	// answers; "least_loaded" sheds bursts onto the idlest device at the
+	// cost of affinity. A pinned device overrides either.
+	route := r.URL.Query().Get("route")
+	switch route {
+	case "", "hash", "least_loaded":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown route %q (want \"hash\" or \"least_loaded\")", route))
+		return
+	}
 	var node *fleet.Node
-	if req.Device != "" {
+	switch {
+	case req.Device != "":
 		n, ok := s.reg.Get(req.Device)
 		if !ok {
 			writeErrorDev(w, http.StatusNotFound, fmt.Sprintf("unknown device %q", req.Device), req.Device)
 			return
 		}
 		node = n
-	} else {
+	case route == "least_loaded":
+		node = s.reg.LeastLoaded()
+	default:
 		node = s.reg.Route(predictKey(req.PredictRequest))
 	}
 	release := node.Acquire()
@@ -151,7 +165,13 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 		results, err := experiments.SweepTargets(ctx, nodes[0].Cfg, wl, targets)
 		if err != nil {
 			// Cancellation: no per-device outcome exists, so no breaker
-			// signal either way.
+			// signal either way — but every target passed Allow above
+			// and may hold its breaker's half-open probe slot. Release
+			// them all, or a cancelled place request would wedge every
+			// half-open breaker it touched until the next cooldown.
+			for _, n := range targetNodes {
+				n.Breaker.Release()
+			}
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
 				writeError(w, http.StatusGatewayTimeout, "sweep deadline exceeded")
@@ -172,6 +192,11 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 			n.Breaker.Success()
 			n.Cache.Put(autotuneKey(gridName, wl, n.Cfg.Seed), res.Candidates)
 			sweeps[n.ID] = res.Candidates
+			var sweep units.Joule
+			for _, c := range res.Candidates {
+				sweep += c.MeasuredEnergy
+			}
+			s.metrics.addSweepJoules(n.ID, float64(sweep))
 		}
 	}
 	if len(sweeps) == 0 {
@@ -205,6 +230,7 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Winner = resp.Devices[winner].DeviceID
 	resp.WinnerPick = resp.Devices[winner].MeasuredMin
+	s.metrics.addAnsweredJoules(resp.Winner, float64(resp.WinnerPick.MeasuredJ))
 	writeJSON(w, http.StatusOK, resp)
 }
 

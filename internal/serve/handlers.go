@@ -261,12 +261,24 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			resp := scoreSweep(node.Cal.Model, gridName, val.([]core.Candidate))
 			resp.Cached = true
 			resp.Degraded = true
+			s.metrics.addAnsweredJoules(node.ID, float64(resp.Model.MeasuredJ))
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		writeErrorDev(w, http.StatusServiceUnavailable, "sweep breaker open and no cached sweep for this workload", node.ID)
 		return
 	}
+	// The Allow above may hold the breaker's single half-open probe
+	// slot; every exit below must settle it exactly once. The deferred
+	// release is the backstop for a panicking sweep unwinding through
+	// this handler — without it the probe slot leaks and the breaker
+	// never admits another probe.
+	settled := false
+	defer func() {
+		if !settled {
+			node.Breaker.Release()
+		}
+	}()
 	val, hit, err := node.Cache.Do(ctx, key, func() (any, error) {
 		cands, err := experiments.SweepWorkload(ctx, node.Dev, node.Cfg, wl, grid)
 		if err != nil {
@@ -274,22 +286,35 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		}
 		return cands, nil
 	})
-	if hit {
+	switch {
+	case hit:
 		s.metrics.cacheHit(node.ID)
 		node.Breaker.Release() // no sweep ran; free any half-open probe slot
-	} else {
+	case errors.Is(err, fleet.ErrShared), errors.Is(err, fleet.ErrWaiterAbandoned):
+		// Waiter outcomes: another request's sweep failed, or this
+		// waiter's context ended first. Neither says anything about a
+		// sweep this request ran, so the probe slot is released, not
+		// scored — and the owner already fed the breaker its verdict.
+		node.Breaker.Release()
+	case err == nil:
 		s.metrics.cacheMiss(node.ID)
-		// Feed the breaker from sweeps this request actually ran. A
-		// client cancellation says nothing about the sweep path's
-		// health, so it carries no signal either way.
-		switch {
-		case err == nil:
-			node.Breaker.Success()
-		case errors.Is(err, context.Canceled):
-		default:
-			node.Breaker.Failure()
+		node.Breaker.Success()
+		var sweep units.Joule
+		for _, c := range val.([]core.Candidate) {
+			sweep += c.MeasuredEnergy
 		}
+		s.metrics.addSweepJoules(node.ID, float64(sweep))
+	case errors.Is(err, context.Canceled):
+		// This request's own cancellation says nothing about the sweep
+		// path's health, so it carries no signal either way — but the
+		// probe slot must still be freed.
+		s.metrics.cacheMiss(node.ID)
+		node.Breaker.Release()
+	default:
+		s.metrics.cacheMiss(node.ID)
+		node.Breaker.Failure()
 	}
+	settled = true
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -303,6 +328,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := scoreSweep(node.Cal.Model, gridName, val.([]core.Candidate))
 	resp.Cached = hit
+	s.metrics.addAnsweredJoules(node.ID, float64(resp.Model.MeasuredJ))
 	writeJSON(w, http.StatusOK, resp)
 }
 

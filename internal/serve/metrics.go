@@ -22,6 +22,14 @@ type metrics struct {
 	hits     map[string]uint64
 	misses   map[string]uint64
 	degraded map[string]uint64
+	// Per-device energy ledgers, in joules: sweepJ integrates the
+	// measured energy of every candidate a fresh sweep burned through;
+	// answeredJ integrates the energy of the picks actually returned to
+	// clients. Their ratio — energy answered per joule of sweep work —
+	// is the cache's leverage: answers served from cache or joined
+	// flights add to the numerator without new sweep cost.
+	sweepJ    map[string]float64
+	answeredJ map[string]float64
 }
 
 // latencyBuckets are the histogram upper bounds in seconds. Prediction
@@ -41,6 +49,8 @@ func newMetrics() *metrics {
 		hits:      make(map[string]uint64),
 		misses:    make(map[string]uint64),
 		degraded:  make(map[string]uint64),
+		sweepJ:    make(map[string]float64),
+		answeredJ: make(map[string]float64),
 	}
 }
 
@@ -87,6 +97,72 @@ func (m *metrics) degradedHit(dev string) {
 	m.mu.Lock()
 	m.degraded[dev]++
 	m.mu.Unlock()
+}
+
+// addSweepJoules charges one device's ledger with the measured energy a
+// fresh sweep burned integrating its candidates.
+func (m *metrics) addSweepJoules(dev string, j float64) {
+	m.mu.Lock()
+	m.sweepJ[dev] += j
+	m.mu.Unlock()
+}
+
+// addAnsweredJoules credits one device's ledger with the energy of a
+// pick returned to a client (fresh, cached or degraded alike).
+func (m *metrics) addAnsweredJoules(dev string, j float64) {
+	m.mu.Lock()
+	m.answeredJ[dev] += j
+	m.mu.Unlock()
+}
+
+// countersSnapshot is a deep copy of the registry's counter maps, taken
+// under one lock acquisition so the numbers are mutually consistent.
+type countersSnapshot struct {
+	endpoints map[string]map[int]uint64 // endpoint -> status code -> count
+	hits      map[string]uint64
+	misses    map[string]uint64
+	degraded  map[string]uint64
+	sweepJ    map[string]float64
+	answeredJ map[string]float64
+}
+
+// snapshot copies every counter for the /v1/stats endpoint (and the
+// load-harness report built on it).
+func (m *metrics) snapshot() countersSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := countersSnapshot{
+		endpoints: make(map[string]map[int]uint64, len(m.endpoints)),
+		hits:      copyCounter(m.hits),
+		misses:    copyCounter(m.misses),
+		degraded:  copyCounter(m.degraded),
+		sweepJ:    copyLedger(m.sweepJ),
+		answeredJ: copyLedger(m.answeredJ),
+	}
+	for ep, e := range m.endpoints {
+		codes := make(map[int]uint64, len(e.codes))
+		for c, n := range e.codes {
+			codes[c] = n
+		}
+		s.endpoints[ep] = codes
+	}
+	return s
+}
+
+func copyCounter(c map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+func copyLedger(c map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
 }
 
 // cacheCounts returns the fleet-wide cache counters (exposed for tests).

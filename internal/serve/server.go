@@ -19,6 +19,10 @@
 //	GET  /healthz          — liveness
 //	GET  /readyz           — readiness; 503 while no device can sweep
 //	GET  /metrics          — Prometheus text format (hand-rolled)
+//	GET  /v1/stats         — the same counters as JSON: per-device
+//	                         breaker/cache/energy ledgers, per-endpoint
+//	                         status counts (machine-readable, for the
+//	                         energyload replay report)
 //
 // Request routing is deterministic: predict and autotune traffic lands
 // on a device by consistent hash of the workload identity (cache
@@ -180,6 +184,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// /v1/stats is deliberately uninstrumented, like /metrics: reading
+	// the counters must not move them, or a replay report could never
+	// reconcile its request totals against the server's.
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
 

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"dvfsroofline/internal/units"
+)
+
+// This file is the machine-readable counterpart of /metrics: a JSON
+// snapshot of the serving counters, added so the energyload replayer
+// (cmd/energyload) can reconcile its client-side report against the
+// server's view without parsing Prometheus text exposition. The
+// response marshals deterministically — device rows sort by ID and
+// encoding/json sorts map keys — so two identically-seeded runs that
+// served identical traffic produce byte-identical snapshots.
+
+// DeviceStats is one device's counter row in a /v1/stats snapshot.
+// SweepJ integrates the measured energy of every candidate the device's
+// fresh sweeps burned through; AnsweredJ integrates the energy of the
+// picks it returned to clients. AnsweredJ/SweepJ — energy answered per
+// joule of sweep work — is the cache's leverage: answers served from
+// cache or joined flights grow the numerator at zero sweep cost.
+type DeviceStats struct {
+	DeviceID       string      `json:"device_id"`
+	Breaker        string      `json:"breaker"`
+	BreakerOpens   uint64      `json:"breaker_opens"`
+	CacheHits      uint64      `json:"cache_hits"`
+	CacheMisses    uint64      `json:"cache_misses"`
+	DegradedServes uint64      `json:"degraded_serves"`
+	SweepJ         units.Joule `json:"sweep_j"`
+	AnsweredJ      units.Joule `json:"answered_j"`
+	Inflight       int64       `json:"inflight"`
+}
+
+// EndpointStats is one endpoint's request counters, split by HTTP
+// status code (keys are the decimal codes, e.g. "200").
+type EndpointStats struct {
+	Requests uint64            `json:"requests"`
+	ByCode   map[string]uint64 `json:"by_code"`
+}
+
+// StatsResponse is the answer to GET /v1/stats.
+type StatsResponse struct {
+	Devices   []DeviceStats            `json:"devices"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := s.metrics.snapshot()
+	resp := StatsResponse{
+		Devices:   make([]DeviceStats, 0, s.reg.Len()),
+		Endpoints: make(map[string]EndpointStats, len(snap.endpoints)),
+	}
+	// Every registry node gets a row, zero counters included, so a
+	// report can always find the device it routed to. Nodes() is sorted
+	// by ID, which keeps the array order deterministic.
+	for _, n := range s.reg.Nodes() {
+		state, opens := n.Breaker.Snapshot()
+		resp.Devices = append(resp.Devices, DeviceStats{
+			DeviceID:       n.ID,
+			Breaker:        state.String(),
+			BreakerOpens:   opens,
+			CacheHits:      snap.hits[n.ID],
+			CacheMisses:    snap.misses[n.ID],
+			DegradedServes: snap.degraded[n.ID],
+			SweepJ:         units.Joule(snap.sweepJ[n.ID]),
+			AnsweredJ:      units.Joule(snap.answeredJ[n.ID]),
+			Inflight:       n.Load(),
+		})
+	}
+	for ep, codes := range snap.endpoints {
+		e := EndpointStats{ByCode: make(map[string]uint64, len(codes))}
+		for code, count := range codes {
+			e.ByCode[fmt.Sprintf("%d", code)] = count
+			e.Requests += count
+		}
+		resp.Endpoints[ep] = e
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dvfsroofline/internal/experiments"
+	"dvfsroofline/internal/fleet"
+	"dvfsroofline/internal/tegra"
+)
+
+// fakeClock is a hand-advanced time source for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// newProbeTestServer builds a single-device server whose breaker trips
+// on the first failure and whose clock the test controls.
+func newProbeTestServer(t *testing.T, clk *fakeClock) *Server {
+	t.Helper()
+	cal, err := FixtureCalibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(tegra.NewDevice(), cal, experiments.Config{Seed: 42}, Options{
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		Clock:            clk.now,
+	})
+}
+
+// TestProbeSlotReleasedOnCancelledSweep is the probe-leak regression
+// test for /v1/autotune: a half-open breaker grants its single probe
+// slot to a request whose client then hangs up. The cancellation
+// carries no health signal, but the slot must still come back — before
+// the fix it stayed taken forever, so the breaker could never again
+// admit the probe that would have reclosed it.
+func TestProbeSlotReleasedOnCancelledSweep(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	s := newProbeTestServer(t, clk)
+	h := s.Handler()
+	body := `{"profile": {"sp": 5e8}, "occupancy": 0.5, "timeout_s": 1e-12}`
+
+	// One sweep deadline trips the threshold-1 breaker open.
+	if w := postJSON(t, h, "/v1/autotune", body); w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("doomed sweep = %d, want 504", w.Code)
+	}
+	if state, _ := node0(s).Breaker.Snapshot(); state != fleet.BreakerOpen {
+		t.Fatalf("breaker %v after failure, want open", state)
+	}
+
+	// Past the cooldown the breaker goes half-open; the next request
+	// takes the probe slot but its client has already disconnected.
+	clk.advance(2 * time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/autotune",
+		strings.NewReader(`{"profile": {"sp": 5e8}, "occupancy": 0.5}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled probe request = %d, want 503", w.Code)
+	}
+
+	// The slot must be free again: Allow grants the next probe instead
+	// of reporting a phantom probe still in flight.
+	if !node0(s).Breaker.Allow() {
+		t.Fatal("probe slot leaked: Allow refuses after the cancelled request returned")
+	}
+	node0(s).Breaker.Release()
+}
+
+// testFleet builds an n-clone fleet with test-controlled breakers and
+// clock, in-package so tests can reach the nodes directly.
+func testFleet(t *testing.T, n int, opts Options) *Server {
+	t.Helper()
+	cal, err := FixtureCalibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"node-a", "node-b", "node-c", "node-d", "node-e"}[:n]
+	nodes := make([]*fleet.Node, n)
+	for i, id := range ids {
+		nodes[i] = fleet.NewNode(id, tegra.NewDevice(), cal,
+			experiments.Config{Seed: 42}, node0(newTestServer(t)).Grids, opts.NodeOptions())
+	}
+	reg, err := fleet.NewRegistry(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFleet(reg, opts)
+}
+
+// TestFleetPlaceReleasesProbesOnCancel covers the same leak on the
+// placement path: a cancelled /v1/fleet/place had taken every target
+// device's half-open probe slot and returned without settling any of
+// them, wedging the whole fleet's breakers shut.
+func TestFleetPlaceReleasesProbesOnCancel(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	s := testFleet(t, 3, Options{
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		Clock:            clk.now,
+	})
+	h := s.Handler()
+
+	// Trip every breaker, then move past the cooldown so each is one
+	// Allow away from half-open.
+	for _, n := range s.reg.Nodes() {
+		n.Breaker.Failure()
+		if state, _ := n.Breaker.Snapshot(); state != fleet.BreakerOpen {
+			t.Fatalf("device %s breaker %v, want open", n.ID, state)
+		}
+	}
+	clk.advance(2 * time.Minute)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/fleet/place",
+		strings.NewReader(`{"profile": {"sp": 5e8}, "occupancy": 0.5}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled place = %d, want 503", w.Code)
+	}
+	for _, n := range s.reg.Nodes() {
+		if !n.Breaker.Allow() {
+			t.Errorf("device %s probe slot leaked after cancelled place", n.ID)
+		}
+		n.Breaker.Release()
+	}
+}
+
+// TestFleetPredictLeastLoaded exercises the ?route= selector: the
+// default stays the consistent-hash home regardless of load, while
+// least_loaded sheds onto the idlest device; unknown policies are 400s.
+func TestFleetPredictLeastLoaded(t *testing.T) {
+	s := testFleet(t, 3, Options{})
+	h := s.Handler()
+	body := `{"profile": {"sp": 2e8, "dram_words": 1e7}, "setting_id": "max"}`
+
+	var req FleetPredictRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	home := s.reg.Route(predictKey(req.PredictRequest))
+
+	// Load every node except one non-home device, which least_loaded
+	// must then pick while the hash route stays put.
+	var idle *fleet.Node
+	for _, n := range s.reg.Nodes() {
+		if n.ID != home.ID && idle == nil {
+			idle = n
+			continue
+		}
+		release := n.Acquire()
+		defer release()
+	}
+
+	w := postJSON(t, h, "/v1/fleet/predict", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("hash-routed predict = %d: %s", w.Code, w.Body)
+	}
+	if dev := w.Header().Get("X-Energyd-Device"); dev != home.ID {
+		t.Errorf("default route served by %s, want hash home %s under load", dev, home.ID)
+	}
+
+	w = postJSON(t, h, "/v1/fleet/predict?route=least_loaded", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("least_loaded predict = %d: %s", w.Code, w.Body)
+	}
+	if dev := w.Header().Get("X-Energyd-Device"); dev != idle.ID {
+		t.Errorf("least_loaded served by %s, want idle %s", dev, idle.ID)
+	}
+
+	if w := postJSON(t, h, "/v1/fleet/predict?route=weighted", body); w.Code != http.StatusBadRequest {
+		t.Errorf("unknown route = %d, want 400", w.Code)
+	}
+}
+
+// TestStatsSnapshotEndpoint drives one miss and one hit through the
+// autotune path and checks that GET /v1/stats reports both, along with
+// non-zero energy ledgers and per-endpoint status counts — without the
+// stats read itself moving any counter.
+func TestStatsSnapshotEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	body := `{"profile": {"dp_fma": 2e8, "int": 1e8, "dram_words": 5e7}, "occupancy": 0.9}`
+	for i := 0; i < 2; i++ {
+		if w := postJSON(t, h, "/v1/autotune", body); w.Code != http.StatusOK {
+			t.Fatalf("autotune %d = %d: %s", i, w.Code, w.Body)
+		}
+	}
+
+	if w := postJSON(t, h, "/v1/stats", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/stats = %d, want 405", w.Code)
+	}
+	first := getPath(t, h, "/v1/stats")
+	if first.Code != http.StatusOK {
+		t.Fatalf("/v1/stats = %d: %s", first.Code, first.Body)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Devices) != 1 {
+		t.Fatalf("stats devices = %d, want 1", len(stats.Devices))
+	}
+	d := stats.Devices[0]
+	if d.CacheHits != 1 || d.CacheMisses != 1 {
+		t.Errorf("cache counters = %d hits / %d misses, want 1/1", d.CacheHits, d.CacheMisses)
+	}
+	if d.Breaker != "closed" || d.BreakerOpens != 0 {
+		t.Errorf("breaker = %s/%d opens, want closed/0", d.Breaker, d.BreakerOpens)
+	}
+	if d.SweepJ <= 0 || d.AnsweredJ <= 0 {
+		t.Errorf("energy ledgers sweep=%g answered=%g, want both positive", d.SweepJ, d.AnsweredJ)
+	}
+	ep, ok := stats.Endpoints["/v1/autotune"]
+	if !ok || ep.Requests != 2 || ep.ByCode["200"] != 2 {
+		t.Errorf("autotune endpoint stats = %+v, want 2 requests all 200", ep)
+	}
+	if _, ok := stats.Endpoints["/v1/stats"]; ok {
+		t.Error("/v1/stats instruments itself; reads must not move counters")
+	}
+
+	// Reading stats is side-effect free: a second read is byte-identical.
+	if second := getPath(t, h, "/v1/stats"); second.Body.String() != first.Body.String() {
+		t.Error("two consecutive /v1/stats reads differ; snapshot is not side-effect free")
+	}
+}

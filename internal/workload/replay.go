@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"dvfsroofline/internal/serve"
+)
+
+// Mode selects how the replayer paces a trace.
+type Mode string
+
+const (
+	// ModeSync issues requests sequentially, ignoring send offsets: the
+	// fully deterministic mode. With an in-process target and a
+	// StepClock, two replays of one trace against identically-seeded
+	// servers produce byte-identical reports.
+	ModeSync Mode = "sync"
+	// ModeOpen paces requests open-loop at the trace's recorded offsets
+	// (optionally rate-scaled), dispatching concurrently and never
+	// waiting for earlier responses — arrivals don't slow down because
+	// the server did. This is the load-testing mode; its latencies are
+	// wall-clock and its report is not run-to-run byte-stable.
+	ModeOpen Mode = "open"
+)
+
+// Target is where replayed requests go: a live daemon over HTTP or an
+// in-process serve handler.
+type Target interface {
+	// Do posts one request body to the op's endpoint (query may carry a
+	// routing selector) and returns the HTTP status, the serving device
+	// (X-Energyd-Device; empty in single-device mode), and the response
+	// body. err reports transport failure, not HTTP error statuses.
+	Do(ctx context.Context, op Op, query string, body []byte) (status int, device string, resp []byte, err error)
+	// Stats fetches the server's /v1/stats counter snapshot; targets
+	// without one may return (nil, nil).
+	Stats(ctx context.Context) (*serve.StatsResponse, error)
+}
+
+// HandlerTarget replays against an in-process http.Handler — no
+// network, no goroutine handoff, fully deterministic in ModeSync.
+type HandlerTarget struct{ Handler http.Handler }
+
+func (t HandlerTarget) Do(ctx context.Context, op Op, query string, body []byte) (int, string, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, op.Path()+query, bytes.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rec := &memRecorder{h: make(http.Header)}
+	t.Handler.ServeHTTP(rec, req)
+	return rec.status(), rec.h.Get("X-Energyd-Device"), rec.body.Bytes(), nil
+}
+
+func (t HandlerTarget) Stats(ctx context.Context) (*serve.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	rec := &memRecorder{h: make(http.Header)}
+	t.Handler.ServeHTTP(rec, req)
+	if rec.status() != http.StatusOK {
+		return nil, fmt.Errorf("workload: /v1/stats = %d: %s", rec.status(), rec.body.String())
+	}
+	var stats serve.StatsResponse
+	if err := json.Unmarshal(rec.body.Bytes(), &stats); err != nil {
+		return nil, fmt.Errorf("workload: decoding /v1/stats: %w", err)
+	}
+	return &stats, nil
+}
+
+// memRecorder is a minimal in-memory http.ResponseWriter (the stdlib
+// httptest recorder lives in a test-only package by convention).
+type memRecorder struct {
+	h    http.Header
+	code int
+	body bytes.Buffer
+}
+
+func (r *memRecorder) Header() http.Header { return r.h }
+func (r *memRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+func (r *memRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+func (r *memRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// HTTPTarget replays against a live energyd over HTTP.
+type HTTPTarget struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Client overrides the HTTP client; nil uses http.DefaultClient.
+	Client *http.Client
+}
+
+func (t HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t HTTPTarget) Do(ctx context.Context, op Op, query string, body []byte) (int, string, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+op.Path()+query, bytes.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Energyd-Device"), b, nil
+}
+
+func (t HTTPTarget) Stats(ctx context.Context) (*serve.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workload: /v1/stats = %d: %s", resp.StatusCode, b)
+	}
+	var stats serve.StatsResponse
+	if err := json.Unmarshal(b, &stats); err != nil {
+		return nil, fmt.Errorf("workload: decoding /v1/stats: %w", err)
+	}
+	return &stats, nil
+}
+
+// StepClock is a virtual time source that advances a fixed step on
+// every Now call. Wired into both the replayer and the server's
+// Options.Clock in sync mode, it makes "latency" a deterministic count
+// of clock reads along the request path instead of wall time — the
+// piece that lets two replays of one trace emit byte-identical reports.
+type StepClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+// NewStepClock starts a virtual clock at the Unix epoch; step <= 0
+// selects 1 ms per read.
+func NewStepClock(step time.Duration) *StepClock {
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	return &StepClock{t: time.Unix(0, 0).UTC(), step: step}
+}
+
+// Now advances the clock one step and returns the new time.
+func (c *StepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// ReplayOptions tune a Replay run.
+type ReplayOptions struct {
+	// Mode selects sync (deterministic sequential) or open (paced
+	// concurrent) replay; empty = sync.
+	Mode Mode
+	// Speed rescales the trace's send offsets in open mode: 2 replays a
+	// 60 s trace in 30 s. Zero or negative = 1 (recorded rate).
+	Speed float64
+	// Route, when set, adds ?route=<value> to every fleet_predict
+	// request (e.g. "least_loaded").
+	Route string
+	// Now is the latency clock. Sync replays pass a StepClock shared
+	// with the server; open replays pass the wall clock.
+	Now func() time.Time
+	// Sleep paces open-mode dispatch; required in open mode.
+	Sleep func(time.Duration)
+}
+
+// outcome is one replayed request's result.
+type outcome struct {
+	op           Op
+	status       int
+	device       string
+	latency      time.Duration
+	degraded     bool
+	transportErr bool
+}
+
+// Replay drives every event of the trace at the target and assembles
+// the report, reconciling against the server's /v1/stats snapshot when
+// the target provides one.
+func Replay(ctx context.Context, tr *Trace, target Target, opts ReplayOptions) (*Report, error) {
+	if opts.Mode == "" {
+		opts.Mode = ModeSync
+	}
+	if opts.Now == nil {
+		return nil, fmt.Errorf("workload: ReplayOptions.Now is required")
+	}
+	speed := opts.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	var outs []outcome
+	switch opts.Mode {
+	case ModeSync:
+		outs = make([]outcome, len(tr.Events))
+		for i := range tr.Events {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			outs[i] = issue(ctx, target, &tr.Events[i], opts)
+		}
+	case ModeOpen:
+		if opts.Sleep == nil {
+			return nil, fmt.Errorf("workload: open mode needs ReplayOptions.Sleep")
+		}
+		outs = make([]outcome, len(tr.Events))
+		start := opts.Now()
+		var wg sync.WaitGroup
+		for i := range tr.Events {
+			if err := ctx.Err(); err != nil {
+				wg.Wait()
+				return nil, err
+			}
+			due := time.Duration(tr.Events[i].AtS / speed * float64(time.Second))
+			for {
+				elapsed := opts.Now().Sub(start)
+				if elapsed >= due {
+					break
+				}
+				if err := ctx.Err(); err != nil {
+					wg.Wait()
+					return nil, err
+				}
+				opts.Sleep(due - elapsed)
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = issue(ctx, target, &tr.Events[i], opts)
+			}(i)
+		}
+		wg.Wait()
+	default:
+		return nil, fmt.Errorf("workload: unknown replay mode %q", opts.Mode)
+	}
+	stats, err := target.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("workload: fetching final server stats: %w", err)
+	}
+	return buildReport(tr, opts.Mode, speed, outs, stats), nil
+}
+
+// issue sends one event and classifies the outcome. Each distinct slot
+// of outs is written by exactly one goroutine, so open mode needs no
+// lock around it.
+func issue(ctx context.Context, target Target, ev *Event, opts ReplayOptions) outcome {
+	query := ""
+	if ev.Op == OpFleetPredict && opts.Route != "" {
+		query = "?route=" + url.QueryEscape(opts.Route)
+	}
+	o := outcome{op: ev.Op}
+	start := opts.Now()
+	status, device, resp, err := target.Do(ctx, ev.Op, query, ev.Body)
+	o.latency = opts.Now().Sub(start)
+	if err != nil {
+		o.transportErr = true
+		return o
+	}
+	o.status = status
+	o.device = device
+	if ev.Op == OpAutotune && status == http.StatusOK {
+		var flags struct {
+			Degraded bool `json:"degraded"`
+		}
+		if json.Unmarshal(resp, &flags) == nil {
+			o.degraded = flags.Degraded
+		}
+	}
+	return o
+}

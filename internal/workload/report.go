@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dvfsroofline/internal/serve"
+	"dvfsroofline/internal/stats"
+	"dvfsroofline/internal/units"
+)
+
+// ReportSchema versions the replay report format.
+const ReportSchema = "energyreport/v1"
+
+// LatencySummary holds the latency order statistics for one endpoint,
+// in milliseconds. In sync mode these are virtual (StepClock reads
+// along the request path — deterministic, comparable across runs); in
+// open mode they are wall-clock.
+type LatencySummary struct {
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// EndpointReport is the client-side view of one endpoint's replay.
+type EndpointReport struct {
+	Requests int            `json:"requests"`
+	ByStatus map[string]int `json:"by_status"`
+	Latency  LatencySummary `json:"latency"`
+}
+
+// ServerReport is the server-side counter snapshot taken after the last
+// response, fleet totals first. AnsweredPerSweepJ is the headline
+// ratio: joules of energy answered to clients per joule of sweep work
+// burned — the cache's and single-flight's leverage under the trace.
+type ServerReport struct {
+	CacheHits         uint64              `json:"cache_hits"`
+	CacheMisses       uint64              `json:"cache_misses"`
+	CacheHitRate      float64             `json:"cache_hit_rate"`
+	BreakerTrips      uint64              `json:"breaker_trips"`
+	DegradedServes    uint64              `json:"degraded_serves"`
+	SweepJ            units.Joule         `json:"sweep_j"`
+	AnsweredJ         units.Joule         `json:"answered_j"`
+	AnsweredPerSweepJ float64             `json:"answered_per_sweep_j"`
+	Devices           []serve.DeviceStats `json:"devices"`
+}
+
+// Report is the replayer's machine-readable output.
+type Report struct {
+	Schema            string                    `json:"schema"`
+	TraceName         string                    `json:"trace_name,omitempty"`
+	TraceSeed         int64                     `json:"trace_seed"`
+	Mode              Mode                      `json:"mode"`
+	Speed             float64                   `json:"speed"`
+	Requests          int                       `json:"requests"`
+	TransportFailures int                       `json:"transport_failures"`
+	DegradedResponses int                       `json:"degraded_responses"`
+	Endpoints         map[string]EndpointReport `json:"endpoints"`
+	// DeviceShare is each serving device's fraction of answered
+	// requests, keyed by device ID (the single legacy device reports
+	// under the empty key).
+	DeviceShare map[string]float64 `json:"device_share"`
+	Server      *ServerReport      `json:"server,omitempty"`
+}
+
+// buildReport aggregates the per-request outcomes and the final server
+// snapshot. All maps marshal with sorted keys, so the report bytes are
+// a pure function of the outcomes and the snapshot.
+func buildReport(tr *Trace, mode Mode, speed float64, outs []outcome, srvStats *serve.StatsResponse) *Report {
+	r := &Report{
+		Schema:      ReportSchema,
+		TraceName:   tr.Header.Name,
+		TraceSeed:   tr.Header.Seed,
+		Mode:        mode,
+		Speed:       speed,
+		Requests:    len(outs),
+		Endpoints:   make(map[string]EndpointReport),
+		DeviceShare: make(map[string]float64),
+	}
+	latencies := make(map[string][]float64)
+	answered := 0
+	for _, o := range outs {
+		if o.transportErr {
+			r.TransportFailures++
+			continue
+		}
+		path := o.op.Path()
+		ep := r.Endpoints[path]
+		if ep.ByStatus == nil {
+			ep.ByStatus = make(map[string]int)
+		}
+		ep.Requests++
+		ep.ByStatus[fmt.Sprintf("%d", o.status)]++
+		r.Endpoints[path] = ep
+		latencies[path] = append(latencies[path], float64(o.latency)/float64(time.Millisecond))
+		if o.degraded {
+			r.DegradedResponses++
+		}
+		answered++
+		r.DeviceShare[o.device]++
+	}
+	for path, ep := range r.Endpoints {
+		xs := latencies[path]
+		ep.Latency = LatencySummary{
+			P50MS: stats.Percentile(xs, 0.50),
+			P95MS: stats.Percentile(xs, 0.95),
+			P99MS: stats.Percentile(xs, 0.99),
+			MaxMS: stats.Percentile(xs, 1),
+		}
+		r.Endpoints[path] = ep
+	}
+	if answered > 0 {
+		for dev := range r.DeviceShare {
+			r.DeviceShare[dev] /= float64(answered)
+		}
+	}
+	if srvStats != nil {
+		r.Server = serverReport(srvStats)
+	}
+	return r
+}
+
+// serverReport folds the per-device stats rows into fleet totals.
+func serverReport(s *serve.StatsResponse) *ServerReport {
+	sr := &ServerReport{Devices: s.Devices}
+	for _, d := range s.Devices {
+		sr.CacheHits += d.CacheHits
+		sr.CacheMisses += d.CacheMisses
+		sr.BreakerTrips += d.BreakerOpens
+		sr.DegradedServes += d.DegradedServes
+		sr.SweepJ += d.SweepJ
+		sr.AnsweredJ += d.AnsweredJ
+	}
+	if total := sr.CacheHits + sr.CacheMisses; total > 0 {
+		sr.CacheHitRate = float64(sr.CacheHits) / float64(total)
+	}
+	if sr.SweepJ > 0 {
+		sr.AnsweredPerSweepJ = float64(sr.AnsweredJ) / float64(sr.SweepJ)
+	}
+	return sr
+}
+
+// WriteJSON emits the report indented, with a trailing newline. The
+// encoding is deterministic: map keys sort, struct fields keep
+// declaration order.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

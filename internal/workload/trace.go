@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema is the trace wire-format version. It is the first field of the
+// header line; readers reject traces whose schema they do not speak, so
+// the format can evolve without silently misreplaying old files.
+const Schema = "energytrace/v1"
+
+// Header is the first JSONL line of a trace file.
+type Header struct {
+	Schema    string  `json:"schema"`
+	Name      string  `json:"name,omitempty"`
+	Seed      int64   `json:"seed"`
+	DurationS float64 `json:"duration_s"`
+	Events    int     `json:"events"`
+	// Spec echoes the generating recipe so a trace is self-describing
+	// and exactly regenerable.
+	Spec *Spec `json:"spec,omitempty"`
+}
+
+// Event is one request of the trace: its send offset from trace start,
+// the op class, and the exact JSON body to post. Body bytes are part of
+// the format — replaying a trace must put the same bytes on the wire
+// that the generator committed to, or cache-affinity behavior would
+// drift between replays.
+type Event struct {
+	Index int             `json:"i"`
+	AtS   float64         `json:"t_s"`
+	Op    Op              `json:"op"`
+	Body  json.RawMessage `json:"body"`
+}
+
+// Trace is a parsed trace: the header and its events in send order.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// Write emits the trace as JSONL: the header line, then one line per
+// event, in send order. The encoding is deterministic (struct fields in
+// declaration order, raw bodies verbatim), so Write∘Read and
+// Generate-with-equal-specs are byte-identical.
+func (tr *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(tr.Header); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	for i := range tr.Events {
+		if err := enc.Encode(&tr.Events[i]); err != nil {
+			return fmt.Errorf("workload: writing trace event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// maxTraceLine bounds one JSONL line; bodies are a handful of numbers,
+// so 1 MiB is generous.
+const maxTraceLine = 1 << 20
+
+// Read parses and validates a JSONL trace: schema version, event count,
+// contiguous indices, nondecreasing send offsets, known ops, and
+// well-formed JSON bodies.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxTraceLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("workload: reading trace header: %w", err)
+		}
+		return nil, fmt.Errorf("workload: empty trace file")
+	}
+	var tr Trace
+	if err := json.Unmarshal(sc.Bytes(), &tr.Header); err != nil {
+		return nil, fmt.Errorf("workload: parsing trace header: %w", err)
+	}
+	if tr.Header.Schema != Schema {
+		return nil, fmt.Errorf("workload: trace schema %q, this reader speaks %q", tr.Header.Schema, Schema)
+	}
+	if tr.Header.Events < 0 {
+		return nil, fmt.Errorf("workload: negative event count %d", tr.Header.Events)
+	}
+	tr.Events = make([]Event, 0, tr.Header.Events)
+	prev := 0.0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("workload: parsing trace event %d: %w", len(tr.Events), err)
+		}
+		if ev.Index != len(tr.Events) {
+			return nil, fmt.Errorf("workload: trace event %d carries index %d", len(tr.Events), ev.Index)
+		}
+		if ev.AtS < prev {
+			return nil, fmt.Errorf("workload: trace event %d at %gs precedes event %d at %gs", ev.Index, ev.AtS, ev.Index-1, prev)
+		}
+		prev = ev.AtS
+		if ev.Op.Path() == "" {
+			return nil, fmt.Errorf("workload: trace event %d has unknown op %q", ev.Index, ev.Op)
+		}
+		if !json.Valid(ev.Body) {
+			return nil, fmt.Errorf("workload: trace event %d body is not valid JSON", ev.Index)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(tr.Events) != tr.Header.Events {
+		return nil, fmt.Errorf("workload: header declares %d events, file holds %d", tr.Header.Events, len(tr.Events))
+	}
+	return &tr, nil
+}

@@ -1,0 +1,399 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dvfsroofline/internal/serve"
+)
+
+// testSpec is a small spec that generates quickly but exercises every
+// arrival-process feature: diurnal modulation, bursts, and a multi-class
+// merge.
+func testSpec(seed int64) Spec {
+	return Spec{
+		Name:      "test",
+		Seed:      seed,
+		DurationS: 3,
+		Classes: []ClassSpec{
+			{Op: OpPredict, BaseRate: 10, DiurnalAmp: 0.5, DiurnalPeriodS: 7, BurstsPerS: 0.2, BurstDurS: 1, BurstBoost: 3},
+			{Op: OpAutotune, BaseRate: 4, DiurnalAmp: 0.3, DiurnalPeriodS: 11, DiurnalPhase: 1.1},
+			{Op: OpFleetPredict, BaseRate: 3},
+		},
+		ProfileSizes: []int{64, 128},
+	}
+}
+
+func mustGenerate(t *testing.T, spec Spec) *Trace {
+	t.Helper()
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return tr
+}
+
+func encode(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// Same spec, same bytes: the tentpole determinism property.
+func TestGenerateDeterministic(t *testing.T) {
+	a := encode(t, mustGenerate(t, testSpec(11)))
+	b := encode(t, mustGenerate(t, testSpec(11)))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two generations of an equal spec differ:\n%d bytes vs %d bytes", len(a), len(b))
+	}
+	c := encode(t, mustGenerate(t, testSpec(12)))
+	if bytes.Equal(a, c) {
+		t.Fatalf("different seeds produced identical traces")
+	}
+	tr := mustGenerate(t, testSpec(11))
+	if len(tr.Events) == 0 {
+		t.Fatalf("empty trace")
+	}
+	if tr.Header.Events != len(tr.Events) {
+		t.Fatalf("header declares %d events, trace holds %d", tr.Header.Events, len(tr.Events))
+	}
+}
+
+// Removing one class must not perturb another class's stream: seeds are
+// identity-derived (op code), not position-derived.
+func TestGenerateClassStreamsIndependent(t *testing.T) {
+	full := mustGenerate(t, testSpec(11))
+	solo := testSpec(11)
+	solo.Classes = solo.Classes[:1] // OpPredict only
+	alone := mustGenerate(t, solo)
+
+	var fromFull []Event
+	for _, ev := range full.Events {
+		if ev.Op == OpPredict {
+			fromFull = append(fromFull, ev)
+		}
+	}
+	if len(fromFull) != len(alone.Events) {
+		t.Fatalf("predict stream length changed: %d with siblings, %d alone", len(fromFull), len(alone.Events))
+	}
+	for i := range alone.Events {
+		if fromFull[i].AtS != alone.Events[i].AtS || !bytes.Equal(fromFull[i].Body, alone.Events[i].Body) {
+			t.Fatalf("predict event %d differs when sibling classes are removed", i)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := encode(t, mustGenerate(t, testSpec(11)))
+	tr, err := Read(bytes.NewReader(orig))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	again := encode(t, tr)
+	if !bytes.Equal(orig, again) {
+		t.Fatalf("Write ∘ Read is not the identity")
+	}
+}
+
+func TestTraceEventsOrderedAndWellFormed(t *testing.T) {
+	tr := mustGenerate(t, testSpec(11))
+	prev := 0.0
+	for i, ev := range tr.Events {
+		if ev.Index != i {
+			t.Fatalf("event %d carries index %d", i, ev.Index)
+		}
+		if ev.AtS < prev {
+			t.Fatalf("event %d at %gs precedes predecessor at %gs", i, ev.AtS, prev)
+		}
+		prev = ev.AtS
+		if ev.AtS < 0 || ev.AtS >= tr.Header.DurationS {
+			t.Fatalf("event %d offset %gs outside [0, %gs)", i, ev.AtS, tr.Header.DurationS)
+		}
+		if !json.Valid(ev.Body) {
+			t.Fatalf("event %d body is not JSON", i)
+		}
+	}
+}
+
+func TestReadRejectsMalformedTraces(t *testing.T) {
+	header := `{"schema":"energytrace/v1","seed":1,"duration_s":1,"events":1}`
+	cases := map[string]string{
+		"empty file":      "",
+		"wrong schema":    `{"schema":"energytrace/v99","seed":1,"duration_s":1,"events":0}`,
+		"bad index":       header + "\n" + `{"i":7,"t_s":0.5,"op":"predict","body":{}}`,
+		"unknown op":      header + "\n" + `{"i":0,"t_s":0.5,"op":"teleport","body":{}}`,
+		"count mismatch":  header + "\n",
+		"time regression": strings.Replace(header, `"events":1`, `"events":2`, 1) + "\n" + `{"i":0,"t_s":0.9,"op":"predict","body":{}}` + "\n" + `{"i":1,"t_s":0.1,"op":"predict","body":{}}`,
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted a malformed trace", name)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Seed = 0 },
+		func(s *Spec) { s.DurationS = -1 },
+		func(s *Spec) { s.Classes = nil },
+		func(s *Spec) { s.Classes = append(s.Classes, s.Classes[0]) },
+		func(s *Spec) { s.Classes[0].BaseRate = 0 },
+		func(s *Spec) { s.Classes[0].DiurnalAmp = 1 },
+		func(s *Spec) { s.Classes[0].BurstsPerS = 0.1; s.Classes[0].BurstDurS = 0 },
+		func(s *Spec) { s.ProfileSizes = []int{4} },
+	}
+	for i, mutate := range bad {
+		s := testSpec(11)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a bad spec", i)
+		}
+	}
+	if err := DefaultSpec(1, 30).Validate(); err != nil {
+		t.Errorf("DefaultSpec does not validate: %v", err)
+	}
+}
+
+// seqTarget records the order requests arrive in; bodies carry their
+// trace index as {"k":N}.
+type seqTarget struct {
+	mu    sync.Mutex
+	order []int
+	done  atomic.Int64
+}
+
+func (s *seqTarget) Do(ctx context.Context, op Op, query string, body []byte) (int, string, []byte, error) {
+	var v struct {
+		K int `json:"k"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return 0, "", nil, err
+	}
+	s.mu.Lock()
+	s.order = append(s.order, v.K)
+	s.mu.Unlock()
+	s.done.Add(1)
+	return http.StatusOK, "dev-x", []byte(`{}`), nil
+}
+
+func (s *seqTarget) Stats(ctx context.Context) (*serve.StatsResponse, error) { return nil, nil }
+
+// Scaled-rate open replay preserves trace order and hits the scaled
+// send offsets. The virtual clock advances only inside Sleep, and Sleep
+// waits for every dispatched request to land first — so with strictly
+// increasing offsets the pacing is fully deterministic.
+func TestReplayOpenScaledPreservesOrder(t *testing.T) {
+	const n = 40
+	const speed = 2.0
+	tr := &Trace{Header: Header{Schema: Schema, Seed: 1, DurationS: float64(n), Events: n}}
+	for i := 0; i < n; i++ {
+		tr.Events = append(tr.Events, Event{
+			Index: i,
+			AtS:   0.5 + float64(i), // strictly increasing, all positive
+			Op:    OpPredict,
+			Body:  json.RawMessage(fmt.Sprintf(`{"k":%d}`, i)),
+		})
+	}
+
+	tgt := &seqTarget{}
+	var mu sync.Mutex
+	now := time.Unix(0, 0).UTC()
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	sleeps := 0
+	var wake []time.Duration
+	sleep := func(d time.Duration) {
+		// Drain every in-flight request before letting time advance:
+		// exactly one Sleep happens per event, so the expected completion
+		// count is the Sleep ordinal.
+		for tgt.done.Load() != int64(sleeps) {
+			runtime.Gosched()
+		}
+		sleeps++
+		mu.Lock()
+		now = now.Add(d)
+		wake = append(wake, now.Sub(time.Unix(0, 0).UTC()))
+		mu.Unlock()
+	}
+
+	rep, err := Replay(context.Background(), tr, tgt, ReplayOptions{
+		Mode: ModeOpen, Speed: speed, Now: clock, Sleep: sleep,
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+
+	if len(tgt.order) != n {
+		t.Fatalf("target saw %d requests, want %d", len(tgt.order), n)
+	}
+	for i, k := range tgt.order {
+		if k != i {
+			t.Fatalf("request %d arrived out of order (saw trace index %d)", i, k)
+		}
+	}
+	if len(wake) != n {
+		t.Fatalf("pacing slept %d times, want once per event (%d)", len(wake), n)
+	}
+	for i, w := range wake {
+		want := time.Duration(tr.Events[i].AtS / speed * float64(time.Second))
+		if w != want {
+			t.Fatalf("event %d dispatched at virtual %v, want %v (AtS/speed)", i, w, want)
+		}
+	}
+	if rep.Requests != n || rep.TransportFailures != 0 {
+		t.Fatalf("report: %d requests, %d transport failures", rep.Requests, rep.TransportFailures)
+	}
+	if rep.Endpoints["/v1/predict"].Requests != n {
+		t.Fatalf("endpoint report lost requests: %+v", rep.Endpoints)
+	}
+	if got := rep.DeviceShare["dev-x"]; got != 1 {
+		t.Fatalf("device share = %v, want all on dev-x", rep.DeviceShare)
+	}
+}
+
+// scriptTarget is a deterministic fake server: every 3rd autotune is
+// degraded, devices alternate, one op class always fails transport.
+type scriptTarget struct {
+	calls int
+}
+
+func (s *scriptTarget) Do(ctx context.Context, op Op, query string, body []byte) (int, string, []byte, error) {
+	s.calls++
+	if op == OpFleetPredict {
+		return 0, "", nil, fmt.Errorf("scripted transport failure")
+	}
+	dev := "dev-a"
+	if s.calls%2 == 0 {
+		dev = "dev-b"
+	}
+	resp := []byte(`{}`)
+	if op == OpAutotune && s.calls%3 == 0 {
+		resp = []byte(`{"degraded":true}`)
+	}
+	return http.StatusOK, dev, resp, nil
+}
+
+func (s *scriptTarget) Stats(ctx context.Context) (*serve.StatsResponse, error) {
+	return &serve.StatsResponse{
+		Devices: []serve.DeviceStats{
+			{DeviceID: "dev-a", CacheHits: 6, CacheMisses: 2, BreakerOpens: 1, DegradedServes: 3, SweepJ: 4, AnsweredJ: 10},
+			{DeviceID: "dev-b", CacheHits: 2, CacheMisses: 2, SweepJ: 1, AnsweredJ: 2},
+		},
+	}, nil
+}
+
+// Sync replay with a step clock is byte-deterministic end to end.
+func TestReplaySyncReportDeterministic(t *testing.T) {
+	tr := mustGenerate(t, testSpec(11))
+	run := func() []byte {
+		clk := NewStepClock(time.Millisecond)
+		rep, err := Replay(context.Background(), tr, &scriptTarget{}, ReplayOptions{Mode: ModeSync, Now: clk.Now})
+		if err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two sync replays of one trace differ:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+
+	var rep Report
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.Requests != len(tr.Events) {
+		t.Fatalf("report counts %d requests, trace has %d", rep.Requests, len(tr.Events))
+	}
+	if rep.TransportFailures == 0 {
+		t.Fatalf("scripted fleet_predict transport failures not counted")
+	}
+	if rep.DegradedResponses == 0 {
+		t.Fatalf("scripted degraded autotunes not counted")
+	}
+	if _, ok := rep.Endpoints["/v1/fleet/predict"]; ok {
+		t.Fatalf("transport failures must not produce endpoint rows")
+	}
+	var share float64
+	for _, f := range rep.DeviceShare {
+		share += f
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("device shares sum to %g, want 1", share)
+	}
+	srv := rep.Server
+	if srv == nil {
+		t.Fatalf("server snapshot missing from report")
+	}
+	if srv.CacheHits != 8 || srv.CacheMisses != 4 {
+		t.Fatalf("server totals misfolded: %+v", srv)
+	}
+	if want := 8.0 / 12.0; srv.CacheHitRate != want {
+		t.Fatalf("hit rate %g, want %g", srv.CacheHitRate, want)
+	}
+	if srv.BreakerTrips != 1 || srv.DegradedServes != 3 {
+		t.Fatalf("breaker/degraded totals misfolded: %+v", srv)
+	}
+	if want := 12.0 / 5.0; srv.AnsweredPerSweepJ != want {
+		t.Fatalf("answered-per-sweep %g, want %g", srv.AnsweredPerSweepJ, want)
+	}
+}
+
+func TestReplayRouteQueryReachesFleetPredict(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Schema: Schema, Seed: 1, DurationS: 1, Events: 2},
+		Events: []Event{
+			{Index: 0, AtS: 0, Op: OpFleetPredict, Body: json.RawMessage(`{}`)},
+			{Index: 1, AtS: 0.5, Op: OpPredict, Body: json.RawMessage(`{}`)},
+		},
+	}
+	var queries []string
+	tgt := targetFunc(func(ctx context.Context, op Op, query string, body []byte) (int, string, []byte, error) {
+		queries = append(queries, query)
+		return http.StatusOK, "", []byte(`{}`), nil
+	})
+	clk := NewStepClock(0)
+	if _, err := Replay(context.Background(), tr, tgt, ReplayOptions{Route: "least_loaded", Now: clk.Now}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if queries[0] != "?route=least_loaded" {
+		t.Fatalf("fleet_predict query = %q, want ?route=least_loaded", queries[0])
+	}
+	if queries[1] != "" {
+		t.Fatalf("route selector leaked onto %s: %q", OpPredict.Path(), queries[1])
+	}
+}
+
+type targetFunc func(ctx context.Context, op Op, query string, body []byte) (int, string, []byte, error)
+
+func (f targetFunc) Do(ctx context.Context, op Op, query string, body []byte) (int, string, []byte, error) {
+	return f(ctx, op, query, body)
+}
+func (f targetFunc) Stats(ctx context.Context) (*serve.StatsResponse, error) { return nil, nil }
+
+func TestStepClockAdvancesPerRead(t *testing.T) {
+	clk := NewStepClock(time.Second)
+	a, b := clk.Now(), clk.Now()
+	if got := b.Sub(a); got != time.Second {
+		t.Fatalf("consecutive reads %v apart, want 1s", got)
+	}
+}
