@@ -534,6 +534,89 @@ func BenchmarkFleetPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetMembershipChurn measures fleet predict throughput while
+// the membership churns underneath it: a background churner adds a
+// calibrated device and drains it back out, over and over, forcing an
+// epoch swap (ring rebuild + snapshot publish) per lap. The reported
+// ns/op is the predict path's cost under that churn — the immutable-view
+// design means readers never block on the membership lock, so this
+// should stay within noise of BenchmarkFleetPredict at the same fleet
+// size.
+func BenchmarkFleetMembershipChurn(b *testing.B) {
+	bodies := make([][]byte, 8)
+	for i := range bodies {
+		bodies[i] = []byte(fmt.Sprintf(
+			`{"profile": {"dp_fma": %g, "int": 5e8, "dram_words": 2e8}, "setting_id": "S1", "time_s": 0.5}`,
+			1e9+1e8*float64(i)))
+	}
+	fc := fleet.FleetConfig{Seed: 42}
+	for i := 0; i < 4; i++ {
+		fc.Devices = append(fc.Devices, fleet.Spec{
+			ID: fmt.Sprintf("dev-%02d", i),
+			Params: fleet.ParamsJSON{
+				SPpJ:  units.PicoJoulePerOpPerVoltSq(27.33 + 0.5*float64(i)),
+				MiscW: units.Watt(0.15 + 0.01*float64(i)),
+			},
+		})
+	}
+	reg, err := fleet.Build(fc, benchCfg(), nil, fleet.NodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := serve.NewFleet(reg, serve.Options{}).Handler()
+
+	// The churner re-uses one calibration: building a node is cheap, the
+	// campaign is not, and the epoch swap under test doesn't care.
+	adm := fleet.Admin{FleetSeed: fleet.ResolveSeed(fc, benchCfg()), Base: benchCfg()}
+	spec := fleet.Spec{ID: "churn-0"}
+	cal, err := adm.Calibrate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n, err := adm.BuildNode(spec)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			n.SetCalibration(cal)
+			if err := reg.Add(n, fleet.StateActive); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := reg.Drain(context.Background(), spec.ID); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/fleet/predict", bytes.NewReader(bodies[i%len(bodies)]))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		// Requests racing a drain may land 503 between the ring swap and
+		// the next route; anything else is a bug.
+		if w.Code != http.StatusOK && w.Code != http.StatusServiceUnavailable {
+			b.Fatalf("fleet predict under churn = %d: %s", w.Code, w.Body)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 // BenchmarkM2LBatched completes the M2L ablation: per-pair matvec vs
 // offset-batched GEMM vs FFT (see BenchmarkM2LDense / BenchmarkM2LFFT).
 func BenchmarkM2LBatched(b *testing.B) {

@@ -45,6 +45,7 @@ import (
 	"dvfsroofline/internal/cli"
 	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/serve"
+	"dvfsroofline/internal/units"
 )
 
 func main() {
@@ -57,6 +58,14 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive sweep failures that open a device's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open period before a breaker allows a probe sweep")
 	forceDegraded := flag.Bool("force-degraded", false, "pin the sweep breakers open at startup (degraded-mode drill)")
+	admin := flag.Bool("admin", true, "enable the fleet membership API (POST/DELETE /v1/fleet/devices; fleet mode only)")
+	drainDeadline := flag.Duration("drain-deadline", 30*time.Second, "default deadline a DELETE ?mode=drain waits for a device's in-flight requests")
+	healthInterval := flag.Duration("health-interval", 15*time.Second, "health loop tick period (quarantine + probe; fleet mode only); 0 disables")
+	quarantineAfter := flag.Int("quarantine-after", 2, "consecutive health ticks with an open breaker before a device is quarantined")
+	probeBackoff := flag.Duration("probe-backoff", 30*time.Second, "base wait before a quarantined device's first recovery probe (doubles per failure)")
+	driftThreshold := flag.Float64("drift-threshold", 0.75, "CUSUM threshold on accumulated relative residual before recalibration; 0 disables the drift watchdog")
+	driftSlack := flag.Float64("drift-slack", 0.05, "per-observation relative residual absorbed before drift accumulates")
+	driftWindow := flag.Int("drift-window", 32, "sweep candidates folded into the drift statistic per observation")
 	app.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -74,17 +83,54 @@ func main() {
 	cfg.OnProgress = nil
 
 	var s *serve.Server
+	var reg *fleet.Registry
 	if *fleetPath != "" {
 		fc, err := fleet.LoadConfig(*fleetPath)
 		app.Check(err)
-		reg, err := fleet.Build(fc, cfg, cli.LoadCalibration, opts.NodeOptions())
+		reg, err = fleet.Build(fc, cfg, cli.LoadCalibration, opts.NodeOptions())
 		app.Check(err)
 		for _, n := range reg.Nodes() {
 			log.Printf("device %q ready: %d samples, seed %d, grids cal=%d full=%d",
-				n.ID, len(n.Cal.Samples), n.Cfg.Seed, len(n.Grids["calibration"]), len(n.Grids["full"]))
+				n.ID, len(n.Cal().Samples), n.Cfg.Seed, len(n.Grids["calibration"]), len(n.Grids["full"]))
+		}
+		fleetSeed := fleet.ResolveSeed(fc, cfg)
+		if *admin {
+			opts.Admin = &fleet.Admin{
+				FleetSeed: fleetSeed,
+				Base:      cfg,
+				Load:      cli.LoadCalibration,
+				Node:      opts.NodeOptions(),
+			}
+			opts.DrainDeadline = *drainDeadline
+		}
+		if *driftThreshold > 0 {
+			opts.Drift = &fleet.DriftConfig{
+				Window:    *driftWindow,
+				Slack:     units.Ratio(*driftSlack),
+				Threshold: units.Ratio(*driftThreshold),
+			}
 		}
 		s = serve.NewFleet(reg, opts)
-		log.Printf("fleet ready: %d devices", reg.Len())
+		log.Printf("fleet ready: %d devices (admin=%v, drift=%v)", reg.Len(), *admin, *driftThreshold > 0)
+		if *healthInterval > 0 {
+			health := fleet.NewHealth(reg, fleet.HealthConfig{
+				QuarantineAfter: *quarantineAfter,
+				ProbeBackoff:    *probeBackoff,
+				Seed:            fleetSeed,
+			}, nil)
+			go func() {
+				t := time.NewTicker(*healthInterval)
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case now := <-t.C:
+						health.Tick(ctx, now)
+					}
+				}
+			}()
+		}
 	} else {
 		dev := app.Device()
 		cal, err := app.Calibrate(ctx, dev)
@@ -102,5 +148,17 @@ func main() {
 	log.Printf("listening on http://%s (endpoints: /v1/predict /v1/autotune /v1/calibration /v1/fleet/predict /v1/fleet/place /v1/fleet/devices /healthz /readyz /metrics)", l.Addr())
 
 	app.Check(serve.Run(ctx, l, s.Handler(), *drain))
+	if reg != nil {
+		// The listener is closed and its handlers have finished; drain
+		// the whole fleet so device-level in-flight work (background
+		// recalibrations aside) is accounted for before exit.
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if reg.DrainAll(dctx) {
+			log.Printf("fleet drained")
+		} else {
+			log.Printf("fleet drain deadline expired with requests in flight")
+		}
+		cancel()
+	}
 	log.Printf("drained, bye")
 }

@@ -63,10 +63,10 @@ func TestFleetConfigBoots(t *testing.T) {
 	}
 	seen := map[int64]bool{}
 	for _, n := range reg.Nodes() {
-		if len(n.Cal.Samples) == 0 {
+		if len(n.Cal().Samples) == 0 {
 			t.Errorf("device %q has no calibration samples", n.ID)
 		}
-		if m := n.Cal.KFold.Percent().Mean; m > 1e-6 {
+		if m := n.Cal().KFold.Percent().Mean; m > 1e-6 {
 			t.Errorf("device %q synthetic calibration CV mean %g%%, want ~0", n.ID, m)
 		}
 		if seen[n.Cfg.Seed] {

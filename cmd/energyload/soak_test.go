@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,6 +12,7 @@ import (
 
 	"dvfsroofline/internal/experiments"
 	"dvfsroofline/internal/faults"
+	"dvfsroofline/internal/fleet"
 	"dvfsroofline/internal/serve"
 	"dvfsroofline/internal/tegra"
 	"dvfsroofline/internal/workload"
@@ -199,5 +201,242 @@ func TestCLIGenAndReplayDeterministic(t *testing.T) {
 	}
 	if devs != 3 {
 		t.Fatalf("device share covers %d devices, want 3: %v", devs, rep.DeviceShare)
+	}
+}
+
+// ---- Membership chaos soak ----------------------------------------------
+//
+// The same checked-in trace, replayed against a 3-device fleet whose
+// membership churns mid-flight: a device is added live (and serves), a
+// device sickens and is quarantined then probed back to health, a
+// device's hardware drifts and is recalibrated by the watchdog, and the
+// added device is drained out again. Everything — probe backoff jitter,
+// drift firing, recalibration constants — derives from fixed seeds and
+// a shared step clock, so two runs produce byte-identical reports.
+
+// membershipHarness is one fully-wired chaos soak instance.
+type membershipHarness struct {
+	clk    *workload.StepClock
+	reg    *fleet.Registry
+	health *fleet.Health
+	target workload.HandlerTarget
+	plan   *workload.ChurnPlan
+	extras map[string]int // hook-issued requests per endpoint label
+}
+
+func newMembershipHarness(t *testing.T) *membershipHarness {
+	t.Helper()
+	clk := workload.NewStepClock(time.Millisecond)
+	fc := fleet.FleetConfig{Seed: 42, Devices: []fleet.Spec{
+		{ID: "soak-a"},
+		{ID: "soak-b", Params: fleet.ParamsJSON{LeakProcWpV: 3.55}},
+		{ID: "soak-c", Params: fleet.ParamsJSON{SPpJ: 22.1}},
+	}}
+	base := experiments.Config{Seed: 42}
+	opts := serve.Options{
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Minute,
+		Clock:            clk.Now,
+		DrainDeadline:    time.Second,
+		Drift: &fleet.DriftConfig{
+			// Slack sits above the healthy fleet's systematic residual
+			// (the non-ideal simulator runs ~5% hot against the synthetic
+			// fit) so only injected drift accumulates.
+			Window: 32, Slack: 0.10, Threshold: 0.75,
+		},
+		SyncRecalibrate: true,
+	}
+	reg, err := fleet.Build(fc, base, nil, opts.NodeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Admin = &fleet.Admin{
+		FleetSeed: fleet.ResolveSeed(fc, base),
+		Base:      base,
+		Node:      opts.NodeOptions(),
+	}
+	srv := serve.NewFleet(reg, opts)
+	h := &membershipHarness{
+		clk:    clk,
+		reg:    reg,
+		target: workload.HandlerTarget{Handler: srv.Handler()},
+		extras: make(map[string]int),
+	}
+	// Probe backoffs are tiny because the step clock advances ~4 virtual
+	// ms per replayed event: 10 ms keeps the whole quarantine -> probe ->
+	// recovery arc inside the 400-event trace.
+	h.health = fleet.NewHealth(reg, fleet.HealthConfig{
+		QuarantineAfter: 2,
+		ProbeBackoff:    10 * time.Millisecond,
+		ProbeBackoffMax: 40 * time.Millisecond,
+		Seed:            42,
+	}, nil)
+	h.plan = &workload.ChurnPlan{Steps: []workload.ChurnStep{
+		// A fourth device joins live and starts serving ring keys.
+		{Before: 20, Action: "add", Spec: json.RawMessage(`{"id": "soak-added", "params": {"misc_w": 0.3}}`)},
+		// soak-b sickens: breaker pinned open (serving degrades but never
+		// errors) and its meter drops off the bus so recovery probes fail.
+		{Before: 40, Action: "call", Run: func(ctx context.Context) error {
+			n, _ := reg.Get("soak-b")
+			n.Breaker.ForceOpen(true)
+			n.Cfg.Faults = faults.Plan{MeterDisconnect: 1, Seed: 9}
+			return nil
+		}},
+		// soak-b heals: the next due probe measures a real sweep and
+		// brings it back to active.
+		{Before: 80, Action: "call", Run: func(ctx context.Context) error {
+			n, _ := reg.Get("soak-b")
+			n.Breaker.ForceOpen(false)
+			n.Cfg.Faults = faults.Plan{}
+			return nil
+		}},
+		// soak-c's hardware drifts under a sustained thermal event: the
+		// clocks throttle deep and the heat-soaked sense path reads hot
+		// (a gain error), so measured energy diverges decisively from the
+		// calibrated model. A fresh placement sweep carries the signal to
+		// the watchdog, which must recalibrate exactly once, synchronously,
+		// mid-trace — the refit constants then describe the device as it
+		// now behaves, so the watchdog quiets down again.
+		{Before: 100, Action: "call", Run: func(ctx context.Context) error {
+			n, _ := reg.Get("soak-c")
+			n.Cfg.Faults = faults.Plan{Throttle: 1, ThrottleFactor: 0.05, ThrottleFraction: 1, MeterSpike: 1, SpikeFactor: 4, Seed: 5}
+			h.extras["/v1/fleet/place"]++
+			status, body, err := h.target.Admin(ctx, "POST", "/v1/fleet/place",
+				[]byte(`{"profile": {"sp": 9.5e8, "int": 3.1e8, "dram_words": 1.7e8}, "occupancy": 0.55}`))
+			if err != nil {
+				return err
+			}
+			if status != 200 {
+				return fmt.Errorf("drift-trigger place = %d: %s", status, body)
+			}
+			return nil
+		}},
+		// The live-added device drains back out.
+		{Before: 160, Action: "drain", Device: "soak-added"},
+	}}
+	return h
+}
+
+// replayMembershipSoak runs the chaos soak once and returns the report
+// bytes plus the harness for post-mortem assertions.
+func replayMembershipSoak(t *testing.T) ([]byte, *membershipHarness) {
+	t.Helper()
+	tr := readSoakTrace(t)
+	h := newMembershipHarness(t)
+	ctx := context.Background()
+	churn := h.plan.Hook(ctx, h.target)
+	rep, err := workload.Replay(ctx, tr, h.target, workload.ReplayOptions{
+		Mode: workload.ModeSync,
+		Now:  h.clk.Now,
+		BeforeEvent: func(i int) error {
+			if i%10 == 0 {
+				h.health.Tick(ctx, h.clk.Now())
+			}
+			return churn(i)
+		},
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), h
+}
+
+// Determinism first: the full churn arc — add, quarantine, probe,
+// recalibrate, drain — replays byte-identically under one seed set.
+func TestMembershipSoakByteIdentical(t *testing.T) {
+	a, _ := replayMembershipSoak(t)
+	b, _ := replayMembershipSoak(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two chaos replays against identically-seeded fleets differ:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+}
+
+// The chaos contract: mid-trace membership churn may degrade requests
+// (503) or orphan pinned ones (404) but never surface any other
+// failure, and the client report plus the hook's own admin traffic must
+// reconcile exactly with the server's counters.
+func TestMembershipSoakChaos(t *testing.T) {
+	raw, h := replayMembershipSoak(t)
+	var rep workload.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.TransportFailures != 0 {
+		t.Fatalf("%d transport failures against an in-process handler", rep.TransportFailures)
+	}
+	allowed := map[string]bool{"200": true, "201": true, "202": true, "404": true, "503": true}
+	for path, ep := range rep.Endpoints {
+		for code, n := range ep.ByStatus {
+			if !allowed[code] {
+				t.Errorf("%s answered %d requests with disallowed status %s", path, n, code)
+			}
+		}
+	}
+
+	// The live-added device actually served trace traffic while it was a
+	// member.
+	if rep.DeviceShare["soak-added"] <= 0 {
+		t.Errorf("live-added device served no requests: share %v", rep.DeviceShare)
+	}
+
+	// Exact reconciliation: every server-counted request is either a
+	// trace event or a hook-issued admin call.
+	stats, err := h.target.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookIssued := map[string]int{
+		"/v1/fleet/devices":      h.plan.Issued["/v1/fleet/devices"],
+		"/v1/fleet/devices/{id}": h.plan.Issued["/v1/fleet/devices/{id}"],
+	}
+	for path, n := range h.extras {
+		hookIssued[path] += n
+	}
+	for path, srvEp := range stats.Endpoints {
+		if path == "/v1/stats" {
+			continue // the reconciliation reads themselves
+		}
+		want := rep.Endpoints[path].Requests + hookIssued[path]
+		if int(srvEp.Requests) != want {
+			t.Errorf("%s: server counted %d, client sent %d trace + %d hook",
+				path, srvEp.Requests, rep.Endpoints[path].Requests, hookIssued[path])
+		}
+	}
+	if h.plan.Issued["/v1/fleet/devices"] != 1 || h.plan.Issued["/v1/fleet/devices/{id}"] != 1 {
+		t.Errorf("churn plan issued %v, want one add and one remove", h.plan.Issued)
+	}
+
+	// Final membership: the added device is gone, the original three are
+	// active again, and the registry epoch moved with the churn.
+	if stats.States["active"] != 3 || len(stats.Devices) != 3 {
+		t.Fatalf("final states %v over %d devices, want 3 active", stats.States, len(stats.Devices))
+	}
+	byID := make(map[string]serve.DeviceStats, len(stats.Devices))
+	for _, d := range stats.Devices {
+		byID[d.DeviceID] = d
+	}
+	if _, ok := byID["soak-added"]; ok {
+		t.Error("drained device still in the final stats")
+	}
+	// soak-b went through exactly one quarantine spell and recovered.
+	if b := byID["soak-b"]; b.Quarantines != 1 || b.State != "active" || b.Breaker != "closed" {
+		t.Errorf("soak-b = %+v, want one quarantine, active, closed breaker", b)
+	}
+	// soak-c's drift fired exactly one recalibration; the constants
+	// swapped under a new generation.
+	if c := byID["soak-c"]; c.Recalibrations != 1 || c.CalGeneration != 2 {
+		t.Errorf("soak-c = %+v, want exactly one recalibration at generation 2", c)
+	}
+	nc, _ := h.reg.Get("soak-c")
+	if nc.RecalFailures() != 0 {
+		t.Errorf("soak-c recorded %d recalibration failures", nc.RecalFailures())
+	}
+	// Untouched device: no lifecycle events at all.
+	if a := byID["soak-a"]; a.Quarantines != 0 || a.Recalibrations != 0 || a.CalGeneration != 1 {
+		t.Errorf("soak-a = %+v, want no lifecycle churn", a)
 	}
 }

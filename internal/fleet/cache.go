@@ -41,6 +41,12 @@ type Cache struct {
 	ll      *list.List               // front = most recently used
 	items   map[string]*list.Element // key -> element whose Value is *cacheEntry
 	flights map[string]*flight
+
+	// Close support: a removed device's cache settles everything and
+	// refuses new work, so nothing keeps a departed node's sweeps alive.
+	closed   bool
+	closeErr error
+	closedCh chan struct{}
 }
 
 type cacheEntry struct {
@@ -61,11 +67,32 @@ func NewCache(capacity int) *Cache {
 		capacity = 1
 	}
 	return &Cache{
-		cap:     capacity,
-		ll:      list.New(),
-		items:   make(map[string]*list.Element),
-		flights: make(map[string]*flight),
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+		closedCh: make(chan struct{}),
 	}
+}
+
+// Close shuts the cache down on behalf of a device leaving the fleet:
+// the LRU is freed, new Do/Put calls fail fast with err, and every
+// waiter currently joined to an in-flight computation is released with
+// err instead of blocking on a flight whose owner may never report.
+// Owners already inside fn run to completion (they hold real resources)
+// but their results are discarded. Close is idempotent; the first
+// error wins.
+func (c *Cache) Close(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	close(c.closedCh)
 }
 
 // Do returns the cached value for key, or runs fn to compute it. hit
@@ -86,6 +113,11 @@ func NewCache(capacity int) *Cache {
 // ErrFlightPanic (wrapped in ErrShared).
 func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		return nil, false, err
+	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		v := el.Value.(*cacheEntry).val
@@ -100,6 +132,11 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val
 				return nil, false, fmt.Errorf("%w: %w", ErrShared, f.err)
 			}
 			return f.val, true, nil
+		case <-c.closedCh:
+			c.mu.Lock()
+			err := c.closeErr
+			c.mu.Unlock()
+			return nil, false, err
 		case <-ctx.Done():
 			return nil, false, fmt.Errorf("%w: %w", ErrWaiterAbandoned, ctx.Err())
 		}
@@ -141,8 +178,11 @@ func (c *Cache) Put(key string, val any) {
 }
 
 // insert stores a value, evicting the least recently used entry when the
-// cache is full. Callers hold c.mu.
+// cache is full. Callers hold c.mu. Inserts after Close are dropped.
 func (c *Cache) insert(key string, val any) {
+	if c.closed {
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).val = val
 		c.ll.MoveToFront(el)

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dvfsroofline/internal/core"
+	"dvfsroofline/internal/counters"
+	"dvfsroofline/internal/faults"
+	"dvfsroofline/internal/units"
+)
+
+func TestDriftCUSUMAccumulatesOneSidedBias(t *testing.T) {
+	var w driftWatch
+	// Symmetric noise at the slack magnitude never fires.
+	for i := 0; i < 500; i++ {
+		r := 0.08
+		if i%2 == 1 {
+			r = -0.08
+		}
+		if w.observe(r, 0.05, 1.0) {
+			t.Fatalf("symmetric noise fired the watchdog at observation %d", i)
+		}
+	}
+	// Sustained +15% bias with 5% slack accumulates 0.10 per observation:
+	// the 500 alternating observations left at most ~0.03 on each side,
+	// so the threshold crosses on observation 10 or 11.
+	w.reset()
+	fired := -1
+	for i := 0; i < 20; i++ {
+		if w.observe(0.15, 0.05, 1.0) {
+			fired = i
+			break
+		}
+	}
+	if fired != 10 {
+		t.Errorf("one-sided bias fired at observation %d, want 10", fired)
+	}
+	// Firing reset the statistic: the next crossing takes as long again.
+	for i := 0; i < 10; i++ {
+		if w.observe(0.15, 0.05, 1.0) && i != 10 {
+			t.Fatalf("post-fire statistic not reset: refired at %d", i)
+		}
+	}
+	// The negative side fires symmetrically (model over-predicts).
+	w.reset()
+	fired = -1
+	for i := 0; i < 20; i++ {
+		if w.observe(-0.15, 0.05, 1.0) {
+			fired = i
+			break
+		}
+	}
+	if fired != 10 {
+		t.Errorf("negative bias fired at observation %d, want 10", fired)
+	}
+}
+
+// TestObserveSweepFiresOnThrottledMeasurements: an injected sustained
+// throttle makes measured energies diverge from the calibrated model,
+// and the watchdog notices from sweep traffic alone.
+func TestObserveSweepFiresOnThrottledMeasurements(t *testing.T) {
+	reg := buildTestFleet(t)
+	n, _ := reg.Get("tk1-a")
+	cal := n.Cal()
+	grid := n.Grids["full"]
+
+	// Honest candidates: measured == predicted, zero residual.
+	p := counters.Profile{SP: 1e9, Int: 4e8, DRAMWords: 1e8}
+	honest := make([]core.Candidate, 0, len(grid))
+	for _, set := range grid {
+		tm := units.Second(0.01)
+		honest = append(honest, core.Candidate{
+			Setting:        set,
+			Profile:        p,
+			Time:           tm,
+			MeasuredEnergy: cal.Model.Predict(p, set, tm),
+		})
+	}
+	cfg := DriftConfig{Window: 64, Slack: 0.05, Threshold: 1.0}
+	for round := 0; round < 5; round++ {
+		if n.ObserveSweep(cfg, honest) {
+			t.Fatal("honest measurements fired the drift watchdog")
+		}
+	}
+
+	// Throttled hardware: everything measures 30% above prediction.
+	drifted := make([]core.Candidate, len(honest))
+	copy(drifted, honest)
+	for i := range drifted {
+		drifted[i].MeasuredEnergy = units.Joule(float64(drifted[i].MeasuredEnergy) / 0.7)
+	}
+	fired := false
+	for round := 0; round < 5 && !fired; round++ {
+		fired = n.ObserveSweep(cfg, drifted)
+	}
+	if !fired {
+		t.Fatal("30% sustained drift never fired the watchdog")
+	}
+
+	// Zero/negative measurements and nil-cal nodes are ignored, not NaN.
+	junk := []core.Candidate{{MeasuredEnergy: 0}, {MeasuredEnergy: -1}}
+	if n.ObserveSweep(cfg, junk) {
+		t.Error("junk candidates fired the watchdog")
+	}
+	bare := &Node{}
+	if bare.ObserveSweep(cfg, honest) {
+		t.Error("calibration-less node fired the watchdog")
+	}
+}
+
+func TestRecalibrationSlotAndGeneration(t *testing.T) {
+	reg := buildTestFleet(t)
+	n, _ := reg.Get("tk1-a")
+	if !n.BeginRecalibration() {
+		t.Fatal("free slot refused")
+	}
+	if n.BeginRecalibration() {
+		t.Fatal("slot double-claimed")
+	}
+	// Failure path: constants and generation stand, failure counted.
+	gen := n.CalGeneration()
+	n.FinishRecalibration(nil, errors.New("campaign died"))
+	if n.CalGeneration() != gen || n.Recalibrations() != 0 || n.RecalFailures() != 1 {
+		t.Fatalf("failed recal: gen=%d recals=%d fails=%d", n.CalGeneration(), n.Recalibrations(), n.RecalFailures())
+	}
+	if !n.BeginRecalibration() {
+		t.Fatal("slot not released after failure")
+	}
+	cal, err := SyntheticCalibration(DeclaredModel(Spec{ID: "tk1-a"}.DeviceParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FinishRecalibration(cal, nil)
+	if n.CalGeneration() != gen+1 || n.Recalibrations() != 1 {
+		t.Fatalf("successful recal: gen=%d recals=%d", n.CalGeneration(), n.Recalibrations())
+	}
+	if n.Cal() != cal {
+		t.Error("new constants did not swap in")
+	}
+}
+
+// TestDefaultRecalibratorRefitsUnderFaults: the recalibration campaign
+// runs the node's own (faulted) config, so the refit constants describe
+// the hardware as it now behaves.
+func TestDefaultRecalibratorRefitsUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full calibration campaign")
+	}
+	reg := buildTestFleet(t)
+	n, _ := reg.Get("tk1-a")
+	n.Cfg.Faults = faults.Plan{Throttle: 1, Seed: 5}
+	cal, err := DefaultRecalibrator(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Samples) == 0 {
+		t.Fatal("recalibration produced no samples")
+	}
+	// A permanently throttled device fits different constants than the
+	// clean boot calibration.
+	if cal.Model == n.Cal().Model {
+		t.Error("throttled refit reproduced the clean constants exactly")
+	}
+}

@@ -10,24 +10,33 @@
 //   - Spec / FleetConfig — JSON device declarations (tegra.DeviceParams
 //     variants with per-device seeds, calibration caches, DVFS bounds).
 //   - Node — one running device: simulator, calibration, per-device
-//     sweep cache and circuit breaker, and a load gauge.
+//     sweep cache and circuit breaker, a load gauge, and a lifecycle
+//     state (see NodeState).
 //   - Registry — the routing layer: deterministic consistent-hash
-//     placement with ring-order failover around open breakers, plus a
-//     least-loaded picker for load-balancing callers.
+//     placement with ring-order failover around open breakers, a
+//     least-loaded picker, and live membership — devices are added,
+//     drained and evicted at runtime through epoch'd immutable ring
+//     snapshots, so in-flight walks never observe a half-built ring.
+//   - Health — breaker-open windows and failed probes quarantine a
+//     device; deterministic exponential-backoff probes bring it back.
+//   - Drift — a per-device CUSUM over measured-vs-predicted residuals
+//     that schedules recalibration when the constants go stale.
 //   - SyntheticCalibration — instant noiseless calibration from declared
 //     parameters, so an N-device fleet boots without N measurement
 //     campaigns.
 //
 // Everything is deterministic: per-device seeds derive from the fleet
 // seed and the device ID (never from registry order), routing is a pure
-// function of the request key and the sorted ID list, and sweeps shard
-// over the experiments worker pool with identity-derived seeds — so a
-// fleet answer is byte-identical at any worker count or routing order.
+// function of the request key and the sorted active ID list, probe
+// backoff jitter derives from MixSeed lineage, and sweeps shard over
+// the experiments worker pool with identity-derived seeds — so a fleet
+// answer is byte-identical at any worker count or routing order.
 package fleet
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,22 +48,36 @@ import (
 
 // Node is one device of the fleet: the simulated board, its fitted
 // calibration, its private sweep cache and circuit breaker, and its
-// setting grids. All fields are read-only after construction; Cache,
-// Breaker and the load gauge synchronize internally.
+// setting grids. Identity fields (ID, Dev, Cfg, Grids, Spec) are
+// read-only after construction; the calibration pointer, lifecycle
+// state, drift detector, Cache, Breaker and the load gauge synchronize
+// internally.
 type Node struct {
 	// ID names the device; the empty ID is reserved for the legacy
 	// single-device mode of internal/serve, which keeps device labels
 	// off every wire format.
 	ID      string
 	Dev     *tegra.Device
-	Cal     *experiments.Calibration
 	Cfg     experiments.Config // per-device seed lineage; OnProgress nil
 	Grids   map[string][]dvfs.Setting
 	Cache   *Cache
 	Breaker *Breaker
 	Spec    Spec
 
+	// cal is the live calibration. It is swapped atomically by
+	// SetCalibration (drift recalibration, add-device activation), so
+	// readers never observe a half-written model; calGen counts swaps.
+	cal    atomic.Pointer[experiments.Calibration]
+	calGen atomic.Uint64
+
+	state    atomic.Int32 // NodeState; transitions go through Registry
 	inflight atomic.Int64
+
+	quarantines atomic.Uint64 // active -> quarantined transitions
+	recals      atomic.Uint64 // completed drift recalibrations
+	recalFails  atomic.Uint64 // recalibration attempts that failed
+	recalBusy   atomic.Bool   // one recalibration in flight at a time
+	drift       driftWatch
 }
 
 // NodeOptions tune the per-device machinery; the zero value selects the
@@ -67,26 +90,67 @@ type NodeOptions struct {
 	Clock            func() time.Time
 }
 
-// NewNode assembles a node from already-built parts. cfg.OnProgress, if
-// set, fires from every sweep this node runs; callers serving
-// concurrent requests should leave it nil.
+// NewNode assembles a node from already-built parts, in the active
+// state. cal may be nil for a device still calibrating (see
+// Registry.Add); it must then be supplied via SetCalibration before the
+// node serves. cfg.OnProgress, if set, fires from every sweep this node
+// runs; callers serving concurrent requests should leave it nil.
 func NewNode(id string, dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config, grids map[string][]dvfs.Setting, opts NodeOptions) *Node {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = 64
 	}
-	return &Node{
+	n := &Node{
 		ID:      id,
 		Dev:     dev,
-		Cal:     cal,
 		Cfg:     cfg,
 		Grids:   grids,
 		Cache:   NewCache(opts.CacheSize),
 		Breaker: NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock),
 	}
+	n.state.Store(int32(StateActive))
+	if cal != nil {
+		n.SetCalibration(cal)
+	}
+	return n
 }
 
+// Cal returns the node's live calibration. It is nil only while the
+// node is still calibrating (a runtime add before activation); serving
+// paths never see a nil calibration because calibrating nodes are kept
+// off the ring.
+func (n *Node) Cal() *experiments.Calibration { return n.cal.Load() }
+
+// SetCalibration atomically swaps the node's calibration and bumps the
+// generation counter. In-flight requests keep the pointer they loaded;
+// the next request scores against the new constants.
+func (n *Node) SetCalibration(cal *experiments.Calibration) {
+	if cal == nil {
+		return
+	}
+	n.cal.Store(cal)
+	n.calGen.Add(1)
+}
+
+// CalGeneration counts calibration swaps: 1 after boot, +1 per
+// recalibration. Stamped on /v1/fleet/devices so operators can tell
+// which constants an answer was served from.
+func (n *Node) CalGeneration() uint64 { return n.calGen.Load() }
+
+// State returns the node's lifecycle state.
+func (n *Node) State() NodeState { return NodeState(n.state.Load()) }
+
+// Quarantines counts the node's active -> quarantined transitions.
+func (n *Node) Quarantines() uint64 { return n.quarantines.Load() }
+
+// Recalibrations counts completed drift recalibrations.
+func (n *Node) Recalibrations() uint64 { return n.recals.Load() }
+
+// RecalFailures counts recalibration attempts that did not land.
+func (n *Node) RecalFailures() uint64 { return n.recalFails.Load() }
+
 // Acquire increments the node's in-flight load gauge and returns the
-// matching release. The least-loaded router reads this gauge.
+// matching release. The least-loaded router and the drain path read
+// this gauge.
 func (n *Node) Acquire() func() {
 	n.inflight.Add(1)
 	return func() { n.inflight.Add(-1) }
@@ -99,13 +163,27 @@ func (n *Node) Load() int64 { return n.inflight.Load() }
 // The legacy single-device node has no bounds and supports everything.
 func (n *Node) Supports(s dvfs.Setting) bool { return n.Spec.supports(s) }
 
-// Registry is the fleet's routing table: the sorted node list, an index
-// by ID, and the consistent-hash ring. It is immutable after
-// construction and safe for concurrent use.
+// Registry is the fleet's routing table with live membership. Readers
+// (Route, RouteHealthy, LeastLoaded, Nodes, Get) load one immutable
+// epoch'd snapshot — the member list, the ID index, and a
+// consistent-hash ring built over the active members only — so a walk
+// in flight keeps its coherent view while a writer swaps in the next
+// epoch. Writers (Add, SetState, Drain, Evict) serialize on a mutex,
+// rebuild the snapshot, and publish it atomically.
 type Registry struct {
-	nodes []*Node // sorted by ID
-	byID  map[string]*Node
-	ring  *ring
+	mu       sync.Mutex
+	replicas int
+	members  []*Node // sorted by ID; source of truth, guarded by mu
+	view     atomic.Pointer[registryView]
+}
+
+// registryView is one immutable membership snapshot.
+type registryView struct {
+	epoch  uint64
+	nodes  []*Node // every member, sorted by ID
+	byID   map[string]*Node
+	active []*Node // ring index -> node; active members only, sorted
+	ring   *ring   // consistent-hash ring over active
 }
 
 // NewRegistry builds a registry over the given nodes. Nodes are sorted
@@ -119,49 +197,93 @@ func NewRegistry(nodes []*Node, replicas int) (*Registry, error) {
 	sorted := make([]*Node, len(nodes))
 	copy(sorted, nodes)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a].ID < sorted[b].ID })
-	byID := make(map[string]*Node, len(sorted))
-	ids := make([]string, len(sorted))
-	for i, n := range sorted {
-		if _, dup := byID[n.ID]; dup {
+	seen := make(map[string]bool, len(sorted))
+	for _, n := range sorted {
+		if seen[n.ID] {
 			return nil, fmt.Errorf("fleet: duplicate node id %q", n.ID)
 		}
-		byID[n.ID] = n
-		ids[i] = n.ID
+		seen[n.ID] = true
 	}
-	return &Registry{nodes: sorted, byID: byID, ring: newRing(ids, replicas)}, nil
+	r := &Registry{replicas: replicas, members: sorted}
+	r.rebuildLocked()
+	return r, nil
 }
 
-// Len returns the fleet size.
-func (r *Registry) Len() int { return len(r.nodes) }
+// rebuildLocked derives the next epoch's snapshot from the member list
+// and publishes it. Callers hold r.mu (or, in NewRegistry, own the
+// registry exclusively).
+func (r *Registry) rebuildLocked() {
+	var epoch uint64 = 1
+	if old := r.view.Load(); old != nil {
+		epoch = old.epoch + 1
+	}
+	v := &registryView{
+		epoch: epoch,
+		nodes: r.members,
+		byID:  make(map[string]*Node, len(r.members)),
+	}
+	ids := make([]string, 0, len(r.members))
+	for _, n := range r.members {
+		v.byID[n.ID] = n
+		if n.State() == StateActive {
+			v.active = append(v.active, n)
+			ids = append(ids, n.ID)
+		}
+	}
+	v.ring = newRing(ids, r.replicas)
+	r.view.Store(v)
+}
 
-// Nodes returns the fleet sorted by ID. Callers must not mutate the
-// slice.
-func (r *Registry) Nodes() []*Node { return r.nodes }
+// Epoch returns the current snapshot's generation: it advances by one
+// on every membership or state change, and is exported on /v1/stats and
+// /metrics so operators can correlate routing shifts with fleet events.
+func (r *Registry) Epoch() uint64 { return r.view.Load().epoch }
 
-// Get returns the node with the given ID.
+// Len returns the fleet size, every lifecycle state included.
+func (r *Registry) Len() int { return len(r.view.Load().nodes) }
+
+// Nodes returns every member sorted by ID, regardless of state.
+// Callers must not mutate the slice.
+func (r *Registry) Nodes() []*Node { return r.view.Load().nodes }
+
+// Active returns the members currently accepting new placements,
+// sorted by ID. Callers must not mutate the slice.
+func (r *Registry) Active() []*Node { return r.view.Load().active }
+
+// Get returns the member with the given ID, in any state.
 func (r *Registry) Get(id string) (*Node, bool) {
-	n, ok := r.byID[id]
+	n, ok := r.view.Load().byID[id]
 	return n, ok
 }
 
-// Route returns the node owning key on the consistent-hash ring: the
-// deterministic primary placement, regardless of health. Prediction
-// traffic routes here — it never runs sweeps, so an open sweep breaker
-// is no reason to move it off its cache-affine home.
+// Route returns the active node owning key on the consistent-hash
+// ring: the deterministic primary placement, regardless of breaker
+// health. Prediction traffic routes here — it never runs sweeps, so an
+// open sweep breaker is no reason to move it off its cache-affine
+// home. Returns nil when no device is active.
 func (r *Registry) Route(key string) *Node {
-	return r.nodes[r.ring.successor(key)]
+	v := r.view.Load()
+	if len(v.active) == 0 {
+		return nil
+	}
+	return v.active[v.ring.successor(key)]
 }
 
-// RouteHealthy returns the first node in ring order from key whose
-// sweep breaker admits fresh work, for traffic that will run a sweep.
-// failover reports whether the primary was skipped. When every breaker
-// is open it returns the primary, whose degraded cache path is then the
-// only thing left to try.
+// RouteHealthy returns the first active node in ring order from key
+// whose sweep breaker admits fresh work, for traffic that will run a
+// sweep. failover reports whether the primary was skipped. When every
+// breaker is open it returns the primary, whose degraded cache path is
+// then the only thing left to try; when no device is active it returns
+// nil.
 func (r *Registry) RouteHealthy(key string) (n *Node, failover bool) {
+	v := r.view.Load()
+	if len(v.active) == 0 {
+		return nil, false
+	}
 	var primary *Node
 	visited := 0
-	r.ring.walkFrom(key, func(idx int) bool {
-		node := r.nodes[idx]
+	v.ring.walkFrom(key, func(idx int) bool {
+		node := v.active[idx]
 		if primary == nil {
 			primary = node
 		}
@@ -179,11 +301,16 @@ func (r *Registry) RouteHealthy(key string) (n *Node, failover bool) {
 	return n, failover
 }
 
-// LeastLoaded returns the node with the fewest in-flight requests,
-// breaking ties by ID so the choice is deterministic under equal load.
+// LeastLoaded returns the active node with the fewest in-flight
+// requests, breaking ties by ID so the choice is deterministic under
+// equal load. Returns nil when no device is active.
 func (r *Registry) LeastLoaded() *Node {
-	best := r.nodes[0]
-	for _, n := range r.nodes[1:] {
+	v := r.view.Load()
+	if len(v.active) == 0 {
+		return nil
+	}
+	best := v.active[0]
+	for _, n := range v.active[1:] {
 		if n.Load() < best.Load() {
 			best = n
 		}
@@ -202,49 +329,37 @@ type Loader func(path string) (*experiments.Calibration, error)
 // parameters otherwise), a seed derived from the fleet seed and its ID,
 // and its filtered setting grids. base supplies the fleet-wide
 // experiment knobs (workers, meter, faults); its seed is overridden per
-// device.
+// device. The runtime add-device path (Admin) shares the same
+// per-spec assembly, so a device added live is byte-identical to one
+// declared at boot.
 func Build(fc FleetConfig, base experiments.Config, load Loader, opts NodeOptions) (*Registry, error) {
 	if err := fc.Validate(); err != nil {
 		return nil, err
 	}
-	fleetSeed := fc.Seed
-	if fleetSeed == 0 {
-		fleetSeed = base.Seed
-	}
+	a := Admin{FleetSeed: ResolveSeed(fc, base), Base: base, Load: load, Node: opts}
 	nodes := make([]*Node, 0, len(fc.Devices))
 	for _, spec := range fc.Devices {
-		params := spec.DeviceParams()
-		dev, err := tegra.NewCustomDevice(params)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: device %q: %w", spec.ID, err)
-		}
-		var cal *experiments.Calibration
-		switch {
-		case spec.CalibrationCache != "":
-			if load == nil {
-				return nil, fmt.Errorf("fleet: device %q declares a calibration cache but no loader was supplied", spec.ID)
-			}
-			cal, err = load(spec.CalibrationCache)
-			if err != nil {
-				return nil, fmt.Errorf("fleet: device %q: loading calibration: %w", spec.ID, err)
-			}
-		default:
-			cal, err = SyntheticCalibration(DeclaredModel(params))
-			if err != nil {
-				return nil, fmt.Errorf("fleet: device %q: synthetic calibration: %w", spec.ID, err)
-			}
-		}
-		grids, err := spec.Grids()
+		node, err := a.BuildNode(spec)
 		if err != nil {
 			return nil, err
 		}
-		cfg := base
-		cfg.Seed = NodeSeed(fleetSeed, spec)
-		node := NewNode(spec.ID, dev, cal, cfg, grids, opts)
-		node.Spec = spec
+		cal, err := a.Calibrate(spec)
+		if err != nil {
+			return nil, err
+		}
+		node.SetCalibration(cal)
 		nodes = append(nodes, node)
 	}
 	return NewRegistry(nodes, fc.Replicas)
+}
+
+// ResolveSeed returns the fleet's base seed: the config's pin when
+// present, the caller's default otherwise.
+func ResolveSeed(fc FleetConfig, base experiments.Config) int64 {
+	if fc.Seed != 0 {
+		return fc.Seed
+	}
+	return base.Seed
 }
 
 // NodeSeed resolves a device's measurement-noise seed: the spec's pin

@@ -250,7 +250,7 @@ func TestBuildValidatesAndWiresNodes(t *testing.T) {
 		if n.ID != ids[i] {
 			t.Fatalf("nodes not sorted by ID: %q at %d", n.ID, i)
 		}
-		if n.Cal == nil || n.Dev == nil || n.Cache == nil || n.Breaker == nil {
+		if n.Cal() == nil || n.Dev == nil || n.Cache == nil || n.Breaker == nil {
 			t.Fatalf("node %q missing machinery", n.ID)
 		}
 		if n.Cfg.Seed == 42 {
@@ -262,7 +262,7 @@ func TestBuildValidatesAndWiresNodes(t *testing.T) {
 		t.Error("DVFS-bounded device did not get a trimmed grid")
 	}
 	hot, _ := reg.Get("tk1-hot")
-	if hot.Cal.Model.C1Proc == reg.Nodes()[0].Cal.Model.C1Proc {
+	if hot.Cal().Model.C1Proc == reg.Nodes()[0].Cal().Model.C1Proc {
 		t.Error("heterogeneous leakage did not reach the fitted models")
 	}
 	// A declared cache path without a loader is a build error.

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// tickN advances the health loop n ticks spaced step apart, starting at
+// start, and returns the time after the last tick.
+func tickN(h *Health, start time.Time, step time.Duration, n int) time.Time {
+	now := start
+	for i := 0; i < n; i++ {
+		h.Tick(context.Background(), now)
+		now = now.Add(step)
+	}
+	return now
+}
+
+func TestHealthQuarantinesAfterConsecutiveOpenTicks(t *testing.T) {
+	reg := buildTestFleet(t)
+	okProbe := func(ctx context.Context, n *Node) error { return nil }
+	h := NewHealth(reg, HealthConfig{QuarantineAfter: 3, ProbeBackoff: time.Minute, Seed: 42}, okProbe)
+	n, _ := reg.Get("tk1-hot")
+	start := time.Unix(1000, 0)
+
+	// A closed breaker never accumulates.
+	tickN(h, start, time.Second, 5)
+	if n.State() != StateActive {
+		t.Fatalf("healthy device state = %s", n.State())
+	}
+
+	// An open breaker observed twice then recovered resets the count:
+	// only CONSECUTIVE open ticks quarantine.
+	n.Breaker.ForceOpen(true)
+	now := tickN(h, start, time.Second, 2)
+	n.Breaker.ForceOpen(false)
+	now = tickN(h, now, time.Second, 1)
+	n.Breaker.ForceOpen(true)
+	now = tickN(h, now, time.Second, 2)
+	if n.State() != StateActive {
+		t.Fatal("non-consecutive open windows quarantined the device")
+	}
+	tickN(h, now, time.Second, 1)
+	if n.State() != StateQuarantined {
+		t.Fatalf("state = %s after 3 consecutive open ticks, want quarantined", n.State())
+	}
+	if n.Quarantines() != 1 {
+		t.Errorf("quarantines = %d, want 1", n.Quarantines())
+	}
+	// The quarantined device left the ring; the others cover its keys.
+	for _, a := range reg.Active() {
+		if a.ID == n.ID {
+			t.Fatal("quarantined device still active")
+		}
+	}
+}
+
+func TestHealthProbeRecoversDevice(t *testing.T) {
+	reg := buildTestFleet(t)
+	probes := 0
+	probe := func(ctx context.Context, n *Node) error {
+		probes++
+		if probes < 3 {
+			return errors.New("still sick")
+		}
+		return nil
+	}
+	base := 10 * time.Second
+	h := NewHealth(reg, HealthConfig{QuarantineAfter: 1, ProbeBackoff: base, Seed: 42}, probe)
+	n, _ := reg.Get("tk1-a")
+	// Trip the breaker organically (not ForceOpen, which pins the
+	// snapshot open past any recovery).
+	for i := 0; i < 5; i++ {
+		n.Breaker.Failure()
+	}
+	if bs, _ := n.Breaker.Snapshot(); bs != BreakerOpen {
+		t.Fatalf("breaker = %s after 5 failures, want open", bs)
+	}
+
+	start := time.Unix(0, 0)
+	h.Tick(context.Background(), start)
+	if n.State() != StateQuarantined {
+		t.Fatalf("state = %s, want quarantined", n.State())
+	}
+
+	// Before the backoff elapses no probe may run; jitter is < 25% of the
+	// base, so base/2 is safely early and 2*base safely late.
+	h.Tick(context.Background(), start.Add(base/2))
+	if probes != 0 {
+		t.Fatal("probe ran before its backoff elapsed")
+	}
+	now := start.Add(2 * base)
+	h.Tick(context.Background(), now) // probe 1 fails -> backoff doubles
+	if probes != 1 || n.State() != StateQuarantined {
+		t.Fatalf("after failed probe: probes=%d state=%s", probes, n.State())
+	}
+	// Attempt 1's wait is 2*base (+jitter < 25%): the next tick at
+	// +base must not probe, at +3*base it must.
+	h.Tick(context.Background(), now.Add(base))
+	if probes != 1 {
+		t.Fatal("backoff did not double after a failed probe")
+	}
+	now = now.Add(3 * base)
+	h.Tick(context.Background(), now) // probe 2 fails
+	if probes != 2 {
+		t.Fatalf("probes = %d, want 2", probes)
+	}
+	now = now.Add(6 * base)
+	h.Tick(context.Background(), now) // probe 3 passes
+	if probes != 3 {
+		t.Fatalf("probes = %d, want 3", probes)
+	}
+	if n.State() != StateActive {
+		t.Fatalf("state = %s after a passing probe, want active", n.State())
+	}
+	if bs, _ := n.Breaker.Snapshot(); bs == BreakerOpen {
+		t.Error("recovery did not reclose the breaker")
+	}
+	// Fully recovered: quarantine count stands at 1, fleet serves 3.
+	if n.Quarantines() != 1 || len(reg.Active()) != 3 {
+		t.Errorf("quarantines=%d active=%d, want 1/3", n.Quarantines(), len(reg.Active()))
+	}
+}
+
+// TestHealthBackoffDeterministic: the jitter derives from (seed, device,
+// attempt) — identical inputs give identical waits (replayable soaks),
+// different devices get different jitter (no thundering herd).
+func TestHealthBackoffDeterministic(t *testing.T) {
+	reg := buildTestFleet(t)
+	cfg := HealthConfig{ProbeBackoff: time.Second, Seed: 42}
+	h1 := NewHealth(reg, cfg, nil)
+	h2 := NewHealth(reg, cfg, nil)
+	for attempt := 0; attempt < 6; attempt++ {
+		a := h1.backoff("tk1-a", attempt)
+		if b := h2.backoff("tk1-a", attempt); a != b {
+			t.Fatalf("attempt %d: two loops computed %v and %v", attempt, a, b)
+		}
+		base := time.Second << attempt
+		if max := cfg.probeBackoffMax(); base > max {
+			base = max
+		}
+		if a < base || a > base+base/4 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, a, base, base+base/4)
+		}
+	}
+	if h1.backoff("tk1-a", 1) == h1.backoff("tk1-hot", 1) {
+		t.Error("two devices drew identical jitter; probes would synchronize")
+	}
+	// The cap holds: attempt 30 must not overflow past the max.
+	if got, max := h1.backoff("tk1-a", 30), cfg.probeBackoffMax(); got > max+max/4 {
+		t.Errorf("backoff %v exceeds cap %v", got, max)
+	}
+}
+
+func TestHealthForgetsDepartedDevices(t *testing.T) {
+	reg := buildTestFleet(t)
+	h := NewHealth(reg, HealthConfig{QuarantineAfter: 1, Seed: 42}, func(ctx context.Context, n *Node) error { return nil })
+	n, _ := reg.Get("tk1-hot")
+	n.Breaker.ForceOpen(true)
+	h.Tick(context.Background(), time.Unix(0, 0))
+	if len(h.devs) == 0 {
+		t.Fatal("tick tracked no devices")
+	}
+	if err := reg.Evict("tk1-hot"); err != nil {
+		t.Fatal(err)
+	}
+	h.Tick(context.Background(), time.Unix(10, 0))
+	if _, ok := h.devs["tk1-hot"]; ok {
+		t.Error("health loop retains bookkeeping for an evicted device")
+	}
+}
+
+// TestDefaultProbeObservesFaults: the probe is a real measured sweep, so
+// a device whose measurement path is down fails it and a healthy one
+// passes.
+func TestDefaultProbeObservesFaults(t *testing.T) {
+	reg := buildTestFleet(t)
+	n, _ := reg.Get("tk1-a")
+	if err := DefaultProbe(context.Background(), n); err != nil {
+		t.Fatalf("healthy device failed its probe: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := DefaultProbe(ctx, n); err == nil {
+		t.Error("probe succeeded under a dead context")
+	}
+}

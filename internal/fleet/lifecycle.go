@@ -1,0 +1,299 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// NodeState is a device's position in the membership lifecycle.
+//
+// The serving lifecycle is
+//
+//	calibrating → active → draining → drained → removed
+//
+// and the health loop moves a sick device through
+//
+//	active → quarantined → probing → active (probe passed)
+//	                     ↖ probing (probe failed, backoff grows)
+//
+// Only active devices receive ring placements; every other state keeps
+// the device visible on the inventory endpoints so operators can watch
+// it move. Transitions are validated by Registry.SetState, and every
+// transition publishes a new registry epoch.
+type NodeState int32
+
+const (
+	// StateActive devices own ring keys and accept new placements.
+	StateActive NodeState = iota
+	// StateCalibrating devices were added at runtime and are waiting
+	// for their calibration to land; they take no traffic yet.
+	StateCalibrating
+	// StateDraining devices accept no new placements but still hold
+	// their in-flight requests; Drain waits for the gauge to hit zero.
+	StateDraining
+	// StateDrained devices have no in-flight work left and are about to
+	// be removed.
+	StateDrained
+	// StateQuarantined devices were pulled from the ring by the health
+	// loop after repeated breaker-open windows or failed probes; they
+	// wait out a backoff before the next probe.
+	StateQuarantined
+	// StateProbing devices are running a health probe; its outcome
+	// sends them back to active or to a longer quarantine.
+	StateProbing
+	// StateRemoved devices have left the registry; the state is kept on
+	// the node object so stragglers holding a pointer see why their
+	// flights were settled.
+	StateRemoved
+)
+
+// String returns the wire spelling used in JSON responses and metrics
+// labels.
+func (s NodeState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateCalibrating:
+		return "calibrating"
+	case StateDraining:
+		return "draining"
+	case StateDrained:
+		return "drained"
+	case StateQuarantined:
+		return "quarantined"
+	case StateProbing:
+		return "probing"
+	case StateRemoved:
+		return "removed"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// ErrDeviceRemoved settles the in-flight single-flight waiters of a
+// device that was evicted or drained out of the fleet: the computation
+// they joined will never complete because its device no longer exists.
+var ErrDeviceRemoved = errors.New("fleet: device removed from the fleet")
+
+// validTransitions is the membership state machine. A transition absent
+// here is a programming error surfaced by SetState.
+var validTransitions = map[NodeState][]NodeState{
+	StateCalibrating: {StateActive, StateDraining},
+	StateActive:      {StateDraining, StateQuarantined},
+	StateQuarantined: {StateProbing, StateDraining},
+	StateProbing:     {StateActive, StateQuarantined, StateDraining},
+	StateDraining:    {StateDrained},
+	StateDrained:     {},
+	StateRemoved:     {},
+}
+
+func transitionOK(from, to NodeState) bool {
+	for _, t := range validTransitions[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Add admits a new member. The node enters in state — StateActive for a
+// node whose calibration is already set, StateCalibrating for a runtime
+// add whose calibration is still running off the request path. The new
+// epoch publishes before Add returns; a calibrating node appears on the
+// inventory endpoints immediately but owns no ring keys until it
+// activates.
+func (r *Registry) Add(n *Node, state NodeState) error {
+	if n == nil || n.ID == "" {
+		return fmt.Errorf("fleet: add: node must have a non-empty id")
+	}
+	if state != StateActive && state != StateCalibrating {
+		return fmt.Errorf("fleet: add: node %q cannot join in state %s", n.ID, state)
+	}
+	if state == StateActive && n.Cal() == nil {
+		return fmt.Errorf("fleet: add: node %q has no calibration yet", n.ID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.members {
+		if m.ID == n.ID {
+			return fmt.Errorf("fleet: add: duplicate device id %q", n.ID)
+		}
+	}
+	n.state.Store(int32(state))
+	members := make([]*Node, 0, len(r.members)+1)
+	inserted := false
+	for _, m := range r.members {
+		if !inserted && n.ID < m.ID {
+			members = append(members, n)
+			inserted = true
+		}
+		members = append(members, m)
+	}
+	if !inserted {
+		members = append(members, n)
+	}
+	r.members = members
+	r.rebuildLocked()
+	return nil
+}
+
+// SetState applies one lifecycle transition and publishes the new
+// epoch. Activation (calibrating → active, probing → active) requires a
+// live calibration; quarantine entry bumps the node's quarantine
+// counter.
+func (r *Registry) SetState(id string, to NodeState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.memberLocked(id)
+	if n == nil {
+		return fmt.Errorf("fleet: set state: unknown device %q", id)
+	}
+	from := n.State()
+	if !transitionOK(from, to) {
+		return fmt.Errorf("fleet: device %q: invalid transition %s -> %s", id, from, to)
+	}
+	if to == StateActive && n.Cal() == nil {
+		return fmt.Errorf("fleet: device %q cannot activate without a calibration", id)
+	}
+	if to == StateQuarantined && from != StateProbing {
+		n.quarantines.Add(1)
+	}
+	n.state.Store(int32(to))
+	r.rebuildLocked()
+	return nil
+}
+
+// memberLocked finds a member by ID. Callers hold r.mu.
+func (r *Registry) memberLocked(id string) *Node {
+	for _, m := range r.members {
+		if m.ID == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// removeLocked drops the member from the list, publishes the new epoch,
+// marks the node removed, and settles its cache — any waiter still
+// joined to one of the node's in-flight sweeps fails with
+// ErrDeviceRemoved instead of blocking on a flight whose owner is gone.
+// Callers hold r.mu.
+func (r *Registry) removeLocked(n *Node) {
+	members := make([]*Node, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != n {
+			members = append(members, m)
+		}
+	}
+	r.members = members
+	r.rebuildLocked()
+	n.state.Store(int32(StateRemoved))
+	n.Cache.Close(ErrDeviceRemoved)
+}
+
+// Evict removes the device immediately: its ring keys re-home on the
+// surviving actives, its cache is freed, and in-flight single-flight
+// waiters settle with ErrDeviceRemoved. In-flight requests already
+// executing on the node run to completion against the pointers they
+// hold; evict just stops anything new from starting.
+func (r *Registry) Evict(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.memberLocked(id)
+	if n == nil {
+		return fmt.Errorf("fleet: evict: unknown device %q", id)
+	}
+	r.removeLocked(n)
+	return nil
+}
+
+// Drain removes the device gracefully: it stops new placements first
+// (draining state, new epoch), then waits for the node's in-flight
+// gauge to reach zero before removing it. graceful reports whether the
+// gauge hit zero in time; on ctx expiry the device is removed anyway —
+// drain-with-deadline is a removal guarantee, not a hung operation —
+// with graceful=false so the caller knows requests were abandoned.
+func (r *Registry) Drain(ctx context.Context, id string) (graceful bool, err error) {
+	r.mu.Lock()
+	n := r.memberLocked(id)
+	if n == nil {
+		r.mu.Unlock()
+		return false, fmt.Errorf("fleet: drain: unknown device %q", id)
+	}
+	from := n.State()
+	if from != StateDraining {
+		if !transitionOK(from, StateDraining) {
+			r.mu.Unlock()
+			return false, fmt.Errorf("fleet: device %q: invalid transition %s -> %s", id, from, StateDraining)
+		}
+		n.state.Store(int32(StateDraining))
+		r.rebuildLocked()
+	}
+	r.mu.Unlock()
+
+	graceful = waitIdle(ctx, n)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.memberLocked(id) != n {
+		// Lost a race with another remover; nothing left to do.
+		return graceful, nil
+	}
+	if n.State() == StateDraining {
+		n.state.Store(int32(StateDrained))
+	}
+	r.removeLocked(n)
+	return graceful, nil
+}
+
+// DrainAll marks every member draining in one epoch and waits for the
+// whole fleet's in-flight work, for daemon shutdown: members stay in
+// the registry (the process is exiting; inventory endpoints keep
+// answering until the listener closes) but no ring placements remain.
+// It reports whether every node idled before ctx expired.
+func (r *Registry) DrainAll(ctx context.Context) bool {
+	r.mu.Lock()
+	//energylint:allow ctxloop(state flips under the registry lock must complete as one epoch; the ctx-bounded waiting happens in waitIdle below)
+	for _, n := range r.members {
+		if transitionOK(n.State(), StateDraining) {
+			n.state.Store(int32(StateDraining))
+		}
+	}
+	r.rebuildLocked()
+	nodes := r.members
+	r.mu.Unlock()
+
+	all := true
+	for _, n := range nodes {
+		if !waitIdle(ctx, n) {
+			all = false
+		}
+	}
+	r.mu.Lock()
+	//energylint:allow ctxloop(bounded bookkeeping pass under the registry lock; ctx already gated the waiting above)
+	for _, n := range nodes {
+		if n.State() == StateDraining && n.Load() == 0 {
+			n.state.Store(int32(StateDrained))
+		}
+	}
+	r.rebuildLocked()
+	r.mu.Unlock()
+	return all
+}
+
+// waitIdle polls the node's in-flight gauge until it reaches zero or
+// ctx ends.
+func waitIdle(ctx context.Context, n *Node) bool {
+	for {
+		if n.Load() == 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return n.Load() == 0
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -261,9 +261,24 @@ func TestFleetAutotuneFailover(t *testing.T) {
 		t.Errorf("degraded answer served by %q, want the primary %q", got, primaryID)
 	}
 
-	// /readyz: 503 only once every device is open.
-	if w := get(t, h, "/readyz"); w.Code != http.StatusServiceUnavailable {
-		t.Errorf("/readyz = %d with all breakers open, want 503", w.Code)
+	// /readyz: open breakers alone no longer fail readiness — the fleet
+	// still serves (degraded). Readiness fails only at zero active
+	// devices; the body counts states so operators see the whole fleet
+	// is breaker-open.
+	if w := get(t, h, "/readyz"); w.Code != http.StatusOK {
+		t.Errorf("/readyz = %d with all breakers open but devices active, want 200", w.Code)
+	} else {
+		var body struct {
+			Active int            `json:"active"`
+			Open   int            `json:"open"`
+			States map[string]int `json:"states"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Active != 3 || body.Open != 3 || body.States["active"] != 3 {
+			t.Errorf("/readyz body active=%d open=%d states=%v, want 3/3/active:3", body.Active, body.Open, body.States)
+		}
 	}
 	primary.Breaker.ForceOpen(false)
 	if w := get(t, h, "/readyz"); w.Code != http.StatusOK {

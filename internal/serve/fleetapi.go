@@ -53,11 +53,21 @@ func (s *Server) handleFleetPredict(w http.ResponseWriter, r *http.Request) {
 			writeErrorDev(w, http.StatusNotFound, fmt.Sprintf("unknown device %q", req.Device), req.Device)
 			return
 		}
+		if n.Cal() == nil {
+			// Still calibrating after a runtime add: nothing to predict
+			// with yet.
+			writeErrorDev(w, http.StatusServiceUnavailable, fmt.Sprintf("device %q is still calibrating", req.Device), req.Device)
+			return
+		}
 		node = n
 	case route == "least_loaded":
 		node = s.reg.LeastLoaded()
 	default:
 		node = s.reg.Route(predictKey(req.PredictRequest))
+	}
+	if node == nil {
+		writeError(w, http.StatusServiceUnavailable, "no active device in the fleet")
+		return
 	}
 	release := node.Acquire()
 	defer release()
@@ -126,7 +136,13 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	nodes := s.reg.Nodes()
+	// Placement considers active devices only: draining and quarantined
+	// members keep their in-flight work but take no new sweeps.
+	nodes := s.reg.Active()
+	if len(nodes) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no active device in the fleet")
+		return
+	}
 	if _, ok := nodes[0].Grids[gridName]; !ok {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown grid %q (want \"calibration\" or \"full\")", gridName))
 		return
@@ -197,6 +213,7 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 				sweep += c.MeasuredEnergy
 			}
 			s.metrics.addSweepJoules(n.ID, float64(sweep))
+			s.observeSweep(n, res.Candidates)
 		}
 	}
 	if len(sweeps) == 0 {
@@ -213,7 +230,7 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		sc := scoreSweep(n.Cal.Model, gridName, cands)
+		sc := scoreSweep(n.Cal().Model, gridName, cands)
 		resp.Devices = append(resp.Devices, DevicePlacement{
 			DeviceID:             n.ID,
 			Candidates:           sc.Candidates,
@@ -234,45 +251,81 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// DeviceInfo is one device's row in the fleet inventory.
+// DeviceInfo is one device's row in the fleet inventory. Samples and
+// Coverage are zero while a runtime-added device is still calibrating.
 type DeviceInfo struct {
-	DeviceID     string         `json:"device_id"`
-	Seed         int64          `json:"seed"`
-	Breaker      string         `json:"breaker"`
-	Samples      int            `json:"samples"`
-	Coverage     units.Ratio    `json:"coverage"`
-	CacheEntries int            `json:"cache_entries"`
-	Inflight     int64          `json:"inflight"`
-	Grids        map[string]int `json:"grids"`
+	DeviceID string `json:"device_id"`
+	Seed     int64  `json:"seed"`
+	// State is the membership lifecycle state (active, calibrating,
+	// draining, quarantined, probing).
+	State   string `json:"state"`
+	Breaker string `json:"breaker"`
+	// CalGeneration counts calibration swaps: 1 from boot, +1 per drift
+	// recalibration.
+	CalGeneration  uint64         `json:"cal_generation"`
+	Recalibrations uint64         `json:"recalibrations"`
+	Quarantines    uint64         `json:"quarantines"`
+	Samples        int            `json:"samples"`
+	Coverage       units.Ratio    `json:"coverage"`
+	CacheEntries   int            `json:"cache_entries"`
+	Inflight       int64          `json:"inflight"`
+	Grids          map[string]int `json:"grids"`
 }
 
 // DevicesResponse is the answer to GET /v1/fleet/devices, sorted by
-// device ID.
+// device ID. Epoch is the registry's membership generation — it moves
+// on every add, remove, and state change.
 type DevicesResponse struct {
-	Devices []DeviceInfo `json:"devices"`
+	Epoch   uint64         `json:"epoch"`
+	States  map[string]int `json:"states"`
+	Devices []DeviceInfo   `json:"devices"`
 }
 
+// handleFleetDevices dispatches the collection endpoint: GET lists the
+// inventory, POST (admin) adds a device.
 func (s *Server) handleFleetDevices(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
+	switch r.Method {
+	case http.MethodGet:
+		s.handleFleetDevicesList(w, r)
+	case http.MethodPost:
+		s.handleFleetDeviceAdd(w, r)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
 	}
-	resp := DevicesResponse{Devices: make([]DeviceInfo, 0, s.reg.Len())}
+}
+
+func (s *Server) handleFleetDevicesList(w http.ResponseWriter, r *http.Request) {
+	resp := DevicesResponse{
+		Epoch:   s.reg.Epoch(),
+		States:  make(map[string]int),
+		Devices: make([]DeviceInfo, 0, s.reg.Len()),
+	}
 	for _, n := range s.reg.Nodes() {
 		state, _ := n.Breaker.Snapshot()
 		grids := make(map[string]int, len(n.Grids))
 		for name, g := range n.Grids {
 			grids[name] = len(g)
 		}
+		samples := 0
+		var coverage units.Ratio
+		if cal := n.Cal(); cal != nil {
+			samples = len(cal.Samples)
+			coverage = units.Ratio(cal.Coverage.Fraction())
+		}
+		resp.States[n.State().String()]++
 		resp.Devices = append(resp.Devices, DeviceInfo{
-			DeviceID:     n.ID,
-			Seed:         n.Cfg.Seed,
-			Breaker:      state.String(),
-			Samples:      len(n.Cal.Samples),
-			Coverage:     units.Ratio(n.Cal.Coverage.Fraction()),
-			CacheEntries: n.Cache.Len(),
-			Inflight:     n.Load(),
-			Grids:        grids,
+			DeviceID:       n.ID,
+			Seed:           n.Cfg.Seed,
+			State:          n.State().String(),
+			Breaker:        state.String(),
+			CalGeneration:  n.CalGeneration(),
+			Recalibrations: n.Recalibrations(),
+			Quarantines:    n.Quarantines(),
+			Samples:        samples,
+			Coverage:       coverage,
+			CacheEntries:   n.Cache.Len(),
+			Inflight:       n.Load(),
+			Grids:          grids,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -131,13 +131,13 @@ func (s *Server) predictOn(n *fleet.Node, req PredictRequest) (PredictResponse, 
 	} else if t < 0 {
 		return PredictResponse{}, fmt.Errorf("negative time_s %g", t)
 	}
-	parts := n.Cal.Model.PredictParts(prof, setting, t)
+	parts := n.Cal().Model.PredictParts(prof, setting, t)
 	return PredictResponse{
 		Setting:     settingInfo(setting),
 		TimeS:       t,
 		PredictedJ:  parts.Total(),
 		Parts:       partsJSON(parts),
-		ConstPowerW: n.Cal.Model.ConstPower(setting),
+		ConstPowerW: n.Cal().Model.ConstPower(setting),
 	}, nil
 }
 
@@ -147,6 +147,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	node := s.reg.Route(predictKey(req))
+	if node == nil {
+		writeError(w, http.StatusServiceUnavailable, "no active device in the fleet")
+		return
+	}
 	release := node.Acquire()
 	defer release()
 	resp, err := s.predictOn(node, req)
@@ -225,6 +229,10 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	// the workload's hash: cache-affine when the primary is up, a
 	// deterministic neighbor when its breaker is open.
 	node, _ := s.reg.RouteHealthy(workloadKey(gridName, wl))
+	if node == nil {
+		writeError(w, http.StatusServiceUnavailable, "no active device in the fleet")
+		return
+	}
 	release := node.Acquire()
 	defer release()
 	markDevice(w, node.ID)
@@ -258,7 +266,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		if val, ok := node.Cache.Get(key); ok {
 			s.metrics.cacheHit(node.ID)
 			s.metrics.degradedHit(node.ID)
-			resp := scoreSweep(node.Cal.Model, gridName, val.([]core.Candidate))
+			resp := scoreSweep(node.Cal().Model, gridName, val.([]core.Candidate))
 			resp.Cached = true
 			resp.Degraded = true
 			s.metrics.addAnsweredJoules(node.ID, float64(resp.Model.MeasuredJ))
@@ -304,6 +312,9 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			sweep += c.MeasuredEnergy
 		}
 		s.metrics.addSweepJoules(node.ID, float64(sweep))
+		// Only this branch ran a fresh measured sweep; cached and shared
+		// results re-score old bytes and carry no drift signal.
+		s.observeSweep(node, val.([]core.Candidate))
 	case errors.Is(err, context.Canceled):
 		// This request's own cancellation says nothing about the sweep
 		// path's health, so it carries no signal either way — but the
@@ -326,7 +337,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	resp := scoreSweep(node.Cal.Model, gridName, val.([]core.Candidate))
+	resp := scoreSweep(node.Cal().Model, gridName, val.([]core.Candidate))
 	resp.Cached = hit
 	s.metrics.addAnsweredJoules(node.ID, float64(resp.Model.MeasuredJ))
 	writeJSON(w, http.StatusOK, resp)
@@ -444,7 +455,11 @@ type CVSummaryJSON struct {
 func (s *Server) deviceParam(r *http.Request) (*fleet.Node, error) {
 	id := r.URL.Query().Get("device")
 	if id == "" {
-		return s.reg.Nodes()[0], nil
+		nodes := s.reg.Nodes()
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("no devices in the fleet")
+		}
+		return nodes[0], nil
 	}
 	n, ok := s.reg.Get(id)
 	if !ok {
@@ -463,24 +478,28 @@ func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	if node.Cal() == nil {
+		writeErrorDev(w, http.StatusServiceUnavailable, fmt.Sprintf("device %q is still calibrating", node.ID), node.ID)
+		return
+	}
 	markDevice(w, node.ID)
-	m := node.Cal.Model
+	m := node.Cal().Model
 	resp := CalibrationResponse{
 		DeviceID: node.ID,
-		Samples:  len(node.Cal.Samples),
+		Samples:  len(node.Cal().Samples),
 		Model: ModelJSON{
 			SPpJ: m.SPpJ, DPpJ: m.DPpJ, IntpJ: m.IntpJ, SMpJ: m.SMpJ,
 			L2pJ: m.L2pJ, DRAMpJ: m.DRAMpJ,
 			C1Proc: m.C1Proc, C1Mem: m.C1Mem, PMisc: m.PMisc,
 		},
-		Holdout: cvSummary(node.Cal.Holdout),
-		KFold:   cvSummary(node.Cal.KFold),
+		Holdout: cvSummary(node.Cal().Holdout),
+		KFold:   cvSummary(node.Cal().KFold),
 		Grids:   map[string]int{},
 	}
 	for name, grid := range node.Grids {
 		resp.Grids[name] = len(grid)
 	}
-	for _, row := range node.Cal.TableI() {
+	for _, row := range node.Cal().TableI() {
 		resp.TableI = append(resp.TableI, TableIRow{
 			Type: row.Type, Setting: settingInfo(row.Setting),
 			SPpJ: row.Eps.SP, DPpJ: row.Eps.DP, IntpJ: row.Eps.Int,
@@ -507,13 +526,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.legacy {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":  "ok",
-			"samples": len(s.reg.Nodes()[0].Cal.Samples),
+			"samples": len(s.reg.Nodes()[0].Cal().Samples),
 		})
 		return
 	}
 	samples := 0
 	for _, n := range s.reg.Nodes() {
-		samples += len(n.Cal.Samples)
+		if cal := n.Cal(); cal != nil {
+			samples += len(cal.Samples)
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
@@ -522,10 +543,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleReadyz is readiness: 503 once no device can accept fresh
-// sweeps, so load balancers steer fresh traffic away without the
-// process being killed. The body carries breaker state and calibration
-// coverage for operators — per device in fleet mode.
+// handleReadyz is readiness. Legacy mode keeps its historic contract:
+// 503 while the single device's breaker is open. Fleet mode reports
+// per-state device counts and fails readiness only when zero devices
+// are active — a fleet with one healthy member out of fifty is still a
+// fleet worth routing to, and open breakers alone mean degraded cached
+// serving, not unreadiness.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.legacy {
 		node := s.reg.Nodes()[0]
@@ -539,34 +562,47 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, map[string]any{
 			"status":   status,
 			"breaker":  state.String(),
-			"samples":  len(node.Cal.Samples),
-			"coverage": node.Cal.Coverage.Fraction(),
+			"samples":  len(node.Cal().Samples),
+			"coverage": node.Cal().Coverage.Fraction(),
 		})
 		return
 	}
 	open := 0
+	states := make(map[string]int)
 	devices := make([]deviceReadiness, 0, s.reg.Len())
 	for _, n := range s.reg.Nodes() {
 		state, _ := n.Breaker.Snapshot()
 		if state == fleet.BreakerOpen {
 			open++
 		}
+		samples := 0
+		var coverage units.Ratio
+		if cal := n.Cal(); cal != nil {
+			samples = len(cal.Samples)
+			coverage = units.Ratio(cal.Coverage.Fraction())
+		}
+		states[n.State().String()]++
 		devices = append(devices, deviceReadiness{
 			DeviceID: n.ID,
+			State:    n.State().String(),
 			Breaker:  state.String(),
-			Samples:  len(n.Cal.Samples),
-			Coverage: units.Ratio(n.Cal.Coverage.Fraction()),
+			Samples:  samples,
+			Coverage: coverage,
 		})
 	}
+	active := len(s.reg.Active())
 	code := http.StatusOK
 	status := "ready"
-	if open == s.reg.Len() {
+	if active == 0 {
 		code = http.StatusServiceUnavailable
-		status = "degraded"
+		status = "no-active-devices"
 	}
 	writeJSON(w, code, map[string]any{
 		"status":  status,
+		"epoch":   s.reg.Epoch(),
+		"active":  active,
 		"open":    open,
+		"states":  states,
 		"devices": devices,
 	})
 }
@@ -574,6 +610,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // deviceReadiness is one device's row in the fleet /readyz body.
 type deviceReadiness struct {
 	DeviceID string      `json:"device_id"`
+	State    string      `json:"state"`
 	Breaker  string      `json:"breaker"`
 	Samples  int         `json:"samples"`
 	Coverage units.Ratio `json:"coverage"`
@@ -607,35 +644,68 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		deviceLine("energyd_breaker_opens_total", n.ID, opens)
 	}
 
+	// Calibration gauges cover calibrated devices only: a runtime add
+	// still calibrating has no coverage to report yet.
 	fmt.Fprintln(w, "# HELP energyd_calibration_coverage_fraction Fraction of calibration samples measured (1 = complete).")
 	fmt.Fprintln(w, "# TYPE energyd_calibration_coverage_fraction gauge")
 	for _, n := range nodes {
-		deviceLine("energyd_calibration_coverage_fraction", n.ID, n.Cal.Coverage.Fraction())
+		if cal := n.Cal(); cal != nil {
+			deviceLine("energyd_calibration_coverage_fraction", n.ID, cal.Coverage.Fraction())
+		}
 	}
 	fmt.Fprintln(w, "# HELP energyd_calibration_retries_total Calibration measurement retries after transient faults.")
 	fmt.Fprintln(w, "# TYPE energyd_calibration_retries_total counter")
 	for _, n := range nodes {
-		deviceLine("energyd_calibration_retries_total", n.ID, n.Cal.Coverage.Retried)
+		if cal := n.Cal(); cal != nil {
+			deviceLine("energyd_calibration_retries_total", n.ID, cal.Coverage.Retried)
+		}
 	}
 	fmt.Fprintln(w, "# HELP energyd_calibration_quarantined_total Calibration samples quarantined after permanent faults.")
 	fmt.Fprintln(w, "# TYPE energyd_calibration_quarantined_total counter")
 	for _, n := range nodes {
-		deviceLine("energyd_calibration_quarantined_total", n.ID, len(n.Cal.Coverage.Quarantined))
+		if cal := n.Cal(); cal != nil {
+			deviceLine("energyd_calibration_quarantined_total", n.ID, len(cal.Coverage.Quarantined))
+		}
 	}
 	fmt.Fprintln(w, "# HELP energyd_calibration_screened_outliers_total Calibration samples excluded from the fit by the robust outlier screen.")
 	fmt.Fprintln(w, "# TYPE energyd_calibration_screened_outliers_total counter")
 	for _, n := range nodes {
-		deviceLine("energyd_calibration_screened_outliers_total", n.ID, n.Cal.Coverage.ScreenedOutliers)
+		if cal := n.Cal(); cal != nil {
+			deviceLine("energyd_calibration_screened_outliers_total", n.ID, cal.Coverage.ScreenedOutliers)
+		}
 	}
 
 	if !s.legacy {
 		fmt.Fprintln(w, "# HELP energyd_fleet_devices Devices in the serving fleet.")
 		fmt.Fprintln(w, "# TYPE energyd_fleet_devices gauge")
 		fmt.Fprintf(w, "energyd_fleet_devices %d\n", s.reg.Len())
+		fmt.Fprintln(w, "# HELP energyd_fleet_epoch Registry membership generation; moves on every add, remove, and state change.")
+		fmt.Fprintln(w, "# TYPE energyd_fleet_epoch counter")
+		fmt.Fprintf(w, "energyd_fleet_epoch %d\n", s.reg.Epoch())
 		fmt.Fprintln(w, "# HELP energyd_device_inflight_requests Requests currently holding each device.")
 		fmt.Fprintln(w, "# TYPE energyd_device_inflight_requests gauge")
 		for _, n := range nodes {
 			deviceLine("energyd_device_inflight_requests", n.ID, n.Load())
+		}
+		fmt.Fprintln(w, "# HELP energyd_device_state Membership lifecycle state (0=active, 1=calibrating, 2=draining, 3=drained, 4=quarantined, 5=probing, 6=removed).")
+		fmt.Fprintln(w, "# TYPE energyd_device_state gauge")
+		for _, n := range nodes {
+			deviceLine("energyd_device_state", n.ID, int(n.State()))
+		}
+		fmt.Fprintln(w, "# HELP energyd_device_cal_generation Calibration generation: 1 from boot, +1 per drift recalibration.")
+		fmt.Fprintln(w, "# TYPE energyd_device_cal_generation counter")
+		for _, n := range nodes {
+			deviceLine("energyd_device_cal_generation", n.ID, n.CalGeneration())
+		}
+		fmt.Fprintln(w, "# HELP energyd_device_quarantines_total Times the health loop has quarantined each device.")
+		fmt.Fprintln(w, "# TYPE energyd_device_quarantines_total counter")
+		for _, n := range nodes {
+			deviceLine("energyd_device_quarantines_total", n.ID, n.Quarantines())
+		}
+		fmt.Fprintln(w, "# HELP energyd_device_recalibrations_total Completed drift recalibrations per device.")
+		fmt.Fprintln(w, "# TYPE energyd_device_recalibrations_total counter")
+		for _, n := range nodes {
+			deviceLine("energyd_device_recalibrations_total", n.ID, n.Recalibrations())
 		}
 	}
 }

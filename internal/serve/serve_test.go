@@ -103,7 +103,7 @@ func TestPredictMatchesModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := PredictRequest{Profile: ProfileJSON{DPFMA: 1e9, Int: 5e8, DRAMWords: 2e8}}
-	want := node0(s).Cal.Model.Predict(req.Profile.profile(), dvfs.ValidationSettings()[0], 0.5)
+	want := node0(s).Cal().Model.Predict(req.Profile.profile(), dvfs.ValidationSettings()[0], 0.5)
 	if math.Abs(float64(resp.PredictedJ-want)) > 1e-9*float64(want) {
 		t.Errorf("predicted %v J, want %v J", resp.PredictedJ, want)
 	}

@@ -75,15 +75,38 @@ type Options struct {
 	// Clock overrides the server's time source — breaker cooldowns and
 	// request-latency metrics (tests); nil = time.Now.
 	Clock func() time.Time
+	// Admin enables the fleet membership API (POST and DELETE on
+	// /v1/fleet/devices): nil disables it, and legacy single-device
+	// servers never enable it regardless.
+	Admin *fleet.Admin
+	// DrainDeadline bounds how long a DELETE ?mode=drain waits for a
+	// device's in-flight requests before removing it anyway; zero = 30 s.
+	DrainDeadline time.Duration
+	// Drift enables the calibration drift watchdog over fresh sweep
+	// results; nil disables it.
+	Drift *fleet.DriftConfig
+	// Recalibrate re-fits a drifted device's constants; nil selects
+	// fleet.DefaultRecalibrator. Only consulted when Drift is set.
+	Recalibrate fleet.Recalibrator
+	// SyncRecalibrate runs drift recalibrations on the request goroutine
+	// that detected the drift instead of in the background — for
+	// deterministic tests; production leaves it false.
+	SyncRecalibrate bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.SweepTimeout <= 0 {
 		o.SweepTimeout = 30 * time.Second
 	}
+	if o.DrainDeadline <= 0 {
+		o.DrainDeadline = 30 * time.Second
+	}
 	if o.Clock == nil {
 		//energylint:allow determinism(the clock is injected via Options.Clock; wall time is the production default and tests override it)
 		o.Clock = time.Now
+	}
+	if o.Recalibrate == nil {
+		o.Recalibrate = fleet.DefaultRecalibrator
 	}
 	return o
 }
@@ -113,6 +136,14 @@ type Server struct {
 	metrics *metrics
 	timeout time.Duration
 	clock   func() time.Time // Options.Clock; drives latency metrics and the breakers
+
+	// Membership admin (nil = API disabled) and drift watchdog
+	// (nil = disabled); see the matching Options fields.
+	admin         *fleet.Admin
+	drainDeadline time.Duration
+	drift         *fleet.DriftConfig
+	recal         fleet.Recalibrator
+	syncRecal     bool
 }
 
 // New builds a single-device server around a fitted calibration: the
@@ -144,6 +175,12 @@ func New(dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config
 		metrics: newMetrics(),
 		timeout: opts.SweepTimeout,
 		clock:   opts.Clock,
+		// Membership admin stays off in legacy mode: the one node is the
+		// whole deployment, and its reserved empty ID is not addressable.
+		drainDeadline: opts.DrainDeadline,
+		drift:         opts.Drift,
+		recal:         opts.Recalibrate,
+		syncRecal:     opts.SyncRecalibrate,
 	}
 }
 
@@ -152,10 +189,15 @@ func New(dev *tegra.Device, cal *experiments.Calibration, cfg experiments.Config
 func NewFleet(reg *fleet.Registry, opts Options) *Server {
 	opts = opts.withDefaults()
 	return &Server{
-		reg:     reg,
-		metrics: newMetrics(),
-		timeout: opts.SweepTimeout,
-		clock:   opts.Clock,
+		reg:           reg,
+		metrics:       newMetrics(),
+		timeout:       opts.SweepTimeout,
+		clock:         opts.Clock,
+		admin:         opts.Admin,
+		drainDeadline: opts.DrainDeadline,
+		drift:         opts.Drift,
+		recal:         opts.Recalibrate,
+		syncRecal:     opts.SyncRecalibrate,
 	}
 }
 
@@ -181,6 +223,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/fleet/predict", s.instrument("/v1/fleet/predict", s.handleFleetPredict))
 	mux.Handle("/v1/fleet/place", s.instrument("/v1/fleet/place", s.handleFleetPlace))
 	mux.Handle("/v1/fleet/devices", s.instrument("/v1/fleet/devices", s.handleFleetDevices))
+	// The per-device subtree carries the membership verbs:
+	// DELETE /v1/fleet/devices/{id}?mode=drain|evict.
+	mux.Handle("/v1/fleet/devices/", s.instrument("/v1/fleet/devices/{id}", s.handleFleetDevice))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("/metrics", s.handleMetrics)

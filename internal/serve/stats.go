@@ -23,8 +23,12 @@ import (
 // cache or joined flights grow the numerator at zero sweep cost.
 type DeviceStats struct {
 	DeviceID       string      `json:"device_id"`
+	State          string      `json:"state"`
 	Breaker        string      `json:"breaker"`
 	BreakerOpens   uint64      `json:"breaker_opens"`
+	CalGeneration  uint64      `json:"cal_generation"`
+	Recalibrations uint64      `json:"recalibrations"`
+	Quarantines    uint64      `json:"quarantines"`
 	CacheHits      uint64      `json:"cache_hits"`
 	CacheMisses    uint64      `json:"cache_misses"`
 	DegradedServes uint64      `json:"degraded_serves"`
@@ -40,8 +44,12 @@ type EndpointStats struct {
 	ByCode   map[string]uint64 `json:"by_code"`
 }
 
-// StatsResponse is the answer to GET /v1/stats.
+// StatsResponse is the answer to GET /v1/stats. Epoch and States track
+// fleet membership: the registry generation and the per-lifecycle-state
+// device counts (active/draining/quarantined/...).
 type StatsResponse struct {
+	Epoch     uint64                   `json:"epoch"`
+	States    map[string]int           `json:"states"`
 	Devices   []DeviceStats            `json:"devices"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
@@ -53,6 +61,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.metrics.snapshot()
 	resp := StatsResponse{
+		Epoch:     s.reg.Epoch(),
+		States:    make(map[string]int),
 		Devices:   make([]DeviceStats, 0, s.reg.Len()),
 		Endpoints: make(map[string]EndpointStats, len(snap.endpoints)),
 	}
@@ -61,10 +71,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// by ID, which keeps the array order deterministic.
 	for _, n := range s.reg.Nodes() {
 		state, opens := n.Breaker.Snapshot()
+		resp.States[n.State().String()]++
 		resp.Devices = append(resp.Devices, DeviceStats{
 			DeviceID:       n.ID,
+			State:          n.State().String(),
 			Breaker:        state.String(),
 			BreakerOpens:   opens,
+			CalGeneration:  n.CalGeneration(),
+			Recalibrations: n.Recalibrations(),
+			Quarantines:    n.Quarantines(),
 			CacheHits:      snap.hits[n.ID],
 			CacheMisses:    snap.misses[n.ID],
 			DegradedServes: snap.degraded[n.ID],

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"sort"
+)
+
+// This file scripts fleet-membership churn against a replayed trace: a
+// ChurnPlan is a sorted list of admin actions keyed to event indices,
+// compiled into a ReplayOptions.BeforeEvent hook. The chaos soak uses
+// it to add, quarantine, drain and evict devices mid-trace while the
+// request stream keeps flowing, with every admin call it issued
+// accounted for so the client report still reconciles exactly against
+// the server's /v1/stats snapshot.
+
+// ChurnStep is one scripted membership action, executed immediately
+// before the trace event at index Before is issued.
+type ChurnStep struct {
+	// Before is the trace event index this step precedes. Steps sharing
+	// an index run in plan order.
+	Before int `json:"before"`
+	// Action is "add", "drain", "evict" or "call". The first three hit
+	// the membership API; "call" invokes the step's Run func — the
+	// escape hatch for test-local actions (forcing a breaker open,
+	// injecting faults, ticking a health loop).
+	Action string `json:"action"`
+	// Device names the target for drain/evict.
+	Device string `json:"device,omitempty"`
+	// Spec is the device spec JSON posted by an "add" step.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Run is the body of a "call" step (not serializable; test-only).
+	Run func(ctx context.Context) error `json:"-"`
+}
+
+// ChurnPlan is an ordered churn script plus the bookkeeping of what it
+// actually sent, for report reconciliation.
+type ChurnPlan struct {
+	Steps []ChurnStep
+	// Issued counts the admin requests the plan sent, keyed by the
+	// normalized endpoint label the server's metrics use
+	// ("/v1/fleet/devices", "/v1/fleet/devices/{id}"). Populated as the
+	// hook runs.
+	Issued map[string]int
+}
+
+// Hook compiles the plan into a ReplayOptions.BeforeEvent callback
+// bound to the given admin target. Steps are processed in (Before, plan
+// order); an admin call that doesn't return the expected status aborts
+// the replay with the response body in the error.
+func (p *ChurnPlan) Hook(ctx context.Context, t AdminTarget) func(int) error {
+	steps := make([]ChurnStep, len(p.Steps))
+	copy(steps, p.Steps)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].Before < steps[j].Before })
+	if p.Issued == nil {
+		p.Issued = make(map[string]int)
+	}
+	next := 0
+	return func(i int) error {
+		for next < len(steps) && steps[next].Before <= i {
+			if err := p.run(ctx, t, &steps[next]); err != nil {
+				return fmt.Errorf("churn step %d (%s): %w", next, steps[next].Action, err)
+			}
+			next++
+		}
+		return nil
+	}
+}
+
+func (p *ChurnPlan) run(ctx context.Context, t AdminTarget, st *ChurnStep) error {
+	switch st.Action {
+	case "add":
+		// wait=1 calibrates synchronously so the device serves traffic
+		// deterministically from the next event on.
+		p.Issued["/v1/fleet/devices"]++
+		status, body, err := t.Admin(ctx, "POST", "/v1/fleet/devices?wait=1", st.Spec)
+		if err != nil {
+			return err
+		}
+		if status < 200 || status > 299 {
+			return fmt.Errorf("add = %d: %s", status, body)
+		}
+	case "drain", "evict":
+		p.Issued["/v1/fleet/devices/{id}"]++
+		path := "/v1/fleet/devices/" + url.PathEscape(st.Device) + "?mode=" + st.Action
+		status, body, err := t.Admin(ctx, "DELETE", path, nil)
+		if err != nil {
+			return err
+		}
+		if status != 200 {
+			return fmt.Errorf("%s %q = %d: %s", st.Action, st.Device, status, body)
+		}
+	case "call":
+		if st.Run == nil {
+			return fmt.Errorf("call step has no Run func")
+		}
+		return st.Run(ctx)
+	default:
+		return fmt.Errorf("unknown churn action %q", st.Action)
+	}
+	return nil
+}

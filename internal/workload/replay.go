@@ -44,6 +44,17 @@ type Target interface {
 	Stats(ctx context.Context) (*serve.StatsResponse, error)
 }
 
+// AdminTarget extends Target with raw admin-plane access — the fleet
+// membership endpoints take methods and paths the Op vocabulary doesn't
+// model (POST /v1/fleet/devices, DELETE /v1/fleet/devices/{id}). Both
+// built-in targets implement it; churn plans require it.
+type AdminTarget interface {
+	Target
+	// Admin issues one arbitrary request and returns the HTTP status and
+	// response body. err reports transport failure only.
+	Admin(ctx context.Context, method, path string, body []byte) (status int, resp []byte, err error)
+}
+
 // HandlerTarget replays against an in-process http.Handler — no
 // network, no goroutine handoff, fully deterministic in ModeSync.
 type HandlerTarget struct{ Handler http.Handler }
@@ -74,6 +85,23 @@ func (t HandlerTarget) Stats(ctx context.Context) (*serve.StatsResponse, error) 
 		return nil, fmt.Errorf("workload: decoding /v1/stats: %w", err)
 	}
 	return &stats, nil
+}
+
+func (t HandlerTarget) Admin(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := &memRecorder{h: make(http.Header)}
+	t.Handler.ServeHTTP(rec, req)
+	return rec.status(), rec.body.Bytes(), nil
 }
 
 // memRecorder is a minimal in-memory http.ResponseWriter (the stdlib
@@ -134,6 +162,30 @@ func (t HTTPTarget) Do(ctx context.Context, op Op, query string, body []byte) (i
 		return 0, "", nil, err
 	}
 	return resp.StatusCode, resp.Header.Get("X-Energyd-Device"), b, nil
+}
+
+func (t HTTPTarget) Admin(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.Base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
 }
 
 func (t HTTPTarget) Stats(ctx context.Context) (*serve.StatsResponse, error) {
@@ -204,6 +256,10 @@ type ReplayOptions struct {
 	Now func() time.Time
 	// Sleep paces open-mode dispatch; required in open mode.
 	Sleep func(time.Duration)
+	// BeforeEvent, when set, runs before event i is issued (sync mode)
+	// or scheduled (open mode) — the hook point for mid-trace membership
+	// churn and health ticks. A non-nil error aborts the replay.
+	BeforeEvent func(i int) error
 }
 
 // outcome is one replayed request's result.
@@ -238,6 +294,11 @@ func Replay(ctx context.Context, tr *Trace, target Target, opts ReplayOptions) (
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			if opts.BeforeEvent != nil {
+				if err := opts.BeforeEvent(i); err != nil {
+					return nil, fmt.Errorf("workload: before event %d: %w", i, err)
+				}
+			}
 			outs[i] = issue(ctx, target, &tr.Events[i], opts)
 		}
 	case ModeOpen:
@@ -263,6 +324,12 @@ func Replay(ctx context.Context, tr *Trace, target Target, opts ReplayOptions) (
 					return nil, err
 				}
 				opts.Sleep(due - elapsed)
+			}
+			if opts.BeforeEvent != nil {
+				if err := opts.BeforeEvent(i); err != nil {
+					wg.Wait()
+					return nil, fmt.Errorf("workload: before event %d: %w", i, err)
+				}
 			}
 			wg.Add(1)
 			go func(i int) {

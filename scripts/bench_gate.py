@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Parses one or more `go test -bench` text outputs, compares every
+benchmark that also appears in a checked-in baseline JSON (BENCH_PR*.json)
+on ns/op, and fails if any regresses by more than the threshold.
+Benchmarks present on only one side are reported and skipped — the gate
+compares the intersection, so adding new benchmarks never breaks it.
+
+Optionally re-emits the parsed results in the BENCH_PR*.json schema so
+the next PR's baseline is one `--emit` away.
+
+Usage:
+  go test -run '^$' -bench 'BenchmarkRing' ./internal/fleet | tee /tmp/b1.txt
+  python3 scripts/bench_gate.py --baseline BENCH_PR7.json /tmp/b1.txt
+  python3 scripts/bench_gate.py --baseline BENCH_PR7.json \
+      --emit BENCH_PR8.json --pr 8 --note '...' /tmp/b1.txt /tmp/b2.txt
+"""
+
+import argparse
+import datetime
+import json
+import re
+import sys
+
+BENCH_RE = re.compile(
+    r"^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+(\d+) B/op\s+(\d+) allocs/op)?"
+)
+META_RE = re.compile(r"^(goos|goarch|cpu): (.+)$")
+
+
+def parse(paths):
+    """Returns ({name: result dict}, {goos/goarch/cpu}). The name has the
+    trailing -<GOMAXPROCS> suffix stripped; a name seen more than once
+    (e.g. -count=N) keeps its fastest run."""
+    results, meta = {}, {}
+    for path in paths:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                m = META_RE.match(line)
+                if m:
+                    meta[m.group(1)] = m.group(2).strip()
+                    continue
+                m = BENCH_RE.match(line)
+                if not m:
+                    continue
+                name = m.group(1)
+                r = {
+                    "name": name,
+                    "iterations": int(m.group(3)),
+                    "ns_per_op": float(m.group(4)),
+                    "bytes_per_op": int(m.group(5) or 0),
+                    "allocs_per_op": int(m.group(6) or 0),
+                }
+                if name not in results or r["ns_per_op"] < results[name]["ns_per_op"]:
+                    results[name] = r
+    return results, meta
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_output", nargs="+", help="go test -bench output files")
+    ap.add_argument("--baseline", required=True, help="baseline BENCH_PR*.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed fractional ns/op regression (default 0.15)")
+    ap.add_argument("--emit", help="write parsed results as a new BENCH_PR*.json")
+    ap.add_argument("--pr", type=int, help="PR number for --emit")
+    ap.add_argument("--note", default="", help="note field for --emit")
+    ap.add_argument("--benchtime", default="1s", help="benchtime field for --emit")
+    ap.add_argument("--command", default="", help="command field for --emit")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = {r["name"]: r for r in json.load(f)["results"]}
+    results, meta = parse(args.bench_output)
+    if not results:
+        print("bench_gate: no benchmark lines found in input", file=sys.stderr)
+        return 2
+
+    failed = False
+    compared = 0
+    for name in sorted(baseline):
+        if name not in results:
+            print(f"  SKIP  {name}: in baseline, not in this run")
+            continue
+        compared += 1
+        old, new = baseline[name]["ns_per_op"], results[name]["ns_per_op"]
+        delta = (new - old) / old
+        verdict = "ok"
+        if delta > args.threshold:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"  {verdict:>10}  {name}: {old:g} -> {new:g} ns/op ({delta:+.1%})")
+    for name in sorted(set(results) - set(baseline)):
+        print(f"   NEW  {name}: {results[name]['ns_per_op']:g} ns/op (no baseline)")
+    if compared == 0:
+        print("bench_gate: no benchmark overlaps the baseline", file=sys.stderr)
+        return 2
+
+    if args.emit:
+        if args.pr is None:
+            print("bench_gate: --emit requires --pr", file=sys.stderr)
+            return 2
+        doc = {
+            "pr": args.pr,
+            "date": datetime.date.today().isoformat(),
+            "goos": meta.get("goos", ""),
+            "goarch": meta.get("goarch", ""),
+            "cpu": meta.get("cpu", ""),
+            "benchtime": args.benchtime,
+            "command": args.command,
+            "note": args.note,
+            "results": [results[k] for k in sorted(results)],
+        }
+        with open(args.emit, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"bench_gate: wrote {len(results)} results to {args.emit}")
+
+    if failed:
+        print(f"bench_gate: ns/op regression beyond {args.threshold:.0%}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_gate: {compared} benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
