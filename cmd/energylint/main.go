@@ -102,22 +102,41 @@ func run(args []string) int {
 // runAllows prints the escape-hatch inventory: one line per well-formed
 // //energylint:allow directive, in deterministic order, so CI logs keep
 // an auditable record of every suppression and its stated reason. The
-// listing itself never fails the build (malformed directives are the
-// allowdecl analyzer's job); it exits 0 even when directives exist.
+// full suite runs first so each directive's usage is known: a STALE
+// directive — one that suppressed no diagnostic — fails the audit,
+// because the code it excused has moved or been fixed and the leftover
+// suppression would silently cover the next regression on that line.
+// Malformed directives remain the allowdecl analyzer's job.
 func runAllows(loader *analysis.Loader, pkgs []listedPkg) int {
-	n := 0
+	n, stale := 0, 0
 	for _, p := range pkgs {
 		loaded, err := loader.LoadDir(p.dir, p.importPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "energylint:", err)
 			return 2
 		}
+		// Run for the side effect of marking which directives suppress
+		// something; the diagnostics themselves are the default mode's
+		// business.
+		if _, err := analysis.Run(loaded, analysis.All()); err != nil {
+			fmt.Fprintln(os.Stderr, "energylint:", err)
+			return 2
+		}
 		for _, e := range loaded.Allows.Entries() {
-			fmt.Printf("%s:%d: %s(%s)\n", e.Pos.Filename, e.Pos.Line, e.Rule, e.Reason)
+			if e.Used {
+				fmt.Printf("%s:%d: %s(%s)\n", e.Pos.Filename, e.Pos.Line, e.Rule, e.Reason)
+			} else {
+				fmt.Printf("%s:%d: STALE %s(%s)\n", e.Pos.Filename, e.Pos.Line, e.Rule, e.Reason)
+				stale++
+			}
 			n++
 		}
 	}
-	fmt.Fprintf(os.Stderr, "energylint: %d allow directive(s)\n", n)
+	fmt.Fprintf(os.Stderr, "energylint: %d allow directive(s), %d stale\n", n, stale)
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "energylint: stale directives suppress nothing; delete them (or fix the drifted code they were written for)\n")
+		return 1
+	}
 	return 0
 }
 

@@ -72,6 +72,102 @@ func TestAllowsListing(t *testing.T) {
 	}
 }
 
+// chdirTo switches the working directory for the duration of the test.
+func chdirTo(t *testing.T, dir string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// allowModule writes a throwaway module with one used allow directive
+// (it suppresses a real time.Now diagnostic) and, when stale is set, one
+// directive on an innocent line that suppresses nothing.
+func allowModule(t *testing.T, stale bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := `package tmpmod
+
+import "time"
+
+//energylint:allow determinism(test fixture: the clock is part of the fixture)
+func Stamp() time.Time { return time.Now() }
+`
+	if stale {
+		src += `
+//energylint:allow determinism(left behind after the code below was fixed)
+func Fixed() int { return 42 }
+`
+	}
+	files := map[string]string{
+		"go.mod":   "module tmpmod\n\ngo 1.22\n",
+		"clock.go": src,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestAllowsAuditStale pins the stale-directive contract: an allow that
+// suppresses nothing fails the -allows audit with exit 1, while a
+// module whose every allow is load-bearing passes.
+func TestAllowsAuditStale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages from source")
+	}
+	t.Run("all used exits zero", func(t *testing.T) {
+		chdirTo(t, allowModule(t, false))
+		if got := run([]string{"-allows", "./..."}); got != 0 {
+			t.Errorf("-allows with only used directives = %d, want 0", got)
+		}
+	})
+	t.Run("stale exits one", func(t *testing.T) {
+		chdirTo(t, allowModule(t, true))
+		if got := run([]string{"-allows", "./..."}); got != 1 {
+			t.Errorf("-allows with a stale directive = %d, want 1", got)
+		}
+	})
+}
+
+// TestAllowsAuditStaleOutput checks the listing marks the stale line.
+func TestAllowsAuditStaleOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and loads packages from source")
+	}
+	bin := filepath.Join(t.TempDir(), "energylint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building energylint: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-allows", "./...")
+	cmd.Dir = allowModule(t, true)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-allows on a module with a stale directive succeeded; output:\n%s", out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "STALE determinism(left behind") {
+		t.Errorf("-allows output missing the STALE marker:\n%s", s)
+	}
+	if strings.Contains(s, "STALE determinism(test fixture") {
+		t.Errorf("-allows output marks the load-bearing directive stale:\n%s", s)
+	}
+	if !strings.Contains(s, "2 allow directive(s), 1 stale") {
+		t.Errorf("-allows output missing the stale tally:\n%s", s)
+	}
+}
+
 // violationModule writes a throwaway module whose single package reads
 // the wall clock, and returns its directory.
 func violationModule(t *testing.T) string {

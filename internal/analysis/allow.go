@@ -24,13 +24,17 @@ type allowDirective struct {
 	reason string
 	// problem is non-empty for malformed directives; allowdecl reports it.
 	problem string
+	// used flips when the directive suppresses a diagnostic; the -allows
+	// audit fails on directives that stay false through a full run.
+	used bool
 }
 
 // AllowIndex holds every energylint directive of a package, keyed for
 // position lookup during Pass.Reportf.
 type AllowIndex struct {
-	// byFileLine maps filename -> line -> directives written on that line.
-	byFileLine map[string]map[int][]allowDirective
+	// byFileLine maps filename -> line -> directives written on that
+	// line. Directives are held by pointer so Allowed can record usage.
+	byFileLine map[string]map[int][]*allowDirective
 	malformed  []allowDirective
 }
 
@@ -47,7 +51,7 @@ func NewAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
 
 // newAllowIndex scans the package's comments for energylint directives.
 func newAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
-	idx := &AllowIndex{byFileLine: make(map[string]map[int][]allowDirective)}
+	idx := &AllowIndex{byFileLine: make(map[string]map[int][]*allowDirective)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -98,10 +102,10 @@ func (idx *AllowIndex) addComment(pos token.Position, text string) {
 	}
 	lines := idx.byFileLine[pos.Filename]
 	if lines == nil {
-		lines = make(map[int][]allowDirective)
+		lines = make(map[int][]*allowDirective)
 		idx.byFileLine[pos.Filename] = lines
 	}
-	lines[pos.Line] = append(lines[pos.Line], d)
+	lines[pos.Line] = append(lines[pos.Line], &d)
 }
 
 // AllowEntry is one well-formed //energylint:allow directive, as
@@ -110,17 +114,24 @@ type AllowEntry struct {
 	Pos    token.Position
 	Rule   string
 	Reason string
+	// Used reports whether the directive suppressed at least one
+	// diagnostic during the analyzer runs preceding Entries. A directive
+	// that suppresses nothing is stale: the code it excused has moved or
+	// been fixed, and the suppression would silently cover the next
+	// regression on that line.
+	Used bool
 }
 
 // Entries returns every well-formed allow directive of the package in
 // deterministic (file, line) order, so the escape-hatch inventory can
-// be audited and diffed across CI runs.
+// be audited and diffed across CI runs. Used is only meaningful after
+// the full suite has run against the package.
 func (idx *AllowIndex) Entries() []AllowEntry {
 	var out []AllowEntry
 	for _, lines := range idx.byFileLine {
 		for _, ds := range lines {
 			for _, d := range ds {
-				out = append(out, AllowEntry{Pos: d.pos, Rule: d.rule, Reason: d.reason})
+				out = append(out, AllowEntry{Pos: d.pos, Rule: d.rule, Reason: d.reason, Used: d.used})
 			}
 		}
 	}
@@ -138,20 +149,24 @@ func (idx *AllowIndex) Entries() []AllowEntry {
 }
 
 // Allowed reports whether a diagnostic of rule at pos is suppressed by a
-// directive on the same line or the line directly above.
+// directive on the same line or the line directly above. Every matching
+// directive is marked used, so the -allows audit can flag the ones that
+// never fire.
 func (idx *AllowIndex) Allowed(rule string, pos token.Position) bool {
 	lines := idx.byFileLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	ok := false
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
 		for _, d := range lines[line] {
 			if d.rule == rule {
-				return true
+				d.used = true
+				ok = true
 			}
 		}
 	}
-	return false
+	return ok
 }
 
 func quoteHead(s string) string {

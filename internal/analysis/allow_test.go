@@ -157,3 +157,39 @@ var c = 3
 		t.Errorf("entries not in line order: %+v", entries)
 	}
 }
+
+// TestEntriesUsedTracking pins the stale-audit bookkeeping: a directive
+// reports Used only after Allowed matched it, and both directives
+// covering one line (same line and line above) are credited.
+func TestEntriesUsedTracking(t *testing.T) {
+	src := `package p
+
+//energylint:allow determinism(above the line)
+var a = 1 //energylint:allow determinism(on the line)
+
+//energylint:allow seedflow(never fires)
+var b = 2
+`
+	fset, f := parseFixture(t, src)
+	idx := NewAllowIndex(fset, []*ast.File{f})
+	for _, e := range idx.Entries() {
+		if e.Used {
+			t.Errorf("directive %+v used before any diagnostic", e)
+		}
+	}
+	if !idx.Allowed("determinism", token.Position{Filename: "fixture.go", Line: 4}) {
+		t.Fatal("diagnostic on line 4 should be suppressed")
+	}
+	for _, e := range idx.Entries() {
+		switch e.Rule {
+		case "determinism":
+			if !e.Used {
+				t.Errorf("determinism directive at line %d not marked used", e.Pos.Line)
+			}
+		case "seedflow":
+			if e.Used {
+				t.Errorf("seedflow directive marked used but never matched")
+			}
+		}
+	}
+}

@@ -134,9 +134,12 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		Allowdecl,
+		Atomicfield,
 		Ctxloop,
 		Determinism,
 		Errwrap,
+		Goleak,
+		Lockguard,
 		Seedflow,
 		Unitdoc,
 		Unittypes,

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicfield enforces all-or-nothing atomicity on struct fields: a
+// field that any code touches through the sync/atomic function API
+// (atomic.AddUint64(&c.n, 1) on a generation counter, an epoch counter,
+// a breaker state word) must be touched that way everywhere. A single
+// plain read or write racing with the atomic ones is undefined behavior
+// the race detector only sees when a test drives both sides at once —
+// and it silently defeats the happens-before edges the atomic side was
+// built to provide.
+//
+// The fleet packages use the typed atomics (atomic.Uint64, atomic.Bool,
+// atomic.Pointer[T]) which make mixed access unrepresentable; this rule
+// covers the function-based API, where the compiler is perfectly happy
+// to let `c.n++` coexist with atomic.AddUint64(&c.n, 1). Composite
+// literal keys are construction, not access, and are exempt. The
+// preferred fix is migrating the field to its typed atomic equivalent.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	URL:  ruleURL("atomicfield"),
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	// Pass 1: every struct field that appears as &x.f in the first
+	// argument of a sync/atomic call, and the exact selector nodes so
+	// sanctioned; the name of the first atomic call seen names the
+	// diagnostic.
+	atomicFields := map[*types.Var]string{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := atomicCallName(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v, ok := pass.Info.ObjectOf(sel.Sel).(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			if _, seen := atomicFields[v]; !seen {
+				atomicFields[v] = "atomic." + name
+			}
+			sanctioned[sel] = true
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other selector reaching one of those fields — a plain
+	// read, a plain write, an increment, an address taken for non-atomic
+	// use — mixes memory orders.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v, ok := pass.Info.ObjectOf(sel.Sel).(*types.Var)
+			if !ok {
+				return true
+			}
+			if fn, hot := atomicFields[v]; hot {
+				pass.Reportf(sel.Sel.Pos(), "field %s mixes atomic and plain access: it is accessed with %s elsewhere, and this plain access races with those; use the sync/atomic API on every access (or migrate the field to a typed atomic)", v.Name(), fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func atomicCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn, ok := calleeObject(pass, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return fn.Name(), true
+}

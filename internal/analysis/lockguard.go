@@ -1,0 +1,629 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// Lockguard turns the repository's "guarded by <mu>" field comments into
+// a checked contract. PR6–PR8 built a fleet whose correctness rests on
+// mutex discipline that used to live only in prose — the registry's
+// member list, the breaker's state window, the LRU cache's tables. The
+// race detector only catches the interleavings a test happens to drive;
+// this rule proves the discipline on every syntactic path.
+//
+// A struct field annotated
+//
+//	members []*Node // guarded by mu
+//
+// may only be read or written while the named sibling mutex is held.
+// The checker runs a flow-sensitive simulation over each function body:
+// base.mu.Lock()/RLock() adds (base, mu) to the held set,
+// Unlock()/RUnlock() removes it, defer base.mu.Unlock() keeps it held to
+// the end of the function, and branches merge by intersection — a branch
+// that returns early (the classic `if n == nil { r.mu.Unlock(); return }`
+// bailout) does not poison the straight-line path. Method summaries are
+// computed first: an unexported method whose body touches guarded
+// receiver fields without locking (rebuildLocked, removeLocked) is
+// recorded as a caller-holds helper, its call sites are checked instead,
+// and the requirement propagates up through receiver-method call chains.
+// Exported methods cannot lean on that contract when the mutex is
+// unexported — an external caller has no way to hold it — so their
+// unheld accesses are reported directly. Goroutine bodies and stored
+// closures start with an empty held set: a `go` statement escapes the
+// critical section that spawned it.
+//
+// Known limits, by design: lock identity is tracked lexically (the
+// rendered base expression), RLock counts as fully held, loop bodies are
+// simulated once with the entry state, and summaries only cover methods
+// of the annotated struct — a helper reached through a function value is
+// checked as an independent closure.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated // guarded by <mu> must only be accessed while that mutex is held",
+	URL:  ruleURL("lockguard"),
+	Run:  runLockguard,
+}
+
+// guardedByRe extracts the mutex field name from a field comment. The
+// grammar is deliberately the prose people already write: any comment on
+// the field containing "guarded by <ident>".
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func runLockguard(pass *Pass) error {
+	lg := &lockguardPass{
+		pass:     pass,
+		guarded:  map[*types.Var]*types.Var{},
+		mutexes:  map[*types.Var]bool{},
+		requires: map[types.Object][]*types.Var{},
+	}
+	lg.collect()
+	if len(lg.guarded) == 0 {
+		return nil
+	}
+	lg.summarize()
+	lg.check()
+	return nil
+}
+
+type lockguardPass struct {
+	pass *Pass
+	// guarded maps an annotated struct field to the sibling mutex that
+	// guards it.
+	guarded map[*types.Var]*types.Var
+	// mutexes is every mutex field named by some annotation; Lock and
+	// Unlock calls on these drive the held-set simulation.
+	mutexes map[*types.Var]bool
+	// requires maps a method to the receiver mutexes its callers must
+	// hold (the caller-holds summaries), sorted by name.
+	requires map[types.Object][]*types.Var
+}
+
+// collect parses the guarded-by annotations and validates that each one
+// names a sibling mutex field.
+func (lg *lockguardPass) collect() {
+	for _, file := range lg.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				name := guardNameOf(field)
+				if name == "" {
+					continue
+				}
+				mu := lg.siblingMutex(st, name)
+				if mu == nil {
+					lg.pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a sibling sync.Mutex or sync.RWMutex field", name)
+					continue
+				}
+				lg.mutexes[mu] = true
+				for _, fn := range field.Names {
+					if v, ok := lg.pass.Info.ObjectOf(fn).(*types.Var); ok {
+						lg.guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardNameOf returns the mutex name a field's doc or trailing comment
+// claims guards it, or "".
+func guardNameOf(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// siblingMutex resolves name to a sync.Mutex/RWMutex field of the same
+// struct, or nil.
+func (lg *lockguardPass) siblingMutex(st *ast.StructType, name string) *types.Var {
+	for _, f := range st.Fields.List {
+		for _, fn := range f.Names {
+			if fn.Name != name {
+				continue
+			}
+			if v, ok := lg.pass.Info.ObjectOf(fn).(*types.Var); ok && isMutexType(v.Type()) {
+				return v
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// summarize computes the caller-holds contracts to a fixpoint: a method
+// that touches guarded receiver fields (or calls another caller-holds
+// method on its receiver) without locking requires the mutex from its
+// own callers. Exported methods with an unexported guard are excluded —
+// callers outside the package cannot satisfy such a contract, so phase
+// two reports their accesses directly.
+func (lg *lockguardPass) summarize() {
+	for changed := true; changed; {
+		changed = false
+		for _, file := range lg.pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || fn.Recv == nil {
+					continue
+				}
+				recv := recvIdentName(fn)
+				obj := lg.pass.Info.ObjectOf(fn.Name)
+				if recv == "" || obj == nil {
+					continue
+				}
+				unheld := map[*types.Var]bool{}
+				sim := &lockSim{lg: lg}
+				sim.found = func(sel *ast.SelectorExpr, base string, f, mu *types.Var) {
+					if sim.litDepth == 0 && base == recv {
+						unheld[mu] = true
+					}
+				}
+				sim.foundCall = func(call *ast.CallExpr, callee types.Object, base string, mu *types.Var) {
+					if sim.litDepth == 0 && base == recv {
+						unheld[mu] = true
+					}
+				}
+				sim.block(fn.Body.List, heldSet{})
+				for mu := range unheld {
+					if fn.Name.IsExported() && !mu.Exported() {
+						continue
+					}
+					if !containsVar(lg.requires[obj], mu) {
+						lg.requires[obj] = append(lg.requires[obj], mu)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for obj, mus := range lg.requires {
+		sort.Slice(mus, func(i, j int) bool { return mus[i].Name() < mus[j].Name() })
+		lg.requires[obj] = mus
+	}
+}
+
+// check is phase two: simulate every function, seeding methods with
+// their own caller-holds contract, and report the accesses and calls
+// that reach a guarded field with the mutex demonstrably not held.
+func (lg *lockguardPass) check() {
+	for _, file := range lg.pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := heldSet{}
+			if fn.Recv != nil {
+				if recv := recvIdentName(fn); recv != "" {
+					if obj := lg.pass.Info.ObjectOf(fn.Name); obj != nil {
+						for _, mu := range lg.requires[obj] {
+							held[lockKey{recv, mu}] = true
+						}
+					}
+				}
+			}
+			sim := &lockSim{lg: lg}
+			sim.found = func(sel *ast.SelectorExpr, base string, f, mu *types.Var) {
+				lg.pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %q but the mutex is not held on this path; hold %s.%s across the access (or lift it into a method whose callers do)", base, f.Name(), mu.Name(), base, mu.Name())
+			}
+			sim.foundCall = func(call *ast.CallExpr, callee types.Object, base string, mu *types.Var) {
+				lg.pass.Reportf(call.Pos(), "call to %s without holding %s.%s: the callee touches fields guarded by %q and expects its caller to hold the mutex", callee.Name(), base, mu.Name(), mu.Name())
+			}
+			sim.block(fn.Body.List, held)
+		}
+	}
+}
+
+// recvIdentName returns the receiver identifier of a method, or "" when
+// it is unnamed or blank (such a method cannot touch its fields anyway).
+func recvIdentName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	name := fn.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}
+
+func containsVar(vs []*types.Var, v *types.Var) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// lockKey identifies one held mutex: the rendered base expression plus
+// the mutex field object, so r.mu and other.mu stay distinct.
+type lockKey struct {
+	base string
+	mu   *types.Var
+}
+
+type heldSet map[lockKey]bool
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b heldSet) heldSet {
+	out := heldSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func intersectAll(sets []heldSet) heldSet {
+	if len(sets) == 0 {
+		return heldSet{}
+	}
+	out := sets[0]
+	for _, s := range sets[1:] {
+		out = intersect(out, s)
+	}
+	return out
+}
+
+// exprKey renders a lock base expression to a stable key: identifier
+// chains only (r, s.reg). Anything else — an index expression, a call —
+// is unkeyable and conservatively treated as never held.
+func exprKey(x ast.Expr) (string, bool) {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return v.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(v.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + v.Sel.Name, true
+	}
+	return "", false
+}
+
+// lockSim walks one function body tracking which (base, mutex) pairs are
+// provably held, invoking found/foundCall for unheld guarded accesses.
+type lockSim struct {
+	lg        *lockguardPass
+	litDepth  int
+	found     func(sel *ast.SelectorExpr, base string, f, mu *types.Var)
+	foundCall func(call *ast.CallExpr, callee types.Object, base string, mu *types.Var)
+}
+
+// block simulates a statement list, returning the exit held set and
+// whether the list terminates (returns/branches) rather than falling
+// through.
+func (s *lockSim) block(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, st := range list {
+		var term bool
+		held, term = s.stmt(st, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *lockSim) stmt(st ast.Stmt, held heldSet) (heldSet, bool) {
+	switch v := st.(type) {
+	case nil:
+		return held, false
+	case *ast.BlockStmt:
+		return s.block(v.List, held)
+	case *ast.LabeledStmt:
+		return s.stmt(v.Stmt, held)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(v.X).(*ast.CallExpr); ok {
+			if key, acquire, isLock := s.lockOp(call); isLock {
+				if acquire {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return held, false
+			}
+		}
+		s.scan(v.X, held)
+		return held, false
+	case *ast.DeferStmt:
+		if _, acquire, isLock := s.lockOp(v.Call); isLock && !acquire {
+			// defer mu.Unlock(): held to the end of the function.
+			return held, false
+		}
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			// A deferred closure runs at return time with whatever was
+			// held when the defer was registered still in force on the
+			// usual lock-then-defer pattern.
+			s.funcLit(lit, held.clone())
+			for _, a := range v.Call.Args {
+				s.scan(a, held)
+			}
+			return held, false
+		}
+		s.scan(v.Call, held)
+		return held, false
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently: nothing the spawner
+		// holds is held inside it.
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			s.funcLit(lit, heldSet{})
+		} else {
+			s.checkCall(v.Call, heldSet{})
+		}
+		for _, a := range v.Call.Args {
+			s.scan(a, held)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			s.scan(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the straight-line path; terminating
+		// here keeps the intersection merges from mixing in their state.
+		return held, true
+	case *ast.IfStmt:
+		if v.Init != nil {
+			held, _ = s.stmt(v.Init, held)
+		}
+		s.scan(v.Cond, held)
+		thenHeld, thenTerm := s.block(v.Body.List, held.clone())
+		if v.Else == nil {
+			if thenTerm {
+				return held, false
+			}
+			return intersect(held, thenHeld), false
+		}
+		elseHeld, elseTerm := s.stmt(v.Else, held.clone())
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		}
+		return intersect(thenHeld, elseHeld), false
+	case *ast.ForStmt:
+		if v.Init != nil {
+			held, _ = s.stmt(v.Init, held)
+		}
+		if v.Cond != nil {
+			s.scan(v.Cond, held)
+		}
+		bodyHeld, _ := s.block(v.Body.List, held.clone())
+		if v.Post != nil {
+			s.stmt(v.Post, bodyHeld.clone())
+		}
+		return intersect(held, bodyHeld), false
+	case *ast.RangeStmt:
+		s.scan(v.X, held)
+		bodyHeld, _ := s.block(v.Body.List, held.clone())
+		return intersect(held, bodyHeld), false
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			held, _ = s.stmt(v.Init, held)
+		}
+		if v.Tag != nil {
+			s.scan(v.Tag, held)
+		}
+		return s.clauses(v.Body, held, hasDefaultClause(v.Body))
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			held, _ = s.stmt(v.Init, held)
+		}
+		held, _ = s.stmt(v.Assign, held)
+		return s.clauses(v.Body, held, hasDefaultClause(v.Body))
+	case *ast.SelectStmt:
+		if len(v.Body.List) == 0 {
+			return held, true // select{} blocks forever
+		}
+		// A select always takes one of its cases, so if every body
+		// terminates the select never falls through.
+		return s.clauses(v.Body, held, true)
+	case *ast.AssignStmt:
+		for _, r := range v.Rhs {
+			s.scan(r, held)
+		}
+		for _, l := range v.Lhs {
+			s.scan(l, held)
+		}
+		return held, false
+	default:
+		s.scan(st, held)
+		return held, false
+	}
+}
+
+// clauses merges the bodies of a switch or select: the exit state is the
+// intersection of every clause that can fall through, plus the entry
+// state when no clause has to be taken (a switch without default).
+func (s *lockSim) clauses(body *ast.BlockStmt, held heldSet, exhaustive bool) (heldSet, bool) {
+	var outs []heldSet
+	allTerm := true
+	for _, cl := range body.List {
+		h := held.clone()
+		var term bool
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				s.scan(e, held)
+			}
+			h, term = s.block(c.Body, h)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				h, _ = s.stmt(c.Comm, h)
+			}
+			h, term = s.block(c.Body, h)
+		}
+		if !term {
+			outs = append(outs, h)
+			allTerm = false
+		}
+	}
+	if !exhaustive {
+		outs = append(outs, held)
+		allTerm = false
+	}
+	if allTerm {
+		return held, true
+	}
+	return intersectAll(outs), false
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if c, ok := cl.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLit simulates a closure body with the given entry state.
+func (s *lockSim) funcLit(lit *ast.FuncLit, held heldSet) {
+	s.litDepth++
+	s.block(lit.Body.List, held)
+	s.litDepth--
+}
+
+// lockOp recognizes base.mu.Lock()/RLock()/Unlock()/RUnlock() on a
+// tracked mutex field, returning the held-set key and whether the call
+// acquires.
+func (s *lockSim) lockOp(call *ast.CallExpr) (lockKey, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockKey{}, false, false
+	}
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	mv, ok := s.lg.pass.Info.ObjectOf(muSel.Sel).(*types.Var)
+	if !ok || !s.lg.mutexes[mv] {
+		return lockKey{}, false, false
+	}
+	base, keyable := exprKey(muSel.X)
+	if !keyable {
+		return lockKey{}, false, false
+	}
+	return lockKey{base, mv}, acquire, true
+}
+
+// scan walks a non-control node reporting guarded accesses and
+// caller-holds calls against the current held set. Closures inside start
+// empty: a stored function value can run on any goroutine at any time.
+func (s *lockSim) scan(n ast.Node, held heldSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			s.funcLit(v, heldSet{})
+			return false
+		case *ast.CallExpr:
+			s.checkCall(v, held)
+		case *ast.SelectorExpr:
+			s.checkAccess(v, held)
+		}
+		return true
+	})
+}
+
+func (s *lockSim) checkAccess(sel *ast.SelectorExpr, held heldSet) {
+	fv, ok := s.lg.pass.Info.ObjectOf(sel.Sel).(*types.Var)
+	if !ok {
+		return
+	}
+	mu := s.lg.guarded[fv]
+	if mu == nil {
+		return
+	}
+	key, keyable := exprKey(sel.X)
+	if keyable && held[lockKey{key, mu}] {
+		return
+	}
+	base := key
+	if !keyable {
+		base = types.ExprString(sel.X)
+	}
+	if s.found != nil {
+		s.found(sel, base, fv, mu)
+	}
+}
+
+func (s *lockSim) checkCall(call *ast.CallExpr, held heldSet) {
+	obj := calleeObject(s.lg.pass, call)
+	if obj == nil {
+		return
+	}
+	mus := s.lg.requires[obj]
+	if len(mus) == 0 {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	key, keyable := exprKey(sel.X)
+	base := key
+	if !keyable {
+		base = types.ExprString(sel.X)
+	}
+	for _, mu := range mus {
+		if keyable && held[lockKey{key, mu}] {
+			continue
+		}
+		if s.foundCall != nil {
+			s.foundCall(call, obj, base, mu)
+		}
+	}
+}

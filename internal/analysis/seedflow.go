@@ -142,15 +142,49 @@ func seedflowFunc(pass *Pass, body *ast.BlockStmt, summaries map[types.Object][]
 // taintEngine tracks which objects carry loop-index taint within one
 // function body. The tainted map records the originating loop index's
 // name for each tainted object, so diagnostics can say where the
-// positional dependence came from.
+// positional dependence came from. taintedFields tracks struct fields of
+// local variables ((base, field) pairs), so storing base+i into c.stream
+// and loading it back does not launder the taint.
 type taintEngine struct {
-	pass      *Pass
-	summaries map[types.Object][]int
-	tainted   map[types.Object]string
+	pass          *Pass
+	summaries     map[types.Object][]int
+	tainted       map[types.Object]string
+	taintedFields map[fieldTaintKey]string
+}
+
+// fieldTaintKey names one field of one local variable: the variable's
+// object plus the field's object.
+type fieldTaintKey struct {
+	base  types.Object
+	field types.Object
 }
 
 func newTaintEngine(pass *Pass, summaries map[types.Object][]int) *taintEngine {
-	return &taintEngine{pass: pass, summaries: summaries, tainted: map[types.Object]string{}}
+	return &taintEngine{
+		pass:          pass,
+		summaries:     summaries,
+		tainted:       map[types.Object]string{},
+		taintedFields: map[fieldTaintKey]string{},
+	}
+}
+
+// fieldKeyOf resolves an expression of the form base.field (base a plain
+// identifier) to its taint key.
+func (e *taintEngine) fieldKeyOf(x ast.Expr) (fieldTaintKey, bool) {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return fieldTaintKey{}, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return fieldTaintKey{}, false
+	}
+	base := e.pass.Info.ObjectOf(id)
+	field := e.pass.Info.ObjectOf(sel.Sel)
+	if base == nil || field == nil {
+		return fieldTaintKey{}, false
+	}
+	return fieldTaintKey{base: base, field: field}, true
 }
 
 // propagate runs assignment transfer to a fixpoint: x := <tainted expr>
@@ -177,6 +211,12 @@ func (e *taintEngine) propagate(body *ast.BlockStmt) {
 								e.tainted[obj] = origin
 								changed = true
 							}
+						} else if key, ok := e.fieldKeyOf(s.Lhs[i]); ok && e.taintedFields[key] == "" {
+							// c.stream = base + int64(i): the store taints
+							// the (variable, field) pair, so the later
+							// load cannot launder the index.
+							e.taintedFields[key] = origin
+							changed = true
 						}
 					}
 				}
@@ -208,6 +248,10 @@ func (e *taintEngine) origin(x ast.Expr) string {
 	case *ast.Ident:
 		if obj := e.pass.Info.ObjectOf(v); obj != nil {
 			return e.tainted[obj]
+		}
+	case *ast.SelectorExpr:
+		if key, ok := e.fieldKeyOf(v); ok {
+			return e.taintedFields[key]
 		}
 	case *ast.ParenExpr:
 		return e.origin(v.X)

@@ -38,3 +38,15 @@ func TestUnittypes(t *testing.T) {
 func TestAllowdecl(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Allowdecl, "allowpkg")
 }
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockguard, "lockpkg")
+}
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Goleak, "goleakpkg")
+}
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Atomicfield, "atomicpkg")
+}

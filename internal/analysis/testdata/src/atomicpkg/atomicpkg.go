@@ -1,0 +1,62 @@
+// Package atomicpkg exercises the atomicfield analyzer: a struct field
+// touched through the sync/atomic function API anywhere must be touched
+// that way everywhere — one plain access races with all the atomic ones.
+package atomicpkg
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	gen  int64
+	done uint32
+	name string
+}
+
+func (c *counter) incr() { atomic.AddUint64(&c.n, 1) }
+
+func (c *counter) read() uint64 { return atomic.LoadUint64(&c.n) }
+
+// plainRead mixes a direct load with the atomic accesses above.
+func (c *counter) plainRead() uint64 {
+	return c.n // want `field n mixes atomic and plain access`
+}
+
+// reset writes without atomics.
+func (c *counter) reset() {
+	c.n = 0 // want `field n mixes atomic and plain access`
+}
+
+// leakAddr hands out the address for non-atomic use.
+func leakAddr(c *counter) *uint64 {
+	return &c.n // want `field n mixes atomic and plain access`
+}
+
+// gen is only ever touched atomically.
+func (c *counter) bump() int64 { return atomic.AddInt64(&c.gen, 1) }
+
+func (c *counter) generation() int64 { return atomic.LoadInt64(&c.gen) }
+
+// finish settles done with a CAS; the increment below races with it.
+func (c *counter) finish() bool {
+	return atomic.CompareAndSwapUint32(&c.done, 0, 1)
+}
+
+func (c *counter) sloppyFinish() {
+	c.done++ // want `field done mixes atomic and plain access`
+}
+
+// newCounter builds by composite literal: keyed construction is exempt.
+func newCounter(name string) *counter {
+	return &counter{name: name}
+}
+
+// name is never atomic; plain access stays plain.
+func (c *counter) label() string { return c.name }
+
+// plainOnly never sees sync/atomic: the rule stays quiet about a struct
+// with ordinary mutable state.
+type plainOnly struct {
+	hits int
+}
+
+func (p *plainOnly) touch() { p.hits++ }

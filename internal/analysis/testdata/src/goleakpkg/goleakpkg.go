@@ -1,0 +1,151 @@
+// Package goleakpkg exercises the goleak analyzer: spawned goroutines
+// need a reachable termination path — a ctx.Done exit, a closed-channel
+// exit, a bounded loop — and helpers are summarized one level deep.
+package goleakpkg
+
+import "context"
+
+// leaky spawns a forever-loop with no exit of any kind.
+func leaky(work func()) {
+	go func() { // want `goroutine never terminates: its body contains an unconditional for-loop`
+		for {
+			work()
+		}
+	}()
+}
+
+// blocker parks forever on an empty select.
+func blocker() {
+	go func() { // want `goroutine never terminates: its body contains an empty select`
+		select {}
+	}()
+}
+
+// cancellable exits when its context ends: the return inside the select
+// leaves the loop.
+func cancellable(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// drains ranges over a channel; close(ch) ends the loop by construction.
+func drains(ch chan int, use func(int)) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+// bounded runs a counted loop.
+func bounded(n int, work func()) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// breakOut leaves the loop with a loop-level break.
+func breakOut(done chan struct{}, work func()) {
+	go func() {
+		for {
+			if done == nil {
+				break
+			}
+			work()
+		}
+	}()
+}
+
+// innerBreakOnly breaks out of the select, not the loop: the goroutine
+// still spins forever.
+func innerBreakOnly(done chan struct{}, work func()) {
+	go func() { // want `goroutine never terminates: its body contains an unconditional for-loop`
+		for {
+			select {
+			case <-done:
+				break
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// spin is a divergent helper: spawning it leaks, one level deep.
+func spin(work func()) {
+	for {
+		work()
+	}
+}
+
+func spawnsHelper(work func()) {
+	go spin(work) // want `goroutine never terminates: spin contains an unconditional for-loop`
+}
+
+// callsHelper reaches the divergent helper from inside a literal body.
+func callsHelper(work func()) {
+	go func() { // want `goroutine never terminates: its body calls spin`
+		work()
+		spin(work)
+	}()
+}
+
+// pump exits when its channel closes; spawning it is fine.
+func pump(ch chan int, use func(int)) {
+	for {
+		v, ok := <-ch
+		if !ok {
+			return
+		}
+		use(v)
+	}
+}
+
+func spawnsPump(ch chan int, use func(int)) {
+	go pump(ch, use)
+}
+
+// tick is the daemon's health-ticker shape: an unconditional loop whose
+// select returns on ctx.Done.
+func tick(ctx context.Context, beat func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				beat()
+			}
+		}
+	}()
+}
+
+// assignedClosure: a var-assigned closure gets the same summary
+// treatment as a declared function.
+func assignedClosure(work func()) {
+	run := func() {
+		for {
+			work()
+		}
+	}
+	go run() // want `goroutine never terminates: run contains an unconditional for-loop`
+}
+
+// assignedGood: the drift-recalibration shape — a bounded closure run in
+// the background.
+func assignedGood(work func()) {
+	run := func() {
+		work()
+	}
+	go run()
+}

@@ -95,6 +95,49 @@ func indexElsewhere(vals []int64) int64 {
 	return total
 }
 
+// carrier is a config-style struct a seed travels through.
+type carrier struct {
+	stream int64
+	label  string
+}
+
+// fieldLaundered stores index arithmetic into a struct field and loads
+// it back into the constructor: the store-then-load must not launder the
+// positional dependence.
+func fieldLaundered(base int64, n int) []rand.Source {
+	var out []rand.Source
+	for i := 0; i < n; i++ {
+		var c carrier
+		c.stream = base + int64(i)
+		out = append(out, rand.NewSource(c.stream)) // want `seed derived from loop index "i" flows into rand\.NewSource`
+	}
+	return out
+}
+
+// fieldCompound smuggles the index into the field via a compound update.
+func fieldCompound(base int64, rows []int) []rand.Source {
+	var out []rand.Source
+	for r := range rows {
+		c := carrier{stream: base}
+		c.stream += int64(r)
+		out = append(out, rand.NewSource(c.stream)) // want `seed derived from loop index "r" flows into rand\.NewSource`
+	}
+	return out
+}
+
+// fieldClean stores an identity-derived value in the same field shape;
+// no index reaches the sink.
+func fieldClean(base int64, names []string) []rand.Source {
+	var out []rand.Source
+	for _, name := range names {
+		var c carrier
+		c.stream = mix(base, name)
+		c.label = name
+		out = append(out, rand.NewSource(c.stream))
+	}
+	return out
+}
+
 func mix(base int64, name string) int64 {
 	h := base
 	for _, r := range name {

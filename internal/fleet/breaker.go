@@ -41,12 +41,12 @@ type Breaker struct {
 	cooldown  time.Duration    // open period before a half-open probe
 	now       func() time.Time // injectable clock for tests
 
-	state    BreakerState
-	failures int // consecutive failures while closed
-	openedAt time.Time
-	probing  bool // a half-open probe is in flight
-	forced   bool
-	opens    uint64 // cumulative closed/half-open -> open transitions
+	state    BreakerState // guarded by mu
+	failures int          // consecutive failures while closed; guarded by mu
+	openedAt time.Time    // guarded by mu
+	probing  bool         // a half-open probe is in flight; guarded by mu
+	forced   bool         // guarded by mu
+	opens    uint64       // cumulative closed/half-open -> open transitions; guarded by mu
 }
 
 // NewBreaker builds a breaker; zero threshold/cooldown select 5 failures

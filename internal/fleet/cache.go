@@ -38,14 +38,16 @@ var ErrWaiterAbandoned = errors.New("fleet: waiter abandoned in-flight computati
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
-	ll      *list.List               // front = most recently used
-	items   map[string]*list.Element // key -> element whose Value is *cacheEntry
-	flights map[string]*flight
+	ll      *list.List               // front = most recently used; guarded by mu
+	items   map[string]*list.Element // key -> element whose Value is *cacheEntry; guarded by mu
+	flights map[string]*flight       // guarded by mu
 
 	// Close support: a removed device's cache settles everything and
 	// refuses new work, so nothing keeps a departed node's sweeps alive.
-	closed   bool
-	closeErr error
+	// closedCh is set once at construction and closed under mu; waiters
+	// select on it without the lock.
+	closed   bool  // guarded by mu
+	closeErr error // guarded by mu
 	closedCh chan struct{}
 }
 

@@ -71,8 +71,8 @@ func (c DriftConfig) threshold() float64 {
 // driftWatch is one device's CUSUM state.
 type driftWatch struct {
 	mu  sync.Mutex
-	pos float64 // accumulated positive (under-prediction) drift
-	neg float64 // accumulated negative (over-prediction) drift
+	pos float64 // accumulated positive (under-prediction) drift; guarded by mu
+	neg float64 // accumulated negative (over-prediction) drift; guarded by mu
 }
 
 // observe folds one relative residual and reports whether either side

@@ -205,13 +205,16 @@ func NewRegistry(nodes []*Node, replicas int) (*Registry, error) {
 		seen[n.ID] = true
 	}
 	r := &Registry{replicas: replicas, members: sorted}
+	// Uncontended (the registry has not been published yet), but taking
+	// the lock keeps rebuildLocked's contract unconditional.
+	r.mu.Lock()
 	r.rebuildLocked()
+	r.mu.Unlock()
 	return r, nil
 }
 
 // rebuildLocked derives the next epoch's snapshot from the member list
-// and publishes it. Callers hold r.mu (or, in NewRegistry, own the
-// registry exclusively).
+// and publishes it. Callers hold r.mu.
 func (r *Registry) rebuildLocked() {
 	var epoch uint64 = 1
 	if old := r.view.Load(); old != nil {

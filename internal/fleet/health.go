@@ -74,7 +74,7 @@ type Health struct {
 	probe ProbeFunc
 
 	mu   sync.Mutex
-	devs map[string]*deviceHealth
+	devs map[string]*deviceHealth // guarded by mu
 }
 
 // deviceHealth is the loop's per-device bookkeeping.

@@ -15,21 +15,21 @@ import (
 // are safe for concurrent use.
 type metrics struct {
 	mu        sync.Mutex
-	inflight  int
-	endpoints map[string]*endpointMetrics
+	inflight  int                         // guarded by mu
+	endpoints map[string]*endpointMetrics // guarded by mu
 	// Per-device cache counters. The legacy single-device node uses the
 	// empty key, which prints as the historic unlabeled lines.
-	hits     map[string]uint64
-	misses   map[string]uint64
-	degraded map[string]uint64
+	hits     map[string]uint64 // guarded by mu
+	misses   map[string]uint64 // guarded by mu
+	degraded map[string]uint64 // guarded by mu
 	// Per-device energy ledgers, in joules: sweepJ integrates the
 	// measured energy of every candidate a fresh sweep burned through;
 	// answeredJ integrates the energy of the picks actually returned to
 	// clients. Their ratio — energy answered per joule of sweep work —
 	// is the cache's leverage: answers served from cache or joined
 	// flights add to the numerator without new sweep cost.
-	sweepJ    map[string]float64
-	answeredJ map[string]float64
+	sweepJ    map[string]float64 // guarded by mu
+	answeredJ map[string]float64 // guarded by mu
 }
 
 // latencyBuckets are the histogram upper bounds in seconds. Prediction

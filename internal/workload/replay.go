@@ -219,7 +219,7 @@ func (t HTTPTarget) Stats(ctx context.Context) (*serve.StatsResponse, error) {
 // piece that lets two replays of one trace emit byte-identical reports.
 type StepClock struct {
 	mu   sync.Mutex
-	t    time.Time
+	t    time.Time // guarded by mu
 	step time.Duration
 }
 

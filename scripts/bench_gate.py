@@ -81,6 +81,8 @@ def main():
 
     failed = False
     compared = 0
+    regressions = 0
+    max_delta = None
     for name in sorted(baseline):
         if name not in results:
             print(f"  SKIP  {name}: in baseline, not in this run")
@@ -88,9 +90,12 @@ def main():
         compared += 1
         old, new = baseline[name]["ns_per_op"], results[name]["ns_per_op"]
         delta = (new - old) / old
+        if max_delta is None or delta > max_delta:
+            max_delta = delta
         verdict = "ok"
         if delta > args.threshold:
             verdict = "REGRESSION"
+            regressions += 1
             failed = True
         print(f"  {verdict:>10}  {name}: {old:g} -> {new:g} ns/op ({delta:+.1%})")
     for name in sorted(set(results) - set(baseline)):
@@ -117,7 +122,20 @@ def main():
         with open(args.emit, "w") as f:
             json.dump(doc, f, indent=2)
             f.write("\n")
-        print(f"bench_gate: wrote {len(results)} results to {args.emit}")
+        # One-line machine-readable summary for the CI log: what was
+        # emitted, what was compared, and the worst observed delta.
+        summary = {
+            "bench_gate": {
+                "emitted": args.emit,
+                "pr": args.pr,
+                "results": len(results),
+                "compared": compared,
+                "regressions": regressions,
+                "threshold": args.threshold,
+                "max_delta": round(max_delta, 4) if max_delta is not None else None,
+            }
+        }
+        print(json.dumps(summary, separators=(",", ":")))
 
     if failed:
         print(f"bench_gate: ns/op regression beyond {args.threshold:.0%}",
