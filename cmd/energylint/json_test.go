@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint builds the driver binary once per test into a temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "energylint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building energylint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module from a file map.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestJSONOutput pins the -json contract: one JSON object per line in
+// deterministic order, suppressed findings included with allowed=true,
+// exit code driven by the live findings only — and the whole stream
+// byte-stable across runs.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and loads packages from source")
+	}
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"clock.go": `package tmpmod
+
+import "time"
+
+// Stamp reads the wall clock, which energylint must flag.
+func Stamp() time.Time { return time.Now() }
+
+//energylint:allow determinism(fixture keeps its own clock on purpose)
+func Fixture() time.Time { return time.Now() }
+`,
+	})
+
+	runOnce := func() []byte {
+		cmd := exec.Command(bin, "-json", "./...")
+		cmd.Dir = dir
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("-json with a live finding: err = %v (stderr %q), want exit 1", err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+
+	first := runOnce()
+	second := runOnce()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("-json output is not byte-stable across runs:\n--- first\n%s--- second\n%s", first, second)
+	}
+
+	lines := strings.Split(strings.TrimRight(string(first), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("-json emitted %d lines, want 2 (live + allowed):\n%s", len(lines), first)
+	}
+	type diag struct {
+		Rule    string `json:"rule"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Message string `json:"message"`
+		URL     string `json:"url"`
+		Allowed bool   `json:"allowed"`
+	}
+	var got [2]diag
+	for i, ln := range lines {
+		if err := json.Unmarshal([]byte(ln), &got[i]); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, ln)
+		}
+	}
+	for i, d := range got {
+		if d.Rule != "determinism" || !strings.HasSuffix(d.File, "clock.go") || d.Line == 0 || d.Col == 0 {
+			t.Errorf("diag %d = %+v, want a positioned determinism finding in clock.go", i, d)
+		}
+		if !strings.Contains(d.Message, "time.Now") {
+			t.Errorf("diag %d message %q does not mention time.Now", i, d.Message)
+		}
+	}
+	// Deterministic order is by file position: Stamp (live) precedes
+	// Fixture (allowed).
+	if got[0].Allowed || !got[1].Allowed {
+		t.Errorf("allowed flags = %v, %v; want the first finding live and the second suppressed", got[0].Allowed, got[1].Allowed)
+	}
+	if got[0].Line >= got[1].Line {
+		t.Errorf("diagnostics out of position order: line %d then %d", got[0].Line, got[1].Line)
+	}
+}
+
+// TestJSONCleanPackage: no findings means no output and exit 0.
+func TestJSONCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and loads packages from source")
+	}
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "-json", "./../../internal/stats")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("-json on a clean package: %v", err)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-json on a clean package produced output:\n%s", stdout.String())
+	}
+}

@@ -20,8 +20,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
@@ -53,6 +55,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("energylint", flag.ContinueOnError)
 	list := fs.Bool("rules", false, "list the analyzers and exit")
 	allows := fs.Bool("allows", false, "list every //energylint:allow directive with file:line and reason, then exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic (including allowed ones) instead of text")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,6 +85,20 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "energylint:", err)
 			return 2
 		}
+		if *jsonOut {
+			diags, err := analysis.RunAll(loaded, analysis.All())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "energylint:", err)
+				return 2
+			}
+			n, err := writeJSONDiags(os.Stdout, diags)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "energylint:", err)
+				return 2
+			}
+			nDiags += n
+			continue
+		}
 		diags, err := analysis.Run(loaded, analysis.All())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "energylint:", err)
@@ -97,6 +114,44 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the -json wire shape: a fixed field order (encoding/json
+// marshals struct fields in declaration order) plus the deterministic
+// diagnostic ordering of analysis.Run make the output byte-stable
+// across runs, so CI artifacts and tooling can diff it.
+type jsonDiag struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	URL     string `json:"url"`
+	Allowed bool   `json:"allowed"`
+}
+
+// writeJSONDiags emits one JSON object per line and returns how many
+// diagnostics were live (not suppressed) for the exit code.
+func writeJSONDiags(w io.Writer, diags []analysis.Diagnostic) (int, error) {
+	enc := json.NewEncoder(w)
+	live := 0
+	for _, d := range diags {
+		if err := enc.Encode(jsonDiag{
+			Rule:    d.Rule,
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Message: d.Message,
+			URL:     d.URL,
+			Allowed: d.Allowed,
+		}); err != nil {
+			return live, err
+		}
+		if !d.Allowed {
+			live++
+		}
+	}
+	return live, nil
 }
 
 // runAllows prints the escape-hatch inventory: one line per well-formed

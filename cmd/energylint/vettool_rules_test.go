@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// The vettool-mode e2e coverage for the concurrency and hot-path
+// analyzers: cmd/go type-checks with export data and hands us a unit
+// config, a different loading path from the standalone driver, so each
+// new rule gets a firing and a clean module driven through
+// `go vet -vettool`.
+
+func vetModule(t *testing.T, bin string, files map[string]string) (string, error) {
+	t.Helper()
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = writeModule(t, files)
+	out, err := vet.CombinedOutput()
+	return string(out), err
+}
+
+func TestGoVetVettoolLockorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs go vet")
+	}
+	bin := buildLint(t)
+
+	out, err := vetModule(t, bin, map[string]string{
+		"locks.go": `package tmpmod
+
+import "sync"
+
+type inbox struct {
+	mu sync.Mutex
+	n  int
+}
+
+type outbox struct {
+	mu sync.Mutex
+	n  int
+}
+
+func forward(i *inbox, o *outbox) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	o.mu.Lock()
+	o.n += i.n
+	o.mu.Unlock()
+}
+
+func bounce(i *inbox, o *outbox) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.mu.Lock()
+	i.n += o.n
+	i.mu.Unlock()
+}
+`,
+	})
+	if err == nil {
+		t.Fatalf("go vet -vettool on an AB-BA module succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(out, "lock-order cycle") {
+		t.Errorf("go vet -vettool output missing the lockorder cycle diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "inbox.mu") || !strings.Contains(out, "outbox.mu") {
+		t.Errorf("cycle diagnostic does not name both mutexes:\n%s", out)
+	}
+
+	out, err = vetModule(t, bin, map[string]string{
+		"locks.go": `package tmpmod
+
+import "sync"
+
+type inbox struct {
+	mu sync.Mutex
+	n  int
+}
+
+type outbox struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Both paths agree on the inbox-then-outbox order: no cycle.
+func forward(i *inbox, o *outbox) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	o.mu.Lock()
+	o.n += i.n
+	o.mu.Unlock()
+}
+
+func drain(i *inbox, o *outbox) {
+	i.mu.Lock()
+	n := i.n
+	i.n = 0
+	i.mu.Unlock()
+	o.mu.Lock()
+	o.n += n
+	o.mu.Unlock()
+}
+`,
+	})
+	if err != nil {
+		t.Errorf("go vet -vettool on a consistently ordered module failed: %v\n%s", err, out)
+	}
+}
+
+func TestGoVetVettoolHotalloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs go vet")
+	}
+	bin := buildLint(t)
+
+	out, err := vetModule(t, bin, map[string]string{
+		"hot.go": `package tmpmod
+
+import "fmt"
+
+//energylint:hotpath
+func Render(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+`,
+	})
+	if err == nil {
+		t.Fatalf("go vet -vettool on a fmt-in-hotpath module succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(out, "fmt.Sprintf formats through reflection") {
+		t.Errorf("go vet -vettool output missing the hotalloc diagnostic:\n%s", out)
+	}
+
+	out, err = vetModule(t, bin, map[string]string{
+		"hot.go": `package tmpmod
+
+import "strconv"
+
+//energylint:hotpath
+func Render(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+`,
+	})
+	if err != nil {
+		t.Errorf("go vet -vettool on an allocation-free hot path failed: %v\n%s", err, out)
+	}
+}

@@ -77,8 +77,17 @@ func (idx *AllowIndex) addComment(pos token.Position, text string) {
 		// "// energylint:" — a directive must start //energylint: with no
 		// space, like go:build; flag it instead of silently ignoring it.
 		d.problem = "malformed directive: write //energylint: with no space after //"
+	case strings.HasPrefix(trimmed, "energylint:hotpath"):
+		// The hotalloc annotation: a bare marker with no payload. It is
+		// consumed by the hotalloc analyzer straight from the function
+		// doc comment; here we only police its shape.
+		if strings.TrimSpace(strings.TrimPrefix(trimmed, "energylint:hotpath")) != "" {
+			d.problem = "malformed //energylint:hotpath: the directive takes no arguments"
+			idx.malformed = append(idx.malformed, d)
+		}
+		return
 	case !strings.HasPrefix(trimmed, "energylint:allow"):
-		d.problem = "unknown energylint directive " + quoteHead(trimmed) + ": only //energylint:allow <rule>(<reason>) is defined"
+		d.problem = "unknown energylint directive " + quoteHead(trimmed) + ": only //energylint:allow <rule>(<reason>) and //energylint:hotpath are defined"
 	default:
 		payload := strings.TrimSpace(strings.TrimPrefix(trimmed, "energylint:allow"))
 		m := directiveRe.FindStringSubmatch(payload)

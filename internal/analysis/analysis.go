@@ -51,6 +51,10 @@ type Diagnostic struct {
 	Rule    string
 	Message string
 	URL     string
+	// Allowed marks a finding suppressed by an //energylint:allow
+	// directive. Run drops these; RunAll keeps them so the -json mode
+	// can show the audited suppressions alongside live findings.
+	Allowed bool
 }
 
 func (d Diagnostic) String() string {
@@ -76,14 +80,13 @@ type Pass struct {
 // directive for this rule covers the position.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.allows != nil && p.allows.Allowed(p.Analyzer.Name, position) {
-		return
-	}
+	allowed := p.allows != nil && p.allows.Allowed(p.Analyzer.Name, position)
 	p.diags = append(p.diags, Diagnostic{
 		Pos:     position,
 		Rule:    p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 		URL:     p.Analyzer.URL,
+		Allowed: allowed,
 	})
 }
 
@@ -93,7 +96,24 @@ var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Inter
 // Run executes the analyzers over one loaded package and returns the
 // combined diagnostics in deterministic order (file, line, column, rule,
 // message) so repeated runs and parallel CI shards agree byte-for-byte.
+// Findings suppressed by //energylint:allow directives are dropped.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAll(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	live := all[:0]
+	for _, d := range all {
+		if !d.Allowed {
+			live = append(live, d)
+		}
+	}
+	return live, nil
+}
+
+// RunAll is Run without the suppression filter: allowed findings stay
+// in the result, marked Allowed, in the same deterministic order.
+func RunAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var all []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -139,7 +159,9 @@ func All() []*Analyzer {
 		Determinism,
 		Errwrap,
 		Goleak,
+		Hotalloc,
 		Lockguard,
+		Lockorder,
 		Seedflow,
 		Unitdoc,
 		Unittypes,

@@ -20,29 +20,35 @@ import (
 //
 // may only be read or written while the named sibling mutex is held.
 // The checker runs a flow-sensitive simulation over each function body:
-// base.mu.Lock()/RLock() adds (base, mu) to the held set,
-// Unlock()/RUnlock() removes it, defer base.mu.Unlock() keeps it held to
-// the end of the function, and branches merge by intersection — a branch
-// that returns early (the classic `if n == nil { r.mu.Unlock(); return }`
-// bailout) does not poison the straight-line path. Method summaries are
-// computed first: an unexported method whose body touches guarded
-// receiver fields without locking (rebuildLocked, removeLocked) is
-// recorded as a caller-holds helper, its call sites are checked instead,
-// and the requirement propagates up through receiver-method call chains.
-// Exported methods cannot lean on that contract when the mutex is
-// unexported — an external caller has no way to hold it — so their
-// unheld accesses are reported directly. Goroutine bodies and stored
-// closures start with an empty held set: a `go` statement escapes the
-// critical section that spawned it.
+// base.mu.Lock() adds (base, mu) to the held set in write mode,
+// base.mu.RLock() adds it in read mode, Unlock()/RUnlock() removes it,
+// defer base.mu.Unlock() keeps it held to the end of the function, and
+// branches merge by intersection at the weaker mode — a branch that
+// returns early (the classic `if n == nil { r.mu.Unlock(); return }`
+// bailout) does not poison the straight-line path, and a path that only
+// proves an RLock cannot vouch for writes. Reads are satisfied by
+// either mode; writes (assignment targets, `++`/`--`, stores through an
+// index chain rooted at the field) demand the write lock, so a
+// `guarded by` field mutated under nothing but an RLock is a
+// diagnostic. Method summaries are computed first: an unexported method
+// whose body touches guarded receiver fields without locking
+// (rebuildLocked, removeLocked) is recorded as a caller-holds helper at
+// the strongest mode its accesses need, its call sites are checked
+// instead, and the requirement propagates up through receiver-method
+// call chains. Exported methods cannot lean on that contract when the
+// mutex is unexported — an external caller has no way to hold it — so
+// their unheld accesses are reported directly. Goroutine bodies and
+// stored closures start with an empty held set: a `go` statement
+// escapes the critical section that spawned it.
 //
 // Known limits, by design: lock identity is tracked lexically (the
-// rendered base expression), RLock counts as fully held, loop bodies are
-// simulated once with the entry state, and summaries only cover methods
-// of the annotated struct — a helper reached through a function value is
-// checked as an independent closure.
+// rendered base expression), loop bodies are simulated once with the
+// entry state, and summaries only cover methods of the annotated
+// struct — a helper reached through a function value is checked as an
+// independent closure.
 var Lockguard = &Analyzer{
 	Name: "lockguard",
-	Doc:  "fields annotated // guarded by <mu> must only be accessed while that mutex is held",
+	Doc:  "fields annotated // guarded by <mu> must only be accessed while that mutex is held (writes need the write lock)",
 	URL:  ruleURL("lockguard"),
 	Run:  runLockguard,
 }
@@ -57,7 +63,7 @@ func runLockguard(pass *Pass) error {
 		pass:     pass,
 		guarded:  map[*types.Var]*types.Var{},
 		mutexes:  map[*types.Var]bool{},
-		requires: map[types.Object][]*types.Var{},
+		requires: map[types.Object][]lockReq{},
 	}
 	lg.collect()
 	if len(lg.guarded) == 0 {
@@ -76,9 +82,20 @@ type lockguardPass struct {
 	// mutexes is every mutex field named by some annotation; Lock and
 	// Unlock calls on these drive the held-set simulation.
 	mutexes map[*types.Var]bool
-	// requires maps a method to the receiver mutexes its callers must
-	// hold (the caller-holds summaries), sorted by name.
-	requires map[types.Object][]*types.Var
+	// requires maps a method to the receiver mutexes (and the hold mode)
+	// its callers must provide — the caller-holds summaries, sorted by
+	// mutex name.
+	requires map[types.Object][]lockReq
+}
+
+// newSim builds a lock simulation over this pass's annotated mutexes.
+func (lg *lockguardPass) newSim() *lockSim {
+	return &lockSim{
+		info:     lg.pass.Info,
+		tracked:  func(v *types.Var) bool { return lg.mutexes[v] },
+		guarded:  lg.guarded,
+		requires: lg.requires,
+	}
 }
 
 // collect parses the guarded-by annotations and validates that each one
@@ -161,9 +178,10 @@ func isMutexType(t types.Type) bool {
 // summarize computes the caller-holds contracts to a fixpoint: a method
 // that touches guarded receiver fields (or calls another caller-holds
 // method on its receiver) without locking requires the mutex from its
-// own callers. Exported methods with an unexported guard are excluded —
-// callers outside the package cannot satisfy such a contract, so phase
-// two reports their accesses directly.
+// own callers, at the strongest mode any of its accesses needs.
+// Exported methods with an unexported guard are excluded — callers
+// outside the package cannot satisfy such a contract, so phase two
+// reports their accesses directly.
 func (lg *lockguardPass) summarize() {
 	for changed := true; changed; {
 		changed = false
@@ -178,40 +196,60 @@ func (lg *lockguardPass) summarize() {
 				if recv == "" || obj == nil {
 					continue
 				}
-				unheld := map[*types.Var]bool{}
-				sim := &lockSim{lg: lg}
-				sim.found = func(sel *ast.SelectorExpr, base string, f, mu *types.Var) {
+				unheld := map[*types.Var]lockMode{}
+				sim := lg.newSim()
+				sim.found = func(sel *ast.SelectorExpr, base string, f, mu *types.Var, write bool, heldMode lockMode) {
 					if sim.litDepth == 0 && base == recv {
-						unheld[mu] = true
+						need := modeRead
+						if write {
+							need = modeWrite
+						}
+						if need > unheld[mu] {
+							unheld[mu] = need
+						}
 					}
 				}
-				sim.foundCall = func(call *ast.CallExpr, callee types.Object, base string, mu *types.Var) {
+				sim.foundCall = func(call *ast.CallExpr, callee types.Object, base string, req lockReq, heldMode lockMode) {
 					if sim.litDepth == 0 && base == recv {
-						unheld[mu] = true
+						if req.mode > unheld[req.mu] {
+							unheld[req.mu] = req.mode
+						}
 					}
 				}
 				sim.block(fn.Body.List, heldSet{})
-				for mu := range unheld {
+				for mu, mode := range unheld {
 					if fn.Name.IsExported() && !mu.Exported() {
 						continue
 					}
-					if !containsVar(lg.requires[obj], mu) {
-						lg.requires[obj] = append(lg.requires[obj], mu)
+					reqs := lg.requires[obj]
+					have := false
+					for i := range reqs {
+						if reqs[i].mu == mu {
+							have = true
+							if mode > reqs[i].mode {
+								reqs[i].mode = mode
+								changed = true
+							}
+						}
+					}
+					if !have {
+						lg.requires[obj] = append(reqs, lockReq{mu: mu, mode: mode})
 						changed = true
 					}
 				}
 			}
 		}
 	}
-	for obj, mus := range lg.requires {
-		sort.Slice(mus, func(i, j int) bool { return mus[i].Name() < mus[j].Name() })
-		lg.requires[obj] = mus
+	for obj, reqs := range lg.requires {
+		sort.Slice(reqs, func(i, j int) bool { return reqs[i].mu.Name() < reqs[j].mu.Name() })
+		lg.requires[obj] = reqs
 	}
 }
 
 // check is phase two: simulate every function, seeding methods with
 // their own caller-holds contract, and report the accesses and calls
-// that reach a guarded field with the mutex demonstrably not held.
+// that reach a guarded field with the mutex demonstrably not held (or
+// held only for reading where a write needs it).
 func (lg *lockguardPass) check() {
 	for _, file := range lg.pass.Files {
 		for _, decl := range file.Decls {
@@ -223,18 +261,26 @@ func (lg *lockguardPass) check() {
 			if fn.Recv != nil {
 				if recv := recvIdentName(fn); recv != "" {
 					if obj := lg.pass.Info.ObjectOf(fn.Name); obj != nil {
-						for _, mu := range lg.requires[obj] {
-							held[lockKey{recv, mu}] = true
+						for _, req := range lg.requires[obj] {
+							held[lockKey{recv, req.mu}] = req.mode
 						}
 					}
 				}
 			}
-			sim := &lockSim{lg: lg}
-			sim.found = func(sel *ast.SelectorExpr, base string, f, mu *types.Var) {
+			sim := lg.newSim()
+			sim.found = func(sel *ast.SelectorExpr, base string, f, mu *types.Var, write bool, heldMode lockMode) {
+				if write && heldMode == modeRead {
+					lg.pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %q and written here, but only an RLock is held on this path; a write needs %s.%s.Lock()", base, f.Name(), mu.Name(), base, mu.Name())
+					return
+				}
 				lg.pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %q but the mutex is not held on this path; hold %s.%s across the access (or lift it into a method whose callers do)", base, f.Name(), mu.Name(), base, mu.Name())
 			}
-			sim.foundCall = func(call *ast.CallExpr, callee types.Object, base string, mu *types.Var) {
-				lg.pass.Reportf(call.Pos(), "call to %s without holding %s.%s: the callee touches fields guarded by %q and expects its caller to hold the mutex", callee.Name(), base, mu.Name(), mu.Name())
+			sim.foundCall = func(call *ast.CallExpr, callee types.Object, base string, req lockReq, heldMode lockMode) {
+				if heldMode == modeRead && req.mode == modeWrite {
+					lg.pass.Reportf(call.Pos(), "call to %s holding only %s.%s.RLock: the callee writes fields guarded by %q and needs the write lock", callee.Name(), base, req.mu.Name(), req.mu.Name())
+					return
+				}
+				lg.pass.Reportf(call.Pos(), "call to %s without holding %s.%s: the callee touches fields guarded by %q and expects its caller to hold the mutex", callee.Name(), base, req.mu.Name(), req.mu.Name())
 			}
 			sim.block(fn.Body.List, held)
 		}
@@ -254,13 +300,21 @@ func recvIdentName(fn *ast.FuncDecl) string {
 	return name
 }
 
-func containsVar(vs []*types.Var, v *types.Var) bool {
-	for _, x := range vs {
-		if x == v {
-			return true
-		}
-	}
-	return false
+// lockMode is how strongly a mutex is held: an RLock proves shared
+// (read) access, a Lock proves exclusive (write) access. The zero value
+// means "not held".
+type lockMode int
+
+const (
+	modeRead  lockMode = 1
+	modeWrite lockMode = 2
+)
+
+// lockReq is one caller-holds obligation: the mutex and the minimum
+// mode the callee's accesses need.
+type lockReq struct {
+	mu   *types.Var
+	mode lockMode
 }
 
 // lockKey identifies one held mutex: the rendered base expression plus
@@ -270,21 +324,30 @@ type lockKey struct {
 	mu   *types.Var
 }
 
-type heldSet map[lockKey]bool
+// heldSet maps each provably held mutex to the strongest mode the path
+// guarantees.
+type heldSet map[lockKey]lockMode
 
 func (h heldSet) clone() heldSet {
 	out := make(heldSet, len(h))
-	for k := range h {
-		out[k] = true
+	for k, m := range h {
+		out[k] = m
 	}
 	return out
 }
 
+// intersect keeps the locks held on both paths, at the weaker of the
+// two modes: a merge of a Lock branch and an RLock branch only proves a
+// read hold.
 func intersect(a, b heldSet) heldSet {
 	out := heldSet{}
-	for k := range a {
-		if b[k] {
-			out[k] = true
+	for k, ma := range a {
+		if mb, ok := b[k]; ok {
+			if mb < ma {
+				out[k] = mb
+			} else {
+				out[k] = ma
+			}
 		}
 	}
 	return out
@@ -318,13 +381,34 @@ func exprKey(x ast.Expr) (string, bool) {
 	return "", false
 }
 
-// lockSim walks one function body tracking which (base, mutex) pairs are
-// provably held, invoking found/foundCall for unheld guarded accesses.
+// lockSim walks one function body tracking which (base, mutex) pairs
+// are provably held and at what mode. It is shared by lockguard (which
+// wires found/foundCall to report unheld guarded accesses) and
+// lockorder (which wires onAcquire/onCall to build the acquisition-
+// order graph); every hook is optional.
 type lockSim struct {
-	lg        *lockguardPass
-	litDepth  int
-	found     func(sel *ast.SelectorExpr, base string, f, mu *types.Var)
-	foundCall func(call *ast.CallExpr, callee types.Object, base string, mu *types.Var)
+	info *types.Info
+	// tracked selects the mutex variables whose Lock/Unlock calls drive
+	// the held-set simulation.
+	tracked func(*types.Var) bool
+	// guarded maps annotated fields to their guards (lockguard only).
+	guarded map[*types.Var]*types.Var
+	// requires holds caller-holds summaries (lockguard only).
+	requires map[types.Object][]lockReq
+
+	litDepth int
+	// found reports an access to a guarded field the current path does
+	// not cover: heldMode is the mode actually held (0 when unheld).
+	found func(sel *ast.SelectorExpr, base string, f, mu *types.Var, write bool, heldMode lockMode)
+	// foundCall reports a call whose callee's caller-holds requirement
+	// the current path does not cover.
+	foundCall func(call *ast.CallExpr, callee types.Object, base string, req lockReq, heldMode lockMode)
+	// onAcquire observes every acquisition of a tracked mutex, with the
+	// held set as it stood *before* the acquisition.
+	onAcquire func(call *ast.CallExpr, key lockKey, mode lockMode, held heldSet)
+	// onCall observes every resolved call expression with the current
+	// held set (lock-op calls themselves excluded).
+	onCall func(call *ast.CallExpr, callee types.Object, held heldSet)
 }
 
 // block simulates a statement list, returning the exit held set and
@@ -351,9 +435,12 @@ func (s *lockSim) stmt(st ast.Stmt, held heldSet) (heldSet, bool) {
 		return s.stmt(v.Stmt, held)
 	case *ast.ExprStmt:
 		if call, ok := ast.Unparen(v.X).(*ast.CallExpr); ok {
-			if key, acquire, isLock := s.lockOp(call); isLock {
+			if key, mode, acquire, isLock := s.lockOp(call); isLock {
 				if acquire {
-					held[key] = true
+					if s.onAcquire != nil {
+						s.onAcquire(call, key, mode, held)
+					}
+					held[key] = mode
 				} else {
 					delete(held, key)
 				}
@@ -363,7 +450,7 @@ func (s *lockSim) stmt(st ast.Stmt, held heldSet) (heldSet, bool) {
 		s.scan(v.X, held)
 		return held, false
 	case *ast.DeferStmt:
-		if _, acquire, isLock := s.lockOp(v.Call); isLock && !acquire {
+		if _, _, acquire, isLock := s.lockOp(v.Call); isLock && !acquire {
 			// defer mu.Unlock(): held to the end of the function.
 			return held, false
 		}
@@ -464,8 +551,11 @@ func (s *lockSim) stmt(st ast.Stmt, held heldSet) (heldSet, bool) {
 			s.scan(r, held)
 		}
 		for _, l := range v.Lhs {
-			s.scan(l, held)
+			s.scanWrite(l, held)
 		}
+		return held, false
+	case *ast.IncDecStmt:
+		s.scanWrite(v.X, held)
 		return held, false
 	default:
 		s.scan(st, held)
@@ -525,36 +615,55 @@ func (s *lockSim) funcLit(lit *ast.FuncLit, held heldSet) {
 	s.litDepth--
 }
 
-// lockOp recognizes base.mu.Lock()/RLock()/Unlock()/RUnlock() on a
-// tracked mutex field, returning the held-set key and whether the call
-// acquires.
-func (s *lockSim) lockOp(call *ast.CallExpr) (lockKey, bool, bool) {
+// lockOp recognizes Lock()/RLock()/Unlock()/RUnlock() on a tracked
+// mutex — base.mu.Lock() or a bare mu.Lock() on a package-level mutex
+// var — returning the held-set key, the mode the call (would) grant,
+// and whether it acquires.
+func (s *lockSim) lockOp(call *ast.CallExpr) (lockKey, lockMode, bool, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return lockKey{}, false, false
+		return lockKey{}, 0, false, false
 	}
 	var acquire bool
+	mode := modeWrite
 	switch sel.Sel.Name {
-	case "Lock", "RLock":
+	case "Lock":
 		acquire = true
-	case "Unlock", "RUnlock":
+	case "RLock":
+		acquire, mode = true, modeRead
+	case "Unlock":
 		acquire = false
+	case "RUnlock":
+		acquire, mode = false, modeRead
 	default:
-		return lockKey{}, false, false
+		return lockKey{}, 0, false, false
 	}
-	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
-	if !ok {
-		return lockKey{}, false, false
+	var mv *types.Var
+	var base string
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		v, ok := s.info.ObjectOf(x.Sel).(*types.Var)
+		if !ok {
+			return lockKey{}, 0, false, false
+		}
+		b, keyable := exprKey(x.X)
+		if !keyable {
+			return lockKey{}, 0, false, false
+		}
+		mv, base = v, b
+	case *ast.Ident:
+		v, ok := s.info.ObjectOf(x).(*types.Var)
+		if !ok {
+			return lockKey{}, 0, false, false
+		}
+		mv = v
+	default:
+		return lockKey{}, 0, false, false
 	}
-	mv, ok := s.lg.pass.Info.ObjectOf(muSel.Sel).(*types.Var)
-	if !ok || !s.lg.mutexes[mv] {
-		return lockKey{}, false, false
+	if s.tracked == nil || !s.tracked(mv) {
+		return lockKey{}, 0, false, false
 	}
-	base, keyable := exprKey(muSel.X)
-	if !keyable {
-		return lockKey{}, false, false
-	}
-	return lockKey{base, mv}, acquire, true
+	return lockKey{base, mv}, mode, acquire, true
 }
 
 // scan walks a non-control node reporting guarded accesses and
@@ -572,41 +681,78 @@ func (s *lockSim) scan(n ast.Node, held heldSet) {
 		case *ast.CallExpr:
 			s.checkCall(v, held)
 		case *ast.SelectorExpr:
-			s.checkAccess(v, held)
+			s.checkAccess(v, held, false)
 		}
 		return true
 	})
 }
 
-func (s *lockSim) checkAccess(sel *ast.SelectorExpr, held heldSet) {
-	fv, ok := s.lg.pass.Info.ObjectOf(sel.Sel).(*types.Var)
+// scanWrite walks an assignment target: the guarded field at the root
+// of the selector/index chain is a *write* (it needs the write lock),
+// while the index expressions and base chains it evaluates are reads.
+func (s *lockSim) scanWrite(x ast.Expr, held heldSet) {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		s.checkAccess(v, held, true)
+		s.scan(v.X, held)
+	case *ast.IndexExpr:
+		// t.rows[k] = v mutates the map/slice the field refers to: the
+		// field itself is the write target.
+		s.scanWrite(v.X, held)
+		s.scan(v.Index, held)
+	case *ast.StarExpr:
+		s.scan(v.X, held)
+	default:
+		s.scan(x, held)
+	}
+}
+
+func (s *lockSim) checkAccess(sel *ast.SelectorExpr, held heldSet, write bool) {
+	if s.guarded == nil {
+		return
+	}
+	fv, ok := s.info.ObjectOf(sel.Sel).(*types.Var)
 	if !ok {
 		return
 	}
-	mu := s.lg.guarded[fv]
+	mu := s.guarded[fv]
 	if mu == nil {
 		return
 	}
+	need := modeRead
+	if write {
+		need = modeWrite
+	}
 	key, keyable := exprKey(sel.X)
-	if keyable && held[lockKey{key, mu}] {
-		return
+	var heldMode lockMode
+	if keyable {
+		heldMode = held[lockKey{key, mu}]
+		if heldMode >= need {
+			return
+		}
 	}
 	base := key
 	if !keyable {
 		base = types.ExprString(sel.X)
 	}
 	if s.found != nil {
-		s.found(sel, base, fv, mu)
+		s.found(sel, base, fv, mu, write, heldMode)
 	}
 }
 
 func (s *lockSim) checkCall(call *ast.CallExpr, held heldSet) {
-	obj := calleeObject(s.lg.pass, call)
+	obj := calleeObjectOf(s.info, call)
 	if obj == nil {
 		return
 	}
-	mus := s.lg.requires[obj]
-	if len(mus) == 0 {
+	if s.onCall != nil {
+		s.onCall(call, obj, held)
+	}
+	if s.requires == nil {
+		return
+	}
+	reqs := s.requires[obj]
+	if len(reqs) == 0 {
 		return
 	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
@@ -618,12 +764,16 @@ func (s *lockSim) checkCall(call *ast.CallExpr, held heldSet) {
 	if !keyable {
 		base = types.ExprString(sel.X)
 	}
-	for _, mu := range mus {
-		if keyable && held[lockKey{key, mu}] {
-			continue
+	for _, req := range reqs {
+		var heldMode lockMode
+		if keyable {
+			heldMode = held[lockKey{key, req.mu}]
+			if heldMode >= req.mode {
+				continue
+			}
 		}
 		if s.foundCall != nil {
-			s.foundCall(call, obj, base, mu)
+			s.foundCall(call, obj, base, req, heldMode)
 		}
 	}
 }

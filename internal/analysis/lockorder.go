@@ -1,0 +1,450 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Lockorder hunts for the deadlocks lockguard cannot see: paths where
+// every individual lock is held correctly, but two paths acquire the
+// same pair of locks in opposite orders. PR8's live-membership machinery
+// made this the repo's sharpest risk surface — the Registry, Health
+// loop, drift watchdog and per-device breakers each own a mutex, and a
+// health tick that locks the registry and then a breaker can deadlock
+// against a breaker callback that locks in the other order.
+//
+// The rule reuses lockguard's flow-sensitive held-lock simulation, but
+// tracks *every* sync.Mutex/RWMutex struct field and package-level
+// mutex var, annotated or not. Per function (and through one-level
+// summaries of package-local callees, so `r.mu.Lock(); r.rebuild()`
+// attributes rebuild's acquisitions to the call site) it records each
+// lock acquired while another is held, then assembles a package-wide
+// acquisition-order graph whose nodes are (struct type, mutex field)
+// pairs. Any cycle is an AB–BA deadlock waiting for the right
+// interleaving; the diagnostic spells out the full witness chain of
+// call sites so the fix (pick one order, or drop a lock before the
+// call) is mechanical. Two acquisitions of the same node on one path
+// are reported directly: re-locking a mutex the path already holds is
+// a guaranteed self-deadlock (for an RWMutex, a recursive RLock can
+// deadlock against a writer waiting between the two RLocks), and
+// locking a second *instance* of the same struct while holding the
+// first has no defined order between instances at all.
+//
+// Known limits, by design: lock identity is lexical (per lockguard), a
+// cycle spanning packages is invisible to a per-package pass, and
+// summaries stop at one level — a chain laundered through two helpers
+// needs the intermediate call inlined or annotated away.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order must be acyclic across the package, and no path may re-acquire a lock it already holds",
+	URL:  ruleURL("lockorder"),
+	Run:  runLockorder,
+}
+
+func runLockorder(pass *Pass) error {
+	lo := &lockorderPass{
+		pass:    pass,
+		mutexes: map[*types.Var]bool{},
+		labels:  map[*types.Var]string{},
+		acq:     map[types.Object][]acqRec{},
+		edges:   map[orderEdge]*orderWitness{},
+	}
+	lo.collect()
+	if len(lo.mutexes) == 0 {
+		return nil
+	}
+	lo.summarize()
+	lo.walkFunctions()
+	lo.reportCycles()
+	return nil
+}
+
+// acqRec is one acquisition a function performs directly: the mutex
+// node, whether the base expression is the method receiver (so a call
+// site can rebind it to the call's own base), and the rendered lock
+// expression for messages.
+type acqRec struct {
+	mu      *types.Var
+	viaRecv bool
+	expr    string
+}
+
+// orderEdge from→to means some path acquires `to` while holding `from`.
+type orderEdge struct {
+	from, to *types.Var
+}
+
+// orderWitness is the first (deterministically: files and declarations
+// in order) call site proving an edge.
+type orderWitness struct {
+	fn   string
+	pos  token.Pos
+	desc string
+}
+
+type lockorderPass struct {
+	pass    *Pass
+	mutexes map[*types.Var]bool
+	// labels names each mutex node "StructType.field" (or the bare var
+	// name for a package-level mutex).
+	labels map[*types.Var]string
+	// acq holds the one-level summaries: every function's direct
+	// acquisitions.
+	acq   map[types.Object][]acqRec
+	edges map[orderEdge]*orderWitness
+}
+
+// collect finds every mutex node in the package: struct fields of type
+// sync.Mutex/RWMutex (keyed by declaring struct so Registry.mu and
+// Breaker.mu are distinct nodes even when both are spelled "mu") and
+// package-level mutex vars.
+func (lo *lockorderPass) collect() {
+	for _, file := range lo.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := v.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						mv, ok := lo.pass.Info.ObjectOf(name).(*types.Var)
+						if ok && isMutexType(mv.Type()) {
+							lo.mutexes[mv] = true
+							lo.labels[mv] = v.Name.Name + "." + name.Name
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range v.Names {
+					mv, ok := lo.pass.Info.ObjectOf(name).(*types.Var)
+					if ok && mv.Parent() == lo.pass.Pkg.Scope() && isMutexType(mv.Type()) {
+						lo.mutexes[mv] = true
+						lo.labels[mv] = name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (lo *lockorderPass) newSim() *lockSim {
+	return &lockSim{
+		info:    lo.pass.Info,
+		tracked: func(v *types.Var) bool { return lo.mutexes[v] },
+	}
+}
+
+// summarize records each function's direct (synchronous, top-level)
+// acquisitions so walkFunctions can attribute them to call sites one
+// level up. Closure bodies are excluded: a stored closure or goroutine
+// does not acquire at the time of the enclosing call.
+func (lo *lockorderPass) summarize() {
+	for _, file := range lo.pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := lo.pass.Info.ObjectOf(fn.Name)
+			if obj == nil {
+				continue
+			}
+			recv := recvIdentName(fn)
+			sim := lo.newSim()
+			sim.onAcquire = func(call *ast.CallExpr, key lockKey, mode lockMode, held heldSet) {
+				if sim.litDepth != 0 {
+					return
+				}
+				rec := acqRec{
+					mu:      key.mu,
+					viaRecv: recv != "" && key.base == recv,
+					expr:    lo.lockExpr(key),
+				}
+				for _, have := range lo.acq[obj] {
+					if have.mu == rec.mu && have.viaRecv == rec.viaRecv {
+						return
+					}
+				}
+				lo.acq[obj] = append(lo.acq[obj], rec)
+			}
+			sim.block(fn.Body.List, heldSet{})
+		}
+	}
+}
+
+// walkFunctions re-simulates every body, reporting same-node
+// re-acquisitions immediately and recording cross-node pairs as graph
+// edges — both for direct acquisitions and, through the summaries, for
+// calls made while a lock is held.
+func (lo *lockorderPass) walkFunctions() {
+	for _, file := range lo.pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fnName := fn.Name.Name
+			sim := lo.newSim()
+			sim.onAcquire = func(call *ast.CallExpr, key lockKey, mode lockMode, held heldSet) {
+				if prior, ok := held[key]; ok {
+					lo.reportReacquire(call.Pos(), key, mode, prior)
+					return
+				}
+				for _, hk := range sortedHeld(lo, held) {
+					if hk.mu == key.mu {
+						lo.pass.Reportf(call.Pos(), "%s acquired while %s is held on another instance (%s): locks on two instances of the same struct have no defined order and can deadlock against the reverse interleaving", lo.lockExpr(key), lo.labels[key.mu], lo.lockExpr(hk))
+						continue
+					}
+					lo.addEdge(hk.mu, key.mu, &orderWitness{
+						fn:  fnName,
+						pos: call.Pos(),
+						desc: fmt.Sprintf("%s acquires %s while holding %s", fnName,
+							lo.labels[key.mu], lo.labels[hk.mu]),
+					})
+				}
+			}
+			sim.onCall = func(call *ast.CallExpr, callee types.Object, held heldSet) {
+				recs := lo.acq[callee]
+				if len(recs) == 0 {
+					return
+				}
+				callBase, baseOK := "", false
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					callBase, baseOK = exprKey(sel.X)
+				}
+				for _, rec := range recs {
+					if rec.viaRecv && baseOK {
+						if _, already := held[lockKey{callBase, rec.mu}]; already {
+							lo.pass.Reportf(call.Pos(), "call to %s acquires %s.%s, which is already held on this path: self-deadlock", callee.Name(), callBase, rec.mu.Name())
+							continue
+						}
+					}
+					for _, hk := range sortedHeld(lo, held) {
+						if hk.mu == rec.mu {
+							continue
+						}
+						lo.addEdge(hk.mu, rec.mu, &orderWitness{
+							fn:  fnName,
+							pos: call.Pos(),
+							desc: fmt.Sprintf("%s calls %s, which acquires %s, while holding %s", fnName,
+								callee.Name(), lo.labels[rec.mu], lo.labels[hk.mu]),
+						})
+					}
+				}
+			}
+			sim.block(fn.Body.List, heldSet{})
+		}
+	}
+}
+
+func (lo *lockorderPass) reportReacquire(pos token.Pos, key lockKey, mode, prior lockMode) {
+	name := lo.lockExpr(key)
+	if mode == modeRead && prior == modeRead {
+		lo.pass.Reportf(pos, "recursive %s.RLock() while the read lock is already held on this path: deadlocks if a writer's Lock() lands between the two (sync.RWMutex forbids recursive read locking)", name)
+		return
+	}
+	verb := "Lock"
+	if mode == modeRead {
+		verb = "RLock"
+	}
+	lo.pass.Reportf(pos, "%s.%s() while %s is already held on this path: self-deadlock", name, verb, name)
+}
+
+func (lo *lockorderPass) addEdge(from, to *types.Var, w *orderWitness) {
+	key := orderEdge{from, to}
+	if _, ok := lo.edges[key]; ok {
+		return
+	}
+	lo.edges[key] = w
+}
+
+// lockExpr renders a held-set key for a message: "r.mu" when the base is
+// known, the node label otherwise.
+func (lo *lockorderPass) lockExpr(key lockKey) string {
+	if key.base == "" {
+		return key.mu.Name()
+	}
+	return key.base + "." + key.mu.Name()
+}
+
+// sortedHeld returns the held keys in a deterministic order (node
+// label, then base) so edge witnesses do not depend on map iteration.
+func sortedHeld(lo *lockorderPass, held heldSet) []lockKey {
+	keys := make([]lockKey, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		li, lj := lo.labels[keys[i].mu], lo.labels[keys[j].mu]
+		if li != lj {
+			return li < lj
+		}
+		return keys[i].base < keys[j].base
+	})
+	return keys
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports one diagnostic per component, with the witness
+// chain spelling out every call site on a representative cycle.
+func (lo *lockorderPass) reportCycles() {
+	nodes := make([]*types.Var, 0, len(lo.mutexes))
+	for mu := range lo.mutexes {
+		nodes = append(nodes, mu)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return lo.labels[nodes[i]] < lo.labels[nodes[j]] })
+	succ := map[*types.Var][]*types.Var{}
+	for e := range lo.edges {
+		succ[e.from] = append(succ[e.from], e.to)
+	}
+	for _, s := range succ {
+		sort.Slice(s, func(i, j int) bool { return lo.labels[s[i]] < lo.labels[s[j]] })
+	}
+	for _, scc := range stronglyConnected(nodes, succ) {
+		if len(scc) < 2 {
+			continue
+		}
+		lo.reportCycle(scc, succ)
+	}
+}
+
+// stronglyConnected is Tarjan's algorithm, iterative over the sorted
+// node list so component discovery order is deterministic.
+func stronglyConnected(nodes []*types.Var, succ map[*types.Var][]*types.Var) [][]*types.Var {
+	index := map[*types.Var]int{}
+	lowlink := map[*types.Var]int{}
+	onStack := map[*types.Var]bool{}
+	var stack []*types.Var
+	var sccs [][]*types.Var
+	next := 0
+
+	type frame struct {
+		v  *types.Var
+		ei int
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{root, 0}}
+		index[root], lowlink[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.ei < len(succ[f.v]) {
+				w := succ[f.v][f.ei]
+				f.ei++
+				if _, seen := index[w]; !seen {
+					index[w], lowlink[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{w, 0})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				var scc []*types.Var
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// reportCycle reconstructs one representative cycle through the
+// component and emits the diagnostic at its first witness.
+func (lo *lockorderPass) reportCycle(scc []*types.Var, succ map[*types.Var][]*types.Var) {
+	in := map[*types.Var]bool{}
+	for _, mu := range scc {
+		in[mu] = true
+	}
+	sort.Slice(scc, func(i, j int) bool { return lo.labels[scc[i]] < lo.labels[scc[j]] })
+	start := scc[0]
+	path := []*types.Var{start}
+	visited := map[*types.Var]bool{start: true}
+	cur := start
+	for range make([]struct{}, 2*len(scc)+1) {
+		var next *types.Var
+		for _, w := range succ[cur] {
+			if w == start && len(path) > 1 {
+				next = w
+				break
+			}
+			if in[w] && !visited[w] {
+				next = w
+				break
+			}
+		}
+		if next == nil {
+			// All in-SCC successors already visited; close through any.
+			for _, w := range succ[cur] {
+				if in[w] {
+					next = w
+					break
+				}
+			}
+		}
+		if next == nil {
+			return
+		}
+		path = append(path, next)
+		if next == start {
+			break
+		}
+		visited[next] = true
+		cur = next
+	}
+	if path[len(path)-1] != start {
+		return
+	}
+	labels := make([]string, len(path))
+	for i, mu := range path {
+		labels[i] = lo.labels[mu]
+	}
+	var chain []string
+	for i := 0; i+1 < len(path); i++ {
+		w := lo.edges[orderEdge{path[i], path[i+1]}]
+		if w == nil {
+			continue
+		}
+		chain = append(chain, fmt.Sprintf("%s (%s)", w.desc, lo.posn(w.pos)))
+	}
+	first := lo.edges[orderEdge{path[0], path[1]}]
+	lo.pass.Reportf(first.pos, "lock-order cycle %s: %s — a concurrent pair of these paths deadlocks; acquire in one global order or release before the crossing call",
+		strings.Join(labels, " → "), strings.Join(chain, "; "))
+}
+
+func (lo *lockorderPass) posn(pos token.Pos) string {
+	p := lo.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -350,11 +350,17 @@ func isSeedSink(obj types.Object) bool {
 // plain identifier or selector (method values, conversions and builtins
 // return nil or non-Func objects handled by the callers).
 func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	return calleeObjectOf(pass.Info, call)
+}
+
+// calleeObjectOf is calleeObject over a bare types.Info, for helpers
+// (the lock simulation) that are not tied to a Pass.
+func calleeObjectOf(info *types.Info, call *ast.CallExpr) types.Object {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		return pass.Info.ObjectOf(fun)
+		return info.ObjectOf(fun)
 	case *ast.SelectorExpr:
-		return pass.Info.ObjectOf(fun.Sel)
+		return info.ObjectOf(fun.Sel)
 	}
 	return nil
 }

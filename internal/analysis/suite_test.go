@@ -43,6 +43,14 @@ func TestLockguard(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Lockguard, "lockpkg")
 }
 
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockorder, "lockorderpkg")
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Hotalloc, "hotallocpkg")
+}
+
 func TestGoleak(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Goleak, "goleakpkg")
 }

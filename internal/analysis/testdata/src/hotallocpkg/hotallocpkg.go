@@ -1,0 +1,175 @@
+// Package hotallocpkg exercises the hotalloc analyzer: every
+// allocation-causing construct inside //energylint:hotpath functions
+// and their one-level callees, plus the cold and preallocated shapes
+// that must stay silent.
+package hotallocpkg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// render is a hot formatter leaning on fmt: flagged anywhere in the
+// function, loop or not.
+//
+//energylint:hotpath
+func render(vals []float64) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(fmt.Sprintf("%g", v)) // want `fmt\.Sprintf formats through reflection and allocates`
+	}
+	return b.String()
+}
+
+// join accumulates strings by concatenation, once per iteration.
+//
+//energylint:hotpath
+func join(keys []string) string {
+	s := ""
+	t := ""
+	for _, k := range keys {
+		s = s + "," + k // want `string concatenation per loop iteration`
+		t += k          // want `string \+= per loop iteration`
+	}
+	return s + t
+}
+
+// checksum round-trips through []byte per line.
+//
+//energylint:hotpath
+func checksum(lines []string) int {
+	total := 0
+	for _, ln := range lines {
+		total += len([]byte(ln)) // want `\[\]byte↔string conversion copies per loop iteration`
+	}
+	return total
+}
+
+// gather appends to a slice that was never given a capacity.
+//
+//energylint:hotpath
+func gather(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to out in a loop may regrow the slice`
+	}
+	return out
+}
+
+// gatherPrealloc is the fixed shape: a 3-arg make before the loop.
+//
+//energylint:hotpath
+func gatherPrealloc(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// index allocates a map and a slice literal on every iteration.
+//
+//energylint:hotpath
+func index(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		m := map[string]int{k: 1} // want `map literal allocated per loop iteration`
+		s := []int{len(k)}        // want `slice literal allocated per loop iteration`
+		total += m[k] + s[0]
+	}
+	return total
+}
+
+// schedule captures the loop variable in a fresh closure per iteration.
+//
+//energylint:hotpath
+func schedule(n int) []func() int {
+	out := make([]func() int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, func() int { return i }) // want `closure literal allocated per loop iteration`
+	}
+	return out
+}
+
+// closeAll defers inside the loop; the frames pile up until return.
+//
+//energylint:hotpath
+func closeAll(fns []func()) {
+	for _, f := range fns {
+		defer f() // want `defer inside a loop`
+	}
+}
+
+type weigher interface{ weigh() float64 }
+
+type cell struct{ m float64 }
+
+func (c cell) weigh() float64 { return c.m }
+
+func consume(w weigher) float64 { return w.weigh() }
+
+// tally boxes each concrete cell into the weigher interface at the
+// call; the copy escapes to the heap.
+//
+//energylint:hotpath
+func tally(cs []cell) float64 {
+	total := 0.0
+	for _, c := range cs {
+		total += consume(c) // want `c \(hotallocpkg\.cell\) is boxed into interface`
+	}
+	return total
+}
+
+func variadicSink(xs ...any) int { return len(xs) }
+
+// feed: the int is boxed into the variadic any; the pointer and the
+// constants are pointer-shaped or interned and stay silent.
+//
+//energylint:hotpath
+func feed(a int, b *int) int {
+	return variadicSink(a, b, 1, "x") // want `a \(int\) is boxed into interface`
+}
+
+// encode delegates to a package-local helper: one level of callees is
+// just as hot as the annotated function.
+//
+//energylint:hotpath
+func encode(vs []int) string {
+	return helperJoin(vs)
+}
+
+func helperJoin(vs []int) string {
+	out := ""
+	for _, v := range vs {
+		out += strconv.Itoa(v) // want `string \+= per loop iteration`
+	}
+	return out
+}
+
+// coldPath commits every sin above but carries no annotation and is
+// called from no hot path: silent.
+func coldPath(keys []string) string {
+	s := ""
+	m := map[string]int{}
+	var out []string
+	for _, k := range keys {
+		s += k
+		m[k] = len([]byte(k))
+		out = append(out, k)
+		defer func() {}()
+	}
+	return fmt.Sprintf("%d:%s:%d", len(m), s, len(out))
+}
+
+// warmOutside uses the flagged constructs outside any loop, where a
+// single allocation per call is the accepted cost of the shape — only
+// fmt calls and boxing are flagged loop-independently.
+//
+//energylint:hotpath
+func warmOutside(k string) []string {
+	s := k + "!"             // concat outside a loop: silent
+	parts := []string{s, k}  // slice literal outside a loop: silent
+	defer func() { _ = s }() // defer outside a loop: silent
+	return parts
+}

@@ -1,0 +1,162 @@
+// Package lockorderpkg exercises the lockorder analyzer: AB–BA
+// acquisition cycles, self-deadlocks, recursive RLocks, two-instance
+// ordering hazards, and one-level summaries — plus the clean shapes
+// that must stay silent.
+package lockorderpkg
+
+import "sync"
+
+// registry and breaker model the PR8 shape: two subsystems, two
+// mutexes, opposite acquisition orders on two paths. The cycle is
+// reported at the first witness of the representative cycle, which
+// starts from the alphabetically least node (breaker.mu).
+type registry struct {
+	mu      sync.Mutex
+	members map[string]*breaker
+}
+
+type breaker struct {
+	mu   sync.Mutex
+	open bool
+}
+
+// tick locks the registry, then a member breaker: registry.mu → breaker.mu.
+func (r *registry) tick(b *breaker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b.mu.Lock()
+	b.open = false
+	b.mu.Unlock()
+}
+
+// report locks the breaker, then the registry: breaker.mu → registry.mu.
+// Concurrent with tick this is the classic AB–BA deadlock.
+func (b *breaker) report(r *registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r.mu.Lock() // want `lock-order cycle breaker\.mu → registry\.mu → breaker\.mu`
+	delete(r.members, "x")
+	r.mu.Unlock()
+}
+
+// doubleLock re-acquires a lock the path provably holds.
+func (r *registry) doubleLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want `r\.mu\.Lock\(\) while r\.mu is already held on this path: self-deadlock`
+	_ = r.members
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val int
+}
+
+// recursiveRead: sync.RWMutex forbids recursive read locking.
+func (g *gauge) recursiveRead() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.mu.RLock() // want `recursive g\.mu\.RLock\(\) while the read lock is already held`
+	v := g.val
+	g.mu.RUnlock()
+	return v
+}
+
+// upgrade is a read-to-write upgrade attempt: the Lock blocks forever
+// behind our own RLock.
+func (g *gauge) upgrade(v int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.mu.Lock() // want `g\.mu\.Lock\(\) while g\.mu is already held on this path: self-deadlock`
+	g.val = v
+	g.mu.Unlock()
+}
+
+// merge locks the same struct's mutex on two instances with no
+// canonical order: the reverse interleaving deadlocks.
+func merge(a, b *gauge) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `b\.mu acquired while gauge\.mu is held on another instance \(a\.mu\)`
+	a.val += b.val
+	b.mu.Unlock()
+}
+
+// pool and shard close their cycle through one-level summaries: adopt
+// nests the locks directly, rebalance reaches the reverse order only
+// through the warm() call.
+type pool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+type shard struct {
+	mu   sync.Mutex
+	hot  bool
+	pool *pool
+}
+
+func (s *shard) adopt(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.mu.Lock()
+	s.pool.free = append(s.pool.free, n)
+	s.pool.mu.Unlock()
+}
+
+func (s *shard) warm() {
+	s.mu.Lock()
+	s.hot = true
+	s.mu.Unlock()
+}
+
+func (p *pool) rebalance(s *shard) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.warm() // want `lock-order cycle pool\.mu → shard\.mu → pool\.mu`
+}
+
+// reacquireViaCall: the callee's summarized receiver acquisition maps
+// back onto a lock the caller already holds.
+func (s *shard) reacquireViaCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.warm() // want `call to warm acquires s\.mu, which is already held on this path: self-deadlock`
+}
+
+// sequential is the clean shape: the first lock is released before the
+// second is taken, so no ordering edge exists.
+func (r *registry) sequential(b *breaker) {
+	r.mu.Lock()
+	n := len(r.members)
+	r.mu.Unlock()
+	b.mu.Lock()
+	b.open = n == 0
+	b.mu.Unlock()
+}
+
+// initMu is a package-level mutex, keyed as a bare identifier; one-way
+// nesting under it is fine.
+var initMu sync.Mutex
+
+func initOnce(r *registry) {
+	initMu.Lock()
+	defer initMu.Unlock()
+	r.mu.Lock()
+	r.members = map[string]*breaker{}
+	r.mu.Unlock()
+}
+
+// goroutines escape the spawning critical section: the spawned body's
+// acquisition is not ordered after the spawner's lock, so warming a
+// pool from a goroutine creates no pool.mu edge from shard.mu... and
+// the reverse nesting in adopt stays a plain one-way edge.
+func (s *shard) async(p *pool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		p.mu.Lock()
+		p.free = p.free[:0]
+		p.mu.Unlock()
+	}()
+}

@@ -146,6 +146,53 @@ func (g *gauge) set(v int) {
 	g.mu.Unlock()
 }
 
+// badWrite mutates the guarded field under only an RLock: a read hold
+// cannot vouch for writes.
+func (g *gauge) badWrite(v int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val = v // want `g\.val is guarded by "mu" and written here, but only an RLock is held`
+}
+
+// badIncr: ++ is a write too.
+func (g *gauge) badIncr() {
+	g.mu.RLock()
+	g.val++ // want `g\.val is guarded by "mu" and written here, but only an RLock is held`
+	g.mu.RUnlock()
+}
+
+// setLocked is a caller-holds writer; its callers must hold the write
+// lock, not just a read lock.
+func (g *gauge) setLocked(v int) { g.val = v }
+
+func (g *gauge) badDelegate(v int) {
+	g.mu.RLock()
+	g.setLocked(v) // want `call to setLocked holding only g\.mu\.RLock`
+	g.mu.RUnlock()
+}
+
+func (g *gauge) goodDelegate(v int) {
+	g.mu.Lock()
+	g.setLocked(v)
+	g.mu.Unlock()
+}
+
+// mixedMerge: a merge of a Lock branch and an RLock branch only proves
+// a read hold, so the write after the merge is flagged.
+func (g *gauge) mixedMerge(w bool, v int) {
+	if w {
+		g.mu.Lock()
+	} else {
+		g.mu.RLock()
+	}
+	g.val = v // want `g\.val is guarded by "mu" and written here, but only an RLock is held`
+	if w {
+		g.mu.Unlock()
+	} else {
+		g.mu.RUnlock()
+	}
+}
+
 // broken carries an annotation that names no sibling mutex; the
 // annotation itself is the diagnostic.
 type broken struct {

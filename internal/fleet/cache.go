@@ -113,6 +113,8 @@ func (c *Cache) Close(err error) {
 // fn panics, the panic propagates to the owner, the flight is
 // unregistered — the key is never poisoned — and waiters fail with
 // ErrFlightPanic (wrapped in ErrShared).
+//
+//energylint:hotpath
 func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
 	if c.closed {
@@ -131,6 +133,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val
 		select {
 		case <-f.done:
 			if f.err != nil {
+				//energylint:allow hotalloc(joined-flight failure exit, not the steady-state hit path; %w preserves the errors.Is chain)
 				return nil, false, fmt.Errorf("%w: %w", ErrShared, f.err)
 			}
 			return f.val, true, nil
@@ -140,6 +143,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val
 			c.mu.Unlock()
 			return nil, false, err
 		case <-ctx.Done():
+			//energylint:allow hotalloc(abandoned-waiter exit, not the steady-state hit path; %w preserves the errors.Is chain)
 			return nil, false, fmt.Errorf("%w: %w", ErrWaiterAbandoned, ctx.Err())
 		}
 	}
@@ -202,6 +206,8 @@ func (c *Cache) insert(key string, val any) {
 // miss. A hit still refreshes the entry's LRU position. This is the
 // degraded-mode read path: while a device's breaker is open the serving
 // layer answers from here instead of calling Do.
+//
+//energylint:hotpath
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -266,3 +266,21 @@ func TestCachePutServesDo(t *testing.T) {
 		t.Error("oldest entry survived Put-driven eviction")
 	}
 }
+
+// BenchmarkCacheGet measures the degraded-mode read path — the lookup
+// the serving layer spins on while a device's breaker is open. The
+// bench gate holds its allocs/op at zero: a Get is a mutex, a map
+// lookup and an LRU list move, and must stay that way.
+func BenchmarkCacheGet(b *testing.B) {
+	c := NewCache(64)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("sweep-%02d", i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("sweep-17"); !ok {
+			b.Fatal("lost the cached entry")
+		}
+	}
+}

@@ -73,6 +73,8 @@ func hashKey(key string) uint64 {
 
 // successor returns the node index owning key: the first virtual point
 // at or clockwise of the key's hash, wrapping at the top of the circle.
+//
+//energylint:hotpath
 func (r *ring) successor(key string) int {
 	h := hashKey(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
@@ -93,6 +95,8 @@ func (r *ring) successor(key string) int {
 // stops as soon as every distinct node has appeared — typically after a
 // handful of points, not the full 128·N ring. Larger fleets fall back
 // to a []bool seen-set (one allocation).
+//
+//energylint:hotpath
 func (r *ring) walkFrom(key string, visit func(node int) (stop bool)) {
 	h := hashKey(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
@@ -130,6 +134,8 @@ func (r *ring) walkFrom(key string, visit func(node int) (stop bool)) {
 // walk returns every distinct node index in ring order starting from
 // key's successor — walkFrom collected into a slice, for callers that
 // need the whole failover order at once (tests, diagnostics).
+//
+//energylint:hotpath
 func (r *ring) walk(key string) []int {
 	order := make([]int, 0, r.nodes)
 	r.walkFrom(key, func(idx int) bool {

@@ -238,6 +238,7 @@ func (e *engine) parallelNodes(nodes []int, fn func(i int)) {
 	close(next)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//energylint:allow hotalloc(one closure per worker, not per node; workers is capped by Options)
 		go func() {
 			defer wg.Done()
 			for i := range next {
@@ -315,6 +316,8 @@ func (e *engine) upward() {
 }
 
 // vPhaseDense applies dense M2L operators pair by pair.
+//
+//energylint:hotpath
 func (e *engine) vPhaseDense() {
 	nsurf := len(e.ops.unitSurf)
 	// Pre-build the needed M2L operators sequentially (deterministic

@@ -19,16 +19,33 @@ type vPair struct {
 	target, source int32
 }
 
+// offKey packs a V-list offset into one int that sorts in the same
+// lexicographic (off[0], off[1], off[2]) signed order a three-way
+// comparator would give, so the per-level ordering pass is a sort.Ints
+// over plain ints instead of a sort.Slice closure over [3]int8.
+func offKey(off [3]int8) int {
+	return (int(off[0])+128)<<16 | (int(off[1])+128)<<8 | (int(off[2]) + 128)
+}
+
+func keyOff(k int) [3]int8 {
+	return [3]int8{int8(k>>16 - 128), int8(k>>8&0xff - 128), int8(k&0xff - 128)}
+}
+
 // vPhaseDenseBatched computes the V phase with offset-batched GEMMs.
+//
+//energylint:hotpath
 func (e *engine) vPhaseDenseBatched() {
 	nsurf := len(e.ops.unitSurf)
+	// One grouping map for the whole phase, cleared between levels.
+	groups := map[[3]int8][]vPair{}
 	for lvl := range e.byLevel {
 		// Group this level's pairs by offset.
-		groups := map[[3]int8][]vPair{}
+		clear(groups)
 		for _, i := range e.byLevel[lvl] {
 			n := &e.t.Nodes[i]
 			for _, v := range n.V {
 				off := vOffset(n, &e.t.Nodes[v])
+				//energylint:allow hotalloc(bucket sizes are data-dependent; append doubling is amortized over the level's pairs)
 				groups[off] = append(groups[off], vPair{target: int32(i), source: v})
 			}
 		}
@@ -36,20 +53,15 @@ func (e *engine) vPhaseDenseBatched() {
 			continue
 		}
 		// Deterministic order over offsets.
-		offsets := make([][3]int8, 0, len(groups))
+		keys := make([]int, 0, len(groups))
 		for off := range groups {
-			offsets = append(offsets, off)
+			keys = append(keys, offKey(off))
 		}
-		sort.Slice(offsets, func(a, b int) bool {
-			x, y := offsets[a], offsets[b]
-			if x[0] != y[0] {
-				return x[0] < y[0]
-			}
-			if x[1] != y[1] {
-				return x[1] < y[1]
-			}
-			return x[2] < y[2]
-		})
+		sort.Ints(keys)
+		offsets := make([][3]int8, len(keys))
+		for oi, k := range keys {
+			offsets[oi] = keyOff(k)
+		}
 		// Pre-build operators sequentially (deterministic eval counts).
 		for _, off := range offsets {
 			e.ops.m2lFor(lvl, off)
@@ -70,6 +82,7 @@ func (e *engine) vPhaseDenseBatched() {
 		sem := make(chan struct{}, e.opt.Workers)
 		for oi, off := range offsets {
 			wg.Add(1)
+			//energylint:allow hotalloc(one goroutine per offset batch is the parallelism unit; its cost amortizes over a whole GEMM)
 			go func(oi int, off [3]int8) {
 				defer wg.Done()
 				sem <- struct{}{}

@@ -38,6 +38,8 @@ type Result struct {
 // matrix A and the observed right-hand side, find x >= 0 minimizing
 // ||A*x - rhs||_2. The tolerance for the dual feasibility test is scaled
 // from the data; passing tol <= 0 selects it automatically.
+//
+//energylint:hotpath
 func Solve(a *linalg.Matrix, rhs []units.Joule, tol float64) (*Result, error) {
 	m, n := a.Rows, a.Cols
 	if len(rhs) != m {
@@ -47,10 +49,13 @@ func Solve(a *linalg.Matrix, rhs []units.Joule, tol float64) (*Result, error) {
 	for i, v := range rhs {
 		b[i] = float64(v)
 	}
+	// Aᵀ is used once per outer iteration for the dual vector; Matrix.T
+	// copies the whole matrix, so build it once up front.
+	at := a.T()
 	if tol <= 0 {
 		// Standard choice: a small multiple of machine epsilon scaled by
 		// the problem size and the magnitude of Aᵀb.
-		tol = 10 * 2.220446049250313e-16 * float64(m*n) * maxAbs(a.T().MulVec(b))
+		tol = 10 * 2.220446049250313e-16 * float64(m*n) * maxAbs(at.MulVec(b))
 		if tol == 0 {
 			tol = 1e-12
 		}
@@ -68,6 +73,8 @@ func Solve(a *linalg.Matrix, rhs []units.Joule, tol float64) (*Result, error) {
 	// guard; bans are cleared on every real step.
 	banned := make([]bool, n)
 	resid := append([]float64(nil), b...) // b - A*x, x = 0 initially
+	w := make([]float64, n)               // dual vector, reused each iteration
+	ax := make([]float64, m)              // A*x scratch, reused each iteration
 
 	maxIter := 3 * n
 	if maxIter < 30 {
@@ -76,7 +83,7 @@ func Solve(a *linalg.Matrix, rhs []units.Joule, tol float64) (*Result, error) {
 	iters := 0
 	for {
 		// Dual vector w = Aᵀ(b - A*x).
-		w := a.T().MulVec(resid)
+		at.MulVecTo(w, resid)
 
 		// Find the most violated constraint among active (clamped) vars.
 		t := -1
@@ -151,13 +158,13 @@ func Solve(a *linalg.Matrix, rhs []units.Joule, tol float64) (*Result, error) {
 		}
 
 		// Refresh the residual for the next dual test.
-		ax := a.MulVec(x)
+		a.MulVecTo(ax, x)
 		for i := range resid {
 			resid[i] = b[i] - ax[i]
 		}
 	}
 
-	ax := a.MulVec(x)
+	a.MulVecTo(ax, x)
 	for i := range resid {
 		resid[i] = b[i] - ax[i]
 	}

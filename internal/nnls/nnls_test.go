@@ -263,3 +263,33 @@ func TestSolveRHSMismatchPanics(t *testing.T) {
 	}()
 	Solve(linalg.NewMatrix(3, 2), []units.Joule{1, 2}, 0)
 }
+
+// BenchmarkNNLSSolve runs a fixed, well-conditioned Eq. 9-sized fit
+// (16 settings x 7 coefficients, the paper's calibration shape). The
+// bench gate watches allocs/op: the PR10 sweep hoisted the per-
+// iteration Aᵀ copy out of the active-set loop, and a regression here
+// means a per-iteration allocation crept back in.
+func BenchmarkNNLSSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m, n := 16, 7
+	a := linalg.NewMatrix(m, n)
+	for i := range a.Data {
+		a.Data[i] = math.Abs(rng.NormFloat64())
+	}
+	truth := make([]float64, n)
+	for j := range truth {
+		truth[j] = float64(j%3) * 0.5
+	}
+	bvec := a.MulVec(truth)
+	for i := range bvec {
+		bvec[i] += 0.01 * rng.NormFloat64()
+	}
+	rhs := joules(bvec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -115,6 +116,8 @@ type PredictResponse struct {
 // predictOn answers one predict request against one device's simulator
 // and calibration. Every failure is a client error (bad setting,
 // invalid workload), so callers map a non-nil error to a 400.
+//
+//energylint:hotpath
 func (s *Server) predictOn(n *fleet.Node, req PredictRequest) (PredictResponse, error) {
 	setting, err := s.resolveSetting(req.Setting, req.SettingID)
 	if err != nil {
@@ -129,6 +132,7 @@ func (s *Server) predictOn(n *fleet.Node, req PredictRequest) (PredictResponse, 
 		}
 		t = n.Dev.Execute(wl, setting).Time
 	} else if t < 0 {
+		//energylint:allow hotalloc(client-error exit, not the per-request success path)
 		return PredictResponse{}, fmt.Errorf("negative time_s %g", t)
 	}
 	parts := n.Cal().Model.PredictParts(prof, setting, t)
@@ -141,6 +145,7 @@ func (s *Server) predictOn(n *fleet.Node, req PredictRequest) (PredictResponse, 
 	}, nil
 }
 
+//energylint:hotpath
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
 	if !decodeJSON(w, r, &req) {
@@ -159,23 +164,46 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	markDevice(w, node.ID)
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, &resp)
 }
 
 // predictKey canonicalizes a predict request for routing: two identical
 // requests land on the same device, whose answer for them is fully
-// deterministic.
+// deterministic. The encoding is strconv appends into one preallocated
+// buffer — the bytes must stay identical to the original fmt-based
+// encoding (%g == AppendFloat 'g', -1, 64), because the key feeds the
+// consistent-hash ring and a byte change remaps every cached sweep; see
+// TestPredictKeyBytes.
+//
+//energylint:hotpath
 func predictKey(req PredictRequest) string {
 	p := req.Profile
-	var b strings.Builder
-	fmt.Fprintf(&b, "p id=%s t=%g occ=%g", req.SettingID, req.TimeS, req.Occupancy)
+	b := make([]byte, 0, 192)
+	b = append(b, "p id="...)
+	b = append(b, req.SettingID...)
+	b = append(b, " t="...)
+	b = strconv.AppendFloat(b, float64(req.TimeS), 'g', -1, 64)
+	b = append(b, " occ="...)
+	b = strconv.AppendFloat(b, float64(req.Occupancy), 'g', -1, 64)
 	if req.Setting != nil {
-		fmt.Fprintf(&b, " core=%g mem=%g", req.Setting.CoreMHz, req.Setting.MemMHz)
+		b = append(b, " core="...)
+		b = strconv.AppendFloat(b, float64(req.Setting.CoreMHz), 'g', -1, 64)
+		b = append(b, " mem="...)
+		b = strconv.AppendFloat(b, float64(req.Setting.MemMHz), 'g', -1, 64)
 	}
-	fmt.Fprintf(&b, " sp=%g fma=%g add=%g mul=%g int=%g sm=%g l1=%g l2=%g dram=%g",
-		p.SP, p.DPFMA, p.DPAdd, p.DPMul, p.Int,
-		p.SharedWords, p.L1Words, p.L2Words, p.DRAMWords)
-	return b.String()
+	fields := [...]struct {
+		label string
+		v     units.Count
+	}{
+		{" sp=", p.SP}, {" fma=", p.DPFMA}, {" add=", p.DPAdd},
+		{" mul=", p.DPMul}, {" int=", p.Int}, {" sm=", p.SharedWords},
+		{" l1=", p.L1Words}, {" l2=", p.L2Words}, {" dram=", p.DRAMWords},
+	}
+	for _, f := range fields {
+		b = append(b, f.label...)
+		b = strconv.AppendFloat(b, float64(f.v), 'g', -1, 64)
+	}
+	return string(b)
 }
 
 // AutotuneRequest asks for the energy-optimal (f_core, f_mem) pair for
@@ -737,6 +765,7 @@ func (s *Server) resolveSetting(explicit *SettingJSON, id string) (dvfs.Setting,
 				return s, nil
 			}
 		}
+		//energylint:allow hotalloc(client-error exit, not the per-request success path)
 		return dvfs.Setting{}, fmt.Errorf("unknown setting_id %q (want S1..S8 or max)", id)
 	}
 }
@@ -759,6 +788,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		//energylint:allow hotalloc(malformed-body exit, not the per-request success path)
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
@@ -783,11 +813,13 @@ type ErrorJSON struct {
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
+	//energylint:allow hotalloc(error responses are off the hot path; the boxed struct is the price of the shared writeJSON shape)
 	writeJSON(w, code, ErrorJSON{Error: msg})
 }
 
 // writeErrorDev is writeError carrying the serving device's ID.
 func writeErrorDev(w http.ResponseWriter, code int, msg, dev string) {
 	markDevice(w, dev)
+	//energylint:allow hotalloc(error responses are off the hot path; the boxed struct is the price of the shared writeJSON shape)
 	writeJSON(w, code, ErrorJSON{Error: msg, DeviceID: dev})
 }

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dvfsroofline/internal/units"
+)
+
+// fmtPredictKey is the original fmt-based encoding predictKey replaced.
+// predictKey feeds the consistent-hash ring: if one byte of the
+// encoding moves, every request remaps to a different device and every
+// warm sweep cache goes cold. The strconv rewrite must therefore be
+// byte-identical, not just injective.
+func fmtPredictKey(req PredictRequest) string {
+	p := req.Profile
+	s := fmt.Sprintf("p id=%s t=%g occ=%g", req.SettingID, req.TimeS, req.Occupancy)
+	if req.Setting != nil {
+		s += fmt.Sprintf(" core=%g mem=%g", req.Setting.CoreMHz, req.Setting.MemMHz)
+	}
+	s += fmt.Sprintf(" sp=%g fma=%g add=%g mul=%g int=%g sm=%g l1=%g l2=%g dram=%g",
+		p.SP, p.DPFMA, p.DPAdd, p.DPMul, p.Int,
+		p.SharedWords, p.L1Words, p.L2Words, p.DRAMWords)
+	return s
+}
+
+func TestPredictKeyBytes(t *testing.T) {
+	// Values chosen to cross every %g formatting regime: zero, negative
+	// zero, integers, shortest-repr fractions, the 1e-5/1e21 switchover
+	// to exponent notation, subnormals, huge magnitudes, and the
+	// non-finite values a hostile request body can smuggle in.
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.25, 1.5e6, 1234.5678,
+		1e-4, 9.999e-5, 1e-5, 1e20, 1e21, 1e22, 5e-324,
+		math.MaxFloat64, -math.MaxFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		0.1, 1.0 / 3.0, 2.5e8,
+	}
+	ids := []string{"", "S1", "max", "weird id \x00\xff"}
+
+	reqs := []PredictRequest{}
+	for i, v := range vals {
+		w := vals[(i+7)%len(vals)]
+		reqs = append(reqs,
+			PredictRequest{
+				SettingID: ids[i%len(ids)],
+				TimeS:     units.Second(v),
+				Occupancy: units.Ratio(w),
+				Profile: ProfileJSON{
+					SP: units.Count(v), DPFMA: units.Count(w), DPAdd: units.Count(-v),
+					DPMul: units.Count(v * 3), Int: units.Count(w / 7),
+					SharedWords: units.Count(v), L1Words: units.Count(w),
+					L2Words: units.Count(v + w), DRAMWords: units.Count(v - w),
+				},
+			},
+			PredictRequest{
+				Setting:   &SettingJSON{CoreMHz: units.MegaHertz(v), MemMHz: units.MegaHertz(w)},
+				TimeS:     units.Second(w),
+				Occupancy: units.Ratio(v),
+				Profile:   ProfileJSON{SP: units.Count(w), DRAMWords: units.Count(v)},
+			},
+		)
+	}
+	for _, req := range reqs {
+		got, want := predictKey(req), fmtPredictKey(req)
+		if got != want {
+			t.Errorf("predictKey diverged from the fmt encoding:\n got %q\nwant %q", got, want)
+		}
+	}
+}
+
+func BenchmarkPredictKey(b *testing.B) {
+	req := PredictRequest{
+		SettingID: "S4",
+		TimeS:     0.0625,
+		Occupancy: 0.25,
+		Profile: ProfileJSON{
+			SP: 1.5e6, DPFMA: 2.5e8, DPAdd: 1e7, DPMul: 3.2e7, Int: 4.1e8,
+			SharedWords: 9.6e7, L1Words: 1.1e8, L2Words: 5.5e7, DRAMWords: 1.9e7,
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if predictKey(req) == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

@@ -260,6 +260,8 @@ func OutlierMask(xs []float64, k, floor float64) []bool {
 // makes parallel, reordered and partial campaigns byte-identical to
 // serial ones. microbench.SampleSeed and the fault-injection layer build
 // on it.
+//
+//energylint:hotpath
 func MixSeed(base int64, vals ...int64) int64 {
 	const (
 		offset64 = 14695981039346656037

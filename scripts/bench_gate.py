@@ -7,14 +7,25 @@ on ns/op, and fails if any regresses by more than the threshold.
 Benchmarks present on only one side are reported and skipped — the gate
 compares the intersection, so adding new benchmarks never breaks it.
 
+Baseline entries marked "hotpath": true get a second, stricter check:
+any increase in allocs/op fails the gate outright, with no threshold.
+ns/op is noisy on shared runners; an allocation count is deterministic,
+so a +1 there is a real regression on a path the energylint hotalloc
+rule audits (run the benches with -benchmem or the counts parse as 0).
+B/op deltas on hotpath benchmarks are printed but do not gate — byte
+sizes move with unrelated struct edits; the allocation count is the
+contract.
+
 Optionally re-emits the parsed results in the BENCH_PR*.json schema so
-the next PR's baseline is one `--emit` away.
+the next PR's baseline is one `--emit` away; --hotpath REGEX stamps the
+marker onto matching benchmark names at emit time.
 
 Usage:
-  go test -run '^$' -bench 'BenchmarkRing' ./internal/fleet | tee /tmp/b1.txt
-  python3 scripts/bench_gate.py --baseline BENCH_PR7.json /tmp/b1.txt
-  python3 scripts/bench_gate.py --baseline BENCH_PR7.json \
-      --emit BENCH_PR8.json --pr 8 --note '...' /tmp/b1.txt /tmp/b2.txt
+  go test -run '^$' -bench 'BenchmarkRing' -benchmem ./internal/fleet | tee /tmp/b1.txt
+  python3 scripts/bench_gate.py --baseline BENCH_PR9.json /tmp/b1.txt
+  python3 scripts/bench_gate.py --baseline BENCH_PR9.json \
+      --emit BENCH_PR10.json --pr 10 --hotpath 'CacheGet|MixSeed' \
+      --note '...' /tmp/b1.txt /tmp/b2.txt
 """
 
 import argparse
@@ -54,8 +65,18 @@ def parse(paths):
                     "bytes_per_op": int(m.group(5) or 0),
                     "allocs_per_op": int(m.group(6) or 0),
                 }
-                if name not in results or r["ns_per_op"] < results[name]["ns_per_op"]:
+                if name not in results:
                     results[name] = r
+                else:
+                    # Fastest ns/op, min allocs/bytes: each metric takes
+                    # its best observation so one noisy run cannot fail
+                    # the strict hotpath allocation gate.
+                    prev = results[name]
+                    if r["ns_per_op"] < prev["ns_per_op"]:
+                        prev["ns_per_op"] = r["ns_per_op"]
+                        prev["iterations"] = r["iterations"]
+                    prev["bytes_per_op"] = min(prev["bytes_per_op"], r["bytes_per_op"])
+                    prev["allocs_per_op"] = min(prev["allocs_per_op"], r["allocs_per_op"])
     return results, meta
 
 
@@ -66,6 +87,9 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max allowed fractional ns/op regression (default 0.15)")
     ap.add_argument("--emit", help="write parsed results as a new BENCH_PR*.json")
+    ap.add_argument("--hotpath", default="",
+                    help="regex over benchmark names; matches are stamped "
+                         '"hotpath": true at --emit and gate on allocs/op')
     ap.add_argument("--pr", type=int, help="PR number for --emit")
     ap.add_argument("--note", default="", help="note field for --emit")
     ap.add_argument("--benchtime", default="1s", help="benchtime field for --emit")
@@ -98,6 +122,19 @@ def main():
             regressions += 1
             failed = True
         print(f"  {verdict:>10}  {name}: {old:g} -> {new:g} ns/op ({delta:+.1%})")
+        if baseline[name].get("hotpath"):
+            oa = baseline[name].get("allocs_per_op", 0)
+            na = results[name]["allocs_per_op"]
+            ob = baseline[name].get("bytes_per_op", 0)
+            nb = results[name]["bytes_per_op"]
+            if na > oa:
+                regressions += 1
+                failed = True
+                print(f"  REGRESSION  {name}: {oa} -> {na} allocs/op "
+                      f"(hotpath benchmarks gate on any allocation increase)")
+            else:
+                print(f"          ok  {name}: {oa} -> {na} allocs/op, "
+                      f"{ob} -> {nb} B/op (hotpath)")
     for name in sorted(set(results) - set(baseline)):
         print(f"   NEW  {name}: {results[name]['ns_per_op']:g} ns/op (no baseline)")
     if compared == 0:
@@ -108,6 +145,11 @@ def main():
         if args.pr is None:
             print("bench_gate: --emit requires --pr", file=sys.stderr)
             return 2
+        if args.hotpath:
+            hot = re.compile(args.hotpath)
+            for r in results.values():
+                if hot.search(r["name"]):
+                    r["hotpath"] = True
         doc = {
             "pr": args.pr,
             "date": datetime.date.today().isoformat(),
@@ -138,7 +180,8 @@ def main():
         print(json.dumps(summary, separators=(",", ":")))
 
     if failed:
-        print(f"bench_gate: ns/op regression beyond {args.threshold:.0%}",
+        print(f"bench_gate: ns/op regression beyond {args.threshold:.0%} "
+              f"or allocs/op increase on a hotpath benchmark",
               file=sys.stderr)
         return 1
     print(f"bench_gate: {compared} benchmarks within {args.threshold:.0%} of baseline")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Docs-drift check for the energylint rule registry.
+
+Reads `energylint -rules` output on stdin and a DESIGN.md path as the
+single argument, and verifies the two agree: every registered analyzer
+has a `### energylint-<name>` section in DESIGN.md § Static analysis,
+and every such section names a registered analyzer. Each rule's URL
+field points readers at its DESIGN.md anchor, so an undocumented rule
+ships a dead link and a leftover section documents behaviour the suite
+no longer has — both fail CI here.
+
+Usage:
+  go run ./cmd/energylint -rules | python3 scripts/check_lint_docs.py DESIGN.md
+"""
+
+import re
+import sys
+
+HEADING_RE = re.compile(r"^### energylint-([a-z0-9_]+)\s*$")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    # -rules prints one non-indented "name doc" line per analyzer with
+    # the URL on an indented continuation line; the first token of each
+    # non-indented line is the registered rule name.
+    registered = set()
+    for line in sys.stdin:
+        if not line.strip() or line[0] in (" ", "\t"):
+            continue
+        registered.add(line.split()[0])
+    if not registered:
+        print("check_lint_docs: no rules on stdin (pipe `energylint -rules` in)",
+              file=sys.stderr)
+        return 2
+
+    documented = set()
+    with open(sys.argv[1]) as f:
+        for line in f:
+            m = HEADING_RE.match(line)
+            if m:
+                documented.add(m.group(1))
+
+    failed = False
+    for name in sorted(registered - documented):
+        print(f"check_lint_docs: rule {name!r} is registered but has no "
+              f"'### energylint-{name}' section in {sys.argv[1]}")
+        failed = True
+    for name in sorted(documented - registered):
+        print(f"check_lint_docs: {sys.argv[1]} documents 'energylint-{name}' "
+              f"but no such rule is registered (stale section?)")
+        failed = True
+    if failed:
+        return 1
+    print(f"check_lint_docs: {len(registered)} rules, all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
